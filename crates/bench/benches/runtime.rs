@@ -1,0 +1,119 @@
+//! Microbenchmarks of the NavP runtime itself: hop round-trips, event
+//! signalling, injection fan-out, and discrete-event simulation
+//! throughput. These quantify the "daemon overhead" the cost model's
+//! `daemon_overhead` parameter stands in for.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use navp::script::Script;
+use navp::{Cluster, Effect, Key, SimExecutor, ThreadExecutor};
+use navp_sim::CostModel;
+
+/// A single messenger ping-pongs between two PEs `hops` times.
+fn ping_pong_cluster(hops: usize) -> Cluster {
+    let mut cl = Cluster::new(2).expect("two PEs");
+    cl.inject(
+        0,
+        Script::new("pingpong").then_each(hops, |i, _| Effect::Hop((i + 1) % 2)),
+    );
+    cl
+}
+
+fn bench_hops_threads(c: &mut Criterion) {
+    let hops = 1_000;
+    let mut group = c.benchmark_group("thread_executor");
+    group.throughput(Throughput::Elements(hops as u64));
+    group.sample_size(20);
+    group.bench_function("hop_roundtrips_1k", |b| {
+        b.iter(|| {
+            ThreadExecutor::new()
+                .run(ping_pong_cluster(hops))
+                .expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn bench_events_threads(c: &mut Criterion) {
+    // Producer/consumer pair exchanging N signals through counting events.
+    let n = 1_000usize;
+    let build = move || {
+        let mut cl = Cluster::new(1).expect("one PE");
+        cl.inject(
+            0,
+            Script::new("producer").then_each(n, |i, ctx| {
+                ctx.signal(Key::at("tok", i));
+                Effect::Hop(0)
+            }),
+        );
+        cl.inject(
+            0,
+            Script::new("consumer").then_each(n, |i, _| Effect::WaitEvent(Key::at("tok", i))),
+        );
+        cl
+    };
+    let mut group = c.benchmark_group("thread_executor");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("event_handoffs_1k", |b| {
+        b.iter(|| ThreadExecutor::new().run(build()).expect("run"))
+    });
+    group.finish();
+}
+
+fn bench_des_throughput(c: &mut Criterion) {
+    // Pure simulator speed: events processed per second on a phantom
+    // pipelined run (the workload behind the table regeneration).
+    let cfg = navp_mm::config::MmConfig::phantom(1024, 128);
+    let grid = navp_matrix::Grid2D::line(4).expect("grid");
+    let mut group = c.benchmark_group("sim_executor");
+    group.sample_size(20);
+    group.bench_function("pipe1d_phantom_1024", |b| {
+        b.iter(|| {
+            navp_mm::runner::run_navp_sim(
+                navp_mm::runner::NavpStage::Pipe1D,
+                &cfg,
+                grid,
+                &CostModel::paper_cluster(),
+                false,
+            )
+            .expect("run")
+        })
+    });
+    group.finish();
+}
+
+fn bench_injection_fanout(c: &mut Criterion) {
+    let n = 1_000usize;
+    let build = move || {
+        let mut cl = Cluster::new(4).expect("four PEs");
+        cl.inject(
+            0,
+            Script::new("spawner").then(move |ctx| {
+                for i in 0..n {
+                    ctx.inject(Script::new("child").then(move |_| Effect::Hop(i % 4)));
+                }
+                Effect::Done
+            }),
+        );
+        cl
+    };
+    let mut group = c.benchmark_group("sim_executor");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("inject_1k_agents", |b| {
+        b.iter(|| {
+            SimExecutor::new(CostModel::paper_cluster())
+                .run(build())
+                .expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hops_threads,
+    bench_events_threads,
+    bench_des_throughput,
+    bench_injection_fanout
+);
+criterion_main!(benches);

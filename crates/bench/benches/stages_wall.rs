@@ -1,0 +1,67 @@
+//! Real-arithmetic wall-clock comparison of every implementation on
+//! this machine's threads — the modern-hardware counterpart of the
+//! virtual-time tables. Sizes are kept small so `cargo bench` finishes
+//! quickly; at this scale on one shared-memory host the problem sits
+//! far below the communication/compute crossover, so these benches
+//! chiefly demonstrate that every implementation runs correctly and at
+//! comparable cost on real threads — the paper's cluster-scale ordering
+//! lives in the virtual-time tables (`--bin all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use navp_matrix::Grid2D;
+use navp_mm::config::MmConfig;
+use navp_mm::gentleman::GentlemanOpts;
+use navp_mm::runner::{
+    run_mp_threads, run_mp_threads_unverified, run_navp_threads, run_navp_threads_unverified,
+    MpAlg, NavpStage,
+};
+use std::time::Duration;
+
+fn bench_navp_stages(c: &mut Criterion) {
+    let cfg = MmConfig::real(384, 32); // nb = 12: divisible by 2, 3, 4
+    let mut group = c.benchmark_group("wall_navp_stages_n384");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for stage in NavpStage::ALL {
+        let grid = if stage.is_1d() {
+            Grid2D::line(4).expect("grid")
+        } else {
+            Grid2D::new(2, 2).expect("grid")
+        };
+        // Verify once; the timed iterations skip the (expensive)
+        // sequential-reference comparison.
+        let once = run_navp_threads(stage, &cfg, grid).expect("run");
+        assert_eq!(once.verified, Some(true), "{}", stage.name());
+        group.bench_function(stage.name(), move |b| {
+            b.iter(|| {
+                run_navp_threads_unverified(stage, &cfg, grid)
+                    .expect("run")
+                    .wall
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mp_baselines(c: &mut Criterion) {
+    let cfg = MmConfig::real(384, 32);
+    let grid = Grid2D::new(2, 2).expect("grid");
+    let mut group = c.benchmark_group("wall_mp_baselines_n384");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for alg in [MpAlg::Gentleman(GentlemanOpts::default()), MpAlg::Summa] {
+        let once = run_mp_threads(alg, &cfg, grid).expect("run");
+        assert_eq!(once.verified, Some(true), "{}", alg.name());
+        group.bench_function(alg.name(), move |b| {
+            b.iter(|| {
+                run_mp_threads_unverified(alg, &cfg, grid)
+                    .expect("run")
+                    .wall
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_navp_stages, bench_mp_baselines);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerate the entire evaluation: Tables 1–4 with
+//! measured-vs-published numbers and the overall shape verdict.
+//! (`figures` and `ablation` are separate binaries.)
+
+use navp_bench::harness::run_table;
+use navp_bench::paper;
+use navp_sim::CostModel;
+
+fn main() {
+    let cost = CostModel::paper_cluster();
+    let mut all_ok = true;
+    for spec in paper::ALL {
+        let res = run_table(spec, &cost).expect("table run");
+        println!("{}", res.render());
+        let dev = res.max_speedup_deviation();
+        let mism = res.ranking_mismatches(0.05);
+        println!(
+            "   max |speedup - paper| = {:.2}; ranking mismatches at rows {:?}\n",
+            dev, mism
+        );
+        if dev > 1.5 {
+            all_ok = false;
+        }
+    }
+    println!(
+        "Overall: {}",
+        if all_ok {
+            "every regenerated speedup within 1.5 of the published value"
+        } else {
+            "some speedups deviate by more than 1.5 — see rows above"
+        }
+    );
+}

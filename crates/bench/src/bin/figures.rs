@@ -1,0 +1,83 @@
+//! Regenerate the paper's figures from real executions:
+//!
+//! * **Figure 1 (a)–(d)** — the space-time schematics of the
+//!   transformations, rendered from actual traces of the sequential,
+//!   1-D DSC, 1-D pipelined and 1-D phase-shifted programs on 3 PEs;
+//! * **Figures 4, 6, 8, 10, 12, 14** — the initial data placements of
+//!   every stage, read back from the cluster builders.
+
+use navp_bench::layout::layout_of_cluster;
+use navp_matrix::Grid2D;
+use navp_mm::config::MmConfig;
+use navp_mm::runner::{run_navp_sim, NavpStage};
+use navp_mm::util::{Topo1D, Topo2D};
+use navp_sim::CostModel;
+
+fn main() {
+    let cost = CostModel::paper_cluster();
+
+    println!("== Figure 1: space-time diagrams (3 PEs, N=384, block 64) ==\n");
+    // Small problem so the staircase structure is visible at this scale.
+    let cfg = MmConfig::phantom(384, 64);
+    let line3 = Grid2D::line(3).expect("grid");
+
+    println!("(a) Sequential — one locus, one PE:");
+    // Sequential runs on one PE; render over 3 columns for comparison.
+    {
+        let (a, b) = cfg.operands().expect("operands");
+        let cl = navp_mm::seq::cluster(&cfg, &a, &b).expect("cluster");
+        let rep = navp::SimExecutor::new(cost).with_trace().run(cl).expect("run");
+        println!("{}", rep.trace.render_spacetime(3, 12));
+    }
+
+    for (tag, stage) in [
+        ("(b) DSC — the locus chases the data", NavpStage::Dsc1D),
+        ("(c) Pipelining — carriers follow each other", NavpStage::Pipe1D),
+        ("(d) Phase shifting — carriers enter at different PEs", NavpStage::Phase1D),
+    ] {
+        println!("{tag}:");
+        let out = run_navp_sim(stage, &cfg, line3, &cost, true).expect("stage run");
+        println!(
+            "{}",
+            out.trace.expect("trace requested").render_spacetime(3, 12)
+        );
+    }
+
+    println!("== Figures 4-14: initial data placements (N=8 blocks of order 2) ==\n");
+    let cfg = MmConfig::phantom(8, 2);
+    let (a, b) = cfg.operands().expect("operands");
+
+    let t1 = Topo1D::new(4, 2).expect("topo");
+    println!("Figure 4 (1-D DSC): A on PE0; B, C column-banded");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::dsc1d::cluster(&cfg, &t1, &a, &b).expect("cluster"), 2)
+    );
+    println!("Figure 6 (1-D pipelined): same placement, many carriers");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::pipe1d::cluster(&cfg, &t1, &a, &b).expect("cluster"), 2)
+    );
+    println!("Figure 8 (1-D phase-shifted): A row-banded");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::phase1d::cluster(&cfg, &t1, &a, &b).expect("cluster"), 2)
+    );
+
+    let t2 = Topo2D::new(4, Grid2D::new(2, 2).expect("grid")).expect("topo");
+    println!("Figure 10 (2-D DSC): A, B on the anti-diagonal; C at home");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::dsc2d::cluster(&cfg, &t2, &a, &b).expect("cluster"), 2)
+    );
+    println!("Figure 12 (2-D pipelined): same anti-diagonal placement");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::pipe2d::cluster(&cfg, &t2, &a, &b).expect("cluster"), 2)
+    );
+    println!("Figure 14 (2-D full DPC): A, B, C all at home — no pre-staggering");
+    println!(
+        "{}",
+        layout_of_cluster(&navp_mm::dpc2d::cluster(&cfg, &t2, &a, &b).expect("cluster"), 2)
+    );
+}

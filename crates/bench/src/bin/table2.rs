@@ -1,0 +1,15 @@
+//! Regenerate the paper's Table 2. Run with `--release`.
+
+use navp_bench::harness::run_table;
+use navp_bench::paper::TABLE2;
+use navp_sim::CostModel;
+
+fn main() {
+    let res = run_table(&TABLE2, &CostModel::paper_cluster()).expect("table run");
+    print!("{}", res.render());
+    println!(
+        "max |speedup - paper| = {:.2}; ranking mismatches at rows {:?}",
+        res.max_speedup_deviation(),
+        res.ranking_mismatches(0.05)
+    );
+}

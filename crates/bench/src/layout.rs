@@ -1,0 +1,84 @@
+//! Render the paper's data-placement figures from the actual cluster
+//! builders.
+//!
+//! Figures 4, 6, 8, 10, 12 and 14 of the paper show where the blocks of
+//! `A`, `B` and `C` sit before each stage starts. Instead of redrawing
+//! them, [`layout_of_cluster`] reads the node-variable stores of a
+//! freshly built (not yet run) cluster and prints one panel per PE — so
+//! the diagrams are guaranteed to match what the code actually does.
+
+use navp::Cluster;
+use std::fmt::Write as _;
+
+/// Summarize a cluster's pre-run placement: for each PE, the blocks of
+/// each variable family, compressed as `name[r0..r1 x c0..c1 (+k more)]`.
+pub fn layout_of_cluster(cl: &Cluster, grid_cols: usize) -> String {
+    let mut out = String::new();
+    for pe in 0..cl.pes() {
+        let (v, h) = (pe / grid_cols, pe % grid_cols);
+        let store = cl.store(pe);
+        let mut fams: std::collections::BTreeMap<&'static str, Vec<(u32, u32)>> =
+            std::collections::BTreeMap::new();
+        for key in store.keys() {
+            fams.entry(key.name).or_default().push((key.i, key.j));
+        }
+        let _ = write!(out, "node({v},{h})  ");
+        if fams.is_empty() {
+            let _ = writeln!(out, "(empty)");
+            continue;
+        }
+        for (name, mut coords) in fams {
+            coords.sort_unstable();
+            let (mut ri, mut rj) = ((u32::MAX, 0u32), (u32::MAX, 0u32));
+            for &(i, j) in &coords {
+                ri = (ri.0.min(i), ri.1.max(i));
+                rj = (rj.0.min(j), rj.1.max(j));
+            }
+            let _ = write!(
+                out,
+                "{name}[{}..{} x {}..{}]({}) ",
+                ri.0,
+                ri.1,
+                rj.0,
+                rj.1,
+                coords.len()
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_matrix::Grid2D;
+    use navp_mm::config::MmConfig;
+    use navp_mm::util::Topo2D;
+
+    #[test]
+    fn dpc2d_layout_shows_home_placement() {
+        let cfg = MmConfig::phantom(8, 2);
+        let topo = Topo2D::new(4, Grid2D::new(2, 2).unwrap()).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = navp_mm::dpc2d::cluster(&cfg, &topo, &a, &b).unwrap();
+        let art = layout_of_cluster(&cl, 2);
+        // Fig. 14: every node holds A, B and C blocks of its own tile.
+        assert!(art.contains("node(0,0)"));
+        assert!(art.contains("A[0..1 x 0..1](4)"), "{art}");
+        assert!(art.contains("C[2..3 x 2..3](4)"), "{art}");
+    }
+
+    #[test]
+    fn dsc1d_layout_concentrates_a_on_pe0() {
+        let cfg = MmConfig::phantom(8, 2);
+        let topo = navp_mm::util::Topo1D::new(4, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = navp_mm::dsc1d::cluster(&cfg, &topo, &a, &b).unwrap();
+        let art = layout_of_cluster(&cl, 2);
+        let lines: Vec<&str> = art.lines().collect();
+        // PE0 (printed as node(0,0)) holds all 16 A blocks; PE1 none.
+        assert!(lines[0].contains("A[0..3 x 0..3](16)"), "{art}");
+        assert!(!lines[1].contains("A["), "{art}");
+    }
+}

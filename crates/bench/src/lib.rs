@@ -1,0 +1,19 @@
+//! The evaluation harness: everything needed to regenerate every table
+//! and figure of the paper's Section 5.
+//!
+//! * [`paper`] — the paper's published numbers, transcribed verbatim,
+//!   so each regenerated cell prints measured-vs-paper side by side;
+//! * [`harness`] — table specifications and the runner that executes
+//!   each cell under the calibrated cost model at the paper's problem
+//!   sizes (phantom payloads: identical costs, no wasted arithmetic);
+//! * [`layout`] — renders the data-placement diagrams of Figures 4–14
+//!   from the *actual* cluster builders (not hand-drawn);
+//! * binaries `table1`–`table4`, `figures`, `ablation`, `all` — run
+//!   `cargo run --release -p navp-bench --bin all` to regenerate the
+//!   entire evaluation.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod layout;
+pub mod paper;

@@ -1,0 +1,170 @@
+//! The paper's published measurements (Tables 1–4), transcribed
+//! verbatim from Pan et al., ICPP 2005.
+//!
+//! Times are seconds. Entries marked with `*` in the paper (sequential
+//! times obtained by least-squares curve fitting, used for speedups at
+//! sizes where the real sequential run thrashed) are stored in
+//! [`Table::seq_fitted`]; the measured — possibly thrashing — sequential
+//! time is in [`Table::seq_actual`].
+
+/// One published table.
+pub struct Table {
+    /// Table number in the paper.
+    pub id: &'static str,
+    /// Caption.
+    pub title: &'static str,
+    /// PE grid `(rows, cols)` — `(1, p)` is the paper's 1-D network.
+    pub grid: (usize, usize),
+    /// Matrix orders, one per row.
+    pub orders: &'static [usize],
+    /// Algorithmic block order per row.
+    pub blocks: &'static [usize],
+    /// Sequential time used as the speedup denominator (fitted where
+    /// the paper used fitted values).
+    pub seq_fitted: &'static [f64],
+    /// Sequential time as actually measured (equals `seq_fitted` where
+    /// no fitting was needed).
+    pub seq_actual: &'static [f64],
+    /// Per-column published times, in the paper's column order.
+    pub columns: &'static [(&'static str, &'static [f64])],
+}
+
+/// Table 1 — performance on a 1-D network of 3 PEs.
+pub const TABLE1: Table = Table {
+    id: "Table 1",
+    title: "Performance on 3 PEs (1-D network)",
+    grid: (1, 3),
+    orders: &[1536, 2304, 3072, 4608, 5376, 6144],
+    blocks: &[128, 128, 128, 128, 128, 256],
+    seq_fitted: &[65.44, 219.71, 520.30, 1745.94, 2735.69, 4268.16],
+    seq_actual: &[65.44, 219.71, 520.30, 1934.73, 3033.92, 5055.93],
+    columns: &[
+        (
+            "NavP (1D DSC)",
+            &[67.22, 229.45, 543.91, 1809.73, 2926.24, 4697.32],
+        ),
+        (
+            "NavP (1D pipeline)",
+            &[27.72, 91.03, 205.87, 688.18, 1151.07, 1811.77],
+        ),
+        (
+            "NavP (1D phase)",
+            &[24.55, 81.23, 189.50, 653.64, 990.05, 1554.99],
+        ),
+        (
+            "ScaLAPACK",
+            &[26.80, 82.83, 211.45, 767.91, 1173.46, 1984.18],
+        ),
+    ],
+};
+
+/// Table 2 — out-of-core DSC on 8 PEs.
+pub const TABLE2: Table = Table {
+    id: "Table 2",
+    title: "Performance on 8 PEs (DSC vs thrashing sequential)",
+    grid: (1, 8),
+    orders: &[9216],
+    blocks: &[128],
+    seq_fitted: &[13921.50],
+    seq_actual: &[36534.49],
+    columns: &[("NavP (1D DSC)", &[14959.42])],
+};
+
+/// Table 3 — performance on a 2x2 PE grid.
+pub const TABLE3: Table = Table {
+    id: "Table 3",
+    title: "Performance on 2 x 2 PEs",
+    grid: (2, 2),
+    orders: &[1024, 2048, 3072, 4096, 5120],
+    blocks: &[128, 128, 128, 128, 128],
+    seq_fitted: &[19.49, 158.51, 520.30, 1238.21, 2373.32],
+    seq_actual: &[19.49, 158.51, 520.30, 1281.58, 2727.86],
+    columns: &[
+        ("MPI (Gentleman)", &[6.02, 50.99, 157.53, 367.04, 733.91]),
+        ("NavP (2D DSC)", &[7.63, 50.59, 158.06, 362.73, 792.23]),
+        ("NavP (2D pipeline)", &[5.88, 42.61, 144.09, 328.98, 757.67]),
+        ("NavP (2D phase)", &[5.54, 41.54, 137.39, 321.70, 624.87]),
+        ("ScaLAPACK", &[5.23, 45.53, 156.27, 417.83, 907.16]),
+    ],
+};
+
+/// Table 4 — performance on a 3x3 PE grid.
+pub const TABLE4: Table = Table {
+    id: "Table 4",
+    title: "Performance on 3 x 3 PEs",
+    grid: (3, 3),
+    orders: &[1536, 2304, 3072, 4608, 5376, 6144],
+    blocks: &[128, 128, 128, 128, 128, 256],
+    seq_fitted: &[65.44, 219.71, 520.30, 1745.94, 2735.69, 4268.16],
+    seq_actual: &[65.44, 219.71, 520.30, 1934.73, 3033.92, 5055.93],
+    columns: &[
+        (
+            "MPI (Gentleman)",
+            &[10.97, 29.95, 82.25, 241.92, 437.27, 637.79],
+        ),
+        (
+            "NavP (2D DSC)",
+            &[13.66, 39.53, 86.52, 268.41, 421.78, 745.18],
+        ),
+        (
+            "NavP (2D pipeline)",
+            &[9.18, 29.93, 66.94, 220.28, 360.77, 584.85],
+        ),
+        (
+            "NavP (2D phase)",
+            &[8.21, 26.74, 62.36, 205.68, 323.67, 510.29],
+        ),
+        (
+            "ScaLAPACK",
+            &[8.08, 29.39, 70.92, 255.87, 398.50, 635.36],
+        ),
+    ],
+};
+
+/// All four tables.
+pub const ALL: [&Table; 4] = [&TABLE1, &TABLE2, &TABLE3, &TABLE4];
+
+impl Table {
+    /// Published speedup of column `col` at row `row`.
+    pub fn paper_speedup(&self, col: usize, row: usize) -> f64 {
+        self.seq_fitted[row] / self.columns[col].1[row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_rectangular() {
+        for t in ALL {
+            assert_eq!(t.orders.len(), t.blocks.len(), "{}", t.id);
+            assert_eq!(t.orders.len(), t.seq_fitted.len(), "{}", t.id);
+            assert_eq!(t.orders.len(), t.seq_actual.len(), "{}", t.id);
+            for (name, col) in t.columns {
+                assert_eq!(col.len(), t.orders.len(), "{} {name}", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_divide_orders() {
+        for t in ALL {
+            for (n, ab) in t.orders.iter().zip(t.blocks) {
+                assert_eq!(n % ab, 0, "{}", t.id);
+                let nb = n / ab;
+                assert_eq!(nb % t.grid.0, 0, "{} grid rows", t.id);
+                assert_eq!(nb % t.grid.1, 0, "{} grid cols", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn published_speedups_match_paper_text() {
+        // Spot checks against the speedup columns printed in the paper.
+        assert!((TABLE1.paper_speedup(2, 0) - 2.67).abs() < 0.01); // phase N=1536
+        assert!((TABLE3.paper_speedup(0, 0) - 3.24).abs() < 0.01); // MPI N=1024
+        assert!((TABLE4.paper_speedup(3, 5) - 8.36).abs() < 0.01); // phase N=6144
+        assert!((TABLE2.seq_actual[0] / TABLE2.seq_fitted[0] - 2.62).abs() < 0.01);
+    }
+}

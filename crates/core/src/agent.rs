@@ -1,0 +1,226 @@
+//! Messengers: self-migrating computations.
+
+use navp_sim::key::{EventKey, NodeId};
+use navp_sim::store::NodeStore;
+
+/// The navigational command a messenger returns from one [`Messenger::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Move the computation locus to the given PE; the next `step` runs
+    /// there. Hopping to the current PE is legal and free.
+    Hop(NodeId),
+    /// Block until the event has been signalled (counting semantics:
+    /// each `wait` consumes one `signal`). The next `step` runs on the
+    /// same PE once the event fires.
+    WaitEvent(EventKey),
+    /// The messenger is finished; it is dropped by the executor.
+    Done,
+}
+
+/// A self-migrating computation.
+///
+/// The struct's fields are the messenger's **agent variables** — private
+/// to it and carried along on every hop. Node variables are reached only
+/// through the [`MsgrCtx`] passed to `step`, so a borrow of PE-resident
+/// data can never survive a migration.
+///
+/// `step` is called repeatedly by an executor; each call runs the code
+/// between two navigational commands, returning the next command. A
+/// messenger therefore keeps an explicit "program counter" field when its
+/// control flow spans several hops (all the carriers in `navp-mm` do).
+pub trait Messenger: Send + 'static {
+    /// Execute until the next navigational command.
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect;
+
+    /// Size in bytes of the agent variables this messenger carries on a
+    /// hop — the paper's "cost of a hop() is essentially the cost of
+    /// moving the data stored in agent variables plus a small amount of
+    /// state data". The executor adds the fixed state overhead itself.
+    fn payload_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Display label used in traces and diagrams, e.g. `RowCarrier(3)`.
+    fn label(&self) -> String {
+        "messenger".to_string()
+    }
+}
+
+impl Messenger for Box<dyn Messenger> {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        (**self).step(ctx)
+    }
+    fn payload_bytes(&self) -> u64 {
+        (**self).payload_bytes()
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+/// Everything a messenger can see and do during one step, besides
+/// returning its next [`Effect`].
+pub struct MsgrCtx<'a> {
+    here: NodeId,
+    num_nodes: usize,
+    store: &'a mut NodeStore,
+    out: &'a mut StepOutputs,
+}
+
+/// Side effects accumulated during one step, consumed by the executor.
+#[derive(Default)]
+pub struct StepOutputs {
+    /// Messengers injected (spawned) locally during the step.
+    pub injections: Vec<Box<dyn Messenger>>,
+    /// Events signalled during the step.
+    pub signals: Vec<EventKey>,
+    /// Modeled floating-point work, in flops.
+    pub flops: u64,
+    /// Compute-rate multiplier (≥ 1) for the charged flops; 1.0 for
+    /// cache-friendly code, `CostModel::mpi_cache_factor` otherwise.
+    pub factor: f64,
+    /// Bytes of node/agent data the step touched (drives the paging model).
+    pub touched_bytes: u64,
+    /// Additional modeled seconds not captured by flops (I/O, fixed costs).
+    pub extra_seconds: f64,
+}
+
+impl StepOutputs {
+    /// Reset for reuse between steps.
+    pub fn clear(&mut self) {
+        self.injections.clear();
+        self.signals.clear();
+        self.flops = 0;
+        self.factor = 0.0;
+        self.touched_bytes = 0;
+        self.extra_seconds = 0.0;
+    }
+}
+
+impl<'a> MsgrCtx<'a> {
+    /// Construct a context (executor-side API).
+    pub fn new(
+        here: NodeId,
+        num_nodes: usize,
+        store: &'a mut NodeStore,
+        out: &'a mut StepOutputs,
+    ) -> Self {
+        MsgrCtx {
+            here,
+            num_nodes,
+            store,
+            out,
+        }
+    }
+
+    /// The PE this step is executing on.
+    pub fn here(&self) -> NodeId {
+        self.here
+    }
+
+    /// Number of PEs in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The node-variable store of the current PE.
+    pub fn store(&mut self) -> &mut NodeStore {
+        self.store
+    }
+
+    /// Read-only view of the current PE's store.
+    pub fn store_ref(&self) -> &NodeStore {
+        self.store
+    }
+
+    /// Spawn a messenger **on the current PE** (injection is local in
+    /// MESSENGERS; hop first to spawn elsewhere). The new messenger
+    /// becomes runnable when this step completes.
+    pub fn inject(&mut self, m: impl Messenger) {
+        self.out.injections.push(Box::new(m));
+    }
+
+    /// Signal a counting event, waking (at most) one waiter.
+    pub fn signal(&mut self, e: EventKey) {
+        self.out.signals.push(e);
+    }
+
+    /// Charge `flops` of cache-friendly compute to this step
+    /// (virtual-time executors only; wall-clock executors ignore charges
+    /// because the arithmetic itself is being measured).
+    pub fn charge_flops(&mut self, flops: u64) {
+        self.charge_flops_factor(flops, 1.0);
+    }
+
+    /// Charge compute with an explicit cache-behaviour factor (≥ 1).
+    pub fn charge_flops_factor(&mut self, flops: u64, factor: f64) {
+        self.out.flops += flops;
+        self.out.factor = self.out.factor.max(factor);
+    }
+
+    /// Declare that this step touched `bytes` of data; feeds the paging
+    /// model when the PE's resident set exceeds physical memory.
+    pub fn charge_touched(&mut self, bytes: u64) {
+        self.out.touched_bytes += bytes;
+    }
+
+    /// Charge fixed modeled time not derived from flops.
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.out.extra_seconds += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_sim::key::Key;
+
+    struct Nop;
+    impl Messenger for Nop {
+        fn step(&mut self, _ctx: &mut MsgrCtx<'_>) -> Effect {
+            Effect::Done
+        }
+    }
+
+    #[test]
+    fn ctx_accumulates_outputs() {
+        let mut store = NodeStore::new();
+        let mut out = StepOutputs::default();
+        let mut ctx = MsgrCtx::new(2, 4, &mut store, &mut out);
+        assert_eq!(ctx.here(), 2);
+        assert_eq!(ctx.num_nodes(), 4);
+        ctx.charge_flops(100);
+        ctx.charge_flops_factor(50, 1.04);
+        ctx.charge_touched(64);
+        ctx.charge_seconds(0.5);
+        ctx.signal(Key::plain("E"));
+        ctx.inject(Nop);
+        assert_eq!(out.flops, 150);
+        assert!((out.factor - 1.04).abs() < 1e-12);
+        assert_eq!(out.touched_bytes, 64);
+        assert_eq!(out.extra_seconds, 0.5);
+        assert_eq!(out.signals, vec![Key::plain("E")]);
+        assert_eq!(out.injections.len(), 1);
+
+        out.clear();
+        assert_eq!(out.flops, 0);
+        assert!(out.injections.is_empty());
+    }
+
+    #[test]
+    fn ctx_reaches_store() {
+        let mut store = NodeStore::new();
+        store.insert(Key::plain("x"), 5i32, 4);
+        let mut out = StepOutputs::default();
+        let mut ctx = MsgrCtx::new(0, 1, &mut store, &mut out);
+        *ctx.store().get_mut::<i32>(Key::plain("x")).unwrap() += 1;
+        assert_eq!(ctx.store_ref().get::<i32>(Key::plain("x")), Some(&6));
+    }
+
+    #[test]
+    fn default_payload_and_label() {
+        let n = Nop;
+        assert_eq!(n.payload_bytes(), 0);
+        assert_eq!(n.label(), "messenger");
+    }
+}

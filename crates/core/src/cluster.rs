@@ -1,0 +1,135 @@
+//! A cluster: one [`NodeStore`] per PE, plus the initial injections.
+
+use crate::agent::Messenger;
+use crate::error::RunError;
+use navp_sim::key::{EventKey, NodeId};
+use navp_sim::store::NodeStore;
+
+/// What [`Cluster::into_parts`] hands an executor: per-PE stores,
+/// time-zero injections, and pre-signalled events.
+pub type ClusterParts = (
+    Vec<NodeStore>,
+    Vec<(NodeId, Box<dyn Messenger>)>,
+    Vec<EventKey>,
+);
+
+/// The state handed to an executor: the per-PE node-variable stores and
+/// the messengers injected "at the command line" before the run starts.
+///
+/// The same `Cluster` type feeds both executors, so an experiment's data
+/// placement is written once and timed under either.
+pub struct Cluster {
+    stores: Vec<NodeStore>,
+    injections: Vec<(NodeId, Box<dyn Messenger>)>,
+    initial_events: Vec<EventKey>,
+}
+
+impl Cluster {
+    /// A cluster of `pes` empty PEs.
+    pub fn new(pes: usize) -> Result<Cluster, RunError> {
+        if pes == 0 {
+            return Err(RunError::NoPes);
+        }
+        Ok(Cluster {
+            stores: (0..pes).map(|_| NodeStore::new()).collect(),
+            injections: Vec::new(),
+            initial_events: Vec::new(),
+        })
+    }
+
+    /// Number of PEs.
+    pub fn pes(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The store of PE `pe`, for pre-run data placement.
+    ///
+    /// # Panics
+    /// Panics when `pe` is out of range.
+    pub fn store_mut(&mut self, pe: NodeId) -> &mut NodeStore {
+        &mut self.stores[pe]
+    }
+
+    /// Read access to the store of PE `pe`.
+    ///
+    /// # Panics
+    /// Panics when `pe` is out of range.
+    pub fn store(&self, pe: NodeId) -> &NodeStore {
+        &self.stores[pe]
+    }
+
+    /// Inject a messenger on PE `pe` at time zero, like spawning a
+    /// MESSENGERS thread from the command line. Injection order is the
+    /// time-zero scheduling order.
+    ///
+    /// # Panics
+    /// Panics when `pe` is out of range.
+    pub fn inject(&mut self, pe: NodeId, m: impl Messenger) {
+        assert!(pe < self.stores.len(), "injection PE out of range");
+        self.injections.push((pe, Box::new(m)));
+    }
+
+    /// Signal an event before the run starts — the paper's "an event
+    /// EC(i, j) is signaled on node(i, j) initially" (Fig. 12/14 setup).
+    /// May be called repeatedly to bank several counts.
+    pub fn signal_initial(&mut self, e: EventKey) {
+        self.initial_events.push(e);
+    }
+
+    /// Executor-side: decompose into stores, injections and pre-signaled
+    /// events.
+    pub fn into_parts(self) -> ClusterParts {
+        (self.stores, self.injections, self.initial_events)
+    }
+
+    /// Reassemble a cluster from post-run stores (results extraction).
+    pub fn from_stores(stores: Vec<NodeStore>) -> Cluster {
+        Cluster {
+            stores,
+            injections: Vec::new(),
+            initial_events: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Effect, MsgrCtx};
+    use navp_sim::key::Key;
+
+    struct Nop;
+    impl Messenger for Nop {
+        fn step(&mut self, _: &mut MsgrCtx<'_>) -> Effect {
+            Effect::Done
+        }
+    }
+
+    #[test]
+    fn build_and_place_data() {
+        let mut c = Cluster::new(3).unwrap();
+        assert_eq!(c.pes(), 3);
+        c.store_mut(1).insert(Key::plain("B"), 7u8, 1);
+        assert_eq!(c.store(1).get::<u8>(Key::plain("B")), Some(&7));
+        assert!(c.store(0).is_empty());
+        c.inject(2, Nop);
+        c.signal_initial(Key::at("E", 1));
+        let (stores, inj, evs) = c.into_parts();
+        assert_eq!(stores.len(), 3);
+        assert_eq!(inj.len(), 1);
+        assert_eq!(inj[0].0, 2);
+        assert_eq!(evs, vec![Key::at("E", 1)]);
+    }
+
+    #[test]
+    fn zero_pes_rejected() {
+        assert!(matches!(Cluster::new(0), Err(RunError::NoPes)));
+    }
+
+    #[test]
+    #[should_panic(expected = "injection PE out of range")]
+    fn inject_bounds_checked() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(1, Nop);
+    }
+}

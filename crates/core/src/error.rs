@@ -1,0 +1,82 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by the NavP executors.
+#[derive(Debug)]
+pub enum RunError {
+    /// A cluster must have at least one PE.
+    NoPes,
+    /// A messenger hopped to a PE outside the cluster.
+    BadHop {
+        /// Label of the offending messenger.
+        agent: String,
+        /// The invalid destination.
+        dst: usize,
+        /// Cluster size.
+        pes: usize,
+    },
+    /// Every remaining messenger is blocked on an event that nobody can
+    /// signal any more.
+    Deadlock {
+        /// `(label, event)` of each blocked messenger.
+        blocked: Vec<(String, String)>,
+    },
+    /// The multithreaded executor made no progress within its watchdog
+    /// timeout (a wall-clock analogue of [`RunError::Deadlock`]).
+    Stalled {
+        /// Messengers still alive when the watchdog fired.
+        live: usize,
+    },
+    /// A worker thread panicked while running a messenger.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NoPes => write!(f, "cluster must have at least one PE"),
+            RunError::BadHop { agent, dst, pes } => {
+                write!(f, "messenger {agent} hopped to PE {dst}, cluster has {pes}")
+            }
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} messenger(s) blocked forever:", blocked.len())?;
+                for (who, on) in blocked.iter().take(8) {
+                    write!(f, " [{who} waits {on}]")?;
+                }
+                if blocked.len() > 8 {
+                    write!(f, " …")?;
+                }
+                Ok(())
+            }
+            RunError::Stalled { live } => write!(
+                f,
+                "no progress within watchdog timeout; {live} messenger(s) still live (likely deadlock)"
+            ),
+            RunError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RunError::NoPes.to_string().contains("at least one"));
+        let e = RunError::BadHop {
+            agent: "RowCarrier(1)".into(),
+            dst: 9,
+            pes: 3,
+        };
+        assert!(e.to_string().contains("RowCarrier(1)"));
+        let e = RunError::Deadlock {
+            blocked: vec![("A".into(), "EP(0,0)".into())],
+        };
+        assert!(e.to_string().contains("EP(0,0)"));
+        assert!(RunError::Stalled { live: 2 }.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # Navigational Programming (NavP) runtime
+//!
+//! A Rust reproduction of the programming model of MESSENGERS, the system
+//! underlying *"Incremental Parallelization Using Navigational
+//! Programming: A Case Study"* (ICPP 2005).
+//!
+//! In NavP a distributed program is composed from **self-migrating
+//! computations**. A computation (a *messenger*, here [`Messenger`])
+//! executes on one PE at a time and navigates the cluster explicitly:
+//!
+//! * [`Effect::Hop`] moves the computation's locus to another PE. Its
+//!   **agent variables** — in this reproduction, simply the fields of the
+//!   struct implementing [`Messenger`] — travel with it; node-resident
+//!   data stays behind in **node variables** ([`NodeStore`]).
+//! * [`MsgrCtx::signal`] / [`Effect::WaitEvent`] synchronize messengers
+//!   through counting events, MESSENGERS' `signalEvent`/`waitEvent`.
+//! * [`MsgrCtx::inject`] spawns another messenger **on the current PE**
+//!   (all injection is local, as in MESSENGERS; a program that wants to
+//!   start work elsewhere hops there first — exactly what the paper's
+//!   spawner loops do).
+//!
+//! ## Writing a messenger
+//!
+//! MESSENGERS checkpoints a migrating thread's state automatically. Rust
+//! has no portable way to move a live stack between threads, so a
+//! messenger is written as an explicit state machine: [`Messenger::step`]
+//! runs the code *between* two navigational commands and returns the next
+//! command. The borrow checker then enforces MESSENGERS' discipline
+//! statically: node variables (`&mut` borrowed from the context only
+//! inside `step`) cannot leak across a hop, and agent variables (owned
+//! fields) move with the box. See [`script::Script`] for a closure-based
+//! shorthand used by tests and small examples.
+//!
+//! ## Executing
+//!
+//! Two interchangeable executors run the same messengers:
+//!
+//! The three transformations themselves (DSC, pipelining, phase
+//! shifting) are available as a reusable API in [`transform`] — the
+//! paper's future-work item made concrete.
+//!
+//! * [`SimExecutor`] — a deterministic discrete-event simulator over the
+//!   [`navp_sim`] virtual cluster. Work is charged through
+//!   [`MsgrCtx::charge_flops`] and friends; the result is a virtual-time
+//!   makespan plus a full [`navp_sim::Trace`]. This is what regenerates
+//!   the paper's tables at the original problem sizes.
+//! * [`ThreadExecutor`] — one OS thread per PE with real agent migration
+//!   over channels; measures wall-clock time on the host machine.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod cluster;
+pub mod error;
+pub mod script;
+pub mod sim_exec;
+pub mod thread_exec;
+pub mod transform;
+
+pub use agent::{Effect, Messenger, MsgrCtx};
+pub use cluster::Cluster;
+pub use error::RunError;
+pub use navp_sim::key::{EventKey, Key, NodeId, VarKey};
+pub use sim_exec::{SimExecutor, SimReport};
+pub use navp_sim::store::NodeStore;
+pub use thread_exec::{ThreadExecutor, WallReport};

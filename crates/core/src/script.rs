@@ -1,0 +1,170 @@
+//! Closure-based messengers for tests, examples and small programs.
+//!
+//! Production carriers (see `navp-mm`) implement [`Messenger`] as explicit
+//! structs, because their agent variables are meaningful data (a carried
+//! block row). For quick programs, [`Script`] builds a messenger from a
+//! chain of closures: each closure is one step — it runs, optionally uses
+//! the context, and returns the [`Effect`] that ends the step. When the
+//! chain is exhausted the messenger is `Done`.
+//!
+//! ```
+//! use navp::{Cluster, Effect, Key, SimExecutor};
+//! use navp::script::Script;
+//! use navp_sim::CostModel;
+//!
+//! let mut cluster = Cluster::new(2).unwrap();
+//! cluster.store_mut(1).insert(Key::plain("B"), 21.0f64, 8);
+//! cluster.inject(
+//!     0,
+//!     Script::new("doubler")
+//!         .then(|_| Effect::Hop(1)) // chase the data
+//!         .then(|ctx| {
+//!             let b = *ctx.store().get::<f64>(Key::plain("B")).unwrap();
+//!             ctx.store().insert(Key::plain("C"), 2.0 * b, 8);
+//!             Effect::Done
+//!         }),
+//! );
+//! let report = SimExecutor::new(CostModel::paper_cluster()).run(cluster).unwrap();
+//! assert_eq!(report.stores[1].get::<f64>(Key::plain("C")), Some(&42.0));
+//! ```
+
+use crate::agent::{Effect, Messenger, MsgrCtx};
+use std::collections::VecDeque;
+
+type StepFn = Box<dyn FnMut(&mut MsgrCtx<'_>) -> Effect + Send + 'static>;
+
+/// A messenger assembled from a sequence of step closures.
+pub struct Script {
+    name: &'static str,
+    payload: u64,
+    steps: VecDeque<StepFn>,
+}
+
+impl Script {
+    /// Start building a script with a display name.
+    pub fn new(name: &'static str) -> Script {
+        Script {
+            name,
+            payload: 0,
+            steps: VecDeque::new(),
+        }
+    }
+
+    /// Declare the agent-variable payload this script carries on hops.
+    pub fn with_payload(mut self, bytes: u64) -> Script {
+        self.payload = bytes;
+        self
+    }
+
+    /// Append one step. The closure's return value is the navigational
+    /// command ending that step; returning [`Effect::Done`] early skips
+    /// any remaining steps.
+    pub fn then(
+        mut self,
+        f: impl FnMut(&mut MsgrCtx<'_>) -> Effect + Send + 'static,
+    ) -> Script {
+        self.steps.push_back(Box::new(f));
+        self
+    }
+
+    /// Append `n` copies of a step pattern indexed by iteration — a
+    /// convenience for the paper's `do mj=0,N-1 { hop(...); compute }`
+    /// loops in tests.
+    pub fn then_each(
+        mut self,
+        n: usize,
+        mut f: impl FnMut(usize, &mut MsgrCtx<'_>) -> Effect + Send + Clone + 'static,
+    ) -> Script {
+        for i in 0..n {
+            let mut g = f.clone();
+            self.steps.push_back(Box::new(move |ctx| g(i, ctx)));
+            // keep `f` advancing for closures capturing state by value
+            let _ = &mut f;
+        }
+        self
+    }
+}
+
+impl Messenger for Script {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        match self.steps.pop_front() {
+            None => Effect::Done,
+            Some(mut f) => {
+                let eff = f(ctx);
+                if eff == Effect::Done {
+                    self.steps.clear();
+                }
+                eff
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.payload
+    }
+
+    fn label(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::StepOutputs;
+    use navp_sim::store::NodeStore;
+
+    fn drive(mut s: Script) -> Vec<Effect> {
+        let mut store = NodeStore::new();
+        let mut out = StepOutputs::default();
+        let mut effs = Vec::new();
+        loop {
+            let mut ctx = MsgrCtx::new(0, 1, &mut store, &mut out);
+            let e = s.step(&mut ctx);
+            effs.push(e);
+            if e == Effect::Done {
+                return effs;
+            }
+        }
+    }
+
+    #[test]
+    fn steps_run_in_order_then_done() {
+        let s = Script::new("t")
+            .then(|_| Effect::Hop(0))
+            .then(|_| Effect::Hop(0));
+        assert_eq!(
+            drive(s),
+            vec![Effect::Hop(0), Effect::Hop(0), Effect::Done]
+        );
+    }
+
+    #[test]
+    fn early_done_clears_remaining_steps() {
+        let s = Script::new("t")
+            .then(|_| Effect::Done)
+            .then(|_| panic!("must never run"));
+        assert_eq!(drive(s), vec![Effect::Done]);
+    }
+
+    #[test]
+    fn then_each_indexes() {
+        let s = Script::new("t").then_each(3, |i, _ctx| Effect::Hop(i));
+        assert_eq!(
+            drive(s),
+            vec![
+                Effect::Hop(0),
+                Effect::Hop(1),
+                Effect::Hop(2),
+                Effect::Done
+            ]
+        );
+    }
+
+    #[test]
+    fn payload_and_label() {
+        let s = Script::new("carrier").with_payload(1024);
+        assert_eq!(s.payload_bytes(), 1024);
+        assert_eq!(s.label(), "carrier");
+    }
+}

@@ -1,0 +1,552 @@
+//! The deterministic virtual-time executor.
+//!
+//! [`SimExecutor`] runs a [`Cluster`] of messengers under the
+//! [`navp_sim`] machine model as a discrete-event simulation:
+//!
+//! * each PE's CPU runs one messenger step at a time (steps queue behind
+//!   each other, so compute contention is modeled);
+//! * a hop serializes on the sender's NIC, then takes
+//!   `latency + payload/bandwidth` to arrive — this is the paper's
+//!   "cost of a hop() is the cost of moving the agent variables plus a
+//!   small amount of state data";
+//! * paging time is charged when a PE's resident node variables (plus
+//!   visiting agent payloads) exceed physical memory;
+//! * events with equal timestamps fire in scheduling order, so a given
+//!   configuration replays **bit-identically** — the property the
+//!   determinism tests pin down with trace fingerprints.
+//!
+//! The result is a [`SimReport`]: virtual makespan, the post-run stores
+//! (to extract the product matrix), and optionally a full [`Trace`].
+
+use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
+use crate::cluster::Cluster;
+use crate::error::RunError;
+use navp_sim::key::{EventKey, NodeId};
+use navp_sim::store::NodeStore;
+use navp_sim::memory::MemoryModel;
+use navp_sim::trace::{Trace, TraceEvent, TraceKind};
+use navp_sim::{CostModel, EventQueue, PeResources, VTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Fixed per-hop state overhead in bytes (thread control block, program
+/// counter, daemon bookkeeping) — the paper's "small amount of state data".
+pub const HOP_STATE_BYTES: u64 = 256;
+
+struct AgentSlot {
+    msgr: Option<Box<dyn Messenger>>,
+    pe: NodeId,
+    label: String,
+}
+
+#[derive(Default)]
+struct EventState {
+    count: u64,
+    waiters: VecDeque<usize>,
+}
+
+/// Result of a virtual-time run.
+pub struct SimReport {
+    /// Virtual time at which the last messenger finished.
+    pub makespan: VTime,
+    /// Post-run node-variable stores (index = PE).
+    pub stores: Vec<NodeStore>,
+    /// Execution trace (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// Total messenger steps executed.
+    pub steps: u64,
+    /// Total inter-PE hops taken.
+    pub hops: u64,
+    /// Total bytes carried across PEs by hops.
+    pub hop_bytes: u64,
+}
+
+impl std::fmt::Debug for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimReport")
+            .field("makespan", &self.makespan)
+            .field("steps", &self.steps)
+            .field("hops", &self.hops)
+            .field("hop_bytes", &self.hop_bytes)
+            .field("pes", &self.stores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Deterministic discrete-event executor for NavP programs.
+pub struct SimExecutor {
+    cost: CostModel,
+    tracing: bool,
+}
+
+impl SimExecutor {
+    /// An executor over the given machine model, tracing disabled.
+    pub fn new(cost: CostModel) -> SimExecutor {
+        SimExecutor {
+            cost,
+            tracing: false,
+        }
+    }
+
+    /// Enable full tracing (needed for space-time diagrams; costs memory
+    /// proportional to the number of steps).
+    pub fn with_trace(mut self) -> SimExecutor {
+        self.tracing = true;
+        self
+    }
+
+    /// Run the cluster to completion.
+    ///
+    /// Returns [`RunError::Deadlock`] when messengers remain but no event
+    /// can ever fire, and [`RunError::BadHop`] on a hop outside the
+    /// cluster.
+    pub fn run(&self, cluster: Cluster) -> Result<SimReport, RunError> {
+        let (mut stores, injections, initial_events) = cluster.into_parts();
+        let num_nodes = stores.len();
+        let mut pes: Vec<PeResources> = (0..num_nodes).map(|_| PeResources::new()).collect();
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut agents: Vec<AgentSlot> = Vec::with_capacity(injections.len());
+        let mut events: HashMap<EventKey, EventState> = HashMap::new();
+        let mut trace = if self.tracing {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+
+        for key in initial_events {
+            events.entry(key).or_default().count += 1;
+        }
+
+        let mut live = 0usize;
+        for (pe, msgr) in injections {
+            let label = msgr.label();
+            agents.push(AgentSlot {
+                msgr: Some(msgr),
+                pe,
+                label,
+            });
+            queue.schedule(VTime::ZERO, agents.len() - 1);
+            live += 1;
+        }
+
+        let mut out = StepOutputs::default();
+        let mut makespan = VTime::ZERO;
+        let (mut steps, mut hops, mut hop_bytes) = (0u64, 0u64, 0u64);
+
+        while let Some((t, aid)) = queue.pop() {
+            let mut msgr = match agents[aid].msgr.take() {
+                Some(m) => m,
+                // A stale wake-up for an agent that already finished
+                // cannot happen (Done agents are never rescheduled), but
+                // be defensive.
+                None => continue,
+            };
+            let pe = agents[aid].pe;
+
+            // The MESSENGERS daemon is non-preemptive: a messenger runs
+            // until it leaves the PE, blocks on an unsignalled event, or
+            // finishes. Local hops and waits on already-banked events
+            // therefore continue inline (`t` advances to the step's end),
+            // exactly like the threaded executor's daemon loop.
+            let mut t = t;
+            loop {
+            out.clear();
+            let effect = {
+                let mut ctx = MsgrCtx::new(pe, num_nodes, &mut stores[pe], &mut out);
+                msgr.step(&mut ctx)
+            };
+            steps += 1;
+
+            // Duration: modeled compute + daemon overhead + paging.
+            let mut dur = self
+                .cost
+                .compute_time(out.flops, out.factor.max(1.0))
+                + self.cost.overhead()
+                + VTime::from_secs_f64(out.extra_seconds);
+            if out.touched_bytes > 0 {
+                let mut mem = MemoryModel::new();
+                mem.grow(stores[pe].total_bytes() + msgr.payload_bytes());
+                let fault = mem.fault_time(out.touched_bytes, &self.cost);
+                if fault > VTime::ZERO {
+                    dur += fault;
+                    trace.push(TraceEvent {
+                        start: t,
+                        end: t + fault,
+                        actor: aid as u64,
+                        label: agents[aid].label.clone(),
+                        kind: TraceKind::Fault { pe },
+                    });
+                }
+            }
+            let (start, end) = pes[pe].run(t, dur);
+            makespan = makespan.max(end);
+            trace.push(TraceEvent {
+                start,
+                end,
+                actor: aid as u64,
+                label: agents[aid].label.clone(),
+                kind: TraceKind::Exec { pe },
+            });
+
+            // Local injections become runnable when this step completes.
+            for inj in out.injections.drain(..) {
+                let label = inj.label();
+                agents.push(AgentSlot {
+                    msgr: Some(inj),
+                    pe,
+                    label,
+                });
+                live += 1;
+                queue.schedule(end, agents.len() - 1);
+            }
+
+            // Signals: wake one waiter each, or bank the count.
+            for key in out.signals.drain(..) {
+                trace.push(TraceEvent {
+                    start: end,
+                    end,
+                    actor: aid as u64,
+                    label: agents[aid].label.clone(),
+                    kind: TraceKind::Signal { pe },
+                });
+                let st = events.entry(key).or_default();
+                if let Some(waiter) = st.waiters.pop_front() {
+                    queue.schedule(end, waiter);
+                } else {
+                    st.count += 1;
+                }
+            }
+
+            match effect {
+                Effect::Hop(dst) => {
+                    if dst >= num_nodes {
+                        return Err(RunError::BadHop {
+                            agent: agents[aid].label.clone(),
+                            dst,
+                            pes: num_nodes,
+                        });
+                    }
+                    if dst == pe {
+                        t = end;
+                        continue;
+                    } else {
+                        let bytes = msgr.payload_bytes() + HOP_STATE_BYTES;
+                        let (_departed, arrival) = pes[pe].send(end, bytes, &self.cost);
+                        trace.push(TraceEvent {
+                            start: end,
+                            end: arrival,
+                            actor: aid as u64,
+                            label: agents[aid].label.clone(),
+                            kind: TraceKind::Transfer {
+                                from: pe,
+                                to: dst,
+                                bytes,
+                            },
+                        });
+                        hops += 1;
+                        hop_bytes += bytes;
+                        agents[aid].pe = dst;
+                        agents[aid].msgr = Some(msgr);
+                        makespan = makespan.max(arrival);
+                        queue.schedule(arrival, aid);
+                        break;
+                    }
+                }
+                Effect::WaitEvent(key) => {
+                    let st = events.entry(key).or_default();
+                    if st.count > 0 {
+                        st.count -= 1;
+                        t = end;
+                        continue;
+                    } else {
+                        trace.push(TraceEvent {
+                            start: end,
+                            end,
+                            actor: aid as u64,
+                            label: agents[aid].label.clone(),
+                            kind: TraceKind::Block { pe },
+                        });
+                        st.waiters.push_back(aid);
+                        agents[aid].msgr = Some(msgr);
+                        break;
+                    }
+                }
+                Effect::Done => {
+                    live -= 1;
+                    // msgr dropped here.
+                    break;
+                }
+            }
+            } // inner daemon loop
+        }
+
+        if live > 0 {
+            let mut blocked = Vec::new();
+            for (key, st) in &events {
+                for &aid in &st.waiters {
+                    if agents[aid].msgr.is_some() {
+                        blocked.push((agents[aid].label.clone(), key.to_string()));
+                    }
+                }
+            }
+            blocked.sort();
+            return Err(RunError::Deadlock { blocked });
+        }
+
+        Ok(SimReport {
+            makespan,
+            stores,
+            trace,
+            steps,
+            hops,
+            hop_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_sim::key::Key;
+    use crate::script::Script;
+
+    fn cost() -> CostModel {
+        CostModel::paper_cluster()
+    }
+
+    #[test]
+    fn single_agent_compute_time() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(
+            0,
+            Script::new("solo").then(|ctx| {
+                ctx.charge_flops(111_000_000); // 1.0 s at paper rate
+                Effect::Done
+            }),
+        );
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        assert!((rep.makespan.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(rep.steps, 1);
+        assert_eq!(rep.hops, 0);
+    }
+
+    #[test]
+    fn hop_charges_transfer_and_moves_locus() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(
+            0,
+            Script::new("hopper")
+                .with_payload(11_500_000) // 1 s of serialization
+                .then(|_| Effect::Hop(1))
+                .then(|ctx| {
+                    assert_eq!(ctx.here(), 1);
+                    ctx.store().insert(Key::plain("arrived"), true, 1);
+                    Effect::Done
+                }),
+        );
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        // makespan = serialize(payload + state) + latency
+        let expect = (11_500_000.0 + HOP_STATE_BYTES as f64) / 11.5e6 + 0.8e-3;
+        assert!((rep.makespan.as_secs_f64() - expect).abs() < 1e-6);
+        assert_eq!(rep.hops, 1);
+        assert_eq!(rep.stores[1].get::<bool>(Key::plain("arrived")), Some(&true));
+    }
+
+    #[test]
+    fn local_hop_is_free_of_network_cost() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(
+            0,
+            Script::new("stay")
+                .with_payload(1 << 30)
+                .then(|_| Effect::Hop(0))
+                .then(|_| Effect::Done),
+        );
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        assert_eq!(rep.makespan, VTime::ZERO);
+        assert_eq!(rep.hops, 0);
+    }
+
+    #[test]
+    fn events_synchronize_producer_consumer() {
+        let mut c = Cluster::new(1).unwrap();
+        // Consumer waits first, producer signals after 1 s of work.
+        c.inject(
+            0,
+            Script::new("consumer")
+                .then(|_| Effect::WaitEvent(Key::plain("go")))
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("done"), true, 1);
+                    Effect::Done
+                }),
+        );
+        c.inject(
+            0,
+            Script::new("producer").then(|ctx| {
+                ctx.charge_seconds(1.0);
+                ctx.signal(Key::plain("go"));
+                Effect::Done
+            }),
+        );
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        assert!((rep.makespan.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(rep.stores[0].get::<bool>(Key::plain("done")), Some(&true));
+    }
+
+    #[test]
+    fn event_signals_bank_like_semaphores() {
+        let mut c = Cluster::new(1).unwrap();
+        // Producer signals twice *before* the consumers wait.
+        c.inject(
+            0,
+            Script::new("producer").then(|ctx| {
+                ctx.signal(Key::plain("tok"));
+                ctx.signal(Key::plain("tok"));
+                Effect::Done
+            }),
+        );
+        for i in 0..2 {
+            c.inject(
+                0,
+                Script::new("consumer")
+                    .then(|_| Effect::WaitEvent(Key::plain("tok")))
+                    .then(move |ctx| {
+                        ctx.store().insert(Key::at("got", i), true, 1);
+                        Effect::Done
+                    }),
+            );
+        }
+        let rep = SimExecutor::new(cost()).run(c).unwrap();
+        assert_eq!(rep.stores[0].get::<bool>(Key::at("got", 0)), Some(&true));
+        assert_eq!(rep.stores[0].get::<bool>(Key::at("got", 1)), Some(&true));
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_blockers() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(
+            0,
+            Script::new("stuck").then(|_| Effect::WaitEvent(Key::plain("never"))),
+        );
+        let err = SimExecutor::new(cost()).run(c).unwrap_err();
+        match err {
+            RunError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].0.contains("stuck"));
+                assert!(blocked[0].1.contains("never"));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_hop_is_reported() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, Script::new("wild").then(|_| Effect::Hop(7)));
+        assert!(matches!(
+            SimExecutor::new(cost()).run(c),
+            Err(RunError::BadHop { dst: 7, pes: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn injection_spawns_locally() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(
+            0,
+            Script::new("spawner").then(|ctx| {
+                let here = ctx.here();
+                ctx.inject(Script::new("child").then(move |cctx| {
+                    assert_eq!(cctx.here(), here, "injection must be local");
+                    cctx.store().insert(Key::plain("child-ran"), true, 1);
+                    Effect::Done
+                }));
+                Effect::Done
+            }),
+        );
+        let rep = SimExecutor::new(cost()).run(c).unwrap();
+        assert_eq!(
+            rep.stores[0].get::<bool>(Key::plain("child-ran")),
+            Some(&true)
+        );
+        assert!(rep.stores[1].is_empty());
+    }
+
+    #[test]
+    fn pipelined_agents_overlap_in_virtual_time() {
+        // Two agents, each: 1 s work on PE0, hop, 1 s work on PE1.
+        // Pipelined makespan must be ~3 s, not 4 s.
+        let mut c = Cluster::new(2).unwrap();
+        for i in 0..2 {
+            c.inject(
+                0,
+                Script::new(if i == 0 { "first" } else { "second" })
+                    .then(|ctx| {
+                        ctx.charge_seconds(1.0);
+                        Effect::Hop(1)
+                    })
+                    .then(|ctx| {
+                        ctx.charge_seconds(1.0);
+                        Effect::Done
+                    }),
+            );
+        }
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        m.nic_latency = 0.0;
+        m.nic_bandwidth = f64::INFINITY;
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        assert!((rep.makespan.as_secs_f64() - 3.0).abs() < 1e-9, "{}", rep.makespan);
+    }
+
+    #[test]
+    fn deterministic_fingerprints() {
+        let build = || {
+            let mut c = Cluster::new(3).unwrap();
+            for i in 0..5usize {
+                c.inject(
+                    i % 3,
+                    Script::new("w")
+                        .then(move |ctx| {
+                            ctx.charge_flops(1000 * (i as u64 + 1));
+                            Effect::Hop((i + 1) % 3)
+                        })
+                        .then(|_| Effect::Done),
+                );
+            }
+            c
+        };
+        let r1 = SimExecutor::new(cost()).with_trace().run(build()).unwrap();
+        let r2 = SimExecutor::new(cost()).with_trace().run(build()).unwrap();
+        assert_eq!(r1.trace.fingerprint(), r2.trace.fingerprint());
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn paging_charged_when_overloaded() {
+        let mut m = cost();
+        m.daemon_overhead = 0.0;
+        m.mem_capacity = 1000;
+        m.fault_bandwidth = 1e3; // 1 KB/s: faults are very visible
+        let mut c = Cluster::new(1).unwrap();
+        c.store_mut(0).insert(Key::plain("big"), (), 8000); // 8x overload
+        c.inject(
+            0,
+            Script::new("toucher").then(|ctx| {
+                ctx.charge_touched(1000);
+                Effect::Done
+            }),
+        );
+        let rep = SimExecutor::new(m).run(c).unwrap();
+        // miss fraction = 1 - 3/8 = 0.625; 625 bytes at 1 KB/s = 0.625 s
+        assert!((rep.makespan.as_secs_f64() - 0.625).abs() < 1e-6);
+    }
+}

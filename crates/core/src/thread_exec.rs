@@ -1,0 +1,483 @@
+//! The wall-clock executor: one OS thread per PE.
+//!
+//! [`ThreadExecutor`] is the MESSENGERS *daemon* reproduced with modern
+//! threads: each PE runs a daemon loop that pops runnable messengers,
+//! steps them until they block or leave, and forwards hopping messengers
+//! to the destination daemon over a channel. The box holding the
+//! messenger's agent variables is what actually moves — code never does,
+//! exactly as in the paper ("although the state of the computation is
+//! moved on each hop, the code is not moved").
+//!
+//! This executor does real work in real time (the arithmetic inside each
+//! step is what is being measured), so `charge_*` calls are ignored. Use
+//! it for criterion benchmarks and to validate on live hardware the
+//! orderings the virtual-time executor predicts.
+//!
+//! A watchdog converts silent deadlocks (every messenger parked on an
+//! event nobody will signal) into [`RunError::Stalled`].
+
+use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
+use crate::cluster::Cluster;
+use crate::error::RunError;
+use navp_sim::key::{EventKey, NodeId};
+use navp_sim::store::NodeStore;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+enum DaemonMsg {
+    Agent(Box<dyn Messenger>),
+    Shutdown,
+}
+
+#[derive(Default)]
+struct EventState {
+    count: u64,
+    waiters: VecDeque<(Box<dyn Messenger>, NodeId)>,
+}
+
+struct Shared {
+    chans: Vec<Sender<DaemonMsg>>,
+    live: AtomicUsize,
+    progress: AtomicU64,
+    steps: AtomicU64,
+    hops: AtomicU64,
+    events: Mutex<HashMap<EventKey, EventState>>,
+    failure: Mutex<Option<RunError>>,
+}
+
+impl Shared {
+    fn shutdown_all(&self) {
+        for ch in &self.chans {
+            // Ignore send failures: a daemon that already exited is fine.
+            let _ = ch.send(DaemonMsg::Shutdown);
+        }
+    }
+
+    fn fail(&self, err: RunError) {
+        let mut f = self.failure.lock();
+        if f.is_none() {
+            *f = Some(err);
+        }
+        drop(f);
+        self.shutdown_all();
+    }
+
+    fn signal(&self, key: EventKey) {
+        let woken = {
+            let mut ev = self.events.lock();
+            let st = ev.entry(key).or_default();
+            match st.waiters.pop_front() {
+                Some(w) => Some(w),
+                None => {
+                    st.count += 1;
+                    None
+                }
+            }
+        };
+        if let Some((msgr, pe)) = woken {
+            self.progress.fetch_add(1, Ordering::Relaxed);
+            let _ = self.chans[pe].send(DaemonMsg::Agent(msgr));
+        }
+    }
+}
+
+/// Result of a wall-clock run.
+pub struct WallReport {
+    /// Elapsed wall-clock time of the run (excluding setup/teardown).
+    pub wall: Duration,
+    /// Post-run node-variable stores (index = PE).
+    pub stores: Vec<NodeStore>,
+    /// Total messenger steps executed.
+    pub steps: u64,
+    /// Total inter-PE hops taken.
+    pub hops: u64,
+}
+
+impl std::fmt::Debug for WallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WallReport")
+            .field("wall", &self.wall)
+            .field("steps", &self.steps)
+            .field("hops", &self.hops)
+            .field("pes", &self.stores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Multithreaded executor: one daemon thread per PE, real migration over
+/// channels, wall-clock timing.
+pub struct ThreadExecutor {
+    watchdog: Duration,
+}
+
+impl Default for ThreadExecutor {
+    fn default() -> Self {
+        ThreadExecutor::new()
+    }
+}
+
+impl ThreadExecutor {
+    /// Executor with the default 10 s no-progress watchdog.
+    pub fn new() -> ThreadExecutor {
+        ThreadExecutor {
+            watchdog: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the no-progress watchdog (tests of deadlocking programs
+    /// want this short).
+    pub fn with_watchdog(mut self, watchdog: Duration) -> ThreadExecutor {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Run the cluster to completion on real threads.
+    pub fn run(&self, cluster: Cluster) -> Result<WallReport, RunError> {
+        let (stores, injections, initial_events) = cluster.into_parts();
+        let pes = stores.len();
+        if injections.is_empty() {
+            return Ok(WallReport {
+                wall: Duration::ZERO,
+                stores,
+                steps: 0,
+                hops: 0,
+            });
+        }
+
+        let mut senders = Vec::with_capacity(pes);
+        let mut receivers: Vec<Receiver<DaemonMsg>> = Vec::with_capacity(pes);
+        for _ in 0..pes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Shared {
+            chans: senders,
+            live: AtomicUsize::new(injections.len()),
+            progress: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            hops: AtomicU64::new(0),
+            events: Mutex::new(HashMap::new()),
+            failure: Mutex::new(None),
+        };
+
+        {
+            let mut ev = shared.events.lock();
+            for key in initial_events {
+                ev.entry(key).or_default().count += 1;
+            }
+        }
+        // Queue the time-zero injections before any daemon starts.
+        for (pe, msgr) in injections {
+            let _ = shared.chans[pe].send(DaemonMsg::Agent(msgr));
+        }
+
+        let start = Instant::now();
+        let mut joined_stores: Vec<Option<NodeStore>> = (0..pes).map(|_| None).collect();
+        let mut panic_msg: Option<String> = None;
+
+        std::thread::scope(|s| {
+            let shared = &shared;
+            let handles: Vec<_> = stores
+                .into_iter()
+                .zip(receivers)
+                .enumerate()
+                .map(|(pe, (store, rx))| {
+                    s.spawn(move || daemon(pe, pes, store, rx, shared))
+                })
+                .collect();
+
+            // Watchdog: abort when no step/signal happens for `watchdog`.
+            let tick = Duration::from_millis(20).min(self.watchdog);
+            let mut last = shared.progress.load(Ordering::Relaxed);
+            let mut stagnant = Duration::ZERO;
+            loop {
+                if shared.live.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                if shared.failure.lock().is_some() {
+                    break;
+                }
+                std::thread::sleep(tick);
+                let now = shared.progress.load(Ordering::Relaxed);
+                if now == last {
+                    stagnant += tick;
+                    if stagnant >= self.watchdog {
+                        shared.fail(RunError::Stalled {
+                            live: shared.live.load(Ordering::SeqCst),
+                        });
+                        break;
+                    }
+                } else {
+                    last = now;
+                    stagnant = Duration::ZERO;
+                }
+            }
+
+            for (pe, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(store) => joined_stores[pe] = Some(store),
+                    Err(p) => {
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".to_string());
+                        panic_msg = Some(msg);
+                    }
+                }
+            }
+        });
+        let wall = start.elapsed();
+
+        if let Some(msg) = panic_msg {
+            return Err(RunError::WorkerPanic(msg));
+        }
+        if let Some(err) = shared.failure.lock().take() {
+            return Err(err);
+        }
+        Ok(WallReport {
+            wall,
+            stores: joined_stores
+                .into_iter()
+                .map(|s| s.expect("all daemons joined"))
+                .collect(),
+            steps: shared.steps.load(Ordering::Relaxed),
+            hops: shared.hops.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The daemon loop of one PE. Owns the PE's node-variable store for the
+/// duration of the run and returns it when the PE shuts down.
+fn daemon(
+    pe: NodeId,
+    pes: usize,
+    mut store: NodeStore,
+    rx: Receiver<DaemonMsg>,
+    shared: &Shared,
+) -> NodeStore {
+    // Locally injected messengers run before we poll the channel again —
+    // MESSENGERS' local scheduling queue.
+    let mut local: VecDeque<Box<dyn Messenger>> = VecDeque::new();
+    let mut out = StepOutputs::default();
+    loop {
+        let msgr = if let Some(m) = local.pop_front() {
+            m
+        } else {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(DaemonMsg::Agent(m)) => m,
+                Ok(DaemonMsg::Shutdown) => break,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        run_messenger(pe, pes, msgr, &mut store, &mut local, &mut out, shared);
+    }
+    store
+}
+
+/// Step one messenger until it leaves this PE (hop), parks (wait), or
+/// finishes.
+fn run_messenger(
+    pe: NodeId,
+    pes: usize,
+    mut msgr: Box<dyn Messenger>,
+    store: &mut NodeStore,
+    local: &mut VecDeque<Box<dyn Messenger>>,
+    out: &mut StepOutputs,
+    shared: &Shared,
+) {
+    loop {
+        out.clear();
+        let effect = {
+            let mut ctx = MsgrCtx::new(pe, pes, store, out);
+            msgr.step(&mut ctx)
+        };
+        shared.steps.fetch_add(1, Ordering::Relaxed);
+        shared.progress.fetch_add(1, Ordering::Relaxed);
+
+        for inj in out.injections.drain(..) {
+            shared.live.fetch_add(1, Ordering::SeqCst);
+            local.push_back(inj);
+        }
+        for key in out.signals.drain(..) {
+            shared.signal(key);
+        }
+
+        match effect {
+            Effect::Hop(dst) if dst == pe => continue,
+            Effect::Hop(dst) => {
+                if dst >= pes {
+                    shared.fail(RunError::BadHop {
+                        agent: msgr.label(),
+                        dst,
+                        pes,
+                    });
+                    return;
+                }
+                shared.hops.fetch_add(1, Ordering::Relaxed);
+                let _ = shared.chans[dst].send(DaemonMsg::Agent(msgr));
+                return;
+            }
+            Effect::WaitEvent(key) => {
+                let mut ev = shared.events.lock();
+                let st = ev.entry(key).or_default();
+                if st.count > 0 {
+                    st.count -= 1;
+                    drop(ev);
+                    continue;
+                }
+                st.waiters.push_back((msgr, pe));
+                return;
+            }
+            Effect::Done => {
+                if shared.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    shared.shutdown_all();
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_sim::key::Key;
+    use crate::script::Script;
+
+    #[test]
+    fn simple_hop_and_write() {
+        let mut c = Cluster::new(3).unwrap();
+        c.store_mut(2).insert(Key::plain("B"), 20.0f64, 8);
+        c.inject(
+            0,
+            Script::new("worker")
+                .then(|_| Effect::Hop(2))
+                .then(|ctx| {
+                    let b = *ctx.store().get::<f64>(Key::plain("B")).unwrap();
+                    ctx.store().insert(Key::plain("C"), b + 2.0, 8);
+                    Effect::Done
+                }),
+        );
+        let rep = ThreadExecutor::new().run(c).unwrap();
+        assert_eq!(rep.stores[2].get::<f64>(Key::plain("C")), Some(&22.0));
+        assert_eq!(rep.hops, 1);
+        assert!(rep.steps >= 2);
+    }
+
+    #[test]
+    fn empty_cluster_returns_immediately() {
+        let c = Cluster::new(2).unwrap();
+        let rep = ThreadExecutor::new().run(c).unwrap();
+        assert_eq!(rep.steps, 0);
+    }
+
+    #[test]
+    fn events_across_pes() {
+        let mut c = Cluster::new(2).unwrap();
+        // Consumer on PE1 waits; producer hops to PE1 and signals there.
+        c.inject(
+            1,
+            Script::new("consumer")
+                .then(|_| Effect::WaitEvent(Key::plain("ready")))
+                .then(|ctx| {
+                    assert!(ctx.store_ref().contains(Key::plain("data")));
+                    ctx.store().insert(Key::plain("ok"), true, 1);
+                    Effect::Done
+                }),
+        );
+        c.inject(
+            0,
+            Script::new("producer")
+                .then(|_| Effect::Hop(1))
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("data"), 1u8, 1);
+                    ctx.signal(Key::plain("ready"));
+                    Effect::Done
+                }),
+        );
+        let rep = ThreadExecutor::new().run(c).unwrap();
+        assert_eq!(rep.stores[1].get::<bool>(Key::plain("ok")), Some(&true));
+    }
+
+    #[test]
+    fn deadlock_hits_watchdog() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(
+            0,
+            Script::new("stuck").then(|_| Effect::WaitEvent(Key::plain("never"))),
+        );
+        let err = ThreadExecutor::new()
+            .with_watchdog(Duration::from_millis(200))
+            .run(c)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Stalled { live: 1 }));
+    }
+
+    #[test]
+    fn bad_hop_reported() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(0, Script::new("wild").then(|_| Effect::Hop(5)));
+        assert!(matches!(
+            ThreadExecutor::new().run(c),
+            Err(RunError::BadHop { dst: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn worker_panic_reported() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(0, Script::new("boom").then(|_| panic!("kapow")));
+        match ThreadExecutor::new()
+            .with_watchdog(Duration::from_millis(500))
+            .run(c)
+        {
+            Err(RunError::WorkerPanic(msg)) => assert!(msg.contains("kapow")),
+            other => panic!("expected panic error, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn injection_fanout_counts() {
+        // A spawner injecting 10 children, each hopping once then done.
+        let mut c = Cluster::new(4).unwrap();
+        c.inject(
+            0,
+            Script::new("spawner").then(|ctx| {
+                for i in 0..10usize {
+                    ctx.inject(
+                        Script::new("child")
+                            .then(move |_| Effect::Hop(i % 4))
+                            .then(move |cctx| {
+                                cctx.store().insert(Key::at("mark", i), i, 8);
+                                Effect::Done
+                            }),
+                    );
+                }
+                Effect::Done
+            }),
+        );
+        let rep = ThreadExecutor::new().run(c).unwrap();
+        let total: usize = rep.stores.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn many_agents_many_hops_terminate() {
+        let mut c = Cluster::new(4).unwrap();
+        for a in 0..32usize {
+            c.inject(
+                a % 4,
+                Script::new("tourist").then_each(16, move |k, _| Effect::Hop((a + k) % 4)),
+            );
+        }
+        let rep = ThreadExecutor::new().run(c).unwrap();
+        // 16 hop-steps per agent; some are local (free) but all counted as steps.
+        assert_eq!(rep.steps, 32 * 17);
+    }
+}

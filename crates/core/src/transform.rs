@@ -1,0 +1,282 @@
+//! The three NavP transformations as a reusable API — the paper's
+//! future-work item ("the NavP transformations are at least partially
+//! automatable. Building tools to automate them is part of our future
+//! work"), realized as library functions.
+//!
+//! The starting point is a sequential computation rewritten as an
+//! **itinerary**: an ordered list of [`WorkItem`]s, each naming the PE
+//! whose node variables it touches. From there:
+//!
+//! * [`Itinerary::into_messenger`] is the **DSC Transformation** — the
+//!   hops are inserted mechanically between work items (consecutive
+//!   items on one PE run in one daemon turn, like any messenger);
+//! * [`pipeline`] is the **Pipelining Transformation** — a list of
+//!   independent itineraries becomes a list of carriers injected in
+//!   order at their entry PEs, overlapping exactly as the paper's
+//!   Figure 1(c);
+//! * [`Itinerary::phase_shift`] is the **Phase-shifting
+//!   Transformation** — rotate an itinerary so it enters the pipeline
+//!   at a different point (legal whenever the items commute, as the
+//!   caller asserts by calling it; the matrix case study's k-sums are
+//!   the canonical example).
+//!
+//! The case-study carriers in `navp-mm` are written as bespoke state
+//! machines (their agent variables are meaningful data), but
+//! `examples/transformations.rs` walks a complete sequential → DSC →
+//! pipelined → phase-shifted derivation of a different computation
+//! using only this module.
+
+use crate::agent::{Effect, Messenger, MsgrCtx};
+use navp_sim::key::NodeId;
+
+/// One unit of work bound to the PE holding its data.
+pub struct WorkItem {
+    /// PE whose node variables the closure accesses.
+    pub pe: NodeId,
+    /// The work; runs with the context of `pe`.
+    pub run: Box<dyn FnMut(&mut MsgrCtx<'_>) + Send>,
+}
+
+impl WorkItem {
+    /// Convenience constructor.
+    pub fn new(pe: NodeId, run: impl FnMut(&mut MsgrCtx<'_>) + Send + 'static) -> WorkItem {
+        WorkItem {
+            pe,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// An ordered sequence of [`WorkItem`]s — a sequential program whose
+/// data happens to be distributed.
+pub struct Itinerary {
+    name: String,
+    payload: u64,
+    items: Vec<WorkItem>,
+}
+
+impl Itinerary {
+    /// Start an empty itinerary.
+    pub fn new(name: impl Into<String>) -> Itinerary {
+        Itinerary {
+            name: name.into(),
+            payload: 0,
+            items: Vec::new(),
+        }
+    }
+
+    /// Declare the agent-variable bytes the resulting carrier hauls.
+    pub fn with_payload(mut self, bytes: u64) -> Itinerary {
+        self.payload = bytes;
+        self
+    }
+
+    /// Append a work item.
+    pub fn then_at(
+        mut self,
+        pe: NodeId,
+        run: impl FnMut(&mut MsgrCtx<'_>) + Send + 'static,
+    ) -> Itinerary {
+        self.items.push(WorkItem::new(pe, run));
+        self
+    }
+
+    /// Number of work items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the itinerary has no work.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The PE where this itinerary starts (PE 0 if empty).
+    pub fn entry_pe(&self) -> NodeId {
+        self.items.first().map_or(0, |w| w.pe)
+    }
+
+    /// Concatenate another itinerary after this one — how a single DSC
+    /// thread strings several logical tasks together (Fig. 5's outer
+    /// `mi` loop is a concat of row itineraries).
+    pub fn concat(mut self, other: Itinerary) -> Itinerary {
+        self.items.extend(other.items);
+        self
+    }
+
+    /// **Phase-shifting Transformation**: rotate the itinerary left by
+    /// `offset` items, so execution enters at a different point of the
+    /// cycle. Caller asserts the items commute (each item must not
+    /// depend on an earlier one's effects — true of the paper's k-sums).
+    pub fn phase_shift(mut self, offset: usize) -> Itinerary {
+        if !self.items.is_empty() {
+            let n = self.items.len();
+            self.items.rotate_left(offset % n);
+        }
+        self
+    }
+
+    /// **DSC Transformation**: turn the itinerary into a self-migrating
+    /// messenger — hops are inserted wherever consecutive items live on
+    /// different PEs. Inject it at [`Itinerary::entry_pe`].
+    pub fn into_messenger(self) -> DscCarrier {
+        DscCarrier {
+            name: self.name,
+            payload: self.payload,
+            items: self.items,
+            next: 0,
+        }
+    }
+}
+
+/// The messenger produced by the DSC Transformation.
+pub struct DscCarrier {
+    name: String,
+    payload: u64,
+    items: Vec<WorkItem>,
+    next: usize,
+}
+
+impl Messenger for DscCarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        // Run every consecutive item resident on this PE, then hop (the
+        // non-preemptive daemon turn the executors model).
+        loop {
+            match self.items.get_mut(self.next) {
+                None => return Effect::Done,
+                Some(item) if item.pe == ctx.here() => {
+                    (item.run)(ctx);
+                    self.next += 1;
+                }
+                Some(item) => return Effect::Hop(item.pe),
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.payload
+    }
+
+    fn label(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// **Pipelining Transformation**: a list of *independent* itineraries
+/// becomes the carriers of a pipeline — returned as `(entry_pe,
+/// carrier)` pairs in injection order, ready for `Cluster::inject` (or
+/// a `Launcher` when entries differ). Independence (no itinerary reads
+/// what another writes, or the accesses commute) is the transformation's
+/// precondition, exactly as in the paper.
+pub fn pipeline(itineraries: Vec<Itinerary>) -> Vec<(NodeId, DscCarrier)> {
+    itineraries
+        .into_iter()
+        .map(|it| (it.entry_pe(), it.into_messenger()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use navp_sim::key::Key;
+    use navp_sim::CostModel;
+
+    /// A 3-PE itinerary that sums the PEs' node variables into an
+    /// *agent variable* (state shared by the itinerary's closures, which
+    /// travels with the carrier) and deposits the total wherever the
+    /// walk ends.
+    fn summing_itinerary(tag: usize) -> Itinerary {
+        let acc = std::sync::Arc::new(parking_lot::Mutex::new((0.0f64, 0usize)));
+        let mut it = Itinerary::new(format!("sum{tag}"));
+        for pe in 0..3 {
+            let acc = acc.clone();
+            it = it.then_at(pe, move |ctx| {
+                let x = *ctx.store().get::<f64>(Key::plain("x")).expect("placed");
+                let mut a = acc.lock();
+                a.0 += x;
+                a.1 += 1;
+                if a.1 == 3 {
+                    let total = a.0;
+                    ctx.store().insert(Key::at("total", tag), total, 8);
+                }
+            });
+        }
+        it
+    }
+
+    fn cluster_with_x() -> Cluster {
+        let mut cl = Cluster::new(3).expect("cluster");
+        for pe in 0..3 {
+            cl.store_mut(pe).insert(Key::plain("x"), (pe + 1) as f64, 8);
+        }
+        cl
+    }
+
+    #[test]
+    fn dsc_transformation_visits_in_order() {
+        let mut cl = cluster_with_x();
+        let carrier = summing_itinerary(0).into_messenger();
+        cl.inject(0, carrier);
+        let rep = crate::sim_exec::SimExecutor::new(CostModel::paper_cluster())
+            .run(cl)
+            .expect("runs");
+        // The walk ends on PE2 with total 1+2+3.
+        assert_eq!(rep.stores[2].get::<f64>(Key::at("total", 0)), Some(&6.0));
+    }
+
+    #[test]
+    fn phase_shift_rotates_entry() {
+        let it = summing_itinerary(0).phase_shift(2);
+        assert_eq!(it.entry_pe(), 2);
+        let mut cl = cluster_with_x();
+        cl.inject(2, it.into_messenger());
+        let rep = crate::sim_exec::SimExecutor::new(CostModel::paper_cluster())
+            .run(cl)
+            .expect("runs");
+        // Rotation: visits 2, 0, 1 — the total lands on PE1, unchanged
+        // because the items commute.
+        assert_eq!(rep.stores[1].get::<f64>(Key::at("total", 0)), Some(&6.0));
+    }
+
+    #[test]
+    fn phase_shift_full_cycle_is_identity() {
+        let it = summing_itinerary(0).phase_shift(3);
+        assert_eq!(it.entry_pe(), 0);
+        let it = Itinerary::new("empty").phase_shift(5);
+        assert!(it.is_empty());
+    }
+
+    #[test]
+    fn pipeline_overlaps_carriers() {
+        // Three independent itineraries, each charging 1 s per PE visit.
+        let mk = |tag: usize| {
+            let mut it = Itinerary::new(format!("w{tag}"));
+            for pe in 0..3 {
+                it = it.then_at(pe, move |ctx| {
+                    ctx.charge_seconds(1.0);
+                    ctx.store().insert(Key::at("done", tag), true, 1);
+                });
+            }
+            it
+        };
+        let mut cl = Cluster::new(3).expect("cluster");
+        for (pe, carrier) in pipeline(vec![mk(0), mk(1), mk(2)]) {
+            cl.inject(pe, carrier);
+        }
+        let mut cost = CostModel::ideal_network();
+        cost.daemon_overhead = 0.0;
+        let rep = crate::sim_exec::SimExecutor::new(cost).run(cl).expect("runs");
+        // Pipelined makespan: (3 carriers + 3 stages - 1) x 1 s = 5 s,
+        // not the sequential 9 s.
+        assert!((rep.makespan.as_secs_f64() - 5.0).abs() < 1e-9, "{}", rep.makespan);
+        // Phase-shifted: enter at different PEs -> 3 s.
+        let mut cl = Cluster::new(3).expect("cluster");
+        for (i, it) in [mk(0), mk(1), mk(2)].into_iter().enumerate() {
+            let it = it.phase_shift(i);
+            cl.inject(it.entry_pe(), it.into_messenger());
+        }
+        let rep = crate::sim_exec::SimExecutor::new(cost).run(cl).expect("runs");
+        assert!((rep.makespan.as_secs_f64() - 3.0).abs() < 1e-9, "{}", rep.makespan);
+    }
+}

@@ -1,0 +1,143 @@
+//! The two executors must implement the *same semantics*: any program's
+//! observable results — final node-variable contents — must agree between
+//! the virtual-time simulator and the real threads, and runtime
+//! features (initial events, injection, payload accounting) must behave
+//! identically.
+
+use navp::script::Script;
+use navp::transform::Itinerary;
+use navp::{Cluster, Effect, Key, SimExecutor, ThreadExecutor};
+use navp_sim::CostModel;
+use std::sync::Arc;
+
+fn both(build: impl Fn() -> Cluster) -> (Vec<navp::NodeStore>, Vec<navp::NodeStore>) {
+    let sim = SimExecutor::new(CostModel::paper_cluster())
+        .run(build())
+        .expect("sim run");
+    let thr = ThreadExecutor::new().run(build()).expect("thread run");
+    (sim.stores, thr.stores)
+}
+
+#[test]
+fn initial_events_satisfy_first_wait_on_both() {
+    let build = || {
+        let mut cl = Cluster::new(1).expect("cluster");
+        cl.signal_initial(Key::plain("go"));
+        cl.signal_initial(Key::plain("go"));
+        cl.inject(
+            0,
+            Script::new("waiter")
+                .then(|_| Effect::WaitEvent(Key::plain("go")))
+                .then(|_| Effect::WaitEvent(Key::plain("go")))
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("woke"), 2u32, 4);
+                    Effect::Done
+                }),
+        );
+        cl
+    };
+    let (sim, thr) = both(build);
+    assert_eq!(sim[0].get::<u32>(Key::plain("woke")), Some(&2));
+    assert_eq!(thr[0].get::<u32>(Key::plain("woke")), Some(&2));
+}
+
+#[test]
+fn chained_producers_consumers_agree() {
+    // A ring of producer/consumer pairs across 4 PEs with token-passing.
+    let build = || {
+        let pes = 4;
+        let mut cl = Cluster::new(pes).expect("cluster");
+        cl.signal_initial(Key::at("token", 0));
+        for pe in 0..pes {
+            cl.inject(
+                pe,
+                Script::new("worker")
+                    .then(move |_| Effect::WaitEvent(Key::at("token", pe)))
+                    .then(move |ctx| {
+                        let so_far = ctx
+                            .store()
+                            .get::<u64>(Key::plain("sum"))
+                            .copied()
+                            .unwrap_or(0);
+                        ctx.store().insert(Key::plain("sum"), so_far + pe as u64, 8);
+                        ctx.signal(Key::at("token", (pe + 1) % pes));
+                        Effect::Done
+                    }),
+            );
+        }
+        cl
+    };
+    let (sim, thr) = both(build);
+    for pe in 0..4 {
+        assert_eq!(
+            sim[pe].get::<u64>(Key::plain("sum")),
+            thr[pe].get::<u64>(Key::plain("sum")),
+            "PE {pe} disagrees"
+        );
+    }
+}
+
+#[test]
+fn itinerary_carriers_agree_across_executors() {
+    let build = || {
+        let mut cl = Cluster::new(3).expect("cluster");
+        for pe in 0..3 {
+            cl.store_mut(pe).insert(Key::plain("v"), (pe * pe) as f64, 8);
+        }
+        let acc = Arc::new(parking_lot::Mutex::new(0.0f64));
+        let mut it = Itinerary::new("walker");
+        for pe in [2, 0, 1] {
+            let acc = acc.clone();
+            it = it.then_at(pe, move |ctx| {
+                let v = *ctx.store().get::<f64>(Key::plain("v")).expect("placed");
+                *acc.lock() += v;
+            });
+        }
+        let acc2 = acc.clone();
+        let it = it.then_at(1, move |ctx| {
+            let total = *acc2.lock();
+            ctx.store().insert(Key::plain("total"), total, 8);
+        });
+        cl.inject(2, it.into_messenger());
+        cl
+    };
+    let (sim, thr) = both(build);
+    assert_eq!(sim[1].get::<f64>(Key::plain("total")), Some(&5.0));
+    assert_eq!(thr[1].get::<f64>(Key::plain("total")), Some(&5.0));
+}
+
+#[test]
+fn heavy_contention_reaches_same_totals() {
+    // 20 messengers all incrementing counters on 2 PEs through hops;
+    // the final totals are deterministic even though thread scheduling
+    // is not.
+    let build = || {
+        let mut cl = Cluster::new(2).expect("cluster");
+        for a in 0..20usize {
+            cl.inject(
+                a % 2,
+                Script::new("inc").then_each(6, |_, ctx| {
+                    let here = ctx.here();
+                    let n = ctx
+                        .store()
+                        .get::<u64>(Key::plain("count"))
+                        .copied()
+                        .unwrap_or(0);
+                    ctx.store().insert(Key::plain("count"), n + 1, 8);
+                    Effect::Hop(1 - here)
+                }),
+            );
+        }
+        cl
+    };
+    let (sim, thr) = both(build);
+    let total =
+        |stores: &[navp::NodeStore]| -> u64 {
+            stores
+                .iter()
+                .map(|s| s.get::<u64>(Key::plain("count")).copied().unwrap_or(0))
+                .sum()
+        };
+    assert_eq!(total(&sim), 120);
+    assert_eq!(total(&thr), 120);
+}

@@ -1,0 +1,238 @@
+//! Mapping blocks onto PE grids.
+//!
+//! The paper's experiments use a 1-D PE network (Tables 1 and 2) and a 2-D
+//! PE network (Tables 3 and 4). Data placement is by *distribution block*:
+//! a PE owns a contiguous band of block rows and/or block columns. The
+//! ScaLAPACK stand-in additionally uses a block-cyclic map.
+
+use crate::error::MatrixError;
+
+/// A 2-D grid of PEs with row-major node numbering, matching the paper's
+/// `(HnodeID, VnodeID)` identifiers: `HnodeID` grows west→east (columns),
+/// `VnodeID` grows north→south (rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid2D {
+    /// Number of PE rows (extent of `VnodeID`).
+    pub rows: usize,
+    /// Number of PE columns (extent of `HnodeID`).
+    pub cols: usize,
+}
+
+impl Grid2D {
+    /// Construct a grid; both extents must be nonzero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, MatrixError> {
+        if rows == 0 || cols == 0 {
+            return Err(MatrixError::Degenerate("grid extent is zero"));
+        }
+        Ok(Grid2D { rows, cols })
+    }
+
+    /// A 1-D west→east network of `pes` PEs (a single grid row).
+    pub fn line(pes: usize) -> Result<Self, MatrixError> {
+        Grid2D::new(1, pes)
+    }
+
+    /// Total number of PEs.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the grid has exactly one PE.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat node id of PE `(v, h)` — `v` is the row (`VnodeID`), `h` the
+    /// column (`HnodeID`).
+    ///
+    /// # Panics
+    /// Panics when the coordinate is outside the grid.
+    pub fn node(&self, v: usize, h: usize) -> usize {
+        assert!(v < self.rows && h < self.cols, "PE coordinate out of grid");
+        v * self.cols + h
+    }
+
+    /// Inverse of [`Grid2D::node`]: `(VnodeID, HnodeID)` of a flat id.
+    ///
+    /// # Panics
+    /// Panics when the id is outside the grid.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.len(), "node id out of grid");
+        (node / self.cols, node % self.cols)
+    }
+}
+
+/// Contiguous banding of `nb` block indices over `pes` PEs
+/// (`pes` must divide `nb`): PE `p` owns block indices
+/// `p*nb/pes .. (p+1)*nb/pes`. This is the paper's distribution-block map
+/// in one dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dist1D {
+    nb: usize,
+    pes: usize,
+    per_pe: usize,
+}
+
+impl Dist1D {
+    /// Build a banded map of `nb` blocks over `pes` PEs.
+    pub fn new(nb: usize, pes: usize) -> Result<Self, MatrixError> {
+        if nb == 0 || pes == 0 {
+            return Err(MatrixError::Degenerate("empty distribution"));
+        }
+        if !nb.is_multiple_of(pes) {
+            return Err(MatrixError::IndivisibleBlock { n: nb, block: pes });
+        }
+        Ok(Dist1D {
+            nb,
+            pes,
+            per_pe: nb / pes,
+        })
+    }
+
+    /// Number of block indices.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of PEs.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Blocks owned by each PE.
+    pub fn per_pe(&self) -> usize {
+        self.per_pe
+    }
+
+    /// Owning PE of block index `b`.
+    ///
+    /// # Panics
+    /// Panics when `b >= nb`.
+    pub fn pe_of(&self, b: usize) -> usize {
+        assert!(b < self.nb, "block index out of range");
+        b / self.per_pe
+    }
+
+    /// The range of block indices owned by PE `p`.
+    ///
+    /// # Panics
+    /// Panics when `p >= pes`.
+    pub fn blocks_of(&self, p: usize) -> std::ops::Range<usize> {
+        assert!(p < self.pes, "PE index out of range");
+        p * self.per_pe..(p + 1) * self.per_pe
+    }
+}
+
+/// Two independent banded maps: block rows over PE-grid rows and block
+/// columns over PE-grid columns. `owner(bi, bj)` is the PE holding
+/// distribution cell containing algorithmic block `(bi, bj)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dist2D {
+    /// Banding of block rows over grid rows.
+    pub row: Dist1D,
+    /// Banding of block columns over grid columns.
+    pub col: Dist1D,
+}
+
+impl Dist2D {
+    /// Build a 2-D banded map of `nb x nb` blocks over `grid`.
+    pub fn new(nb: usize, grid: Grid2D) -> Result<Self, MatrixError> {
+        Ok(Dist2D {
+            row: Dist1D::new(nb, grid.rows)?,
+            col: Dist1D::new(nb, grid.cols)?,
+        })
+    }
+
+    /// PE grid coordinate `(v, h)` owning block `(bi, bj)`.
+    pub fn owner(&self, bi: usize, bj: usize) -> (usize, usize) {
+        (self.row.pe_of(bi), self.col.pe_of(bj))
+    }
+}
+
+/// Block-cyclic 2-D map, as used by ScaLAPACK: block `(bi, bj)` lives on
+/// PE `(bi mod grid.rows, bj mod grid.cols)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CyclicDist2D {
+    /// The PE grid blocks are wrapped onto.
+    pub grid: Grid2D,
+}
+
+impl CyclicDist2D {
+    /// PE grid coordinate owning block `(bi, bj)`.
+    pub fn owner(&self, bi: usize, bj: usize) -> (usize, usize) {
+        (bi % self.grid.rows, bj % self.grid.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_node_coords_roundtrip() {
+        let g = Grid2D::new(3, 4).unwrap();
+        assert_eq!(g.len(), 12);
+        for v in 0..3 {
+            for h in 0..4 {
+                assert_eq!(g.coords(g.node(v, h)), (v, h));
+            }
+        }
+        assert!(Grid2D::new(0, 3).is_err());
+    }
+
+    #[test]
+    fn line_grid() {
+        let g = Grid2D::line(5).unwrap();
+        assert_eq!((g.rows, g.cols), (1, 5));
+        assert_eq!(g.node(0, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "PE coordinate out of grid")]
+    fn grid_node_bounds() {
+        Grid2D::new(2, 2).unwrap().node(2, 0);
+    }
+
+    #[test]
+    fn dist1d_banding() {
+        let d = Dist1D::new(12, 3).unwrap();
+        assert_eq!(d.per_pe(), 4);
+        assert_eq!(d.pe_of(0), 0);
+        assert_eq!(d.pe_of(3), 0);
+        assert_eq!(d.pe_of(4), 1);
+        assert_eq!(d.pe_of(11), 2);
+        assert_eq!(d.blocks_of(1), 4..8);
+        assert!(Dist1D::new(10, 3).is_err());
+        assert!(Dist1D::new(0, 3).is_err());
+    }
+
+    #[test]
+    fn dist1d_partition_is_exact() {
+        let d = Dist1D::new(24, 8).unwrap();
+        let mut owned = [0usize; 24];
+        for p in 0..8 {
+            for b in d.blocks_of(p) {
+                owned[b] += 1;
+                assert_eq!(d.pe_of(b), p);
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dist2d_owner() {
+        let g = Grid2D::new(3, 3).unwrap();
+        let d = Dist2D::new(6, g).unwrap();
+        assert_eq!(d.owner(0, 5), (0, 2));
+        assert_eq!(d.owner(4, 3), (2, 1));
+    }
+
+    #[test]
+    fn cyclic_owner_wraps() {
+        let d = CyclicDist2D {
+            grid: Grid2D::new(2, 3).unwrap(),
+        };
+        assert_eq!(d.owner(4, 7), (0, 1));
+        assert_eq!(d.owner(5, 5), (1, 2));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the matrix substrate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and blocked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A blocked decomposition was requested with a block order that does
+    /// not evenly divide the matrix order. The paper always chooses block
+    /// orders that divide the matrix order (e.g. 128 | 1536), and keeping
+    /// that restriction keeps every carrier's payload uniform.
+    IndivisibleBlock {
+        /// Matrix order.
+        n: usize,
+        /// Requested algorithmic block order.
+        block: usize,
+    },
+    /// A zero dimension or zero PE count was supplied.
+    Degenerate(&'static str),
+    /// An operation that needs real data was applied to a phantom block.
+    PhantomData(&'static str),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndivisibleBlock { n, block } => write!(
+                f,
+                "block order {block} does not divide matrix order {n}"
+            ),
+            MatrixError::Degenerate(what) => write!(f, "degenerate argument: {what}"),
+            MatrixError::PhantomData(op) => {
+                write!(f, "operation `{op}` requires real block data, got phantom")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MatrixError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gemm") && s.contains("2x3") && s.contains("4x5"));
+
+        let e = MatrixError::IndivisibleBlock { n: 100, block: 7 };
+        assert!(e.to_string().contains("7") && e.to_string().contains("100"));
+
+        let e = MatrixError::PhantomData("to_matrix");
+        assert!(e.to_string().contains("to_matrix"));
+    }
+}

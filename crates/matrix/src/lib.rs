@@ -1,0 +1,37 @@
+//! Dense-matrix substrate for the NavP (Navigational Programming) case study.
+//!
+//! The ICPP 2005 paper parallelizes dense matrix multiplication `C = A * B`
+//! at two granularities:
+//!
+//! * **distribution blocks** — the unit of data placement on a PE
+//!   (a processing element owns a contiguous band of rows/columns), and
+//! * **algorithmic blocks** — the unit carried by a migrating computation
+//!   and multiplied by the kernel (paper block orders: 128 and 256).
+//!
+//! This crate provides both: [`Matrix`] is a plain row-major dense matrix
+//! with a cache-friendly blocked kernel, [`BlockedMatrix`] is a matrix
+//! decomposed into algorithmic blocks, and [`dist`] maps blocks onto
+//! one- and two-dimensional PE grids exactly the way the paper's figures
+//! (Fig. 4–14) distribute them.
+//!
+//! Because the benchmark harness re-runs the paper's experiments at the
+//! original problem sizes (up to order 9216) under a *cost model* rather
+//! than on real 2003 hardware, block payloads come in two flavours
+//! ([`BlockData`]): `Real` blocks hold `f64` data and are actually
+//! multiplied, while `Phantom` blocks carry only their logical shape so a
+//! simulation can account for flops and bytes without touching memory.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod dense;
+pub mod dist;
+pub mod error;
+pub mod gen;
+pub mod kernel;
+pub mod stagger;
+
+pub use block::{BlockData, BlockedMatrix};
+pub use dense::Matrix;
+pub use dist::{Dist1D, Dist2D, Grid2D};
+pub use error::MatrixError;

@@ -1,0 +1,279 @@
+//! Initial staggering (skewing) schemes.
+//!
+//! Systolic matrix multiplication must first *stagger* the operand
+//! matrices so that each PE starts with an aligned `A(i,k)`/`B(k,j)` pair.
+//! Gentleman's and Cannon's algorithms use **forward staggering**: row `i`
+//! of `A` shifts `i` steps west and column `j` of `B` shifts `j` steps
+//! north. The paper's NavP program instead uses **reverse staggering**
+//! (Section 5, item 3): a row's chain of blocks is both shifted *and
+//! reverse-ordered*, which the authors' technical report shows needs at
+//! most two communication phases against forward staggering's three.
+//!
+//! This module implements both placements, verifies their alignment
+//! algebra, and provides a communication-phase scheduler used by the
+//! staggering ablation benchmark.
+
+use crate::error::MatrixError;
+
+/// Destination PE `(v, h)` of block `A(i, j)` under **forward** staggering
+/// on a `p x p` torus: shift row `i` by `i` to the west.
+#[inline]
+pub fn forward_a(i: usize, j: usize, p: usize) -> (usize, usize) {
+    (i, (j + p - i % p) % p)
+}
+
+/// Destination PE of block `B(i, j)` under **forward** staggering:
+/// shift column `j` by `j` to the north.
+#[inline]
+pub fn forward_b(i: usize, j: usize, p: usize) -> (usize, usize) {
+    ((i + p - j % p) % p, j)
+}
+
+/// Destination PE of block `A(i, j)` under **reverse** staggering, the
+/// placement the NavP full-DPC program computes from first
+/// (`hop(node(mi, (N-1-mi-mk+mj) % N))` with `mj = 0` in Figure 15).
+#[inline]
+pub fn reverse_a(i: usize, j: usize, p: usize) -> (usize, usize) {
+    (i, (2 * p - 1 - i - j) % p)
+}
+
+/// Destination PE of block `B(i, j)` under **reverse** staggering
+/// (`hop(node((N-1-mj-mk+mi) % N, mj))` with `mi = 0` in Figure 15).
+#[inline]
+pub fn reverse_b(i: usize, j: usize, p: usize) -> (usize, usize) {
+    ((2 * p - 1 - i - j) % p, j)
+}
+
+/// Which operand a staggering transfer moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// A-matrix block.
+    A,
+    /// B-matrix block.
+    B,
+}
+
+/// One block transfer of the initial staggering: `block` starts on the PE
+/// matching its own coordinates and must reach `dst`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Operand being moved.
+    pub op: Operand,
+    /// Block coordinates `(i, j)`.
+    pub block: (usize, usize),
+    /// Source PE `(v, h)` — always `(i, j)` for the home placement.
+    pub src: (usize, usize),
+    /// Destination PE `(v, h)`.
+    pub dst: (usize, usize),
+}
+
+/// All non-local transfers needed to stagger both operands of a `p x p`
+/// block matrix from the home placement (`(i, j)` on PE `(i, j)`), under
+/// the given placement functions.
+pub fn transfers(
+    p: usize,
+    place_a: fn(usize, usize, usize) -> (usize, usize),
+    place_b: fn(usize, usize, usize) -> (usize, usize),
+) -> Result<Vec<Transfer>, MatrixError> {
+    if p == 0 {
+        return Err(MatrixError::Degenerate("zero-order torus"));
+    }
+    let mut out = Vec::with_capacity(2 * p * p);
+    for i in 0..p {
+        for j in 0..p {
+            let da = place_a(i, j, p);
+            if da != (i, j) {
+                out.push(Transfer {
+                    op: Operand::A,
+                    block: (i, j),
+                    src: (i, j),
+                    dst: da,
+                });
+            }
+            let db = place_b(i, j, p);
+            if db != (i, j) {
+                out.push(Transfer {
+                    op: Operand::B,
+                    block: (i, j),
+                    src: (i, j),
+                    dst: db,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Forward-staggering transfer list for a `p x p` torus.
+pub fn forward_transfers(p: usize) -> Result<Vec<Transfer>, MatrixError> {
+    transfers(p, forward_a, forward_b)
+}
+
+/// Reverse-staggering transfer list for a `p x p` torus.
+pub fn reverse_transfers(p: usize) -> Result<Vec<Transfer>, MatrixError> {
+    transfers(p, reverse_a, reverse_b)
+}
+
+/// Schedule transfers into *communication phases* under the one-port,
+/// full-duplex model of the paper: in one phase every PE sends at most one
+/// block and receives at most one block (the switch itself is
+/// collision-free). Local moves never appear in `transfers`.
+///
+/// Returns the phase index assigned to each transfer and the total number
+/// of phases. Greedy smallest-feasible-phase assignment; for the staggering
+/// patterns in this crate (per-PE degree ≤ 2) greedy is optimal, and a
+/// `max_degree` lower bound is exposed for checking.
+pub fn schedule_phases(transfers: &[Transfer], p: usize) -> (Vec<usize>, usize) {
+    let n = p * p;
+    // send_busy[phase][pe], recv_busy[phase][pe] tracked sparsely.
+    let mut send_busy: Vec<Vec<bool>> = Vec::new();
+    let mut recv_busy: Vec<Vec<bool>> = Vec::new();
+    let mut phases = Vec::with_capacity(transfers.len());
+    let mut max_phase = 0;
+    for t in transfers {
+        let s = t.src.0 * p + t.src.1;
+        let d = t.dst.0 * p + t.dst.1;
+        let mut ph = 0;
+        loop {
+            if ph == send_busy.len() {
+                send_busy.push(vec![false; n]);
+                recv_busy.push(vec![false; n]);
+            }
+            if !send_busy[ph][s] && !recv_busy[ph][d] {
+                send_busy[ph][s] = true;
+                recv_busy[ph][d] = true;
+                phases.push(ph);
+                max_phase = max_phase.max(ph + 1);
+                break;
+            }
+            ph += 1;
+        }
+    }
+    (phases, max_phase)
+}
+
+/// Lower bound on the number of phases: the maximum, over PEs, of blocks
+/// it must send or receive.
+pub fn phase_lower_bound(transfers: &[Transfer], p: usize) -> usize {
+    let n = p * p;
+    let mut send = vec![0usize; n];
+    let mut recv = vec![0usize; n];
+    for t in transfers {
+        send[t.src.0 * p + t.src.1] += 1;
+        recv[t.dst.0 * p + t.dst.1] += 1;
+    }
+    send.iter().chain(recv.iter()).copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// After staggering, the A block and B block meeting on a PE must share
+    /// the same inner index k — otherwise the first multiply is wrong.
+    fn alignment_holds(
+        p: usize,
+        place_a: fn(usize, usize, usize) -> (usize, usize),
+        place_b: fn(usize, usize, usize) -> (usize, usize),
+    ) {
+        let mut a_at = vec![None; p * p];
+        let mut b_at = vec![None; p * p];
+        for i in 0..p {
+            for k in 0..p {
+                let (v, h) = place_a(i, k, p);
+                assert!(a_at[v * p + h].is_none(), "two A blocks on one PE");
+                a_at[v * p + h] = Some((i, k));
+            }
+        }
+        for k in 0..p {
+            for j in 0..p {
+                let (v, h) = place_b(k, j, p);
+                assert!(b_at[v * p + h].is_none(), "two B blocks on one PE");
+                b_at[v * p + h] = Some((k, j));
+            }
+        }
+        for node in 0..p * p {
+            let (v, h) = (node / p, node % p);
+            let (ai, ak) = a_at[node].expect("PE without A block");
+            let (bk, bj) = b_at[node].expect("PE without B block");
+            assert_eq!(ai, v, "A row must stay in its PE row");
+            assert_eq!(bj, h, "B col must stay in its PE col");
+            assert_eq!(ak, bk, "A and B inner indices must align");
+        }
+    }
+
+    #[test]
+    fn forward_staggering_aligns() {
+        for p in 1..=6 {
+            alignment_holds(p, forward_a, forward_b);
+        }
+    }
+
+    #[test]
+    fn reverse_staggering_aligns() {
+        for p in 1..=6 {
+            alignment_holds(p, reverse_a, reverse_b);
+        }
+    }
+
+    #[test]
+    fn reverse_a_is_an_involution_per_row() {
+        // Reversing a reversed row restores it: (i,j) -> (i,j') -> (i,j).
+        for p in 1..=7 {
+            for i in 0..p {
+                for j in 0..p {
+                    let (_, j1) = reverse_a(i, j, p);
+                    let (_, j2) = reverse_a(i, j1, p);
+                    assert_eq!(j2, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_exclude_local_moves() {
+        let p = 4;
+        for ts in [forward_transfers(p).unwrap(), reverse_transfers(p).unwrap()] {
+            assert!(ts.iter().all(|t| t.src != t.dst));
+        }
+    }
+
+    #[test]
+    fn reverse_has_more_locality_than_forward() {
+        // The NavP claim distilled: reverse staggering leaves at least as
+        // many blocks in place and schedules in no more phases.
+        for p in 2..=9 {
+            let f = forward_transfers(p).unwrap();
+            let r = reverse_transfers(p).unwrap();
+            let (_, fp) = schedule_phases(&f, p);
+            let (_, rp) = schedule_phases(&r, p);
+            assert!(
+                rp <= fp,
+                "p={p}: reverse phases {rp} > forward phases {fp}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_respects_one_port_model() {
+        let p = 5;
+        let ts = forward_transfers(p).unwrap();
+        let (assign, nphases) = schedule_phases(&ts, p);
+        assert_eq!(assign.len(), ts.len());
+        let mut used: HashSet<(usize, usize, bool)> = HashSet::new();
+        for (t, &ph) in ts.iter().zip(&assign) {
+            assert!(ph < nphases);
+            assert!(used.insert((ph, t.src.0 * p + t.src.1, true)), "send clash");
+            assert!(used.insert((ph, t.dst.0 * p + t.dst.1, false)), "recv clash");
+        }
+        assert!(nphases >= phase_lower_bound(&ts, p));
+    }
+
+    #[test]
+    fn trivial_torus_needs_no_staggering() {
+        assert!(forward_transfers(1).unwrap().is_empty());
+        assert!(reverse_transfers(1).unwrap().is_empty());
+        assert!(transfers(0, forward_a, forward_b).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The block-entry carriers of the 2-D pipelined and full-DPC stages
+//! (paper Figures 13 and 15).
+//!
+//! Here granularity drops to single algorithmic blocks: every `A` block
+//! and every `B` block is carried by its own messenger. Each C-block
+//! position `(r, c)` — a *slot* — has one resident `B` variable that the
+//! producers (`BCarrier`) and consumers (`ACarrier`) ping-pong through a
+//! pair of events:
+//!
+//! * `EP(slot, k)` — "B(k, c) is in place at the slot" (signalled by the
+//!   BCarrier after depositing);
+//! * `EC(slot, k)` — "the slot is free for the deposit of inner index
+//!   `k`" (signalled by the ACarrier that consumed index `k-1`, and
+//!   signalled initially for the first index, per the paper's setup).
+//!
+//! The two stages differ only in where carriers start and hence in the
+//! *shift* of their slot walk:
+//!
+//! * pipelined (Fig. 13): carriers start on the anti-diagonal; the walk
+//!   of `ACarrier(mi, ·)` is `(N-1-mi+mj) mod N`;
+//! * full DPC (Fig. 15): carriers start at their blocks' home
+//!   `node(mi, mk)`; the walk is `(N-1-mi-mk+mj) mod N` — phase-shifted
+//!   in both dimensions, which is reverse staggering.
+
+use crate::config::MmConfig;
+use crate::util::{
+    a_key, b_key, bslot_key, c_key, ec_key, ep_key, gemm_flops, gemm_touched, insert_block,
+    Topo2D,
+};
+use navp::{Effect, Messenger, MsgrCtx};
+use navp_matrix::BlockData;
+
+/// The value stored in a slot's `B` variable: the inner index it carries
+/// plus the block itself.
+pub type BSlot = (usize, BlockData);
+
+/// Flat slot identifier of C-block `(r, c)`.
+pub fn slot_id(nb: usize, r: usize, c: usize) -> usize {
+    r * nb + c
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pick,
+    Wait,
+    Act,
+}
+
+/// Consumer of one `A` block: accumulates `C(mi, c) += mA · B(mk, c)` at
+/// every slot of row `mi`, in walk order `(shift + mj) mod nb`.
+pub struct ACarrier {
+    cfg: MmConfig,
+    topo: Topo2D,
+    mi: usize,
+    mk: usize,
+    shift: usize,
+    mj: usize,
+    m_a: Option<BlockData>,
+    phase: Phase,
+}
+
+impl ACarrier {
+    /// Build a consumer for `A(mi, mk)` with the given walk shift;
+    /// inject it on the PE holding that block.
+    pub fn new(cfg: MmConfig, topo: Topo2D, mi: usize, mk: usize, shift: usize) -> ACarrier {
+        ACarrier {
+            cfg,
+            topo,
+            mi,
+            mk,
+            shift,
+            mj: 0,
+            m_a: None,
+            phase: Phase::Pick,
+        }
+    }
+
+    fn col(&self, mj: usize) -> usize {
+        (self.shift + mj) % self.cfg.nb()
+    }
+
+    fn slot_pe(&self, mj: usize) -> usize {
+        self.topo.node_of_block(self.mi, self.col(mj))
+    }
+}
+
+impl Messenger for ACarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        let nb = self.cfg.nb();
+        match self.phase {
+            Phase::Pick => {
+                let blk = ctx
+                    .store()
+                    .take::<BlockData>(a_key(self.mi, self.mk))
+                    .expect("A block at its home");
+                ctx.charge_touched(blk.bytes());
+                self.m_a = Some(blk);
+                self.phase = Phase::Wait;
+                Effect::Hop(self.slot_pe(0))
+            }
+            Phase::Wait => {
+                let c = self.col(self.mj);
+                self.phase = Phase::Act;
+                Effect::WaitEvent(ep_key(slot_id(nb, self.mi, c), self.mk))
+            }
+            Phase::Act => {
+                let c = self.col(self.mj);
+                let slot = slot_id(nb, self.mi, c);
+                debug_assert_eq!(ctx.here(), self.slot_pe(self.mj));
+                {
+                    let store = ctx.store();
+                    let mut cb = store
+                        .take::<BlockData>(c_key(self.mi, c))
+                        .expect("C block resident at its node");
+                    {
+                        let (k, b) = store
+                            .get::<BSlot>(bslot_key(self.mi, c))
+                            .expect("EP implies a deposit");
+                        debug_assert_eq!(*k, self.mk, "slot pairing violated");
+                        cb.gemm_acc(self.m_a.as_ref().expect("picked"), b)
+                            .expect("uniform block shapes");
+                    }
+                    insert_block(store, c_key(self.mi, c), cb);
+                }
+                ctx.charge_flops(gemm_flops(self.cfg.ab));
+                ctx.charge_touched(gemm_touched(self.cfg.ab));
+                ctx.signal(ec_key(slot, (self.mk + 1) % nb));
+                self.mj += 1;
+                if self.mj == nb {
+                    return Effect::Done;
+                }
+                self.phase = Phase::Wait;
+                Effect::Hop(self.slot_pe(self.mj))
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.m_a.as_ref().map_or(0, BlockData::bytes)
+    }
+
+    fn label(&self) -> String {
+        format!("ACarrier({},{})", self.mi, self.mk)
+    }
+}
+
+/// Producer of one `B` block: deposits `B(mk, mj)` into the slots of
+/// column `mj` in walk order `(shift + step) mod nb`, gated by `EC`.
+pub struct BCarrier {
+    cfg: MmConfig,
+    topo: Topo2D,
+    mk: usize,
+    mj: usize,
+    shift: usize,
+    step_i: usize,
+    m_b: Option<BlockData>,
+    phase: Phase,
+}
+
+impl BCarrier {
+    /// Build a producer for `B(mk, mj)` with the given walk shift;
+    /// inject it on the PE holding that block.
+    pub fn new(cfg: MmConfig, topo: Topo2D, mk: usize, mj: usize, shift: usize) -> BCarrier {
+        BCarrier {
+            cfg,
+            topo,
+            mk,
+            mj,
+            shift,
+            step_i: 0,
+            m_b: None,
+            phase: Phase::Pick,
+        }
+    }
+
+    fn row(&self, step: usize) -> usize {
+        (self.shift + step) % self.cfg.nb()
+    }
+
+    fn slot_pe(&self, step: usize) -> usize {
+        self.topo.node_of_block(self.row(step), self.mj)
+    }
+}
+
+impl Messenger for BCarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        let nb = self.cfg.nb();
+        match self.phase {
+            Phase::Pick => {
+                let blk = ctx
+                    .store()
+                    .take::<BlockData>(b_key(self.mk, self.mj))
+                    .expect("B block at its home");
+                ctx.charge_touched(blk.bytes());
+                self.m_b = Some(blk);
+                self.phase = Phase::Wait;
+                Effect::Hop(self.slot_pe(0))
+            }
+            Phase::Wait => {
+                let r = self.row(self.step_i);
+                self.phase = Phase::Act;
+                Effect::WaitEvent(ec_key(slot_id(nb, r, self.mj), self.mk))
+            }
+            Phase::Act => {
+                let r = self.row(self.step_i);
+                let slot = slot_id(nb, r, self.mj);
+                debug_assert_eq!(ctx.here(), self.slot_pe(self.step_i));
+                let deposit: BSlot = (self.mk, self.m_b.clone().expect("picked"));
+                let bytes = deposit.1.bytes();
+                ctx.store().insert(bslot_key(r, self.mj), deposit, bytes);
+                ctx.charge_touched(bytes);
+                ctx.signal(ep_key(slot, self.mk));
+                self.step_i += 1;
+                if self.step_i == nb {
+                    return Effect::Done;
+                }
+                self.phase = Phase::Wait;
+                Effect::Hop(self.slot_pe(self.step_i))
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.m_b.as_ref().map_or(0, BlockData::bytes)
+    }
+
+    fn label(&self) -> String {
+        format!("BCarrier({},{})", self.mk, self.mj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_ids_unique() {
+        let nb = 7;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..nb {
+            for c in 0..nb {
+                assert!(seen.insert(slot_id(nb, r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn walks_cover_all_slots_once() {
+        let cfg = MmConfig::phantom(12, 2);
+        let topo = crate::dsc2d::topo(&cfg, 2, 2).unwrap();
+        let nb = cfg.nb();
+        for shift in 0..nb {
+            let a = ACarrier::new(cfg, topo, 3, 1, shift);
+            let cols: std::collections::HashSet<usize> = (0..nb).map(|mj| a.col(mj)).collect();
+            assert_eq!(cols.len(), nb);
+            let b = BCarrier::new(cfg, topo, 1, 3, shift);
+            let rows: std::collections::HashSet<usize> = (0..nb).map(|s| b.row(s)).collect();
+            assert_eq!(rows.len(), nb);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The shared-memory `doall` alternative (paper Figure 3, Section 6).
+//!
+//! The paper contrasts NavP with the "change `do` to `doall`" school of
+//! incremental parallelization (HPF/OpenMP/UPC): trivially easy on
+//! shared memory, but with no control over data placement — which on a
+//! distributed machine turns into the contention the paper's Section 3
+//! warns about ("contention could happen as multiple PEs request the
+//! same entries at the same time").
+//!
+//! This module is that school made concrete: Figure 3's nested `doall`
+//! over the entries of `C`, realized with rayon's work-stealing pool on
+//! this machine's real shared memory. It serves two purposes:
+//!
+//! * a *correctness oracle* at a second granularity (every block
+//!   algorithm is also checked against it in tests), and
+//! * the Section 6 comparison point: on actual shared memory `doall`
+//!   is excellent — the paper's argument is about what happens when the
+//!   memory is *not* shared, which the virtual-cluster stages cover.
+
+use navp_matrix::{Matrix, MatrixError};
+use rayon::prelude::*;
+
+/// Figure 3, lifted to block rows: `doall` over the rows of `C`, each
+/// task computing one full row with the shared kernel. Returns the
+/// product computed on rayon's global pool.
+pub fn doall_multiply(a: &Matrix, b: &Matrix) -> Result<Matrix, MatrixError> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(MatrixError::ShapeMismatch {
+            op: "doall_multiply",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut c = Matrix::zeros(m, n);
+    // Each C row is written by exactly one task; A and B are shared
+    // read-only — rayon guarantees the data-race freedom the paper's
+    // doall assumes.
+    c.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = a.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                let b_row = b.row(k);
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        });
+    Ok(c)
+}
+
+/// The paper's Figure 3 exactly — `doall (i, j)` with a private scalar
+/// accumulator per entry. Quadratically many tiny tasks; kept for
+/// fidelity and used in tests to show both forms agree.
+pub fn doall_multiply_entrywise(a: &Matrix, b: &Matrix) -> Result<Matrix, MatrixError> {
+    let (m, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(MatrixError::ShapeMismatch {
+            op: "doall_multiply_entrywise",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let entries: Vec<f64> = (0..m * n)
+        .into_par_iter()
+        .map(|idx| {
+            let (i, j) = (idx / n, idx % n);
+            let mut t = 0.0;
+            for k in 0..ka {
+                t += a.row(i)[k] * b.as_slice()[k * n + j];
+            }
+            t
+        })
+        .collect();
+    Matrix::from_vec(m, n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_matrix::gen;
+
+    #[test]
+    fn doall_matches_kernel() {
+        let a = gen::seeded_matrix(96, 11);
+        let b = gen::seeded_matrix(96, 12);
+        let want = a.multiply(&b).unwrap();
+        let got = doall_multiply(&a, &b).unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn entrywise_matches_rowwise() {
+        let a = gen::structured_matrix(40);
+        let b = gen::seeded_matrix(40, 5);
+        let rowwise = doall_multiply(&a, &b).unwrap();
+        let entrywise = doall_multiply_entrywise(&a, &b).unwrap();
+        assert!(rowwise.max_abs_diff(&entrywise) < 1e-10);
+    }
+
+    #[test]
+    fn doall_rejects_bad_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(3, 4);
+        assert!(doall_multiply(&a, &b).is_err());
+        assert!(doall_multiply_entrywise(&a, &b).is_err());
+    }
+
+    #[test]
+    fn doall_handles_rectangular() {
+        let a = gen::seeded_matrix(32, 1).submatrix(0, 0, 16, 32);
+        let b = gen::seeded_matrix(32, 2).submatrix(0, 0, 32, 8);
+        let want = a.multiply(&b).unwrap();
+        let got = doall_multiply(&a, &b).unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+}

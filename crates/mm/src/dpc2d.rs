@@ -1,0 +1,168 @@
+//! Stage 6 — **full DPC in both dimensions** (paper Figures 14 and 15).
+//!
+//! The Phase-shifting Transformation applied in both dimensions: every
+//! block starts at its *home* `node(i, j)` — no pre-staggering moves at
+//! all — and each carrier's walk is shifted by `(N-1-mi-mk) mod N`
+//! (respectively `(N-1-mj-mk)` for B), so the very first hop takes each
+//! block directly to the slot where it is needed first. This is the
+//! *reverse staggering* of Section 5, item 3: the resulting first-use
+//! positions are exactly `navp_matrix::stagger::reverse_a`/`reverse_b`.
+//!
+//! The result is the end of the incremental chain — a fully parallel
+//! systolic computation with the same structure as Gentleman's algorithm
+//! but composed of migrating computations, event-driven scheduling, and
+//! reverse staggering.
+
+use crate::carrier2d::{slot_id, ACarrier, BCarrier};
+use crate::config::MmConfig;
+use crate::launch::{Launcher, Stop};
+use crate::util::{a_key, b_key, c_key, ec_key, insert_block, new_c_block, Topo2D};
+use navp::{Cluster, Messenger, RunError};
+use navp_matrix::{BlockedMatrix, Grid2D, MatrixError};
+
+/// Walk shift of `ACarrier(mi, mk)`: `(N-1-mi-mk) mod N` (Fig. 15).
+pub fn a_shift(cfg: &MmConfig, mi: usize, mk: usize) -> usize {
+    let nb = cfg.nb();
+    (3 * nb - 1 - mi - mk) % nb
+}
+
+/// Walk shift of `BCarrier(mk, mj)`: `(N-1-mj-mk) mod N` (Fig. 15).
+pub fn b_shift(cfg: &MmConfig, mk: usize, mj: usize) -> usize {
+    let nb = cfg.nb();
+    (3 * nb - 1 - mj - mk) % nb
+}
+
+/// Inner index of the first deposit/consumption at slot `(r, c)`:
+/// `(N-1-r-c) mod N` — the reverse-staggering alignment.
+pub fn first_k(cfg: &MmConfig, r: usize, c: usize) -> usize {
+    let nb = cfg.nb();
+    (2 * nb - 1 - r - c) % nb
+}
+
+/// Data placement of Fig. 14 (`A(i,j)`, `B(i,j)`, `C(i,j)` all at
+/// `node(i, j)`) and the spawners of Fig. 15: one spawner per block
+/// column walks its column, signalling the initial `EC` and injecting
+/// that node's `ACarrier` and `BCarrier`.
+pub fn cluster(
+    cfg: &MmConfig,
+    topo: &Topo2D,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(topo.grid.len())?;
+    let nb = cfg.nb();
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let home = topo.node_of_block(bi, bj);
+            insert_block(cl.store_mut(home), a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.store_mut(home), b_key(bi, bj), b.block(bi, bj).clone());
+            insert_block(cl.store_mut(home), c_key(bi, bj), new_c_block(cfg.payload, cfg.ab));
+        }
+    }
+    // Fig. 15: do mj { hop(node(0, mj)); inject(spawner(mj)) } — one
+    // spawner per block column, walking down it.
+    for mj in 0..nb {
+        let stops: Vec<Stop> = (0..nb)
+            .map(|mi| Stop {
+                pe: topo.node_of_block(mi, mj),
+                // Producer before consumer (see dsc2d::cluster).
+                inject: vec![
+                    Box::new(BCarrier::new(*cfg, *topo, mi, mj, b_shift(cfg, mi, mj)))
+                        as Box<dyn Messenger>,
+                    Box::new(ACarrier::new(*cfg, *topo, mi, mj, a_shift(cfg, mi, mj))),
+                ],
+                signal: vec![ec_key(slot_id(nb, mi, mj), first_k(cfg, mi, mj))],
+            })
+            .collect();
+        let spawner = Launcher::new("Fig15-spawner", stops);
+        let entry = spawner.first_pe();
+        cl.inject(entry, spawner);
+    }
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run.
+pub fn owner<'t>(topo: &'t Topo2D) -> impl Fn(usize, usize) -> usize + 't {
+    |bi, bj| topo.node_of_block(bi, bj)
+}
+
+/// The 2-D topology for this stage on a `rows x cols` grid.
+pub fn topo(cfg: &MmConfig, rows: usize, cols: usize) -> Result<Topo2D, MatrixError> {
+    Topo2D::new(cfg.nb(), Grid2D::new(rows, cols)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn first_k_matches_reverse_staggering() {
+        // The first A block used at slot (r, c) is A(r, first_k), whose
+        // reverse-staggered position is exactly column c.
+        let cfg = MmConfig::phantom(10, 1);
+        let nb = cfg.nb();
+        for r in 0..nb {
+            for c in 0..nb {
+                let k = first_k(&cfg, r, c);
+                assert_eq!(navp_matrix::stagger::reverse_a(r, k, nb), (r, c));
+                assert_eq!(navp_matrix::stagger::reverse_b(k, c, nb), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn dpc2d_product_correct_both_executors() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "sim executor mismatch");
+
+        let mut rep = ThreadExecutor::new()
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "thread executor mismatch");
+    }
+
+    #[test]
+    fn dpc2d_3x3_grid_correct() {
+        let cfg = MmConfig::real(18, 3);
+        let topo = topo(&cfg, 3, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn dpc2d_is_fastest_navp_stage() {
+        // Table 3 shape at N=2048, 2x2: phase (3.82) > pipe (3.72) >
+        // DSC (3.13).
+        let cfg = MmConfig::phantom(2048, 128);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let run = |cl| SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let dpc = run(cluster(&cfg, &topo, &a, &b).unwrap());
+        let pipe = run(crate::pipe2d::cluster(&cfg, &topo, &a, &b).unwrap());
+        let dsc = run(crate::dsc2d::cluster(&cfg, &topo, &a, &b).unwrap());
+        assert!(dpc.makespan <= pipe.makespan, "dpc {} pipe {}", dpc.makespan, pipe.makespan);
+        assert!(pipe.makespan < dsc.makespan, "pipe {} dsc {}", pipe.makespan, dsc.makespan);
+        let speedup = (2.0 * 2048f64.powi(3) / 1.11e8) / dpc.makespan.as_secs_f64();
+        assert!(
+            (3.0..4.0).contains(&speedup),
+            "full DPC speedup {speedup} outside Table 3 shape (3.82)"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Stage 1 — **1-D DSC** (paper Figures 4 and 5).
+//!
+//! The DSC Transformation applied to the sequential code: matrix `A`
+//! stays whole on PE 0, the block columns of `B` and `C` are distributed
+//! west→east, and the single computation thread hops after the data,
+//! carrying one block row of `A` at a time. No parallelism yet — the
+//! payoff is that no PE needs to hold the whole problem (Table 2), and
+//! the code is one mechanical step away from the pipelined stage.
+
+use crate::carrier1d::DscCarrier;
+use crate::config::MmConfig;
+use crate::util::{a_key, b_key, insert_block, Topo1D};
+use navp::{Cluster, RunError};
+use navp_matrix::{BlockedMatrix, MatrixError};
+
+/// Data placement of Fig. 4: all of `A` on PE 0; `B(*, bj)` on the PE
+/// owning block column `bj`. `C` blocks are created where they are
+/// computed (the carrier writes `C(mi) = t`).
+pub fn cluster(
+    cfg: &MmConfig,
+    topo: &Topo1D,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(topo.pes)?;
+    let nb = cfg.nb();
+    for bi in 0..nb {
+        for bj in 0..nb {
+            insert_block(cl.store_mut(0), a_key(bi, bj), a.block(bi, bj).clone());
+            let owner = topo.pe_of_col(bj);
+            insert_block(cl.store_mut(owner), b_key(bi, bj), b.block(bi, bj).clone());
+        }
+    }
+    // Fig. 5 line (1)-(2): hop(node(0)); inject(RowCarrier).
+    cl.inject(0, DscCarrier::new(*cfg, *topo, 0));
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run (for result collection).
+pub fn owner(topo: &Topo1D) -> impl Fn(usize, usize) -> usize + '_ {
+    |_bi, bj| topo.pe_of_col(bj)
+}
+
+/// Convenience: the topology for this stage on `pes` PEs.
+pub fn topo(cfg: &MmConfig, pes: usize) -> Result<Topo1D, MatrixError> {
+    Topo1D::new(cfg.nb(), pes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn dsc_product_correct_sim() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+        assert!(rep.hops > 0, "DSC must migrate");
+    }
+
+    #[test]
+    fn dsc_product_correct_threads() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let mut rep = ThreadExecutor::new().run(cl).unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn dsc_is_sequential_no_overlap() {
+        // Exactly one messenger alive: virtual busy time across PEs must
+        // equal the sum of per-PE busy times with zero concurrency — i.e.
+        // utilization over the makespan is <= 1 PE's worth.
+        let cfg = MmConfig::phantom(8, 2);
+        let topo = topo(&cfg, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let rep = SimExecutor::new(CostModel::paper_cluster())
+            .with_trace()
+            .run(cl)
+            .unwrap();
+        let util = rep.trace.utilization(2);
+        assert!(util <= 0.5 + 1e-9, "DSC cannot use both PEs at once: {util}");
+    }
+
+    #[test]
+    fn dsc_overhead_is_communication_shaped() {
+        // Table 1 shape: DSC ~ 0.9-1.0x sequential.
+        let cfg = MmConfig::phantom(1536, 128);
+        let topo = topo(&cfg, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let t_seq = 65.44;
+        let speedup = t_seq / rep.makespan.as_secs_f64();
+        assert!(
+            (0.85..1.0).contains(&speedup),
+            "DSC speedup {speedup} outside Table 1 shape"
+        );
+    }
+}

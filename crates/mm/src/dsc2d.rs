@@ -1,0 +1,351 @@
+//! Stage 4 — **DSC in the second dimension** (paper Figures 10 and 11).
+//!
+//! The DSC Transformation is applied *again*, hierarchically, in the `i`
+//! dimension: the network becomes a 2-D grid, `C(bi, bj)` lives on
+//! `node(bi, bj)`, and the operands start on the anti-diagonal
+//! (`A(N-1-l, *)` and `B(*, l)` on `node(N-1-l, l)`).
+//!
+//! Two kinds of carriers cooperate:
+//!
+//! * `ColCarrier(mj)` — the *producer* — carries block column `mj` of
+//!   `B` down its grid column, depositing a copy at every PE it visits
+//!   and signalling `EP` events;
+//! * `RowCarrier2D(mi)` — the *consumer* — carries block row `mi` of `A`
+//!   across its grid row, waiting on `EP` before using each deposited
+//!   column to accumulate `C(mi, bj) += Σ_k mA(k) · B(k, bj)`.
+//!
+//! The `EP` events are the first synchronization the incremental chain
+//! needs: until now carriers only read pre-placed data.
+
+use crate::config::MmConfig;
+use crate::launch::{Launcher, Stop};
+use crate::util::{
+    a_key, b_key, bdep_key, c_key, ep_col_key, gemm_flops, gemm_touched, insert_block,
+    new_c_block, Topo2D,
+};
+use navp::{Cluster, Effect, Messenger, MsgrCtx, RunError};
+use navp_matrix::{BlockData, BlockedMatrix, Grid2D, MatrixError};
+
+/// Anti-diagonal home of block row `mi` of `A` (paper: `A(N-1-l, *)` on
+/// `node(N-1-l, l)`, so row `mi` sits where the grid column is
+/// `nb-1-mi`).
+pub fn a_home(topo: &Topo2D, cfg: &MmConfig, mi: usize) -> usize {
+    topo.node_of_block(mi, cfg.nb() - 1 - mi)
+}
+
+/// Anti-diagonal home of block column `mj` of `B`.
+pub fn b_home(topo: &Topo2D, cfg: &MmConfig, mj: usize) -> usize {
+    topo.node_of_block(cfg.nb() - 1 - mj, mj)
+}
+
+/// The consumer: carries `mA(*) = A(mi, *)` across grid row
+/// `row_of(mi)`, visiting grid columns `(P-1-gi+l) mod P`.
+pub struct RowCarrier2D {
+    cfg: MmConfig,
+    topo: Topo2D,
+    mi: usize,
+    m_a: Vec<BlockData>,
+    picked: bool,
+    /// Grid-column visit index (the paper's `mj` at PE granularity).
+    leg: usize,
+    /// Cursor within the current stop's column band.
+    band_idx: usize,
+    /// Set between the `EP` wait and the compute that consumes it.
+    awaiting: Option<usize>,
+}
+
+impl RowCarrier2D {
+    /// Carrier for block row `mi`; inject at [`a_home`].
+    pub fn new(cfg: MmConfig, topo: Topo2D, mi: usize) -> RowCarrier2D {
+        RowCarrier2D {
+            cfg,
+            topo,
+            mi,
+            m_a: Vec::new(),
+            picked: false,
+            leg: 0,
+            band_idx: 0,
+            awaiting: None,
+        }
+    }
+
+    fn grid_row(&self) -> usize {
+        self.topo.dist.row.pe_of(self.mi)
+    }
+
+    fn stop_pe(&self, leg: usize) -> usize {
+        let p = self.topo.grid.cols;
+        let gi = self.grid_row();
+        let gc = (2 * p - 1 - gi + leg) % p;
+        self.topo.grid.node(gi, gc)
+    }
+
+    /// Block columns owned by the grid column visited on `leg`.
+    fn band(&self, leg: usize) -> std::ops::Range<usize> {
+        let p = self.topo.grid.cols;
+        let gi = self.grid_row();
+        let gc = (2 * p - 1 - gi + leg) % p;
+        self.topo.dist.col.blocks_of(gc)
+    }
+}
+
+impl Messenger for RowCarrier2D {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        let nb = self.cfg.nb();
+        if !self.picked {
+            self.m_a = (0..nb)
+                .map(|k| {
+                    ctx.store()
+                        .take::<BlockData>(a_key(self.mi, k))
+                        .expect("A row at its anti-diagonal home")
+                })
+                .collect();
+            ctx.charge_touched(self.m_a.iter().map(BlockData::bytes).sum());
+            self.picked = true;
+            return Effect::Hop(self.stop_pe(0));
+        }
+        // Consume the awaited deposit, if any.
+        if let Some(bj) = self.awaiting.take() {
+            let mut c = ctx
+                .store()
+                .take::<BlockData>(c_key(self.mi, bj))
+                .expect("C block resident at node(bi, bj)");
+            for (k, a_blk) in self.m_a.iter().enumerate() {
+                let b = ctx
+                    .store()
+                    .get::<BlockData>(bdep_key(k, bj))
+                    .expect("B deposit signalled by EP");
+                c.gemm_acc(a_blk, b).expect("uniform block shapes");
+                ctx.charge_flops(gemm_flops(self.cfg.ab));
+                ctx.charge_touched(gemm_touched(self.cfg.ab));
+            }
+            insert_block(ctx.store(), c_key(self.mi, bj), c);
+            self.band_idx += 1;
+        }
+        // Next column in this stop's band, or move on.
+        let band = self.band(self.leg);
+        let band_len = band.len();
+        if self.band_idx < band_len {
+            let bj = band.start + self.band_idx;
+            self.awaiting = Some(bj);
+            return Effect::WaitEvent(ep_col_key(bj, self.mi));
+        }
+        self.leg += 1;
+        self.band_idx = 0;
+        if self.leg == self.topo.grid.cols {
+            return Effect::Done;
+        }
+        Effect::Hop(self.stop_pe(self.leg))
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.m_a.iter().map(BlockData::bytes).sum()
+    }
+
+    fn label(&self) -> String {
+        format!("RowCarrier2D({})", self.mi)
+    }
+}
+
+/// The producer: carries `mB(*) = B(*, mj)` down grid column
+/// `col_of(mj)`, visiting grid rows `(P-1-gj+l) mod P` and depositing a
+/// copy of the column at each stop (Fig. 11's `B(*) = mB(*)`).
+pub struct ColCarrier {
+    cfg: MmConfig,
+    topo: Topo2D,
+    mj: usize,
+    m_b: Vec<BlockData>,
+    picked: bool,
+    leg: usize,
+}
+
+impl ColCarrier {
+    /// Carrier for block column `mj`; inject at [`b_home`].
+    pub fn new(cfg: MmConfig, topo: Topo2D, mj: usize) -> ColCarrier {
+        ColCarrier {
+            cfg,
+            topo,
+            mj,
+            m_b: Vec::new(),
+            picked: false,
+            leg: 0,
+        }
+    }
+
+    fn grid_col(&self) -> usize {
+        self.topo.dist.col.pe_of(self.mj)
+    }
+
+    fn stop_pe(&self, leg: usize) -> usize {
+        let p = self.topo.grid.rows;
+        let gj = self.grid_col();
+        let gr = (2 * p - 1 - gj + leg) % p;
+        self.topo.grid.node(gr, gj)
+    }
+}
+
+impl Messenger for ColCarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        let nb = self.cfg.nb();
+        if !self.picked {
+            self.m_b = (0..nb)
+                .map(|k| {
+                    ctx.store()
+                        .take::<BlockData>(b_key(k, self.mj))
+                        .expect("B column at its anti-diagonal home")
+                })
+                .collect();
+            ctx.charge_touched(self.m_b.iter().map(BlockData::bytes).sum());
+            self.picked = true;
+            return Effect::Hop(self.stop_pe(0));
+        }
+        // Deposit a copy of the column and wake the local consumers.
+        for (k, blk) in self.m_b.iter().enumerate() {
+            insert_block(ctx.store(), bdep_key(k, self.mj), blk.clone());
+        }
+        ctx.charge_touched(self.m_b.iter().map(BlockData::bytes).sum());
+        let p = self.topo.grid.rows;
+        let gr = (2 * p - 1 - self.grid_col() + self.leg) % p;
+        for mi in self.topo.dist.row.blocks_of(gr) {
+            ctx.signal(ep_col_key(self.mj, mi));
+        }
+        self.leg += 1;
+        if self.leg == p {
+            return Effect::Done;
+        }
+        Effect::Hop(self.stop_pe(self.leg))
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.m_b.iter().map(BlockData::bytes).sum()
+    }
+
+    fn label(&self) -> String {
+        format!("ColCarrier({})", self.mj)
+    }
+}
+
+/// Data placement of Fig. 10 plus the launcher of Fig. 11 (one stop per
+/// anti-diagonal node, injecting that node's row and column carriers).
+pub fn cluster(
+    cfg: &MmConfig,
+    topo: &Topo2D,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(topo.grid.len())?;
+    let nb = cfg.nb();
+    for l in 0..nb {
+        let mi = nb - 1 - l;
+        let ah = a_home(topo, cfg, mi);
+        let bh = b_home(topo, cfg, l);
+        for k in 0..nb {
+            insert_block(cl.store_mut(ah), a_key(mi, k), a.block(mi, k).clone());
+            insert_block(cl.store_mut(bh), b_key(k, l), b.block(k, l).clone());
+        }
+    }
+    for bi in 0..nb {
+        for bj in 0..nb {
+            insert_block(
+                cl.store_mut(topo.node_of_block(bi, bj)),
+                c_key(bi, bj),
+                new_c_block(cfg.payload, cfg.ab),
+            );
+        }
+    }
+    // Producers before consumers: the paper's fine-grain launcher
+    // (Fig. 11) interleaves RowCarrier and ColCarrier injection, which
+    // is immaterial when a compute segment is one matrix entry. At block
+    // granularity a consumer's per-stop compute is long, so the launcher
+    // makes two passes over the anti-diagonal — every (cheap) column
+    // deposit completes before any block compute starts. This is a pure
+    // scheduling refinement available to any NavP program; the hops,
+    // data volumes and events are unchanged.
+    let mut stops: Vec<Stop> = (0..nb)
+        .map(|ml| Stop {
+            pe: b_home(topo, cfg, ml),
+            inject: vec![Box::new(ColCarrier::new(*cfg, *topo, ml)) as Box<dyn Messenger>],
+            signal: Vec::new(),
+        })
+        .collect();
+    stops.extend((0..nb).map(|ml| {
+        let mi = nb - 1 - ml;
+        Stop {
+            pe: a_home(topo, cfg, mi),
+            inject: vec![Box::new(RowCarrier2D::new(*cfg, *topo, mi)) as Box<dyn Messenger>],
+            signal: Vec::new(),
+        }
+    }));
+    let launcher = Launcher::new("Fig11-launcher", stops);
+    let entry = launcher.first_pe();
+    cl.inject(entry, launcher);
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run.
+pub fn owner<'t>(topo: &'t Topo2D) -> impl Fn(usize, usize) -> usize + 't {
+    |bi, bj| topo.node_of_block(bi, bj)
+}
+
+/// The 2-D topology for this stage on a `rows x cols` grid.
+pub fn topo(cfg: &MmConfig, rows: usize, cols: usize) -> Result<Topo2D, MatrixError> {
+    Topo2D::new(cfg.nb(), Grid2D::new(rows, cols)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn dsc2d_product_correct_both_executors() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "sim executor mismatch");
+
+        let mut rep = ThreadExecutor::new()
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "thread executor mismatch");
+    }
+
+    #[test]
+    fn dsc2d_on_3x3_grid() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 3, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn dsc2d_parallel_speedup_shape() {
+        // Table 3 shape on 2x2: 2D DSC ~ 2.5-3.4x.
+        let cfg = MmConfig::phantom(1024, 128);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let t_seq = 2.0 * 1024f64.powi(3) / 1.11e8;
+        let speedup = t_seq / rep.makespan.as_secs_f64();
+        assert!(
+            (1.8..4.0).contains(&speedup),
+            "2D DSC speedup {speedup} outside Table 3 shape (2.55)"
+        );
+    }
+}

@@ -1,0 +1,802 @@
+//! **Gentleman's algorithm** (paper Section 4, Figure 16) on the
+//! message-passing substrate — the baseline NavP is compared against in
+//! Tables 3 and 4.
+//!
+//! The implementation mirrors the paper's MPI code:
+//!
+//! * the matrices are partitioned into algorithmic blocks; each rank of
+//!   a `P x P` grid owns a `pp x pp` tile of block *positions*
+//!   (`pp = nb / P`);
+//! * initial staggering skews block row `bi` of `A` west by `bi` and
+//!   block column `bj` of `B` north by `bj`. With
+//!   [`Stagger::SingleStep`] every block is shipped straight to its
+//!   destination (the paper's fully-connected-switch assumption); with
+//!   [`Stagger::Stepwise`] it moves one position per round through
+//!   intermediate ranks — classical Cannon, kept for the staggering
+//!   ablation;
+//! * then `nb` multiply rounds: every position computes
+//!   `C += A_pos * B_pos`, and between rounds `A` shifts one position
+//!   west and `B` one position north. Shifts *within* a rank are pointer
+//!   swaps (a `Vec` rotation — no copy, no wire), exactly the paper's
+//!   local-shift optimization; only edge columns/rows cross ranks;
+//! * communications and computations follow a **fixed loop order** — the
+//!   "artificial sequential order" of Section 5 item 1. The
+//!   [`Scheduling::Overlapped`] variant relaxes it (non-edge positions
+//!   compute before edge receives are waited on) for the scheduling
+//!   ablation;
+//! * block gemms are charged the paper's ~4% cache penalty
+//!   (`CostModel::mpi_cache_factor`, Section 5 item 2): the loop over
+//!   block triplets keeps no operand cache-resident.
+
+use crate::config::MmConfig;
+use crate::util::{a_key, b_key, c_key, gemm_flops, gemm_touched, insert_block};
+use navp_matrix::{BlockData, BlockedMatrix, Grid2D, Matrix, MatrixError};
+use navp_mp::{MpCluster, MpData, MpEffect, MpError, ProcCtx, Process, Tag};
+
+/// How the initial staggering travels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stagger {
+    /// Ship every block straight to its skewed position (one message) —
+    /// the paper's modified Gentleman on a collision-free switch.
+    SingleStep,
+    /// Shift one position per round through intermediate ranks —
+    /// classical Cannon; used by the staggering ablation.
+    Stepwise,
+}
+
+/// Order of communication and computation within a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// The straightforward MPI code: receive every incoming edge block
+    /// (fixed order), then compute every position (fixed order).
+    Strict,
+    /// Compute interior positions (whose operands are already local)
+    /// before waiting on edge receives — hand-written overlap, the
+    /// "considerably more programming work" of Section 5.
+    Overlapped,
+}
+
+/// Cache behaviour charged to the block gemms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheCharge {
+    /// The paper's analysis: block triplets are fresh in cache (~4%).
+    MpiTriplets,
+    /// Ablation: pretend MPI had NavP's cache behaviour.
+    LikeNavP,
+}
+
+/// Tunable variant of the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GentlemanOpts {
+    /// Staggering mode.
+    pub stagger: Stagger,
+    /// Scheduling mode.
+    pub scheduling: Scheduling,
+    /// Cache charging mode.
+    pub cache: CacheCharge,
+}
+
+impl Default for GentlemanOpts {
+    fn default() -> Self {
+        GentlemanOpts {
+            stagger: Stagger::SingleStep,
+            scheduling: Scheduling::Strict,
+            cache: CacheCharge::MpiTriplets,
+        }
+    }
+}
+
+const OP_A: u32 = 0;
+const OP_B: u32 = 1;
+
+fn tag_of(op: u32, bi: usize, bj: usize) -> Tag {
+    debug_assert!(bi < (1 << 14) && bj < (1 << 14));
+    (op << 28) | ((bi as u32) << 14) | bj as u32
+}
+
+/// Where block row `bi` of `A` sends its block at column `bj`:
+/// west by `bi` (Fig. 16 initial staggering).
+fn stagger_a_dest(nb: usize, bi: usize, bj: usize) -> (usize, usize) {
+    (bi, (bj + nb - bi % nb) % nb)
+}
+
+/// Where `B(bi, bj)` goes: north by `bj`.
+fn stagger_b_dest(nb: usize, bi: usize, bj: usize) -> (usize, usize) {
+    ((bi + nb - bj % nb) % nb, bj)
+}
+
+/// Inverse: which original block lands on position `(bi, bj)`.
+fn stagger_a_src(nb: usize, bi: usize, bj: usize) -> (usize, usize) {
+    (bi, (bj + bi) % nb)
+}
+
+fn stagger_b_src(nb: usize, bi: usize, bj: usize) -> (usize, usize) {
+    ((bi + bj) % nb, bj)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sub {
+    /// Load owned blocks from the store into position arrays.
+    Load,
+    /// Single-step staggering: send own blocks to skewed destinations.
+    StaggerSend(usize),
+    /// Single-step staggering: receive skewed blocks (fixed order).
+    StaggerRecv(usize),
+    /// Stepwise staggering round `r`: send edge blocks still moving.
+    StepwiseSend { r: usize, idx: usize },
+    StepwiseRecv { r: usize, idx: usize },
+    /// Multiply round `k` (0 = initial multiply, then `nb-1` shifted).
+    RoundSendA { k: usize, idx: usize },
+    RoundSendB { k: usize, idx: usize },
+    RoundRecvA { k: usize, idx: usize },
+    RoundRecvB { k: usize, idx: usize },
+    RoundCompute { k: usize, idx: usize },
+    Store,
+    Finished,
+}
+
+/// One rank of the Gentleman/Cannon baseline.
+pub struct GentlemanRank {
+    cfg: MmConfig,
+    grid: Grid2D,
+    opts: GentlemanOpts,
+    gi: usize,
+    gj: usize,
+    pp: usize,
+    /// Current A block at each local position, row-major `pp x pp`.
+    apos: Vec<Option<BlockData>>,
+    bpos: Vec<Option<BlockData>>,
+    cpos: Vec<Option<BlockData>>,
+    sub: Sub,
+    /// Where to put the next received payload.
+    recv_into: Option<(u32, usize)>,
+    /// Precomputed stagger receive order: `(op, local_idx, src_rank, tag)`.
+    stagger_recvs: Vec<(u32, usize, usize, Tag)>,
+    /// Blocks leaving during single-step staggering: `(block, dst, tag)`.
+    stagger_outbox: Vec<(BlockData, usize, Tag)>,
+    /// A blocks that left through the west edge this shift round.
+    outgoing_a: Vec<BlockData>,
+    /// B blocks that left through the north edge this shift round.
+    outgoing_b: Vec<BlockData>,
+}
+
+impl GentlemanRank {
+    /// Build the rank with grid coordinates derived from its id at
+    /// first step.
+    pub fn new(cfg: MmConfig, grid: Grid2D, opts: GentlemanOpts, rank: usize) -> GentlemanRank {
+        let (gi, gj) = grid.coords(rank);
+        let pp = cfg.nb() / grid.rows;
+        GentlemanRank {
+            cfg,
+            grid,
+            opts,
+            gi,
+            gj,
+            pp,
+            apos: Vec::new(),
+            bpos: Vec::new(),
+            cpos: Vec::new(),
+            sub: Sub::Load,
+            recv_into: None,
+            stagger_recvs: Vec::new(),
+            stagger_outbox: Vec::new(),
+            outgoing_a: Vec::new(),
+            outgoing_b: Vec::new(),
+        }
+    }
+
+    fn nb(&self) -> usize {
+        self.cfg.nb()
+    }
+
+    /// Global block row of local row `r`.
+    fn gbi(&self, r: usize) -> usize {
+        self.gi * self.pp + r
+    }
+
+    /// Global block col of local col `c`.
+    fn gbj(&self, c: usize) -> usize {
+        self.gj * self.pp + c
+    }
+
+    fn rank_of_pos(&self, bi: usize, bj: usize) -> usize {
+        self.grid.node(bi / self.pp, bj / self.pp)
+    }
+
+    fn local_idx(&self, bi: usize, bj: usize) -> usize {
+        (bi - self.gi * self.pp) * self.pp + (bj - self.gj * self.pp)
+    }
+
+    /// Compute one local position: `C += A_pos * B_pos`.
+    fn compute_pos(&mut self, ctx: &mut ProcCtx<'_>, idx: usize) {
+        let a = self.apos[idx].as_ref().expect("A position filled");
+        let b = self.bpos[idx].as_ref().expect("B position filled");
+        let c = self.cpos[idx].as_mut().expect("C resident");
+        c.gemm_acc(a, b).expect("uniform block shapes");
+        // Section 5 item 2: the MPI block-triplet pattern runs ~4%
+        // slower than NavP's cache-resident pattern. The factor value is
+        // the calibrated CostModel::paper_cluster().mpi_cache_factor.
+        let factor = match self.opts.cache {
+            CacheCharge::MpiTriplets => 1.04,
+            CacheCharge::LikeNavP => 1.0,
+        };
+        ctx.charge_flops_factor(gemm_flops(self.cfg.ab), factor);
+        ctx.charge_touched(gemm_touched(self.cfg.ab));
+    }
+
+    /// Stash a just-received block into the slot recorded at `Recv` time.
+    fn absorb_received(&mut self, ctx: &mut ProcCtx<'_>) {
+        if let Some((op, idx)) = self.recv_into.take() {
+            let (_src, data) = ctx
+                .take_received()
+                .expect("a Recv effect preceded this step");
+            let block: BlockData = data.downcast().expect("block payload");
+            match op {
+                OP_A => self.apos[idx] = Some(block),
+                _ => self.bpos[idx] = Some(block),
+            }
+        }
+    }
+
+    /// Shift the A positions one column west locally (pointer swap);
+    /// returns the blocks that left through the west edge, keyed by
+    /// local row.
+    fn rotate_a_west(&mut self) -> Vec<BlockData> {
+        let pp = self.pp;
+        let mut out = Vec::with_capacity(pp);
+        for r in 0..pp {
+            out.push(self.apos[r * pp].take().expect("west edge filled"));
+            for c in 0..pp - 1 {
+                self.apos[r * pp + c] = self.apos[r * pp + c + 1].take();
+            }
+        }
+        out
+    }
+
+    fn rotate_b_north(&mut self) -> Vec<BlockData> {
+        let pp = self.pp;
+        let mut out = Vec::with_capacity(pp);
+        for c in 0..pp {
+            out.push(self.bpos[c].take().expect("north edge filled"));
+        }
+        for r in 0..pp - 1 {
+            for c in 0..pp {
+                self.bpos[r * pp + c] = self.bpos[(r + 1) * pp + c].take();
+            }
+        }
+        out
+    }
+}
+
+impl Process for GentlemanRank {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> MpEffect {
+        self.absorb_received(ctx);
+        loop {
+            match self.sub {
+                Sub::Load => {
+                    let pp = self.pp;
+                    self.apos = vec![None; pp * pp];
+                    self.bpos = vec![None; pp * pp];
+                    self.cpos = vec![None; pp * pp];
+                    for r in 0..pp {
+                        for c in 0..pp {
+                            let (bi, bj) = (self.gbi(r), self.gbj(c));
+                            let idx = r * pp + c;
+                            self.apos[idx] = ctx.store().take::<BlockData>(a_key(bi, bj));
+                            self.bpos[idx] = ctx.store().take::<BlockData>(b_key(bi, bj));
+                            self.cpos[idx] =
+                                Some(crate::util::new_c_block(self.cfg.payload, self.cfg.ab));
+                            assert!(
+                                self.apos[idx].is_some() && self.bpos[idx].is_some(),
+                                "operands placed at setup"
+                            );
+                        }
+                    }
+                    if self.opts.stagger == Stagger::SingleStep {
+                        self.prepare_single_step_stagger();
+                        self.sub = Sub::StaggerSend(0);
+                    } else {
+                        self.sub = Sub::StepwiseSend { r: 0, idx: 0 };
+                    }
+                }
+                Sub::StaggerSend(i) => {
+                    if i == self.stagger_outbox.len() {
+                        self.stagger_outbox.clear();
+                        self.stagger_outbox.shrink_to_fit();
+                        self.sub = Sub::StaggerRecv(0);
+                        continue;
+                    }
+                    self.sub = Sub::StaggerSend(i + 1);
+                    let (ref mut slot, dst, tag) = self.stagger_outbox[i];
+                    let block = std::mem::replace(slot, BlockData::phantom(0, 0));
+                    let bytes = block.bytes();
+                    return MpEffect::Send {
+                        to: dst,
+                        tag,
+                        data: MpData::new(block, bytes),
+                    };
+                }
+                Sub::StaggerRecv(i) => {
+                    if i == self.stagger_recvs.len() {
+                        self.sub = Sub::RoundCompute { k: 0, idx: 0 };
+                        continue;
+                    }
+                    self.sub = Sub::StaggerRecv(i + 1);
+                    let (op, idx, src, tag) = self.stagger_recvs[i];
+                    self.recv_into = Some((op, idx));
+                    return MpEffect::Recv {
+                        from: Some(src),
+                        tag,
+                    };
+                }
+                Sub::StepwiseSend { r, idx } => {
+                    // Round r of stepwise (Cannon) staggering: block rows
+                    // bi > r still shift A west one position; block cols
+                    // bj > r still shift B north one position. Only edge
+                    // positions cross ranks; interior moves are local and
+                    // handled in StepwiseRecv after the sends.
+                    match self.next_stepwise_transfer(r, idx, true) {
+                        Some((op, local, dst, tag, next_idx)) => {
+                            self.sub = Sub::StepwiseSend { r, idx: next_idx };
+                            let block = if op == OP_A {
+                                self.apos[local].take()
+                            } else {
+                                self.bpos[local].take()
+                            }
+                            .expect("edge block present");
+                            let bytes = block.bytes();
+                            return MpEffect::Send {
+                                to: dst,
+                                tag,
+                                data: MpData::new(block, bytes),
+                            };
+                        }
+                        None => {
+                            self.apply_stepwise_local_shifts(r);
+                            self.sub = Sub::StepwiseRecv { r, idx: 0 };
+                        }
+                    }
+                }
+                Sub::StepwiseRecv { r, idx } => {
+                    match self.next_stepwise_transfer(r, idx, false) {
+                        Some((op, local, src, tag, next_idx)) => {
+                            self.sub = Sub::StepwiseRecv { r, idx: next_idx };
+                            self.recv_into = Some((op, local));
+                            return MpEffect::Recv {
+                                from: Some(src),
+                                tag,
+                            };
+                        }
+                        None => {
+                            if r + 2 >= self.nb() {
+                                self.sub = Sub::RoundCompute { k: 0, idx: 0 };
+                            } else {
+                                self.sub = Sub::StepwiseSend { r: r + 1, idx: 0 };
+                            }
+                        }
+                    }
+                }
+                Sub::RoundSendA { k, idx } => {
+                    let pp = self.pp;
+                    if idx == pp {
+                        self.sub = Sub::RoundSendB { k, idx: 0 };
+                        continue;
+                    }
+                    self.sub = Sub::RoundSendA { k, idx: idx + 1 };
+                    let west = self.grid.node(self.gi, (self.gj + self.grid.cols - 1) % self.grid.cols);
+                    let block = self.outgoing_a_block(idx);
+                    let bytes = block.bytes();
+                    // Tag by local row so receiver fills the right slot.
+                    return MpEffect::Send {
+                        to: west,
+                        tag: tag_of(OP_A, k, idx),
+                        data: MpData::new(block, bytes),
+                    };
+                }
+                Sub::RoundSendB { k, idx } => {
+                    let pp = self.pp;
+                    if idx == pp {
+                        self.sub = Sub::RoundRecvA { k, idx: 0 };
+                        continue;
+                    }
+                    self.sub = Sub::RoundSendB { k, idx: idx + 1 };
+                    let north = self.grid.node((self.gi + self.grid.rows - 1) % self.grid.rows, self.gj);
+                    let block = self.outgoing_b_block(idx);
+                    let bytes = block.bytes();
+                    return MpEffect::Send {
+                        to: north,
+                        tag: tag_of(OP_B, k, idx),
+                        data: MpData::new(block, bytes),
+                    };
+                }
+                Sub::RoundRecvA { k, idx } => {
+                    let pp = self.pp;
+                    if idx == pp {
+                        self.sub = Sub::RoundRecvB { k, idx: 0 };
+                        continue;
+                    }
+                    self.sub = Sub::RoundRecvA { k, idx: idx + 1 };
+                    let east = self.grid.node(self.gi, (self.gj + 1) % self.grid.cols);
+                    // Fill east edge, local row = idx.
+                    self.recv_into = Some((OP_A, idx * pp + (pp - 1)));
+                    return MpEffect::Recv {
+                        from: Some(east),
+                        tag: tag_of(OP_A, k, idx),
+                    };
+                }
+                Sub::RoundRecvB { k, idx } => {
+                    let pp = self.pp;
+                    if idx == pp {
+                        self.sub = Sub::RoundCompute { k, idx: 0 };
+                        continue;
+                    }
+                    self.sub = Sub::RoundRecvB { k, idx: idx + 1 };
+                    let south = self.grid.node((self.gi + 1) % self.grid.rows, self.gj);
+                    self.recv_into = Some((OP_B, (pp - 1) * pp + idx));
+                    return MpEffect::Recv {
+                        from: Some(south),
+                        tag: tag_of(OP_B, k, idx),
+                    };
+                }
+                Sub::RoundCompute { k, idx } => {
+                    let pp = self.pp;
+                    if idx == pp * pp {
+                        if k + 1 == self.nb() {
+                            self.sub = Sub::Store;
+                        } else {
+                            self.begin_shift();
+                            self.sub = Sub::RoundSendA { k: k + 1, idx: 0 };
+                        }
+                        continue;
+                    }
+                    let order = self.compute_order(idx);
+                    self.compute_pos(ctx, order);
+                    self.sub = Sub::RoundCompute { k, idx: idx + 1 };
+                }
+                Sub::Store => {
+                    let pp = self.pp;
+                    for r in 0..pp {
+                        for c in 0..pp {
+                            let (bi, bj) = (self.gbi(r), self.gbj(c));
+                            let block = self.cpos[r * pp + c].take().expect("C computed");
+                            insert_block(ctx.store(), c_key(bi, bj), block);
+                        }
+                    }
+                    self.sub = Sub::Finished;
+                    return MpEffect::Done;
+                }
+                Sub::Finished => return MpEffect::Done,
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("Gentleman({},{})", self.gi, self.gj)
+    }
+}
+
+impl GentlemanRank {
+    fn prepare_single_step_stagger(&mut self) {
+        let nb = self.nb();
+        let pp = self.pp;
+        let me = self.grid.node(self.gi, self.gj);
+        // Every owned block either lands locally (skew inside the rank)
+        // or goes into the outbox for one direct send — the paper's
+        // single-step staggering over a collision-free switch.
+        let mut new_a = vec![None; pp * pp];
+        let mut new_b = vec![None; pp * pp];
+        for r in 0..pp {
+            for c in 0..pp {
+                let (bi, bj) = (self.gbi(r), self.gbj(c));
+                let idx = r * pp + c;
+                let a_blk = self.apos[idx].take().expect("A loaded");
+                let (ai, aj) = stagger_a_dest(nb, bi, bj);
+                let adst = self.rank_of_pos(ai, aj);
+                if adst == me {
+                    new_a[self.local_idx(ai, aj)] = Some(a_blk);
+                } else {
+                    self.stagger_outbox.push((a_blk, adst, tag_of(OP_A, ai, aj)));
+                }
+                let b_blk = self.bpos[idx].take().expect("B loaded");
+                let (vi, vj) = stagger_b_dest(nb, bi, bj);
+                let bdst = self.rank_of_pos(vi, vj);
+                if bdst == me {
+                    new_b[self.local_idx(vi, vj)] = Some(b_blk);
+                } else {
+                    self.stagger_outbox.push((b_blk, bdst, tag_of(OP_B, vi, vj)));
+                }
+            }
+        }
+        self.apos = new_a;
+        self.bpos = new_b;
+        // Receives, in fixed position order: whatever was not local.
+        for r in 0..pp {
+            for c in 0..pp {
+                let (bi, bj) = (self.gbi(r), self.gbj(c));
+                let li = r * pp + c;
+                let (sai, saj) = stagger_a_src(nb, bi, bj);
+                if self.rank_of_pos(sai, saj) != me {
+                    self.stagger_recvs.push((
+                        OP_A,
+                        li,
+                        self.rank_of_pos(sai, saj),
+                        tag_of(OP_A, bi, bj),
+                    ));
+                }
+                let (sbi, sbj) = stagger_b_src(nb, bi, bj);
+                if self.rank_of_pos(sbi, sbj) != me {
+                    self.stagger_recvs.push((
+                        OP_B,
+                        li,
+                        self.rank_of_pos(sbi, sbj),
+                        tag_of(OP_B, bi, bj),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Enumerate the `idx`-th remote transfer of stepwise round `r`
+    /// (sends when `sending`, receives otherwise). Returns
+    /// `(op, local_idx, peer, tag, next_idx)`.
+    #[allow(clippy::too_many_arguments)]
+    fn next_stepwise_transfer(
+        &self,
+        r: usize,
+        mut idx: usize,
+        sending: bool,
+    ) -> Option<(u32, usize, usize, Tag, usize)> {
+        let pp = self.pp;
+        // Candidate transfers, in fixed order: A edge rows, then B edge
+        // cols. A block row bi still shifts when bi > r.
+        loop {
+            if idx >= 2 * pp {
+                return None;
+            }
+            let cursor = idx;
+            idx += 1;
+            if cursor < pp {
+                let lr = cursor;
+                let bi = self.gbi(lr);
+                if bi <= r {
+                    continue;
+                }
+                let (op, tag) = (OP_A, tag_of(OP_A, r, lr));
+                if sending {
+                    let west =
+                        self.grid.node(self.gi, (self.gj + self.grid.cols - 1) % self.grid.cols);
+                    return Some((op, lr * pp, west, tag, idx));
+                }
+                let east = self.grid.node(self.gi, (self.gj + 1) % self.grid.cols);
+                return Some((op, lr * pp + (pp - 1), east, tag, idx));
+            }
+            let lc = cursor - pp;
+            let bj = self.gbj(lc);
+            if bj <= r {
+                continue;
+            }
+            let (op, tag) = (OP_B, tag_of(OP_B, r, lc));
+            if sending {
+                let north =
+                    self.grid.node((self.gi + self.grid.rows - 1) % self.grid.rows, self.gj);
+                return Some((op, lc, north, tag, idx));
+            }
+            let south = self.grid.node((self.gi + 1) % self.grid.rows, self.gj);
+            return Some((op, (pp - 1) * pp + lc, south, tag, idx));
+        }
+    }
+
+    /// Apply the local part of a stepwise round: rows/cols still moving
+    /// rotate one position inside the rank (the edge block was already
+    /// sent; the far edge will be filled by the receive).
+    fn apply_stepwise_local_shifts(&mut self, r: usize) {
+        let pp = self.pp;
+        for lr in 0..pp {
+            if self.gbi(lr) > r {
+                for c in 0..pp - 1 {
+                    self.apos[lr * pp + c] = self.apos[lr * pp + c + 1].take();
+                }
+            }
+        }
+        for lc in 0..pp {
+            if self.gbj(lc) > r {
+                for row in 0..pp - 1 {
+                    self.bpos[row * pp + lc] = self.bpos[(row + 1) * pp + lc].take();
+                }
+            }
+        }
+    }
+
+    /// Start a shift round: rotate locally, stash outgoing edges.
+    fn begin_shift(&mut self) {
+        let a_out = self.rotate_a_west();
+        let b_out = self.rotate_b_north();
+        self.outgoing_a = a_out;
+        self.outgoing_b = b_out;
+    }
+
+    fn outgoing_a_block(&mut self, idx: usize) -> BlockData {
+        std::mem::replace(&mut self.outgoing_a[idx], BlockData::phantom(0, 0))
+    }
+
+    fn outgoing_b_block(&mut self, idx: usize) -> BlockData {
+        std::mem::replace(&mut self.outgoing_b[idx], BlockData::phantom(0, 0))
+    }
+
+    /// Position computed at compute step `idx` under the scheduling mode:
+    /// `Strict` is plain row-major; `Overlapped` visits interior
+    /// positions first and edge positions (which depend on this round's
+    /// receives) last.
+    fn compute_order(&self, idx: usize) -> usize {
+        match self.opts.scheduling {
+            Scheduling::Strict => idx,
+            Scheduling::Overlapped => {
+                let pp = self.pp;
+                let mut interior: Vec<usize> = Vec::with_capacity(pp * pp);
+                let mut edge: Vec<usize> = Vec::new();
+                for r in 0..pp {
+                    for c in 0..pp {
+                        let i = r * pp + c;
+                        if c == pp - 1 || r == pp - 1 {
+                            edge.push(i);
+                        } else {
+                            interior.push(i);
+                        }
+                    }
+                }
+                interior.extend(edge);
+                interior[idx]
+            }
+        }
+    }
+}
+
+/// Build the message-passing cluster: operands placed at their home
+/// ranks (block `(bi, bj)` on the rank owning that position), one
+/// [`GentlemanRank`] per PE.
+pub fn cluster(
+    cfg: &MmConfig,
+    grid: Grid2D,
+    opts: GentlemanOpts,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<MpCluster, MpError> {
+    if grid.rows != grid.cols {
+        return Err(MpError::NoRanks);
+    }
+    let nb = cfg.nb();
+    let pp = nb / grid.rows;
+    if pp * grid.rows != nb {
+        return Err(MpError::NoRanks);
+    }
+    let procs: Vec<Box<dyn Process>> = (0..grid.len())
+        .map(|r| Box::new(GentlemanRank::new(*cfg, grid, opts, r)) as Box<dyn Process>)
+        .collect();
+    let mut cl = MpCluster::new(procs)?;
+    for bi in 0..nb {
+        for bj in 0..nb {
+            let rank = grid.node(bi / pp, bj / pp);
+            insert_block(cl.store_mut(rank), a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.store_mut(rank), b_key(bi, bj), b.block(bi, bj).clone());
+        }
+    }
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run (C never moves in Gentleman).
+pub fn owner(cfg: &MmConfig, grid: Grid2D) -> impl Fn(usize, usize) -> usize {
+    let pp = cfg.nb() / grid.rows;
+    move |bi, bj| grid.node(bi / pp, bj / pp)
+}
+
+/// Assemble the product from the post-run rank stores.
+pub fn collect(
+    stores: &mut [navp_sim::store::NodeStore],
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<Option<Matrix>, MatrixError> {
+    crate::util::collect_c(stores, cfg, owner(cfg, grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_mp::{MpSimExecutor, MpThreadExecutor};
+    use navp_sim::CostModel;
+
+    fn run_sim(cfg: &MmConfig, grid: Grid2D, opts: GentlemanOpts) -> (f64, Option<Matrix>) {
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(cfg, grid, opts, &a, &b).unwrap();
+        let mut rep = MpSimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let c = collect(&mut rep.stores, cfg, grid).unwrap();
+        (rep.makespan.as_secs_f64(), c)
+    }
+
+    #[test]
+    fn gentleman_correct_2x2_sim() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let (_, got) = run_sim(&cfg, grid, GentlemanOpts::default());
+        assert!(want.max_abs_diff(&got.unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn gentleman_correct_3x3_sim() {
+        let cfg = MmConfig::real(18, 3);
+        let grid = Grid2D::new(3, 3).unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let (_, got) = run_sim(&cfg, grid, GentlemanOpts::default());
+        assert!(want.max_abs_diff(&got.unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn gentleman_correct_threads() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, grid, GentlemanOpts::default(), &a, &b).unwrap();
+        let mut rep = MpThreadExecutor::new().run(cl).unwrap();
+        let got = collect(&mut rep.stores, &cfg, grid).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn cannon_stepwise_correct() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let opts = GentlemanOpts {
+            stagger: Stagger::Stepwise,
+            ..Default::default()
+        };
+        let (_, got) = run_sim(&cfg, grid, opts);
+        assert!(want.max_abs_diff(&got.unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn overlapped_scheduling_correct() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let opts = GentlemanOpts {
+            scheduling: Scheduling::Overlapped,
+            ..Default::default()
+        };
+        let (_, got) = run_sim(&cfg, grid, opts);
+        assert!(want.max_abs_diff(&got.unwrap()) < 1e-10);
+    }
+
+    #[test]
+    fn single_step_staggering_is_faster_than_stepwise() {
+        let cfg = MmConfig::phantom(1024, 128);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let (t_single, _) = run_sim(&cfg, grid, GentlemanOpts::default());
+        let (t_step, _) = run_sim(
+            &cfg,
+            grid,
+            GentlemanOpts {
+                stagger: Stagger::Stepwise,
+                ..Default::default()
+            },
+        );
+        assert!(
+            t_single <= t_step,
+            "single-step {t_single} must not exceed stepwise {t_step}"
+        );
+    }
+
+    #[test]
+    fn gentleman_speedup_shape_2x2() {
+        // Table 3 at N=2048: MPI Gentleman ~3.1x on 4 PEs.
+        let cfg = MmConfig::phantom(2048, 128);
+        let grid = Grid2D::new(2, 2).unwrap();
+        let (t, _) = run_sim(&cfg, grid, GentlemanOpts::default());
+        let speedup = (2.0 * 2048f64.powi(3) / 1.11e8) / t;
+        assert!(
+            (2.5..3.9).contains(&speedup),
+            "Gentleman speedup {speedup} outside Table 3 shape (3.11)"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The injection launcher.
+//!
+//! Every stage of the paper starts with a small program that walks the
+//! network and injects the worker messengers (e.g. Fig. 9's
+//! `do mi { hop(node(mi)); inject(RowCarrier(mi)) }`, or Fig. 15's
+//! spawners, which also signal the initial `EC` events). [`Launcher`]
+//! is that program in general form: an itinerary of stops, each with
+//! messengers to inject and events to signal **locally** — honouring
+//! MESSENGERS' rule that injection only happens on the current PE.
+
+use navp::{Effect, EventKey, Messenger, MsgrCtx, NodeId};
+
+/// One stop on a launcher's itinerary.
+pub struct Stop {
+    /// PE to visit.
+    pub pe: NodeId,
+    /// Messengers to inject there.
+    pub inject: Vec<Box<dyn Messenger>>,
+    /// Events to signal there (e.g. the initial `EC` of Fig. 15).
+    pub signal: Vec<EventKey>,
+}
+
+impl Stop {
+    /// A stop that injects one messenger.
+    pub fn inject_one(pe: NodeId, m: impl Messenger) -> Stop {
+        Stop {
+            pe,
+            inject: vec![Box::new(m)],
+            signal: Vec::new(),
+        }
+    }
+}
+
+/// A messenger that performs a sequence of [`Stop`]s and finishes.
+pub struct Launcher {
+    name: &'static str,
+    stops: Vec<Stop>,
+    idx: usize,
+}
+
+impl Launcher {
+    /// Build a launcher; inject it on any PE (it hops to its first stop).
+    pub fn new(name: &'static str, stops: Vec<Stop>) -> Launcher {
+        Launcher {
+            name,
+            stops,
+            idx: 0,
+        }
+    }
+
+    /// The PE of the first stop (convenient injection point, saving the
+    /// initial hop).
+    pub fn first_pe(&self) -> NodeId {
+        self.stops.first().map_or(0, |s| s.pe)
+    }
+}
+
+impl Messenger for Launcher {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        // Travel to the current stop if not there yet.
+        match self.stops.get(self.idx) {
+            None => return Effect::Done,
+            Some(stop) if stop.pe != ctx.here() => return Effect::Hop(stop.pe),
+            _ => {}
+        }
+        let stop = &mut self.stops[self.idx];
+        for m in stop.inject.drain(..) {
+            ctx.inject(m);
+        }
+        for &e in stop.signal.iter() {
+            ctx.signal(e);
+        }
+        self.idx += 1;
+        match self.stops.get(self.idx) {
+            Some(next) => Effect::Hop(next.pe),
+            None => Effect::Done,
+        }
+    }
+
+    fn label(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp::script::Script;
+    use navp::{Cluster, Key, SimExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn launcher_visits_stops_in_order_and_injects_locally() {
+        let mut cl = Cluster::new(3).unwrap();
+        let mark = |i: usize| {
+            Script::new("worker").then(move |ctx| {
+                let here = ctx.here();
+                ctx.store().insert(Key::at("mark", i), here, 8);
+                Effect::Done
+            })
+        };
+        let stops = vec![
+            Stop::inject_one(2, mark(0)),
+            Stop {
+                pe: 0,
+                inject: vec![Box::new(mark(1)), Box::new(mark(2))],
+                signal: vec![Key::plain("go")],
+            },
+        ];
+        let l = Launcher::new("launch", stops);
+        assert_eq!(l.first_pe(), 2);
+        cl.inject(2, l);
+        // A waiter proves the signal fired on PE0.
+        cl.inject(
+            0,
+            Script::new("waiter")
+                .then(|_| Effect::WaitEvent(Key::plain("go")))
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("woken"), true, 1);
+                    Effect::Done
+                }),
+        );
+        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        assert_eq!(rep.stores[2].get::<usize>(Key::at("mark", 0)), Some(&2));
+        assert_eq!(rep.stores[0].get::<usize>(Key::at("mark", 1)), Some(&0));
+        assert_eq!(rep.stores[0].get::<usize>(Key::at("mark", 2)), Some(&0));
+        assert_eq!(rep.stores[0].get::<bool>(Key::plain("woken")), Some(&true));
+    }
+
+    #[test]
+    fn launcher_hops_to_first_stop_when_injected_elsewhere() {
+        let mut cl = Cluster::new(2).unwrap();
+        let l = Launcher::new(
+            "l",
+            vec![Stop::inject_one(
+                1,
+                Script::new("w").then(|ctx| {
+                    let here = ctx.here();
+                    ctx.store().insert(Key::plain("x"), here, 8);
+                    Effect::Done
+                }),
+            )],
+        );
+        cl.inject(0, l); // not at the first stop
+        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        assert_eq!(rep.stores[1].get::<usize>(Key::plain("x")), Some(&1));
+    }
+
+    #[test]
+    fn empty_launcher_finishes() {
+        let mut cl = Cluster::new(1).unwrap();
+        cl.inject(0, Launcher::new("noop", vec![]));
+        assert!(SimExecutor::new(CostModel::paper_cluster()).run(cl).is_ok());
+    }
+}

@@ -1,0 +1,136 @@
+//! Stage 3 — **1-D full DPC via phase shifting** (paper Figures 8 and 9).
+//!
+//! The Phase-shifting Transformation: because a row of `A` can start its
+//! sweep at *any* block column, the carriers no longer all enter the
+//! pipeline at PE 0. `A`'s block rows are distributed (`A(mi, *)` on the
+//! PE owning block row `mi`), each carrier starts from its home and
+//! walks columns in the paper's sequence `(N-1-mi+mj) mod N` — so at any
+//! instant the carriers are spread across all PEs and the pipeline-fill
+//! bubble of the previous stage disappears.
+
+use crate::carrier1d::RowCarrier;
+use crate::config::MmConfig;
+use crate::launch::{Launcher, Stop};
+use crate::util::{a_key, b_key, insert_block, Topo1D};
+use navp::{Cluster, RunError};
+use navp_matrix::{BlockedMatrix, Dist1D, MatrixError};
+
+/// PE holding block row `mi` of `A` in this stage (banded like the
+/// columns, over the same 1-D network).
+pub fn a_home(cfg: &MmConfig, topo: &Topo1D, mi: usize) -> usize {
+    Dist1D::new(cfg.nb(), topo.pes)
+        .expect("topology already validated")
+        .pe_of(mi)
+}
+
+/// The paper's starting column for carrier `mi`: `(N-1-mi) mod N` at
+/// block granularity.
+pub fn start_col(cfg: &MmConfig, mi: usize) -> usize {
+    let nb = cfg.nb();
+    (2 * nb - 1 - mi) % nb
+}
+
+/// Data placement of Fig. 8: `A(mi, *)` on the PE owning block row `mi`;
+/// `B`/`C` block columns banded as before. The launcher of Fig. 9 walks
+/// the PEs and injects each carrier at its home.
+pub fn cluster(
+    cfg: &MmConfig,
+    topo: &Topo1D,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(topo.pes)?;
+    let nb = cfg.nb();
+    for bi in 0..nb {
+        let home = a_home(cfg, topo, bi);
+        for bj in 0..nb {
+            insert_block(cl.store_mut(home), a_key(bi, bj), a.block(bi, bj).clone());
+            let owner = topo.pe_of_col(bj);
+            insert_block(cl.store_mut(owner), b_key(bi, bj), b.block(bi, bj).clone());
+        }
+    }
+    let stops: Vec<Stop> = (0..nb)
+        .map(|mi| {
+            Stop::inject_one(
+                a_home(cfg, topo, mi),
+                RowCarrier::new(*cfg, *topo, mi, start_col(cfg, mi)),
+            )
+        })
+        .collect();
+    let launcher = Launcher::new("Fig9-launcher", stops);
+    let entry = launcher.first_pe();
+    cl.inject(entry, launcher);
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run.
+pub fn owner(topo: &Topo1D) -> impl Fn(usize, usize) -> usize + '_ {
+    |_bi, bj| topo.pe_of_col(bj)
+}
+
+/// Convenience: the topology for this stage on `pes` PEs.
+pub fn topo(cfg: &MmConfig, pes: usize) -> Result<Topo1D, MatrixError> {
+    Topo1D::new(cfg.nb(), pes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn phase_shifted_product_correct_both_executors() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+
+        let cl = cluster(&cfg, &topo, &a, &b).unwrap();
+        let mut rep = ThreadExecutor::new().run(cl).unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn start_columns_are_spread() {
+        let cfg = MmConfig::phantom(12, 2);
+        // start_col(mi) = (nb-1-mi) mod nb covers all columns once.
+        let mut seen = [false; 6];
+        for mi in 0..6 {
+            seen[start_col(&cfg, mi)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn phase_shift_beats_pipelining() {
+        // Table 1 shape: phase (~2.7x) > pipeline (~2.4x) on 3 PEs.
+        let cfg = MmConfig::phantom(1536, 128);
+        let topo = topo(&cfg, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let phase = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let pipe = SimExecutor::new(CostModel::paper_cluster())
+            .run(crate::pipe1d::cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        assert!(
+            phase.makespan < pipe.makespan,
+            "phase {} must beat pipeline {}",
+            phase.makespan,
+            pipe.makespan
+        );
+        let speedup = 65.44 / phase.makespan.as_secs_f64();
+        assert!(
+            (2.2..3.0).contains(&speedup),
+            "phase speedup {speedup} outside Table 1 shape (2.67)"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Stage 5 — **DSC with pipelining in both dimensions** (paper Figures
+//! 12 and 13).
+//!
+//! The Pipelining Transformation applied in the second dimension: the
+//! block-row and block-column carriers of the 2-D DSC stage are cut into
+//! per-block [`ACarrier`]s and [`BCarrier`]s. A pair of `A`/`B` blocks
+//! moves on through its pipeline as soon as it has contributed to the
+//! local `C` — the paper's "a pair of A and B entries can move on along
+//! their pipelines as soon as they finish computing".
+//!
+//! Initial placement is still the anti-diagonal of Fig. 12; all the
+//! carriers of one diagonal node are injected there by its spawner, and
+//! every slot's first `EC` is signalled initially (the slot starts
+//! empty, so the first deposit — inner index 0 — may proceed).
+
+use crate::carrier2d::{slot_id, ACarrier, BCarrier};
+use crate::config::MmConfig;
+use crate::dsc2d::{a_home, b_home};
+use crate::launch::{Launcher, Stop};
+use crate::util::{a_key, b_key, c_key, ec_key, insert_block, new_c_block, Topo2D};
+use navp::{Cluster, Messenger, RunError};
+use navp_matrix::{BlockedMatrix, Grid2D, MatrixError};
+
+/// Walk shift of `ACarrier(mi, ·)` in this stage: `(N-1-mi) mod N`
+/// (Fig. 13 line 4).
+pub fn a_shift(cfg: &MmConfig, mi: usize) -> usize {
+    let nb = cfg.nb();
+    (2 * nb - 1 - mi) % nb
+}
+
+/// Walk shift of `BCarrier(·, mj)` in this stage: `(N-1-mj) mod N`
+/// (Fig. 13 line 4 of BCarrier).
+pub fn b_shift(cfg: &MmConfig, mj: usize) -> usize {
+    let nb = cfg.nb();
+    (2 * nb - 1 - mj) % nb
+}
+
+/// Data placement of Fig. 12, the spawners of Fig. 13, and the initial
+/// `EC` events ("an event EC(i,j) is signaled on node(i,j) ... initially").
+pub fn cluster(
+    cfg: &MmConfig,
+    topo: &Topo2D,
+    a: &BlockedMatrix,
+    b: &BlockedMatrix,
+) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(topo.grid.len())?;
+    let nb = cfg.nb();
+    for l in 0..nb {
+        let mi = nb - 1 - l;
+        for k in 0..nb {
+            insert_block(
+                cl.store_mut(a_home(topo, cfg, mi)),
+                a_key(mi, k),
+                a.block(mi, k).clone(),
+            );
+            insert_block(
+                cl.store_mut(b_home(topo, cfg, l)),
+                b_key(k, l),
+                b.block(k, l).clone(),
+            );
+        }
+    }
+    for bi in 0..nb {
+        for bj in 0..nb {
+            insert_block(
+                cl.store_mut(topo.node_of_block(bi, bj)),
+                c_key(bi, bj),
+                new_c_block(cfg.payload, cfg.ab),
+            );
+            // The slot starts empty: deposit of inner index 0 may proceed.
+            cl.signal_initial(ec_key(slot_id(nb, bi, bj), 0));
+        }
+    }
+    // One spawner stop per anti-diagonal node (Fig. 13's spawner(ml)).
+    let stops: Vec<Stop> = (0..nb)
+        .map(|ml| {
+            let mi = nb - 1 - ml;
+            let mut inject: Vec<Box<dyn Messenger>> = Vec::with_capacity(2 * nb);
+            // Producers (BCarriers) first — see dsc2d::cluster on why the
+            // block-granularity injection order differs from Fig. 13's.
+            for mk in 0..nb {
+                inject.push(Box::new(BCarrier::new(*cfg, *topo, mk, ml, b_shift(cfg, ml))));
+            }
+            for mk in 0..nb {
+                inject.push(Box::new(ACarrier::new(*cfg, *topo, mi, mk, a_shift(cfg, mi))));
+            }
+            Stop {
+                pe: topo.node_of_block(mi, ml),
+                inject,
+                signal: Vec::new(),
+            }
+        })
+        .collect();
+    let launcher = Launcher::new("Fig13-spawners", stops);
+    let entry = launcher.first_pe();
+    cl.inject(entry, launcher);
+    Ok(cl)
+}
+
+/// Owner of `C(bi, bj)` after the run.
+pub fn owner<'t>(topo: &'t Topo2D) -> impl Fn(usize, usize) -> usize + 't {
+    |bi, bj| topo.node_of_block(bi, bj)
+}
+
+/// The 2-D topology for this stage on a `rows x cols` grid.
+pub fn topo(cfg: &MmConfig, rows: usize, cols: usize) -> Result<Topo2D, MatrixError> {
+    Topo2D::new(cfg.nb(), Grid2D::new(rows, cols)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    #[test]
+    fn pipe2d_product_correct_both_executors() {
+        let cfg = MmConfig::real(12, 2);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "sim executor mismatch");
+
+        let mut rep = ThreadExecutor::new()
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10, "thread executor mismatch");
+    }
+
+    #[test]
+    fn pipe2d_3x3_grid_correct() {
+        let cfg = MmConfig::real(18, 3);
+        let topo = topo(&cfg, 3, 3).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, owner(&topo)).unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn pipe2d_beats_dsc2d() {
+        // Table 3 shape: 2D pipeline (~3.7x) > 2D DSC (~3.1x) at N=2048.
+        let cfg = MmConfig::phantom(2048, 128);
+        let topo = topo(&cfg, 2, 2).unwrap();
+        let (a, b) = cfg.operands().unwrap();
+        let pipe = SimExecutor::new(CostModel::paper_cluster())
+            .run(cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        let dsc = SimExecutor::new(CostModel::paper_cluster())
+            .run(crate::dsc2d::cluster(&cfg, &topo, &a, &b).unwrap())
+            .unwrap();
+        assert!(
+            pipe.makespan < dsc.makespan,
+            "pipe2d {} must beat dsc2d {}",
+            pipe.makespan,
+            dsc.makespan
+        );
+    }
+}

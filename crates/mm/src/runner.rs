@@ -1,0 +1,443 @@
+//! Uniform entry points over every implementation.
+//!
+//! The bench harness, the integration tests and the examples all drive
+//! the stages through these functions, so "run stage X on topology Y at
+//! size Z under cost model M" is written exactly once.
+
+use crate::config::{MmConfig, Payload};
+use crate::gentleman::GentlemanOpts;
+use crate::util::{collect_c, Topo1D, Topo2D};
+use crate::{dpc2d, dsc1d, dsc2d, gentleman, phase1d, pipe1d, pipe2d, seq, summa};
+use navp::{Cluster, SimExecutor, ThreadExecutor};
+use navp_matrix::{Grid2D, Matrix};
+use navp_mp::{MpSimExecutor, MpThreadExecutor};
+use navp_sim::{CostModel, Trace};
+use std::fmt;
+use std::time::Duration;
+
+/// The NavP stages in paper order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NavpStage {
+    /// 1-D DSC (Fig. 5).
+    Dsc1D,
+    /// 1-D pipelined (Fig. 7).
+    Pipe1D,
+    /// 1-D phase-shifted (Fig. 9).
+    Phase1D,
+    /// 2-D DSC (Fig. 11).
+    Dsc2D,
+    /// 2-D pipelined (Fig. 13).
+    Pipe2D,
+    /// 2-D full DPC (Fig. 15).
+    Dpc2D,
+}
+
+impl NavpStage {
+    /// All six stages, in order of the incremental chain.
+    pub const ALL: [NavpStage; 6] = [
+        NavpStage::Dsc1D,
+        NavpStage::Pipe1D,
+        NavpStage::Phase1D,
+        NavpStage::Dsc2D,
+        NavpStage::Pipe2D,
+        NavpStage::Dpc2D,
+    ];
+
+    /// Short human-readable name matching the paper's table columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NavpStage::Dsc1D => "NavP (1D DSC)",
+            NavpStage::Pipe1D => "NavP (1D pipeline)",
+            NavpStage::Phase1D => "NavP (1D phase)",
+            NavpStage::Dsc2D => "NavP (2D DSC)",
+            NavpStage::Pipe2D => "NavP (2D pipeline)",
+            NavpStage::Dpc2D => "NavP (2D phase)",
+        }
+    }
+
+    /// `true` for the stages that run on a 1-D PE line.
+    pub fn is_1d(&self) -> bool {
+        matches!(
+            self,
+            NavpStage::Dsc1D | NavpStage::Pipe1D | NavpStage::Phase1D
+        )
+    }
+}
+
+/// The message-passing baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpAlg {
+    /// Gentleman's algorithm with the given options.
+    Gentleman(GentlemanOpts),
+    /// SUMMA, the ScaLAPACK stand-in.
+    Summa,
+}
+
+impl MpAlg {
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpAlg::Gentleman(_) => "MPI (Gentleman)",
+            MpAlg::Summa => "ScaLAPACK* (SUMMA)",
+        }
+    }
+}
+
+/// Errors from the uniform runners.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// Matrix/layout error.
+    Matrix(navp_matrix::MatrixError),
+    /// NavP executor error.
+    Navp(navp::RunError),
+    /// Message-passing executor error.
+    Mp(navp_mp::MpError),
+    /// Topology incompatible with the requested stage.
+    Topology(String),
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Matrix(e) => write!(f, "matrix error: {e}"),
+            RunnerError::Navp(e) => write!(f, "NavP runtime error: {e}"),
+            RunnerError::Mp(e) => write!(f, "message-passing error: {e}"),
+            RunnerError::Topology(s) => write!(f, "topology error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<navp_matrix::MatrixError> for RunnerError {
+    fn from(e: navp_matrix::MatrixError) -> Self {
+        RunnerError::Matrix(e)
+    }
+}
+impl From<navp::RunError> for RunnerError {
+    fn from(e: navp::RunError) -> Self {
+        RunnerError::Navp(e)
+    }
+}
+impl From<navp_mp::MpError> for RunnerError {
+    fn from(e: navp_mp::MpError) -> Self {
+        RunnerError::Mp(e)
+    }
+}
+
+/// What a run produced.
+pub struct RunOutput {
+    /// Modeled virtual time in seconds (sim executors only).
+    pub virt_seconds: Option<f64>,
+    /// Wall-clock time (thread executors only).
+    pub wall: Option<Duration>,
+    /// The product (real payloads only).
+    pub c: Option<Matrix>,
+    /// Whether the product matched the sequential reference
+    /// (real payloads only; `None` for phantom runs).
+    pub verified: Option<bool>,
+    /// Inter-PE transfers (hops or messages).
+    pub transfers: u64,
+    /// Bytes moved between PEs.
+    pub bytes: u64,
+    /// Full execution trace when requested.
+    pub trace: Option<Trace>,
+}
+
+impl fmt::Debug for RunOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOutput")
+            .field("virt_seconds", &self.virt_seconds)
+            .field("wall", &self.wall)
+            .field("verified", &self.verified)
+            .field("transfers", &self.transfers)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+fn verify(cfg: &MmConfig, c: &Option<Matrix>) -> Result<Option<bool>, RunnerError> {
+    match (cfg.payload, c) {
+        (Payload::Phantom, _) => Ok(None),
+        (Payload::Real { .. }, Some(got)) => {
+            let want = cfg.expected()?.expect("real payload has a reference");
+            Ok(Some(want.max_abs_diff(got) < 1e-9))
+        }
+        (Payload::Real { .. }, None) => Ok(Some(false)),
+    }
+}
+
+/// Owner map: C-block coordinates to the PE holding the block after a run.
+type OwnerFn = Box<dyn Fn(usize, usize) -> usize>;
+
+/// Build the NavP cluster plus its C-ownership map for a stage.
+fn navp_cluster(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<(Cluster, OwnerFn), RunnerError> {
+    let (a, b) = cfg.operands()?;
+    if stage.is_1d() {
+        if grid.rows != 1 {
+            return Err(RunnerError::Topology(format!(
+                "{} needs a 1-D line, got {}x{}",
+                stage.name(),
+                grid.rows,
+                grid.cols
+            )));
+        }
+        let topo = Topo1D::new(cfg.nb(), grid.cols)?;
+        let cl = match stage {
+            NavpStage::Dsc1D => dsc1d::cluster(cfg, &topo, &a, &b)?,
+            NavpStage::Pipe1D => pipe1d::cluster(cfg, &topo, &a, &b)?,
+            NavpStage::Phase1D => phase1d::cluster(cfg, &topo, &a, &b)?,
+            _ => unreachable!(),
+        };
+        let own = move |_bi: usize, bj: usize| topo.pe_of_col(bj);
+        Ok((cl, Box::new(own)))
+    } else {
+        let topo = Topo2D::new(cfg.nb(), grid)?;
+        let cl = match stage {
+            NavpStage::Dsc2D => dsc2d::cluster(cfg, &topo, &a, &b)?,
+            NavpStage::Pipe2D => pipe2d::cluster(cfg, &topo, &a, &b)?,
+            NavpStage::Dpc2D => dpc2d::cluster(cfg, &topo, &a, &b)?,
+            _ => unreachable!(),
+        };
+        let own = move |bi: usize, bj: usize| topo.node_of_block(bi, bj);
+        Ok((cl, Box::new(own)))
+    }
+}
+
+/// Run the sequential baseline under the cost model (one virtual PE, so
+/// Table 2's paging behaviour is captured).
+pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, RunnerError> {
+    let (a, b) = cfg.operands()?;
+    let cl = seq::cluster(cfg, &a, &b)?;
+    let mut rep = SimExecutor::new(*cost).run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, |_, _| 0)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: Some(rep.makespan.as_secs_f64()),
+        wall: None,
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: None,
+    })
+}
+
+/// Run a NavP stage under the virtual-time executor.
+pub fn run_navp_sim(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+    with_trace: bool,
+) -> Result<RunOutput, RunnerError> {
+    let (cl, own) = navp_cluster(stage, cfg, grid)?;
+    let mut exec = SimExecutor::new(*cost);
+    if with_trace {
+        exec = exec.with_trace();
+    }
+    let mut rep = exec.run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: Some(rep.makespan.as_secs_f64()),
+        wall: None,
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: with_trace.then_some(rep.trace),
+    })
+}
+
+/// Run a NavP stage on real threads (wall-clock).
+pub fn run_navp_threads(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_threads_inner(stage, cfg, grid, true)
+}
+
+/// As [`run_navp_threads`] but without result verification — for
+/// benchmarks, where recomputing the sequential reference on every
+/// iteration would dominate the measurement. `verified` is `None`.
+pub fn run_navp_threads_unverified(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_threads_inner(stage, cfg, grid, false)
+}
+
+fn run_navp_threads_inner(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    check: bool,
+) -> Result<RunOutput, RunnerError> {
+    let (cl, own) = navp_cluster(stage, cfg, grid)?;
+    let mut rep = ThreadExecutor::new().run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = if check { verify(cfg, &c)? } else { None };
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: 0,
+        trace: None,
+    })
+}
+
+/// Run a message-passing baseline under the virtual-time executor.
+pub fn run_mp_sim(
+    alg: MpAlg,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+) -> Result<RunOutput, RunnerError> {
+    let (a, b) = cfg.operands()?;
+    let cl = match alg {
+        MpAlg::Gentleman(opts) => gentleman::cluster(cfg, grid, opts, &a, &b)?,
+        MpAlg::Summa => summa::cluster(cfg, grid, &a, &b)?,
+    };
+    let mut rep = MpSimExecutor::new(*cost).run(cl)?;
+    let own: Box<dyn Fn(usize, usize) -> usize> = match alg {
+        MpAlg::Gentleman(_) => Box::new(gentleman::owner(cfg, grid)),
+        MpAlg::Summa => Box::new(summa::owner(cfg, grid)),
+    };
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: Some(rep.makespan.as_secs_f64()),
+        wall: None,
+        c,
+        verified,
+        transfers: rep.messages,
+        bytes: rep.message_bytes,
+        trace: None,
+    })
+}
+
+/// Run a message-passing baseline on real threads (wall-clock).
+pub fn run_mp_threads(
+    alg: MpAlg,
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<RunOutput, RunnerError> {
+    run_mp_threads_inner(alg, cfg, grid, true)
+}
+
+/// As [`run_mp_threads`] but without result verification (see
+/// [`run_navp_threads_unverified`]).
+pub fn run_mp_threads_unverified(
+    alg: MpAlg,
+    cfg: &MmConfig,
+    grid: Grid2D,
+) -> Result<RunOutput, RunnerError> {
+    run_mp_threads_inner(alg, cfg, grid, false)
+}
+
+fn run_mp_threads_inner(
+    alg: MpAlg,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    check: bool,
+) -> Result<RunOutput, RunnerError> {
+    let (a, b) = cfg.operands()?;
+    let cl = match alg {
+        MpAlg::Gentleman(opts) => gentleman::cluster(cfg, grid, opts, &a, &b)?,
+        MpAlg::Summa => summa::cluster(cfg, grid, &a, &b)?,
+    };
+    let mut rep = MpThreadExecutor::new().run(cl)?;
+    let own: Box<dyn Fn(usize, usize) -> usize> = match alg {
+        MpAlg::Gentleman(_) => Box::new(gentleman::owner(cfg, grid)),
+        MpAlg::Summa => Box::new(summa::owner(cfg, grid)),
+    };
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = if check { verify(cfg, &c)? } else { None };
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: 0,
+        bytes: 0,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_navp_stages_verify_via_runner() {
+        let cfg = MmConfig::real(12, 2);
+        for stage in NavpStage::ALL {
+            let grid = if stage.is_1d() {
+                Grid2D::line(3).unwrap()
+            } else {
+                Grid2D::new(2, 2).unwrap()
+            };
+            let out = run_navp_sim(stage, &cfg, grid, &CostModel::paper_cluster(), false)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", stage.name()));
+            assert_eq!(out.verified, Some(true), "{} wrong product", stage.name());
+        }
+    }
+
+    #[test]
+    fn mp_baselines_verify_via_runner() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        for alg in [MpAlg::Gentleman(GentlemanOpts::default()), MpAlg::Summa] {
+            let out = run_mp_sim(alg, &cfg, grid, &CostModel::paper_cluster()).unwrap();
+            assert_eq!(out.verified, Some(true), "{} wrong product", alg.name());
+        }
+    }
+
+    #[test]
+    fn topology_mismatch_is_reported() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::new(2, 2).unwrap();
+        assert!(matches!(
+            run_navp_sim(
+                NavpStage::Dsc1D,
+                &cfg,
+                grid,
+                &CostModel::paper_cluster(),
+                false
+            ),
+            Err(RunnerError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn seq_runner_verifies() {
+        let cfg = MmConfig::real(8, 2);
+        let out = run_seq_sim(&cfg, &CostModel::paper_cluster()).unwrap();
+        assert_eq!(out.verified, Some(true));
+        assert_eq!(out.transfers, 0);
+    }
+
+    #[test]
+    fn trace_is_returned_on_request() {
+        let cfg = MmConfig::phantom(8, 2);
+        let out = run_navp_sim(
+            NavpStage::Pipe1D,
+            &cfg,
+            Grid2D::line(2).unwrap(),
+            &CostModel::paper_cluster(),
+            true,
+        )
+        .unwrap();
+        assert!(out.trace.is_some());
+        assert!(!out.trace.unwrap().events().is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Sequential blocked matrix multiplication (paper Figure 2) as a
+//! one-PE NavP program.
+//!
+//! Running the sequential baseline *inside* the executor (instead of
+//! just calling `BlockedMatrix::multiply_blocked`) matters for Table 2:
+//! the whole problem's node variables live on one PE, so when their
+//! bytes exceed the PE's physical memory the paging model charges the
+//! thrashing the paper measured at N = 9216.
+
+use crate::config::MmConfig;
+use crate::util::{a_key, b_key, c_key, gemm_flops, gemm_touched, insert_block, new_c_block};
+use navp::{Cluster, Effect, Messenger, MsgrCtx, RunError};
+use navp_matrix::{BlockData, BlockedMatrix};
+
+/// The single computation thread of Figure 2, lifted to blocks:
+/// `for bi { for bj { C(bi,bj) = Σ_k A(bi,k)·B(k,bj) } }`.
+/// One step computes one C block (the paper's `t` accumulator at block
+/// granularity).
+pub struct SeqMultiplier {
+    cfg: MmConfig,
+    bi: usize,
+    bj: usize,
+}
+
+impl SeqMultiplier {
+    /// A multiplier for the given problem.
+    pub fn new(cfg: MmConfig) -> SeqMultiplier {
+        SeqMultiplier { cfg, bi: 0, bj: 0 }
+    }
+}
+
+impl Messenger for SeqMultiplier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        let nb = self.cfg.nb();
+        if self.bi == nb {
+            return Effect::Done;
+        }
+        let (bi, bj) = (self.bi, self.bj);
+        let mut c = new_c_block(self.cfg.payload, self.cfg.ab);
+        for k in 0..nb {
+            let store = ctx.store();
+            // Split borrows: C is local here; A and B are node variables.
+            let a = store
+                .take::<BlockData>(a_key(bi, k))
+                .expect("A block placed at setup");
+            {
+                let b = store
+                    .get::<BlockData>(b_key(k, bj))
+                    .expect("B block placed at setup");
+                c.gemm_acc(&a, b).expect("uniform block shapes");
+            }
+            insert_block(ctx.store(), a_key(bi, k), a);
+            ctx.charge_flops(gemm_flops(self.cfg.ab));
+            ctx.charge_touched(gemm_touched(self.cfg.ab));
+        }
+        insert_block(ctx.store(), c_key(bi, bj), c);
+        self.bj += 1;
+        if self.bj == nb {
+            self.bj = 0;
+            self.bi += 1;
+        }
+        // Stay on the only PE; the hop is local and free.
+        Effect::Hop(ctx.here())
+    }
+
+    fn label(&self) -> String {
+        "Seq".to_string()
+    }
+}
+
+/// Build the one-PE cluster: all of A, B resident on PE 0 and the
+/// multiplier injected there.
+pub fn cluster(cfg: &MmConfig, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(1)?;
+    let nb = cfg.nb();
+    for bi in 0..nb {
+        for bk in 0..nb {
+            insert_block(cl.store_mut(0), a_key(bi, bk), a.block(bi, bk).clone());
+            insert_block(cl.store_mut(0), b_key(bi, bk), b.block(bi, bk).clone());
+        }
+    }
+    cl.inject(0, SeqMultiplier::new(*cfg));
+    Ok(cl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::collect_c;
+    use navp::SimExecutor;
+    use navp_sim::CostModel;
+
+    #[test]
+    fn sequential_product_is_correct() {
+        let cfg = MmConfig::real(12, 3);
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &a, &b).unwrap();
+        let mut rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).unwrap();
+        let got = collect_c(&mut rep.stores, &cfg, |_, _| 0)
+            .unwrap()
+            .unwrap();
+        let want = cfg.expected().unwrap().unwrap();
+        assert!(want.max_abs_diff(&got) < 1e-10);
+    }
+
+    #[test]
+    fn sequential_time_matches_flop_model() {
+        // Phantom run at a paper size must land near 2N^3 / flop_rate.
+        let cfg = MmConfig::phantom(1536, 128);
+        let (a, b) = cfg.operands().unwrap();
+        let cl = cluster(&cfg, &a, &b).unwrap();
+        let mut cost = CostModel::paper_cluster();
+        cost.daemon_overhead = 0.0;
+        let rep = SimExecutor::new(cost).run(cl).unwrap();
+        let t = rep.makespan.as_secs_f64();
+        assert!((t - 65.44).abs() / 65.44 < 0.02, "got {t}, paper 65.44");
+    }
+
+    #[test]
+    fn sequential_thrashes_beyond_memory() {
+        // Shrink memory instead of growing N so the test stays fast:
+        // model a problem 4x physical memory.
+        let cfg = MmConfig::phantom(512, 64);
+        let (a, b) = cfg.operands().unwrap();
+        let mut cost = CostModel::paper_cluster();
+        cost.daemon_overhead = 0.0;
+        let data_bytes = 3 * (512 * 512 * 8) as u64;
+        cost.mem_capacity = data_bytes / 4;
+        // Fitting run (generous memory):
+        let mut fit = cost;
+        fit.mem_capacity = u64::MAX;
+        let t_fit = SimExecutor::new(fit)
+            .run(cluster(&cfg, &a, &b).unwrap())
+            .unwrap()
+            .makespan;
+        let t_thrash = SimExecutor::new(cost)
+            .run(cluster(&cfg, &a, &b).unwrap())
+            .unwrap()
+            .makespan;
+        assert!(
+            t_thrash.as_secs_f64() > 1.5 * t_fit.as_secs_f64(),
+            "thrash {t_thrash} vs fit {t_fit}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Message payloads.
+
+use std::any::Any;
+use std::fmt;
+
+/// A typed message payload with an explicit wire size.
+///
+/// The wire size is declared (rather than derived) for the same reason
+/// `navp_sim::NodeStore` declares bytes: the simulation executors charge
+/// communication cost from it, and phantom payloads (shape-only blocks)
+/// must cost exactly what their real counterparts would.
+pub struct MpData {
+    bytes: u64,
+    val: Box<dyn Any + Send>,
+}
+
+impl MpData {
+    /// Wrap `val`, declaring its wire size.
+    pub fn new<T: Any + Send>(val: T, bytes: u64) -> MpData {
+        MpData {
+            bytes,
+            val: Box::new(val),
+        }
+    }
+
+    /// A payload with size but no content (phantom-mode block transfers).
+    pub fn empty(bytes: u64) -> MpData {
+        MpData::new((), bytes)
+    }
+
+    /// Declared wire size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Take the payload as `T`; returns `Err(self)` unchanged when the
+    /// payload is of a different type.
+    pub fn downcast<T: Any + Send>(self) -> Result<T, MpData> {
+        match self.val.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(val) => Err(MpData {
+                bytes: self.bytes,
+                val,
+            }),
+        }
+    }
+
+    /// Borrow the payload as `T` without consuming it.
+    pub fn peek<T: Any + Send>(&self) -> Option<&T> {
+        self.val.downcast_ref()
+    }
+}
+
+impl fmt::Debug for MpData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MpData({} bytes)", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_typed_payload() {
+        let d = MpData::new(vec![1.0f64, 2.0], 16);
+        assert_eq!(d.bytes(), 16);
+        assert_eq!(d.peek::<Vec<f64>>().unwrap()[1], 2.0);
+        let v: Vec<f64> = d.downcast().unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn downcast_mismatch_preserves_payload() {
+        let d = MpData::new(7u32, 4);
+        let d = d.downcast::<String>().unwrap_err();
+        assert_eq!(d.bytes(), 4);
+        assert_eq!(d.downcast::<u32>().unwrap(), 7);
+    }
+
+    #[test]
+    fn empty_payload_costs_bytes() {
+        let d = MpData::empty(1 << 20);
+        assert_eq!(d.bytes(), 1 << 20);
+        assert!(d.peek::<()>().is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! Message-passing runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by the message-passing executors.
+#[derive(Debug)]
+pub enum MpError {
+    /// A communicator needs at least one rank.
+    NoRanks,
+    /// A process addressed a rank outside the communicator.
+    BadRank {
+        /// Rank that issued the operation.
+        rank: usize,
+        /// Invalid peer rank.
+        peer: usize,
+        /// Communicator size.
+        ranks: usize,
+    },
+    /// All unfinished ranks are blocked with nothing in flight.
+    Deadlock {
+        /// `(rank, what it was blocked on)` for each blocked rank.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The threaded executor made no progress within its watchdog window.
+    Stalled {
+        /// Ranks still unfinished.
+        live: usize,
+    },
+    /// A rank thread panicked.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpError::NoRanks => write!(f, "communicator must have at least one rank"),
+            MpError::BadRank { rank, peer, ranks } => {
+                write!(f, "rank {rank} addressed rank {peer}, communicator has {ranks}")
+            }
+            MpError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} rank(s) blocked forever:", blocked.len())?;
+                for (r, on) in blocked.iter().take(8) {
+                    write!(f, " [rank {r} on {on}]")?;
+                }
+                Ok(())
+            }
+            MpError::Stalled { live } => {
+                write!(f, "no progress within watchdog; {live} rank(s) unfinished")
+            }
+            MpError::WorkerPanic(msg) => write!(f, "rank thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MpError::NoRanks.to_string().contains("at least one"));
+        let e = MpError::BadRank {
+            rank: 0,
+            peer: 9,
+            ranks: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        let e = MpError::Deadlock {
+            blocked: vec![(2, "recv from 1 tag 7".into())],
+        };
+        assert!(e.to_string().contains("rank 2"));
+    }
+}

@@ -1,0 +1,44 @@
+//! An MPI-like message-passing substrate.
+//!
+//! The paper compares NavP against Gentleman's algorithm written in
+//! LAM/MPI. This crate reproduces the MPI subset that implementation
+//! needs — point-to-point sends, receives with source/tag matching, and
+//! barriers — on top of the *same* virtual cluster model (`navp-sim`)
+//! the NavP runtime uses, so the two paradigms are compared under one
+//! machine.
+//!
+//! A rank is a [`Process`]: a state machine stepped by an executor, where
+//! each step ends in an [`MpEffect`] (send / recv / barrier / done) —
+//! the same explicit-continuation style as `navp::Messenger`, which keeps
+//! the comparison honest at the source level too.
+//!
+//! Semantics notes (mirroring the paper's implementation, Section 4):
+//!
+//! * Sends are **buffered/eager**: the sender resumes once the payload
+//!   has left its NIC; the paper's code uses non-blocking receives with
+//!   blocking sends precisely so that nothing rendezvous-deadlocks.
+//! * [`MpEffect::Recv`] blocks until a matching message arrives. Posting
+//!   `MPI_Irecv` early and `MPI_Wait`ing later is, under this buffered
+//!   model, cost-equivalent to a blocking receive at the wait point —
+//!   and crucially it preserves the *fixed reception order* that the
+//!   paper's Section 5 identifies as MPI's artificial sequencing.
+//!   `from: None` gives wildcard (`MPI_ANY_SOURCE`) matching, which the
+//!   scheduling ablation uses to model relaxed ordering.
+//!
+//! Two executors mirror the NavP ones: [`MpSimExecutor`] (deterministic
+//! virtual time) and [`MpThreadExecutor`] (one OS thread per rank,
+//! wall-clock).
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod error;
+pub mod process;
+pub mod sim_exec;
+pub mod thread_exec;
+
+pub use data::MpData;
+pub use error::MpError;
+pub use process::{MpCharges, MpCluster, MpEffect, ProcCtx, Process, RankScript, Tag};
+pub use sim_exec::{MpSimExecutor, MpSimReport};
+pub use thread_exec::{MpThreadExecutor, MpWallReport};

@@ -1,0 +1,288 @@
+//! Ranks as steppable processes.
+
+use crate::data::MpData;
+use crate::error::MpError;
+use navp_sim::key::NodeId;
+use navp_sim::store::NodeStore;
+
+/// MPI-style message tag.
+pub type Tag = u32;
+
+/// The communication command a process returns from one [`Process::step`].
+#[derive(Debug)]
+pub enum MpEffect {
+    /// Buffered send: the process resumes once the payload has left its
+    /// NIC (never blocks on the receiver).
+    Send {
+        /// Destination rank.
+        to: NodeId,
+        /// Message tag.
+        tag: Tag,
+        /// Payload.
+        data: MpData,
+    },
+    /// Blocking receive. `from: None` matches any source
+    /// (`MPI_ANY_SOURCE`). The matched message is available through
+    /// [`ProcCtx::take_received`] in the next step.
+    Recv {
+        /// Source rank, or `None` for wildcard.
+        from: Option<NodeId>,
+        /// Message tag to match.
+        tag: Tag,
+    },
+    /// Block until every rank in the communicator reaches a barrier.
+    Barrier,
+    /// This rank has finished.
+    Done,
+}
+
+/// One MPI-style rank.
+///
+/// Like `navp::Messenger`, a process is an explicit state machine:
+/// `step` runs the code between two communication calls and returns the
+/// next call. The rank's local memory is its struct fields plus the
+/// per-rank [`NodeStore`].
+pub trait Process: Send + 'static {
+    /// Execute until the next communication command.
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> MpEffect;
+
+    /// Display label for traces.
+    fn label(&self) -> String {
+        "rank".to_string()
+    }
+}
+
+/// Charges accumulated during one step (virtual-time executors only).
+#[derive(Default)]
+pub struct MpCharges {
+    /// Modeled floating-point work.
+    pub flops: u64,
+    /// Compute-rate multiplier (the Gentleman baseline charges
+    /// `CostModel::mpi_cache_factor` here, per the paper's Section 5).
+    pub factor: f64,
+    /// Bytes touched (paging model).
+    pub touched_bytes: u64,
+    /// Fixed modeled seconds.
+    pub extra_seconds: f64,
+}
+
+impl MpCharges {
+    /// Reset between steps.
+    pub fn clear(&mut self) {
+        *self = MpCharges::default();
+    }
+}
+
+/// What a process can see and do during a step.
+pub struct ProcCtx<'a> {
+    rank: NodeId,
+    num_ranks: usize,
+    store: &'a mut NodeStore,
+    received: &'a mut Option<(NodeId, MpData)>,
+    charges: &'a mut MpCharges,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Construct a context (executor-side API).
+    pub fn new(
+        rank: NodeId,
+        num_ranks: usize,
+        store: &'a mut NodeStore,
+        received: &'a mut Option<(NodeId, MpData)>,
+        charges: &'a mut MpCharges,
+    ) -> Self {
+        ProcCtx {
+            rank,
+            num_ranks,
+            store,
+            received,
+            charges,
+        }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The rank's local data store.
+    pub fn store(&mut self) -> &mut NodeStore {
+        self.store
+    }
+
+    /// Take the message matched by the previous `Recv`, with its actual
+    /// source rank (useful for wildcard receives). `None` if the previous
+    /// effect was not a receive or the message was already taken.
+    pub fn take_received(&mut self) -> Option<(NodeId, MpData)> {
+        self.received.take()
+    }
+
+    /// Charge cache-friendly compute (see `navp::MsgrCtx::charge_flops`).
+    pub fn charge_flops(&mut self, flops: u64) {
+        self.charge_flops_factor(flops, 1.0);
+    }
+
+    /// Charge compute with an explicit cache factor.
+    pub fn charge_flops_factor(&mut self, flops: u64, factor: f64) {
+        self.charges.flops += flops;
+        self.charges.factor = self.charges.factor.max(factor);
+    }
+
+    /// Declare touched bytes (paging model).
+    pub fn charge_touched(&mut self, bytes: u64) {
+        self.charges.touched_bytes += bytes;
+    }
+
+    /// Charge fixed modeled time.
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.charges.extra_seconds += seconds;
+    }
+}
+
+/// A communicator ready to run: one store and one process per rank
+/// (rank r runs on PE r of the modeled cluster).
+pub struct MpCluster {
+    stores: Vec<NodeStore>,
+    procs: Vec<Box<dyn Process>>,
+}
+
+impl MpCluster {
+    /// Build a communicator from per-rank processes (stores start empty).
+    pub fn new(procs: Vec<Box<dyn Process>>) -> Result<MpCluster, MpError> {
+        if procs.is_empty() {
+            return Err(MpError::NoRanks);
+        }
+        let stores = (0..procs.len()).map(|_| NodeStore::new()).collect();
+        Ok(MpCluster { stores, procs })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Pre-run data placement on rank `r`.
+    ///
+    /// # Panics
+    /// Panics when `r` is out of range.
+    pub fn store_mut(&mut self, r: NodeId) -> &mut NodeStore {
+        &mut self.stores[r]
+    }
+
+    /// Executor-side decomposition.
+    pub fn into_parts(self) -> (Vec<NodeStore>, Vec<Box<dyn Process>>) {
+        (self.stores, self.procs)
+    }
+}
+
+type RankStepFn = Box<dyn FnMut(&mut ProcCtx<'_>) -> MpEffect + Send>;
+
+/// Closure-stepped process for tests and small programs (the message-
+/// passing analogue of `navp::script::Script`).
+pub struct RankScript {
+    name: &'static str,
+    steps: std::collections::VecDeque<RankStepFn>,
+}
+
+impl RankScript {
+    /// Start building.
+    pub fn new(name: &'static str) -> RankScript {
+        RankScript {
+            name,
+            steps: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Append one step.
+    pub fn then(
+        mut self,
+        f: impl FnMut(&mut ProcCtx<'_>) -> MpEffect + Send + 'static,
+    ) -> RankScript {
+        self.steps.push_back(Box::new(f));
+        self
+    }
+}
+
+impl Process for RankScript {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> MpEffect {
+        match self.steps.pop_front() {
+            None => MpEffect::Done,
+            Some(mut f) => {
+                let eff = f(ctx);
+                if matches!(eff, MpEffect::Done) {
+                    self.steps.clear();
+                }
+                eff
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        self.name.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_sim::key::Key;
+
+    #[test]
+    fn cluster_construction() {
+        let c = MpCluster::new(vec![
+            Box::new(RankScript::new("a")),
+            Box::new(RankScript::new("b")),
+        ])
+        .unwrap();
+        assert_eq!(c.ranks(), 2);
+        assert!(matches!(MpCluster::new(vec![]), Err(MpError::NoRanks)));
+    }
+
+    #[test]
+    fn ctx_charges_and_store() {
+        let mut store = NodeStore::new();
+        let mut received = None;
+        let mut charges = MpCharges::default();
+        let mut ctx = ProcCtx::new(1, 4, &mut store, &mut received, &mut charges);
+        assert_eq!(ctx.rank(), 1);
+        assert_eq!(ctx.num_ranks(), 4);
+        ctx.charge_flops_factor(10, 1.04);
+        ctx.charge_touched(5);
+        ctx.charge_seconds(0.1);
+        ctx.store().insert(Key::plain("x"), 1u8, 1);
+        assert_eq!(charges.flops, 10);
+        assert_eq!(charges.touched_bytes, 5);
+        assert!(store.contains(Key::plain("x")));
+    }
+
+    #[test]
+    fn take_received_consumes() {
+        let mut store = NodeStore::new();
+        let mut received = Some((2, MpData::new(5u8, 1)));
+        let mut charges = MpCharges::default();
+        let mut ctx = ProcCtx::new(0, 4, &mut store, &mut received, &mut charges);
+        let (src, data) = ctx.take_received().unwrap();
+        assert_eq!(src, 2);
+        assert_eq!(data.downcast::<u8>().unwrap(), 5);
+        assert!(ctx.take_received().is_none());
+    }
+
+    #[test]
+    fn rank_script_sequences() {
+        let mut s = RankScript::new("t")
+            .then(|_| MpEffect::Barrier)
+            .then(|_| MpEffect::Done);
+        let mut store = NodeStore::new();
+        let mut received = None;
+        let mut charges = MpCharges::default();
+        let mut ctx = ProcCtx::new(0, 1, &mut store, &mut received, &mut charges);
+        assert!(matches!(s.step(&mut ctx), MpEffect::Barrier));
+        assert!(matches!(s.step(&mut ctx), MpEffect::Done));
+        assert!(matches!(s.step(&mut ctx), MpEffect::Done));
+    }
+}

@@ -1,0 +1,534 @@
+//! Deterministic virtual-time executor for message-passing programs.
+//!
+//! Same machine model as `navp::SimExecutor` — per-PE CPU serialization,
+//! per-NIC send serialization, latency + bandwidth per payload, paging —
+//! so a Gentleman run and a NavP run at the same problem size are
+//! directly comparable virtual times.
+
+use crate::data::MpData;
+use crate::error::MpError;
+use crate::process::{MpCharges, MpCluster, MpEffect, ProcCtx, Process, Tag};
+use navp_sim::key::NodeId;
+use navp_sim::memory::MemoryModel;
+use navp_sim::store::NodeStore;
+use navp_sim::trace::{Trace, TraceEvent, TraceKind};
+use navp_sim::{CostModel, EventQueue, PeResources, VTime};
+use std::collections::VecDeque;
+
+struct RankState {
+    proc: Option<Box<dyn Process>>,
+    label: String,
+    mailbox: VecDeque<(NodeId, Tag, MpData)>,
+    pending: Option<(Option<NodeId>, Tag)>,
+    received: Option<(NodeId, MpData)>,
+    in_barrier: bool,
+    done: bool,
+}
+
+enum Ev {
+    Ready(NodeId),
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        tag: Tag,
+        data: MpData,
+    },
+}
+
+/// Result of a virtual-time message-passing run.
+pub struct MpSimReport {
+    /// Virtual time at which the last rank finished.
+    pub makespan: VTime,
+    /// Post-run per-rank stores.
+    pub stores: Vec<NodeStore>,
+    /// Execution trace (empty unless enabled).
+    pub trace: Trace,
+    /// Total steps executed across ranks.
+    pub steps: u64,
+    /// Total messages sent between distinct ranks.
+    pub messages: u64,
+    /// Total bytes sent between distinct ranks.
+    pub message_bytes: u64,
+}
+
+impl std::fmt::Debug for MpSimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpSimReport")
+            .field("makespan", &self.makespan)
+            .field("steps", &self.steps)
+            .field("messages", &self.messages)
+            .field("message_bytes", &self.message_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Deterministic discrete-event executor for [`MpCluster`]s.
+pub struct MpSimExecutor {
+    cost: CostModel,
+    tracing: bool,
+}
+
+impl MpSimExecutor {
+    /// Executor over the given machine model, tracing disabled.
+    pub fn new(cost: CostModel) -> MpSimExecutor {
+        MpSimExecutor {
+            cost,
+            tracing: false,
+        }
+    }
+
+    /// Enable full tracing.
+    pub fn with_trace(mut self) -> MpSimExecutor {
+        self.tracing = true;
+        self
+    }
+
+    fn match_in_mailbox(
+        mailbox: &mut VecDeque<(NodeId, Tag, MpData)>,
+        from: Option<NodeId>,
+        tag: Tag,
+    ) -> Option<(NodeId, MpData)> {
+        let idx = mailbox
+            .iter()
+            .position(|(src, t, _)| *t == tag && from.is_none_or(|f| f == *src))?;
+        let (src, _, data) = mailbox.remove(idx).expect("index from position");
+        Some((src, data))
+    }
+
+    /// Run all ranks to completion.
+    pub fn run(&self, cluster: MpCluster) -> Result<MpSimReport, MpError> {
+        let (mut stores, procs) = cluster.into_parts();
+        let num_ranks = procs.len();
+        let mut pes: Vec<PeResources> = (0..num_ranks).map(|_| PeResources::new()).collect();
+        let mut ranks: Vec<RankState> = procs
+            .into_iter()
+            .map(|p| RankState {
+                label: p.label(),
+                proc: Some(p),
+                mailbox: VecDeque::new(),
+                pending: None,
+                received: None,
+                in_barrier: false,
+                done: false,
+            })
+            .collect();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut trace = if self.tracing {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        for r in 0..num_ranks {
+            queue.schedule(VTime::ZERO, Ev::Ready(r));
+        }
+
+        let mut charges = MpCharges::default();
+        let mut live = num_ranks;
+        let mut barrier_waiters: Vec<NodeId> = Vec::new();
+        let mut makespan = VTime::ZERO;
+        let (mut steps, mut messages, mut message_bytes) = (0u64, 0u64, 0u64);
+
+        while let Some((t, ev)) = queue.pop() {
+            match ev {
+                Ev::Deliver { to, from, tag, data } => {
+                    let rk = &mut ranks[to];
+                    let matches = rk
+                        .pending
+                        .is_some_and(|(f, wtag)| wtag == tag && f.is_none_or(|f| f == from));
+                    if matches {
+                        rk.pending = None;
+                        rk.received = Some((from, data));
+                        queue.schedule(t, Ev::Ready(to));
+                    } else {
+                        rk.mailbox.push_back((from, tag, data));
+                    }
+                }
+                Ev::Ready(r) => {
+                    let mut proc = match ranks[r].proc.take() {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    charges.clear();
+                    let effect = {
+                        let rk = &mut ranks[r];
+                        let mut ctx = ProcCtx::new(
+                            r,
+                            num_ranks,
+                            &mut stores[r],
+                            &mut rk.received,
+                            &mut charges,
+                        );
+                        proc.step(&mut ctx)
+                    };
+                    steps += 1;
+
+                    let mut dur = self
+                        .cost
+                        .compute_time(charges.flops, charges.factor.max(1.0))
+                        + self.cost.overhead()
+                        + VTime::from_secs_f64(charges.extra_seconds);
+                    if charges.touched_bytes > 0 {
+                        let mut mem = MemoryModel::new();
+                        mem.grow(stores[r].total_bytes());
+                        let fault = mem.fault_time(charges.touched_bytes, &self.cost);
+                        if fault > VTime::ZERO {
+                            dur += fault;
+                            trace.push(TraceEvent {
+                                start: t,
+                                end: t + fault,
+                                actor: r as u64,
+                                label: ranks[r].label.clone(),
+                                kind: TraceKind::Fault { pe: r },
+                            });
+                        }
+                    }
+                    let (start, end) = pes[r].run(t, dur);
+                    makespan = makespan.max(end);
+                    trace.push(TraceEvent {
+                        start,
+                        end,
+                        actor: r as u64,
+                        label: ranks[r].label.clone(),
+                        kind: TraceKind::Exec { pe: r },
+                    });
+
+                    match effect {
+                        MpEffect::Send { to, tag, data } => {
+                            if to >= num_ranks {
+                                return Err(MpError::BadRank {
+                                    rank: r,
+                                    peer: to,
+                                    ranks: num_ranks,
+                                });
+                            }
+                            ranks[r].proc = Some(proc);
+                            if to == r {
+                                // Self-send: pointer swap, no wire cost
+                                // (the paper's local pointer swapping).
+                                queue.schedule(end, Ev::Deliver {
+                                    to,
+                                    from: r,
+                                    tag,
+                                    data,
+                                });
+                                queue.schedule(end, Ev::Ready(r));
+                            } else {
+                                let bytes = data.bytes();
+                                let (departed, arrival) = pes[r].send(end, bytes, &self.cost);
+                                messages += 1;
+                                message_bytes += bytes;
+                                trace.push(TraceEvent {
+                                    start: end,
+                                    end: arrival,
+                                    actor: r as u64,
+                                    label: ranks[r].label.clone(),
+                                    kind: TraceKind::Transfer {
+                                        from: r,
+                                        to,
+                                        bytes,
+                                    },
+                                });
+                                queue.schedule(arrival, Ev::Deliver {
+                                    to,
+                                    from: r,
+                                    tag,
+                                    data,
+                                });
+                                // Buffered send: resume after serialization.
+                                queue.schedule(departed, Ev::Ready(r));
+                                makespan = makespan.max(arrival);
+                            }
+                        }
+                        MpEffect::Recv { from, tag } => {
+                            if let Some(f) = from {
+                                if f >= num_ranks {
+                                    return Err(MpError::BadRank {
+                                        rank: r,
+                                        peer: f,
+                                        ranks: num_ranks,
+                                    });
+                                }
+                            }
+                            let rk = &mut ranks[r];
+                            if let Some((src, data)) =
+                                Self::match_in_mailbox(&mut rk.mailbox, from, tag)
+                            {
+                                rk.received = Some((src, data));
+                                rk.proc = Some(proc);
+                                queue.schedule(end, Ev::Ready(r));
+                            } else {
+                                trace.push(TraceEvent {
+                                    start: end,
+                                    end,
+                                    actor: r as u64,
+                                    label: rk.label.clone(),
+                                    kind: TraceKind::Block { pe: r },
+                                });
+                                rk.pending = Some((from, tag));
+                                rk.proc = Some(proc);
+                            }
+                        }
+                        MpEffect::Barrier => {
+                            ranks[r].in_barrier = true;
+                            ranks[r].proc = Some(proc);
+                            barrier_waiters.push(r);
+                            if barrier_waiters.len() == live {
+                                // Everyone still running has arrived.
+                                for w in barrier_waiters.drain(..) {
+                                    ranks[w].in_barrier = false;
+                                    queue.schedule(end, Ev::Ready(w));
+                                }
+                            }
+                        }
+                        MpEffect::Done => {
+                            ranks[r].done = true;
+                            live -= 1;
+                            // A rank finishing can complete a barrier for
+                            // the rest (degenerate but legal here).
+                            if live > 0 && barrier_waiters.len() == live {
+                                for w in barrier_waiters.drain(..) {
+                                    ranks[w].in_barrier = false;
+                                    queue.schedule(end, Ev::Ready(w));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if live > 0 {
+            let blocked = ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, rk)| !rk.done)
+                .map(|(r, rk)| {
+                    let what = if rk.in_barrier {
+                        "barrier".to_string()
+                    } else if let Some((from, tag)) = rk.pending {
+                        match from {
+                            Some(f) => format!("recv from {f} tag {tag}"),
+                            None => format!("recv from any tag {tag}"),
+                        }
+                    } else {
+                        "unknown".to_string()
+                    };
+                    (r, what)
+                })
+                .collect();
+            return Err(MpError::Deadlock { blocked });
+        }
+
+        Ok(MpSimReport {
+            makespan,
+            stores,
+            trace,
+            steps,
+            messages,
+            message_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::RankScript;
+    use navp_sim::key::Key;
+
+    fn cost() -> CostModel {
+        let mut m = CostModel::paper_cluster();
+        m.daemon_overhead = 0.0;
+        m
+    }
+
+    fn cluster(scripts: Vec<RankScript>) -> MpCluster {
+        MpCluster::new(
+            scripts
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn Process>)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ping_pong() {
+        let r0 = RankScript::new("r0")
+            .then(|_| MpEffect::Send {
+                to: 1,
+                tag: 7,
+                data: MpData::new(41u32, 4),
+            })
+            .then(|_| MpEffect::Recv {
+                from: Some(1),
+                tag: 8,
+            })
+            .then(|ctx| {
+                let (src, d) = ctx.take_received().unwrap();
+                assert_eq!(src, 1);
+                let v = d.downcast::<u32>().unwrap();
+                ctx.store().insert(Key::plain("answer"), v, 4);
+                MpEffect::Done
+            });
+        let r1 = RankScript::new("r1")
+            .then(|_| MpEffect::Recv {
+                from: Some(0),
+                tag: 7,
+            })
+            .then(|ctx| {
+                let (_, d) = ctx.take_received().unwrap();
+                let v = d.downcast::<u32>().unwrap();
+                MpEffect::Send {
+                    to: 0,
+                    tag: 8,
+                    data: MpData::new(v + 1, 4),
+                }
+            })
+            .then(|_| MpEffect::Done);
+        let rep = MpSimExecutor::new(cost()).run(cluster(vec![r0, r1])).unwrap();
+        assert_eq!(rep.stores[0].get::<u32>(Key::plain("answer")), Some(&42));
+        assert_eq!(rep.messages, 2);
+    }
+
+    #[test]
+    fn send_cost_is_latency_plus_bandwidth() {
+        // One 11.5 MB message: 1 s serialization + 0.8 ms latency,
+        // receiver blocked until arrival.
+        let r0 = RankScript::new("s")
+            .then(|_| MpEffect::Send {
+                to: 1,
+                tag: 0,
+                data: MpData::empty(11_500_000),
+            })
+            .then(|_| MpEffect::Done);
+        let r1 = RankScript::new("r")
+            .then(|_| MpEffect::Recv { from: Some(0), tag: 0 })
+            .then(|_| MpEffect::Done);
+        let rep = MpSimExecutor::new(cost()).run(cluster(vec![r0, r1])).unwrap();
+        let expect = 1.0 + 0.8e-3;
+        assert!((rep.makespan.as_secs_f64() - expect).abs() < 1e-6);
+        assert_eq!(rep.message_bytes, 11_500_000);
+    }
+
+    #[test]
+    fn wildcard_recv_matches_any_source() {
+        let sender = |_r: usize| {
+            RankScript::new("s")
+                .then(move |ctx| MpEffect::Send {
+                    to: 0,
+                    tag: 3,
+                    data: MpData::new(ctx.rank() as u32, 4),
+                })
+                .then(|_| MpEffect::Done)
+        };
+        let r0 = RankScript::new("sink")
+            .then(|_| MpEffect::Recv { from: None, tag: 3 })
+            .then(|ctx| {
+                let (src, _) = ctx.take_received().unwrap();
+                ctx.store().insert(Key::at("first", 0), src, 8);
+                MpEffect::Recv { from: None, tag: 3 }
+            })
+            .then(|ctx| {
+                let (src, _) = ctx.take_received().unwrap();
+                ctx.store().insert(Key::at("second", 0), src, 8);
+                MpEffect::Done
+            });
+        let rep = MpSimExecutor::new(cost())
+            .run(cluster(vec![r0, sender(1), sender(2)]))
+            .unwrap();
+        let a = *rep.stores[0].get::<usize>(Key::at("first", 0)).unwrap();
+        let b = *rep.stores[0].get::<usize>(Key::at("second", 0)).unwrap();
+        assert_eq!({ let mut v = [a, b]; v.sort(); v }, [1, 2]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        // Rank 1 computes 1 s before the barrier; both must leave at ~1 s.
+        let mk = |work: f64| {
+            RankScript::new("b")
+                .then(move |ctx| {
+                    ctx.charge_seconds(work);
+                    MpEffect::Barrier
+                })
+                .then(move |ctx| {
+                    ctx.store()
+                        .insert(Key::plain("left_barrier"), true, 1);
+                    MpEffect::Done
+                })
+        };
+        let rep = MpSimExecutor::new(cost())
+            .run(cluster(vec![mk(0.0), mk(1.0)]))
+            .unwrap();
+        assert!((rep.makespan.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!(rep.stores[0].contains(Key::plain("left_barrier")));
+    }
+
+    #[test]
+    fn deadlock_reports_blockers() {
+        let r0 = RankScript::new("r0").then(|_| MpEffect::Recv {
+            from: Some(1),
+            tag: 9,
+        });
+        let r1 = RankScript::new("r1").then(|_| MpEffect::Barrier);
+        let err = MpSimExecutor::new(cost())
+            .run(cluster(vec![r0, r1]))
+            .unwrap_err();
+        match err {
+            MpError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                assert!(blocked.iter().any(|(_, w)| w.contains("recv from 1 tag 9")));
+                assert!(blocked.iter().any(|(_, w)| w == "barrier"));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_rank_reported() {
+        let r0 = RankScript::new("r0").then(|_| MpEffect::Send {
+            to: 5,
+            tag: 0,
+            data: MpData::empty(1),
+        });
+        assert!(matches!(
+            MpSimExecutor::new(cost()).run(cluster(vec![r0])),
+            Err(MpError::BadRank { peer: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn self_send_has_no_wire_cost() {
+        let r0 = RankScript::new("me")
+            .then(|_| MpEffect::Send {
+                to: 0,
+                tag: 1,
+                data: MpData::empty(1 << 30),
+            })
+            .then(|_| MpEffect::Recv { from: Some(0), tag: 1 })
+            .then(|_| MpEffect::Done);
+        let rep = MpSimExecutor::new(cost()).run(cluster(vec![r0])).unwrap();
+        assert_eq!(rep.makespan, VTime::ZERO);
+        assert_eq!(rep.messages, 0);
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let build = || {
+            let r0 = RankScript::new("a")
+                .then(|_| MpEffect::Send {
+                    to: 1,
+                    tag: 0,
+                    data: MpData::empty(1000),
+                })
+                .then(|_| MpEffect::Done);
+            let r1 = RankScript::new("b")
+                .then(|_| MpEffect::Recv { from: Some(0), tag: 0 })
+                .then(|_| MpEffect::Done);
+            cluster(vec![r0, r1])
+        };
+        let f1 = MpSimExecutor::new(cost()).with_trace().run(build()).unwrap();
+        let f2 = MpSimExecutor::new(cost()).with_trace().run(build()).unwrap();
+        assert_eq!(f1.trace.fingerprint(), f2.trace.fingerprint());
+    }
+}

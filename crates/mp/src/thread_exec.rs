@@ -1,0 +1,371 @@
+//! Wall-clock executor: one OS thread per rank.
+
+use crate::data::MpData;
+use crate::error::MpError;
+use crate::process::{MpCharges, MpCluster, MpEffect, ProcCtx, Process, Tag};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use navp_sim::key::NodeId;
+use navp_sim::store::NodeStore;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+type Envelope = (NodeId, Tag, MpData);
+
+/// Result of a wall-clock message-passing run.
+pub struct MpWallReport {
+    /// Elapsed wall-clock time.
+    pub wall: Duration,
+    /// Post-run per-rank stores.
+    pub stores: Vec<NodeStore>,
+}
+
+impl std::fmt::Debug for MpWallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpWallReport")
+            .field("wall", &self.wall)
+            .field("ranks", &self.stores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Multithreaded executor: every rank runs on its own thread; messages
+/// travel over channels; barriers are real barriers.
+pub struct MpThreadExecutor {
+    watchdog: Duration,
+}
+
+impl Default for MpThreadExecutor {
+    fn default() -> Self {
+        MpThreadExecutor::new()
+    }
+}
+
+impl MpThreadExecutor {
+    /// Executor with the default 10 s receive watchdog.
+    pub fn new() -> MpThreadExecutor {
+        MpThreadExecutor {
+            watchdog: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the receive watchdog (how long a blocked `Recv` waits
+    /// before the run is declared stalled).
+    pub fn with_watchdog(mut self, watchdog: Duration) -> MpThreadExecutor {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Run all ranks to completion on real threads.
+    pub fn run(&self, cluster: MpCluster) -> Result<MpWallReport, MpError> {
+        let (stores, procs) = cluster.into_parts();
+        let ranks = procs.len();
+
+        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(ranks);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Barrier::new(ranks);
+        let aborted = AtomicBool::new(false);
+        let watchdog = self.watchdog;
+
+        let start = Instant::now();
+        let mut results: Vec<Option<Result<NodeStore, MpError>>> =
+            (0..ranks).map(|_| None).collect();
+        let mut panic_msg = None;
+
+        std::thread::scope(|s| {
+            let senders = &senders;
+            let barrier = &barrier;
+            let aborted = &aborted;
+            let handles: Vec<_> = procs
+                .into_iter()
+                .zip(stores)
+                .zip(receivers)
+                .enumerate()
+                .map(|(rank, ((proc, store), rx))| {
+                    s.spawn(move || {
+                        rank_loop(rank, ranks, proc, store, rx, senders, barrier, aborted, watchdog)
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(res) => results[rank] = Some(res),
+                    Err(p) => {
+                        aborted.store(true, Ordering::SeqCst);
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".to_string());
+                        panic_msg = Some(msg);
+                    }
+                }
+            }
+        });
+        let wall = start.elapsed();
+
+        if let Some(msg) = panic_msg {
+            return Err(MpError::WorkerPanic(msg));
+        }
+        let mut stores_out = Vec::with_capacity(ranks);
+        let mut first_err = None;
+        for res in results.into_iter().flatten() {
+            match res {
+                Ok(store) => stores_out.push(store),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(MpWallReport {
+            wall,
+            stores: stores_out,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_loop(
+    rank: NodeId,
+    ranks: usize,
+    mut proc: Box<dyn Process>,
+    mut store: NodeStore,
+    rx: Receiver<Envelope>,
+    senders: &[Sender<Envelope>],
+    barrier: &Barrier,
+    aborted: &AtomicBool,
+    watchdog: Duration,
+) -> Result<NodeStore, MpError> {
+    let mut buffered: VecDeque<Envelope> = VecDeque::new();
+    let mut received: Option<(NodeId, MpData)> = None;
+    let mut charges = MpCharges::default();
+
+    loop {
+        if aborted.load(Ordering::SeqCst) {
+            return Err(MpError::Stalled { live: 1 });
+        }
+        charges.clear();
+        let effect = {
+            let mut ctx = ProcCtx::new(rank, ranks, &mut store, &mut received, &mut charges);
+            proc.step(&mut ctx)
+        };
+        match effect {
+            MpEffect::Send { to, tag, data } => {
+                if to >= ranks {
+                    aborted.store(true, Ordering::SeqCst);
+                    return Err(MpError::BadRank {
+                        rank,
+                        peer: to,
+                        ranks,
+                    });
+                }
+                // Ignore failures to a rank that already exited — the
+                // message could never have been received anyway.
+                let _ = senders[to].send((rank, tag, data));
+            }
+            MpEffect::Recv { from, tag } => {
+                if let Some(f) = from {
+                    if f >= ranks {
+                        aborted.store(true, Ordering::SeqCst);
+                        return Err(MpError::BadRank {
+                            rank,
+                            peer: f,
+                            ranks,
+                        });
+                    }
+                }
+                let matches = |(src, t, _): &Envelope| {
+                    *t == tag && from.is_none_or(|f| f == *src)
+                };
+                if let Some(idx) = buffered.iter().position(matches) {
+                    let (src, _, data) = buffered.remove(idx).expect("index valid");
+                    received = Some((src, data));
+                    continue;
+                }
+                let deadline = Instant::now() + watchdog;
+                loop {
+                    if aborted.load(Ordering::SeqCst) {
+                        return Err(MpError::Stalled { live: 1 });
+                    }
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        aborted.store(true, Ordering::SeqCst);
+                        return Err(MpError::Stalled { live: 1 });
+                    }
+                    match rx.recv_timeout(remaining.min(Duration::from_millis(50))) {
+                        Ok(env) if matches(&env) => {
+                            received = Some((env.0, env.2));
+                            break;
+                        }
+                        Ok(env) => buffered.push_back(env),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(MpError::Stalled { live: 1 })
+                        }
+                    }
+                }
+            }
+            MpEffect::Barrier => {
+                // A real barrier; if another rank never arrives, the
+                // whole run hangs — accepted for the threaded executor,
+                // whose inputs are programs already validated under the
+                // simulated executor's deadlock detection.
+                barrier.wait();
+            }
+            MpEffect::Done => return Ok(store),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::RankScript;
+    use navp_sim::key::Key;
+
+    fn cluster(scripts: Vec<RankScript>) -> MpCluster {
+        MpCluster::new(
+            scripts
+                .into_iter()
+                .map(|s| Box::new(s) as Box<dyn Process>)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ring_pass() {
+        // 0 -> 1 -> 2 -> 0, each adds one.
+        let n = 3usize;
+        let mk = |r: usize| {
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            let first = RankScript::new("ring").then(move |_| {
+                if r == 0 {
+                    MpEffect::Send {
+                        to: next,
+                        tag: 0,
+                        data: MpData::new(0u32, 4),
+                    }
+                } else {
+                    MpEffect::Recv {
+                        from: Some(prev),
+                        tag: 0,
+                    }
+                }
+            });
+            if r == 0 {
+                first
+                    .then(move |_| MpEffect::Recv {
+                        from: Some(prev),
+                        tag: 0,
+                    })
+                    .then(|ctx| {
+                        let (_, d) = ctx.take_received().unwrap();
+                        let v = d.downcast::<u32>().unwrap();
+                        ctx.store().insert(Key::plain("sum"), v, 4);
+                        MpEffect::Done
+                    })
+            } else {
+                first
+                    .then(move |ctx| {
+                        let (_, d) = ctx.take_received().unwrap();
+                        let v = d.downcast::<u32>().unwrap();
+                        MpEffect::Send {
+                            to: next,
+                            tag: 0,
+                            data: MpData::new(v + 1, 4),
+                        }
+                    })
+                    .then(|_| MpEffect::Done)
+            }
+        };
+        let rep = MpThreadExecutor::new()
+            .run(cluster((0..n).map(mk).collect()))
+            .unwrap();
+        assert_eq!(rep.stores[0].get::<u32>(Key::plain("sum")), Some(&2));
+    }
+
+    #[test]
+    fn barrier_all_arrive() {
+        let mk = || {
+            RankScript::new("b")
+                .then(|_| MpEffect::Barrier)
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("past"), true, 1);
+                    MpEffect::Done
+                })
+        };
+        let rep = MpThreadExecutor::new()
+            .run(cluster(vec![mk(), mk(), mk(), mk()]))
+            .unwrap();
+        assert!(rep
+            .stores
+            .iter()
+            .all(|s| s.contains(Key::plain("past"))));
+    }
+
+    #[test]
+    fn stalled_recv_hits_watchdog() {
+        let r0 = RankScript::new("r0").then(|_| MpEffect::Recv {
+            from: Some(1),
+            tag: 1,
+        });
+        let r1 = RankScript::new("r1").then(|_| MpEffect::Done);
+        let err = MpThreadExecutor::new()
+            .with_watchdog(Duration::from_millis(200))
+            .run(cluster(vec![r0, r1]))
+            .unwrap_err();
+        assert!(matches!(err, MpError::Stalled { .. }));
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let r0 = RankScript::new("s")
+            .then(|_| MpEffect::Send {
+                to: 1,
+                tag: 2,
+                data: MpData::new(200u32, 4),
+            })
+            .then(|_| MpEffect::Send {
+                to: 1,
+                tag: 1,
+                data: MpData::new(100u32, 4),
+            })
+            .then(|_| MpEffect::Done);
+        let r1 = RankScript::new("r")
+            .then(|_| MpEffect::Recv { from: Some(0), tag: 1 })
+            .then(|ctx| {
+                let (_, d) = ctx.take_received().unwrap();
+                let v = d.downcast::<u32>().unwrap();
+                ctx.store().insert(Key::at("got", 1), v, 4);
+                MpEffect::Recv { from: Some(0), tag: 2 }
+            })
+            .then(|ctx| {
+                let (_, d) = ctx.take_received().unwrap();
+                let v = d.downcast::<u32>().unwrap();
+                ctx.store().insert(Key::at("got", 2), v, 4);
+                MpEffect::Done
+            });
+        let rep = MpThreadExecutor::new().run(cluster(vec![r0, r1])).unwrap();
+        assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 1)), Some(&100));
+        assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 2)), Some(&200));
+    }
+
+    #[test]
+    fn worker_panic_reported() {
+        let r0 = RankScript::new("boom").then(|_| panic!("bang"));
+        match MpThreadExecutor::new().run(cluster(vec![r0])) {
+            Err(MpError::WorkerPanic(m)) => assert!(m.contains("bang")),
+            other => panic!("expected panic error, got ok={}", other.is_ok()),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Message-passing semantics pinned across both executors: FIFO per
+//! (source, tag) channel, barrier reuse, and cost attribution.
+
+use navp_mp::{
+    MpCluster, MpData, MpEffect, MpSimExecutor, MpThreadExecutor, Process, RankScript,
+};
+use navp_sim::key::Key;
+use navp_sim::CostModel;
+
+fn cluster(scripts: Vec<RankScript>) -> MpCluster {
+    MpCluster::new(
+        scripts
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn Process>)
+            .collect(),
+    )
+    .expect("cluster")
+}
+
+/// Two messages with the same (source, tag) must be received in send
+/// order — MPI's non-overtaking guarantee.
+fn non_overtaking_scripts() -> Vec<RankScript> {
+    let sender = RankScript::new("s")
+        .then(|_| MpEffect::Send {
+            to: 1,
+            tag: 5,
+            data: MpData::new(1u32, 4),
+        })
+        .then(|_| MpEffect::Send {
+            to: 1,
+            tag: 5,
+            data: MpData::new(2u32, 4),
+        })
+        .then(|_| MpEffect::Done);
+    let receiver = RankScript::new("r")
+        .then(|_| MpEffect::Recv { from: Some(0), tag: 5 })
+        .then(|ctx| {
+            let (_, d) = ctx.take_received().expect("first");
+            let v = d.downcast::<u32>().expect("u32");
+            ctx.store().insert(Key::at("got", 0), v, 4);
+            MpEffect::Recv { from: Some(0), tag: 5 }
+        })
+        .then(|ctx| {
+            let (_, d) = ctx.take_received().expect("second");
+            let v = d.downcast::<u32>().expect("u32");
+            ctx.store().insert(Key::at("got", 1), v, 4);
+            MpEffect::Done
+        });
+    vec![sender, receiver]
+}
+
+#[test]
+fn same_channel_messages_do_not_overtake_sim() {
+    let rep = MpSimExecutor::new(CostModel::paper_cluster())
+        .run(cluster(non_overtaking_scripts()))
+        .expect("runs");
+    assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 0)), Some(&1));
+    assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 1)), Some(&2));
+}
+
+#[test]
+fn same_channel_messages_do_not_overtake_threads() {
+    let rep = MpThreadExecutor::new()
+        .run(cluster(non_overtaking_scripts()))
+        .expect("runs");
+    assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 0)), Some(&1));
+    assert_eq!(rep.stores[1].get::<u32>(Key::at("got", 1)), Some(&2));
+}
+
+/// Barriers are reusable: two rounds of barrier + work must stay in
+/// lockstep (round 2 work never starts before round 1 everywhere done).
+#[test]
+fn barriers_are_reusable() {
+    let mk = |rank_work: f64| {
+        RankScript::new("b")
+            .then(move |ctx| {
+                ctx.charge_seconds(rank_work);
+                MpEffect::Barrier
+            })
+            .then(move |ctx| {
+                ctx.charge_seconds(rank_work);
+                MpEffect::Barrier
+            })
+            .then(|_| MpEffect::Done)
+    };
+    let mut cost = CostModel::paper_cluster();
+    cost.daemon_overhead = 0.0;
+    let rep = MpSimExecutor::new(cost)
+        .run(cluster(vec![mk(1.0), mk(2.0), mk(0.5)]))
+        .expect("runs");
+    // Each round gated by the slowest rank (2 s): makespan 4 s.
+    assert!((rep.makespan.as_secs_f64() - 4.0).abs() < 1e-6, "{}", rep.makespan);
+}
+
+/// The cache factor applies to compute time multiplicatively.
+#[test]
+fn charge_factor_scales_virtual_time() {
+    let mk = |factor: f64| {
+        let one = RankScript::new("w")
+            .then(move |ctx| {
+                ctx.charge_flops_factor(111_000_000, factor); // 1 s at base
+                MpEffect::Done
+            });
+        let mut cost = CostModel::paper_cluster();
+        cost.daemon_overhead = 0.0;
+        MpSimExecutor::new(cost)
+            .run(cluster(vec![one]))
+            .expect("runs")
+            .makespan
+            .as_secs_f64()
+    };
+    let base = mk(1.0);
+    let penalized = mk(1.04);
+    assert!((penalized / base - 1.04).abs() < 1e-6);
+}
+
+/// Messages to a finished rank are dropped, not a crash (the threaded
+/// executor's channels may already be closed).
+#[test]
+fn send_to_finished_rank_is_harmless() {
+    let quitter = RankScript::new("q").then(|_| MpEffect::Done);
+    let sender = RankScript::new("s")
+        .then(|ctx| {
+            ctx.charge_seconds(0.1);
+            MpEffect::Send {
+                to: 0,
+                tag: 1,
+                data: MpData::empty(64),
+            }
+        })
+        .then(|_| MpEffect::Done);
+    // Sim executor: the message is simply never received.
+    let rep = MpSimExecutor::new(CostModel::paper_cluster())
+        .run(cluster(vec![quitter, sender]))
+        .expect("runs");
+    assert_eq!(rep.messages, 1);
+}

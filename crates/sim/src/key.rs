@@ -1,0 +1,96 @@
+//! Identifiers: PEs, node variables, events.
+
+use std::fmt;
+
+/// Flat identifier of a processing element.
+///
+/// Programs that think in grids (the paper's `(VnodeID, HnodeID)`) map
+/// coordinates through `navp_matrix::Grid2D::node`.
+pub type NodeId = usize;
+
+/// A small, copyable name used for both node variables and events.
+///
+/// The paper indexes its variables and events with one or two subscripts
+/// (`B(k)`, `EP(i, j)`), so a key is a static name plus two integer
+/// coordinates. Unused coordinates default to zero.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// Static name, e.g. `"B"` or `"EP"`.
+    pub name: &'static str,
+    /// First subscript.
+    pub i: u32,
+    /// Second subscript.
+    pub j: u32,
+}
+
+impl Key {
+    /// A key with no subscripts: `Key::plain("A")` is `A(0, 0)`.
+    pub const fn plain(name: &'static str) -> Key {
+        Key { name, i: 0, j: 0 }
+    }
+
+    /// A key with one subscript, like the paper's `B(k)`.
+    pub const fn at(name: &'static str, i: usize) -> Key {
+        Key {
+            name,
+            i: i as u32,
+            j: 0,
+        }
+    }
+
+    /// A key with two subscripts, like the paper's `EP(i, j)`.
+    pub const fn at2(name: &'static str, i: usize, j: usize) -> Key {
+        Key {
+            name,
+            i: i as u32,
+            j: j as u32,
+        }
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({},{})", self.name, self.i, self.j)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({},{})", self.name, self.i, self.j)
+    }
+}
+
+/// Keys naming node variables.
+pub type VarKey = Key;
+/// Keys naming events.
+pub type EventKey = Key;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Key::plain("A"), Key::at2("A", 0, 0));
+        assert_eq!(Key::at("B", 3).i, 3);
+        let k = Key::at2("EP", 2, 5);
+        assert_eq!((k.i, k.j), (2, 5));
+    }
+
+    #[test]
+    fn keys_hash_and_compare() {
+        let mut set = HashSet::new();
+        set.insert(Key::at2("EP", 1, 2));
+        set.insert(Key::at2("EP", 1, 2));
+        set.insert(Key::at2("EC", 1, 2));
+        set.insert(Key::at2("EP", 2, 1));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Key::at2("EP", 1, 2).to_string(), "EP(1,2)");
+        assert_eq!(format!("{:?}", Key::plain("A")), "A(0,0)");
+    }
+}

@@ -1,0 +1,44 @@
+//! Virtual-cluster substrate for the NavP reproduction.
+//!
+//! The paper's evaluation ran on a network of SUN Blade 100 workstations
+//! (502 MHz UltraSPARC-IIe, 256 MB RAM) on 100 Mbps switched Ethernet.
+//! This crate supplies everything needed to *replay* that environment
+//! deterministically on a modern machine:
+//!
+//! * [`time`] — discrete virtual time (nanosecond ticks, totally ordered);
+//! * [`cost`] — a calibrated cost model (CPU flop rate, NIC latency and
+//!   bandwidth, per-NIC serialization, cache-residency factors);
+//! * [`memory`] — per-PE memory capacity with a paging model, reproducing
+//!   the thrashing-vs-DSC phenomenon of Table 2;
+//! * [`key`] / [`store`] — identifiers and the per-PE typed data store
+//!   shared by both the NavP runtime and the message-passing substrate;
+//! * [`queue`] — a deterministic future-event queue (ties broken by
+//!   insertion sequence, so equal-time events replay identically);
+//! * [`pe`] — per-PE resource state (CPU and NIC busy-until horizons);
+//! * [`trace`] — execution traces plus the ASCII space-time diagram
+//!   renderer used to regenerate Figure 1 from real runs.
+//!
+//! The executors themselves live with the paradigms they execute: the
+//! NavP daemon/DES in the `navp` crate and the MPI-like one in `navp-mp`.
+//! Both consume this crate, so NavP and message passing are always
+//! compared under the *same* machine model.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod key;
+pub mod memory;
+pub mod pe;
+pub mod queue;
+pub mod store;
+pub mod time;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use key::{EventKey, Key, NodeId, VarKey};
+pub use memory::MemoryModel;
+pub use pe::PeResources;
+pub use store::NodeStore;
+pub use queue::EventQueue;
+pub use time::VTime;
+pub use trace::{Trace, TraceEvent, TraceKind};

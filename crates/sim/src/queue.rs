@@ -1,0 +1,139 @@
+//! Deterministic future-event queue.
+
+use crate::time::VTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: VTime,
+    seq: u64,
+    payload: E,
+}
+
+// Min-heap ordering: earliest time first, FIFO among equal times.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A future-event queue for discrete-event simulation.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which makes every simulation in this workspace
+/// bit-reproducible: same inputs, same trace, on any platform.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn schedule(&mut self, at: VTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(VTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<VTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime(30), "c");
+        q.schedule(VTime(10), "a");
+        q.schedule(VTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(VTime(10), "a"), (VTime(20), "b"), (VTime(30), "c")]
+        );
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(VTime(7), i);
+        }
+        for want in 0..100 {
+            assert_eq!(q.pop().unwrap().1, want);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(VTime(5), 1);
+        q.schedule(VTime(1), 0);
+        assert_eq!(q.pop(), Some((VTime(1), 0)));
+        q.schedule(VTime(3), 2);
+        assert_eq!(q.peek_time(), Some(VTime(3)));
+        assert_eq!(q.pop(), Some((VTime(3), 2)));
+        assert_eq!(q.pop(), Some((VTime(5), 1)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(VTime(1), ());
+        q.schedule(VTime(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Node variables: the PE-resident data store.
+//!
+//! In NavP, "large data that stays on a computer is held in node
+//! variables that are resident on a particular PE and are shared by all
+//! computation threads currently on that PE." A [`NodeStore`] is that
+//! per-PE heap: a typed map from [`VarKey`] to values, with explicit byte
+//! accounting so the simulation executor can drive the paging model.
+//!
+//! Executors hand a messenger `&mut NodeStore` for the PE it currently
+//! occupies — and only for the duration of one step, so no reference can
+//! survive a hop.
+
+use crate::key::VarKey;
+use std::any::Any;
+use std::collections::HashMap;
+
+struct Entry {
+    val: Box<dyn Any + Send>,
+    bytes: u64,
+}
+
+/// The node-variable store of one PE.
+#[derive(Default)]
+pub struct NodeStore {
+    map: HashMap<VarKey, Entry>,
+    bytes: u64,
+}
+
+impl NodeStore {
+    /// An empty store.
+    pub fn new() -> NodeStore {
+        NodeStore::default()
+    }
+
+    /// Insert (or replace) variable `key` with `val`, declaring the bytes
+    /// it keeps resident on this PE. Returns the previous value's bytes
+    /// if one was replaced.
+    pub fn insert<T: Any + Send>(&mut self, key: VarKey, val: T, bytes: u64) -> Option<u64> {
+        let old = self.map.insert(
+            key,
+            Entry {
+                val: Box::new(val),
+                bytes,
+            },
+        );
+        let old_bytes = old.map(|e| e.bytes);
+        self.bytes = self.bytes - old_bytes.unwrap_or(0) + bytes;
+        old_bytes
+    }
+
+    /// Borrow variable `key` as `T`. `None` when absent or of another type.
+    pub fn get<T: Any + Send>(&self, key: VarKey) -> Option<&T> {
+        self.map.get(&key).and_then(|e| e.val.downcast_ref())
+    }
+
+    /// Mutably borrow variable `key` as `T`.
+    pub fn get_mut<T: Any + Send>(&mut self, key: VarKey) -> Option<&mut T> {
+        self.map.get_mut(&key).and_then(|e| e.val.downcast_mut())
+    }
+
+    /// Remove variable `key` and take ownership of its value.
+    ///
+    /// Removal only happens when the type matches; on a type mismatch the
+    /// variable is left in place and `None` is returned.
+    pub fn take<T: Any + Send>(&mut self, key: VarKey) -> Option<T> {
+        if !self
+            .map
+            .get(&key)
+            .is_some_and(|e| e.val.as_ref().is::<T>())
+        {
+            return None;
+        }
+        let entry = self.map.remove(&key).expect("checked above");
+        self.bytes -= entry.bytes;
+        Some(*entry.val.downcast::<T>().expect("checked above"))
+    }
+
+    /// Mutably borrow two *distinct* variables at once — the shape needed
+    /// by the paper's inner loops (`C(mi) += mA(k) * B(k)` reads one node
+    /// variable while accumulating into another).
+    ///
+    /// Returns `None` if either is absent/mistyped, or if the keys are
+    /// equal.
+    pub fn get2_mut<A: Any + Send, B: Any + Send>(
+        &mut self,
+        ka: VarKey,
+        kb: VarKey,
+    ) -> Option<(&mut A, &mut B)> {
+        if ka == kb {
+            return None;
+        }
+        let [ea, eb] = self.map.get_disjoint_mut([&ka, &kb]);
+        match (ea, eb) {
+            (Some(a), Some(b)) => Some((a.val.downcast_mut()?, b.val.downcast_mut()?)),
+            _ => None,
+        }
+    }
+
+    /// `true` when variable `key` exists (any type).
+    pub fn contains(&self, key: VarKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of variables resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no variables are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total declared bytes resident on this PE — the input to the
+    /// paging model.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Iterate over the keys of all resident variables (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &VarKey> {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+
+    #[test]
+    fn insert_get_take_roundtrip() {
+        let mut s = NodeStore::new();
+        s.insert(Key::at("B", 0), vec![1.0f64, 2.0], 16);
+        assert!(s.contains(Key::at("B", 0)));
+        assert_eq!(s.get::<Vec<f64>>(Key::at("B", 0)).unwrap()[1], 2.0);
+        s.get_mut::<Vec<f64>>(Key::at("B", 0)).unwrap()[0] = 9.0;
+        let v: Vec<f64> = s.take(Key::at("B", 0)).unwrap();
+        assert_eq!(v, vec![9.0, 2.0]);
+        assert!(!s.contains(Key::at("B", 0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("A"), 1u8, 100);
+        s.insert(Key::plain("B"), 2u8, 50);
+        assert_eq!(s.total_bytes(), 150);
+        // Replacement swaps the byte count.
+        let old = s.insert(Key::plain("A"), 3u8, 20);
+        assert_eq!(old, Some(100));
+        assert_eq!(s.total_bytes(), 70);
+        let _: Option<u8> = s.take(Key::plain("B"));
+        assert_eq!(s.total_bytes(), 20);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_is_none_and_nondestructive() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("X"), 42u32, 4);
+        assert!(s.get::<String>(Key::plain("X")).is_none());
+        assert!(s.take::<String>(Key::plain("X")).is_none());
+        // A mismatched take must not destroy the variable.
+        assert_eq!(s.get::<u32>(Key::plain("X")), Some(&42));
+        assert_eq!(s.total_bytes(), 4);
+    }
+
+    #[test]
+    fn get2_mut_disjoint() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("C"), vec![0.0f64; 2], 16);
+        s.insert(Key::plain("B"), vec![3.0f64; 2], 16);
+        {
+            let (c, b) = s
+                .get2_mut::<Vec<f64>, Vec<f64>>(Key::plain("C"), Key::plain("B"))
+                .unwrap();
+            c[0] += b[0];
+        }
+        assert_eq!(s.get::<Vec<f64>>(Key::plain("C")).unwrap()[0], 3.0);
+        // Same key twice is rejected.
+        assert!(s
+            .get2_mut::<Vec<f64>, Vec<f64>>(Key::plain("C"), Key::plain("C"))
+            .is_none());
+        // Missing second key.
+        assert!(s
+            .get2_mut::<Vec<f64>, Vec<f64>>(Key::plain("C"), Key::plain("Z"))
+            .is_none());
+    }
+
+    #[test]
+    fn absent_key_is_none() {
+        let s = NodeStore::new();
+        assert!(s.get::<u8>(Key::plain("nope")).is_none());
+    }
+}

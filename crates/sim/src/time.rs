@@ -1,0 +1,121 @@
+//! Discrete virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in integer nanoseconds since the
+/// start of a simulation.
+///
+/// Integer ticks (rather than `f64` seconds) make the discrete-event
+/// executors *exactly* deterministic: ordering never depends on
+/// floating-point rounding, so a seeded run replays with an identical
+/// trace on every platform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    /// Time zero.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Convert a non-negative duration in seconds to ticks
+    /// (rounded to nearest nanosecond; saturates at the `u64` horizon,
+    /// which is ~584 years of simulated time).
+    pub fn from_secs_f64(s: f64) -> VTime {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
+        let ns = (s * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            VTime(u64::MAX)
+        } else {
+            VTime(ns as u64)
+        }
+    }
+
+    /// This time as (approximate) floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn saturating_sub(self, earlier: VTime) -> VTime {
+        VTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VTime {
+    fn add_assign(&mut self, rhs: VTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VTime {
+    type Output = VTime;
+    /// # Panics
+    /// Panics in debug builds when `rhs > self`; use
+    /// [`VTime::saturating_sub`] when the order is not guaranteed.
+    fn sub(self, rhs: VTime) -> VTime {
+        debug_assert!(self.0 >= rhs.0, "VTime subtraction underflow");
+        VTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = VTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(VTime::from_secs_f64(0.0), VTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = VTime(100);
+        let b = VTime(250);
+        assert_eq!(a + b, VTime(350));
+        assert_eq!(b - a, VTime(150));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.saturating_sub(b), VTime::ZERO);
+        assert!(a < b);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, VTime(350));
+    }
+
+    #[test]
+    fn saturation_at_horizon() {
+        assert_eq!(VTime(u64::MAX) + VTime(5), VTime(u64::MAX));
+        assert_eq!(VTime::from_secs_f64(1e30), VTime(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn rejects_negative_seconds() {
+        VTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(VTime(1_500_000).to_string(), "0.001500s");
+    }
+}

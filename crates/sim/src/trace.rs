@@ -1,0 +1,349 @@
+//! Execution traces and the space-time diagram renderer.
+//!
+//! Figure 1 of the paper explains the three NavP transformations with
+//! space-time diagrams (PEs on the horizontal axis, time flowing down).
+//! Rather than redrawing those by hand, the simulation executors record a
+//! [`Trace`] of everything that happens, and [`Trace::render_spacetime`]
+//! reproduces Figure 1 *from actual executions*. The trace is also the
+//! basis of utilization statistics and of the determinism tests (two runs
+//! of the same configuration must produce identical traces).
+
+use crate::time::VTime;
+use std::fmt::Write as _;
+
+/// What a trace record describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An agent/process executed on `pe` for the spanned interval.
+    Exec {
+        /// PE that ran the step.
+        pe: usize,
+    },
+    /// A payload travelled between PEs (agent hop or message).
+    Transfer {
+        /// Sending PE.
+        from: usize,
+        /// Receiving PE.
+        to: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// The actor blocked waiting for an event/message on `pe`.
+    Block {
+        /// PE where the actor is parked.
+        pe: usize,
+    },
+    /// The actor signalled an event on `pe`.
+    Signal {
+        /// PE where the signal happened.
+        pe: usize,
+    },
+    /// Extra paging time charged on `pe` by the memory model.
+    Fault {
+        /// PE that paged.
+        pe: usize,
+    },
+}
+
+/// One record in an execution trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When the spanned activity started.
+    pub start: VTime,
+    /// When it ended (equals `start` for instantaneous records).
+    pub end: VTime,
+    /// Stable identifier of the actor (agent or rank).
+    pub actor: u64,
+    /// Human-readable actor label, e.g. `RowCarrier(3)`.
+    pub label: String,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only log of everything a virtual-time execution did.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records events.
+    pub fn enabled() -> Trace {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A trace that drops everything (zero overhead for large sweeps).
+    pub fn disabled() -> Trace {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// All recorded events in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Latest end time over all records.
+    pub fn makespan(&self) -> VTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(VTime::ZERO)
+    }
+
+    /// Total bytes moved between distinct PEs.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Transfer { from, to, bytes } if from != to => Some(bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of inter-PE transfers (hops or messages).
+    pub fn transfer_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Transfer { from, to, .. } if from != to))
+            .count()
+    }
+
+    /// Busy time (Exec records) per PE; index = PE id, length = `pes`.
+    pub fn busy_per_pe(&self, pes: usize) -> Vec<VTime> {
+        let mut busy = vec![VTime::ZERO; pes];
+        for e in &self.events {
+            if let TraceKind::Exec { pe } = e.kind {
+                if pe < pes {
+                    busy[pe] += e.end.saturating_sub(e.start);
+                }
+            }
+        }
+        busy
+    }
+
+    /// Mean CPU utilization across `pes` PEs over the makespan.
+    pub fn utilization(&self, pes: usize) -> f64 {
+        let span = self.makespan().as_secs_f64();
+        if span == 0.0 || pes == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_per_pe(pes).iter().map(|t| t.as_secs_f64()).sum();
+        busy / (span * pes as f64)
+    }
+
+    /// An order-sensitive 64-bit fingerprint of the whole trace, used by
+    /// determinism tests (identical runs ⇒ identical hash).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical rendering of each event.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u64| {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for e in &self.events {
+            eat(e.start.0);
+            eat(e.end.0);
+            eat(e.actor);
+            match &e.kind {
+                TraceKind::Exec { pe } => {
+                    eat(1);
+                    eat(*pe as u64);
+                }
+                TraceKind::Transfer { from, to, bytes } => {
+                    eat(2);
+                    eat(*from as u64);
+                    eat(*to as u64);
+                    eat(*bytes);
+                }
+                TraceKind::Block { pe } => {
+                    eat(3);
+                    eat(*pe as u64);
+                }
+                TraceKind::Signal { pe } => {
+                    eat(4);
+                    eat(*pe as u64);
+                }
+                TraceKind::Fault { pe } => {
+                    eat(5);
+                    eat(*pe as u64);
+                }
+            }
+        }
+        h
+    }
+
+    /// Render the paper's Figure-1 style space-time diagram: one column
+    /// per PE, time flowing downward in `rows` buckets. Each cell shows
+    /// the first character of the label of the agent executing there (or
+    /// `*` when several share a bucket, `.` when idle). Transfers between
+    /// buckets are not drawn; the executing-agent pattern alone makes the
+    /// sequential/DSC/pipelined/phase-shifted shapes unmistakable.
+    pub fn render_spacetime(&self, pes: usize, rows: usize) -> String {
+        let span = self.makespan();
+        let mut out = String::new();
+        let _ = write!(out, "time ");
+        for pe in 0..pes {
+            let _ = write!(out, "PE{pe:<3}");
+        }
+        out.push('\n');
+        if span == VTime::ZERO || rows == 0 {
+            return out;
+        }
+        let bucket = (span.0 / rows as u64).max(1);
+        // cell[r][pe] = None (idle) | Some(char)
+        let mut cells = vec![vec![None::<char>; pes]; rows];
+        for e in &self.events {
+            if let TraceKind::Exec { pe } = e.kind {
+                if pe >= pes {
+                    continue;
+                }
+                let r0 = (e.start.0 / bucket) as usize;
+                let r1 = ((e.end.0.saturating_sub(1)) / bucket) as usize;
+                let c = e.label.chars().next().unwrap_or('?');
+                for cell_row in cells.iter_mut().take(r1.min(rows - 1) + 1).skip(r0) {
+                    let cell = &mut cell_row[pe];
+                    *cell = match cell {
+                        None => Some(c),
+                        Some(prev) if *prev == c => Some(c),
+                        _ => Some('*'),
+                    };
+                }
+            }
+        }
+        for (r, row) in cells.iter().enumerate() {
+            let t = VTime(bucket * r as u64).as_secs_f64();
+            let _ = write!(out, "{t:>7.3}s ");
+            for cell in row {
+                let _ = write!(out, "{}   ", cell.unwrap_or('.'));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(actor: u64, pe: usize, s: u64, e: u64, label: &str) -> TraceEvent {
+        TraceEvent {
+            start: VTime(s),
+            end: VTime(e),
+            actor,
+            label: label.to_string(),
+            kind: TraceKind::Exec { pe },
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(exec(0, 0, 0, 10, "X"));
+        assert!(t.events().is_empty());
+        assert_eq!(t.makespan(), VTime::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut t = Trace::enabled();
+        t.push(exec(0, 0, 0, 100, "A"));
+        t.push(exec(1, 1, 50, 150, "B"));
+        t.push(TraceEvent {
+            start: VTime(100),
+            end: VTime(120),
+            actor: 0,
+            label: "A".into(),
+            kind: TraceKind::Transfer {
+                from: 0,
+                to: 1,
+                bytes: 64,
+            },
+        });
+        // Local transfer must not count.
+        t.push(TraceEvent {
+            start: VTime(120),
+            end: VTime(120),
+            actor: 0,
+            label: "A".into(),
+            kind: TraceKind::Transfer {
+                from: 1,
+                to: 1,
+                bytes: 1000,
+            },
+        });
+        assert_eq!(t.makespan(), VTime(150));
+        assert_eq!(t.bytes_transferred(), 64);
+        assert_eq!(t.transfer_count(), 1);
+        let busy = t.busy_per_pe(2);
+        assert_eq!(busy[0], VTime(100));
+        assert_eq!(busy[1], VTime(100));
+        let u = t.utilization(2);
+        assert!((u - 200.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_reproduces() {
+        let mut a = Trace::enabled();
+        a.push(exec(0, 0, 0, 10, "A"));
+        let mut b = Trace::enabled();
+        b.push(exec(0, 0, 0, 10, "A"));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.push(exec(1, 1, 10, 20, "B"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn spacetime_shows_pipeline_shape() {
+        // Three agents sweeping across three PEs, staggered: the classic
+        // Figure 1(c) staircase.
+        let mut t = Trace::enabled();
+        for agent in 0..3u64 {
+            for pe in 0..3usize {
+                let s = (agent as usize + pe) as u64 * 100;
+                t.push(exec(
+                    agent,
+                    pe,
+                    s,
+                    s + 100,
+                    &format!("{agent}"),
+                ));
+            }
+        }
+        let art = t.render_spacetime(3, 5);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6, "{art}");
+        // First bucket: agent 0 on PE0 only.
+        assert!(lines[1].contains('0'));
+        // Diagram must contain all three agent digits somewhere.
+        for d in ['0', '1', '2'] {
+            assert!(art.contains(d), "{art}");
+        }
+    }
+
+    #[test]
+    fn spacetime_empty_trace() {
+        let t = Trace::enabled();
+        let art = t.render_spacetime(2, 4);
+        assert!(art.starts_with("time"));
+        assert_eq!(art.lines().count(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's central claim, reproduced end to end: **each
+//! transformation is mechanical, and each intermediate program is an
+//! improvement over its predecessor.**
+//!
+//! Run with: `cargo run --release --example incremental_journey`
+//!
+//! The six stages are run twice:
+//! * with real payloads at a small order, verifying every product
+//!   against the sequential kernel (any stage that breaks correctness
+//!   would fail here);
+//! * with phantom payloads at a paper-scale order under the calibrated
+//!   1-D (3 PEs) and 2-D (3x3) cost models, printing the improvement
+//!   ladder the paper's tables show.
+
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::runner::{run_navp_sim, run_seq_sim, NavpStage};
+use navp_repro::navp_sim::CostModel;
+
+fn main() {
+    println!("== Correctness at every step (N=180, block 30, real data) ==\n");
+    let cfg = MmConfig::real(180, 30);
+    for stage in NavpStage::ALL {
+        let grid = if stage.is_1d() {
+            Grid2D::line(3).expect("grid")
+        } else {
+            Grid2D::new(3, 3).expect("grid")
+        };
+        let out = run_navp_sim(stage, &cfg, grid, &CostModel::paper_cluster(), false)
+            .expect("stage runs");
+        println!(
+            "{:<22} verified = {:?}",
+            stage.name(),
+            out.verified.expect("real payload")
+        );
+        assert_eq!(out.verified, Some(true));
+    }
+
+    println!("\n== The improvement ladder (N=3072, block 128, phantom) ==\n");
+    let cfg = MmConfig::phantom(3072, 128);
+    let cost = CostModel::paper_cluster();
+    let seq = run_seq_sim(&cfg, &cost).expect("seq").virt_seconds.expect("sim");
+    println!("{:<22} {:>10.2} s   speedup 1.00   (the starting point)", "Sequential", seq);
+
+    let mut previous = seq;
+    for stage in NavpStage::ALL {
+        let (grid, label) = if stage.is_1d() {
+            (Grid2D::line(3).expect("grid"), "3 PEs")
+        } else {
+            (Grid2D::new(3, 3).expect("grid"), "9 PEs")
+        };
+        let t = run_navp_sim(stage, &cfg, grid, &cost, false)
+            .expect("stage runs")
+            .virt_seconds
+            .expect("sim");
+        let note = if stage == NavpStage::Dsc1D {
+            "(no parallelism yet - but out-of-core capable)".to_string()
+        } else if t < previous {
+            format!("improves on the previous stage by {:.0}%", 100.0 * (1.0 - t / previous))
+        } else {
+            "(moves to the wider 2-D network)".to_string()
+        };
+        println!(
+            "{:<22} {:>10.2} s   speedup {:>5.2}   on {label}; {note}",
+            stage.name(),
+            t,
+            seq / t,
+        );
+        previous = t;
+    }
+
+    println!(
+        "\nEvery stage is a complete, runnable, verified program — the\n\
+         paper's incremental-parallelization property. The 1-D chain tops\n\
+         out near 3x on 3 PEs; re-applying the same three transformations\n\
+         in the second dimension reaches ~9x on 9 PEs."
+    );
+}

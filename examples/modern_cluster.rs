@@ -1,0 +1,50 @@
+//! Would the paper's conclusions hold on modern hardware? A what-if
+//! sweep over cost models: the paper's 2003 cluster vs a contemporary
+//! one (~50 GFLOP/s nodes, 25 GbE), at equal problem sizes.
+//!
+//! Run with: `cargo run --release --example modern_cluster`
+//!
+//! The qualitative result: the *transformation chain* still orders the
+//! same way, but the margins compress — the compute/communication ratio
+//! of dense matrix multiply has shifted so far toward communication that
+//! the 2-D stages become bandwidth-bound at sizes the 2003 cluster found
+//! compute-bound. This is exactly the kind of question a calibrated
+//! model answers cheaply.
+
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::gentleman::GentlemanOpts;
+use navp_repro::navp_mm::runner::{run_mp_sim, run_navp_sim, run_seq_sim, MpAlg, NavpStage};
+use navp_repro::navp_sim::CostModel;
+
+fn main() {
+    let grid = Grid2D::new(3, 3).expect("grid");
+    let cfg = MmConfig::phantom(6144, 256);
+
+    for (label, cost) in [
+        ("2003 cluster (paper calibration)", CostModel::paper_cluster()),
+        ("modern cluster (50 GF/s, 25 GbE)", CostModel::modern_cluster()),
+    ] {
+        println!("== {label} ==");
+        let seq = run_seq_sim(&cfg, &cost).expect("seq").virt_seconds.expect("sim");
+        println!("{:<22} {:>10.2} s", "Sequential", seq);
+        for stage in [NavpStage::Dsc2D, NavpStage::Pipe2D, NavpStage::Dpc2D] {
+            let t = run_navp_sim(stage, &cfg, grid, &cost, false)
+                .expect("run")
+                .virt_seconds
+                .expect("sim");
+            println!("{:<22} {:>10.2} s   speedup {:>5.2}", stage.name(), t, seq / t);
+        }
+        let t = run_mp_sim(MpAlg::Gentleman(GentlemanOpts::default()), &cfg, grid, &cost)
+            .expect("run")
+            .virt_seconds
+            .expect("sim");
+        println!("{:<22} {:>10.2} s   speedup {:>5.2}\n", "MPI (Gentleman)", t, seq / t);
+    }
+
+    println!(
+        "Note how the ordering (phase <= pipeline <= DSC, NavP phase vs MPI)\n\
+         survives the 20-year hardware shift while every absolute speedup\n\
+         moves: on the modern model the same N is latency/bandwidth-bound."
+    );
+}

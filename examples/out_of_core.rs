@@ -1,0 +1,65 @@
+//! The Table 2 phenomenon: **DSC turns paging into a modest amount of
+//! network communication** — the paper's original motivation for
+//! distributed sequential computing, reproduced under the memory model.
+//!
+//! Run with: `cargo run --release --example out_of_core`
+//!
+//! A matrix problem several times larger than one PE's physical memory
+//! is run (a) sequentially on one PE, which thrashes, and (b) as 1-D DSC
+//! over 8 PEs, where each PE's slice fits and only the carried block row
+//! crosses the network. No parallelism is involved — the DSC program is
+//! still one thread of control.
+
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::runner::{run_navp_sim, run_seq_sim, NavpStage};
+use navp_repro::navp_sim::CostModel;
+
+fn main() {
+    let cost = CostModel::paper_cluster();
+    println!(
+        "Machine model: {} MB RAM/PE, fault bandwidth {:.1} MB/s, thrash threshold {}x\n",
+        cost.mem_capacity >> 20,
+        cost.fault_bandwidth / 1e6,
+        cost.thrash_threshold,
+    );
+
+    println!("{:>6} {:>9} | {:>12} {:>12} {:>12} | {:>9}", "N", "data(MB)", "seq-clean(s)", "seq-256MB(s)", "DSC-8PE(s)", "DSC SU");
+    for n in [4096usize, 6144, 9216] {
+        let cfg = MmConfig::phantom(n, 128);
+        let data_mb = 3 * n * n * 8 / (1 << 20);
+
+        // The paper's "fitted" sequential: what a machine with enough
+        // memory would do.
+        let mut clean = cost;
+        clean.mem_capacity = u64::MAX;
+        let t_clean = run_seq_sim(&cfg, &clean).expect("seq").virt_seconds.expect("sim");
+
+        // One 256 MB PE: pays the paging model's price.
+        let t_thrash = run_seq_sim(&cfg, &cost).expect("seq").virt_seconds.expect("sim");
+
+        // 1-D DSC over 8 PEs: B and C bands fit per PE.
+        let t_dsc = run_navp_sim(
+            NavpStage::Dsc1D,
+            &cfg,
+            Grid2D::line(8).expect("grid"),
+            &cost,
+            false,
+        )
+        .expect("dsc")
+        .virt_seconds
+        .expect("sim");
+
+        println!(
+            "{n:>6} {data_mb:>9} | {t_clean:>12.0} {t_thrash:>12.0} {t_dsc:>12.0} | {:>9.2}",
+            t_clean / t_dsc
+        );
+    }
+
+    println!(
+        "\nPaper (Table 2, N=9216): sequential 36534 s measured vs 13922 s\n\
+         fitted; 1-D DSC on 8 PEs 14959 s — speedup 0.93 over the *fitted*\n\
+         time, i.e. DSC runs the too-big-for-one-machine problem at almost\n\
+         full sequential speed while the real sequential run was 2.6x slower."
+    );
+}

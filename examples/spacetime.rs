@@ -1,0 +1,46 @@
+//! Figure 1, from live executions: space-time diagrams of the three
+//! transformations, rendered from the traces the simulation executor
+//! records.
+//!
+//! Run with: `cargo run --release --example spacetime`
+//!
+//! Columns are PEs, time flows downward, each cell shows the messenger
+//! executing there (first letter of its label; `*` = several in one
+//! bucket, `.` = idle). Compare with the paper's Figure 1 (a)-(d).
+
+use navp_repro::navp::SimExecutor;
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::runner::{run_navp_sim, NavpStage};
+use navp_repro::navp_mm::seq;
+use navp_repro::navp_sim::CostModel;
+
+fn main() {
+    let cost = CostModel::paper_cluster();
+    let cfg = MmConfig::phantom(384, 64);
+    let grid = Grid2D::line(3).expect("grid");
+
+    println!("(a) Sequential — one computation locus on one PE:\n");
+    let (a, b) = cfg.operands().expect("operands");
+    let cl = seq::cluster(&cfg, &a, &b).expect("cluster");
+    let rep = SimExecutor::new(cost).with_trace().run(cl).expect("run");
+    println!("{}", rep.trace.render_spacetime(3, 14));
+
+    for (tag, stage) in [
+        ("(b) DSC — the locus hops after the distributed data:", NavpStage::Dsc1D),
+        ("(c) Pipelining — row carriers follow each other:", NavpStage::Pipe1D),
+        ("(d) Phase shifting — carriers enter at different PEs:", NavpStage::Phase1D),
+    ] {
+        println!("{tag}\n");
+        let out = run_navp_sim(stage, &cfg, grid, &cost, true).expect("run");
+        let trace = out.trace.expect("requested");
+        println!("{}", trace.render_spacetime(3, 14));
+        println!(
+            "   makespan {:.2} s, utilization {:.0}%, {} hops / {:.1} MB moved\n",
+            out.virt_seconds.expect("sim"),
+            100.0 * trace.utilization(3),
+            out.transfers,
+            out.bytes as f64 / 1e6,
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The NavP methodology applied to something other than matrices, using
+//! the `navp::transform` API (the paper's future-work "automatable
+//! transformations"): a sharded-data analytics workload.
+//!
+//! Run with: `cargo run --release --example transformations`
+//!
+//! Setup: a dataset is sharded across 4 PEs (node variables). Eight
+//! queries must each scan *every* shard (order does not matter — scans
+//! commute, the precondition for phase shifting). We derive, exactly as
+//! in the paper:
+//!
+//! 1. **Sequential**: all shards pulled to one PE — infeasible for big
+//!    data; here, one itinerary visiting only PE 0 after centralizing.
+//! 2. **DSC**: one query-carrier hops shard to shard (data stays put).
+//! 3. **Pipelining**: one carrier per query, following each other.
+//! 4. **Phase shifting**: carriers enter at different shards.
+
+use navp_repro::navp::transform::{pipeline, Itinerary};
+use navp_repro::navp::{Cluster, Key, SimExecutor};
+use navp_repro::navp_sim::CostModel;
+use std::sync::Arc;
+
+const PES: usize = 4;
+const QUERIES: usize = 8;
+const SCAN_SECONDS: f64 = 1.0;
+
+/// An itinerary for one query: scan all shards, leave the result where
+/// the scan ends. The per-query accumulator is an agent variable
+/// (travels with the carrier).
+fn query_itinerary(q: usize) -> Itinerary {
+    let acc = Arc::new(parking_lot::Mutex::new((0.0f64, 0usize)));
+    let mut it = Itinerary::new(format!("q{q}"));
+    for pe in 0..PES {
+        let acc = acc.clone();
+        it = it.then_at(pe, move |ctx| {
+            ctx.charge_seconds(SCAN_SECONDS); // modeled scan cost
+            let shard = *ctx
+                .store()
+                .get::<f64>(Key::plain("shard"))
+                .expect("shard placed");
+            let mut a = acc.lock();
+            a.0 += shard * (q as f64 + 1.0); // a query-specific aggregate
+            a.1 += 1;
+            if a.1 == PES {
+                let result = a.0;
+                ctx.store().insert(Key::at("result", q), result, 8);
+            }
+        });
+    }
+    it
+}
+
+fn cluster_with_shards() -> Cluster {
+    let mut cl = Cluster::new(PES).expect("cluster");
+    for pe in 0..PES {
+        cl.store_mut(pe)
+            .insert(Key::plain("shard"), (pe + 1) as f64 * 10.0, 1 << 20);
+    }
+    cl
+}
+
+fn run(label: &str, cl: Cluster) -> f64 {
+    let mut cost = CostModel::paper_cluster();
+    cost.daemon_overhead = 0.0;
+    let rep = SimExecutor::new(cost).run(cl).expect("no deadlock");
+    // All query results must exist, wherever their walks ended.
+    let found: usize = rep
+        .stores
+        .iter()
+        .map(|s| (0..QUERIES).filter(|&q| s.contains(Key::at("result", q))).count())
+        .sum();
+    assert_eq!(found, QUERIES, "{label}: all queries must finish");
+    let t = rep.makespan.as_secs_f64();
+    println!("{label:<44} {t:>7.2} s");
+    t
+}
+
+fn main() {
+    println!(
+        "{QUERIES} queries x {PES} shards, {SCAN_SECONDS:.0} s per shard scan \
+         (total work {:.0} s)\n",
+        QUERIES as f64 * PES as f64 * SCAN_SECONDS
+    );
+
+    // 1. Sequential on one PE: queries run one after another, all scans
+    //    on PE 0 against *copies* of the shards (the non-distributed
+    //    original). Modeled as all itineraries pinned to PE 0.
+    let mut cl = cluster_with_shards();
+    for q in 0..QUERIES {
+        let acc = Arc::new(parking_lot::Mutex::new(0.0f64));
+        let mut it = Itinerary::new(format!("q{q}"));
+        for _ in 0..PES {
+            let acc = acc.clone();
+            it = it.then_at(0, move |ctx| {
+                ctx.charge_seconds(SCAN_SECONDS);
+                let shard = *ctx.store().get::<f64>(Key::plain("shard")).expect("shard");
+                *acc.lock() += shard;
+            });
+        }
+        let it = it.then_at(0, move |ctx| {
+            ctx.store().insert(Key::at("result", q), 0.0f64, 8);
+        });
+        cl.inject(0, it.into_messenger());
+    }
+    let t_seq = run("1. sequential (everything on PE 0)", cl);
+
+    // 2. DSC Transformation: ONE carrier does all queries, hopping
+    //    after the shards. Still sequential — but the data never moves.
+    let mut cl = cluster_with_shards();
+    let mut whole = Itinerary::new("dsc");
+    for q in 0..QUERIES {
+        whole = whole.concat(query_itinerary(q));
+    }
+    cl.inject(0, whole.into_messenger());
+    let t_dsc = run("2. DSC (one carrier chases the shards)", cl);
+
+    // 3. Pipelining Transformation: one carrier per query.
+    let mut cl = cluster_with_shards();
+    for (pe, carrier) in pipeline((0..QUERIES).map(query_itinerary).collect()) {
+        cl.inject(pe, carrier);
+    }
+    let t_pipe = run("3. pipelined (one carrier per query)", cl);
+
+    // 4. Phase-shifting Transformation: queries enter at different
+    //    shards (scans commute, so this is legal).
+    let mut cl = cluster_with_shards();
+    for q in 0..QUERIES {
+        let it = query_itinerary(q).phase_shift(q % PES);
+        let entry = it.entry_pe();
+        cl.inject(entry, it.into_messenger());
+    }
+    let t_phase = run("4. phase-shifted (enter at different shards)", cl);
+
+    println!(
+        "\nspeedups over sequential: DSC {:.2}x, pipelined {:.2}x, phase-shifted {:.2}x",
+        t_seq / t_dsc,
+        t_seq / t_pipe,
+        t_seq / t_phase
+    );
+    println!(
+        "— the same incremental ladder as the paper's matrix study, derived\n\
+         with the `navp::transform` API instead of hand-written carriers."
+    );
+    assert!(t_phase <= t_pipe && t_pipe < t_seq + 1e-9);
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the NavP reproduction.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! `use navp_repro::...` uniformly. See the individual crates for the
+//! substance:
+//!
+//! * [`navp`] — the Navigational Programming runtime (the paper's
+//!   contribution): self-migrating computations, `hop`, events, injection.
+//! * [`navp_sim`] — the virtual cluster and cost model standing in for the
+//!   paper's SUN workstation network.
+//! * [`navp_matrix`] — dense/blocked matrices, distributions, staggering.
+//! * [`navp_mp`] — the MPI-like message-passing substrate for the
+//!   Gentleman/Cannon/SUMMA baselines.
+//! * [`navp_mm`] — the case study: six incremental NavP matrix-multiply
+//!   stages plus the baselines.
+
+pub use navp;
+pub use navp_matrix;
+pub use navp_mm;
+pub use navp_mp;
+pub use navp_sim;

@@ -1,0 +1,110 @@
+//! The virtual-time executors must be bit-deterministic: identical
+//! configurations produce identical makespans and identical traces
+//! (compared by fingerprint), on every run. This is what makes the
+//! regenerated tables reproducible artifacts rather than measurements.
+
+use navp_repro::navp::SimExecutor;
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::gentleman::GentlemanOpts;
+use navp_repro::navp_mm::runner::{run_mp_sim, run_navp_sim, MpAlg, NavpStage};
+use navp_repro::navp_mm::{dpc2d, util::Topo2D};
+use navp_repro::navp_sim::CostModel;
+
+#[test]
+fn navp_sim_runs_are_bit_identical() {
+    let cfg = MmConfig::phantom(256, 32);
+    for stage in NavpStage::ALL {
+        let grid = if stage.is_1d() {
+            Grid2D::line(2).expect("grid")
+        } else {
+            Grid2D::new(2, 2).expect("grid")
+        };
+        let run = || {
+            run_navp_sim(stage, &cfg, grid, &CostModel::paper_cluster(), true)
+                .expect("runs")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.virt_seconds, b.virt_seconds,
+            "{} nondeterministic makespan",
+            stage.name()
+        );
+        assert_eq!(
+            a.trace.expect("trace").fingerprint(),
+            b.trace.expect("trace").fingerprint(),
+            "{} nondeterministic trace",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn mp_sim_runs_are_bit_identical() {
+    let cfg = MmConfig::phantom(256, 32);
+    let grid = Grid2D::new(2, 2).expect("grid");
+    for alg in [MpAlg::Gentleman(GentlemanOpts::default()), MpAlg::Summa] {
+        let run = || run_mp_sim(alg, &cfg, grid, &CostModel::paper_cluster()).expect("runs");
+        let (a, b) = (run(), run());
+        assert_eq!(a.virt_seconds, b.virt_seconds, "{}", alg.name());
+        assert_eq!(a.transfers, b.transfers, "{}", alg.name());
+        assert_eq!(a.bytes, b.bytes, "{}", alg.name());
+    }
+}
+
+#[test]
+fn different_configurations_give_different_fingerprints() {
+    let grid = Grid2D::new(2, 2).expect("grid");
+    let cost = CostModel::paper_cluster();
+    let f = |n: usize, ab: usize| {
+        let cfg = MmConfig::phantom(n, ab);
+        let topo = Topo2D::new(cfg.nb(), grid).expect("topo");
+        let (a, b) = cfg.operands().expect("operands");
+        let cl = dpc2d::cluster(&cfg, &topo, &a, &b).expect("cluster");
+        SimExecutor::new(cost)
+            .with_trace()
+            .run(cl)
+            .expect("runs")
+            .trace
+            .fingerprint()
+    };
+    let a = f(256, 32);
+    let b = f(256, 64);
+    let c = f(512, 32);
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    assert_ne!(b, c);
+}
+
+#[test]
+fn real_and_phantom_payloads_cost_the_same() {
+    // The phantom substitution is only valid if it charges exactly the
+    // costs a real run would.
+    let grid = Grid2D::new(2, 2).expect("grid");
+    for stage in [NavpStage::Dpc2D, NavpStage::Pipe2D, NavpStage::Dsc2D] {
+        let real = run_navp_sim(
+            stage,
+            &MmConfig::real(64, 16),
+            grid,
+            &CostModel::paper_cluster(),
+            false,
+        )
+        .expect("runs");
+        let phantom = run_navp_sim(
+            stage,
+            &MmConfig::phantom(64, 16),
+            grid,
+            &CostModel::paper_cluster(),
+            false,
+        )
+        .expect("runs");
+        assert_eq!(
+            real.virt_seconds,
+            phantom.virt_seconds,
+            "{} phantom run must cost exactly what the real run costs",
+            stage.name()
+        );
+        assert_eq!(real.transfers, phantom.transfers, "{}", stage.name());
+        assert_eq!(real.bytes, phantom.bytes, "{}", stage.name());
+    }
+}

@@ -1,0 +1,134 @@
+//! Failure injection: broken programs must fail loudly and
+//! informatively, on both executors, rather than hang or corrupt.
+
+use navp_repro::navp::script::Script;
+use navp_repro::navp::{Cluster, Effect, Key, RunError, SimExecutor, ThreadExecutor};
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::runner::{run_navp_sim, NavpStage, RunnerError};
+use navp_repro::navp_mp::{MpCluster, MpEffect, MpError, MpSimExecutor, Process, RankScript};
+use navp_repro::navp_sim::CostModel;
+use std::time::Duration;
+
+/// A pipe2d cluster *without* its initial EC events deadlocks: the first
+/// BCarrier can never deposit. The sim executor must say exactly that.
+#[test]
+fn missing_initial_events_deadlock_with_diagnosis() {
+    let cfg = MmConfig::phantom(8, 2);
+    let topo = navp_repro::navp_mm::pipe2d::topo(&cfg, 2, 2).expect("topo");
+    let (a, b) = cfg.operands().expect("operands");
+    // Build the proper cluster, then rebuild it by hand minus the
+    // initial signals: easiest is to build a fresh cluster from the same
+    // stores with the same injections — instead we simulate the bug by
+    // waiting on an event nobody signals in an otherwise-fine cluster.
+    let mut cl = navp_repro::navp_mm::pipe2d::cluster(&cfg, &topo, &a, &b).expect("cluster");
+    cl.inject(
+        0,
+        Script::new("saboteur").then(|_| Effect::WaitEvent(Key::plain("never-signalled"))),
+    );
+    match SimExecutor::new(CostModel::paper_cluster()).run(cl) {
+        Err(RunError::Deadlock { blocked }) => {
+            assert!(blocked
+                .iter()
+                .any(|(who, what)| who == "saboteur" && what.contains("never-signalled")));
+        }
+        other => panic!("expected deadlock, got ok={}", other.is_ok()),
+    }
+}
+
+#[test]
+fn sim_reports_every_blocked_messenger() {
+    let mut cl = Cluster::new(2).expect("cluster");
+    for i in 0..3 {
+        cl.inject(
+            i % 2,
+            Script::new("stuck").then(move |_| Effect::WaitEvent(Key::at("gone", i))),
+        );
+    }
+    match SimExecutor::new(CostModel::paper_cluster()).run(cl) {
+        Err(RunError::Deadlock { blocked }) => assert_eq!(blocked.len(), 3),
+        other => panic!("expected deadlock, got ok={}", other.is_ok()),
+    }
+}
+
+#[test]
+fn thread_executor_watchdog_fires_on_partial_deadlock() {
+    // One messenger finishes fine; another waits forever.
+    let mut cl = Cluster::new(2).expect("cluster");
+    cl.inject(0, Script::new("fine").then(|_| Effect::Hop(1)));
+    cl.inject(1, Script::new("stuck").then(|_| Effect::WaitEvent(Key::plain("no"))));
+    let err = ThreadExecutor::new()
+        .with_watchdog(Duration::from_millis(300))
+        .run(cl)
+        .unwrap_err();
+    assert!(matches!(err, RunError::Stalled { live: 1 }));
+}
+
+#[test]
+fn hop_out_of_range_is_caught_by_both_executors() {
+    let build = || {
+        let mut cl = Cluster::new(2).expect("cluster");
+        cl.inject(0, Script::new("wild").then(|_| Effect::Hop(99)));
+        cl
+    };
+    assert!(matches!(
+        SimExecutor::new(CostModel::paper_cluster()).run(build()),
+        Err(RunError::BadHop { dst: 99, pes: 2, .. })
+    ));
+    assert!(matches!(
+        ThreadExecutor::new().run(build()),
+        Err(RunError::BadHop { dst: 99, pes: 2, .. })
+    ));
+}
+
+#[test]
+fn runner_surfaces_topology_errors() {
+    // 1-D stage on a 2-D grid.
+    let cfg = MmConfig::real(8, 2);
+    let grid = navp_repro::navp_matrix::Grid2D::new(2, 2).expect("grid");
+    assert!(matches!(
+        run_navp_sim(NavpStage::Pipe1D, &cfg, grid, &CostModel::paper_cluster(), false),
+        Err(RunnerError::Topology(_))
+    ));
+    // Indivisible block count.
+    let cfg = MmConfig::real(10, 2); // nb = 5, grid 2x2
+    assert!(matches!(
+        run_navp_sim(NavpStage::Dpc2D, &cfg, grid, &CostModel::paper_cluster(), false),
+        Err(RunnerError::Matrix(_))
+    ));
+}
+
+#[test]
+fn mp_cross_rank_deadlock_is_diagnosed() {
+    // Rank 0 waits for rank 1, rank 1 waits in a barrier.
+    let r0 = RankScript::new("r0").then(|_| MpEffect::Recv {
+        from: Some(1),
+        tag: 42,
+    });
+    let r1 = RankScript::new("r1").then(|_| MpEffect::Barrier);
+    let cl = MpCluster::new(vec![
+        Box::new(r0) as Box<dyn Process>,
+        Box::new(r1),
+    ])
+    .expect("cluster");
+    match MpSimExecutor::new(CostModel::paper_cluster()).run(cl) {
+        Err(MpError::Deadlock { blocked }) => {
+            assert_eq!(blocked.len(), 2);
+            let msg = format!("{blocked:?}");
+            assert!(msg.contains("recv from 1 tag 42") && msg.contains("barrier"), "{msg}");
+        }
+        other => panic!("expected deadlock, got ok={}", other.is_ok()),
+    }
+}
+
+#[test]
+fn panicking_messenger_does_not_hang_thread_executor() {
+    let mut cl = Cluster::new(3).expect("cluster");
+    cl.inject(1, Script::new("boom").then(|_| panic!("injected failure")));
+    match ThreadExecutor::new()
+        .with_watchdog(Duration::from_secs(2))
+        .run(cl)
+    {
+        Err(RunError::WorkerPanic(msg)) => assert!(msg.contains("injected failure")),
+        other => panic!("expected worker panic, got ok={}", other.is_ok()),
+    }
+}

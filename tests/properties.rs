@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) over the whole stack: random legal
+//! problem shapes must always verify; staggering algebra must always
+//! align; the runtime's counting events must never lose a token.
+
+use navp_repro::navp::script::Script;
+use navp_repro::navp::{Cluster, Effect, Key, SimExecutor};
+use navp_repro::navp_matrix::{stagger, Grid2D};
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::gentleman::GentlemanOpts;
+use navp_repro::navp_mm::runner::{run_mp_sim, run_navp_sim, MpAlg, NavpStage};
+use navp_repro::navp_sim::CostModel;
+use proptest::prelude::*;
+
+/// Legal (nb, ab, p) with p | nb: matrix order n = nb * ab.
+fn mm_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=4, 1usize..=4, 1usize..=3)
+        .prop_map(|(per_pe, ab, p)| (per_pe * p, ab, p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_legal_shape_verifies_on_dpc2d((nb, ab, p) in mm_shape()) {
+        let cfg = MmConfig::real(nb * ab, ab);
+        let grid = Grid2D::new(p, p).expect("grid");
+        let out = run_navp_sim(NavpStage::Dpc2D, &cfg, grid, &CostModel::paper_cluster(), false)
+            .expect("runs");
+        prop_assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn any_legal_shape_verifies_on_phase1d((nb, ab, p) in mm_shape()) {
+        let cfg = MmConfig::real(nb * ab, ab);
+        let grid = Grid2D::line(p).expect("grid");
+        let out = run_navp_sim(NavpStage::Phase1D, &cfg, grid, &CostModel::paper_cluster(), false)
+            .expect("runs");
+        prop_assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn any_legal_shape_verifies_on_gentleman((nb, ab, p) in mm_shape()) {
+        let cfg = MmConfig::real(nb * ab, ab);
+        let grid = Grid2D::new(p, p).expect("grid");
+        let out = run_mp_sim(
+            MpAlg::Gentleman(GentlemanOpts::default()),
+            &cfg,
+            grid,
+            &CostModel::paper_cluster(),
+        )
+        .expect("runs");
+        prop_assert_eq!(out.verified, Some(true));
+    }
+
+    #[test]
+    fn staggering_alignment_holds_for_any_torus(p in 1usize..=12) {
+        // Forward and reverse staggering both put matching inner indices
+        // on every node (the invariant behind Gentleman and full DPC).
+        for r in 0..p {
+            for c in 0..p {
+                // The A block at node (r, c) after forward staggering is
+                // A(r, (c + r) % p); the B block is B((r + c) % p, c).
+                prop_assert_eq!(stagger::forward_a(r, (c + r) % p, p), (r, c));
+                prop_assert_eq!(stagger::forward_b((r + c) % p, c, p), (r, c));
+                // Reverse staggering: A(r, k) with k = (p-1-r-c) % p.
+                let k = (2 * p - 1 - r - c) % p;
+                prop_assert_eq!(stagger::reverse_a(r, k, p), (r, c));
+                prop_assert_eq!(stagger::reverse_b(k, c, p), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn stagger_phase_schedule_is_within_bounds(p in 2usize..=10) {
+        for transfers in [
+            stagger::forward_transfers(p).expect("transfers"),
+            stagger::reverse_transfers(p).expect("transfers"),
+        ] {
+            let lower = stagger::phase_lower_bound(&transfers, p);
+            let (_, phases) = stagger::schedule_phases(&transfers, p);
+            prop_assert!(phases >= lower);
+            // Greedy one-port schedules never exceed 2*maxdeg - 1.
+            prop_assert!(phases <= 2 * lower.max(1));
+        }
+    }
+
+    #[test]
+    fn counting_events_never_lose_tokens(producers in 1usize..=5, tokens in 1usize..=8) {
+        // `producers` messengers each signal `tokens` times; one consumer
+        // waits for every token. The run must terminate (no lost wakeup).
+        let mut cl = Cluster::new(1).expect("cluster");
+        for _ in 0..producers {
+            cl.inject(
+                0,
+                Script::new("producer").then_each(tokens, |_, ctx| {
+                    ctx.signal(Key::plain("tok"));
+                    Effect::Hop(0)
+                }),
+            );
+        }
+        let total = producers * tokens;
+        cl.inject(
+            0,
+            Script::new("consumer")
+                .then_each(total, |_, _| Effect::WaitEvent(Key::plain("tok")))
+                .then(|ctx| {
+                    ctx.store().insert(Key::plain("done"), true, 1);
+                    Effect::Done
+                }),
+        );
+        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).expect("no deadlock");
+        prop_assert_eq!(rep.stores[0].get::<bool>(Key::plain("done")), Some(&true));
+    }
+
+    #[test]
+    fn hop_sequences_terminate(seed in 0u64..1000, pes in 1usize..=5, agents in 1usize..=10) {
+        // Arbitrary hop itineraries must always run to completion.
+        let mut cl = Cluster::new(pes).expect("cluster");
+        for a in 0..agents {
+            let mut state = seed.wrapping_add(a as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            cl.inject(
+                a % pes,
+                Script::new("tourist").then_each(12, move |_, _| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Effect::Hop((state >> 33) as usize % pes)
+                }),
+            );
+        }
+        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).expect("terminates");
+        prop_assert_eq!(rep.steps, (agents * 13) as u64);
+    }
+}

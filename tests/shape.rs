@@ -1,0 +1,149 @@
+//! Paper-shape regression tests: the qualitative results of Section 5,
+//! pinned as assertions over the calibrated model. If a change to the
+//! runtime or the cost model breaks the reproduction, these fail.
+
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::gentleman::GentlemanOpts;
+use navp_repro::navp_mm::runner::{run_mp_sim, run_navp_sim, run_seq_sim, MpAlg, NavpStage};
+use navp_repro::navp_sim::CostModel;
+
+fn t_navp(stage: NavpStage, cfg: &MmConfig, grid: Grid2D) -> f64 {
+    run_navp_sim(stage, cfg, grid, &CostModel::paper_cluster(), false)
+        .expect("runs")
+        .virt_seconds
+        .expect("sim")
+}
+
+fn t_mp(alg: MpAlg, cfg: &MmConfig, grid: Grid2D) -> f64 {
+    run_mp_sim(alg, cfg, grid, &CostModel::paper_cluster())
+        .expect("runs")
+        .virt_seconds
+        .expect("sim")
+}
+
+/// Table 1's story on 3 PEs: DSC ≈ sequential; pipelining ~2.4x;
+/// phase shifting beats pipelining.
+#[test]
+fn table1_shape() {
+    let cfg = MmConfig::phantom(1536, 128);
+    let line = Grid2D::line(3).expect("grid");
+    let seq = run_seq_sim(&cfg, &CostModel::paper_cluster())
+        .expect("seq")
+        .virt_seconds
+        .expect("sim");
+    let dsc = t_navp(NavpStage::Dsc1D, &cfg, line);
+    let pipe = t_navp(NavpStage::Pipe1D, &cfg, line);
+    let phase = t_navp(NavpStage::Phase1D, &cfg, line);
+
+    assert!(dsc > seq, "DSC adds communication: {dsc} vs {seq}");
+    assert!(dsc < 1.15 * seq, "but only marginally: {dsc} vs {seq}");
+    assert!(
+        (2.0..3.0).contains(&(seq / pipe)),
+        "pipeline speedup {} vs paper 2.36",
+        seq / pipe
+    );
+    assert!(phase <= pipe, "phase {phase} must not lose to pipeline {pipe}");
+}
+
+/// Table 3/4's story: on a 2-D grid, NavP full DPC beats the pipelined
+/// stage, which beats 2-D DSC; full DPC also beats the MPI baseline and
+/// the ScaLAPACK stand-in at the large sizes.
+#[test]
+fn table4_shape() {
+    let cfg = MmConfig::phantom(3072, 128);
+    let grid = Grid2D::new(3, 3).expect("grid");
+    let dsc = t_navp(NavpStage::Dsc2D, &cfg, grid);
+    let pipe = t_navp(NavpStage::Pipe2D, &cfg, grid);
+    let phase = t_navp(NavpStage::Dpc2D, &cfg, grid);
+    let mpi = t_mp(MpAlg::Gentleman(GentlemanOpts::default()), &cfg, grid);
+    let sca = t_mp(MpAlg::Summa, &cfg, grid);
+
+    assert!(phase <= pipe, "phase {phase} vs pipe {pipe}");
+    assert!(pipe < dsc, "pipe {pipe} vs dsc {dsc}");
+    assert!(phase < mpi, "NavP full DPC {phase} must beat MPI {mpi}");
+    assert!(phase < sca, "NavP full DPC {phase} must beat ScaLAPACK* {sca}");
+    // And the speedups land in the paper's ballpark on 9 PEs.
+    let seq = run_seq_sim(&cfg, &CostModel::paper_cluster())
+        .expect("seq")
+        .virt_seconds
+        .expect("sim");
+    let su = seq / phase;
+    assert!((7.0..9.0).contains(&su), "full DPC speedup {su}, paper 8.34");
+}
+
+/// Section 5 item 2: removing the MPI cache penalty helps Gentleman by
+/// roughly the 4% the paper measured — and not more.
+#[test]
+fn cache_ablation_shape() {
+    use navp_repro::navp_mm::gentleman::CacheCharge;
+    let cfg = MmConfig::phantom(2048, 128);
+    let grid = Grid2D::new(2, 2).expect("grid");
+    let with = t_mp(MpAlg::Gentleman(GentlemanOpts::default()), &cfg, grid);
+    let without = t_mp(
+        MpAlg::Gentleman(GentlemanOpts {
+            cache: CacheCharge::LikeNavP,
+            ..Default::default()
+        }),
+        &cfg,
+        grid,
+    );
+    let gain = with / without;
+    assert!(
+        (1.005..1.05).contains(&gain),
+        "cache ablation gain {gain}, paper ~1.04"
+    );
+}
+
+/// Section 5 item 3: Cannon's stepwise staggering costs more than the
+/// single-step staggering of the paper's modified Gentleman.
+#[test]
+fn stagger_ablation_shape() {
+    use navp_repro::navp_mm::gentleman::Stagger;
+    let cfg = MmConfig::phantom(1024, 128);
+    let grid = Grid2D::new(2, 2).expect("grid");
+    let single = t_mp(MpAlg::Gentleman(GentlemanOpts::default()), &cfg, grid);
+    let stepwise = t_mp(
+        MpAlg::Gentleman(GentlemanOpts {
+            stagger: Stagger::Stepwise,
+            ..Default::default()
+        }),
+        &cfg,
+        grid,
+    );
+    assert!(
+        single <= stepwise,
+        "single-step {single} must not exceed stepwise {stepwise}"
+    );
+}
+
+/// Table 2's story: the sequential run thrashes well beyond 2x once the
+/// problem is ~8x physical memory; 1-D DSC on 8 PEs stays within 10% of
+/// the clean sequential time.
+#[test]
+fn table2_shape() {
+    let cfg = MmConfig::phantom(9216, 128);
+    let cost = CostModel::paper_cluster();
+    let mut clean = cost;
+    clean.mem_capacity = u64::MAX;
+    let t_clean = run_seq_sim(&cfg, &clean).expect("seq").virt_seconds.expect("sim");
+    let t_thrash = run_seq_sim(&cfg, &cost).expect("seq").virt_seconds.expect("sim");
+    let t_dsc = run_navp_sim(
+        NavpStage::Dsc1D,
+        &cfg,
+        Grid2D::line(8).expect("grid"),
+        &cost,
+        false,
+    )
+    .expect("dsc")
+    .virt_seconds
+    .expect("sim");
+
+    let thrash_factor = t_thrash / t_clean;
+    assert!(
+        (2.0..3.0).contains(&thrash_factor),
+        "thrash {thrash_factor}, paper 2.62"
+    );
+    let dsc_su = t_clean / t_dsc;
+    assert!((0.85..1.0).contains(&dsc_su), "DSC speedup {dsc_su}, paper 0.93");
+}
