@@ -1,46 +1,43 @@
 //! Wall-clock benchmark of the shared block kernel — the common
 //! denominator of every implementation (paper block orders 128/256).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use navp_bench::timing::Group;
 use navp_matrix::gen::seeded_matrix;
 use navp_matrix::kernel::{gemm_acc, gemm_flops};
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_gemm");
+fn bench_kernel() {
     for order in [32usize, 64, 128, 256] {
         let a = seeded_matrix(order, 1);
         let b = seeded_matrix(order, 2);
         let mut out = vec![0.0f64; order * order];
-        group.throughput(Throughput::Elements(gemm_flops(order, order, order)));
-        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |bch, &n| {
-            bch.iter(|| {
-                gemm_acc(&mut out, a.as_slice(), b.as_slice(), n, n, n);
+        Group::new("block_gemm")
+            .throughput(gemm_flops(order, order, order))
+            .bench(&order.to_string(), || {
+                gemm_acc(&mut out, a.as_slice(), b.as_slice(), order, order, order);
                 std::hint::black_box(&mut out);
-            })
-        });
+            });
     }
-    group.finish();
 }
 
-fn bench_blocked_vs_naive(c: &mut Criterion) {
+fn bench_blocked_vs_naive() {
     let n = 256;
     let a = seeded_matrix(n, 3);
     let b = seeded_matrix(n, 4);
-    let mut group = c.benchmark_group("dense_multiply_256");
-    group.sample_size(10);
-    group.bench_function("naive_ijk", |bch| {
-        bch.iter(|| std::hint::black_box(a.multiply_naive(&b).expect("shapes")))
+    let group = Group::new("dense_multiply_256").sample_size(10);
+    group.bench("naive_ijk", || {
+        std::hint::black_box(a.multiply_naive(&b).expect("shapes"))
     });
-    group.bench_function("kernel_ikj", |bch| {
-        bch.iter(|| std::hint::black_box(a.multiply(&b).expect("shapes")))
+    group.bench("kernel_ikj", || {
+        std::hint::black_box(a.multiply(&b).expect("shapes"))
     });
-    group.bench_function("blocked_64", |bch| {
-        let ba = navp_matrix::BlockedMatrix::from_matrix(&a, 64).expect("blocked");
-        let bb = navp_matrix::BlockedMatrix::from_matrix(&b, 64).expect("blocked");
-        bch.iter(|| std::hint::black_box(ba.multiply_blocked(&bb).expect("shapes")))
+    let ba = navp_matrix::BlockedMatrix::from_matrix(&a, 64).expect("blocked");
+    let bb = navp_matrix::BlockedMatrix::from_matrix(&b, 64).expect("blocked");
+    group.bench("blocked_64", || {
+        std::hint::black_box(ba.multiply_blocked(&bb).expect("shapes"))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_kernel, bench_blocked_vs_naive);
-criterion_main!(benches);
+fn main() {
+    bench_kernel();
+    bench_blocked_vs_naive();
+}

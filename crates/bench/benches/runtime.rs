@@ -3,9 +3,9 @@
 //! throughput. These quantify the "daemon overhead" the cost model's
 //! `daemon_overhead` parameter stands in for.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use navp::script::Script;
 use navp::{Cluster, Effect, Key, SimExecutor, ThreadExecutor};
+use navp_bench::timing::Group;
 use navp_sim::CostModel;
 
 /// A single messenger ping-pongs between two PEs `hops` times.
@@ -18,22 +18,18 @@ fn ping_pong_cluster(hops: usize) -> Cluster {
     cl
 }
 
-fn bench_hops_threads(c: &mut Criterion) {
+fn bench_hops_threads() {
     let hops = 1_000;
-    let mut group = c.benchmark_group("thread_executor");
-    group.throughput(Throughput::Elements(hops as u64));
-    group.sample_size(20);
-    group.bench_function("hop_roundtrips_1k", |b| {
-        b.iter(|| {
+    Group::new("thread_executor")
+        .throughput(hops as u64)
+        .bench("hop_roundtrips_1k", || {
             ThreadExecutor::new()
                 .run(ping_pong_cluster(hops))
                 .expect("run")
-        })
-    });
-    group.finish();
+        });
 }
 
-fn bench_events_threads(c: &mut Criterion) {
+fn bench_events_threads() {
     // Producer/consumer pair exchanging N signals through counting events.
     let n = 1_000usize;
     let build = move || {
@@ -51,38 +47,31 @@ fn bench_events_threads(c: &mut Criterion) {
         );
         cl
     };
-    let mut group = c.benchmark_group("thread_executor");
-    group.throughput(Throughput::Elements(n as u64));
-    group.sample_size(20);
-    group.bench_function("event_handoffs_1k", |b| {
-        b.iter(|| ThreadExecutor::new().run(build()).expect("run"))
-    });
-    group.finish();
+    Group::new("thread_executor")
+        .throughput(n as u64)
+        .bench("event_handoffs_1k", || {
+            ThreadExecutor::new().run(build()).expect("run")
+        });
 }
 
-fn bench_des_throughput(c: &mut Criterion) {
+fn bench_des_throughput() {
     // Pure simulator speed: events processed per second on a phantom
     // pipelined run (the workload behind the table regeneration).
     let cfg = navp_mm::config::MmConfig::phantom(1024, 128);
     let grid = navp_matrix::Grid2D::line(4).expect("grid");
-    let mut group = c.benchmark_group("sim_executor");
-    group.sample_size(20);
-    group.bench_function("pipe1d_phantom_1024", |b| {
-        b.iter(|| {
-            navp_mm::runner::run_navp_sim(
-                navp_mm::runner::NavpStage::Pipe1D,
-                &cfg,
-                grid,
-                &CostModel::paper_cluster(),
-                false,
-            )
-            .expect("run")
-        })
+    Group::new("sim_executor").bench("pipe1d_phantom_1024", || {
+        navp_mm::runner::run_navp_sim(
+            navp_mm::runner::NavpStage::Pipe1D,
+            &cfg,
+            grid,
+            &CostModel::paper_cluster(),
+            false,
+        )
+        .expect("run")
     });
-    group.finish();
 }
 
-fn bench_injection_fanout(c: &mut Criterion) {
+fn bench_injection_fanout() {
     let n = 1_000usize;
     let build = move || {
         let mut cl = Cluster::new(4).expect("four PEs");
@@ -97,23 +86,18 @@ fn bench_injection_fanout(c: &mut Criterion) {
         );
         cl
     };
-    let mut group = c.benchmark_group("sim_executor");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("inject_1k_agents", |b| {
-        b.iter(|| {
+    Group::new("sim_executor")
+        .throughput(n as u64)
+        .bench("inject_1k_agents", || {
             SimExecutor::new(CostModel::paper_cluster())
                 .run(build())
                 .expect("run")
-        })
-    });
-    group.finish();
+        });
 }
 
-criterion_group!(
-    benches,
-    bench_hops_threads,
-    bench_events_threads,
-    bench_des_throughput,
-    bench_injection_fanout
-);
-criterion_main!(benches);
+fn main() {
+    bench_hops_threads();
+    bench_events_threads();
+    bench_des_throughput();
+    bench_injection_fanout();
+}

@@ -7,7 +7,7 @@
 //! comparable cost on real threads — the paper's cluster-scale ordering
 //! lives in the virtual-time tables (`--bin all`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use navp_bench::timing::Group;
 use navp_matrix::Grid2D;
 use navp_mm::config::MmConfig;
 use navp_mm::gentleman::GentlemanOpts;
@@ -15,13 +15,10 @@ use navp_mm::runner::{
     run_mp_threads, run_mp_threads_unverified, run_navp_threads, run_navp_threads_unverified,
     MpAlg, NavpStage,
 };
-use std::time::Duration;
 
-fn bench_navp_stages(c: &mut Criterion) {
+fn bench_navp_stages() {
     let cfg = MmConfig::real(384, 32); // nb = 12: divisible by 2, 3, 4
-    let mut group = c.benchmark_group("wall_navp_stages_n384");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
+    let group = Group::new("wall_navp_stages_n384").sample_size(10);
     for stage in NavpStage::ALL {
         let grid = if stage.is_1d() {
             Grid2D::line(4).expect("grid")
@@ -32,36 +29,30 @@ fn bench_navp_stages(c: &mut Criterion) {
         // sequential-reference comparison.
         let once = run_navp_threads(stage, &cfg, grid).expect("run");
         assert_eq!(once.verified, Some(true), "{}", stage.name());
-        group.bench_function(stage.name(), move |b| {
-            b.iter(|| {
-                run_navp_threads_unverified(stage, &cfg, grid)
-                    .expect("run")
-                    .wall
-            })
+        group.bench(stage.name(), || {
+            run_navp_threads_unverified(stage, &cfg, grid)
+                .expect("run")
+                .wall
         });
     }
-    group.finish();
 }
 
-fn bench_mp_baselines(c: &mut Criterion) {
+fn bench_mp_baselines() {
     let cfg = MmConfig::real(384, 32);
     let grid = Grid2D::new(2, 2).expect("grid");
-    let mut group = c.benchmark_group("wall_mp_baselines_n384");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(4));
+    let group = Group::new("wall_mp_baselines_n384").sample_size(10);
     for alg in [MpAlg::Gentleman(GentlemanOpts::default()), MpAlg::Summa] {
         let once = run_mp_threads(alg, &cfg, grid).expect("run");
         assert_eq!(once.verified, Some(true), "{}", alg.name());
-        group.bench_function(alg.name(), move |b| {
-            b.iter(|| {
-                run_mp_threads_unverified(alg, &cfg, grid)
-                    .expect("run")
-                    .wall
-            })
+        group.bench(alg.name(), || {
+            run_mp_threads_unverified(alg, &cfg, grid)
+                .expect("run")
+                .wall
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_navp_stages, bench_mp_baselines);
-criterion_main!(benches);
+fn main() {
+    bench_navp_stages();
+    bench_mp_baselines();
+}

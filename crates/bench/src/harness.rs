@@ -2,10 +2,13 @@
 //! measured-vs-published numbers.
 
 use crate::paper::Table;
+use navp::{FaultPlan, FaultStats};
 use navp_matrix::Grid2D;
 use navp_mm::config::MmConfig;
 use navp_mm::gentleman::GentlemanOpts;
-use navp_mm::runner::{run_mp_sim, run_navp_sim, run_seq_sim, MpAlg, NavpStage, RunnerError};
+use navp_mm::runner::{
+    run_mp_sim, run_navp_sim, run_navp_sim_faulted, run_seq_sim, MpAlg, NavpStage, RunnerError,
+};
 use navp_sim::CostModel;
 use std::fmt::Write as _;
 
@@ -61,6 +64,9 @@ pub struct Row {
     pub seq_actual: f64,
     /// Cells, one per published column.
     pub cells: Vec<Cell>,
+    /// Fault/recovery counters aggregated over the row's NavP cells
+    /// (all zero when the table ran fault-free).
+    pub faults: FaultStats,
 }
 
 /// A fully regenerated table.
@@ -73,6 +79,18 @@ pub struct TableResult {
 
 /// Regenerate every cell of `spec` under `cost`.
 pub fn run_table(spec: &'static Table, cost: &CostModel) -> Result<TableResult, RunnerError> {
+    run_table_with_faults(spec, cost, None)
+}
+
+/// As [`run_table`], running every NavP cell under `plan` (the
+/// message-passing baselines have no fault machinery and run clean).
+/// With checkpointing on, the regenerated numbers include recovery
+/// time; the per-row counters report what was injected and absorbed.
+pub fn run_table_with_faults(
+    spec: &'static Table,
+    cost: &CostModel,
+    plan: Option<&FaultPlan>,
+) -> Result<TableResult, RunnerError> {
     let grid = Grid2D::new(spec.grid.0, spec.grid.1)?;
     let mut rows = Vec::with_capacity(spec.orders.len());
     for (row_idx, (&n, &ab)) in spec.orders.iter().zip(spec.blocks).enumerate() {
@@ -88,11 +106,18 @@ pub fn run_table(spec: &'static Table, cost: &CostModel) -> Result<TableResult, 
         let seq_actual = run_seq_sim(&cfg, cost)?.virt_seconds.expect("sim run");
 
         let mut cells = Vec::with_capacity(spec.columns.len());
+        let mut faults = FaultStats::default();
         for (col_idx, (name, paper_times)) in spec.columns.iter().enumerate() {
-            let out = match impl_of(name) {
-                CellImpl::Navp(stage) => run_navp_sim(stage, &cfg, grid, cost, false)?,
-                CellImpl::Mp(alg) => run_mp_sim(alg, &cfg, grid, cost)?,
+            let out = match (impl_of(name), plan) {
+                (CellImpl::Navp(stage), None) => run_navp_sim(stage, &cfg, grid, cost, false)?,
+                (CellImpl::Navp(stage), Some(plan)) => {
+                    run_navp_sim_faulted(stage, &cfg, grid, cost, plan.clone())?
+                }
+                (CellImpl::Mp(alg), _) => run_mp_sim(alg, &cfg, grid, cost)?,
             };
+            if let Some(f) = &out.faults {
+                faults.absorb(f);
+            }
             let time = out.virt_seconds.expect("sim run");
             cells.push(Cell {
                 time,
@@ -107,6 +132,7 @@ pub fn run_table(spec: &'static Table, cost: &CostModel) -> Result<TableResult, 
             seq_clean,
             seq_actual,
             cells,
+            faults,
         });
     }
     Ok(TableResult { spec, rows })
@@ -145,6 +171,22 @@ impl TableResult {
                 );
             }
             out.push('\n');
+            if row.faults.any() {
+                let f = &row.faults;
+                let _ = writeln!(
+                    out,
+                    "{:>11} | faults: crashes={} redelivered={} replayed_writes={} \
+                     send_retries={} hops_delayed={} hops_dropped={} signals_lost={}",
+                    "",
+                    f.crashes,
+                    f.redelivered,
+                    f.replayed_writes,
+                    f.send_retries,
+                    f.hops_delayed,
+                    f.hops_dropped,
+                    f.signals_lost
+                );
+            }
         }
         out
     }
@@ -216,5 +258,17 @@ mod tests {
         assert!(dsc.speedup > 0.7 && dsc.speedup <= 1.05, "DSC {:?}", dsc);
         let art = res.render();
         assert!(art.contains("Table 2"));
+        assert!(!art.contains("faults:"), "clean run renders no fault line");
+    }
+
+    #[test]
+    fn faulted_table_reports_counters() {
+        let plan = FaultPlan::new().crash_pe(0, 2);
+        let res =
+            run_table_with_faults(&paper::TABLE2, &CostModel::paper_cluster(), Some(&plan))
+                .unwrap();
+        let row = &res.rows[0];
+        assert!(row.faults.crashes >= 1, "crash must have been injected");
+        assert!(res.render().contains("faults: crashes="));
     }
 }

@@ -17,3 +17,4 @@
 pub mod harness;
 pub mod layout;
 pub mod paper;
+pub mod timing;

@@ -1,0 +1,92 @@
+//! A minimal wall-clock timing harness for the `[[bench]]` targets.
+//!
+//! The container this repo builds in has no external crates, so the
+//! benches use this dependency-free stand-in: warm up, take a fixed
+//! number of samples, and print min/median/mean per iteration plus an
+//! optional throughput figure. Output is one line per benchmark, stable
+//! enough to eyeball across commits.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group; prints a header on creation.
+pub struct Group {
+    name: String,
+    samples: usize,
+    throughput: Option<u64>,
+}
+
+impl Group {
+    /// Start a named group with the default 20 samples per benchmark.
+    pub fn new(name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            samples: 20,
+            throughput: None,
+        }
+    }
+
+    /// Override the number of timed samples.
+    pub fn sample_size(mut self, samples: usize) -> Group {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Report elements/second derived from this many elements per iteration.
+    pub fn throughput(mut self, elements: u64) -> Group {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Time `f`, printing one summary line.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: run until ~50 ms elapsed or 3 iterations, whichever
+        // is later, so first-touch costs don't pollute the samples.
+        let warm_start = Instant::now();
+        let mut warmed = 0usize;
+        while warmed < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(f());
+            warmed += 1;
+            if warmed > 10_000 {
+                break;
+            }
+        }
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{}/{label}: min {} | median {} | mean {} ({} samples)",
+            self.name,
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean),
+            times.len()
+        );
+        if let Some(elems) = self.throughput {
+            let per_sec = elems as f64 / median.as_secs_f64();
+            line.push_str(&format!(" | {:.3} Melem/s", per_sec / 1e6));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

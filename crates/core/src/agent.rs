@@ -44,6 +44,16 @@ pub trait Messenger: Send + 'static {
     fn label(&self) -> String {
         "messenger".to_string()
     }
+
+    /// Clone this messenger's agent variables into a fresh boxed copy —
+    /// the checkpoint taken at each delivery point by fault-tolerant
+    /// executors (see `navp::recovery`). The default returns `None`,
+    /// meaning the messenger cannot be checkpointed: a crash that loses
+    /// it surfaces as [`RunError::RecoveryFailed`](crate::RunError).
+    /// `Clone` types implement it as `Some(Box::new(self.clone()))`.
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        None
+    }
 }
 
 impl Messenger for Box<dyn Messenger> {
@@ -55,6 +65,9 @@ impl Messenger for Box<dyn Messenger> {
     }
     fn label(&self) -> String {
         (**self).label()
+    }
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        (**self).snapshot()
     }
 }
 

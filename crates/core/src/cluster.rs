@@ -2,16 +2,23 @@
 
 use crate::agent::Messenger;
 use crate::error::RunError;
+use crate::fault::FaultPlan;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 
 /// What [`Cluster::into_parts`] hands an executor: per-PE stores,
-/// time-zero injections, and pre-signalled events.
-pub type ClusterParts = (
-    Vec<NodeStore>,
-    Vec<(NodeId, Box<dyn Messenger>)>,
-    Vec<EventKey>,
-);
+/// time-zero injections, pre-signalled events, and the fault plan to run
+/// under (if any).
+pub struct ClusterParts {
+    /// One node-variable store per PE.
+    pub stores: Vec<NodeStore>,
+    /// Messengers injected at time zero, in scheduling order.
+    pub injections: Vec<(NodeId, Box<dyn Messenger>)>,
+    /// Events pre-signalled before the run starts.
+    pub initial_events: Vec<EventKey>,
+    /// Fault plan the executor must inject and absorb, if one was set.
+    pub fault_plan: Option<FaultPlan>,
+}
 
 /// The state handed to an executor: the per-PE node-variable stores and
 /// the messengers injected "at the command line" before the run starts.
@@ -22,6 +29,7 @@ pub struct Cluster {
     stores: Vec<NodeStore>,
     injections: Vec<(NodeId, Box<dyn Messenger>)>,
     initial_events: Vec<EventKey>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Cluster {
@@ -34,6 +42,7 @@ impl Cluster {
             stores: (0..pes).map(|_| NodeStore::new()).collect(),
             injections: Vec::new(),
             initial_events: Vec::new(),
+            fault_plan: None,
         })
     }
 
@@ -45,9 +54,19 @@ impl Cluster {
     /// The store of PE `pe`, for pre-run data placement.
     ///
     /// # Panics
-    /// Panics when `pe` is out of range.
+    /// Panics when `pe` is out of range. [`Cluster::try_store_mut`] is
+    /// the non-panicking equivalent.
     pub fn store_mut(&mut self, pe: NodeId) -> &mut NodeStore {
-        &mut self.stores[pe]
+        self.try_store_mut(pe)
+            .expect("store PE out of range")
+    }
+
+    /// The store of PE `pe`, or [`RunError::PeOutOfRange`].
+    pub fn try_store_mut(&mut self, pe: NodeId) -> Result<&mut NodeStore, RunError> {
+        let pes = self.stores.len();
+        self.stores
+            .get_mut(pe)
+            .ok_or(RunError::PeOutOfRange { pe, pes })
     }
 
     /// Read access to the store of PE `pe`.
@@ -63,10 +82,24 @@ impl Cluster {
     /// time-zero scheduling order.
     ///
     /// # Panics
-    /// Panics when `pe` is out of range.
+    /// Panics when `pe` is out of range. [`Cluster::try_inject`] is the
+    /// non-panicking equivalent.
     pub fn inject(&mut self, pe: NodeId, m: impl Messenger) {
         assert!(pe < self.stores.len(), "injection PE out of range");
         self.injections.push((pe, Box::new(m)));
+    }
+
+    /// Inject a messenger on PE `pe`, or return
+    /// [`RunError::PeOutOfRange`] when `pe` names no PE.
+    pub fn try_inject(&mut self, pe: NodeId, m: impl Messenger) -> Result<(), RunError> {
+        if pe >= self.stores.len() {
+            return Err(RunError::PeOutOfRange {
+                pe,
+                pes: self.stores.len(),
+            });
+        }
+        self.injections.push((pe, Box::new(m)));
+        Ok(())
     }
 
     /// Signal an event before the run starts — the paper's "an event
@@ -76,10 +109,32 @@ impl Cluster {
         self.initial_events.push(e);
     }
 
-    /// Executor-side: decompose into stores, injections and pre-signaled
-    /// events.
+    /// Run this cluster under `plan`: the executor injects the plan's
+    /// faults and (with checkpointing on) recovers from them.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Builder-style [`Cluster::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Cluster {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The fault plan set on this cluster, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Executor-side: decompose into stores, injections, pre-signaled
+    /// events and the fault plan.
     pub fn into_parts(self) -> ClusterParts {
-        (self.stores, self.injections, self.initial_events)
+        ClusterParts {
+            stores: self.stores,
+            injections: self.injections,
+            initial_events: self.initial_events,
+            fault_plan: self.fault_plan,
+        }
     }
 
     /// Reassemble a cluster from post-run stores (results extraction).
@@ -88,6 +143,7 @@ impl Cluster {
             stores,
             injections: Vec::new(),
             initial_events: Vec::new(),
+            fault_plan: None,
         }
     }
 }
@@ -114,11 +170,12 @@ mod tests {
         assert!(c.store(0).is_empty());
         c.inject(2, Nop);
         c.signal_initial(Key::at("E", 1));
-        let (stores, inj, evs) = c.into_parts();
-        assert_eq!(stores.len(), 3);
-        assert_eq!(inj.len(), 1);
-        assert_eq!(inj[0].0, 2);
-        assert_eq!(evs, vec![Key::at("E", 1)]);
+        let parts = c.into_parts();
+        assert_eq!(parts.stores.len(), 3);
+        assert_eq!(parts.injections.len(), 1);
+        assert_eq!(parts.injections[0].0, 2);
+        assert_eq!(parts.initial_events, vec![Key::at("E", 1)]);
+        assert!(parts.fault_plan.is_none());
     }
 
     #[test]
@@ -131,5 +188,32 @@ mod tests {
     fn inject_bounds_checked() {
         let mut c = Cluster::new(1).unwrap();
         c.inject(1, Nop);
+    }
+
+    #[test]
+    fn try_variants_return_structured_errors() {
+        let mut c = Cluster::new(2).unwrap();
+        assert!(c.try_inject(0, Nop).is_ok());
+        assert!(matches!(
+            c.try_inject(2, Nop),
+            Err(RunError::PeOutOfRange { pe: 2, pes: 2 })
+        ));
+        assert!(c.try_store_mut(1).is_ok());
+        assert!(matches!(
+            c.try_store_mut(5),
+            Err(RunError::PeOutOfRange { pe: 5, pes: 2 })
+        ));
+        // The failed calls changed nothing.
+        assert_eq!(c.into_parts().injections.len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_travels_with_parts() {
+        let c = Cluster::new(2)
+            .unwrap()
+            .with_fault_plan(FaultPlan::new().crash_pe(1, 3));
+        assert!(c.fault_plan().is_some());
+        let parts = c.into_parts();
+        assert_eq!(parts.fault_plan.unwrap().crashes.len(), 1);
     }
 }

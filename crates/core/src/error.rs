@@ -30,6 +30,30 @@ pub enum RunError {
     },
     /// A worker thread panicked while running a messenger.
     WorkerPanic(String),
+    /// An injected fault crashed a PE and no recovery was possible
+    /// (checkpointing disabled in the [`FaultPlan`](crate::FaultPlan)).
+    PeCrashed {
+        /// The crashed PE.
+        pe: usize,
+        /// How many messenger runs that PE had completed before crashing.
+        run: u64,
+    },
+    /// A PE crash was injected but the runtime could not restore the
+    /// lost state (e.g. a messenger without snapshot support, or the
+    /// retry budget for re-delivery was exhausted).
+    RecoveryFailed {
+        /// The crashed PE.
+        pe: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// An operation named a PE outside the cluster.
+    PeOutOfRange {
+        /// The invalid PE index.
+        pe: usize,
+        /// Cluster size.
+        pes: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -54,6 +78,16 @@ impl fmt::Display for RunError {
                 "no progress within watchdog timeout; {live} messenger(s) still live (likely deadlock)"
             ),
             RunError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            RunError::PeCrashed { pe, run } => write!(
+                f,
+                "PE {pe} crashed at run {run} and checkpointing is disabled"
+            ),
+            RunError::RecoveryFailed { pe, reason } => {
+                write!(f, "recovery of crashed PE {pe} failed: {reason}")
+            }
+            RunError::PeOutOfRange { pe, pes } => {
+                write!(f, "PE {pe} out of range, cluster has {pes}")
+            }
         }
     }
 }
@@ -78,5 +112,19 @@ mod tests {
         };
         assert!(e.to_string().contains("EP(0,0)"));
         assert!(RunError::Stalled { live: 2 }.to_string().contains("2"));
+    }
+
+    #[test]
+    fn display_fault_variants() {
+        let e = RunError::PeCrashed { pe: 3, run: 17 };
+        assert!(e.to_string().contains("PE 3"));
+        assert!(e.to_string().contains("run 17"));
+        let e = RunError::RecoveryFailed {
+            pe: 1,
+            reason: "no snapshot for Script".into(),
+        };
+        assert!(e.to_string().contains("no snapshot"));
+        let e = RunError::PeOutOfRange { pe: 5, pes: 4 };
+        assert!(e.to_string().contains("out of range"));
     }
 }

@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the NavP runtime.
+//!
+//! A [`FaultPlan`] is a declarative list of faults — PE crashes, hop
+//! delivery delays/drops, lost event signals — that both executors
+//! consume through a [`FaultTracker`]. All trigger points are counted
+//! deterministically (the Nth messenger run on a PE, the Nth hop
+//! arriving at a PE, the Nth signal emitted on a PE), so a given plan
+//! produces the same fault schedule on every run: faults are part of
+//! the experiment, not noise.
+//!
+//! Crashes are quantized to *run boundaries*: a PE fails between
+//! messenger runs, never mid-step. Under NavP's non-preemptive
+//! execution model a run is the natural unit of atomicity — the same
+//! granularity at which `recovery` journals node-variable writes — so
+//! boundary crashes lose whole runs, never half of one.
+
+use crate::error::RunError;
+use std::time::Duration;
+
+/// What happens to a hop's delivery at the destination PE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HopFault {
+    /// Delivery is delayed by this many (virtual or wall) seconds.
+    Delay {
+        /// Extra latency added to the hop.
+        seconds: f64,
+    },
+    /// The delivery attempt is lost; the runtime retries with backoff.
+    Drop,
+}
+
+/// Crash PE `pe` when it is about to start its `at_run`-th messenger
+/// run (1-based). Fires once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRule {
+    /// The PE to crash.
+    pub pe: usize,
+    /// 1-based run count on that PE at which the crash fires.
+    pub at_run: u64,
+}
+
+/// Apply `fault` to the `nth` hop (1-based) arriving at PE `dst`.
+/// Fires once; a dropped delivery's retries are fresh arrivals and keep
+/// counting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HopFaultRule {
+    /// Destination PE whose arrivals are counted.
+    pub dst: usize,
+    /// 1-based arrival count at which the fault fires.
+    pub nth: u64,
+    /// The fault to apply.
+    pub fault: HopFault,
+}
+
+/// Silently swallow the `nth` event signal (1-based) emitted on PE
+/// `pe`. Fires once. Lost signals are *not* recoverable — they model
+/// the bug class the paper's counting events are designed to surface —
+/// so [`FaultPlan::seeded`] never generates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LostSignalRule {
+    /// The PE whose emitted signals are counted.
+    pub pe: usize,
+    /// 1-based signal count at which the loss fires.
+    pub nth: u64,
+}
+
+/// A deterministic schedule of injected faults plus the recovery knobs
+/// the executors honour while absorbing them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// PE crash rules.
+    pub crashes: Vec<CrashRule>,
+    /// Hop delivery fault rules.
+    pub hop_faults: Vec<HopFaultRule>,
+    /// Lost-signal rules.
+    pub lost_signals: Vec<LostSignalRule>,
+    /// When `true` (default) the executors checkpoint messenger state at
+    /// hop boundaries and journal node-store writes, so crashes are
+    /// recovered. When `false` a crash surfaces as
+    /// [`RunError::PeCrashed`].
+    pub checkpointing: bool,
+    /// How many times a dropped delivery is retried before recovery is
+    /// declared failed.
+    pub max_send_retries: u32,
+    /// Wall-clock backoff between delivery retries (thread executor);
+    /// the simulator charges its `as_secs_f64()` in virtual time.
+    pub retry_backoff: Duration,
+    /// Virtual seconds the simulator charges for rebuilding a crashed
+    /// PE (daemon restart + journal replay).
+    pub recovery_seconds: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            crashes: Vec::new(),
+            hop_faults: Vec::new(),
+            lost_signals: Vec::new(),
+            checkpointing: true,
+            max_send_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            recovery_seconds: 0.05,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, checkpointing on).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.hop_faults.is_empty() && self.lost_signals.is_empty()
+    }
+
+    /// Crash `pe` at its `at_run`-th messenger run (1-based).
+    pub fn crash_pe(mut self, pe: usize, at_run: u64) -> FaultPlan {
+        self.crashes.push(CrashRule { pe, at_run });
+        self
+    }
+
+    /// Delay the `nth` hop arriving at `dst` by `seconds`.
+    pub fn delay_hop(mut self, dst: usize, nth: u64, seconds: f64) -> FaultPlan {
+        self.hop_faults.push(HopFaultRule {
+            dst,
+            nth,
+            fault: HopFault::Delay { seconds },
+        });
+        self
+    }
+
+    /// Drop the `nth` delivery attempt arriving at `dst` (the runtime
+    /// retries it).
+    pub fn drop_hop(mut self, dst: usize, nth: u64) -> FaultPlan {
+        self.hop_faults.push(HopFaultRule {
+            dst,
+            nth,
+            fault: HopFault::Drop,
+        });
+        self
+    }
+
+    /// Swallow the `nth` signal emitted on `pe`.
+    pub fn lose_signal(mut self, pe: usize, nth: u64) -> FaultPlan {
+        self.lost_signals.push(LostSignalRule { pe, nth });
+        self
+    }
+
+    /// Disable hop-boundary checkpointing: any crash becomes a
+    /// structured [`RunError::PeCrashed`] instead of being recovered.
+    pub fn without_checkpointing(mut self) -> FaultPlan {
+        self.checkpointing = false;
+        self
+    }
+
+    /// Tune the dropped-delivery retry budget and backoff.
+    pub fn with_retry(mut self, max_send_retries: u32, backoff: Duration) -> FaultPlan {
+        self.max_send_retries = max_send_retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Set the virtual-time cost the simulator charges per recovery.
+    pub fn with_recovery_seconds(mut self, seconds: f64) -> FaultPlan {
+        self.recovery_seconds = seconds;
+        self
+    }
+
+    /// A seeded plan of *recoverable* faults for a `pes`-PE cluster: one
+    /// PE crash plus a couple of hop delays/drops, all placed
+    /// deterministically from `seed`. Never generates lost signals
+    /// (those are unrecoverable by design).
+    pub fn seeded(seed: u64, pes: usize) -> FaultPlan {
+        let mut rng = SplitMix64(seed);
+        let mut plan = FaultPlan::new();
+        if pes == 0 {
+            return plan;
+        }
+        let crash_pe = (rng.next_u64() as usize) % pes;
+        let crash_run = 1 + rng.next_u64() % 8;
+        plan = plan.crash_pe(crash_pe, crash_run);
+        for _ in 0..2 {
+            let dst = (rng.next_u64() as usize) % pes;
+            let nth = 1 + rng.next_u64() % 6;
+            if rng.next_u64().is_multiple_of(2) {
+                let seconds = 0.001 + (rng.next_u64() % 1000) as f64 * 1e-5;
+                plan = plan.delay_hop(dst, nth, seconds);
+            } else {
+                plan = plan.drop_hop(dst, nth);
+            }
+        }
+        plan
+    }
+}
+
+/// SplitMix64 — local deterministic generator for [`FaultPlan::seeded`].
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Counters reporting what fault machinery actually did during a run.
+/// Attached to both executors' reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// PE crashes injected (and, with checkpointing, recovered).
+    pub crashes: u64,
+    /// Checkpointed messengers re-delivered after crashes.
+    pub redelivered: u64,
+    /// Journaled node-store writes replayed during store rebuilds.
+    pub replayed_writes: u64,
+    /// Delivery retries performed after dropped sends.
+    pub send_retries: u64,
+    /// Hop deliveries delayed by an injected fault.
+    pub hops_delayed: u64,
+    /// Hop delivery attempts dropped by an injected fault.
+    pub hops_dropped: u64,
+    /// Event signals swallowed by an injected fault.
+    pub signals_lost: u64,
+}
+
+impl FaultStats {
+    /// `true` when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+
+    /// Accumulate another run's counters into this one (for aggregating
+    /// across the runs of a table or suite).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.redelivered += other.redelivered;
+        self.replayed_writes += other.replayed_writes;
+        self.send_retries += other.send_retries;
+        self.hops_delayed += other.hops_delayed;
+        self.hops_dropped += other.hops_dropped;
+        self.signals_lost += other.signals_lost;
+    }
+}
+
+/// Runtime companion of a [`FaultPlan`]: owns the per-PE counters and
+/// answers "does a fault fire here?" at each instrumentation point.
+/// Each rule fires at most once.
+#[derive(Debug)]
+pub struct FaultTracker {
+    plan: FaultPlan,
+    /// Messenger runs completed per PE.
+    runs: Vec<u64>,
+    /// Hop delivery attempts arrived per PE.
+    arrivals: Vec<u64>,
+    /// Signals emitted per PE.
+    signals: Vec<u64>,
+    crash_fired: Vec<bool>,
+    hop_fired: Vec<bool>,
+    signal_fired: Vec<bool>,
+}
+
+impl FaultTracker {
+    /// A tracker for `plan` over a `pes`-PE cluster.
+    pub fn new(plan: FaultPlan, pes: usize) -> FaultTracker {
+        let crash_fired = vec![false; plan.crashes.len()];
+        let hop_fired = vec![false; plan.hop_faults.len()];
+        let signal_fired = vec![false; plan.lost_signals.len()];
+        FaultTracker {
+            plan,
+            runs: vec![0; pes],
+            arrivals: vec![0; pes],
+            signals: vec![0; pes],
+            crash_fired,
+            hop_fired,
+            signal_fired,
+        }
+    }
+
+    /// The plan driving this tracker.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Called when PE `pe` is about to start a messenger run. Returns
+    /// `Some(run_count)` when a crash rule fires here — the PE must
+    /// crash *before* the run executes.
+    pub fn on_run(&mut self, pe: usize) -> Option<u64> {
+        self.runs[pe] += 1;
+        let run = self.runs[pe];
+        for (i, rule) in self.plan.crashes.iter().enumerate() {
+            if !self.crash_fired[i] && rule.pe == pe && rule.at_run == run {
+                self.crash_fired[i] = true;
+                return Some(run);
+            }
+        }
+        None
+    }
+
+    /// Called per delivery attempt of a hop arriving at PE `dst`.
+    /// Returns the fault to apply, if one fires.
+    pub fn on_hop(&mut self, dst: usize) -> Option<HopFault> {
+        self.arrivals[dst] += 1;
+        let n = self.arrivals[dst];
+        for (i, rule) in self.plan.hop_faults.iter().enumerate() {
+            if !self.hop_fired[i] && rule.dst == dst && rule.nth == n {
+                self.hop_fired[i] = true;
+                return Some(rule.fault);
+            }
+        }
+        None
+    }
+
+    /// Called when a messenger on PE `pe` emits a signal. Returns `true`
+    /// when the signal must be swallowed.
+    pub fn on_signal(&mut self, pe: usize) -> bool {
+        self.signals[pe] += 1;
+        let n = self.signals[pe];
+        for (i, rule) in self.plan.lost_signals.iter().enumerate() {
+            if !self.signal_fired[i] && rule.pe == pe && rule.nth == n {
+                self.signal_fired[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The structured error for a crash on `pe` when checkpointing is
+    /// off.
+    pub fn crash_error(pe: usize, run: u64) -> RunError {
+        RunError::PeCrashed { pe, run }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new().crash_pe(0, 1).is_empty());
+    }
+
+    #[test]
+    fn crash_fires_once_at_exact_run() {
+        let plan = FaultPlan::new().crash_pe(1, 3);
+        let mut t = FaultTracker::new(plan, 2);
+        assert_eq!(t.on_run(1), None);
+        assert_eq!(t.on_run(0), None); // other PE's count is independent
+        assert_eq!(t.on_run(1), None);
+        assert_eq!(t.on_run(1), Some(3));
+        assert_eq!(t.on_run(1), None); // single-shot
+    }
+
+    #[test]
+    fn hop_fault_counts_arrivals_per_pe() {
+        let plan = FaultPlan::new().drop_hop(0, 2).delay_hop(1, 1, 0.5);
+        let mut t = FaultTracker::new(plan, 2);
+        assert_eq!(t.on_hop(1), Some(HopFault::Delay { seconds: 0.5 }));
+        assert_eq!(t.on_hop(0), None);
+        assert_eq!(t.on_hop(0), Some(HopFault::Drop));
+        assert_eq!(t.on_hop(0), None);
+    }
+
+    #[test]
+    fn lost_signal_fires_once() {
+        let plan = FaultPlan::new().lose_signal(0, 2);
+        let mut t = FaultTracker::new(plan, 1);
+        assert!(!t.on_signal(0));
+        assert!(t.on_signal(0));
+        assert!(!t.on_signal(0));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_recoverable() {
+        let a = FaultPlan::seeded(42, 4);
+        let b = FaultPlan::seeded(42, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.lost_signals.is_empty(), "seeded plans stay recoverable");
+        assert!(a.checkpointing);
+        assert!(a.crashes.iter().all(|c| c.pe < 4));
+        let c = FaultPlan::seeded(43, 4);
+        assert_ne!(a, c, "different seeds give different plans");
+        assert!(FaultPlan::seeded(7, 0).is_empty());
+    }
+
+    #[test]
+    fn stats_any() {
+        assert!(!FaultStats::default().any());
+        let s = FaultStats {
+            crashes: 1,
+            ..FaultStats::default()
+        };
+        assert!(s.any());
+    }
+}

@@ -46,12 +46,19 @@
 //!   the paper's tables at the original problem sizes.
 //! * [`ThreadExecutor`] — one OS thread per PE with real agent migration
 //!   over channels; measures wall-clock time on the host machine.
+//!
+//! Both executors honour an optional [`FaultPlan`] attached to the
+//! cluster: deterministic PE crashes, hop-delivery delays/drops and lost
+//! event signals, absorbed (when checkpointing is on) by the
+//! hop-boundary checkpoint/restart machinery in [`recovery`].
 
 #![warn(missing_docs)]
 
 pub mod agent;
 pub mod cluster;
 pub mod error;
+pub mod fault;
+pub mod recovery;
 pub mod script;
 pub mod sim_exec;
 pub mod thread_exec;
@@ -60,6 +67,7 @@ pub mod transform;
 pub use agent::{Effect, Messenger, MsgrCtx};
 pub use cluster::Cluster;
 pub use error::RunError;
+pub use fault::{FaultPlan, FaultStats};
 pub use navp_sim::key::{EventKey, Key, NodeId, VarKey};
 pub use sim_exec::{SimExecutor, SimReport};
 pub use navp_sim::store::NodeStore;

@@ -19,8 +19,10 @@
 //! (to extract the product matrix), and optionally a full [`Trace`].
 
 use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterParts};
 use crate::error::RunError;
+use crate::fault::{FaultStats, FaultTracker, HopFault};
+use crate::recovery::{CheckpointTable, WriteJournal};
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_sim::memory::MemoryModel;
@@ -37,6 +39,23 @@ struct AgentSlot {
     msgr: Option<Box<dyn Messenger>>,
     pe: NodeId,
     label: String,
+    /// Delivery generation: bumped when a crash re-delivers this agent
+    /// from a checkpoint, so queue entries from before the crash are
+    /// recognized as stale and discarded.
+    gen: u64,
+}
+
+/// Fault-injection state, allocated only when the cluster carries a
+/// non-empty [`FaultPlan`](crate::FaultPlan) — fault-free runs pay
+/// nothing.
+struct FaultMachinery {
+    tracker: FaultTracker,
+    ckpt: CheckpointTable,
+    journals: Vec<WriteJournal>,
+    /// Pristine pre-run stores; a crashed PE's store is rebuilt as
+    /// `initial + journal replay`.
+    initial: Vec<NodeStore>,
+    stats: FaultStats,
 }
 
 #[derive(Default)]
@@ -59,6 +78,8 @@ pub struct SimReport {
     pub hops: u64,
     /// Total bytes carried across PEs by hops.
     pub hop_bytes: u64,
+    /// What the fault machinery did (all zero on a fault-free run).
+    pub faults: FaultStats,
 }
 
 impl std::fmt::Debug for SimReport {
@@ -69,6 +90,7 @@ impl std::fmt::Debug for SimReport {
             .field("hops", &self.hops)
             .field("hop_bytes", &self.hop_bytes)
             .field("pes", &self.stores.len())
+            .field("faults", &self.faults)
             .finish_non_exhaustive()
     }
 }
@@ -99,12 +121,21 @@ impl SimExecutor {
     ///
     /// Returns [`RunError::Deadlock`] when messengers remain but no event
     /// can ever fire, and [`RunError::BadHop`] on a hop outside the
-    /// cluster.
+    /// cluster. Under a fault plan, an unrecoverable crash returns
+    /// [`RunError::PeCrashed`] (checkpointing disabled) or
+    /// [`RunError::RecoveryFailed`] (lost state cannot be restored).
     pub fn run(&self, cluster: Cluster) -> Result<SimReport, RunError> {
-        let (mut stores, injections, initial_events) = cluster.into_parts();
+        let ClusterParts {
+            mut stores,
+            injections,
+            initial_events,
+            fault_plan,
+        } = cluster.into_parts();
         let num_nodes = stores.len();
         let mut pes: Vec<PeResources> = (0..num_nodes).map(|_| PeResources::new()).collect();
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        // Queue payloads carry the agent's delivery generation so
+        // deliveries scheduled before a crash are discarded as stale.
+        let mut queue: EventQueue<(usize, u64)> = EventQueue::new();
         let mut agents: Vec<AgentSlot> = Vec::with_capacity(injections.len());
         let mut events: HashMap<EventKey, EventState> = HashMap::new();
         let mut trace = if self.tracing {
@@ -113,6 +144,22 @@ impl SimExecutor {
             Trace::disabled()
         };
 
+        let mut fm = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+            // Snapshot the pristine stores before write tracking starts:
+            // a crashed PE's store is rebuilt from this plus its journal.
+            let initial = stores.clone();
+            for s in &mut stores {
+                s.enable_tracking();
+            }
+            FaultMachinery {
+                tracker: FaultTracker::new(plan, num_nodes),
+                ckpt: CheckpointTable::new(),
+                journals: (0..num_nodes).map(|_| WriteJournal::new()).collect(),
+                initial,
+                stats: FaultStats::default(),
+            }
+        });
+
         for key in initial_events {
             events.entry(key).or_default().count += 1;
         }
@@ -120,12 +167,16 @@ impl SimExecutor {
         let mut live = 0usize;
         for (pe, msgr) in injections {
             let label = msgr.label();
+            if let Some(fm) = &mut fm {
+                fm.ckpt.register(agents.len() as u64, pe, msgr.as_ref());
+            }
             agents.push(AgentSlot {
                 msgr: Some(msgr),
                 pe,
                 label,
+                gen: 0,
             });
-            queue.schedule(VTime::ZERO, agents.len() - 1);
+            queue.schedule(VTime::ZERO, (agents.len() - 1, 0));
             live += 1;
         }
 
@@ -133,7 +184,52 @@ impl SimExecutor {
         let mut makespan = VTime::ZERO;
         let (mut steps, mut hops, mut hop_bytes) = (0u64, 0u64, 0u64);
 
-        while let Some((t, aid)) = queue.pop() {
+        while let Some((t, (aid, gen))) = queue.pop() {
+            if agents[aid].gen != gen {
+                // Scheduled before a crash re-delivered this agent.
+                continue;
+            }
+            let pe = agents[aid].pe;
+
+            // A delivery is a run boundary: the only place a fault plan
+            // may crash this PE.
+            if let Some(fm) = &mut fm {
+                if let Some(run) = fm.tracker.on_run(pe) {
+                    if !fm.tracker.plan().checkpointing {
+                        return Err(RunError::PeCrashed { pe, run });
+                    }
+                    fm.stats.crashes += 1;
+                    // Rebuild the store: pristine copy + journal replay.
+                    let mut rebuilt = fm.initial[pe].clone();
+                    fm.stats.replayed_writes += fm.journals[pe].replay_into(&mut rebuilt);
+                    rebuilt.enable_tracking();
+                    stores[pe] = rebuilt;
+                    // Re-deliver every messenger lost with the PE from
+                    // its last checkpoint (parked event-waiters survive
+                    // in the event service and are not re-delivered).
+                    let resume =
+                        t + VTime::from_secs_f64(fm.tracker.plan().recovery_seconds);
+                    for (id, label, snap) in fm.ckpt.drain_pe(pe) {
+                        let Some(snap) = snap else {
+                            return Err(RunError::RecoveryFailed {
+                                pe,
+                                reason: format!(
+                                    "messenger {label} does not support snapshots"
+                                ),
+                            });
+                        };
+                        fm.ckpt.register(id, pe, snap.as_ref());
+                        let id = id as usize;
+                        agents[id].gen += 1;
+                        agents[id].msgr = Some(snap);
+                        queue.schedule(resume, (id, agents[id].gen));
+                        fm.stats.redelivered += 1;
+                    }
+                    makespan = makespan.max(resume);
+                    continue;
+                }
+            }
+
             let mut msgr = match agents[aid].msgr.take() {
                 Some(m) => m,
                 // A stale wake-up for an agent that already finished
@@ -141,7 +237,6 @@ impl SimExecutor {
                 // be defensive.
                 None => continue,
             };
-            let pe = agents[aid].pe;
 
             // The MESSENGERS daemon is non-preemptive: a messenger runs
             // until it leaves the PE, blocks on an unsignalled event, or
@@ -191,17 +286,27 @@ impl SimExecutor {
             // Local injections become runnable when this step completes.
             for inj in out.injections.drain(..) {
                 let label = inj.label();
+                if let Some(fm) = &mut fm {
+                    fm.ckpt.register(agents.len() as u64, pe, inj.as_ref());
+                }
                 agents.push(AgentSlot {
                     msgr: Some(inj),
                     pe,
                     label,
+                    gen: 0,
                 });
                 live += 1;
-                queue.schedule(end, agents.len() - 1);
+                queue.schedule(end, (agents.len() - 1, 0));
             }
 
             // Signals: wake one waiter each, or bank the count.
             for key in out.signals.drain(..) {
+                if let Some(fm) = &mut fm {
+                    if fm.tracker.on_signal(pe) {
+                        fm.stats.signals_lost += 1;
+                        continue;
+                    }
+                }
                 trace.push(TraceEvent {
                     start: end,
                     end,
@@ -211,7 +316,14 @@ impl SimExecutor {
                 });
                 let st = events.entry(key).or_default();
                 if let Some(waiter) = st.waiters.pop_front() {
-                    queue.schedule(end, waiter);
+                    // Waking a parked messenger is a delivery point: it
+                    // re-enters its PE's failure domain, so checkpoint it.
+                    if let Some(fm) = &mut fm {
+                        if let Some(m) = agents[waiter].msgr.as_ref() {
+                            fm.ckpt.register(waiter as u64, agents[waiter].pe, m.as_ref());
+                        }
+                    }
+                    queue.schedule(end, (waiter, agents[waiter].gen));
                 } else {
                     st.count += 1;
                 }
@@ -231,7 +343,43 @@ impl SimExecutor {
                         continue;
                     } else {
                         let bytes = msgr.payload_bytes() + HOP_STATE_BYTES;
-                        let (_departed, arrival) = pes[pe].send(end, bytes, &self.cost);
+                        let (_departed, mut arrival) = pes[pe].send(end, bytes, &self.cost);
+                        if let Some(fm) = &mut fm {
+                            // Each delivery attempt may be faulted; a
+                            // dropped attempt is retried after a backoff
+                            // until the retry budget runs out.
+                            let mut attempts = 0u32;
+                            loop {
+                                match fm.tracker.on_hop(dst) {
+                                    None => break,
+                                    Some(HopFault::Delay { seconds }) => {
+                                        arrival += VTime::from_secs_f64(seconds);
+                                        fm.stats.hops_delayed += 1;
+                                        break;
+                                    }
+                                    Some(HopFault::Drop) => {
+                                        fm.stats.hops_dropped += 1;
+                                        attempts += 1;
+                                        if attempts > fm.tracker.plan().max_send_retries {
+                                            return Err(RunError::RecoveryFailed {
+                                                pe: dst,
+                                                reason: format!(
+                                                    "hop delivery dropped {attempts} times; retry budget exhausted"
+                                                ),
+                                            });
+                                        }
+                                        fm.stats.send_retries += 1;
+                                        arrival += VTime::from_secs_f64(
+                                            fm.tracker.plan().retry_backoff.as_secs_f64(),
+                                        );
+                                    }
+                                }
+                            }
+                            // The hop is a delivery point: checkpoint the
+                            // post-run state into the destination's
+                            // failure domain.
+                            fm.ckpt.register(aid as u64, dst, msgr.as_ref());
+                        }
                         trace.push(TraceEvent {
                             start: end,
                             end: arrival,
@@ -248,7 +396,7 @@ impl SimExecutor {
                         agents[aid].pe = dst;
                         agents[aid].msgr = Some(msgr);
                         makespan = makespan.max(arrival);
-                        queue.schedule(arrival, aid);
+                        queue.schedule(arrival, (aid, agents[aid].gen));
                         break;
                     }
                 }
@@ -268,16 +416,31 @@ impl SimExecutor {
                         });
                         st.waiters.push_back(aid);
                         agents[aid].msgr = Some(msgr);
+                        // Parked state is held by the event service,
+                        // which survives PE crashes: drop the checkpoint.
+                        if let Some(fm) = &mut fm {
+                            fm.ckpt.remove(aid as u64);
+                        }
                         break;
                     }
                 }
                 Effect::Done => {
                     live -= 1;
+                    if let Some(fm) = &mut fm {
+                        fm.ckpt.remove(aid as u64);
+                    }
                     // msgr dropped here.
                     break;
                 }
             }
             } // inner daemon loop
+
+            // Run boundary: commit this run's node-store writes to the
+            // PE's journal (atomic w.r.t. crashes, which only fire at
+            // delivery points).
+            if let Some(fm) = &mut fm {
+                fm.journals[pe].commit_dirty(&mut stores[pe]);
+            }
         }
 
         if live > 0 {
@@ -300,6 +463,7 @@ impl SimExecutor {
             steps,
             hops,
             hop_bytes,
+            faults: fm.map(|f| f.stats).unwrap_or_default(),
         })
     }
 }
@@ -528,6 +692,203 @@ mod tests {
         let r2 = SimExecutor::new(cost()).with_trace().run(build()).unwrap();
         assert_eq!(r1.trace.fingerprint(), r2.trace.fingerprint());
         assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    /// A checkpointable messenger that ping-pongs between PEs, bumping a
+    /// per-PE visit counter on each arrival.
+    #[derive(Clone)]
+    struct PingPong {
+        hops_left: usize,
+    }
+    impl Messenger for PingPong {
+        fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+            let k = Key::plain("count");
+            let cur = ctx.store_ref().get::<u64>(k).copied().unwrap_or(0);
+            ctx.store().insert(k, cur + 1, 8);
+            if self.hops_left == 0 {
+                return Effect::Done;
+            }
+            self.hops_left -= 1;
+            Effect::Hop((ctx.here() + 1) % ctx.num_nodes())
+        }
+        fn label(&self) -> String {
+            "pingpong".to_string()
+        }
+        fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    fn pingpong_cluster() -> Cluster {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, PingPong { hops_left: 6 });
+        c
+    }
+
+    fn counts(rep: &SimReport) -> (u64, u64) {
+        let k = Key::plain("count");
+        (
+            rep.stores[0].get::<u64>(k).copied().unwrap_or(0),
+            rep.stores[1].get::<u64>(k).copied().unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn crash_recovery_preserves_results() {
+        use crate::fault::FaultPlan;
+        let clean = SimExecutor::new(cost()).run(pingpong_cluster()).unwrap();
+        assert_eq!(counts(&clean), (4, 3));
+        assert!(!clean.faults.any());
+
+        // Crash PE 1 just before its second run: the store rebuild must
+        // replay the first visit's write and the messenger must resume
+        // from its hop checkpoint.
+        let faulted = pingpong_cluster().with_fault_plan(FaultPlan::new().crash_pe(1, 2));
+        let rep = SimExecutor::new(cost()).run(faulted).unwrap();
+        assert_eq!(counts(&rep), counts(&clean), "recovery must be exact");
+        assert_eq!(rep.faults.crashes, 1);
+        assert_eq!(rep.faults.redelivered, 1);
+        assert!(rep.faults.replayed_writes >= 1);
+        assert!(rep.makespan > clean.makespan, "recovery costs virtual time");
+    }
+
+    #[test]
+    fn crash_without_checkpointing_is_structured() {
+        use crate::fault::FaultPlan;
+        let c = pingpong_cluster()
+            .with_fault_plan(FaultPlan::new().crash_pe(0, 1).without_checkpointing());
+        assert!(matches!(
+            SimExecutor::new(cost()).run(c),
+            Err(RunError::PeCrashed { pe: 0, run: 1 })
+        ));
+    }
+
+    #[test]
+    fn dropped_hop_retries_then_delivers() {
+        use crate::fault::FaultPlan;
+        let clean = SimExecutor::new(cost()).run(pingpong_cluster()).unwrap();
+        let c = pingpong_cluster().with_fault_plan(FaultPlan::new().drop_hop(1, 1));
+        let rep = SimExecutor::new(cost()).run(c).unwrap();
+        assert_eq!(counts(&rep), counts(&clean));
+        assert_eq!(rep.faults.hops_dropped, 1);
+        assert_eq!(rep.faults.send_retries, 1);
+    }
+
+    #[test]
+    fn drop_exhaustion_is_recovery_failure() {
+        use crate::fault::FaultPlan;
+        let mut plan = FaultPlan::new();
+        for nth in 1..=4 {
+            plan = plan.drop_hop(1, nth);
+        }
+        let c = pingpong_cluster().with_fault_plan(plan);
+        assert!(matches!(
+            SimExecutor::new(cost()).run(c),
+            Err(RunError::RecoveryFailed { pe: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn delayed_hop_extends_makespan() {
+        use crate::fault::FaultPlan;
+        let clean = SimExecutor::new(cost()).run(pingpong_cluster()).unwrap();
+        let c = pingpong_cluster().with_fault_plan(FaultPlan::new().delay_hop(1, 1, 2.0));
+        let rep = SimExecutor::new(cost()).run(c).unwrap();
+        assert_eq!(counts(&rep), counts(&clean));
+        assert_eq!(rep.faults.hops_delayed, 1);
+        assert!(rep.makespan.as_secs_f64() >= clean.makespan.as_secs_f64() + 1.999);
+    }
+
+    #[test]
+    fn lost_signal_deadlocks_waiter() {
+        use crate::fault::FaultPlan;
+        let build = || {
+            let mut c = Cluster::new(1).unwrap();
+            c.inject(
+                0,
+                Script::new("producer").then(|ctx| {
+                    ctx.signal(Key::plain("go"));
+                    Effect::Done
+                }),
+            );
+            c.inject(
+                0,
+                Script::new("consumer")
+                    .then(|_| Effect::WaitEvent(Key::plain("go")))
+                    .then(|_| Effect::Done),
+            );
+            c
+        };
+        // Sanity: fault-free it terminates.
+        SimExecutor::new(cost()).run(build()).unwrap();
+        let c = build().with_fault_plan(FaultPlan::new().lose_signal(0, 1));
+        assert!(matches!(
+            SimExecutor::new(cost()).run(c),
+            Err(RunError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_spares_parked_waiters() {
+        use crate::fault::FaultPlan;
+        // The consumer parks on PE 0 before the crash; its state lives in
+        // the event service and must survive the crash that destroys the
+        // producer's delivery (which is then re-delivered and re-run).
+        #[derive(Clone)]
+        struct Producer {
+            fired: bool,
+        }
+        impl Messenger for Producer {
+            fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+                if !self.fired {
+                    self.fired = true;
+                    return Effect::Hop(ctx.here()); // run boundary filler
+                }
+                ctx.signal(Key::plain("go"));
+                Effect::Done
+            }
+            fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+                Some(Box::new(self.clone()))
+            }
+        }
+        #[derive(Clone)]
+        struct Consumer {
+            waited: bool,
+        }
+        impl Messenger for Consumer {
+            fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+                if !self.waited {
+                    self.waited = true;
+                    return Effect::WaitEvent(Key::plain("go"));
+                }
+                ctx.store().insert(Key::plain("done"), true, 1);
+                Effect::Done
+            }
+            fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+                Some(Box::new(self.clone()))
+            }
+        }
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(0, Consumer { waited: false });
+        c.inject(0, Producer { fired: false });
+        c.set_fault_plan(FaultPlan::new().crash_pe(0, 2));
+        let rep = SimExecutor::new(cost()).run(c).unwrap();
+        assert_eq!(rep.stores[0].get::<bool>(Key::plain("done")), Some(&true));
+        assert_eq!(rep.faults.crashes, 1);
+        assert_eq!(rep.faults.redelivered, 1, "only the producer is lost");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let c = pingpong_cluster().with_fault_plan(FaultPlan::seeded(0xFA17, 2));
+            SimExecutor::new(cost()).with_trace().run(c).unwrap()
+        };
+        let (r1, r2) = (run(), run());
+        assert_eq!(r1.trace.fingerprint(), r2.trace.fingerprint());
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.faults, r2.faults);
     }
 
     #[test]

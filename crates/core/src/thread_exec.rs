@@ -10,32 +10,73 @@
 //!
 //! This executor does real work in real time (the arithmetic inside each
 //! step is what is being measured), so `charge_*` calls are ignored. Use
-//! it for criterion benchmarks and to validate on live hardware the
-//! orderings the virtual-time executor predicts.
+//! it for benchmarks and to validate on live hardware the orderings the
+//! virtual-time executor predicts.
 //!
 //! A watchdog converts silent deadlocks (every messenger parked on an
 //! event nobody will signal) into [`RunError::Stalled`].
+//!
+//! ## Fault tolerance
+//!
+//! When the cluster carries a [`FaultPlan`](crate::FaultPlan), the
+//! executor injects its faults and (with checkpointing on) absorbs PE
+//! crashes. A crash is quantized to a *run boundary*: before each
+//! messenger run the daemon asks the tracker whether its PE fails here.
+//! On a crash the daemon restarts itself in place — it discards its
+//! local queue and store, bumps its delivery *epoch*, rebuilds the store
+//! as `initial + write-journal replay`, and re-delivers the last
+//! checkpoint of every messenger in its failure domain. The epoch
+//! defeats double delivery: every channel send is stamped with the
+//! destination's epoch read under the same lock that registers the
+//! checkpoint, so a message racing a crash is either redelivered from
+//! its checkpoint (and the stale original discarded on receipt) or
+//! delivered normally — never both. Messengers parked on events live in
+//! the shared event service, which survives daemon restarts.
 
 use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterParts};
 use crate::error::RunError;
+use crate::fault::{FaultStats, FaultTracker, HopFault};
+use crate::recovery::{CheckpointTable, WriteJournal};
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 enum DaemonMsg {
-    Agent(Box<dyn Messenger>),
+    Agent {
+        /// Executor-wide messenger id (checkpoint key).
+        id: u64,
+        /// Destination epoch stamped at send time; stale epochs are
+        /// discarded on receipt (the crash already re-delivered them).
+        epoch: u64,
+        msgr: Box<dyn Messenger>,
+    },
     Shutdown,
 }
 
 #[derive(Default)]
 struct EventState {
     count: u64,
-    waiters: VecDeque<(Box<dyn Messenger>, NodeId)>,
+    waiters: VecDeque<(u64, Box<dyn Messenger>, NodeId)>,
+}
+
+/// Recovery state shared by all daemons, behind one lock so that
+/// epoch reads, checkpoint registration and crash collection serialize
+/// against each other (the exactly-once argument depends on it).
+struct Recovery {
+    tracker: FaultTracker,
+    ckpt: CheckpointTable,
+    journals: Vec<WriteJournal>,
+    /// Pristine pre-run stores; a crashed PE's store is rebuilt as
+    /// `initial + journal replay`.
+    initial: Vec<NodeStore>,
+    /// Per-PE delivery epoch, bumped on each crash of that PE.
+    epochs: Vec<u64>,
+    stats: FaultStats,
 }
 
 struct Shared {
@@ -44,8 +85,10 @@ struct Shared {
     progress: AtomicU64,
     steps: AtomicU64,
     hops: AtomicU64,
+    next_id: AtomicU64,
     events: Mutex<HashMap<EventKey, EventState>>,
     failure: Mutex<Option<RunError>>,
+    recovery: Option<Mutex<Recovery>>,
 }
 
 impl Shared {
@@ -57,7 +100,7 @@ impl Shared {
     }
 
     fn fail(&self, err: RunError) {
-        let mut f = self.failure.lock();
+        let mut f = self.failure.lock().unwrap();
         if f.is_none() {
             *f = Some(err);
         }
@@ -65,9 +108,78 @@ impl Shared {
         self.shutdown_all();
     }
 
+    /// Deliver messenger `id` to `dst`: checkpoint it into the
+    /// destination's failure domain, stamp the destination epoch, and
+    /// send. Hop deliveries (`is_hop`) additionally pass through the
+    /// fault plan's delay/drop rules, retrying dropped attempts with
+    /// backoff. Returns `false` when the run is failing.
+    fn send_agent(&self, dst: NodeId, id: u64, msgr: Box<dyn Messenger>, is_hop: bool) -> bool {
+        let Some(rec) = &self.recovery else {
+            let _ = self.chans[dst].send(DaemonMsg::Agent { id, epoch: 0, msgr });
+            return true;
+        };
+        enum Next {
+            Deliver(u64),
+            /// Sleep, then retry; the flag disarms further fault checks
+            /// (a Delay's attempt itself succeeds, as in the simulator).
+            Sleep(Duration, bool),
+            Fail(RunError),
+        }
+        let mut attempts = 0u32;
+        let mut faults_armed = is_hop;
+        let epoch = loop {
+            let next = {
+                let mut r = rec.lock().unwrap();
+                let fault = if faults_armed { r.tracker.on_hop(dst) } else { None };
+                match fault {
+                    None => {
+                        r.ckpt.register(id, dst, msgr.as_ref());
+                        Next::Deliver(r.epochs[dst])
+                    }
+                    Some(HopFault::Delay { seconds }) => {
+                        r.stats.hops_delayed += 1;
+                        Next::Sleep(Duration::from_secs_f64(seconds), true)
+                    }
+                    Some(HopFault::Drop) => {
+                        r.stats.hops_dropped += 1;
+                        attempts += 1;
+                        if attempts > r.tracker.plan().max_send_retries {
+                            Next::Fail(RunError::RecoveryFailed {
+                                pe: dst,
+                                reason: format!(
+                                    "hop delivery dropped {attempts} times; retry budget exhausted"
+                                ),
+                            })
+                        } else {
+                            r.stats.send_retries += 1;
+                            Next::Sleep(r.tracker.plan().retry_backoff, false)
+                        }
+                    }
+                }
+            };
+            match next {
+                Next::Deliver(e) => break e,
+                Next::Sleep(d, disarm) => {
+                    // Keep the watchdog fed through injected latency.
+                    self.progress.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(d);
+                    if disarm {
+                        faults_armed = false;
+                    }
+                }
+                Next::Fail(err) => {
+                    self.fail(err);
+                    return false;
+                }
+            }
+        };
+        let _ = self.chans[dst].send(DaemonMsg::Agent { id, epoch, msgr });
+        true
+    }
+
     fn signal(&self, key: EventKey) {
         let woken = {
-            let mut ev = self.events.lock();
+            let mut ev = self.events.lock().unwrap();
             let st = ev.entry(key).or_default();
             match st.waiters.pop_front() {
                 Some(w) => Some(w),
@@ -77,9 +189,11 @@ impl Shared {
                 }
             }
         };
-        if let Some((msgr, pe)) = woken {
+        if let Some((id, msgr, pe)) = woken {
             self.progress.fetch_add(1, Ordering::Relaxed);
-            let _ = self.chans[pe].send(DaemonMsg::Agent(msgr));
+            // Waking is a delivery point: the messenger re-enters its
+            // PE's failure domain.
+            self.send_agent(pe, id, msgr, false);
         }
     }
 }
@@ -94,6 +208,10 @@ pub struct WallReport {
     pub steps: u64,
     /// Total inter-PE hops taken.
     pub hops: u64,
+    /// What the fault machinery did (all zero on a fault-free run).
+    pub faults: FaultStats,
+    /// The no-progress watchdog timeout this run was executed under.
+    pub watchdog: Duration,
 }
 
 impl std::fmt::Debug for WallReport {
@@ -103,6 +221,8 @@ impl std::fmt::Debug for WallReport {
             .field("steps", &self.steps)
             .field("hops", &self.hops)
             .field("pes", &self.stores.len())
+            .field("faults", &self.faults)
+            .field("watchdog", &self.watchdog)
             .finish_non_exhaustive()
     }
 }
@@ -134,9 +254,24 @@ impl ThreadExecutor {
         self
     }
 
+    /// The configured no-progress watchdog.
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
     /// Run the cluster to completion on real threads.
+    ///
+    /// Under a fault plan, an unrecoverable crash returns
+    /// [`RunError::PeCrashed`] (checkpointing disabled) or
+    /// [`RunError::RecoveryFailed`] (lost state cannot be restored) —
+    /// never a hang.
     pub fn run(&self, cluster: Cluster) -> Result<WallReport, RunError> {
-        let (stores, injections, initial_events) = cluster.into_parts();
+        let ClusterParts {
+            mut stores,
+            injections,
+            initial_events,
+            fault_plan,
+        } = cluster.into_parts();
         let pes = stores.len();
         if injections.is_empty() {
             return Ok(WallReport {
@@ -144,13 +279,30 @@ impl ThreadExecutor {
                 stores,
                 steps: 0,
                 hops: 0,
+                faults: FaultStats::default(),
+                watchdog: self.watchdog,
             });
         }
+
+        let recovery = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+            let initial = stores.clone();
+            for s in &mut stores {
+                s.enable_tracking();
+            }
+            Mutex::new(Recovery {
+                tracker: FaultTracker::new(plan, pes),
+                ckpt: CheckpointTable::new(),
+                journals: (0..pes).map(|_| WriteJournal::new()).collect(),
+                initial,
+                epochs: vec![0; pes],
+                stats: FaultStats::default(),
+            })
+        });
 
         let mut senders = Vec::with_capacity(pes);
         let mut receivers: Vec<Receiver<DaemonMsg>> = Vec::with_capacity(pes);
         for _ in 0..pes {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -160,19 +312,30 @@ impl ThreadExecutor {
             progress: AtomicU64::new(0),
             steps: AtomicU64::new(0),
             hops: AtomicU64::new(0),
+            next_id: AtomicU64::new(injections.len() as u64),
             events: Mutex::new(HashMap::new()),
             failure: Mutex::new(None),
+            recovery,
         };
 
         {
-            let mut ev = shared.events.lock();
+            let mut ev = shared.events.lock().unwrap();
             for key in initial_events {
                 ev.entry(key).or_default().count += 1;
             }
         }
-        // Queue the time-zero injections before any daemon starts.
-        for (pe, msgr) in injections {
-            let _ = shared.chans[pe].send(DaemonMsg::Agent(msgr));
+        // Queue the time-zero injections before any daemon starts; each
+        // is a delivery point, so checkpoint it.
+        for (i, (pe, msgr)) in injections.into_iter().enumerate() {
+            let id = i as u64;
+            if let Some(rec) = &shared.recovery {
+                rec.lock().unwrap().ckpt.register(id, pe, msgr.as_ref());
+            }
+            let _ = shared.chans[pe].send(DaemonMsg::Agent {
+                id,
+                epoch: 0,
+                msgr,
+            });
         }
 
         let start = Instant::now();
@@ -186,7 +349,21 @@ impl ThreadExecutor {
                 .zip(receivers)
                 .enumerate()
                 .map(|(pe, (store, rx))| {
-                    s.spawn(move || daemon(pe, pes, store, rx, shared))
+                    s.spawn(move || {
+                        // Report a messenger panic through the failure
+                        // slot immediately, so the main loop stops at its
+                        // next tick instead of waiting out the watchdog.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || daemon(pe, pes, store, rx, shared),
+                        ));
+                        match run {
+                            Ok(store) => store,
+                            Err(p) => {
+                                shared.fail(RunError::WorkerPanic(panic_text(&*p)));
+                                std::panic::resume_unwind(p);
+                            }
+                        }
+                    })
                 })
                 .collect();
 
@@ -198,7 +375,7 @@ impl ThreadExecutor {
                 if shared.live.load(Ordering::SeqCst) == 0 {
                     break;
                 }
-                if shared.failure.lock().is_some() {
+                if shared.failure.lock().unwrap().is_some() {
                     break;
                 }
                 std::thread::sleep(tick);
@@ -220,14 +397,7 @@ impl ThreadExecutor {
             for (pe, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(store) => joined_stores[pe] = Some(store),
-                    Err(p) => {
-                        let msg = p
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| p.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".to_string());
-                        panic_msg = Some(msg);
-                    }
+                    Err(p) => panic_msg = Some(panic_text(&*p)),
                 }
             }
         });
@@ -236,9 +406,14 @@ impl ThreadExecutor {
         if let Some(msg) = panic_msg {
             return Err(RunError::WorkerPanic(msg));
         }
-        if let Some(err) = shared.failure.lock().take() {
+        if let Some(err) = shared.failure.lock().unwrap().take() {
             return Err(err);
         }
+        let faults = shared
+            .recovery
+            .as_ref()
+            .map(|r| r.lock().unwrap().stats)
+            .unwrap_or_default();
         Ok(WallReport {
             wall,
             stores: joined_stores
@@ -247,8 +422,81 @@ impl ThreadExecutor {
                 .collect(),
             steps: shared.steps.load(Ordering::Relaxed),
             hops: shared.hops.load(Ordering::Relaxed),
+            faults,
+            watchdog: self.watchdog,
         })
     }
+}
+
+/// Human-readable payload of a caught panic.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string())
+}
+
+/// Crash check at a run boundary. Returns `true` when the daemon may run
+/// the messenger it holds; `false` when the PE just crashed (the held
+/// messenger's checkpoint has been re-delivered — drop the stale copy)
+/// or the run is failing.
+fn survive_run_boundary(
+    shared: &Shared,
+    pe: NodeId,
+    store: &mut NodeStore,
+    local: &mut VecDeque<(u64, Box<dyn Messenger>)>,
+) -> bool {
+    let Some(rec) = &shared.recovery else {
+        return true;
+    };
+    let redeliver = {
+        let mut r = rec.lock().unwrap();
+        let Some(run) = r.tracker.on_run(pe) else {
+            return true;
+        };
+        if !r.tracker.plan().checkpointing {
+            drop(r);
+            shared.fail(RunError::PeCrashed { pe, run });
+            return false;
+        }
+        r.stats.crashes += 1;
+        // Daemon restart: new epoch (stale in-flight deliveries will be
+        // discarded), fresh store from the journal, empty local queue.
+        r.epochs[pe] += 1;
+        let epoch = r.epochs[pe];
+        let mut rebuilt = r.initial[pe].clone();
+        r.stats.replayed_writes += r.journals[pe].replay_into(&mut rebuilt);
+        rebuilt.enable_tracking();
+        *store = rebuilt;
+        local.clear();
+        // Re-deliver everything lost with the PE from its checkpoints.
+        let mut to_send = Vec::new();
+        let mut lost: Option<String> = None;
+        for (id, label, snap) in r.ckpt.drain_pe(pe) {
+            match snap {
+                Some(snap) => {
+                    r.ckpt.register(id, pe, snap.as_ref());
+                    r.stats.redelivered += 1;
+                    to_send.push((id, epoch, snap));
+                }
+                None => lost = Some(label),
+            }
+        }
+        if let Some(label) = lost {
+            drop(r);
+            shared.fail(RunError::RecoveryFailed {
+                pe,
+                reason: format!("messenger {label} does not support snapshots"),
+            });
+            return false;
+        }
+        to_send
+    };
+    for (id, epoch, msgr) in redeliver {
+        let _ = shared.chans[pe].send(DaemonMsg::Agent { id, epoch, msgr });
+    }
+    shared.progress.fetch_add(1, Ordering::Relaxed);
+    false
 }
 
 /// The daemon loop of one PE. Owns the PE's node-variable store for the
@@ -262,32 +510,52 @@ fn daemon(
 ) -> NodeStore {
     // Locally injected messengers run before we poll the channel again —
     // MESSENGERS' local scheduling queue.
-    let mut local: VecDeque<Box<dyn Messenger>> = VecDeque::new();
+    let mut local: VecDeque<(u64, Box<dyn Messenger>)> = VecDeque::new();
     let mut out = StepOutputs::default();
     loop {
-        let msgr = if let Some(m) = local.pop_front() {
+        let (id, msgr) = if let Some(m) = local.pop_front() {
             m
         } else {
             match rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(DaemonMsg::Agent(m)) => m,
+                Ok(DaemonMsg::Agent { id, epoch, msgr }) => {
+                    if let Some(rec) = &shared.recovery {
+                        if rec.lock().unwrap().epochs[pe] != epoch {
+                            // Sent before a crash of this PE; the crash
+                            // re-delivered it from its checkpoint.
+                            continue;
+                        }
+                    }
+                    (id, msgr)
+                }
                 Ok(DaemonMsg::Shutdown) => break,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         };
-        run_messenger(pe, pes, msgr, &mut store, &mut local, &mut out, shared);
+        if !survive_run_boundary(shared, pe, &mut store, &mut local) {
+            continue;
+        }
+        run_messenger(pe, pes, id, msgr, &mut store, &mut local, &mut out, shared);
+        // Run boundary: commit this run's store writes to the journal.
+        // Same-thread sequencing makes the commit atomic w.r.t. crashes
+        // of this PE (they only fire at run boundaries, above).
+        if let Some(rec) = &shared.recovery {
+            rec.lock().unwrap().journals[pe].commit_dirty(&mut store);
+        }
     }
     store
 }
 
 /// Step one messenger until it leaves this PE (hop), parks (wait), or
 /// finishes.
+#[allow(clippy::too_many_arguments)]
 fn run_messenger(
     pe: NodeId,
     pes: usize,
+    id: u64,
     mut msgr: Box<dyn Messenger>,
     store: &mut NodeStore,
-    local: &mut VecDeque<Box<dyn Messenger>>,
+    local: &mut VecDeque<(u64, Box<dyn Messenger>)>,
     out: &mut StepOutputs,
     shared: &Shared,
 ) {
@@ -301,10 +569,22 @@ fn run_messenger(
         shared.progress.fetch_add(1, Ordering::Relaxed);
 
         for inj in out.injections.drain(..) {
+            let inj_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            // Local injection is a delivery point on this PE.
+            if let Some(rec) = &shared.recovery {
+                rec.lock().unwrap().ckpt.register(inj_id, pe, inj.as_ref());
+            }
             shared.live.fetch_add(1, Ordering::SeqCst);
-            local.push_back(inj);
+            local.push_back((inj_id, inj));
         }
         for key in out.signals.drain(..) {
+            if let Some(rec) = &shared.recovery {
+                let mut r = rec.lock().unwrap();
+                if r.tracker.on_signal(pe) {
+                    r.stats.signals_lost += 1;
+                    continue;
+                }
+            }
             shared.signal(key);
         }
 
@@ -320,21 +600,30 @@ fn run_messenger(
                     return;
                 }
                 shared.hops.fetch_add(1, Ordering::Relaxed);
-                let _ = shared.chans[dst].send(DaemonMsg::Agent(msgr));
+                shared.send_agent(dst, id, msgr, true);
                 return;
             }
             Effect::WaitEvent(key) => {
-                let mut ev = shared.events.lock();
+                let mut ev = shared.events.lock().unwrap();
                 let st = ev.entry(key).or_default();
                 if st.count > 0 {
                     st.count -= 1;
                     drop(ev);
                     continue;
                 }
-                st.waiters.push_back((msgr, pe));
+                st.waiters.push_back((id, msgr, pe));
+                drop(ev);
+                // Parked state lives in the event service, which
+                // survives daemon restarts: drop the checkpoint.
+                if let Some(rec) = &shared.recovery {
+                    rec.lock().unwrap().ckpt.remove(id);
+                }
                 return;
             }
             Effect::Done => {
+                if let Some(rec) = &shared.recovery {
+                    rec.lock().unwrap().ckpt.remove(id);
+                }
                 if shared.live.fetch_sub(1, Ordering::SeqCst) == 1 {
                     shared.shutdown_all();
                 }
@@ -348,6 +637,7 @@ fn run_messenger(
 mod tests {
     use super::*;
     use navp_sim::key::Key;
+    use crate::fault::FaultPlan;
     use crate::script::Script;
 
     #[test]
@@ -368,6 +658,7 @@ mod tests {
         assert_eq!(rep.stores[2].get::<f64>(Key::plain("C")), Some(&22.0));
         assert_eq!(rep.hops, 1);
         assert!(rep.steps >= 2);
+        assert!(!rep.faults.any());
     }
 
     #[test]
@@ -479,5 +770,157 @@ mod tests {
         let rep = ThreadExecutor::new().run(c).unwrap();
         // 16 hop-steps per agent; some are local (free) but all counted as steps.
         assert_eq!(rep.steps, 32 * 17);
+    }
+
+    /// A checkpointable messenger that ping-pongs between PEs, bumping a
+    /// per-PE visit counter on each arrival.
+    #[derive(Clone)]
+    struct PingPong {
+        hops_left: usize,
+    }
+    impl Messenger for PingPong {
+        fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+            let k = Key::plain("count");
+            let cur = ctx.store_ref().get::<u64>(k).copied().unwrap_or(0);
+            ctx.store().insert(k, cur + 1, 8);
+            if self.hops_left == 0 {
+                return Effect::Done;
+            }
+            self.hops_left -= 1;
+            Effect::Hop((ctx.here() + 1) % ctx.num_nodes())
+        }
+        fn label(&self) -> String {
+            "pingpong".to_string()
+        }
+        fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    fn counts(rep: &WallReport) -> (u64, u64) {
+        let k = Key::plain("count");
+        (
+            rep.stores[0].get::<u64>(k).copied().unwrap_or(0),
+            rep.stores[1].get::<u64>(k).copied().unwrap_or(0),
+        )
+    }
+
+    #[test]
+    fn crash_recovery_preserves_results() {
+        let build = || {
+            let mut c = Cluster::new(2).unwrap();
+            c.inject(0, PingPong { hops_left: 6 });
+            c
+        };
+        let clean = ThreadExecutor::new().run(build()).unwrap();
+        assert_eq!(counts(&clean), (4, 3));
+
+        let faulted = build().with_fault_plan(FaultPlan::new().crash_pe(1, 2));
+        let rep = ThreadExecutor::new().run(faulted).unwrap();
+        assert_eq!(counts(&rep), counts(&clean), "recovery must be exact");
+        assert_eq!(rep.faults.crashes, 1);
+        assert_eq!(rep.faults.redelivered, 1);
+        assert!(rep.faults.replayed_writes >= 1);
+    }
+
+    #[test]
+    fn crash_without_checkpointing_is_structured_not_a_hang() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, PingPong { hops_left: 6 });
+        c.set_fault_plan(FaultPlan::new().crash_pe(1, 1).without_checkpointing());
+        // Generous watchdog: the crash error must preempt it.
+        let err = ThreadExecutor::new()
+            .with_watchdog(Duration::from_secs(30))
+            .run(c)
+            .unwrap_err();
+        assert!(matches!(err, RunError::PeCrashed { pe: 1, run: 1 }));
+    }
+
+    #[test]
+    fn dropped_and_delayed_hops_still_deliver() {
+        let build = || {
+            let mut c = Cluster::new(2).unwrap();
+            c.inject(0, PingPong { hops_left: 6 });
+            c
+        };
+        let clean = ThreadExecutor::new().run(build()).unwrap();
+        let plan = FaultPlan::new()
+            .drop_hop(1, 1)
+            .delay_hop(0, 2, 0.01)
+            .with_retry(3, Duration::from_millis(1));
+        let rep = ThreadExecutor::new()
+            .run(build().with_fault_plan(plan))
+            .unwrap();
+        assert_eq!(counts(&rep), counts(&clean));
+        assert_eq!(rep.faults.hops_dropped, 1);
+        assert_eq!(rep.faults.send_retries, 1);
+        assert_eq!(rep.faults.hops_delayed, 1);
+    }
+
+    #[test]
+    fn drop_exhaustion_fails_structurally() {
+        let mut plan = FaultPlan::new().with_retry(2, Duration::from_millis(1));
+        for nth in 1..=3 {
+            plan = plan.drop_hop(1, nth);
+        }
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, PingPong { hops_left: 6 });
+        c.set_fault_plan(plan);
+        assert!(matches!(
+            ThreadExecutor::new().run(c).unwrap_err(),
+            RunError::RecoveryFailed { pe: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn lost_signal_hits_watchdog_with_stats_path() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(
+            0,
+            Script::new("producer").then(|ctx| {
+                ctx.signal(Key::plain("go"));
+                Effect::Done
+            }),
+        );
+        c.inject(
+            0,
+            Script::new("consumer")
+                .then(|_| Effect::WaitEvent(Key::plain("go")))
+                .then(|_| Effect::Done),
+        );
+        c.set_fault_plan(FaultPlan::new().lose_signal(0, 1));
+        let err = ThreadExecutor::new()
+            .with_watchdog(Duration::from_millis(200))
+            .run(c)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Stalled { .. }));
+    }
+
+    #[test]
+    fn crash_of_snapshotless_messenger_is_recovery_failure() {
+        // Scripts carry closures and cannot snapshot: a crash that loses
+        // one must surface as RecoveryFailed, not silently corrupt.
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(
+            0,
+            Script::new("fragile")
+                .then(|_| Effect::Hop(1))
+                .then(|_| Effect::Hop(0))
+                .then(|_| Effect::Done),
+        );
+        c.set_fault_plan(FaultPlan::new().crash_pe(1, 1));
+        assert!(matches!(
+            ThreadExecutor::new().run(c).unwrap_err(),
+            RunError::RecoveryFailed { pe: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn watchdog_is_surfaced_in_report() {
+        let mut c = Cluster::new(1).unwrap();
+        c.inject(0, Script::new("quick").then(|_| Effect::Done));
+        let wd = Duration::from_millis(1234);
+        let rep = ThreadExecutor::new().with_watchdog(wd).run(c).unwrap();
+        assert_eq!(rep.watchdog, wd);
     }
 }

@@ -187,13 +187,13 @@ mod tests {
     /// travels with the carrier) and deposits the total wherever the
     /// walk ends.
     fn summing_itinerary(tag: usize) -> Itinerary {
-        let acc = std::sync::Arc::new(parking_lot::Mutex::new((0.0f64, 0usize)));
+        let acc = std::sync::Arc::new(std::sync::Mutex::new((0.0f64, 0usize)));
         let mut it = Itinerary::new(format!("sum{tag}"));
         for pe in 0..3 {
             let acc = acc.clone();
             it = it.then_at(pe, move |ctx| {
                 let x = *ctx.store().get::<f64>(Key::plain("x")).expect("placed");
-                let mut a = acc.lock();
+                let mut a = acc.lock().unwrap();
                 a.0 += x;
                 a.1 += 1;
                 if a.1 == 3 {

@@ -84,18 +84,18 @@ fn itinerary_carriers_agree_across_executors() {
         for pe in 0..3 {
             cl.store_mut(pe).insert(Key::plain("v"), (pe * pe) as f64, 8);
         }
-        let acc = Arc::new(parking_lot::Mutex::new(0.0f64));
+        let acc = Arc::new(std::sync::Mutex::new(0.0f64));
         let mut it = Itinerary::new("walker");
         for pe in [2, 0, 1] {
             let acc = acc.clone();
             it = it.then_at(pe, move |ctx| {
                 let v = *ctx.store().get::<f64>(Key::plain("v")).expect("placed");
-                *acc.lock() += v;
+                *acc.lock().unwrap() += v;
             });
         }
         let acc2 = acc.clone();
         let it = it.then_at(1, move |ctx| {
-            let total = *acc2.lock();
+            let total = *acc2.lock().unwrap();
             ctx.store().insert(Key::plain("total"), total, 8);
         });
         cl.inject(2, it.into_messenger());

@@ -4,14 +4,32 @@
 //! inputs, letting integration tests compare results across paradigms.
 
 use crate::dense::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+
+/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Every stream
+/// is fully determined by its seed, which is all these generators need.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-1, 1)` using the top 53 bits.
+    fn next_unit(&mut self) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        2.0 * u - 1.0
+    }
+}
 
 /// A square matrix of order `n` with entries uniform in `[-1, 1)`,
 /// reproducible from `seed`.
 pub fn seeded_matrix(n: usize, seed: u64) -> Matrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+    let mut rng = SplitMix64(seed);
+    Matrix::from_fn(n, n, |_, _| rng.next_unit())
 }
 
 /// A well-conditioned structured matrix: `m[i][j] = sin(i+1) * cos(j+1) + δ_ij`.

@@ -1,50 +1,81 @@
-//! Property-based tests for the matrix substrate.
+//! Property-style tests for the matrix substrate, run as deterministic
+//! sweeps over seeded case sets (no external property-testing crate).
 
 use navp_matrix::{gen, BlockData, BlockedMatrix, Dist1D, Grid2D, Matrix};
-use proptest::prelude::*;
 
-fn small_matrix() -> impl Strategy<Value = Matrix> {
-    (1usize..=8, 1usize..=8, any::<u64>()).prop_map(|(r, c, seed)| {
-        let sq = gen::seeded_matrix(r.max(c), seed);
-        sq.submatrix(0, 0, r, c)
-    })
+/// SplitMix64 — deterministic case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
 }
 
-proptest! {
-    #[test]
-    fn multiply_matches_naive(a in small_matrix(), seed in any::<u64>()) {
+fn small_matrix(rng: &mut Rng) -> Matrix {
+    let r = rng.in_range(1, 8);
+    let c = rng.in_range(1, 8);
+    let sq = gen::seeded_matrix(r.max(c), rng.next_u64());
+    sq.submatrix(0, 0, r, c)
+}
+
+#[test]
+fn multiply_matches_naive() {
+    let mut rng = Rng(0xA11CE);
+    for _ in 0..32 {
+        let a = small_matrix(&mut rng);
         let k = a.cols();
-        let b = gen::seeded_matrix(k.max(5), seed).submatrix(0, 0, k, 5);
+        let b = gen::seeded_matrix(k.max(5), rng.next_u64()).submatrix(0, 0, k, 5);
         let fast = a.multiply(&b).unwrap();
         let slow = a.multiply_naive(&b).unwrap();
-        prop_assert!(fast.max_abs_diff(&slow) < 1e-10);
+        assert!(fast.max_abs_diff(&slow) < 1e-10);
     }
+}
 
-    #[test]
-    fn transpose_of_product((n, sa, sb) in (1usize..=8, any::<u64>(), any::<u64>())) {
-        // (AB)^T = B^T A^T
-        let a = gen::seeded_matrix(n, sa);
-        let b = gen::seeded_matrix(n, sb);
+#[test]
+fn transpose_of_product() {
+    // (AB)^T = B^T A^T
+    let mut rng = Rng(0xB0B);
+    for _ in 0..32 {
+        let n = rng.in_range(1, 8);
+        let a = gen::seeded_matrix(n, rng.next_u64());
+        let b = gen::seeded_matrix(n, rng.next_u64());
         let lhs = a.multiply(&b).unwrap().transpose();
         let rhs = b.transpose().multiply(&a.transpose()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-9);
     }
+}
 
-    #[test]
-    fn block_roundtrip((nb, ab, seed) in (1usize..=6, 1usize..=5, any::<u64>())) {
+#[test]
+fn block_roundtrip() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..32 {
+        let nb = rng.in_range(1, 6);
+        let ab = rng.in_range(1, 5);
         let n = nb * ab;
-        let m = gen::seeded_matrix(n, seed);
+        let m = gen::seeded_matrix(n, rng.next_u64());
         let bm = BlockedMatrix::from_matrix(&m, ab).unwrap();
-        prop_assert_eq!(bm.nb(), nb);
-        prop_assert_eq!(bm.to_matrix().unwrap(), m);
+        assert_eq!(bm.nb(), nb);
+        assert_eq!(bm.to_matrix().unwrap(), m);
     }
+}
 
-    #[test]
-    fn blocked_product_independent_of_block_order(
-        (n, sa, sb) in (1usize..=12, any::<u64>(), any::<u64>())
-    ) {
-        let a = gen::seeded_matrix(n, sa);
-        let b = gen::seeded_matrix(n, sb);
+#[test]
+fn blocked_product_independent_of_block_order() {
+    let mut rng = Rng(0xD00D);
+    for _ in 0..8 {
+        let n = rng.in_range(1, 12);
+        let a = gen::seeded_matrix(n, rng.next_u64());
+        let b = gen::seeded_matrix(n, rng.next_u64());
         let reference = a.multiply(&b).unwrap();
         for ab in 1..=n {
             if n % ab != 0 {
@@ -53,60 +84,81 @@ proptest! {
             let pa = BlockedMatrix::from_matrix(&a, ab).unwrap();
             let pb = BlockedMatrix::from_matrix(&b, ab).unwrap();
             let got = pa.multiply_blocked(&pb).unwrap().to_matrix().unwrap();
-            prop_assert!(reference.max_abs_diff(&got) < 1e-9, "block order {}", ab);
+            assert!(reference.max_abs_diff(&got) < 1e-9, "block order {}", ab);
         }
     }
+}
 
-    #[test]
-    fn take_block_preserves_shape((nb, ab) in (1usize..=4, 1usize..=4)) {
-        let n = nb * ab;
-        let mut bm = BlockedMatrix::zeros(n, ab).unwrap();
-        let blk = bm.take_block(nb - 1, 0);
-        prop_assert_eq!(blk.shape(), (ab, ab));
-        prop_assert!(bm.block(nb - 1, 0).is_phantom());
-        prop_assert_eq!(bm.block(nb - 1, 0).shape(), (ab, ab));
+#[test]
+fn take_block_preserves_shape() {
+    for nb in 1..=4usize {
+        for ab in 1..=4usize {
+            let n = nb * ab;
+            let mut bm = BlockedMatrix::zeros(n, ab).unwrap();
+            let blk = bm.take_block(nb - 1, 0);
+            assert_eq!(blk.shape(), (ab, ab));
+            assert!(bm.block(nb - 1, 0).is_phantom());
+            assert_eq!(bm.block(nb - 1, 0).shape(), (ab, ab));
+        }
     }
+}
 
-    #[test]
-    fn phantom_and_real_costs_agree((r, c) in (1usize..=64, 1usize..=64)) {
+#[test]
+fn phantom_and_real_costs_agree() {
+    let mut rng = Rng(0xFACADE);
+    for _ in 0..32 {
+        let r = rng.in_range(1, 64);
+        let c = rng.in_range(1, 64);
         let real = BlockData::zeros(r, c);
         let phantom = BlockData::phantom(r, c);
-        prop_assert_eq!(real.bytes(), phantom.bytes());
-        prop_assert_eq!(
+        assert_eq!(real.bytes(), phantom.bytes());
+        assert_eq!(
             BlockData::gemm_cost(&real, &real.clone()),
             BlockData::gemm_cost(&phantom, &phantom.clone())
         );
     }
+}
 
-    #[test]
-    fn dist1d_is_a_partition((per, pes) in (1usize..=6, 1usize..=6)) {
-        let nb = per * pes;
-        let d = Dist1D::new(nb, pes).unwrap();
-        let mut count = vec![0usize; nb];
-        for p in 0..pes {
-            for b in d.blocks_of(p) {
-                count[b] += 1;
-                prop_assert_eq!(d.pe_of(b), p);
+#[test]
+fn dist1d_is_a_partition() {
+    for per in 1..=6usize {
+        for pes in 1..=6usize {
+            let nb = per * pes;
+            let d = Dist1D::new(nb, pes).unwrap();
+            let mut count = vec![0usize; nb];
+            for p in 0..pes {
+                for b in d.blocks_of(p) {
+                    count[b] += 1;
+                    assert_eq!(d.pe_of(b), p);
+                }
+            }
+            assert!(count.iter().all(|&c| c == 1));
+        }
+    }
+}
+
+#[test]
+fn grid_roundtrip() {
+    for r in 1..=9usize {
+        for c in 1..=9usize {
+            let g = Grid2D::new(r, c).unwrap();
+            for node in 0..g.len() {
+                let (v, h) = g.coords(node);
+                assert_eq!(g.node(v, h), node);
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
     }
+}
 
-    #[test]
-    fn grid_roundtrip((r, c) in (1usize..=9, 1usize..=9)) {
-        let g = Grid2D::new(r, c).unwrap();
-        for node in 0..g.len() {
-            let (v, h) = g.coords(node);
-            prop_assert_eq!(g.node(v, h), node);
-        }
-    }
-
-    #[test]
-    fn frobenius_triangle_inequality((n, sa, sb) in (1usize..=8, any::<u64>(), any::<u64>())) {
-        let a = gen::seeded_matrix(n, sa);
-        let b = gen::seeded_matrix(n, sb);
+#[test]
+fn frobenius_triangle_inequality() {
+    let mut rng = Rng(0xF00D);
+    for _ in 0..32 {
+        let n = rng.in_range(1, 8);
+        let a = gen::seeded_matrix(n, rng.next_u64());
+        let b = gen::seeded_matrix(n, rng.next_u64());
         let mut sum = a.clone();
         sum.add_assign(&b).unwrap();
-        prop_assert!(sum.frobenius() <= a.frobenius() + b.frobenius() + 1e-9);
+        assert!(sum.frobenius() <= a.frobenius() + b.frobenius() + 1e-9);
     }
 }

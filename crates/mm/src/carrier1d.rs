@@ -18,6 +18,7 @@ use navp_matrix::BlockData;
 /// * `pipe1d` (Fig. 7) uses `start_col = 0` and home PE 0;
 /// * `phase1d` (Fig. 9) uses `start_col = (nb-1-mi) % nb` — the paper's
 ///   `hop(node((N-1-mi+mj) % N))` — and home `pe_of(mi)`.
+#[derive(Clone)]
 pub struct RowCarrier {
     cfg: MmConfig,
     topo: Topo1D,
@@ -112,10 +113,15 @@ impl Messenger for RowCarrier {
     fn label(&self) -> String {
         format!("RowCarrier({})", self.mi)
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// The single thread of 1-D DSC (Fig. 5): computes *every* block row,
 /// returning to PE 0 between rows to pick up the next one.
+#[derive(Clone)]
 pub struct DscCarrier {
     inner: Option<RowCarrier>,
     cfg: MmConfig,
@@ -168,6 +174,10 @@ impl Messenger for DscCarrier {
 
     fn label(&self) -> String {
         "DSC".to_string()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -48,6 +48,7 @@ enum Phase {
 
 /// Consumer of one `A` block: accumulates `C(mi, c) += mA · B(mk, c)` at
 /// every slot of row `mi`, in walk order `(shift + mj) mod nb`.
+#[derive(Clone)]
 pub struct ACarrier {
     cfg: MmConfig,
     topo: Topo2D,
@@ -142,10 +143,15 @@ impl Messenger for ACarrier {
     fn label(&self) -> String {
         format!("ACarrier({},{})", self.mi, self.mk)
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Producer of one `B` block: deposits `B(mk, mj)` into the slots of
 /// column `mj` in walk order `(shift + step) mod nb`, gated by `EC`.
+#[derive(Clone)]
 pub struct BCarrier {
     cfg: MmConfig,
     topo: Topo2D,
@@ -226,6 +232,10 @@ impl Messenger for BCarrier {
 
     fn label(&self) -> String {
         format!("BCarrier({},{})", self.mk, self.mj)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -1,6 +1,7 @@
 //! Problem configuration shared by every implementation.
 
 use navp_matrix::{BlockedMatrix, Matrix, MatrixError};
+use std::time::Duration;
 
 /// What the blocks contain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +28,10 @@ pub struct MmConfig {
     pub ab: usize,
     /// Real or phantom payloads.
     pub payload: Payload,
+    /// No-progress watchdog for thread-executor runs. `None` defers to
+    /// the `NAVP_WATCHDOG_MS` environment variable, falling back to the
+    /// executor's built-in default.
+    pub watchdog: Option<Duration>,
 }
 
 impl MmConfig {
@@ -39,6 +44,7 @@ impl MmConfig {
                 seed_a: 0xA11CE,
                 seed_b: 0xB0B,
             },
+            watchdog: None,
         }
     }
 
@@ -48,7 +54,14 @@ impl MmConfig {
             n,
             ab,
             payload: Payload::Phantom,
+            watchdog: None,
         }
+    }
+
+    /// Builder-style watchdog override for thread-executor runs.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> MmConfig {
+        self.watchdog = Some(watchdog);
+        self
     }
 
     /// Blocks per side (`n / ab`).

@@ -8,8 +8,8 @@
 //! same entries at the same time").
 //!
 //! This module is that school made concrete: Figure 3's nested `doall`
-//! over the entries of `C`, realized with rayon's work-stealing pool on
-//! this machine's real shared memory. It serves two purposes:
+//! over the entries of `C`, realized with scoped OS threads on this
+//! machine's real shared memory. It serves two purposes:
 //!
 //! * a *correctness oracle* at a second granularity (every block
 //!   algorithm is also checked against it in tests), and
@@ -18,11 +18,19 @@
 //!   memory is *not* shared, which the virtual-cluster stages cover.
 
 use navp_matrix::{Matrix, MatrixError};
-use rayon::prelude::*;
+
+/// How many worker threads a `doall` uses: one per core, capped so tiny
+/// problems do not drown in spawn overhead.
+fn pool_size(tasks: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(tasks).max(1)
+}
 
 /// Figure 3, lifted to block rows: `doall` over the rows of `C`, each
-/// task computing one full row with the shared kernel. Returns the
-/// product computed on rayon's global pool.
+/// task computing one full row with the shared kernel. Rows are dealt
+/// out to scoped threads in contiguous chunks.
 pub fn doall_multiply(a: &Matrix, b: &Matrix) -> Result<Matrix, MatrixError> {
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
@@ -34,21 +42,30 @@ pub fn doall_multiply(a: &Matrix, b: &Matrix) -> Result<Matrix, MatrixError> {
         });
     }
     let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+    let workers = pool_size(m);
+    let rows_per = m.div_ceil(workers);
     // Each C row is written by exactly one task; A and B are shared
-    // read-only — rayon guarantees the data-race freedom the paper's
-    // doall assumes.
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            let a_row = a.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                let b_row = b.row(k);
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
+    // read-only — chunked ownership gives the data-race freedom the
+    // paper's doall assumes.
+    std::thread::scope(|s| {
+        for (chunk_idx, c_rows) in c.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+            let i0 = chunk_idx * rows_per;
+            s.spawn(move || {
+                for (off, c_row) in c_rows.chunks_mut(n).enumerate() {
+                    let a_row = a.row(i0 + off);
+                    for (k, &aik) in a_row.iter().enumerate() {
+                        let b_row = b.row(k);
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += aik * bv;
+                        }
+                    }
                 }
-            }
-        });
+            });
+        }
+    });
     Ok(c)
 }
 
@@ -65,17 +82,28 @@ pub fn doall_multiply_entrywise(a: &Matrix, b: &Matrix) -> Result<Matrix, Matrix
             rhs: b.shape(),
         });
     }
-    let entries: Vec<f64> = (0..m * n)
-        .into_par_iter()
-        .map(|idx| {
-            let (i, j) = (idx / n, idx % n);
-            let mut t = 0.0;
-            for k in 0..ka {
-                t += a.row(i)[k] * b.as_slice()[k * n + j];
+    let total = m * n;
+    let mut entries = vec![0.0f64; total];
+    if total > 0 {
+        let workers = pool_size(total);
+        let per = total.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (chunk_idx, chunk) in entries.chunks_mut(per).enumerate() {
+                let base = chunk_idx * per;
+                s.spawn(move || {
+                    for (off, e) in chunk.iter_mut().enumerate() {
+                        let idx = base + off;
+                        let (i, j) = (idx / n, idx % n);
+                        let mut t = 0.0;
+                        for k in 0..ka {
+                            t += a.row(i)[k] * b.as_slice()[k * n + j];
+                        }
+                        *e = t;
+                    }
+                });
             }
-            t
-        })
-        .collect();
+        });
+    }
     Matrix::from_vec(m, n, entries)
 }
 

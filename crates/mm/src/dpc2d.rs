@@ -54,9 +54,9 @@ pub fn cluster(
     for bi in 0..nb {
         for bj in 0..nb {
             let home = topo.node_of_block(bi, bj);
-            insert_block(cl.store_mut(home), a_key(bi, bj), a.block(bi, bj).clone());
-            insert_block(cl.store_mut(home), b_key(bi, bj), b.block(bi, bj).clone());
-            insert_block(cl.store_mut(home), c_key(bi, bj), new_c_block(cfg.payload, cfg.ab));
+            insert_block(cl.try_store_mut(home)?, a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(home)?, b_key(bi, bj), b.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(home)?, c_key(bi, bj), new_c_block(cfg.payload, cfg.ab));
         }
     }
     // Fig. 15: do mj { hop(node(0, mj)); inject(spawner(mj)) } — one
@@ -76,7 +76,7 @@ pub fn cluster(
             .collect();
         let spawner = Launcher::new("Fig15-spawner", stops);
         let entry = spawner.first_pe();
-        cl.inject(entry, spawner);
+        cl.try_inject(entry, spawner)?;
     }
     Ok(cl)
 }

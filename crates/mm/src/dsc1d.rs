@@ -26,13 +26,13 @@ pub fn cluster(
     let nb = cfg.nb();
     for bi in 0..nb {
         for bj in 0..nb {
-            insert_block(cl.store_mut(0), a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(0)?, a_key(bi, bj), a.block(bi, bj).clone());
             let owner = topo.pe_of_col(bj);
-            insert_block(cl.store_mut(owner), b_key(bi, bj), b.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(owner)?, b_key(bi, bj), b.block(bi, bj).clone());
         }
     }
     // Fig. 5 line (1)-(2): hop(node(0)); inject(RowCarrier).
-    cl.inject(0, DscCarrier::new(*cfg, *topo, 0));
+    cl.try_inject(0, DscCarrier::new(*cfg, *topo, 0))?;
     Ok(cl)
 }
 

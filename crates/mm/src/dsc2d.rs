@@ -40,6 +40,7 @@ pub fn b_home(topo: &Topo2D, cfg: &MmConfig, mj: usize) -> usize {
 
 /// The consumer: carries `mA(*) = A(mi, *)` across grid row
 /// `row_of(mi)`, visiting grid columns `(P-1-gi+l) mod P`.
+#[derive(Clone)]
 pub struct RowCarrier2D {
     cfg: MmConfig,
     topo: Topo2D,
@@ -145,11 +146,16 @@ impl Messenger for RowCarrier2D {
     fn label(&self) -> String {
         format!("RowCarrier2D({})", self.mi)
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// The producer: carries `mB(*) = B(*, mj)` down grid column
 /// `col_of(mj)`, visiting grid rows `(P-1-gj+l) mod P` and depositing a
 /// copy of the column at each stop (Fig. 11's `B(*) = mB(*)`).
+#[derive(Clone)]
 pub struct ColCarrier {
     cfg: MmConfig,
     topo: Topo2D,
@@ -223,6 +229,10 @@ impl Messenger for ColCarrier {
     fn label(&self) -> String {
         format!("ColCarrier({})", self.mj)
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Data placement of Fig. 10 plus the launcher of Fig. 11 (one stop per
@@ -240,14 +250,14 @@ pub fn cluster(
         let ah = a_home(topo, cfg, mi);
         let bh = b_home(topo, cfg, l);
         for k in 0..nb {
-            insert_block(cl.store_mut(ah), a_key(mi, k), a.block(mi, k).clone());
-            insert_block(cl.store_mut(bh), b_key(k, l), b.block(k, l).clone());
+            insert_block(cl.try_store_mut(ah)?, a_key(mi, k), a.block(mi, k).clone());
+            insert_block(cl.try_store_mut(bh)?, b_key(k, l), b.block(k, l).clone());
         }
     }
     for bi in 0..nb {
         for bj in 0..nb {
             insert_block(
-                cl.store_mut(topo.node_of_block(bi, bj)),
+                cl.try_store_mut(topo.node_of_block(bi, bj))?,
                 c_key(bi, bj),
                 new_c_block(cfg.payload, cfg.ab),
             );
@@ -278,7 +288,7 @@ pub fn cluster(
     }));
     let launcher = Launcher::new("Fig11-launcher", stops);
     let entry = launcher.first_pe();
-    cl.inject(entry, launcher);
+    cl.try_inject(entry, launcher)?;
     Ok(cl)
 }
 

@@ -80,6 +80,30 @@ impl Messenger for Launcher {
     fn label(&self) -> String {
         self.name.to_string()
     }
+
+    /// A launcher checkpoints by snapshotting every messenger still
+    /// queued at its remaining stops (already-visited stops were drained,
+    /// so they contribute nothing). If any payload messenger cannot
+    /// snapshot, neither can the launcher.
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        let mut stops = Vec::with_capacity(self.stops.len());
+        for stop in &self.stops {
+            let mut inject = Vec::with_capacity(stop.inject.len());
+            for m in &stop.inject {
+                inject.push(m.snapshot()?);
+            }
+            stops.push(Stop {
+                pe: stop.pe,
+                inject,
+                signal: stop.signal.clone(),
+            });
+        }
+        Some(Box::new(Launcher {
+            name: self.name,
+            stops,
+            idx: self.idx,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 //!   staggering for the ablation.
 //! * [`summa`] — a SUMMA-style pdgemm standing in for ScaLAPACK (the
 //!   paper's third column; see DESIGN.md for the substitution argument).
-//! * [`doall`] — the shared-memory `doall` of Figure 3 (rayon), the
+//! * [`doall`] — the shared-memory `doall` of Figure 3 (std threads), the
 //!   Section 6 comparison point and a second correctness oracle.
 //!
 //! All implementations work on *algorithmic blocks* (paper block orders

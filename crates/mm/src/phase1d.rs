@@ -44,9 +44,9 @@ pub fn cluster(
     for bi in 0..nb {
         let home = a_home(cfg, topo, bi);
         for bj in 0..nb {
-            insert_block(cl.store_mut(home), a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(home)?, a_key(bi, bj), a.block(bi, bj).clone());
             let owner = topo.pe_of_col(bj);
-            insert_block(cl.store_mut(owner), b_key(bi, bj), b.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(owner)?, b_key(bi, bj), b.block(bi, bj).clone());
         }
     }
     let stops: Vec<Stop> = (0..nb)
@@ -59,7 +59,7 @@ pub fn cluster(
         .collect();
     let launcher = Launcher::new("Fig9-launcher", stops);
     let entry = launcher.first_pe();
-    cl.inject(entry, launcher);
+    cl.try_inject(entry, launcher)?;
     Ok(cl)
 }
 

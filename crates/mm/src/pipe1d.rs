@@ -27,15 +27,15 @@ pub fn cluster(
     let nb = cfg.nb();
     for bi in 0..nb {
         for bj in 0..nb {
-            insert_block(cl.store_mut(0), a_key(bi, bj), a.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(0)?, a_key(bi, bj), a.block(bi, bj).clone());
             let owner = topo.pe_of_col(bj);
-            insert_block(cl.store_mut(owner), b_key(bi, bj), b.block(bi, bj).clone());
+            insert_block(cl.try_store_mut(owner)?, b_key(bi, bj), b.block(bi, bj).clone());
         }
     }
     let carriers: Vec<Box<dyn Messenger>> = (0..nb)
         .map(|mi| Box::new(RowCarrier::new(*cfg, *topo, mi, 0)) as Box<dyn Messenger>)
         .collect();
-    cl.inject(
+    cl.try_inject(
         0,
         Launcher::new(
             "Fig7-launcher",
@@ -45,7 +45,7 @@ pub fn cluster(
                 signal: Vec::new(),
             }],
         ),
-    );
+    )?;
     Ok(cl)
 }
 

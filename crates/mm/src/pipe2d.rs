@@ -49,12 +49,12 @@ pub fn cluster(
         let mi = nb - 1 - l;
         for k in 0..nb {
             insert_block(
-                cl.store_mut(a_home(topo, cfg, mi)),
+                cl.try_store_mut(a_home(topo, cfg, mi))?,
                 a_key(mi, k),
                 a.block(mi, k).clone(),
             );
             insert_block(
-                cl.store_mut(b_home(topo, cfg, l)),
+                cl.try_store_mut(b_home(topo, cfg, l))?,
                 b_key(k, l),
                 b.block(k, l).clone(),
             );
@@ -63,7 +63,7 @@ pub fn cluster(
     for bi in 0..nb {
         for bj in 0..nb {
             insert_block(
-                cl.store_mut(topo.node_of_block(bi, bj)),
+                cl.try_store_mut(topo.node_of_block(bi, bj))?,
                 c_key(bi, bj),
                 new_c_block(cfg.payload, cfg.ab),
             );
@@ -93,7 +93,7 @@ pub fn cluster(
         .collect();
     let launcher = Launcher::new("Fig13-spawners", stops);
     let entry = launcher.first_pe();
-    cl.inject(entry, launcher);
+    cl.try_inject(entry, launcher)?;
     Ok(cl)
 }
 

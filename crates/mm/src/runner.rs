@@ -8,7 +8,7 @@ use crate::config::{MmConfig, Payload};
 use crate::gentleman::GentlemanOpts;
 use crate::util::{collect_c, Topo1D, Topo2D};
 use crate::{dpc2d, dsc1d, dsc2d, gentleman, phase1d, pipe1d, pipe2d, seq, summa};
-use navp::{Cluster, SimExecutor, ThreadExecutor};
+use navp::{Cluster, FaultPlan, FaultStats, SimExecutor, ThreadExecutor};
 use navp_matrix::{Grid2D, Matrix};
 use navp_mp::{MpSimExecutor, MpThreadExecutor};
 use navp_sim::{CostModel, Trace};
@@ -142,6 +142,9 @@ pub struct RunOutput {
     pub bytes: u64,
     /// Full execution trace when requested.
     pub trace: Option<Trace>,
+    /// Fault-injection and recovery counters (NavP executors only;
+    /// zeroed stats when the run had no fault plan).
+    pub faults: Option<FaultStats>,
 }
 
 impl fmt::Debug for RunOutput {
@@ -152,6 +155,7 @@ impl fmt::Debug for RunOutput {
             .field("verified", &self.verified)
             .field("transfers", &self.transfers)
             .field("bytes", &self.bytes)
+            .field("faults", &self.faults)
             .finish_non_exhaustive()
     }
 }
@@ -208,6 +212,23 @@ fn navp_cluster(
     }
 }
 
+/// The thread executor a config asks for: an explicit
+/// `cfg.watchdog` wins, else the `NAVP_WATCHDOG_MS` environment
+/// variable, else the executor's built-in 10 s default.
+fn thread_executor(cfg: &MmConfig) -> ThreadExecutor {
+    let exec = ThreadExecutor::new();
+    if let Some(wd) = cfg.watchdog {
+        return exec.with_watchdog(wd);
+    }
+    if let Some(ms) = std::env::var("NAVP_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return exec.with_watchdog(Duration::from_millis(ms));
+    }
+    exec
+}
+
 /// Run the sequential baseline under the cost model (one virtual PE, so
 /// Table 2's paging behaviour is captured).
 pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, RunnerError> {
@@ -224,6 +245,7 @@ pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, Runner
         transfers: rep.hops,
         bytes: rep.hop_bytes,
         trace: None,
+        faults: Some(rep.faults),
     })
 }
 
@@ -235,7 +257,34 @@ pub fn run_navp_sim(
     cost: &CostModel,
     with_trace: bool,
 ) -> Result<RunOutput, RunnerError> {
-    let (cl, own) = navp_cluster(stage, cfg, grid)?;
+    run_navp_sim_inner(stage, cfg, grid, cost, with_trace, None)
+}
+
+/// As [`run_navp_sim`], with `plan`'s faults injected during the run.
+/// The returned [`RunOutput::faults`] reports what was injected and
+/// recovered.
+pub fn run_navp_sim_faulted(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+    plan: FaultPlan,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_sim_inner(stage, cfg, grid, cost, false, Some(plan))
+}
+
+fn run_navp_sim_inner(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+    with_trace: bool,
+    plan: Option<FaultPlan>,
+) -> Result<RunOutput, RunnerError> {
+    let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
+    if let Some(plan) = plan {
+        cl.set_fault_plan(plan);
+    }
     let mut exec = SimExecutor::new(*cost);
     if with_trace {
         exec = exec.with_trace();
@@ -251,6 +300,7 @@ pub fn run_navp_sim(
         transfers: rep.hops,
         bytes: rep.hop_bytes,
         trace: with_trace.then_some(rep.trace),
+        faults: Some(rep.faults),
     })
 }
 
@@ -260,7 +310,7 @@ pub fn run_navp_threads(
     cfg: &MmConfig,
     grid: Grid2D,
 ) -> Result<RunOutput, RunnerError> {
-    run_navp_threads_inner(stage, cfg, grid, true)
+    run_navp_threads_inner(stage, cfg, grid, true, None)
 }
 
 /// As [`run_navp_threads`] but without result verification — for
@@ -271,7 +321,19 @@ pub fn run_navp_threads_unverified(
     cfg: &MmConfig,
     grid: Grid2D,
 ) -> Result<RunOutput, RunnerError> {
-    run_navp_threads_inner(stage, cfg, grid, false)
+    run_navp_threads_inner(stage, cfg, grid, false, None)
+}
+
+/// As [`run_navp_threads`], with `plan`'s faults injected during the
+/// run. The returned [`RunOutput::faults`] reports what was injected
+/// and recovered.
+pub fn run_navp_threads_faulted(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    plan: FaultPlan,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_threads_inner(stage, cfg, grid, true, Some(plan))
 }
 
 fn run_navp_threads_inner(
@@ -279,9 +341,13 @@ fn run_navp_threads_inner(
     cfg: &MmConfig,
     grid: Grid2D,
     check: bool,
+    plan: Option<FaultPlan>,
 ) -> Result<RunOutput, RunnerError> {
-    let (cl, own) = navp_cluster(stage, cfg, grid)?;
-    let mut rep = ThreadExecutor::new().run(cl)?;
+    let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
+    if let Some(plan) = plan {
+        cl.set_fault_plan(plan);
+    }
+    let mut rep = thread_executor(cfg).run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = if check { verify(cfg, &c)? } else { None };
     Ok(RunOutput {
@@ -292,6 +358,7 @@ fn run_navp_threads_inner(
         transfers: rep.hops,
         bytes: 0,
         trace: None,
+        faults: Some(rep.faults),
     })
 }
 
@@ -322,6 +389,7 @@ pub fn run_mp_sim(
         transfers: rep.messages,
         bytes: rep.message_bytes,
         trace: None,
+        faults: None,
     })
 }
 
@@ -370,6 +438,7 @@ fn run_mp_threads_inner(
         transfers: 0,
         bytes: 0,
         trace: None,
+        faults: None,
     })
 }
 
@@ -424,6 +493,54 @@ mod tests {
         let out = run_seq_sim(&cfg, &CostModel::paper_cluster()).unwrap();
         assert_eq!(out.verified, Some(true));
         assert_eq!(out.transfers, 0);
+    }
+
+    #[test]
+    fn watchdog_resolution_order_is_config_env_default() {
+        // An explicit config wins unconditionally.
+        let explicit = MmConfig::real(8, 2).with_watchdog(Duration::from_millis(1234));
+        assert_eq!(
+            thread_executor(&explicit).watchdog(),
+            Duration::from_millis(1234)
+        );
+        // The env var fills in when the config is silent. (Runner tests
+        // are the only readers of this variable in this test binary, so
+        // the set/remove pair cannot race another test.)
+        std::env::set_var("NAVP_WATCHDOG_MS", "777");
+        let silent = MmConfig::real(8, 2);
+        assert_eq!(thread_executor(&silent).watchdog(), Duration::from_millis(777));
+        assert_eq!(
+            thread_executor(&explicit).watchdog(),
+            Duration::from_millis(1234),
+            "config still wins over env"
+        );
+        std::env::set_var("NAVP_WATCHDOG_MS", "not-a-number");
+        assert_eq!(
+            thread_executor(&silent).watchdog(),
+            ThreadExecutor::new().watchdog(),
+            "garbage env falls back to the executor default"
+        );
+        std::env::remove_var("NAVP_WATCHDOG_MS");
+        assert_eq!(thread_executor(&silent).watchdog(), ThreadExecutor::new().watchdog());
+    }
+
+    #[test]
+    fn faulted_runner_recovers_and_reports() {
+        let cfg = MmConfig::real(12, 2);
+        let grid = Grid2D::line(3).unwrap();
+        let plan = FaultPlan::new().crash_pe(1, 1);
+        let out = run_navp_sim_faulted(
+            NavpStage::Dsc1D,
+            &cfg,
+            grid,
+            &CostModel::paper_cluster(),
+            plan,
+        )
+        .unwrap();
+        assert_eq!(out.verified, Some(true));
+        let faults = out.faults.unwrap();
+        assert_eq!(faults.crashes, 1);
+        assert!(faults.redelivered >= 1);
     }
 
     #[test]

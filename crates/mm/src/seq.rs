@@ -16,6 +16,7 @@ use navp_matrix::{BlockData, BlockedMatrix};
 /// `for bi { for bj { C(bi,bj) = Σ_k A(bi,k)·B(k,bj) } }`.
 /// One step computes one C block (the paper's `t` accumulator at block
 /// granularity).
+#[derive(Clone)]
 pub struct SeqMultiplier {
     cfg: MmConfig,
     bi: usize,
@@ -66,6 +67,10 @@ impl Messenger for SeqMultiplier {
     fn label(&self) -> String {
         "Seq".to_string()
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Build the one-PE cluster: all of A, B resident on PE 0 and the
@@ -75,11 +80,11 @@ pub fn cluster(cfg: &MmConfig, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<C
     let nb = cfg.nb();
     for bi in 0..nb {
         for bk in 0..nb {
-            insert_block(cl.store_mut(0), a_key(bi, bk), a.block(bi, bk).clone());
-            insert_block(cl.store_mut(0), b_key(bi, bk), b.block(bi, bk).clone());
+            insert_block(cl.try_store_mut(0)?, a_key(bi, bk), a.block(bi, bk).clone());
+            insert_block(cl.try_store_mut(0)?, b_key(bi, bk), b.block(bi, bk).clone());
         }
     }
-    cl.inject(0, SeqMultiplier::new(*cfg));
+    cl.try_inject(0, SeqMultiplier::new(*cfg))?;
     Ok(cl)
 }
 

@@ -3,7 +3,7 @@
 use crate::data::MpData;
 use crate::error::MpError;
 use crate::process::{MpCharges, MpCluster, MpEffect, ProcCtx, Process, Tag};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use navp_sim::key::NodeId;
 use navp_sim::store::NodeStore;
 use std::collections::VecDeque;
@@ -65,7 +65,7 @@ impl MpThreadExecutor {
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(ranks);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }

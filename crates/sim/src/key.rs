@@ -13,7 +13,7 @@ pub type NodeId = usize;
 /// The paper indexes its variables and events with one or two subscripts
 /// (`B(k)`, `EP(i, j)`), so a key is a static name plus two integer
 /// coordinates. Unused coordinates default to zero.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key {
     /// Static name, e.g. `"B"` or `"EP"`.
     pub name: &'static str,

@@ -9,14 +9,59 @@
 //! Executors hand a messenger `&mut NodeStore` for the PE it currently
 //! occupies — and only for the duration of one step, so no reference can
 //! survive a hop.
+//!
+//! Values are [`StoreValue`]s — any `Clone + Send + 'static` type. The
+//! clone bound is what makes checkpoint/restart possible: a recovering
+//! executor rebuilds a crashed PE's store by replaying cloned snapshots
+//! of its writes (see `navp::recovery`). To feed that write journal the
+//! store can also run in *tracking* mode, recording which keys each run
+//! dirtied.
 
 use crate::key::VarKey;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// A value storable in a [`NodeStore`]: `Any` for typed access, `Send`
+/// to cross executor threads, and cloneable behind the trait object so
+/// checkpointing can snapshot entries without knowing their types.
+pub trait StoreValue: Any + Send {
+    /// Clone behind the trait object.
+    fn clone_value(&self) -> Box<dyn StoreValue>;
+    /// Upcast for `downcast_ref`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast for `downcast_mut`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Upcast an owned box for `downcast`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + Clone> StoreValue for T {
+    fn clone_value(&self) -> Box<dyn StoreValue> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
 
 struct Entry {
-    val: Box<dyn Any + Send>,
+    val: Box<dyn StoreValue>,
     bytes: u64,
+}
+
+impl Clone for Entry {
+    fn clone(&self) -> Entry {
+        Entry {
+            val: self.val.clone_value(),
+            bytes: self.bytes,
+        }
+    }
 }
 
 /// The node-variable store of one PE.
@@ -24,6 +69,20 @@ struct Entry {
 pub struct NodeStore {
     map: HashMap<VarKey, Entry>,
     bytes: u64,
+    /// `Some` when write tracking is on: keys touched by a mutating
+    /// access since the last [`NodeStore::drain_dirty`]. A `BTreeSet` so
+    /// the drained order is deterministic.
+    dirty: Option<BTreeSet<VarKey>>,
+}
+
+impl Clone for NodeStore {
+    fn clone(&self) -> NodeStore {
+        NodeStore {
+            map: self.map.clone(),
+            bytes: self.bytes,
+            dirty: self.dirty.clone(),
+        }
+    }
 }
 
 impl NodeStore {
@@ -32,30 +91,88 @@ impl NodeStore {
         NodeStore::default()
     }
 
+    fn mark_dirty(&mut self, key: VarKey) {
+        if let Some(d) = self.dirty.as_mut() {
+            d.insert(key);
+        }
+    }
+
+    /// Turn on write tracking (used by fault-tolerant executors to build
+    /// the per-PE write journal). Idempotent.
+    pub fn enable_tracking(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(BTreeSet::new());
+        }
+    }
+
+    /// Keys dirtied since the last drain, in deterministic (sorted)
+    /// order; empty when tracking is off. Clears the dirty set.
+    pub fn drain_dirty(&mut self) -> Vec<VarKey> {
+        match self.dirty.as_mut() {
+            Some(d) => std::mem::take(d).into_iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Insert (or replace) variable `key` with `val`, declaring the bytes
     /// it keeps resident on this PE. Returns the previous value's bytes
     /// if one was replaced.
-    pub fn insert<T: Any + Send>(&mut self, key: VarKey, val: T, bytes: u64) -> Option<u64> {
-        let old = self.map.insert(
-            key,
-            Entry {
-                val: Box::new(val),
-                bytes,
-            },
-        );
+    pub fn insert<T: Any + Send + Clone>(
+        &mut self,
+        key: VarKey,
+        val: T,
+        bytes: u64,
+    ) -> Option<u64> {
+        self.mark_dirty(key);
+        self.insert_boxed(key, Box::new(val), bytes)
+    }
+
+    /// Insert a pre-boxed value (journal replay; `insert` is the typed
+    /// front door).
+    pub fn insert_boxed(
+        &mut self,
+        key: VarKey,
+        val: Box<dyn StoreValue>,
+        bytes: u64,
+    ) -> Option<u64> {
+        self.mark_dirty(key);
+        let old = self.map.insert(key, Entry { val, bytes });
         let old_bytes = old.map(|e| e.bytes);
         self.bytes = self.bytes - old_bytes.unwrap_or(0) + bytes;
         old_bytes
     }
 
+    /// Clone the raw entry under `key` (checkpoint/journal machinery).
+    pub fn clone_entry(&self, key: VarKey) -> Option<(Box<dyn StoreValue>, u64)> {
+        self.map.get(&key).map(|e| (e.val.clone_value(), e.bytes))
+    }
+
+    /// Remove variable `key` regardless of type (journal replay of a
+    /// removal). Returns `true` when something was removed.
+    pub fn remove_key(&mut self, key: VarKey) -> bool {
+        self.mark_dirty(key);
+        match self.map.remove(&key) {
+            Some(e) => {
+                self.bytes -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Borrow variable `key` as `T`. `None` when absent or of another type.
     pub fn get<T: Any + Send>(&self, key: VarKey) -> Option<&T> {
-        self.map.get(&key).and_then(|e| e.val.downcast_ref())
+        self.map.get(&key).and_then(|e| e.val.as_any().downcast_ref())
     }
 
     /// Mutably borrow variable `key` as `T`.
     pub fn get_mut<T: Any + Send>(&mut self, key: VarKey) -> Option<&mut T> {
-        self.map.get_mut(&key).and_then(|e| e.val.downcast_mut())
+        if self.dirty.is_some() && self.map.contains_key(&key) {
+            self.mark_dirty(key);
+        }
+        self.map
+            .get_mut(&key)
+            .and_then(|e| e.val.as_any_mut().downcast_mut())
     }
 
     /// Remove variable `key` and take ownership of its value.
@@ -66,13 +183,20 @@ impl NodeStore {
         if !self
             .map
             .get(&key)
-            .is_some_and(|e| e.val.as_ref().is::<T>())
+            .is_some_and(|e| e.val.as_any().is::<T>())
         {
             return None;
         }
+        self.mark_dirty(key);
         let entry = self.map.remove(&key).expect("checked above");
         self.bytes -= entry.bytes;
-        Some(*entry.val.downcast::<T>().expect("checked above"))
+        Some(
+            *entry
+                .val
+                .into_any()
+                .downcast::<T>()
+                .expect("checked above"),
+        )
     }
 
     /// Mutably borrow two *distinct* variables at once — the shape needed
@@ -89,9 +213,20 @@ impl NodeStore {
         if ka == kb {
             return None;
         }
+        if self.dirty.is_some() {
+            if self.map.contains_key(&ka) {
+                self.mark_dirty(ka);
+            }
+            if self.map.contains_key(&kb) {
+                self.mark_dirty(kb);
+            }
+        }
         let [ea, eb] = self.map.get_disjoint_mut([&ka, &kb]);
         match (ea, eb) {
-            (Some(a), Some(b)) => Some((a.val.downcast_mut()?, b.val.downcast_mut()?)),
+            (Some(a), Some(b)) => Some((
+                a.val.as_any_mut().downcast_mut()?,
+                b.val.as_any_mut().downcast_mut()?,
+            )),
             _ => None,
         }
     }
@@ -193,5 +328,38 @@ mod tests {
     fn absent_key_is_none() {
         let s = NodeStore::new();
         assert!(s.get::<u8>(Key::plain("nope")).is_none());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("v"), vec![1.0f64], 8);
+        let mut t = s.clone();
+        t.get_mut::<Vec<f64>>(Key::plain("v")).unwrap()[0] = 9.0;
+        assert_eq!(s.get::<Vec<f64>>(Key::plain("v")).unwrap()[0], 1.0);
+        assert_eq!(t.get::<Vec<f64>>(Key::plain("v")).unwrap()[0], 9.0);
+        assert_eq!(t.total_bytes(), s.total_bytes());
+    }
+
+    #[test]
+    fn tracking_records_mutations_in_sorted_order() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("untracked"), 0u8, 1);
+        s.enable_tracking();
+        assert!(s.drain_dirty().is_empty());
+        s.insert(Key::at("b", 2), 1u8, 1);
+        s.insert(Key::at("a", 1), 2u8, 1);
+        s.get_mut::<u8>(Key::at("b", 2));
+        let _: Option<u8> = s.take(Key::at("a", 1));
+        let dirty = s.drain_dirty();
+        assert_eq!(dirty, vec![Key::at("a", 1), Key::at("b", 2)]);
+        // Drained: the set restarts empty.
+        assert!(s.drain_dirty().is_empty());
+        // Reads are not mutations.
+        s.get::<u8>(Key::at("b", 2));
+        assert!(s.drain_dirty().is_empty());
+        // A failed get_mut on an absent key marks nothing.
+        s.get_mut::<u8>(Key::plain("absent"));
+        assert!(s.drain_dirty().is_empty());
     }
 }

@@ -28,7 +28,7 @@ const SCAN_SECONDS: f64 = 1.0;
 /// the scan ends. The per-query accumulator is an agent variable
 /// (travels with the carrier).
 fn query_itinerary(q: usize) -> Itinerary {
-    let acc = Arc::new(parking_lot::Mutex::new((0.0f64, 0usize)));
+    let acc = Arc::new(std::sync::Mutex::new((0.0f64, 0usize)));
     let mut it = Itinerary::new(format!("q{q}"));
     for pe in 0..PES {
         let acc = acc.clone();
@@ -38,7 +38,7 @@ fn query_itinerary(q: usize) -> Itinerary {
                 .store()
                 .get::<f64>(Key::plain("shard"))
                 .expect("shard placed");
-            let mut a = acc.lock();
+            let mut a = acc.lock().unwrap();
             a.0 += shard * (q as f64 + 1.0); // a query-specific aggregate
             a.1 += 1;
             if a.1 == PES {
@@ -87,14 +87,14 @@ fn main() {
     //    original). Modeled as all itineraries pinned to PE 0.
     let mut cl = cluster_with_shards();
     for q in 0..QUERIES {
-        let acc = Arc::new(parking_lot::Mutex::new(0.0f64));
+        let acc = Arc::new(std::sync::Mutex::new(0.0f64));
         let mut it = Itinerary::new(format!("q{q}"));
         for _ in 0..PES {
             let acc = acc.clone();
             it = it.then_at(0, move |ctx| {
                 ctx.charge_seconds(SCAN_SECONDS);
                 let shard = *ctx.store().get::<f64>(Key::plain("shard")).expect("shard");
-                *acc.lock() += shard;
+                *acc.lock().unwrap() += shard;
             });
         }
         let it = it.then_at(0, move |ctx| {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-195b922b33a0908c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-195b922b33a0908c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e951c74f71a6cc56.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e951c74f71a6cc56: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

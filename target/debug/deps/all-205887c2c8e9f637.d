@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-205887c2c8e9f637.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-205887c2c8e9f637: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-c460fa0e61f0c522.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-c460fa0e61f0c522: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-4d0bce50bdadbe1b.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-4d0bce50bdadbe1b: tests/correctness.rs
+
+tests/correctness.rs:

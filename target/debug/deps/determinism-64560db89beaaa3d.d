@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-64560db89beaaa3d.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-64560db89beaaa3d: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_parity-bfc087f748de8a8d.d: crates/core/tests/executor_parity.rs
+
+/root/repo/target/debug/deps/executor_parity-bfc087f748de8a8d: crates/core/tests/executor_parity.rs
+
+crates/core/tests/executor_parity.rs:

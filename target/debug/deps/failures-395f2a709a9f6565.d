@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-395f2a709a9f6565.d: tests/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-395f2a709a9f6565.rmeta: tests/failures.rs Cargo.toml
+
+tests/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-cbe9914a8403125d.d: tests/failures.rs
+
+/root/repo/target/debug/deps/failures-cbe9914a8403125d: tests/failures.rs
+
+tests/failures.rs:

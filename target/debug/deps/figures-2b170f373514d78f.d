@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2b170f373514d78f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2b170f373514d78f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

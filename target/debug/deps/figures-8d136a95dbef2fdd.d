@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-8d136a95dbef2fdd.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-8d136a95dbef2fdd: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

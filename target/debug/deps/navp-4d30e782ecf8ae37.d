@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/navp-4d30e782ecf8ae37.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp-4d30e782ecf8ae37.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/recovery.rs:
+crates/core/src/script.rs:
+crates/core/src/sim_exec.rs:
+crates/core/src/thread_exec.rs:
+crates/core/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

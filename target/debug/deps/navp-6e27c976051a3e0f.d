@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navp-6e27c976051a3e0f.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs
+
+/root/repo/target/debug/deps/navp-6e27c976051a3e0f: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/recovery.rs:
+crates/core/src/script.rs:
+crates/core/src/sim_exec.rs:
+crates/core/src/thread_exec.rs:
+crates/core/src/transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_bench-aa512f38ee1848c3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/navp_bench-aa512f38ee1848c3: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/layout.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/navp_bench-bcbf38bdc06cc0bc.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libnavp_bench-bcbf38bdc06cc0bc.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libnavp_bench-bcbf38bdc06cc0bc.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/layout.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/timing.rs:

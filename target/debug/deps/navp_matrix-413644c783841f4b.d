@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navp_matrix-413644c783841f4b.d: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+/root/repo/target/debug/deps/libnavp_matrix-413644c783841f4b.rlib: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+/root/repo/target/debug/deps/libnavp_matrix-413644c783841f4b.rmeta: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/block.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/dist.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/kernel.rs:
+crates/matrix/src/stagger.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navp_matrix-698e589497ca1219.d: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+/root/repo/target/debug/deps/navp_matrix-698e589497ca1219: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/block.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/dist.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/kernel.rs:
+crates/matrix/src/stagger.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navp_matrix-96ccfca6a857a153.d: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_matrix-96ccfca6a857a153.rmeta: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/block.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/dist.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/kernel.rs:
+crates/matrix/src/stagger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navp_mp-25660cee910da867.d: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_mp-25660cee910da867.rmeta: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs Cargo.toml
+
+crates/mp/src/lib.rs:
+crates/mp/src/data.rs:
+crates/mp/src/error.rs:
+crates/mp/src/process.rs:
+crates/mp/src/sim_exec.rs:
+crates/mp/src/thread_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/navp_mp-abc74f42667f4b9a.d: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+/root/repo/target/debug/deps/navp_mp-abc74f42667f4b9a: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+crates/mp/src/lib.rs:
+crates/mp/src/data.rs:
+crates/mp/src/error.rs:
+crates/mp/src/process.rs:
+crates/mp/src/sim_exec.rs:
+crates/mp/src/thread_exec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navp_mp-f1ceb6536d1c629e.d: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+/root/repo/target/debug/deps/libnavp_mp-f1ceb6536d1c629e.rlib: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+/root/repo/target/debug/deps/libnavp_mp-f1ceb6536d1c629e.rmeta: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+crates/mp/src/lib.rs:
+crates/mp/src/data.rs:
+crates/mp/src/error.rs:
+crates/mp/src/process.rs:
+crates/mp/src/sim_exec.rs:
+crates/mp/src/thread_exec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/navp_repro-5d593002e97535d9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnavp_repro-5d593002e97535d9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnavp_repro-5d593002e97535d9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_repro-5da12591bc53058e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_repro-5da12591bc53058e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_repro-e0229835143a2048.d: src/lib.rs
+
+/root/repo/target/debug/deps/navp_repro-e0229835143a2048: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/navp_sim-76529fc15b0cd6bc.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_sim-76529fc15b0cd6bc.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/key.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/store.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/navp_sim-c806ef0c8c97d495.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/navp_sim-c806ef0c8c97d495: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/key.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/store.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

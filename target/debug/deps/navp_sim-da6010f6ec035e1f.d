@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/navp_sim-da6010f6ec035e1f.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libnavp_sim-da6010f6ec035e1f.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libnavp_sim-da6010f6ec035e1f.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/key.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/store.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

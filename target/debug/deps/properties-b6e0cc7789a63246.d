@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6e0cc7789a63246.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6e0cc7789a63246: tests/properties.rs
+
+tests/properties.rs:

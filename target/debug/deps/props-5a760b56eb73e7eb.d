@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5a760b56eb73e7eb.d: crates/matrix/tests/props.rs
+
+/root/repo/target/debug/deps/props-5a760b56eb73e7eb: crates/matrix/tests/props.rs
+
+crates/matrix/tests/props.rs:

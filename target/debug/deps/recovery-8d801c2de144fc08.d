@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-8d801c2de144fc08.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-8d801c2de144fc08: tests/recovery.rs
+
+tests/recovery.rs:

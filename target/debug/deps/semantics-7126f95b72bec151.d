@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-7126f95b72bec151.d: crates/mp/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-7126f95b72bec151: crates/mp/tests/semantics.rs
+
+crates/mp/tests/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape-d0a9d11ae47eb794.d: tests/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape-d0a9d11ae47eb794.rmeta: tests/shape.rs Cargo.toml
+
+tests/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

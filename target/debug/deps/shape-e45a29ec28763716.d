@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape-e45a29ec28763716.d: tests/shape.rs
+
+/root/repo/target/debug/deps/shape-e45a29ec28763716: tests/shape.rs
+
+tests/shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1a872bb59b15c3ec.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1a872bb59b15c3ec: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

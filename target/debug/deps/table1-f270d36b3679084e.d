@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f270d36b3679084e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f270d36b3679084e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a2f8f8671d443f8a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a2f8f8671d443f8a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e438f5b02b89b5f4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e438f5b02b89b5f4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7dc549715d9403ee.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7dc549715d9403ee: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

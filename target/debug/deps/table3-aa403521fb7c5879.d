@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-aa403521fb7c5879.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-aa403521fb7c5879: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-614267992e3b9dfa.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-614267992e3b9dfa: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-9b3f4ff2669d2d57.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-9b3f4ff2669d2d57: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-2a52dd90e642e5f6.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-2a52dd90e642e5f6: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_journey-008f85a8f6f49978.d: examples/incremental_journey.rs
+
+/root/repo/target/debug/examples/incremental_journey-008f85a8f6f49978: examples/incremental_journey.rs
+
+examples/incremental_journey.rs:

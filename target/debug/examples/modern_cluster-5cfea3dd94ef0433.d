@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modern_cluster-5cfea3dd94ef0433.d: examples/modern_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodern_cluster-5cfea3dd94ef0433.rmeta: examples/modern_cluster.rs Cargo.toml
+
+examples/modern_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modern_cluster-a846ff7d1c75a2f0.d: examples/modern_cluster.rs
+
+/root/repo/target/debug/examples/modern_cluster-a846ff7d1c75a2f0: examples/modern_cluster.rs
+
+examples/modern_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core-d4fef86c7d383953.d: examples/out_of_core.rs
+
+/root/repo/target/debug/examples/out_of_core-d4fef86c7d383953: examples/out_of_core.rs
+
+examples/out_of_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-683d728c15fc1d50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-683d728c15fc1d50: examples/quickstart.rs
+
+examples/quickstart.rs:

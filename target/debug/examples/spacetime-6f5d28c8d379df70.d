@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spacetime-6f5d28c8d379df70.d: examples/spacetime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspacetime-6f5d28c8d379df70.rmeta: examples/spacetime.rs Cargo.toml
+
+examples/spacetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

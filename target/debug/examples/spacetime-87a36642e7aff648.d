@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spacetime-87a36642e7aff648.d: examples/spacetime.rs
+
+/root/repo/target/debug/examples/spacetime-87a36642e7aff648: examples/spacetime.rs
+
+examples/spacetime.rs:

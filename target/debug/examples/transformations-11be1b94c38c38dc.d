@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transformations-11be1b94c38c38dc.d: examples/transformations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransformations-11be1b94c38c38dc.rmeta: examples/transformations.rs Cargo.toml
+
+examples/transformations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transformations-997e616ea6f18d93.d: examples/transformations.rs
+
+/root/repo/target/debug/examples/transformations-997e616ea6f18d93: examples/transformations.rs
+
+examples/transformations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-d0728c5db5d81571.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-d0728c5db5d81571: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5d345cff7b385130.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5d345cff7b385130: tests/determinism.rs
+
+tests/determinism.rs:

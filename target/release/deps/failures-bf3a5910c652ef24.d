@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failures-bf3a5910c652ef24.d: tests/failures.rs
+
+/root/repo/target/release/deps/failures-bf3a5910c652ef24: tests/failures.rs
+
+tests/failures.rs:

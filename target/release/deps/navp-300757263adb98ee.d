@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/navp-300757263adb98ee.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libnavp-300757263adb98ee.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libnavp-300757263adb98ee.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/cluster.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/recovery.rs crates/core/src/script.rs crates/core/src/sim_exec.rs crates/core/src/thread_exec.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/cluster.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/recovery.rs:
+crates/core/src/script.rs:
+crates/core/src/sim_exec.rs:
+crates/core/src/thread_exec.rs:
+crates/core/src/transform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/navp_matrix-5b3c3c582bfa3804.d: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+/root/repo/target/release/deps/libnavp_matrix-5b3c3c582bfa3804.rlib: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+/root/repo/target/release/deps/libnavp_matrix-5b3c3c582bfa3804.rmeta: crates/matrix/src/lib.rs crates/matrix/src/block.rs crates/matrix/src/dense.rs crates/matrix/src/dist.rs crates/matrix/src/error.rs crates/matrix/src/gen.rs crates/matrix/src/kernel.rs crates/matrix/src/stagger.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/block.rs:
+crates/matrix/src/dense.rs:
+crates/matrix/src/dist.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/gen.rs:
+crates/matrix/src/kernel.rs:
+crates/matrix/src/stagger.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/navp_mp-b77e1bdc32b763b2.d: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+/root/repo/target/release/deps/libnavp_mp-b77e1bdc32b763b2.rlib: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+/root/repo/target/release/deps/libnavp_mp-b77e1bdc32b763b2.rmeta: crates/mp/src/lib.rs crates/mp/src/data.rs crates/mp/src/error.rs crates/mp/src/process.rs crates/mp/src/sim_exec.rs crates/mp/src/thread_exec.rs
+
+crates/mp/src/lib.rs:
+crates/mp/src/data.rs:
+crates/mp/src/error.rs:
+crates/mp/src/process.rs:
+crates/mp/src/sim_exec.rs:
+crates/mp/src/thread_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navp_repro-a77b055f1ba23e30.d: src/lib.rs
+
+/root/repo/target/release/deps/navp_repro-a77b055f1ba23e30: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/navp_repro-ab4f18d98d5b6e14.d: src/lib.rs
+
+/root/repo/target/release/deps/libnavp_repro-ab4f18d98d5b6e14.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnavp_repro-ab4f18d98d5b6e14.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/navp_sim-2e6289147c0ce3f8.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libnavp_sim-2e6289147c0ce3f8.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libnavp_sim-2e6289147c0ce3f8.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/key.rs crates/sim/src/memory.rs crates/sim/src/pe.rs crates/sim/src/queue.rs crates/sim/src/store.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/key.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/pe.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/store.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-bc7cfba5f8ec9263.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-bc7cfba5f8ec9263: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shape-9cb1df5ea5c9765e.d: tests/shape.rs
+
+/root/repo/target/release/deps/shape-9cb1df5ea5c9765e: tests/shape.rs
+
+tests/shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-884599a663e73bbb.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-884599a663e73bbb: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

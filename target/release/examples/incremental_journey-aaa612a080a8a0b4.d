@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_journey-aaa612a080a8a0b4.d: examples/incremental_journey.rs
+
+/root/repo/target/release/examples/incremental_journey-aaa612a080a8a0b4: examples/incremental_journey.rs
+
+examples/incremental_journey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/modern_cluster-05d27c92fa33b7ed.d: examples/modern_cluster.rs
+
+/root/repo/target/release/examples/modern_cluster-05d27c92fa33b7ed: examples/modern_cluster.rs
+
+examples/modern_cluster.rs:

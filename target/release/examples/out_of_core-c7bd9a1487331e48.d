@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/out_of_core-c7bd9a1487331e48.d: examples/out_of_core.rs
+
+/root/repo/target/release/examples/out_of_core-c7bd9a1487331e48: examples/out_of_core.rs
+
+examples/out_of_core.rs:

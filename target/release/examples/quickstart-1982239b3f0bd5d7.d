@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1982239b3f0bd5d7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1982239b3f0bd5d7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spacetime-9d7b0bbfc019cdc9.d: examples/spacetime.rs
+
+/root/repo/target/release/examples/spacetime-9d7b0bbfc019cdc9: examples/spacetime.rs
+
+examples/spacetime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transformations-0226d98f80c89234.d: examples/transformations.rs
+
+/root/repo/target/release/examples/transformations-0226d98f80c89234: examples/transformations.rs
+
+examples/transformations.rs:

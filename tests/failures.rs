@@ -2,9 +2,11 @@
 //! informatively, on both executors, rather than hang or corrupt.
 
 use navp_repro::navp::script::Script;
-use navp_repro::navp::{Cluster, Effect, Key, RunError, SimExecutor, ThreadExecutor};
+use navp_repro::navp::{Cluster, Effect, FaultPlan, Key, RunError, SimExecutor, ThreadExecutor};
 use navp_repro::navp_mm::config::MmConfig;
-use navp_repro::navp_mm::runner::{run_navp_sim, NavpStage, RunnerError};
+use navp_repro::navp_mm::runner::{
+    run_navp_sim, run_navp_threads_faulted, NavpStage, RunnerError,
+};
 use navp_repro::navp_mp::{MpCluster, MpEffect, MpError, MpSimExecutor, Process, RankScript};
 use navp_repro::navp_sim::CostModel;
 use std::time::Duration;
@@ -118,6 +120,46 @@ fn mp_cross_rank_deadlock_is_diagnosed() {
         }
         other => panic!("expected deadlock, got ok={}", other.is_ok()),
     }
+}
+
+/// The watchdog's `Stalled` diagnosis reaches through the whole stack:
+/// a lost event signal injected into a real paper stage leaves some
+/// carrier parked forever, and the stage-level runner — with the
+/// watchdog configured through [`MmConfig`] — reports the stall rather
+/// than hanging.
+#[test]
+fn lost_signal_in_stage_is_reported_as_stall() {
+    let cfg = MmConfig::real(12, 2).with_watchdog(Duration::from_millis(400));
+    let grid = navp_repro::navp_matrix::Grid2D::new(2, 2).expect("grid");
+    let plan = FaultPlan::new().lose_signal(0, 1);
+    match run_navp_threads_faulted(NavpStage::Pipe2D, &cfg, grid, plan) {
+        Err(RunnerError::Navp(RunError::Stalled { live })) => {
+            assert!(live > 0, "a carrier must still be parked");
+        }
+        other => panic!("expected Stalled, got ok={}", other.is_ok()),
+    }
+}
+
+/// WorkerPanic must also surface through a faulted stage run: a crash of
+/// a messenger that cannot snapshot is a structured RecoveryFailed, and
+/// a panic inside a worker is a structured WorkerPanic — never a hang.
+#[test]
+fn worker_panic_preempts_generous_watchdog() {
+    let mut cl = Cluster::new(2).expect("cluster");
+    cl.inject(0, Script::new("ok").then(|_| Effect::Hop(1)));
+    cl.inject(1, Script::new("boom2").then(|_| panic!("late failure")));
+    let start = std::time::Instant::now();
+    match ThreadExecutor::new()
+        .with_watchdog(Duration::from_secs(30))
+        .run(cl)
+    {
+        Err(RunError::WorkerPanic(msg)) => assert!(msg.contains("late failure")),
+        other => panic!("expected worker panic, got ok={}", other.is_ok()),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "panic must preempt the watchdog, not wait for it"
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
-//! Property-based tests (proptest) over the whole stack: random legal
-//! problem shapes must always verify; staggering algebra must always
-//! align; the runtime's counting events must never lose a token.
+//! Property-style tests over the whole stack, run as deterministic
+//! sweeps (no external property-testing crate): random legal problem
+//! shapes must always verify; staggering algebra must always align; the
+//! runtime's counting events must never lose a token.
 
 use navp_repro::navp::script::Script;
 use navp_repro::navp::{Cluster, Effect, Key, SimExecutor};
@@ -9,37 +10,46 @@ use navp_repro::navp_mm::config::MmConfig;
 use navp_repro::navp_mm::gentleman::GentlemanOpts;
 use navp_repro::navp_mm::runner::{run_mp_sim, run_navp_sim, MpAlg, NavpStage};
 use navp_repro::navp_sim::CostModel;
-use proptest::prelude::*;
 
-/// Legal (nb, ab, p) with p | nb: matrix order n = nb * ab.
-fn mm_shape() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..=4, 1usize..=4, 1usize..=3)
-        .prop_map(|(per_pe, ab, p)| (per_pe * p, ab, p))
+/// Legal (nb, ab, p) with p | nb: matrix order n = nb * ab. A fixed
+/// case set covering the corner (all-ones) and mixed shapes.
+fn mm_shapes() -> Vec<(usize, usize, usize)> {
+    let mut shapes = Vec::new();
+    for per_pe in 1..=4usize {
+        for ab in [1usize, 3, 4] {
+            for p in 1..=3usize {
+                shapes.push((per_pe * p, ab, p));
+            }
+        }
+    }
+    shapes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn any_legal_shape_verifies_on_dpc2d((nb, ab, p) in mm_shape()) {
+#[test]
+fn any_legal_shape_verifies_on_dpc2d() {
+    for (nb, ab, p) in mm_shapes().into_iter().take(12) {
         let cfg = MmConfig::real(nb * ab, ab);
         let grid = Grid2D::new(p, p).expect("grid");
         let out = run_navp_sim(NavpStage::Dpc2D, &cfg, grid, &CostModel::paper_cluster(), false)
             .expect("runs");
-        prop_assert_eq!(out.verified, Some(true));
+        assert_eq!(out.verified, Some(true), "shape ({nb},{ab},{p})");
     }
+}
 
-    #[test]
-    fn any_legal_shape_verifies_on_phase1d((nb, ab, p) in mm_shape()) {
+#[test]
+fn any_legal_shape_verifies_on_phase1d() {
+    for (nb, ab, p) in mm_shapes().into_iter().take(12) {
         let cfg = MmConfig::real(nb * ab, ab);
         let grid = Grid2D::line(p).expect("grid");
         let out = run_navp_sim(NavpStage::Phase1D, &cfg, grid, &CostModel::paper_cluster(), false)
             .expect("runs");
-        prop_assert_eq!(out.verified, Some(true));
+        assert_eq!(out.verified, Some(true), "shape ({nb},{ab},{p})");
     }
+}
 
-    #[test]
-    fn any_legal_shape_verifies_on_gentleman((nb, ab, p) in mm_shape()) {
+#[test]
+fn any_legal_shape_verifies_on_gentleman() {
+    for (nb, ab, p) in mm_shapes().into_iter().take(12) {
         let cfg = MmConfig::real(nb * ab, ab);
         let grid = Grid2D::new(p, p).expect("grid");
         let out = run_mp_sim(
@@ -49,43 +59,49 @@ proptest! {
             &CostModel::paper_cluster(),
         )
         .expect("runs");
-        prop_assert_eq!(out.verified, Some(true));
+        assert_eq!(out.verified, Some(true), "shape ({nb},{ab},{p})");
     }
+}
 
-    #[test]
-    fn staggering_alignment_holds_for_any_torus(p in 1usize..=12) {
-        // Forward and reverse staggering both put matching inner indices
-        // on every node (the invariant behind Gentleman and full DPC).
+#[test]
+fn staggering_alignment_holds_for_any_torus() {
+    // Forward and reverse staggering both put matching inner indices
+    // on every node (the invariant behind Gentleman and full DPC).
+    for p in 1..=12usize {
         for r in 0..p {
             for c in 0..p {
                 // The A block at node (r, c) after forward staggering is
                 // A(r, (c + r) % p); the B block is B((r + c) % p, c).
-                prop_assert_eq!(stagger::forward_a(r, (c + r) % p, p), (r, c));
-                prop_assert_eq!(stagger::forward_b((r + c) % p, c, p), (r, c));
+                assert_eq!(stagger::forward_a(r, (c + r) % p, p), (r, c));
+                assert_eq!(stagger::forward_b((r + c) % p, c, p), (r, c));
                 // Reverse staggering: A(r, k) with k = (p-1-r-c) % p.
                 let k = (2 * p - 1 - r - c) % p;
-                prop_assert_eq!(stagger::reverse_a(r, k, p), (r, c));
-                prop_assert_eq!(stagger::reverse_b(k, c, p), (r, c));
+                assert_eq!(stagger::reverse_a(r, k, p), (r, c));
+                assert_eq!(stagger::reverse_b(k, c, p), (r, c));
             }
         }
     }
+}
 
-    #[test]
-    fn stagger_phase_schedule_is_within_bounds(p in 2usize..=10) {
+#[test]
+fn stagger_phase_schedule_is_within_bounds() {
+    for p in 2..=10usize {
         for transfers in [
             stagger::forward_transfers(p).expect("transfers"),
             stagger::reverse_transfers(p).expect("transfers"),
         ] {
             let lower = stagger::phase_lower_bound(&transfers, p);
             let (_, phases) = stagger::schedule_phases(&transfers, p);
-            prop_assert!(phases >= lower);
+            assert!(phases >= lower);
             // Greedy one-port schedules never exceed 2*maxdeg - 1.
-            prop_assert!(phases <= 2 * lower.max(1));
+            assert!(phases <= 2 * lower.max(1));
         }
     }
+}
 
-    #[test]
-    fn counting_events_never_lose_tokens(producers in 1usize..=5, tokens in 1usize..=8) {
+#[test]
+fn counting_events_never_lose_tokens() {
+    for (producers, tokens) in [(1usize, 1usize), (1, 8), (5, 1), (3, 4), (5, 8)] {
         // `producers` messengers each signal `tokens` times; one consumer
         // waits for every token. The run must terminate (no lost wakeup).
         let mut cl = Cluster::new(1).expect("cluster");
@@ -108,25 +124,34 @@ proptest! {
                     Effect::Done
                 }),
         );
-        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).expect("no deadlock");
-        prop_assert_eq!(rep.stores[0].get::<bool>(Key::plain("done")), Some(&true));
+        let rep = SimExecutor::new(CostModel::paper_cluster())
+            .run(cl)
+            .expect("no deadlock");
+        assert_eq!(rep.stores[0].get::<bool>(Key::plain("done")), Some(&true));
     }
+}
 
-    #[test]
-    fn hop_sequences_terminate(seed in 0u64..1000, pes in 1usize..=5, agents in 1usize..=10) {
-        // Arbitrary hop itineraries must always run to completion.
-        let mut cl = Cluster::new(pes).expect("cluster");
-        for a in 0..agents {
-            let mut state = seed.wrapping_add(a as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            cl.inject(
-                a % pes,
-                Script::new("tourist").then_each(12, move |_, _| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    Effect::Hop((state >> 33) as usize % pes)
-                }),
-            );
+#[test]
+fn hop_sequences_terminate() {
+    // Arbitrary hop itineraries must always run to completion.
+    for seed in [0u64, 17, 411, 999] {
+        for pes in 1..=5usize {
+            let agents = 1 + (seed as usize + pes) % 10;
+            let mut cl = Cluster::new(pes).expect("cluster");
+            for a in 0..agents {
+                let mut state = seed.wrapping_add(a as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                cl.inject(
+                    a % pes,
+                    Script::new("tourist").then_each(12, move |_, _| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        Effect::Hop((state >> 33) as usize % pes)
+                    }),
+                );
+            }
+            let rep = SimExecutor::new(CostModel::paper_cluster())
+                .run(cl)
+                .expect("terminates");
+            assert_eq!(rep.steps, (agents * 13) as u64);
         }
-        let rep = SimExecutor::new(CostModel::paper_cluster()).run(cl).expect("terminates");
-        prop_assert_eq!(rep.steps, (agents * 13) as u64);
     }
 }
