@@ -1,0 +1,88 @@
+//! Networked-executor timing table: wall-clock of a 4-PE loopback TCP
+//! cluster (real OS processes, serialized hops) next to the in-process
+//! thread executor on the same stages and sizes.
+//!
+//! Run with `--release` after a workspace build (the table spawns the
+//! `navp-pe` daemon that `cargo build --release` puts next to this
+//! binary):
+//!
+//! ```text
+//! cargo build --release && cargo run --release --bin netloop
+//! ```
+//!
+//! The ratio column is the price of process isolation + TCP framing at
+//! each size; it shrinks as computation grows relative to the fixed
+//! per-hop serialization cost, which is the same story the paper tells
+//! about communication granularity.
+
+use navp_mm::runner::{run_navp_net, run_navp_threads_unverified, NavpStage, NetOpts};
+use navp_mm::MmConfig;
+use navp_matrix::Grid2D;
+use std::time::Duration;
+
+const SAMPLES: usize = 5;
+
+fn grid_for(stage: NavpStage) -> Grid2D {
+    if stage.is_1d() {
+        Grid2D::line(4).expect("grid")
+    } else {
+        Grid2D::new(2, 2).expect("grid")
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let opts = NetOpts::default();
+    println!("== navp-net vs threads, 4 PEs on 127.0.0.1, median of {SAMPLES} ==\n");
+    println!(
+        "{:<20} {:>5} {:>12} {:>12} {:>7} {:>8} {:>12}",
+        "stage", "N", "threads", "net", "ratio", "hops", "wire bytes"
+    );
+    for stage in [NavpStage::Dsc1D, NavpStage::Phase1D, NavpStage::Pipe2D] {
+        let grid = grid_for(stage);
+        for n in [32usize, 64, 96] {
+            // nb = 8 block rows: divisible by both the 4-PE line and
+            // the 2x2 mesh.
+            let cfg = MmConfig::real(n, n / 8).with_watchdog(Duration::from_secs(120));
+            let thr = median(
+                (0..SAMPLES)
+                    .map(|_| {
+                        run_navp_threads_unverified(stage, &cfg, grid)
+                            .expect("threads")
+                            .wall
+                            .expect("wall")
+                            .as_secs_f64()
+                    })
+                    .collect(),
+            );
+            let mut hops = 0u64;
+            let mut wire = 0u64;
+            let net = median(
+                (0..SAMPLES)
+                    .map(|_| {
+                        let out = run_navp_net(stage, &cfg, grid, &opts).expect("net");
+                        assert_eq!(out.verified, Some(true), "{} N={n}", stage.name());
+                        hops = out.transfers;
+                        wire = out.bytes;
+                        out.wall.expect("wall").as_secs_f64()
+                    })
+                    .collect(),
+            );
+            println!(
+                "{:<20} {:>5} {:>10.2}ms {:>10.2}ms {:>6.1}x {:>8} {:>12}",
+                stage.name(),
+                n,
+                thr * 1e3,
+                net * 1e3,
+                net / thr,
+                hops,
+                wire
+            );
+        }
+    }
+    println!("\nnet runs verified against the sequential product on every sample");
+}

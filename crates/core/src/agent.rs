@@ -54,6 +54,40 @@ pub trait Messenger: Send + 'static {
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         None
     }
+
+    /// Serialize this messenger's agent variables into a self-describing
+    /// byte snapshot so a networked executor can ship it across a process
+    /// boundary and reconstitute it on the receiving PE (the decode half
+    /// lives in a type-tag registry keyed by [`WireSnapshot::tag`]).
+    ///
+    /// The default returns `None`, meaning the messenger is memory-only:
+    /// a distributed executor refuses to run it
+    /// ([`RunError::NotSerializable`](crate::RunError)) rather than
+    /// silently dropping it at the first inter-process hop.
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        None
+    }
+}
+
+/// A serialized messenger: a registry type tag plus the encoded agent
+/// variables. Produced by [`Messenger::wire_snapshot`]; the receiving
+/// side looks `tag` up in its registry to find the decode function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Registry type tag, e.g. `"mm.RowCarrier"`.
+    pub tag: String,
+    /// Encoded agent variables (format is private to the type's codec).
+    pub bytes: Vec<u8>,
+}
+
+impl WireSnapshot {
+    /// Build a snapshot from a tag and encoded bytes.
+    pub fn new(tag: impl Into<String>, bytes: Vec<u8>) -> Self {
+        WireSnapshot {
+            tag: tag.into(),
+            bytes,
+        }
+    }
 }
 
 impl Messenger for Box<dyn Messenger> {
@@ -68,6 +102,9 @@ impl Messenger for Box<dyn Messenger> {
     }
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         (**self).snapshot()
+    }
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        (**self).wire_snapshot()
     }
 }
 

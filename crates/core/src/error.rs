@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors surfaced by the NavP executors.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// A cluster must have at least one PE.
     NoPes,
@@ -54,6 +54,28 @@ pub enum RunError {
         /// Cluster size.
         pes: usize,
     },
+    /// A PE process of a distributed executor died or closed its control
+    /// connection mid-run (the socket analogue of
+    /// [`RunError::PeCrashed`]).
+    PeerDisconnected {
+        /// The PE whose connection was lost.
+        pe: usize,
+        /// Human-readable cause (EOF, socket error, exit status…).
+        detail: String,
+    },
+    /// A messenger or store value cannot cross a process boundary: it has
+    /// no [`wire_snapshot`](crate::Messenger::wire_snapshot) or no
+    /// registered value codec.
+    NotSerializable {
+        /// Label of the offending messenger or store key.
+        agent: String,
+    },
+    /// A transport-level failure outside any single peer: spawning PE
+    /// processes, binding sockets, or a malformed frame on the wire.
+    Transport {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -88,6 +110,16 @@ impl fmt::Display for RunError {
             RunError::PeOutOfRange { pe, pes } => {
                 write!(f, "PE {pe} out of range, cluster has {pes}")
             }
+            RunError::PeerDisconnected { pe, detail } => {
+                write!(f, "PE {pe} disconnected mid-run: {detail}")
+            }
+            RunError::NotSerializable { agent } => {
+                write!(
+                    f,
+                    "{agent} cannot cross a process boundary (no wire snapshot / value codec)"
+                )
+            }
+            RunError::Transport { detail } => write!(f, "transport failure: {detail}"),
         }
     }
 }
@@ -126,5 +158,23 @@ mod tests {
         assert!(e.to_string().contains("no snapshot"));
         let e = RunError::PeOutOfRange { pe: 5, pes: 4 };
         assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn display_net_variants() {
+        let e = RunError::PeerDisconnected {
+            pe: 2,
+            detail: "unexpected EOF".into(),
+        };
+        assert!(e.to_string().contains("PE 2"));
+        assert!(e.to_string().contains("unexpected EOF"));
+        let e = RunError::NotSerializable {
+            agent: "PingPong".into(),
+        };
+        assert!(e.to_string().contains("PingPong"));
+        let e = RunError::Transport {
+            detail: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("connection refused"));
     }
 }

@@ -64,7 +64,7 @@ pub mod sim_exec;
 pub mod thread_exec;
 pub mod transform;
 
-pub use agent::{Effect, Messenger, MsgrCtx};
+pub use agent::{Effect, Messenger, MsgrCtx, StepOutputs, WireSnapshot};
 pub use cluster::Cluster;
 pub use error::RunError;
 pub use fault::{FaultPlan, FaultStats};

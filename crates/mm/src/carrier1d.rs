@@ -9,9 +9,11 @@
 //! inter-PE traffic.
 
 use crate::config::MmConfig;
+use crate::net;
 use crate::util::{a_key, b_key, c_key, gemm_flops, gemm_touched, insert_block, new_c_block, Topo1D};
-use navp::{Effect, Messenger, MsgrCtx, NodeId};
+use navp::{Effect, Messenger, MsgrCtx, NodeId, WireSnapshot};
 use navp_matrix::BlockData;
+use navp_net::codec::{DecodeError, WireReader, WireWriter};
 
 /// A carrier computing exactly one block row `mi` of `C`.
 ///
@@ -47,6 +49,28 @@ impl RowCarrier {
 
     fn col(&self, mj: usize) -> usize {
         (self.start_col + mj) % self.cfg.nb()
+    }
+
+    pub(crate) fn wire_put(&self, w: &mut WireWriter) {
+        net::put_cfg(w, &self.cfg);
+        net::put_topo1(w, &self.topo);
+        w.put_usize(self.mi);
+        w.put_usize(self.start_col);
+        w.put_usize(self.mj);
+        net::put_blocks(w, &self.m_a);
+        w.put_bool(self.picked);
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<RowCarrier, DecodeError> {
+        Ok(RowCarrier {
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo1(r)?,
+            mi: r.get_usize()?,
+            start_col: r.get_usize()?,
+            mj: r.get_usize()?,
+            m_a: net::get_blocks(r)?,
+            picked: r.get_bool()?,
+        })
     }
 
     /// Pick up `mA(*) = A(mi, *)` from the local store.
@@ -117,6 +141,12 @@ impl Messenger for RowCarrier {
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
     }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        self.wire_put(&mut w);
+        Some(WireSnapshot::new("mm.RowCarrier", w.into_vec()))
+    }
 }
 
 /// The single thread of 1-D DSC (Fig. 5): computes *every* block row,
@@ -140,6 +170,21 @@ impl DscCarrier {
             next_row: 0,
             home,
         }
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<DscCarrier, DecodeError> {
+        let inner = if r.get_bool()? {
+            Some(RowCarrier::wire_decode(r)?)
+        } else {
+            None
+        };
+        Ok(DscCarrier {
+            inner,
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo1(r)?,
+            next_row: r.get_usize()?,
+            home: r.get_usize()?,
+        })
     }
 }
 
@@ -178,6 +223,22 @@ impl Messenger for DscCarrier {
 
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        match &self.inner {
+            Some(row) => {
+                w.put_bool(true);
+                row.wire_put(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        net::put_cfg(&mut w, &self.cfg);
+        net::put_topo1(&mut w, &self.topo);
+        w.put_usize(self.next_row);
+        w.put_usize(self.home);
+        Some(WireSnapshot::new("mm.DSC", w.into_vec()))
     }
 }
 

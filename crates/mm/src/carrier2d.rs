@@ -23,12 +23,14 @@
 //!   in both dimensions, which is reverse staggering.
 
 use crate::config::MmConfig;
+use crate::net;
 use crate::util::{
     a_key, b_key, bslot_key, c_key, ec_key, ep_key, gemm_flops, gemm_touched, insert_block,
     Topo2D,
 };
-use navp::{Effect, Messenger, MsgrCtx};
+use navp::{Effect, Messenger, MsgrCtx, WireSnapshot};
 use navp_matrix::BlockData;
+use navp_net::codec::{DecodeError, WireReader, WireWriter};
 
 /// The value stored in a slot's `B` variable: the inner index it carries
 /// plus the block itself.
@@ -44,6 +46,25 @@ enum Phase {
     Pick,
     Wait,
     Act,
+}
+
+impl Phase {
+    fn wire_tag(self) -> u8 {
+        match self {
+            Phase::Pick => 0,
+            Phase::Wait => 1,
+            Phase::Act => 2,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Result<Phase, DecodeError> {
+        match tag {
+            0 => Ok(Phase::Pick),
+            1 => Ok(Phase::Wait),
+            2 => Ok(Phase::Act),
+            _ => Err(DecodeError::BadValue("carrier phase")),
+        }
+    }
 }
 
 /// Consumer of one `A` block: accumulates `C(mi, c) += mA · B(mk, c)` at
@@ -82,6 +103,19 @@ impl ACarrier {
 
     fn slot_pe(&self, mj: usize) -> usize {
         self.topo.node_of_block(self.mi, self.col(mj))
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<ACarrier, DecodeError> {
+        Ok(ACarrier {
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo2(r)?,
+            mi: r.get_usize()?,
+            mk: r.get_usize()?,
+            shift: r.get_usize()?,
+            mj: r.get_usize()?,
+            m_a: net::get_opt_block(r)?,
+            phase: Phase::from_wire(r.get_u8()?)?,
+        })
     }
 }
 
@@ -147,6 +181,19 @@ impl Messenger for ACarrier {
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
     }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        net::put_cfg(&mut w, &self.cfg);
+        net::put_topo2(&mut w, &self.topo);
+        w.put_usize(self.mi);
+        w.put_usize(self.mk);
+        w.put_usize(self.shift);
+        w.put_usize(self.mj);
+        net::put_opt_block(&mut w, &self.m_a);
+        w.put_u8(self.phase.wire_tag());
+        Some(WireSnapshot::new("mm.ACarrier", w.into_vec()))
+    }
 }
 
 /// Producer of one `B` block: deposits `B(mk, mj)` into the slots of
@@ -185,6 +232,19 @@ impl BCarrier {
 
     fn slot_pe(&self, step: usize) -> usize {
         self.topo.node_of_block(self.row(step), self.mj)
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<BCarrier, DecodeError> {
+        Ok(BCarrier {
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo2(r)?,
+            mk: r.get_usize()?,
+            mj: r.get_usize()?,
+            shift: r.get_usize()?,
+            step_i: r.get_usize()?,
+            m_b: net::get_opt_block(r)?,
+            phase: Phase::from_wire(r.get_u8()?)?,
+        })
     }
 }
 
@@ -236,6 +296,19 @@ impl Messenger for BCarrier {
 
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        net::put_cfg(&mut w, &self.cfg);
+        net::put_topo2(&mut w, &self.topo);
+        w.put_usize(self.mk);
+        w.put_usize(self.mj);
+        w.put_usize(self.shift);
+        w.put_usize(self.step_i);
+        net::put_opt_block(&mut w, &self.m_b);
+        w.put_u8(self.phase.wire_tag());
+        Some(WireSnapshot::new("mm.BCarrier", w.into_vec()))
     }
 }
 

@@ -19,12 +19,14 @@
 
 use crate::config::MmConfig;
 use crate::launch::{Launcher, Stop};
+use crate::net;
 use crate::util::{
     a_key, b_key, bdep_key, c_key, ep_col_key, gemm_flops, gemm_touched, insert_block,
     new_c_block, Topo2D,
 };
-use navp::{Cluster, Effect, Messenger, MsgrCtx, RunError};
+use navp::{Cluster, Effect, Messenger, MsgrCtx, RunError, WireSnapshot};
 use navp_matrix::{BlockData, BlockedMatrix, Grid2D, MatrixError};
+use navp_net::codec::{DecodeError, WireReader, WireWriter};
 
 /// Anti-diagonal home of block row `mi` of `A` (paper: `A(N-1-l, *)` on
 /// `node(N-1-l, l)`, so row `mi` sits where the grid column is
@@ -88,6 +90,23 @@ impl RowCarrier2D {
         let gc = (2 * p - 1 - gi + leg) % p;
         self.topo.dist.col.blocks_of(gc)
     }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<RowCarrier2D, DecodeError> {
+        Ok(RowCarrier2D {
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo2(r)?,
+            mi: r.get_usize()?,
+            m_a: net::get_blocks(r)?,
+            picked: r.get_bool()?,
+            leg: r.get_usize()?,
+            band_idx: r.get_usize()?,
+            awaiting: if r.get_bool()? {
+                Some(r.get_usize()?)
+            } else {
+                None
+            },
+        })
+    }
 }
 
 impl Messenger for RowCarrier2D {
@@ -150,6 +169,25 @@ impl Messenger for RowCarrier2D {
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
     }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        net::put_cfg(&mut w, &self.cfg);
+        net::put_topo2(&mut w, &self.topo);
+        w.put_usize(self.mi);
+        net::put_blocks(&mut w, &self.m_a);
+        w.put_bool(self.picked);
+        w.put_usize(self.leg);
+        w.put_usize(self.band_idx);
+        match self.awaiting {
+            Some(bj) => {
+                w.put_bool(true);
+                w.put_usize(bj);
+            }
+            None => w.put_bool(false),
+        }
+        Some(WireSnapshot::new("mm.RowCarrier2D", w.into_vec()))
+    }
 }
 
 /// The producer: carries `mB(*) = B(*, mj)` down grid column
@@ -187,6 +225,17 @@ impl ColCarrier {
         let gj = self.grid_col();
         let gr = (2 * p - 1 - gj + leg) % p;
         self.topo.grid.node(gr, gj)
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<ColCarrier, DecodeError> {
+        Ok(ColCarrier {
+            cfg: net::get_cfg(r)?,
+            topo: net::get_topo2(r)?,
+            mj: r.get_usize()?,
+            m_b: net::get_blocks(r)?,
+            picked: r.get_bool()?,
+            leg: r.get_usize()?,
+        })
     }
 }
 
@@ -232,6 +281,17 @@ impl Messenger for ColCarrier {
 
     fn snapshot(&self) -> Option<Box<dyn Messenger>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        net::put_cfg(&mut w, &self.cfg);
+        net::put_topo2(&mut w, &self.topo);
+        w.put_usize(self.mj);
+        net::put_blocks(&mut w, &self.m_b);
+        w.put_bool(self.picked);
+        w.put_usize(self.leg);
+        Some(WireSnapshot::new("mm.ColCarrier", w.into_vec()))
     }
 }
 

@@ -8,7 +8,9 @@
 //! messengers to inject and events to signal **locally** — honouring
 //! MESSENGERS' rule that injection only happens on the current PE.
 
-use navp::{Effect, EventKey, Messenger, MsgrCtx, NodeId};
+use navp::{Effect, EventKey, Messenger, MsgrCtx, NodeId, WireSnapshot};
+use navp_net::codec::{intern, DecodeError, WireReader, WireWriter};
+use navp_net::registry::decode_messenger;
 
 /// One stop on a launcher's itinerary.
 pub struct Stop {
@@ -52,6 +54,30 @@ impl Launcher {
     /// initial hop).
     pub fn first_pe(&self) -> NodeId {
         self.stops.first().map_or(0, |s| s.pe)
+    }
+
+    pub(crate) fn wire_decode(r: &mut WireReader<'_>) -> Result<Launcher, DecodeError> {
+        let name = intern(&r.get_str()?);
+        let idx = r.get_usize()?;
+        let n_stops = r.get_u32()?;
+        let mut stops = Vec::new();
+        for _ in 0..n_stops {
+            let pe = r.get_usize()?;
+            let n_inject = r.get_u32()?;
+            let mut inject = Vec::new();
+            for _ in 0..n_inject {
+                let tag = r.get_str()?;
+                let bytes = r.get_bytes()?;
+                inject.push(decode_messenger(&WireSnapshot::new(tag, bytes))?);
+            }
+            let n_signal = r.get_u32()?;
+            let mut signal = Vec::new();
+            for _ in 0..n_signal {
+                signal.push(r.get_key()?);
+            }
+            stops.push(Stop { pe, inject, signal });
+        }
+        Ok(Launcher { name, stops, idx })
     }
 }
 
@@ -103,6 +129,31 @@ impl Messenger for Launcher {
             stops,
             idx: self.idx,
         }))
+    }
+
+    /// Like [`Messenger::snapshot`], a launcher is wire-serializable
+    /// exactly when every messenger still queued at its remaining stops
+    /// is; each is nested as its own tagged snapshot and rebuilt through
+    /// the registry on the receiving PE.
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_str(self.name);
+        w.put_usize(self.idx);
+        w.put_u32(self.stops.len() as u32);
+        for stop in &self.stops {
+            w.put_usize(stop.pe);
+            w.put_u32(stop.inject.len() as u32);
+            for m in &stop.inject {
+                let snap = m.wire_snapshot()?;
+                w.put_str(&snap.tag);
+                w.put_bytes(&snap.bytes);
+            }
+            w.put_u32(stop.signal.len() as u32);
+            for k in &stop.signal {
+                w.put_key(k);
+            }
+        }
+        Some(WireSnapshot::new("mm.Launcher", w.into_vec()))
     }
 }
 

@@ -48,6 +48,7 @@ pub mod dsc1d;
 pub mod dsc2d;
 pub mod gentleman;
 pub mod launch;
+pub mod net;
 pub mod phase1d;
 pub mod pipe1d;
 pub mod pipe2d;
@@ -57,7 +58,8 @@ pub mod summa;
 pub mod util;
 
 pub use config::{MmConfig, Payload};
+pub use net::register_net;
 pub use runner::{
-    run_mp_sim, run_mp_threads, run_navp_sim, run_navp_threads, run_seq_sim, MpAlg, NavpStage,
-    RunOutput, RunnerError,
+    run_mp_sim, run_mp_threads, run_navp_net, run_navp_sim, run_navp_threads, run_seq_sim, MpAlg,
+    NavpStage, NetOpts, RunOutput, RunnerError,
 };

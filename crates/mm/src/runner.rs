@@ -11,8 +11,10 @@ use crate::{dpc2d, dsc1d, dsc2d, gentleman, phase1d, pipe1d, pipe2d, seq, summa}
 use navp::{Cluster, FaultPlan, FaultStats, SimExecutor, ThreadExecutor};
 use navp_matrix::{Grid2D, Matrix};
 use navp_mp::{MpSimExecutor, MpThreadExecutor};
+use navp_net::{NetExecutor, NetPeStats};
 use navp_sim::{CostModel, Trace};
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// The NavP stages in paper order.
@@ -145,6 +147,8 @@ pub struct RunOutput {
     /// Fault-injection and recovery counters (NavP executors only;
     /// zeroed stats when the run had no fault plan).
     pub faults: Option<FaultStats>,
+    /// Per-PE network accounting (networked executor only).
+    pub per_pe_net: Option<Vec<NetPeStats>>,
 }
 
 impl fmt::Debug for RunOutput {
@@ -156,6 +160,7 @@ impl fmt::Debug for RunOutput {
             .field("transfers", &self.transfers)
             .field("bytes", &self.bytes)
             .field("faults", &self.faults)
+            .field("per_pe_net", &self.per_pe_net)
             .finish_non_exhaustive()
     }
 }
@@ -246,6 +251,7 @@ pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, Runner
         bytes: rep.hop_bytes,
         trace: None,
         faults: Some(rep.faults),
+        per_pe_net: None,
     })
 }
 
@@ -301,6 +307,7 @@ fn run_navp_sim_inner(
         bytes: rep.hop_bytes,
         trace: with_trace.then_some(rep.trace),
         faults: Some(rep.faults),
+        per_pe_net: None,
     })
 }
 
@@ -359,6 +366,97 @@ fn run_navp_threads_inner(
         bytes: 0,
         trace: None,
         faults: Some(rep.faults),
+        per_pe_net: None,
+    })
+}
+
+/// Options for networked (multi-process) runs.
+#[derive(Clone, Debug, Default)]
+pub struct NetOpts {
+    /// Explicit `navp-pe` binary to spawn. `None` resolves
+    /// `$NAVP_PE_BIN`, then a `navp-pe` next to the current executable.
+    pub pe_bin: Option<PathBuf>,
+    /// Join already-running `navp-pe --listen` processes at these
+    /// addresses (one per PE, in PE order) instead of spawning local
+    /// children.
+    pub join: Vec<String>,
+}
+
+/// The networked executor a config asks for, with the same watchdog
+/// resolution as [`run_navp_threads`]: explicit `cfg.watchdog`, else
+/// `NAVP_WATCHDOG_MS`, else the executor default.
+fn net_executor(cfg: &MmConfig, opts: &NetOpts) -> NetExecutor {
+    let mut exec = NetExecutor::new();
+    if let Some(bin) = &opts.pe_bin {
+        exec = exec.with_pe_bin(bin.clone());
+    }
+    if !opts.join.is_empty() {
+        exec = exec.join_addrs(opts.join.clone());
+    }
+    if let Some(wd) = cfg.watchdog {
+        return exec.with_watchdog(wd);
+    }
+    if let Some(ms) = std::env::var("NAVP_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return exec.with_watchdog(Duration::from_millis(ms));
+    }
+    exec
+}
+
+/// Run a NavP stage across real OS processes over TCP (wall-clock).
+///
+/// The cluster is built exactly as for [`run_navp_threads`]; the only
+/// difference is the executor, so the product must be bitwise
+/// identical — the parity tests assert exactly that.
+pub fn run_navp_net(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    opts: &NetOpts,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_net_inner(stage, cfg, grid, opts, None)
+}
+
+/// As [`run_navp_net`], with `plan`'s faults mapped onto the real
+/// sockets (delays hold frames, drops discard them, crashes kill or
+/// restart the PE daemon). [`RunOutput::faults`] reports what happened.
+pub fn run_navp_net_faulted(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    opts: &NetOpts,
+    plan: FaultPlan,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_net_inner(stage, cfg, grid, opts, Some(plan))
+}
+
+fn run_navp_net_inner(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    opts: &NetOpts,
+    plan: Option<FaultPlan>,
+) -> Result<RunOutput, RunnerError> {
+    crate::net::register_net();
+    let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
+    if let Some(plan) = plan {
+        cl.set_fault_plan(plan);
+    }
+    let mut rep = net_executor(cfg, opts).run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.wire_bytes,
+        trace: None,
+        faults: Some(rep.faults),
+        per_pe_net: Some(rep.per_pe),
     })
 }
 
@@ -390,6 +488,7 @@ pub fn run_mp_sim(
         bytes: rep.message_bytes,
         trace: None,
         faults: None,
+        per_pe_net: None,
     })
 }
 
@@ -439,6 +538,7 @@ fn run_mp_threads_inner(
         bytes: 0,
         trace: None,
         faults: None,
+        per_pe_net: None,
     })
 }
 

@@ -1,0 +1,20 @@
+//! Helper PE binary for `navp-net`'s own loopback tests: like
+//! `navp-pe` but registering only the crate's [`navp_net::testing`]
+//! messengers (the real `navp-pe`, which also knows the matrix
+//! carriers, lives in the workspace root so it can depend on
+//! `navp-mm`).
+
+fn main() {
+    navp_net::testing::register_testing();
+    let mode = match navp_net::parse_pe_args(std::env::args().skip(1)) {
+        Ok(m) => m,
+        Err(usage) => {
+            eprintln!("navp-net-testpe: {usage}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = navp_net::pe_main(mode) {
+        eprintln!("navp-net-testpe: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,368 @@
+//! Little-endian binary primitives for the wire protocol.
+//!
+//! The runtime has no serialization dependency, so every value that
+//! crosses a process boundary is written by hand through a
+//! [`WireWriter`] and read back through a [`WireReader`]. All integers
+//! are little-endian; floats travel as their IEEE-754 bit patterns
+//! (`f64::to_bits`), so a value decodes *bitwise* identical — the
+//! property the cross-executor parity tests rely on.
+//!
+//! Decoding never panics: every read is bounds-checked and surfaces a
+//! [`DecodeError`], and length prefixes are validated against the bytes
+//! actually present before any allocation, so a corrupt frame cannot
+//! trigger an out-of-memory abort.
+
+use navp::Key;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Why a decode failed. Never a panic: corrupt or truncated input is an
+/// expected condition on a real wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated,
+    /// A length prefix exceeds the bytes actually available (or a hard
+    /// size cap) — typically a corrupt prefix.
+    BadLength {
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually available (or the cap that was exceeded).
+        available: u64,
+    },
+    /// A tag byte or type tag named nothing we know.
+    UnknownTag(String),
+    /// A field held a value that cannot be (non-UTF-8 string, invalid
+    /// enum discriminant, …).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::BadLength {
+                declared,
+                available,
+            } => write!(
+                f,
+                "length prefix {declared} exceeds available {available} bytes"
+            ),
+            DecodeError::UnknownTag(t) => write!(f, "unknown type tag {t:?}"),
+            DecodeError::BadValue(what) => write!(f, "bad value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (bitwise-exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Write a length-prefixed `f64` slice (bitwise-exact elements).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u32(v.len() as u32);
+        for x in v {
+            self.put_f64(*x);
+        }
+    }
+
+    /// Write a [`Key`]: name string plus both subscripts.
+    pub fn put_key(&mut self, k: &Key) {
+        self.put_str(k.name);
+        self.put_u32(k.i);
+        self.put_u32(k.j);
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool (rejecting anything but 0/1).
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::BadValue("bool")),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` (written as `u64`; rejects values beyond the
+    /// platform's word).
+    pub fn get_usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.get_u64()?).map_err(|_| DecodeError::BadValue("usize overflow"))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed byte slice. The prefix is validated
+    /// against the bytes actually present *before* any allocation.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() {
+            return Err(DecodeError::BadLength {
+                declared: n as u64,
+                available: self.remaining() as u64,
+            });
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| DecodeError::BadValue("utf-8"))
+    }
+
+    /// Read a length-prefixed `f64` slice.
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.get_u32()? as usize;
+        if n.saturating_mul(8) > self.remaining() {
+            return Err(DecodeError::BadLength {
+                declared: (n as u64).saturating_mul(8),
+                available: self.remaining() as u64,
+            });
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_f64()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a [`Key`], interning its name (keys carry `&'static str`
+    /// names in memory).
+    pub fn get_key(&mut self) -> Result<Key, DecodeError> {
+        let name = intern(&self.get_str()?);
+        let i = self.get_u32()?;
+        let j = self.get_u32()?;
+        Ok(Key { name, i, j })
+    }
+}
+
+/// Intern a string, returning a `&'static str` that lives for the rest
+/// of the process.
+///
+/// [`Key`] names are `&'static str` (string literals in ordinary
+/// programs); a decoded key's name arrives as owned bytes, so the first
+/// sighting of each distinct name is leaked once and reused thereafter.
+/// The set of names in any NavP program is tiny ("A", "EP", …), so the
+/// leak is bounded and deliberate.
+pub fn intern(name: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut table = table.lock().expect("intern table poisoned");
+    if let Some(s) = table.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.insert(name.to_string(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_usize(77);
+        w.put_f64(-0.0);
+        w.put_bytes(b"hi");
+        w.put_str("naïve");
+        w.put_f64_slice(&[1.5, f64::NAN]);
+        w.put_key(&Key::at2("EP", 3, 9));
+        let buf = w.into_vec();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_usize().unwrap(), 77);
+        let z = r.get_f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "bitwise, not numeric");
+        assert_eq!(r.get_bytes().unwrap(), b"hi");
+        assert_eq!(r.get_str().unwrap(), "naïve");
+        let v = r.get_f64_slice().unwrap();
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        assert_eq!(r.get_key().unwrap(), Key::at2("EP", 3, 9));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u64(7);
+        w.put_str("hello");
+        let buf = w.into_vec();
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            let a = r.get_u64();
+            let b = r.get_str();
+            assert!(
+                a.is_err() || b.is_err(),
+                "prefix of {cut} bytes decoded fully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected_before_allocating() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX); // absurd length, no body
+        let buf = w.into_vec();
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            r.get_bytes(),
+            Err(DecodeError::BadLength { .. })
+        ));
+        let mut r = WireReader::new(&buf);
+        assert!(r.get_f64_slice().is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_utf8() {
+        let mut r = WireReader::new(&[7]);
+        assert_eq!(r.get_bool(), Err(DecodeError::BadValue("bool")));
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let buf = w.into_vec();
+        assert!(WireReader::new(&buf).get_str().is_err());
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let a = intern("EP");
+        let b = intern(&String::from("EP"));
+        assert!(std::ptr::eq(a, b), "same allocation for same name");
+        assert_eq!(intern("A"), "A");
+    }
+}

@@ -1,0 +1,803 @@
+//! The length-prefixed frame protocol between the driver and PE
+//! processes (and between PE peers).
+//!
+//! Every message on a stream is one *frame*:
+//!
+//! ```text
+//! u32 len (LE) | u8 kind | payload…        (len counts kind + payload)
+//! ```
+//!
+//! [`Frame::encode`] / [`Frame::decode`] convert between the in-memory
+//! enum and the body bytes; [`read_frame_body`] / frame writing live in
+//! `cluster` next to the sockets. Payload layouts are defined by the
+//! `codec` primitives — little-endian integers, bit-exact floats,
+//! length-prefixed strings — and every variant roundtrips exactly
+//! (property-tested in `tests/codec_props.rs`).
+
+use crate::codec::{DecodeError, WireReader, WireWriter};
+use navp::fault::{FaultPlan, HopFault};
+use navp::{FaultStats, Key, RunError, WireSnapshot};
+use std::time::Duration;
+
+/// Upper bound on one frame's body. A frame carries at most one
+/// messenger or one PE's store image; anything past this cap is a
+/// corrupt length prefix, not data.
+pub const MAX_FRAME: usize = 1 << 28; // 256 MiB
+
+/// One serialized store entry: key, value-codec tag, declared resident
+/// bytes, encoded value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// The node variable's key.
+    pub key: Key,
+    /// Registry tag of the value codec that encoded `val`.
+    pub tag: String,
+    /// Declared resident bytes (store byte accounting, not `val.len()`).
+    pub bytes: u64,
+    /// Encoded value.
+    pub val: Vec<u8>,
+}
+
+/// Every message of the navp-net protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Driver → PE: your identity and the cluster size.
+    Assign {
+        /// This process's PE index.
+        pe: u32,
+        /// Cluster size.
+        pes: u32,
+    },
+    /// PE → driver: the address my peer listener is bound to.
+    Hello {
+        /// Echoed PE index.
+        pe: u32,
+        /// The PE's OS process id. PE identity is assigned in
+        /// connection-accept order, not spawn order, so the driver
+        /// needs this to know *which* child process a PE is (e.g. to
+        /// report its exit status when the connection drops).
+        pid: u32,
+        /// `host:port` other PEs can reach me on.
+        listen: String,
+    },
+    /// Driver → PE: everyone's peer-listener address, indexed by PE.
+    Bootstrap {
+        /// `peers[p]` is PE `p`'s listen address.
+        peers: Vec<String>,
+    },
+    /// PE → PE: identifies the connecting side of a mesh edge.
+    PeerHello {
+        /// The connecting PE's index.
+        pe: u32,
+    },
+    /// PE → driver: my mesh edges are all up (barrier arrival).
+    MeshReady {
+        /// Echoed PE index.
+        pe: u32,
+    },
+    /// Driver → PE: everything needed to run — store slice, time-zero
+    /// injections (with driver-assigned ids), pre-banked events homed
+    /// here, the fault plan, and the cluster-wide injection count (the
+    /// base for locally generated messenger ids).
+    Start {
+        /// This PE's node-variable store image.
+        store: Vec<StoreEntry>,
+        /// Time-zero injections for this PE, `(id, snapshot)`.
+        injections: Vec<(u64, WireSnapshot)>,
+        /// Pre-signalled events whose home is this PE (with
+        /// multiplicity).
+        events: Vec<Key>,
+        /// Fault plan, if the run is faulted.
+        plan: Option<FaultPlan>,
+        /// Total time-zero injections across the cluster.
+        initial_live: u64,
+    },
+    /// PE → PE: a messenger hopping here.
+    Hop {
+        /// The messenger's executor id.
+        id: u64,
+        /// Its serialized agent variables.
+        msgr: WireSnapshot,
+    },
+    /// PE → PE: a messenger of `origin` blocks on `key`, whose home is
+    /// the receiving PE. The home parks the snapshot (or wakes it
+    /// immediately against a banked count).
+    EventWait {
+        /// The awaited event.
+        key: Key,
+        /// The messenger's executor id.
+        id: u64,
+        /// PE the messenger was running on (where it resumes).
+        origin: u32,
+        /// Its serialized agent variables.
+        msgr: WireSnapshot,
+    },
+    /// PE → PE: one signal of `key`, routed to its home PE.
+    EventSignal {
+        /// The signalled event.
+        key: Key,
+    },
+    /// PE → PE: a parked messenger woken by a signal, returning to its
+    /// origin PE to resume.
+    Deliver {
+        /// The messenger's executor id.
+        id: u64,
+        /// Its serialized agent variables.
+        msgr: WireSnapshot,
+    },
+    /// PE → driver: progress accounting since the last delta. All
+    /// fields are increments; an all-zero delta is a liveness heartbeat
+    /// (sent e.g. while holding a delayed hop).
+    Delta {
+        /// Messengers injected locally.
+        spawned: u64,
+        /// Messengers finished locally.
+        finished: u64,
+        /// Messenger steps executed.
+        steps: u64,
+        /// Inter-PE hops sent.
+        hops: u64,
+        /// Sum of `Messenger::payload_bytes` over those hops.
+        hop_payload: u64,
+        /// Encoded frame bytes sent to peers (payload traffic only).
+        wire_bytes: u64,
+    },
+    /// Driver → PE: termination probe. The deltas' live tally can dip
+    /// to zero while messengers are still in flight between PEs (a
+    /// "finished" delta may outrace the matching "spawned" delta on a
+    /// different connection), so the driver confirms quiescence with a
+    /// Mattern-style four-counter probe: two consecutive rounds with
+    /// identical lifetime counters and `peer_sent == peer_recv`
+    /// cluster-wide prove no messenger and no frame is in flight.
+    Probe {
+        /// Monotone round number (stale acks are discarded).
+        round: u64,
+    },
+    /// PE → driver: lifetime counters at the moment the probe was
+    /// processed (the PE's runnable queue is empty at that point).
+    ProbeAck {
+        /// Echoed round number.
+        round: u64,
+        /// Messengers injected locally, lifetime total.
+        spawned: u64,
+        /// Messengers finished locally, lifetime total.
+        finished: u64,
+        /// Payload frames sent to peers, lifetime total.
+        peer_sent: u64,
+        /// Payload frames received from peers, lifetime total.
+        peer_recv: u64,
+    },
+    /// Driver → PE: the run is over; send your store back.
+    Collect,
+    /// PE → driver: final store image plus local fault counters.
+    StoreDump {
+        /// The PE's post-run store.
+        store: Vec<StoreEntry>,
+        /// What the local fault machinery did.
+        stats: FaultStats,
+    },
+    /// PE → driver: the run failed on this PE.
+    Fatal {
+        /// The structured error.
+        err: RunError,
+    },
+    /// Driver → PE: exit cleanly.
+    Shutdown,
+}
+
+const K_ASSIGN: u8 = 1;
+const K_HELLO: u8 = 2;
+const K_BOOTSTRAP: u8 = 3;
+const K_PEER_HELLO: u8 = 4;
+const K_MESH_READY: u8 = 5;
+const K_START: u8 = 6;
+const K_HOP: u8 = 7;
+const K_EVENT_WAIT: u8 = 8;
+const K_EVENT_SIGNAL: u8 = 9;
+const K_DELIVER: u8 = 10;
+const K_DELTA: u8 = 11;
+const K_COLLECT: u8 = 12;
+const K_STORE_DUMP: u8 = 13;
+const K_FATAL: u8 = 14;
+const K_SHUTDOWN: u8 = 15;
+const K_PROBE: u8 = 16;
+const K_PROBE_ACK: u8 = 17;
+
+fn put_snapshot(w: &mut WireWriter, s: &WireSnapshot) {
+    w.put_str(&s.tag);
+    w.put_bytes(&s.bytes);
+}
+
+fn get_snapshot(r: &mut WireReader<'_>) -> Result<WireSnapshot, DecodeError> {
+    let tag = r.get_str()?;
+    let bytes = r.get_bytes()?;
+    Ok(WireSnapshot { tag, bytes })
+}
+
+fn put_store(w: &mut WireWriter, entries: &[StoreEntry]) {
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_key(&e.key);
+        w.put_str(&e.tag);
+        w.put_u64(e.bytes);
+        w.put_bytes(&e.val);
+    }
+}
+
+fn get_store(r: &mut WireReader<'_>) -> Result<Vec<StoreEntry>, DecodeError> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(StoreEntry {
+            key: r.get_key()?,
+            tag: r.get_str()?,
+            bytes: r.get_u64()?,
+            val: r.get_bytes()?,
+        });
+    }
+    Ok(out)
+}
+
+fn put_plan(w: &mut WireWriter, plan: &FaultPlan) {
+    w.put_u32(plan.crashes.len() as u32);
+    for c in &plan.crashes {
+        w.put_usize(c.pe);
+        w.put_u64(c.at_run);
+    }
+    w.put_u32(plan.hop_faults.len() as u32);
+    for h in &plan.hop_faults {
+        w.put_usize(h.dst);
+        w.put_u64(h.nth);
+        match h.fault {
+            HopFault::Delay { seconds } => {
+                w.put_u8(0);
+                w.put_f64(seconds);
+            }
+            HopFault::Drop => w.put_u8(1),
+        }
+    }
+    w.put_u32(plan.lost_signals.len() as u32);
+    for l in &plan.lost_signals {
+        w.put_usize(l.pe);
+        w.put_u64(l.nth);
+    }
+    w.put_bool(plan.checkpointing);
+    w.put_u32(plan.max_send_retries);
+    w.put_u64(plan.retry_backoff.as_nanos() as u64);
+    w.put_f64(plan.recovery_seconds);
+}
+
+fn get_plan(r: &mut WireReader<'_>) -> Result<FaultPlan, DecodeError> {
+    use navp::fault::{CrashRule, HopFaultRule, LostSignalRule};
+    let mut plan = FaultPlan::new();
+    for _ in 0..r.get_u32()? {
+        plan.crashes.push(CrashRule {
+            pe: r.get_usize()?,
+            at_run: r.get_u64()?,
+        });
+    }
+    for _ in 0..r.get_u32()? {
+        let dst = r.get_usize()?;
+        let nth = r.get_u64()?;
+        let fault = match r.get_u8()? {
+            0 => HopFault::Delay {
+                seconds: r.get_f64()?,
+            },
+            1 => HopFault::Drop,
+            _ => return Err(DecodeError::BadValue("hop fault kind")),
+        };
+        plan.hop_faults.push(HopFaultRule { dst, nth, fault });
+    }
+    for _ in 0..r.get_u32()? {
+        plan.lost_signals.push(LostSignalRule {
+            pe: r.get_usize()?,
+            nth: r.get_u64()?,
+        });
+    }
+    plan.checkpointing = r.get_bool()?;
+    plan.max_send_retries = r.get_u32()?;
+    plan.retry_backoff = Duration::from_nanos(r.get_u64()?);
+    plan.recovery_seconds = r.get_f64()?;
+    Ok(plan)
+}
+
+fn put_stats(w: &mut WireWriter, s: &FaultStats) {
+    w.put_u64(s.crashes);
+    w.put_u64(s.redelivered);
+    w.put_u64(s.replayed_writes);
+    w.put_u64(s.send_retries);
+    w.put_u64(s.hops_delayed);
+    w.put_u64(s.hops_dropped);
+    w.put_u64(s.signals_lost);
+}
+
+fn get_stats(r: &mut WireReader<'_>) -> Result<FaultStats, DecodeError> {
+    Ok(FaultStats {
+        crashes: r.get_u64()?,
+        redelivered: r.get_u64()?,
+        replayed_writes: r.get_u64()?,
+        send_retries: r.get_u64()?,
+        hops_delayed: r.get_u64()?,
+        hops_dropped: r.get_u64()?,
+        signals_lost: r.get_u64()?,
+    })
+}
+
+fn put_err(w: &mut WireWriter, e: &RunError) {
+    match e {
+        RunError::NoPes => w.put_u8(0),
+        RunError::BadHop { agent, dst, pes } => {
+            w.put_u8(1);
+            w.put_str(agent);
+            w.put_usize(*dst);
+            w.put_usize(*pes);
+        }
+        RunError::Deadlock { blocked } => {
+            w.put_u8(2);
+            w.put_u32(blocked.len() as u32);
+            for (who, on) in blocked {
+                w.put_str(who);
+                w.put_str(on);
+            }
+        }
+        RunError::Stalled { live } => {
+            w.put_u8(3);
+            w.put_usize(*live);
+        }
+        RunError::WorkerPanic(msg) => {
+            w.put_u8(4);
+            w.put_str(msg);
+        }
+        RunError::PeCrashed { pe, run } => {
+            w.put_u8(5);
+            w.put_usize(*pe);
+            w.put_u64(*run);
+        }
+        RunError::RecoveryFailed { pe, reason } => {
+            w.put_u8(6);
+            w.put_usize(*pe);
+            w.put_str(reason);
+        }
+        RunError::PeOutOfRange { pe, pes } => {
+            w.put_u8(7);
+            w.put_usize(*pe);
+            w.put_usize(*pes);
+        }
+        RunError::PeerDisconnected { pe, detail } => {
+            w.put_u8(8);
+            w.put_usize(*pe);
+            w.put_str(detail);
+        }
+        RunError::NotSerializable { agent } => {
+            w.put_u8(9);
+            w.put_str(agent);
+        }
+        RunError::Transport { detail } => {
+            w.put_u8(10);
+            w.put_str(detail);
+        }
+    }
+}
+
+fn get_err(r: &mut WireReader<'_>) -> Result<RunError, DecodeError> {
+    Ok(match r.get_u8()? {
+        0 => RunError::NoPes,
+        1 => RunError::BadHop {
+            agent: r.get_str()?,
+            dst: r.get_usize()?,
+            pes: r.get_usize()?,
+        },
+        2 => {
+            let n = r.get_u32()? as usize;
+            let mut blocked = Vec::new();
+            for _ in 0..n {
+                blocked.push((r.get_str()?, r.get_str()?));
+            }
+            RunError::Deadlock { blocked }
+        }
+        3 => RunError::Stalled {
+            live: r.get_usize()?,
+        },
+        4 => RunError::WorkerPanic(r.get_str()?),
+        5 => RunError::PeCrashed {
+            pe: r.get_usize()?,
+            run: r.get_u64()?,
+        },
+        6 => RunError::RecoveryFailed {
+            pe: r.get_usize()?,
+            reason: r.get_str()?,
+        },
+        7 => RunError::PeOutOfRange {
+            pe: r.get_usize()?,
+            pes: r.get_usize()?,
+        },
+        8 => RunError::PeerDisconnected {
+            pe: r.get_usize()?,
+            detail: r.get_str()?,
+        },
+        9 => RunError::NotSerializable {
+            agent: r.get_str()?,
+        },
+        10 => RunError::Transport {
+            detail: r.get_str()?,
+        },
+        _ => return Err(DecodeError::BadValue("error kind")),
+    })
+}
+
+impl Frame {
+    /// Encode to a frame body (kind byte + payload, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Frame::Assign { pe, pes } => {
+                w.put_u8(K_ASSIGN);
+                w.put_u32(*pe);
+                w.put_u32(*pes);
+            }
+            Frame::Hello { pe, pid, listen } => {
+                w.put_u8(K_HELLO);
+                w.put_u32(*pe);
+                w.put_u32(*pid);
+                w.put_str(listen);
+            }
+            Frame::Bootstrap { peers } => {
+                w.put_u8(K_BOOTSTRAP);
+                w.put_u32(peers.len() as u32);
+                for p in peers {
+                    w.put_str(p);
+                }
+            }
+            Frame::PeerHello { pe } => {
+                w.put_u8(K_PEER_HELLO);
+                w.put_u32(*pe);
+            }
+            Frame::MeshReady { pe } => {
+                w.put_u8(K_MESH_READY);
+                w.put_u32(*pe);
+            }
+            Frame::Start {
+                store,
+                injections,
+                events,
+                plan,
+                initial_live,
+            } => {
+                w.put_u8(K_START);
+                put_store(&mut w, store);
+                w.put_u32(injections.len() as u32);
+                for (id, m) in injections {
+                    w.put_u64(*id);
+                    put_snapshot(&mut w, m);
+                }
+                w.put_u32(events.len() as u32);
+                for k in events {
+                    w.put_key(k);
+                }
+                match plan {
+                    Some(p) => {
+                        w.put_bool(true);
+                        put_plan(&mut w, p);
+                    }
+                    None => w.put_bool(false),
+                }
+                w.put_u64(*initial_live);
+            }
+            Frame::Hop { id, msgr } => {
+                w.put_u8(K_HOP);
+                w.put_u64(*id);
+                put_snapshot(&mut w, msgr);
+            }
+            Frame::EventWait {
+                key,
+                id,
+                origin,
+                msgr,
+            } => {
+                w.put_u8(K_EVENT_WAIT);
+                w.put_key(key);
+                w.put_u64(*id);
+                w.put_u32(*origin);
+                put_snapshot(&mut w, msgr);
+            }
+            Frame::EventSignal { key } => {
+                w.put_u8(K_EVENT_SIGNAL);
+                w.put_key(key);
+            }
+            Frame::Deliver { id, msgr } => {
+                w.put_u8(K_DELIVER);
+                w.put_u64(*id);
+                put_snapshot(&mut w, msgr);
+            }
+            Frame::Delta {
+                spawned,
+                finished,
+                steps,
+                hops,
+                hop_payload,
+                wire_bytes,
+            } => {
+                w.put_u8(K_DELTA);
+                w.put_u64(*spawned);
+                w.put_u64(*finished);
+                w.put_u64(*steps);
+                w.put_u64(*hops);
+                w.put_u64(*hop_payload);
+                w.put_u64(*wire_bytes);
+            }
+            Frame::Probe { round } => {
+                w.put_u8(K_PROBE);
+                w.put_u64(*round);
+            }
+            Frame::ProbeAck {
+                round,
+                spawned,
+                finished,
+                peer_sent,
+                peer_recv,
+            } => {
+                w.put_u8(K_PROBE_ACK);
+                w.put_u64(*round);
+                w.put_u64(*spawned);
+                w.put_u64(*finished);
+                w.put_u64(*peer_sent);
+                w.put_u64(*peer_recv);
+            }
+            Frame::Collect => w.put_u8(K_COLLECT),
+            Frame::StoreDump { store, stats } => {
+                w.put_u8(K_STORE_DUMP);
+                put_store(&mut w, store);
+                put_stats(&mut w, stats);
+            }
+            Frame::Fatal { err } => {
+                w.put_u8(K_FATAL);
+                put_err(&mut w, err);
+            }
+            Frame::Shutdown => w.put_u8(K_SHUTDOWN),
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame body (as produced by [`Frame::encode`]). Never
+    /// panics on corrupt input.
+    pub fn decode(body: &[u8]) -> Result<Frame, DecodeError> {
+        let mut r = WireReader::new(body);
+        let frame = match r.get_u8()? {
+            K_ASSIGN => Frame::Assign {
+                pe: r.get_u32()?,
+                pes: r.get_u32()?,
+            },
+            K_HELLO => Frame::Hello {
+                pe: r.get_u32()?,
+                pid: r.get_u32()?,
+                listen: r.get_str()?,
+            },
+            K_BOOTSTRAP => {
+                let n = r.get_u32()? as usize;
+                let mut peers = Vec::new();
+                for _ in 0..n {
+                    peers.push(r.get_str()?);
+                }
+                Frame::Bootstrap { peers }
+            }
+            K_PEER_HELLO => Frame::PeerHello { pe: r.get_u32()? },
+            K_MESH_READY => Frame::MeshReady { pe: r.get_u32()? },
+            K_START => {
+                let store = get_store(&mut r)?;
+                let n = r.get_u32()? as usize;
+                let mut injections = Vec::new();
+                for _ in 0..n {
+                    let id = r.get_u64()?;
+                    injections.push((id, get_snapshot(&mut r)?));
+                }
+                let n = r.get_u32()? as usize;
+                let mut events = Vec::new();
+                for _ in 0..n {
+                    events.push(r.get_key()?);
+                }
+                let plan = if r.get_bool()? {
+                    Some(get_plan(&mut r)?)
+                } else {
+                    None
+                };
+                Frame::Start {
+                    store,
+                    injections,
+                    events,
+                    plan,
+                    initial_live: r.get_u64()?,
+                }
+            }
+            K_HOP => Frame::Hop {
+                id: r.get_u64()?,
+                msgr: get_snapshot(&mut r)?,
+            },
+            K_EVENT_WAIT => Frame::EventWait {
+                key: r.get_key()?,
+                id: r.get_u64()?,
+                origin: r.get_u32()?,
+                msgr: get_snapshot(&mut r)?,
+            },
+            K_EVENT_SIGNAL => Frame::EventSignal { key: r.get_key()? },
+            K_DELIVER => Frame::Deliver {
+                id: r.get_u64()?,
+                msgr: get_snapshot(&mut r)?,
+            },
+            K_DELTA => Frame::Delta {
+                spawned: r.get_u64()?,
+                finished: r.get_u64()?,
+                steps: r.get_u64()?,
+                hops: r.get_u64()?,
+                hop_payload: r.get_u64()?,
+                wire_bytes: r.get_u64()?,
+            },
+            K_PROBE => Frame::Probe {
+                round: r.get_u64()?,
+            },
+            K_PROBE_ACK => Frame::ProbeAck {
+                round: r.get_u64()?,
+                spawned: r.get_u64()?,
+                finished: r.get_u64()?,
+                peer_sent: r.get_u64()?,
+                peer_recv: r.get_u64()?,
+            },
+            K_COLLECT => Frame::Collect,
+            K_STORE_DUMP => Frame::StoreDump {
+                store: get_store(&mut r)?,
+                stats: get_stats(&mut r)?,
+            },
+            K_FATAL => Frame::Fatal {
+                err: get_err(&mut r)?,
+            },
+            K_SHUTDOWN => Frame::Shutdown,
+            k => return Err(DecodeError::UnknownTag(format!("frame kind {k}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeError::BadValue("trailing bytes after frame"));
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let body = f.encode();
+        assert!(body.len() <= MAX_FRAME);
+        assert_eq!(Frame::decode(&body).as_ref(), Ok(&f), "frame {f:?}");
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        roundtrip(Frame::Assign { pe: 3, pes: 4 });
+        roundtrip(Frame::Hello {
+            pe: 1,
+            pid: 4321,
+            listen: "127.0.0.1:4242".into(),
+        });
+        roundtrip(Frame::Bootstrap {
+            peers: vec!["a:1".into(), "b:2".into()],
+        });
+        roundtrip(Frame::PeerHello { pe: 2 });
+        roundtrip(Frame::MeshReady { pe: 0 });
+        roundtrip(Frame::Probe { round: 2 });
+        roundtrip(Frame::ProbeAck {
+            round: 2,
+            spawned: 3,
+            finished: 4,
+            peer_sent: 5,
+            peer_recv: 6,
+        });
+        roundtrip(Frame::Collect);
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn payload_frames_roundtrip() {
+        let snap = WireSnapshot::new("t.Ping", vec![1, 2, 3]);
+        roundtrip(Frame::Hop {
+            id: 9,
+            msgr: snap.clone(),
+        });
+        roundtrip(Frame::EventWait {
+            key: Key::at2("EP", 1, 2),
+            id: 5,
+            origin: 3,
+            msgr: snap.clone(),
+        });
+        roundtrip(Frame::EventSignal {
+            key: Key::at("EC", 7),
+        });
+        roundtrip(Frame::Deliver { id: 5, msgr: snap });
+        roundtrip(Frame::Delta {
+            spawned: 1,
+            finished: 2,
+            steps: 3,
+            hops: 4,
+            hop_payload: 5,
+            wire_bytes: 6,
+        });
+    }
+
+    #[test]
+    fn start_and_dump_roundtrip() {
+        let store = vec![StoreEntry {
+            key: Key::at("B", 4),
+            tag: "mm.Block".into(),
+            bytes: 128,
+            val: vec![0xAA; 16],
+        }];
+        roundtrip(Frame::Start {
+            store: store.clone(),
+            injections: vec![(0, WireSnapshot::new("t.Ping", vec![]))],
+            events: vec![Key::at2("EC", 0, 1), Key::at2("EC", 0, 1)],
+            plan: Some(
+                FaultPlan::new()
+                    .crash_pe(1, 3)
+                    .delay_hop(0, 2, 0.25)
+                    .drop_hop(2, 1)
+                    .lose_signal(0, 9),
+            ),
+            initial_live: 6,
+        });
+        roundtrip(Frame::StoreDump {
+            store,
+            stats: FaultStats {
+                crashes: 1,
+                hops_delayed: 2,
+                ..FaultStats::default()
+            },
+        });
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips() {
+        let errs = vec![
+            RunError::NoPes,
+            RunError::BadHop {
+                agent: "x".into(),
+                dst: 9,
+                pes: 4,
+            },
+            RunError::Deadlock {
+                blocked: vec![("a".into(), "EP(0,0)".into())],
+            },
+            RunError::Stalled { live: 3 },
+            RunError::WorkerPanic("boom".into()),
+            RunError::PeCrashed { pe: 1, run: 5 },
+            RunError::RecoveryFailed {
+                pe: 2,
+                reason: "no snapshot".into(),
+            },
+            RunError::PeOutOfRange { pe: 8, pes: 4 },
+            RunError::PeerDisconnected {
+                pe: 3,
+                detail: "EOF".into(),
+            },
+            RunError::NotSerializable { agent: "y".into() },
+            RunError::Transport {
+                detail: "refused".into(),
+            },
+        ];
+        for err in errs {
+            roundtrip(Frame::Fatal { err });
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_rejected() {
+        assert!(matches!(
+            Frame::decode(&[200]),
+            Err(DecodeError::UnknownTag(_))
+        ));
+        let mut body = Frame::Shutdown.encode();
+        body.push(0);
+        assert_eq!(
+            Frame::decode(&body),
+            Err(DecodeError::BadValue("trailing bytes after frame"))
+        );
+        assert_eq!(Frame::decode(&[]), Err(DecodeError::Truncated));
+    }
+}

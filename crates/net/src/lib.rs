@@ -1,0 +1,86 @@
+//! # navp-net: a TCP-distributed executor for the NavP runtime
+//!
+//! The third executor of the reproduction: where [`navp::SimExecutor`]
+//! models a cluster in virtual time and [`navp::ThreadExecutor`] runs
+//! one OS thread per PE, `navp-net` runs one OS **process** per PE,
+//! connected by a full TCP mesh. Messengers really migrate: a hop
+//! serializes the agent variables ([`navp::Messenger::wire_snapshot`]),
+//! ships them as a length-prefixed binary frame, and reconstitutes the
+//! messenger in the destination process via a type-tag registry.
+//!
+//! The pieces:
+//!
+//! * [`codec`] — the hand-rolled little-endian wire primitives
+//!   ([`codec::WireWriter`] / [`codec::WireReader`]); every read is
+//!   bounds-checked and returns [`codec::DecodeError`], never panics.
+//! * [`frame`] — the protocol: [`frame::Frame`] covers bootstrap,
+//!   mesh wiring, hops, event traffic, progress deltas, store
+//!   collection and shutdown.
+//! * [`registry`] — global type-tag registries mapping
+//!   [`navp::WireSnapshot`] tags and store-value tags to decode
+//!   functions; primitives are pre-registered, applications register
+//!   their own types before a run (see `navp_mm::net::register_net`).
+//! * [`exec`] — the driver: [`NetExecutor`] keeps the exact
+//!   step/Effect contract of the other executors, spawns or joins PE
+//!   processes, and tallies progress until the cluster drains.
+//! * [`pe`] — the PE daemon ([`pe::pe_main`]) that `navp-pe` runs:
+//!   store slice, event table, runnable queue, fault injection
+//!   (delay/drop/crash on real sockets) and checkpoint/restart
+//!   recovery reusing [`navp::recovery`].
+//! * [`cluster`] — socket plumbing: framed connections, reader
+//!   threads, deterministic event homing, process spawning.
+//! * [`testing`] — wire-serializable messengers for the loopback
+//!   tests and the `navp-net-testpe` helper binary.
+//!
+//! Faults map onto real transport: a *delay* rule holds the arriving
+//! frame, a *drop* rule discards it and burns a retry, and a *crash*
+//! rule either restarts the daemon in place (checkpointing on) or
+//! exits the process (checkpointing off), which the driver surfaces as
+//! [`navp::RunError::PeerDisconnected`]. See DESIGN.md §9.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod codec;
+pub mod exec;
+pub mod frame;
+pub mod pe;
+pub mod registry;
+pub mod testing;
+
+pub use cluster::{event_home, FrameConn, PE_BIN_ENV};
+pub use codec::{DecodeError, WireReader, WireWriter};
+pub use exec::{NetExecutor, NetPeStats, NetReport};
+pub use frame::Frame;
+pub use pe::{pe_main, PeMode, CRASH_EXIT, PE_ENV};
+pub use registry::{
+    decode_messenger, decode_store, encode_messenger, encode_store, register_messenger,
+    register_value, MsgrDecodeFn, ValueCodec,
+};
+
+/// Parse the standard PE-binary argument list (`--connect addr` or
+/// `--listen addr`) shared by `navp-pe` and `navp-net-testpe`.
+/// Returns `Err` with a usage string on anything else.
+pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeMode, String> {
+    let argv: Vec<String> = args.into_iter().collect();
+    match argv.as_slice() {
+        [flag, addr] if flag == "--connect" => Ok(PeMode::Connect(addr.clone())),
+        [flag, addr] if flag == "--listen" => Ok(PeMode::Listen(addr.clone())),
+        _ => Err("usage: --connect <driver-host:port> | --listen <bind-host:port>".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_args_parse() {
+        let m = parse_pe_args(["--connect".to_string(), "127.0.0.1:9000".to_string()]).unwrap();
+        assert!(matches!(m, PeMode::Connect(a) if a == "127.0.0.1:9000"));
+        let m = parse_pe_args(["--listen".to_string(), "0.0.0.0:7000".to_string()]).unwrap();
+        assert!(matches!(m, PeMode::Listen(a) if a == "0.0.0.0:7000"));
+        assert!(parse_pe_args(Vec::new()).is_err());
+        assert!(parse_pe_args(["--bogus".to_string(), "x".to_string()]).is_err());
+    }
+}

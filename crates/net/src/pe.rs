@@ -1,0 +1,761 @@
+//! The PE daemon: one OS process hosting one PE's `NodeStore` slice,
+//! event table, and runnable queue.
+//!
+//! Mirrors the per-PE daemon of `navp::thread_exec`, with channels
+//! replaced by TCP frames. The daemon is single-threaded (reader
+//! threads only feed an in-process channel), so delivery, fault
+//! injection, and crash recovery all serialize on the main loop — the
+//! epoch stamps the thread executor needs to guard racy re-deliveries
+//! degenerate here and are omitted (see DESIGN.md §9).
+//!
+//! Fault mapping on a real socket:
+//! * **delay** — the arriving `Hop` frame is held for the configured
+//!   seconds (a heartbeat keeps the driver's watchdog fed);
+//! * **drop** — the arriving frame is discarded and re-attempted with
+//!   backoff up to the plan's retry budget (each attempt is a fresh
+//!   arrival, as in the other executors);
+//! * **crash** — with checkpointing, the daemon restarts in place:
+//!   store = initial + journal replay, checkpointed messengers
+//!   re-delivered (`navp::recovery`); with checkpointing disabled the
+//!   process *exits* ([`CRASH_EXIT`]) and the driver reports
+//!   [`RunError::PeerDisconnected`].
+
+use crate::cluster::{event_home, read_frame, spawn_reader, FrameConn};
+use crate::frame::Frame;
+use crate::registry::{decode_messenger, decode_store, encode_messenger, encode_store};
+use navp::fault::{FaultTracker, HopFault};
+use navp::recovery::{CheckpointTable, WriteJournal};
+use navp::{
+    Effect, EventKey, FaultStats, Messenger, MsgrCtx, NodeStore, RunError, StepOutputs,
+    WireSnapshot,
+};
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exit code of a PE process whose fault plan crashed it with
+/// checkpointing disabled ("crash = process exit").
+pub const CRASH_EXIT: i32 = 113;
+
+/// Environment variable set to the PE index inside every PE process
+/// (lets test messengers distinguish a PE process from the driver).
+pub const PE_ENV: &str = "NAVP_NET_PE";
+
+/// Hard deadline for the bootstrap handshake (assign → mesh → start).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How a PE process reaches its driver.
+#[derive(Debug, Clone)]
+pub enum PeMode {
+    /// Connect out to the driver (`navp-pe --connect host:port`) — the
+    /// mode used for locally spawned clusters.
+    Connect(String),
+    /// Bind this address and wait for the driver to connect
+    /// (`navp-pe --listen host:port`) — the `--join` deployment mode.
+    Listen(String),
+}
+
+enum PeEvent {
+    Driver(std::io::Result<Frame>),
+    Peer(usize, std::io::Result<Frame>),
+}
+
+#[derive(Default)]
+struct EvState {
+    count: u64,
+    waiters: VecDeque<(u64, u32, WireSnapshot)>,
+}
+
+struct Daemon {
+    pe: usize,
+    pes: usize,
+    store: NodeStore,
+    /// Clone of the store as received in `Start` (crash rebuild base);
+    /// `Some` iff recovery is active.
+    initial_store: Option<NodeStore>,
+    journal: WriteJournal,
+    ckpt: CheckpointTable,
+    events: HashMap<EventKey, EvState>,
+    queue: VecDeque<(u64, Box<dyn Messenger>)>,
+    tracker: Option<FaultTracker>,
+    stats: FaultStats,
+    next_inject: u64,
+    initial_live: u64,
+    peers: Vec<Option<Arc<FrameConn>>>,
+    driver: Arc<FrameConn>,
+    // Un-flushed accounting increments (next `Delta`).
+    d_spawned: u64,
+    d_finished: u64,
+    d_steps: u64,
+    d_hops: u64,
+    d_hop_payload: u64,
+    d_wire: u64,
+    // Lifetime counters for the driver's termination probes.
+    t_spawned: u64,
+    t_finished: u64,
+    t_peer_sent: u64,
+    t_peer_recv: u64,
+}
+
+impl Daemon {
+    fn recovery_active(&self) -> bool {
+        self.initial_store.is_some()
+    }
+
+    fn peer(&self, dst: usize) -> Result<&Arc<FrameConn>, RunError> {
+        self.peers
+            .get(dst)
+            .and_then(|p| p.as_ref())
+            .ok_or(RunError::Transport {
+                detail: format!("PE {} has no connection to PE {dst}", self.pe),
+            })
+    }
+
+    fn send_peer(&mut self, dst: usize, frame: &Frame) -> Result<(), RunError> {
+        let n = self
+            .peer(dst)?
+            .send(frame)
+            .map_err(|e| RunError::PeerDisconnected {
+                pe: dst,
+                detail: format!("send from PE {} failed: {e}", self.pe),
+            })?;
+        self.d_wire += n;
+        self.t_peer_sent += 1;
+        Ok(())
+    }
+
+    fn heartbeat(&self) {
+        let _ = self.driver.send(&Frame::Delta {
+            spawned: 0,
+            finished: 0,
+            steps: 0,
+            hops: 0,
+            hop_payload: 0,
+            wire_bytes: 0,
+        });
+    }
+
+    fn flush_delta(&mut self) -> Result<(), RunError> {
+        if self.d_spawned == 0
+            && self.d_finished == 0
+            && self.d_steps == 0
+            && self.d_hops == 0
+            && self.d_hop_payload == 0
+            && self.d_wire == 0
+        {
+            return Ok(());
+        }
+        let frame = Frame::Delta {
+            spawned: self.d_spawned,
+            finished: self.d_finished,
+            steps: self.d_steps,
+            hops: self.d_hops,
+            hop_payload: self.d_hop_payload,
+            wire_bytes: self.d_wire,
+        };
+        self.d_spawned = 0;
+        self.d_finished = 0;
+        self.d_steps = 0;
+        self.d_hops = 0;
+        self.d_hop_payload = 0;
+        self.d_wire = 0;
+        self.driver
+            .send(&frame)
+            .map_err(|e| RunError::Transport {
+                detail: format!("PE {} lost the driver: {e}", self.pe),
+            })
+            .map(|_| ())
+    }
+
+    fn commit_run(&mut self) {
+        if self.recovery_active() {
+            self.journal.commit_dirty(&mut self.store);
+        }
+    }
+
+    /// Accept a messenger at a delivery point: checkpoint + enqueue.
+    fn deliver(&mut self, id: u64, m: Box<dyn Messenger>) {
+        if self.recovery_active() {
+            self.ckpt.register(id, self.pe, m.as_ref());
+        }
+        self.queue.push_back((id, m));
+    }
+
+    /// A `Hop` frame arrived: run it through the fault machinery, then
+    /// deliver. Delay holds the frame; drop burns a retry (the re-sent
+    /// attempt is a fresh arrival, so the counters keep counting).
+    fn accept_hop(&mut self, id: u64, snap: WireSnapshot) -> Result<(), RunError> {
+        let mut attempts: u32 = 0;
+        loop {
+            let fault = self.tracker.as_mut().and_then(|t| t.on_hop(self.pe));
+            match fault {
+                None => break,
+                Some(HopFault::Delay { seconds }) => {
+                    self.stats.hops_delayed += 1;
+                    self.heartbeat();
+                    std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
+                    break; // single-shot rule: delivered after the hold
+                }
+                Some(HopFault::Drop) => {
+                    self.stats.hops_dropped += 1;
+                    attempts += 1;
+                    let plan = self.tracker.as_ref().expect("fault fired").plan();
+                    if attempts > plan.max_send_retries {
+                        return Err(RunError::RecoveryFailed {
+                            pe: self.pe,
+                            reason: format!(
+                                "delivery of messenger {id} dropped {attempts} times, \
+                                 retry budget exhausted"
+                            ),
+                        });
+                    }
+                    self.stats.send_retries += 1;
+                    let backoff = plan.retry_backoff;
+                    self.heartbeat();
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+        let m = decode_messenger(&snap).map_err(|e| RunError::Transport {
+            detail: format!("PE {} cannot decode hopped messenger {id}: {e}", self.pe),
+        })?;
+        self.deliver(id, m);
+        Ok(())
+    }
+
+    /// Crash check at a run boundary. `Ok(true)` means a crash fired
+    /// and the daemon restarted — the caller must drop the messenger it
+    /// was about to run (its checkpoint was just re-delivered).
+    fn survive_run_boundary(&mut self) -> Result<bool, RunError> {
+        let crashed = self
+            .tracker
+            .as_mut()
+            .and_then(|t| t.on_run(self.pe))
+            .is_some();
+        if !crashed {
+            return Ok(false);
+        }
+        if !self.recovery_active() {
+            // Crash = process exit: the abrupt death the driver must
+            // surface as PeerDisconnected within its watchdog.
+            std::process::exit(CRASH_EXIT);
+        }
+        self.stats.crashes += 1;
+        let mut rebuilt = self
+            .initial_store
+            .as_ref()
+            .expect("recovery active")
+            .clone();
+        self.stats.replayed_writes += self.journal.replay_into(&mut rebuilt);
+        rebuilt.enable_tracking();
+        rebuilt.drain_dirty(); // the replay itself is not a new write
+        self.store = rebuilt;
+        self.queue.clear(); // lost with the daemon; rebuilt from checkpoints
+        for (id, label, snap) in self.ckpt.drain_pe(self.pe) {
+            let m = snap.ok_or_else(|| RunError::RecoveryFailed {
+                pe: self.pe,
+                reason: format!("no snapshot for messenger {label} (id {id})"),
+            })?;
+            self.stats.redelivered += 1;
+            self.deliver(id, m);
+        }
+        Ok(true)
+    }
+
+    fn local_signal(&mut self, key: EventKey) -> Result<(), RunError> {
+        let st = self.events.entry(key).or_default();
+        match st.waiters.pop_front() {
+            Some((id, origin, snap)) => {
+                if origin as usize == self.pe {
+                    let m = decode_messenger(&snap).map_err(|e| RunError::Transport {
+                        detail: format!("PE {} cannot decode parked waiter: {e}", self.pe),
+                    })?;
+                    self.deliver(id, m);
+                } else {
+                    self.send_peer(origin as usize, &Frame::Deliver { id, msgr: snap })?;
+                }
+            }
+            None => st.count += 1,
+        }
+        Ok(())
+    }
+
+    fn route_signal(&mut self, key: EventKey) -> Result<(), RunError> {
+        let home = event_home(&key, self.pes);
+        if home == self.pe {
+            self.local_signal(key)
+        } else {
+            self.send_peer(home, &Frame::EventSignal { key })
+        }
+    }
+
+    /// Run one messenger to its next departure (hop away, park, done).
+    fn run_messenger(&mut self, id: u64, mut m: Box<dyn Messenger>) -> Result<(), RunError> {
+        if self.survive_run_boundary()? {
+            return Ok(()); // messenger re-queued from its checkpoint
+        }
+        let mut out = StepOutputs::default();
+        loop {
+            out.clear();
+            let effect = {
+                let mut ctx = MsgrCtx::new(self.pe, self.pes, &mut self.store, &mut out);
+                m.step(&mut ctx)
+            };
+            self.d_steps += 1;
+            for inj in out.injections.drain(..) {
+                let new_id =
+                    self.initial_live + self.pe as u64 + self.pes as u64 * self.next_inject;
+                self.next_inject += 1;
+                self.d_spawned += 1;
+                self.t_spawned += 1;
+                self.deliver(new_id, inj);
+            }
+            let signals: Vec<EventKey> = out.signals.drain(..).collect();
+            for key in signals {
+                let lost = self
+                    .tracker
+                    .as_mut()
+                    .is_some_and(|t| t.on_signal(self.pe));
+                if lost {
+                    self.stats.signals_lost += 1;
+                    continue;
+                }
+                self.route_signal(key)?;
+            }
+            match effect {
+                Effect::Hop(dst) if dst == self.pe => continue,
+                Effect::Hop(dst) => {
+                    if dst >= self.pes {
+                        return Err(RunError::BadHop {
+                            agent: m.label(),
+                            dst,
+                            pes: self.pes,
+                        });
+                    }
+                    self.commit_run();
+                    let snap = encode_messenger(m.as_ref())?;
+                    self.d_hops += 1;
+                    self.d_hop_payload += m.payload_bytes();
+                    self.send_peer(dst, &Frame::Hop { id, msgr: snap })?;
+                    // In flight, the messenger belongs to the
+                    // destination's failure domain — which is another
+                    // process entirely.
+                    self.ckpt.remove(id);
+                    return Ok(());
+                }
+                Effect::WaitEvent(key) => {
+                    let home = event_home(&key, self.pes);
+                    if home == self.pe {
+                        let st = self.events.entry(key).or_default();
+                        if st.count > 0 {
+                            st.count -= 1;
+                            continue; // banked count: same run continues
+                        }
+                        self.commit_run();
+                        let snap = encode_messenger(m.as_ref())?;
+                        let st = self.events.entry(key).or_default();
+                        st.waiters.push_back((id, self.pe as u32, snap));
+                    } else {
+                        self.commit_run();
+                        let snap = encode_messenger(m.as_ref())?;
+                        self.send_peer(
+                            home,
+                            &Frame::EventWait {
+                                key,
+                                id,
+                                origin: self.pe as u32,
+                                msgr: snap,
+                            },
+                        )?;
+                    }
+                    // Parked state is held by the event table (local or
+                    // remote), outside this daemon's crash domain.
+                    self.ckpt.remove(id);
+                    return Ok(());
+                }
+                Effect::Done => {
+                    self.commit_run();
+                    self.d_finished += 1;
+                    self.t_finished += 1;
+                    self.ckpt.remove(id);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// An `EventWait` frame arrived (this PE is the key's home).
+    fn accept_wait(
+        &mut self,
+        key: EventKey,
+        id: u64,
+        origin: u32,
+        snap: WireSnapshot,
+    ) -> Result<(), RunError> {
+        let st = self.events.entry(key).or_default();
+        if st.count > 0 {
+            st.count -= 1;
+            self.send_peer(origin as usize, &Frame::Deliver { id, msgr: snap })
+        } else {
+            st.waiters.push_back((id, origin, snap));
+            Ok(())
+        }
+    }
+
+    fn handle_peer_frame(&mut self, from: usize, frame: Frame) -> Result<(), RunError> {
+        self.t_peer_recv += 1;
+        match frame {
+            Frame::Hop { id, msgr } => self.accept_hop(id, msgr),
+            Frame::EventWait {
+                key,
+                id,
+                origin,
+                msgr,
+            } => self.accept_wait(key, id, origin, msgr),
+            Frame::EventSignal { key } => self.local_signal(key),
+            Frame::Deliver { id, msgr } => {
+                let m = decode_messenger(&msgr).map_err(|e| RunError::Transport {
+                    detail: format!("PE {} cannot decode delivered waiter: {e}", self.pe),
+                })?;
+                self.deliver(id, m);
+                Ok(())
+            }
+            other => Err(RunError::Transport {
+                detail: format!(
+                    "PE {} got unexpected frame {other:?} from peer {from}",
+                    self.pe
+                ),
+            }),
+        }
+    }
+
+    /// The post-`Start` event loop: drain runnables, then block on the
+    /// next frame. Returns when the driver says `Shutdown`.
+    fn event_loop(&mut self, rx: &Receiver<PeEvent>) -> Result<(), RunError> {
+        loop {
+            while let Some((id, m)) = self.queue.pop_front() {
+                self.run_messenger(id, m)?;
+            }
+            self.flush_delta()?;
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(PeEvent::Driver(Ok(Frame::Probe { round }))) => {
+                    // The queue is empty here (drained above), so the
+                    // lifetime counters are a consistent local snapshot.
+                    self.flush_delta()?;
+                    self.driver
+                        .send(&Frame::ProbeAck {
+                            round,
+                            spawned: self.t_spawned,
+                            finished: self.t_finished,
+                            peer_sent: self.t_peer_sent,
+                            peer_recv: self.t_peer_recv,
+                        })
+                        .map_err(|e| RunError::Transport {
+                            detail: format!("PE {} cannot ack probe: {e}", self.pe),
+                        })?;
+                }
+                Ok(PeEvent::Driver(Ok(Frame::Collect))) => {
+                    self.flush_delta()?;
+                    let store = encode_store(&self.store)?;
+                    self.driver
+                        .send(&Frame::StoreDump {
+                            store,
+                            stats: self.stats,
+                        })
+                        .map_err(|e| RunError::Transport {
+                            detail: format!("PE {} cannot return its store: {e}", self.pe),
+                        })?;
+                }
+                Ok(PeEvent::Driver(Ok(Frame::Shutdown))) => return Ok(()),
+                Ok(PeEvent::Driver(Ok(other))) => {
+                    return Err(RunError::Transport {
+                        detail: format!("PE {} got unexpected driver frame {other:?}", self.pe),
+                    })
+                }
+                // Driver gone: the run is over one way or the other;
+                // exit quietly rather than lingering.
+                Ok(PeEvent::Driver(Err(_))) => return Ok(()),
+                Ok(PeEvent::Peer(q, Ok(frame))) => self.handle_peer_frame(q, frame)?,
+                // A dead peer only matters if we later need to send to
+                // it — which fails with a structured error there. The
+                // driver independently notices the death.
+                Ok(PeEvent::Peer(_, Err(_))) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+}
+
+fn connect_with_retries(addr: &str, deadline: Instant) -> Result<TcpStream, RunError> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(RunError::Transport {
+                        detail: format!("connect to {addr} failed: {e}"),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Accept `need` peer connections, each introduced by a `PeerHello`.
+fn accept_peers(
+    listener: TcpListener,
+    need: usize,
+    deadline: Instant,
+) -> Result<Vec<(usize, TcpStream)>, RunError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| RunError::Transport {
+            detail: format!("listener nonblocking: {e}"),
+        })?;
+    let mut got = Vec::new();
+    while got.len() < need {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| RunError::Transport {
+                        detail: format!("peer stream blocking: {e}"),
+                    })?;
+                let mut stream = stream;
+                match read_frame(&mut stream) {
+                    Ok(Frame::PeerHello { pe }) => got.push((pe as usize, stream)),
+                    Ok(other) => {
+                        return Err(RunError::Transport {
+                            detail: format!("expected PeerHello, got {other:?}"),
+                        })
+                    }
+                    Err(e) => {
+                        return Err(RunError::Transport {
+                            detail: format!("peer handshake read: {e}"),
+                        })
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(RunError::Transport {
+                        detail: format!(
+                            "timed out waiting for {} peer connection(s)",
+                            need - got.len()
+                        ),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                return Err(RunError::Transport {
+                    detail: format!("peer accept: {e}"),
+                })
+            }
+        }
+    }
+    Ok(got)
+}
+
+/// Run one PE process to completion: handshake, mesh, event loop.
+/// Fatal errors are reported to the driver before returning them.
+pub fn pe_main(mode: PeMode) -> Result<(), RunError> {
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut driver_stream = match &mode {
+        PeMode::Connect(addr) => connect_with_retries(addr, deadline)?,
+        PeMode::Listen(bind) => {
+            let listener = TcpListener::bind(bind).map_err(|e| RunError::Transport {
+                detail: format!("bind {bind}: {e}"),
+            })?;
+            let (s, _) = listener.accept().map_err(|e| RunError::Transport {
+                detail: format!("accept driver on {bind}: {e}"),
+            })?;
+            s
+        }
+    };
+    let driver = Arc::new(FrameConn::new(driver_stream.try_clone().map_err(|e| {
+        RunError::Transport {
+            detail: format!("clone driver stream: {e}"),
+        }
+    })?));
+
+    let result = pe_session(&mode, &mut driver_stream, Arc::clone(&driver), deadline);
+    if let Err(err) = &result {
+        let _ = driver.send(&Frame::Fatal { err: err.clone() });
+    }
+    result
+}
+
+fn pe_session(
+    _mode: &PeMode,
+    driver_stream: &mut TcpStream,
+    driver: Arc<FrameConn>,
+    deadline: Instant,
+) -> Result<(), RunError> {
+    let transport = |detail: String| RunError::Transport { detail };
+
+    // 1. Identity.
+    let (pe, pes) = match read_frame(driver_stream) {
+        Ok(Frame::Assign { pe, pes }) => (pe as usize, pes as usize),
+        Ok(other) => return Err(transport(format!("expected Assign, got {other:?}"))),
+        Err(e) => return Err(transport(format!("handshake read: {e}"))),
+    };
+    std::env::set_var(PE_ENV, pe.to_string());
+
+    // 2. Peer listener on the same interface the driver reached us on
+    //    (loopback for local clusters, the NIC's address for --join).
+    let local_ip = driver_stream
+        .local_addr()
+        .map_err(|e| transport(format!("local addr: {e}")))?
+        .ip();
+    let listener =
+        TcpListener::bind((local_ip, 0)).map_err(|e| transport(format!("peer bind: {e}")))?;
+    let listen = listener
+        .local_addr()
+        .map_err(|e| transport(format!("peer addr: {e}")))?
+        .to_string();
+    driver
+        .send(&Frame::Hello {
+            pe: pe as u32,
+            pid: std::process::id(),
+            listen,
+        })
+        .map_err(|e| transport(format!("send Hello: {e}")))?;
+
+    // 3. Full mesh: connect to lower ids, accept from higher ids.
+    let peer_addrs = match read_frame(driver_stream) {
+        Ok(Frame::Bootstrap { peers }) => peers,
+        Ok(other) => return Err(transport(format!("expected Bootstrap, got {other:?}"))),
+        Err(e) => return Err(transport(format!("bootstrap read: {e}"))),
+    };
+    if peer_addrs.len() != pes {
+        return Err(transport(format!(
+            "bootstrap names {} PEs, expected {pes}",
+            peer_addrs.len()
+        )));
+    }
+    let acceptor = {
+        let need = pes - 1 - pe;
+        std::thread::spawn(move || accept_peers(listener, need, deadline))
+    };
+    let mut peer_streams: Vec<Option<TcpStream>> = (0..pes).map(|_| None).collect();
+    for (q, addr) in peer_addrs.iter().enumerate().take(pe) {
+        let stream = connect_with_retries(addr, deadline)?;
+        FrameConn::new(stream.try_clone().map_err(|e| {
+            transport(format!("clone peer stream: {e}"))
+        })?)
+        .send(&Frame::PeerHello { pe: pe as u32 })
+        .map_err(|e| transport(format!("send PeerHello to {q}: {e}")))?;
+        peer_streams[q] = Some(stream);
+    }
+    for (q, stream) in acceptor
+        .join()
+        .map_err(|_| transport("peer acceptor panicked".into()))??
+    {
+        if q >= pes || peer_streams[q].is_some() || q == pe {
+            return Err(transport(format!("bogus PeerHello from {q}")));
+        }
+        peer_streams[q] = Some(stream);
+    }
+    driver
+        .send(&Frame::MeshReady { pe: pe as u32 })
+        .map_err(|e| transport(format!("send MeshReady: {e}")))?;
+
+    // 4. Start payload.
+    let (store_img, injections, events, plan, initial_live) = match read_frame(driver_stream) {
+        Ok(Frame::Start {
+            store,
+            injections,
+            events,
+            plan,
+            initial_live,
+        }) => (store, injections, events, plan, initial_live),
+        Ok(other) => return Err(transport(format!("expected Start, got {other:?}"))),
+        Err(e) => return Err(transport(format!("start read: {e}"))),
+    };
+
+    // 5. Wire everything into the daemon and spawn readers.
+    let (tx, rx): (Sender<PeEvent>, Receiver<PeEvent>) = std::sync::mpsc::channel();
+    {
+        let stream = driver_stream
+            .try_clone()
+            .map_err(|e| transport(format!("clone driver stream: {e}")))?;
+        let tx = tx.clone();
+        spawn_reader(stream, tx, PeEvent::Driver);
+    }
+    let mut peers: Vec<Option<Arc<FrameConn>>> = (0..pes).map(|_| None).collect();
+    for (q, stream) in peer_streams.into_iter().enumerate() {
+        let Some(stream) = stream else { continue };
+        let write = stream
+            .try_clone()
+            .map_err(|e| transport(format!("clone peer stream: {e}")))?;
+        peers[q] = Some(Arc::new(FrameConn::new(write)));
+        let tx = tx.clone();
+        spawn_reader(stream, tx, move |r| PeEvent::Peer(q, r));
+    }
+
+    let mut store = decode_store(&store_img)
+        .map_err(|e| transport(format!("PE {pe} cannot decode its store: {e}")))?;
+    let recovery = plan.as_ref().is_some_and(|p| p.checkpointing);
+    let initial_store = recovery.then(|| {
+        store.enable_tracking();
+        store.clone()
+    });
+    let tracker = plan.map(|p| FaultTracker::new(p, pes));
+
+    let mut daemon = Daemon {
+        pe,
+        pes,
+        store,
+        initial_store,
+        journal: WriteJournal::new(),
+        ckpt: CheckpointTable::new(),
+        events: HashMap::new(),
+        queue: VecDeque::new(),
+        tracker,
+        stats: FaultStats::default(),
+        next_inject: 0,
+        initial_live,
+        peers,
+        driver,
+        d_spawned: 0,
+        d_finished: 0,
+        d_steps: 0,
+        d_hops: 0,
+        d_hop_payload: 0,
+        d_wire: 0,
+        t_spawned: 0,
+        t_finished: 0,
+        t_peer_sent: 0,
+        t_peer_recv: 0,
+    };
+    for key in events {
+        daemon.events.entry(key).or_default().count += 1;
+    }
+    for (id, snap) in injections {
+        let m = decode_messenger(&snap)
+            .map_err(|e| transport(format!("PE {pe} cannot decode injection {id}: {e}")))?;
+        daemon.deliver(id, m);
+    }
+
+    // 6. Run. A panic inside a messenger becomes a structured
+    //    WorkerPanic at the driver, not a silent EOF.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        daemon.event_loop(&rx)
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(RunError::WorkerPanic(format!("PE {pe}: {msg}")))
+        }
+    }
+}

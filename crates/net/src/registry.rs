@@ -1,0 +1,323 @@
+//! Type-tag registries: how type-erased messengers and store values
+//! cross a process boundary.
+//!
+//! A messenger ships as a [`WireSnapshot`] — tag + bytes — produced by
+//! [`Messenger::wire_snapshot`]; the receiving PE looks the tag up here
+//! to find the matching decode function. Store values work the same
+//! way, except encoding is also dynamic: a [`NodeStore`] entry is a
+//! `Box<dyn StoreValue>`, so the encoder *tries* each registered
+//! [`ValueCodec`] (a downcast per codec) until one claims the value.
+//!
+//! Registration is global, idempotent, and happens before a run on both
+//! sides of every connection: the driver registers what it injects, the
+//! `navp-pe` binary registers everything it may receive. Codecs for the
+//! primitive types every program uses are pre-registered. An
+//! unregistered type surfaces as [`RunError::NotSerializable`] at
+//! encode time (driver side, before any process is spawned) or
+//! [`DecodeError::UnknownTag`] at decode time — never a silent drop.
+
+use crate::codec::{DecodeError, WireReader, WireWriter};
+use crate::frame::StoreEntry;
+use navp::{Messenger, NodeStore, RunError, WireSnapshot};
+use navp_sim::store::StoreValue;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Decode half of a messenger codec: rebuild the boxed messenger from
+/// its encoded agent variables.
+pub type MsgrDecodeFn = fn(&mut WireReader<'_>) -> Result<Box<dyn Messenger>, DecodeError>;
+
+/// A codec for one concrete store-value type.
+pub struct ValueCodec {
+    /// Registry tag, e.g. `"mm.Block"`.
+    pub tag: &'static str,
+    /// Try to encode a type-erased value; `None` when the value is not
+    /// this codec's type (the registry then tries the next codec).
+    pub try_encode: fn(&dyn StoreValue) -> Option<Vec<u8>>,
+    /// Rebuild the boxed value from its encoded bytes.
+    pub decode: fn(&mut WireReader<'_>) -> Result<Box<dyn StoreValue>, DecodeError>,
+}
+
+struct Registry {
+    msgrs: BTreeMap<&'static str, MsgrDecodeFn>,
+    values: Vec<ValueCodec>,
+    value_index: BTreeMap<&'static str, usize>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = Registry {
+            msgrs: BTreeMap::new(),
+            values: Vec::new(),
+            value_index: BTreeMap::new(),
+        };
+        for codec in builtin_value_codecs() {
+            insert_value(&mut reg, codec);
+        }
+        Mutex::new(reg)
+    })
+}
+
+fn insert_value(reg: &mut Registry, codec: ValueCodec) {
+    match reg.value_index.get(codec.tag) {
+        Some(&i) => reg.values[i] = codec,
+        None => {
+            reg.value_index.insert(codec.tag, reg.values.len());
+            reg.values.push(codec);
+        }
+    }
+}
+
+/// Register (or replace) the decode function for messenger tag `tag`.
+/// Idempotent: repeated registration of the same tag is fine.
+pub fn register_messenger(tag: &'static str, decode: MsgrDecodeFn) {
+    registry()
+        .lock()
+        .expect("registry poisoned")
+        .msgrs
+        .insert(tag, decode);
+}
+
+/// Register (or replace) a store-value codec. Idempotent.
+pub fn register_value(codec: ValueCodec) {
+    insert_value(&mut registry().lock().expect("registry poisoned"), codec);
+}
+
+/// Serialize a messenger for the wire, or
+/// [`RunError::NotSerializable`] when its type opted out of
+/// [`Messenger::wire_snapshot`].
+pub fn encode_messenger(m: &dyn Messenger) -> Result<WireSnapshot, RunError> {
+    m.wire_snapshot().ok_or_else(|| RunError::NotSerializable {
+        agent: m.label(),
+    })
+}
+
+/// Reconstitute a messenger from its snapshot via the registry.
+pub fn decode_messenger(snap: &WireSnapshot) -> Result<Box<dyn Messenger>, DecodeError> {
+    let decode = registry()
+        .lock()
+        .expect("registry poisoned")
+        .msgrs
+        .get(snap.tag.as_str())
+        .copied()
+        .ok_or_else(|| DecodeError::UnknownTag(snap.tag.clone()))?;
+    let mut r = WireReader::new(&snap.bytes);
+    decode(&mut r)
+}
+
+/// Encode a type-erased store value by trying every registered codec.
+/// Returns `(tag, bytes)` or `None` when no codec claims the type.
+pub fn encode_value(v: &dyn StoreValue) -> Option<(&'static str, Vec<u8>)> {
+    let reg = registry().lock().expect("registry poisoned");
+    for codec in &reg.values {
+        if let Some(bytes) = (codec.try_encode)(v) {
+            return Some((codec.tag, bytes));
+        }
+    }
+    None
+}
+
+/// Decode a store value from its tag + bytes.
+pub fn decode_value(tag: &str, bytes: &[u8]) -> Result<Box<dyn StoreValue>, DecodeError> {
+    let decode = {
+        let reg = registry().lock().expect("registry poisoned");
+        let &i = reg
+            .value_index
+            .get(tag)
+            .ok_or_else(|| DecodeError::UnknownTag(tag.to_string()))?;
+        reg.values[i].decode
+    };
+    let mut r = WireReader::new(bytes);
+    decode(&mut r)
+}
+
+/// Serialize a whole [`NodeStore`] (keys sorted, so images are
+/// deterministic). Fails with [`RunError::NotSerializable`] naming the
+/// first key whose value no codec claims.
+pub fn encode_store(store: &NodeStore) -> Result<Vec<StoreEntry>, RunError> {
+    let mut keys: Vec<_> = store.keys().copied().collect();
+    keys.sort_unstable();
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let (val, bytes) = store.clone_entry(key).expect("key just listed");
+        let (tag, encoded) = encode_value(val.as_ref()).ok_or(RunError::NotSerializable {
+            agent: format!("store value {key}"),
+        })?;
+        out.push(StoreEntry {
+            key,
+            tag: tag.to_string(),
+            bytes,
+            val: encoded,
+        });
+    }
+    Ok(out)
+}
+
+/// Rebuild a [`NodeStore`] from its serialized image.
+pub fn decode_store(entries: &[StoreEntry]) -> Result<NodeStore, DecodeError> {
+    let mut store = NodeStore::new();
+    for e in entries {
+        let val = decode_value(&e.tag, &e.val)?;
+        store.insert_boxed(e.key, val, e.bytes);
+    }
+    Ok(store)
+}
+
+macro_rules! prim_codec {
+    ($tag:literal, $ty:ty, $put:ident, $get:ident) => {
+        ValueCodec {
+            tag: $tag,
+            try_encode: |v| {
+                v.as_any().downcast_ref::<$ty>().map(|x| {
+                    let mut w = WireWriter::new();
+                    w.$put(*x);
+                    w.into_vec()
+                })
+            },
+            decode: |r| Ok(Box::new(r.$get()?) as Box<dyn StoreValue>),
+        }
+    };
+}
+
+fn builtin_value_codecs() -> Vec<ValueCodec> {
+    vec![
+        prim_codec!("std.u8", u8, put_u8, get_u8),
+        prim_codec!("std.u32", u32, put_u32, get_u32),
+        prim_codec!("std.u64", u64, put_u64, get_u64),
+        prim_codec!("std.i64", i64, put_i64, get_i64),
+        prim_codec!("std.usize", usize, put_usize, get_usize),
+        prim_codec!("std.f64", f64, put_f64, get_f64),
+        prim_codec!("std.bool", bool, put_bool, get_bool),
+        ValueCodec {
+            tag: "std.String",
+            try_encode: |v| {
+                v.as_any().downcast_ref::<String>().map(|x| {
+                    let mut w = WireWriter::new();
+                    w.put_str(x);
+                    w.into_vec()
+                })
+            },
+            decode: |r| Ok(Box::new(r.get_str()?) as Box<dyn StoreValue>),
+        },
+        ValueCodec {
+            tag: "std.Vec<f64>",
+            try_encode: |v| {
+                v.as_any().downcast_ref::<Vec<f64>>().map(|x| {
+                    let mut w = WireWriter::new();
+                    w.put_f64_slice(x);
+                    w.into_vec()
+                })
+            },
+            decode: |r| Ok(Box::new(r.get_f64_slice()?) as Box<dyn StoreValue>),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp::Key;
+
+    #[test]
+    fn primitive_store_roundtrip() {
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("n"), 42u64, 8);
+        s.insert(Key::at("x", 1), -7i64, 8);
+        s.insert(Key::at("f", 2), 1.5f64, 8);
+        s.insert(Key::plain("flag"), true, 1);
+        s.insert(Key::plain("name"), String::from("dsc"), 3);
+        s.insert(Key::plain("v"), vec![1.0f64, -0.0], 16);
+        let img = encode_store(&s).unwrap();
+        assert_eq!(img.len(), 6);
+        // Keys are sorted in the image: deterministic wire bytes.
+        let mut keys: Vec<_> = img.iter().map(|e| e.key).collect();
+        let sorted = {
+            let mut k = keys.clone();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(keys, sorted);
+        keys.clear();
+
+        let t = decode_store(&img).unwrap();
+        assert_eq!(t.get::<u64>(Key::plain("n")), Some(&42));
+        assert_eq!(t.get::<i64>(Key::at("x", 1)), Some(&-7));
+        assert_eq!(t.get::<f64>(Key::at("f", 2)), Some(&1.5));
+        assert_eq!(t.get::<bool>(Key::plain("flag")), Some(&true));
+        assert_eq!(t.get::<String>(Key::plain("name")).map(|s| s.as_str()), Some("dsc"));
+        assert_eq!(
+            t.get::<Vec<f64>>(Key::plain("v")).unwrap()[1].to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(t.total_bytes(), s.total_bytes());
+    }
+
+    #[test]
+    fn unregistered_value_is_a_structured_error() {
+        #[derive(Clone)]
+        struct Opaque;
+        let mut s = NodeStore::new();
+        s.insert(Key::plain("o"), Opaque, 1);
+        match encode_store(&s) {
+            Err(RunError::NotSerializable { agent }) => assert!(agent.contains("o(0,0)")),
+            other => panic!("expected NotSerializable, got {other:?}"),
+        }
+        assert!(matches!(
+            decode_value("no.such.tag", &[]),
+            Err(DecodeError::UnknownTag(_))
+        ));
+    }
+
+    #[test]
+    fn messenger_registry_roundtrip() {
+        use navp::{Effect, MsgrCtx};
+
+        #[derive(Clone)]
+        struct Probe {
+            n: u64,
+        }
+        impl Messenger for Probe {
+            fn step(&mut self, _ctx: &mut MsgrCtx<'_>) -> Effect {
+                Effect::Done
+            }
+            fn label(&self) -> String {
+                format!("Probe({})", self.n)
+            }
+            fn wire_snapshot(&self) -> Option<WireSnapshot> {
+                let mut w = WireWriter::new();
+                w.put_u64(self.n);
+                Some(WireSnapshot::new("test.Probe", w.into_vec()))
+            }
+        }
+        register_messenger("test.Probe", |r| {
+            Ok(Box::new(Probe { n: r.get_u64()? }))
+        });
+        // Idempotent re-registration.
+        register_messenger("test.Probe", |r| {
+            Ok(Box::new(Probe { n: r.get_u64()? }))
+        });
+
+        let snap = encode_messenger(&Probe { n: 31 }).unwrap();
+        let back = decode_messenger(&snap).unwrap();
+        assert_eq!(back.label(), "Probe(31)");
+
+        struct NoWire;
+        impl Messenger for NoWire {
+            fn step(&mut self, _ctx: &mut MsgrCtx<'_>) -> Effect {
+                Effect::Done
+            }
+            fn label(&self) -> String {
+                "NoWire".into()
+            }
+        }
+        assert!(matches!(
+            encode_messenger(&NoWire),
+            Err(RunError::NotSerializable { .. })
+        ));
+        assert!(matches!(
+            decode_messenger(&WireSnapshot::new("ghost", vec![])),
+            Err(DecodeError::UnknownTag(_))
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! Wire-serializable test messengers, shared by the crate's loopback
+//! integration tests and the `navp-net-testpe` helper binary (both
+//! sides of a socket must register the same codecs, and integration
+//! tests run in a different process than the PEs they spawn).
+
+use crate::codec::WireWriter;
+use crate::pe::PE_ENV;
+use crate::registry::register_messenger;
+use navp::{Effect, EventKey, Key, Messenger, MsgrCtx, WireSnapshot};
+
+/// Exit code used by [`Exiter`] to die abruptly inside a PE process.
+pub const EXITER_CODE: i32 = 86;
+
+/// Hops around the ring `laps` times, bumping the `visits` counter in
+/// every PE's store as it passes through.
+#[derive(Clone)]
+pub struct WirePing {
+    /// Remaining ring laps.
+    pub laps: u32,
+    /// PEs visited so far (agent variable, travels on the wire).
+    pub visited: u64,
+}
+
+impl Messenger for WirePing {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        *ctx.store()
+            .get_mut::<u64>(Key::plain("visits"))
+            .expect("every PE seeds a visits counter") += 1;
+        self.visited += 1;
+        let here = ctx.here();
+        let pes = ctx.num_nodes();
+        if here + 1 == pes {
+            if self.laps <= 1 {
+                return Effect::Done;
+            }
+            self.laps -= 1;
+        }
+        Effect::Hop((here + 1) % pes)
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        12
+    }
+
+    fn label(&self) -> String {
+        format!("WirePing(laps={})", self.laps)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.laps);
+        w.put_u64(self.visited);
+        Some(WireSnapshot::new("net.WirePing", w.into_vec()))
+    }
+}
+
+/// Injects `count` fresh [`WirePing`]s on its own PE, then finishes —
+/// exercises mid-run injection id assignment across processes.
+#[derive(Clone)]
+pub struct Spawner {
+    /// How many pings to inject.
+    pub count: u32,
+}
+
+impl Messenger for Spawner {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        for _ in 0..self.count {
+            ctx.inject(WirePing {
+                laps: 1,
+                visited: 0,
+            });
+        }
+        Effect::Done
+    }
+
+    fn label(&self) -> String {
+        format!("Spawner({})", self.count)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.count);
+        Some(WireSnapshot::new("net.Spawner", w.into_vec()))
+    }
+}
+
+/// Parks on event `ev` (wherever its home is), then records its wake-up
+/// in `woken` on the PE it waited from.
+#[derive(Clone)]
+pub struct Waiter {
+    /// The event to wait for.
+    pub ev: EventKey,
+    /// `false` until the wait has been satisfied.
+    pub woken: bool,
+}
+
+impl Messenger for Waiter {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        if !self.woken {
+            self.woken = true;
+            return Effect::WaitEvent(self.ev);
+        }
+        *ctx.store()
+            .get_mut::<u64>(Key::plain("woken"))
+            .expect("every PE seeds a woken counter") += 1;
+        Effect::Done
+    }
+
+    fn label(&self) -> String {
+        format!("Waiter({})", self.ev)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_key(&self.ev);
+        w.put_bool(self.woken);
+        Some(WireSnapshot::new("net.Waiter", w.into_vec()))
+    }
+}
+
+/// Hops to `at_pe` and signals `ev` from there (the signal is routed to
+/// the event's home PE by the runtime).
+#[derive(Clone)]
+pub struct Signaler {
+    /// Where to signal from.
+    pub at_pe: usize,
+    /// The event to signal.
+    pub ev: EventKey,
+}
+
+impl Messenger for Signaler {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        if ctx.here() != self.at_pe {
+            return Effect::Hop(self.at_pe);
+        }
+        ctx.signal(self.ev);
+        Effect::Done
+    }
+
+    fn label(&self) -> String {
+        format!("Signaler({})", self.ev)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_usize(self.at_pe);
+        w.put_key(&self.ev);
+        Some(WireSnapshot::new("net.Signaler", w.into_vec()))
+    }
+}
+
+/// Hops to `at_pe` and kills that PE process abruptly
+/// (`std::process::exit(EXITER_CODE)`) — the peer-disconnect test's
+/// murder weapon. Outside a PE process (no [`PE_ENV`]) it just
+/// finishes, so the same messenger is harmless under in-process
+/// executors.
+#[derive(Clone)]
+pub struct Exiter {
+    /// The PE process to kill.
+    pub at_pe: usize,
+}
+
+impl Messenger for Exiter {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        if ctx.here() != self.at_pe {
+            return Effect::Hop(self.at_pe);
+        }
+        if std::env::var_os(PE_ENV).is_some() {
+            std::process::exit(EXITER_CODE);
+        }
+        Effect::Done
+    }
+
+    fn label(&self) -> String {
+        format!("Exiter(pe {})", self.at_pe)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        let mut w = WireWriter::new();
+        w.put_usize(self.at_pe);
+        Some(WireSnapshot::new("net.Exiter", w.into_vec()))
+    }
+}
+
+/// Register the decode half of every test messenger. Call on both sides
+/// of the socket (driver test process and `navp-net-testpe`).
+pub fn register_testing() {
+    register_messenger("net.WirePing", |r| {
+        Ok(Box::new(WirePing {
+            laps: r.get_u32()?,
+            visited: r.get_u64()?,
+        }))
+    });
+    register_messenger("net.Spawner", |r| {
+        Ok(Box::new(Spawner {
+            count: r.get_u32()?,
+        }))
+    });
+    register_messenger("net.Waiter", |r| {
+        Ok(Box::new(Waiter {
+            ev: r.get_key()?,
+            woken: r.get_bool()?,
+        }))
+    });
+    register_messenger("net.Signaler", |r| {
+        Ok(Box::new(Signaler {
+            at_pe: r.get_usize()?,
+            ev: r.get_key()?,
+        }))
+    });
+    register_messenger("net.Exiter", |r| {
+        Ok(Box::new(Exiter {
+            at_pe: r.get_usize()?,
+        }))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{decode_messenger, encode_messenger};
+
+    #[test]
+    fn test_messengers_roundtrip() {
+        register_testing();
+        let ping = WirePing {
+            laps: 3,
+            visited: 7,
+        };
+        let back = decode_messenger(&encode_messenger(&ping).unwrap()).unwrap();
+        assert_eq!(back.label(), ping.label());
+        assert_eq!(back.payload_bytes(), 12);
+
+        let w = Waiter {
+            ev: Key::at("EP", 2),
+            woken: false,
+        };
+        let back = decode_messenger(&encode_messenger(&w).unwrap()).unwrap();
+        assert_eq!(back.label(), "Waiter(EP(2,0))");
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests for the wire protocol: randomly generated frames
+//! roundtrip bitwise, and *no* truncation or corruption of an encoded
+//! frame can panic the decoder — every failure is a structured
+//! [`DecodeError`].
+//!
+//! The generator is a local SplitMix64 (same construction as
+//! `navp::fault`'s seeded plans) so the "random" cases are identical on
+//! every run and in CI.
+
+use navp::fault::{FaultPlan, FaultStats};
+use navp::{Key, RunError, WireSnapshot};
+use navp_net::frame::{Frame, StoreEntry};
+use navp_net::DecodeError;
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+const NAMES: [&str; 6] = ["a", "EP", "EC", "row", "B", "中文"];
+
+fn arb_key(rng: &mut SplitMix64) -> Key {
+    Key::at2(
+        NAMES[rng.below(NAMES.len() as u64) as usize],
+        rng.below(64) as usize,
+        rng.below(64) as usize,
+    )
+}
+
+fn arb_bytes(rng: &mut SplitMix64, max: u64) -> Vec<u8> {
+    (0..rng.below(max)).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn arb_snapshot(rng: &mut SplitMix64) -> WireSnapshot {
+    WireSnapshot::new(
+        format!("tag.{}", rng.below(1000)),
+        arb_bytes(rng, 48),
+    )
+}
+
+fn arb_store(rng: &mut SplitMix64) -> Vec<StoreEntry> {
+    (0..rng.below(5))
+        .map(|_| StoreEntry {
+            key: arb_key(rng),
+            tag: format!("t{}", rng.below(10)),
+            bytes: rng.below(1 << 20),
+            val: arb_bytes(rng, 32),
+        })
+        .collect()
+}
+
+fn arb_plan(rng: &mut SplitMix64) -> Option<FaultPlan> {
+    match rng.below(3) {
+        0 => None,
+        1 => Some(FaultPlan::seeded(rng.next_u64(), 4)),
+        _ => Some(
+            FaultPlan::new()
+                .delay_hop(rng.below(4) as usize, 1 + rng.below(5), 0.001)
+                .drop_hop(rng.below(4) as usize, 1 + rng.below(5))
+                .lose_signal(rng.below(4) as usize, 1 + rng.below(5))
+                .without_checkpointing(),
+        ),
+    }
+}
+
+fn arb_error(rng: &mut SplitMix64) -> RunError {
+    match rng.below(11) {
+        0 => RunError::NoPes,
+        1 => RunError::BadHop {
+            agent: "A".into(),
+            dst: rng.below(99) as usize,
+            pes: 4,
+        },
+        2 => RunError::Deadlock {
+            blocked: (0..rng.below(3))
+                .map(|i| (format!("m{i}"), format!("E({i},0)")))
+                .collect(),
+        },
+        3 => RunError::Stalled {
+            live: rng.below(9) as usize,
+        },
+        4 => RunError::WorkerPanic(format!("p{}", rng.below(9))),
+        5 => RunError::PeCrashed {
+            pe: rng.below(4) as usize,
+            run: rng.below(9),
+        },
+        6 => RunError::RecoveryFailed {
+            pe: rng.below(4) as usize,
+            reason: "r".into(),
+        },
+        7 => RunError::PeOutOfRange {
+            pe: rng.below(9) as usize,
+            pes: 4,
+        },
+        8 => RunError::PeerDisconnected {
+            pe: rng.below(4) as usize,
+            detail: "eof".into(),
+        },
+        9 => RunError::NotSerializable {
+            agent: format!("m{}", rng.below(9)),
+        },
+        _ => RunError::Transport {
+            detail: "t".into(),
+        },
+    }
+}
+
+fn arb_frame(rng: &mut SplitMix64) -> Frame {
+    match rng.below(17) {
+        0 => Frame::Assign {
+            pe: rng.below(16) as u32,
+            pes: rng.below(16) as u32,
+        },
+        1 => Frame::Hello {
+            pe: rng.below(16) as u32,
+            pid: rng.next_u64() as u32,
+            listen: format!("127.0.0.1:{}", rng.below(65536)),
+        },
+        2 => Frame::Bootstrap {
+            peers: (0..rng.below(5))
+                .map(|i| format!("10.0.0.{i}:{}", rng.below(65536)))
+                .collect(),
+        },
+        3 => Frame::PeerHello {
+            pe: rng.below(16) as u32,
+        },
+        4 => Frame::MeshReady {
+            pe: rng.below(16) as u32,
+        },
+        5 => Frame::Start {
+            store: arb_store(rng),
+            injections: (0..rng.below(4))
+                .map(|_| (rng.next_u64(), arb_snapshot(rng)))
+                .collect(),
+            events: (0..rng.below(4)).map(|_| arb_key(rng)).collect(),
+            plan: arb_plan(rng),
+            initial_live: rng.below(1000),
+        },
+        6 => Frame::Hop {
+            id: rng.next_u64(),
+            msgr: arb_snapshot(rng),
+        },
+        7 => Frame::EventWait {
+            key: arb_key(rng),
+            id: rng.next_u64(),
+            origin: rng.below(16) as u32,
+            msgr: arb_snapshot(rng),
+        },
+        8 => Frame::EventSignal { key: arb_key(rng) },
+        9 => Frame::Deliver {
+            id: rng.next_u64(),
+            msgr: arb_snapshot(rng),
+        },
+        10 => Frame::Delta {
+            spawned: rng.below(100),
+            finished: rng.below(100),
+            steps: rng.next_u64() >> 1,
+            hops: rng.below(1 << 30),
+            hop_payload: rng.next_u64() >> 1,
+            wire_bytes: rng.next_u64() >> 1,
+        },
+        11 => Frame::Collect,
+        12 => Frame::StoreDump {
+            store: arb_store(rng),
+            stats: FaultStats {
+                crashes: rng.below(5),
+                redelivered: rng.below(5),
+                replayed_writes: rng.below(100),
+                send_retries: rng.below(5),
+                hops_delayed: rng.below(5),
+                hops_dropped: rng.below(5),
+                signals_lost: rng.below(5),
+            },
+        },
+        13 => Frame::Fatal {
+            err: arb_error(rng),
+        },
+        14 => Frame::Probe {
+            round: rng.below(1000),
+        },
+        15 => Frame::ProbeAck {
+            round: rng.below(1000),
+            spawned: rng.below(10_000),
+            finished: rng.below(10_000),
+            peer_sent: rng.below(10_000),
+            peer_recv: rng.below(10_000),
+        },
+        _ => Frame::Shutdown,
+    }
+}
+
+#[test]
+fn arbitrary_frames_roundtrip_bitwise() {
+    let mut rng = SplitMix64(0xF00D);
+    for case in 0..500 {
+        let frame = arb_frame(&mut rng);
+        let bytes = frame.encode();
+        let back = Frame::decode(&bytes).unwrap_or_else(|e| {
+            panic!("case {case}: decode failed with {e} for {frame:?}")
+        });
+        assert_eq!(back, frame, "case {case}");
+        // Re-encoding the decoded frame is also bitwise stable.
+        assert_eq!(back.encode(), bytes, "case {case}: encode not canonical");
+    }
+}
+
+#[test]
+fn every_truncation_is_an_error_never_a_panic() {
+    let mut rng = SplitMix64(0xBEEF);
+    for _ in 0..60 {
+        let frame = arb_frame(&mut rng);
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Ok(other) => panic!("truncated {frame:?} at {cut} decoded as {other:?}"),
+                Err(e) => {
+                    // Must be a structured decode error with a Display.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let mut rng = SplitMix64(0xCAFE);
+    for _ in 0..40 {
+        let frame = arb_frame(&mut rng);
+        let bytes = frame.encode();
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= flip;
+                // Either it still decodes (the flipped bits were plain
+                // payload) or it errors — but it never panics and never
+                // over-reads.
+                let _ = Frame::decode(&corrupt).map(|f| f.encode());
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix64(0xD1CE);
+    for _ in 0..2000 {
+        let garbage = arb_bytes(&mut rng, 64);
+        let _ = Frame::decode(&garbage);
+    }
+    assert!(matches!(
+        Frame::decode(&[]),
+        Err(DecodeError::Truncated)
+    ));
+}

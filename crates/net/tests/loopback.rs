@@ -1,0 +1,224 @@
+//! End-to-end loopback tests: a real driver, real `navp-net-testpe`
+//! child processes, real TCP frames on 127.0.0.1.
+
+use navp::fault::FaultPlan;
+use navp::{Cluster, Key, RunError};
+use navp_net::testing::{register_testing, Exiter, Signaler, Spawner, Waiter, WirePing};
+use navp_net::NetExecutor;
+use std::time::{Duration, Instant};
+
+const PES: usize = 4;
+
+fn testpe() -> &'static str {
+    env!("CARGO_BIN_EXE_navp-net-testpe")
+}
+
+fn exec() -> NetExecutor {
+    NetExecutor::new()
+        .with_pe_bin(testpe())
+        .with_watchdog(Duration::from_secs(30))
+}
+
+/// A cluster whose every PE holds the counters the test messengers
+/// update.
+fn counter_cluster() -> Cluster {
+    register_testing();
+    let mut c = Cluster::new(PES).unwrap();
+    for pe in 0..PES {
+        c.store_mut(pe).insert(Key::plain("visits"), 0u64, 8);
+        c.store_mut(pe).insert(Key::plain("woken"), 0u64, 8);
+    }
+    c
+}
+
+fn visits(rep: &navp_net::NetReport) -> Vec<u64> {
+    rep.stores
+        .iter()
+        .map(|s| *s.get::<u64>(Key::plain("visits")).unwrap())
+        .collect()
+}
+
+#[test]
+fn ping_makes_two_ring_laps() {
+    let mut c = counter_cluster();
+    c.inject(
+        0,
+        WirePing {
+            laps: 2,
+            visited: 0,
+        },
+    );
+    let rep = exec().run(c).unwrap();
+    assert_eq!(visits(&rep), vec![2; PES]);
+    assert_eq!(rep.steps, 8);
+    assert_eq!(rep.hops, 7, "7 inter-PE hops for 2 laps over 4 PEs");
+    assert_eq!(rep.hop_payload_bytes, 7 * 12);
+    assert!(rep.wire_bytes > 0);
+    assert_eq!(rep.per_pe.len(), PES);
+    assert_eq!(rep.per_pe.iter().map(|p| p.hops).sum::<u64>(), 7);
+    assert!(!rep.faults.any());
+}
+
+#[test]
+fn mid_run_injection_spawns_new_wire_messengers() {
+    let mut c = counter_cluster();
+    c.inject(1, Spawner { count: 3 });
+    let rep = exec().run(c).unwrap();
+    // Each spawned ping walks 1→2→3 (one lap ends at the last PE).
+    assert_eq!(visits(&rep), vec![0, 3, 3, 3]);
+    assert_eq!(rep.hops, 6);
+}
+
+#[test]
+fn events_cross_processes() {
+    let mut c = counter_cluster();
+    c.inject(
+        0,
+        Waiter {
+            ev: Key::plain("GO"),
+            woken: false,
+        },
+    );
+    c.inject(3, Signaler {
+        at_pe: 2,
+        ev: Key::plain("GO"),
+    });
+    let rep = exec().run(c).unwrap();
+    let woken: Vec<u64> = rep
+        .stores
+        .iter()
+        .map(|s| *s.get::<u64>(Key::plain("woken")).unwrap())
+        .collect();
+    assert_eq!(woken, vec![1, 0, 0, 0], "the waiter wakes where it parked");
+}
+
+#[test]
+fn initial_events_satisfy_waits() {
+    let mut c = counter_cluster();
+    c.signal_initial(Key::plain("GO"));
+    c.inject(
+        1,
+        Waiter {
+            ev: Key::plain("GO"),
+            woken: false,
+        },
+    );
+    let rep = exec().run(c).unwrap();
+    let woken: Vec<u64> = rep
+        .stores
+        .iter()
+        .map(|s| *s.get::<u64>(Key::plain("woken")).unwrap())
+        .collect();
+    assert_eq!(woken.iter().sum::<u64>(), 1);
+    assert_eq!(woken[1], 1);
+}
+
+#[test]
+fn delayed_and_dropped_hops_are_absorbed() {
+    let mut c = counter_cluster();
+    c.inject(
+        0,
+        WirePing {
+            laps: 2,
+            visited: 0,
+        },
+    );
+    c.set_fault_plan(
+        FaultPlan::new()
+            .delay_hop(2, 1, 0.2)
+            .drop_hop(1, 1),
+    );
+    let rep = exec().run(c).unwrap();
+    assert_eq!(visits(&rep), vec![2; PES], "product unchanged under faults");
+    assert_eq!(rep.faults.hops_delayed, 1);
+    assert_eq!(rep.faults.hops_dropped, 1);
+    assert_eq!(rep.faults.send_retries, 1);
+}
+
+#[test]
+fn crash_with_checkpointing_recovers_in_place() {
+    let mut c = counter_cluster();
+    c.inject(
+        0,
+        WirePing {
+            laps: 2,
+            visited: 0,
+        },
+    );
+    // PE 2 dies just before its first messenger run; the checkpointed
+    // ping is re-delivered and the ring completes as if nothing
+    // happened.
+    c.set_fault_plan(FaultPlan::new().crash_pe(2, 1));
+    let rep = exec().run(c).unwrap();
+    assert_eq!(visits(&rep), vec![2; PES]);
+    assert_eq!(rep.faults.crashes, 1);
+    assert_eq!(rep.faults.redelivered, 1);
+}
+
+#[test]
+fn killed_pe_process_surfaces_as_peer_disconnected() {
+    let mut c = counter_cluster();
+    c.inject(0, Exiter { at_pe: 2 });
+    let watchdog = Duration::from_secs(8);
+    let started = Instant::now();
+    let err = NetExecutor::new()
+        .with_pe_bin(testpe())
+        .with_watchdog(watchdog)
+        .run(c)
+        .unwrap_err();
+    assert!(
+        started.elapsed() < watchdog + Duration::from_secs(4),
+        "death must be detected within the watchdog, took {:?}",
+        started.elapsed()
+    );
+    match err {
+        RunError::PeerDisconnected { pe, .. } => assert_eq!(pe, 2),
+        other => panic!("expected PeerDisconnected for PE 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_without_checkpointing_is_a_process_exit() {
+    let mut c = counter_cluster();
+    c.inject(
+        0,
+        WirePing {
+            laps: 2,
+            visited: 0,
+        },
+    );
+    c.set_fault_plan(FaultPlan::new().crash_pe(3, 1).without_checkpointing());
+    let err = exec().run(c).unwrap_err();
+    match err {
+        RunError::PeerDisconnected { pe, detail } => {
+            assert_eq!(pe, 3);
+            assert!(
+                detail.contains(&navp_net::CRASH_EXIT.to_string()),
+                "exit status should reach the error: {detail}"
+            );
+        }
+        other => panic!("expected PeerDisconnected for PE 3, got {other:?}"),
+    }
+}
+
+#[test]
+fn unserializable_injection_fails_before_any_process_spawns() {
+    struct Opaque;
+    impl navp::Messenger for Opaque {
+        fn step(&mut self, _ctx: &mut navp::MsgrCtx<'_>) -> navp::Effect {
+            navp::Effect::Done
+        }
+        fn label(&self) -> String {
+            "Opaque".into()
+        }
+    }
+    let mut c = counter_cluster();
+    c.inject(0, Opaque);
+    let started = Instant::now();
+    let err = exec().run(c).unwrap_err();
+    assert!(matches!(err, RunError::NotSerializable { .. }));
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "must fail at encode time, not at a watchdog"
+    );
+}

@@ -1,0 +1,87 @@
+//! A real distributed run: four `navp-pe` OS processes on loopback
+//! TCP execute the 2-D pipelined stage, first clean, then with a
+//! seeded hop-delay fault plan stressing the transport — and both
+//! products match the in-process thread executor **bitwise**.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo build --release          # builds the navp-pe daemon
+//! cargo run --release --example net_cluster
+//! ```
+//!
+//! The driver spawns the four PE processes itself and wires the full
+//! TCP mesh. To spread the same cluster over real machines instead,
+//! start `navp-pe --listen host:port` on each and hand the addresses
+//! to `NetOpts::join` — nothing else changes.
+
+use navp_repro::navp::FaultPlan;
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::config::MmConfig;
+use navp_repro::navp_mm::runner::{
+    run_navp_net, run_navp_net_faulted, run_navp_threads, NavpStage, NetOpts,
+};
+
+fn main() {
+    let cfg = MmConfig::real(24, 4); // N = 24, block order 4 → 6 block rows
+    let grid = Grid2D::new(2, 2).expect("grid"); // 2×2 PE mesh, 4 processes
+    let stage = NavpStage::Pipe2D;
+    let opts = NetOpts::default(); // finds navp-pe next to this executable
+
+    println!("== {} on a 4-process loopback cluster ==\n", stage.name());
+
+    // Reference product from the in-process thread executor.
+    let reference = run_navp_threads(stage, &cfg, grid).expect("thread run");
+
+    // Clean networked run: every hop is a serialized messenger snapshot
+    // crossing a real TCP socket between OS processes.
+    let clean = run_navp_net(stage, &cfg, grid, &opts).expect("networked run");
+    report("clean", &clean);
+    assert_eq!(clean.verified, Some(true));
+    assert_eq!(
+        reference.c, clean.c,
+        "networked product must match threads bitwise"
+    );
+    println!("         product bitwise-identical to the thread executor\n");
+
+    // Now hold individual frames back at the sockets: a deterministic
+    // hop-delay plan (delay-only — the data path is untouched, only
+    // arrival times move).
+    let plan = FaultPlan::new()
+        .delay_hop(0, 1, 0.10)
+        .delay_hop(1, 2, 0.15)
+        .delay_hop(2, 1, 0.10)
+        .delay_hop(3, 1, 0.05);
+    println!("injecting: {plan:?}");
+    let delayed = run_navp_net_faulted(stage, &cfg, grid, &opts, plan).expect("delayed run");
+    report("delayed", &delayed);
+    let f = delayed.faults.expect("networked runs report fault stats");
+    println!("         hops held at the socket: {}", f.hops_delayed);
+    assert!(f.hops_delayed > 0);
+    assert_eq!(delayed.verified, Some(true));
+    assert_eq!(
+        reference.c, delayed.c,
+        "delays must never change the product"
+    );
+    println!("         product still bitwise-identical\n");
+
+    println!("ok: TCP cluster reproduces the thread executor bit for bit");
+}
+
+/// Print the per-PE transfer table for one networked run.
+fn report(label: &str, out: &navp_repro::navp_mm::runner::RunOutput) {
+    let per_pe = out.per_pe_net.as_ref().expect("per-PE stats");
+    println!(
+        "{label:>8}: wall {:?}, {} hops, {} wire bytes",
+        out.wall.expect("wall clock"),
+        out.transfers,
+        out.bytes
+    );
+    println!("          PE   steps    hops   payload B");
+    for (pe, s) in per_pe.iter().enumerate() {
+        println!(
+            "          {pe:>2} {:>7} {:>7} {:>11}",
+            s.steps, s.hops, s.hop_payload_bytes
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The production PE daemon: one OS process hosting one PE of a
+//! networked NavP cluster.
+//!
+//! A driver ([`navp_net::NetExecutor`]) either spawns these itself
+//! (`navp-pe --connect <driver-addr>`, the default for local loopback
+//! clusters) or joins daemons started by hand on remote machines
+//! (`navp-pe --listen <bind-addr>` + `NetExecutor::join_addrs`). The
+//! binary registers every wire codec of the case study before serving,
+//! so all six stage carriers, the launcher, and matrix blocks can
+//! arrive over TCP.
+
+fn main() {
+    navp_mm::register_net();
+    let mode = match navp_net::parse_pe_args(std::env::args().skip(1)) {
+        Ok(m) => m,
+        Err(usage) => {
+            eprintln!("navp-pe: {usage}");
+            eprintln!("usage: navp-pe --connect <driver-host:port> | --listen <bind-host:port>");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = navp_net::pe_main(mode) {
+        eprintln!("navp-pe: {e}");
+        std::process::exit(1);
+    }
+}

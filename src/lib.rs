@@ -9,6 +9,9 @@
 //! * [`navp_sim`] — the virtual cluster and cost model standing in for the
 //!   paper's SUN workstation network.
 //! * [`navp_matrix`] — dense/blocked matrices, distributions, staggering.
+//! * [`navp_net`] — the TCP-distributed executor: PEs as OS processes,
+//!   a length-prefixed binary wire protocol, and the `navp-pe` daemon
+//!   binary this crate ships.
 //! * [`navp_mp`] — the MPI-like message-passing substrate for the
 //!   Gentleman/Cannon/SUMMA baselines.
 //! * [`navp_mm`] — the case study: six incremental NavP matrix-multiply
@@ -18,4 +21,5 @@ pub use navp;
 pub use navp_matrix;
 pub use navp_mm;
 pub use navp_mp;
+pub use navp_net;
 pub use navp_sim;

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/accounting-50a5648e78ed879a.d: tests/accounting.rs
+
+/root/repo/target/debug/deps/accounting-50a5648e78ed879a: tests/accounting.rs
+
+tests/accounting.rs:
+
+# env-dep:CARGO_BIN_EXE_navp-pe=/root/repo/target/debug/navp-pe

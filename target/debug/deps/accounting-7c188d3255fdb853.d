@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accounting-7c188d3255fdb853.d: tests/accounting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccounting-7c188d3255fdb853.rmeta: tests/accounting.rs Cargo.toml
+
+tests/accounting.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_navp-pe=placeholder:navp-pe
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

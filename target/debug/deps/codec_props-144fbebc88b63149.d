@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_props-144fbebc88b63149.d: crates/net/tests/codec_props.rs
+
+/root/repo/target/debug/deps/codec_props-144fbebc88b63149: crates/net/tests/codec_props.rs
+
+crates/net/tests/codec_props.rs:

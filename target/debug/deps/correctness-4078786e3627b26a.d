@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-4078786e3627b26a.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-4078786e3627b26a: tests/correctness.rs
+
+tests/correctness.rs:

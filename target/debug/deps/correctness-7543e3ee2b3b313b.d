@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-7543e3ee2b3b313b.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-7543e3ee2b3b313b.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

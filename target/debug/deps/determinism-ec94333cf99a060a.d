@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ec94333cf99a060a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ec94333cf99a060a: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-56495d5a299f1146.d: tests/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-56495d5a299f1146.rmeta: tests/failures.rs Cargo.toml
+
+tests/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-9347fa92ae703f05.d: tests/failures.rs
+
+/root/repo/target/debug/deps/failures-9347fa92ae703f05: tests/failures.rs
+
+tests/failures.rs:

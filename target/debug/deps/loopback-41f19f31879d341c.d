@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/loopback-41f19f31879d341c.d: crates/net/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-41f19f31879d341c: crates/net/tests/loopback.rs
+
+crates/net/tests/loopback.rs:
+
+# env-dep:CARGO_BIN_EXE_navp-net-testpe=/root/repo/target/debug/navp-net-testpe

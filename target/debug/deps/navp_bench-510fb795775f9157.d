@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/navp_bench-510fb795775f9157.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libnavp_bench-510fb795775f9157.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libnavp_bench-510fb795775f9157.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/layout.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/timing.rs:

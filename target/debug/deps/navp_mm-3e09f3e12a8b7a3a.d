@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/navp_mm-3e09f3e12a8b7a3a.d: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs
+
+/root/repo/target/debug/deps/navp_mm-3e09f3e12a8b7a3a: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs
+
+crates/mm/src/lib.rs:
+crates/mm/src/carrier1d.rs:
+crates/mm/src/carrier2d.rs:
+crates/mm/src/config.rs:
+crates/mm/src/doall.rs:
+crates/mm/src/dpc2d.rs:
+crates/mm/src/dsc1d.rs:
+crates/mm/src/dsc2d.rs:
+crates/mm/src/gentleman.rs:
+crates/mm/src/launch.rs:
+crates/mm/src/net.rs:
+crates/mm/src/phase1d.rs:
+crates/mm/src/pipe1d.rs:
+crates/mm/src/pipe2d.rs:
+crates/mm/src/runner.rs:
+crates/mm/src/seq.rs:
+crates/mm/src/summa.rs:
+crates/mm/src/util.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/navp_mm-cdb0f5c00d894b8a.d: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_mm-cdb0f5c00d894b8a.rmeta: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs Cargo.toml
+
+crates/mm/src/lib.rs:
+crates/mm/src/carrier1d.rs:
+crates/mm/src/carrier2d.rs:
+crates/mm/src/config.rs:
+crates/mm/src/doall.rs:
+crates/mm/src/dpc2d.rs:
+crates/mm/src/dsc1d.rs:
+crates/mm/src/dsc2d.rs:
+crates/mm/src/gentleman.rs:
+crates/mm/src/launch.rs:
+crates/mm/src/net.rs:
+crates/mm/src/phase1d.rs:
+crates/mm/src/pipe1d.rs:
+crates/mm/src/pipe2d.rs:
+crates/mm/src/runner.rs:
+crates/mm/src/seq.rs:
+crates/mm/src/summa.rs:
+crates/mm/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/navp_net-62fb5a8560cf4e06.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+/root/repo/target/debug/deps/navp_net-62fb5a8560cf4e06: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/codec.rs:
+crates/net/src/exec.rs:
+crates/net/src/frame.rs:
+crates/net/src/pe.rs:
+crates/net/src/registry.rs:
+crates/net/src/testing.rs:

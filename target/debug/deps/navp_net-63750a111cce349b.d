@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/navp_net-63750a111cce349b.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_net-63750a111cce349b.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/codec.rs:
+crates/net/src/exec.rs:
+crates/net/src/frame.rs:
+crates/net/src/pe.rs:
+crates/net/src/registry.rs:
+crates/net/src/testing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

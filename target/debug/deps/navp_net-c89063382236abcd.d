@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/navp_net-c89063382236abcd.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+/root/repo/target/debug/deps/libnavp_net-c89063382236abcd.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+/root/repo/target/debug/deps/libnavp_net-c89063382236abcd.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/codec.rs:
+crates/net/src/exec.rs:
+crates/net/src/frame.rs:
+crates/net/src/pe.rs:
+crates/net/src/registry.rs:
+crates/net/src/testing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_net_testpe-490fab875eb72a0d.d: crates/net/src/bin/navp-net-testpe.rs
+
+/root/repo/target/debug/deps/navp_net_testpe-490fab875eb72a0d: crates/net/src/bin/navp-net-testpe.rs
+
+crates/net/src/bin/navp-net-testpe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_net_testpe-cb3591f2045dabb9.d: crates/net/src/bin/navp-net-testpe.rs
+
+/root/repo/target/debug/deps/navp_net_testpe-cb3591f2045dabb9: crates/net/src/bin/navp-net-testpe.rs
+
+crates/net/src/bin/navp-net-testpe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_net_testpe-fcf1cf1af0d9e784.d: crates/net/src/bin/navp-net-testpe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_net_testpe-fcf1cf1af0d9e784.rmeta: crates/net/src/bin/navp-net-testpe.rs Cargo.toml
+
+crates/net/src/bin/navp-net-testpe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_pe-205a1b55be157eb2.d: src/bin/navp-pe.rs
+
+/root/repo/target/debug/deps/navp_pe-205a1b55be157eb2: src/bin/navp-pe.rs
+
+src/bin/navp-pe.rs:

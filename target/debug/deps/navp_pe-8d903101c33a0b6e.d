@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_pe-8d903101c33a0b6e.d: src/bin/navp-pe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_pe-8d903101c33a0b6e.rmeta: src/bin/navp-pe.rs Cargo.toml
+
+src/bin/navp-pe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

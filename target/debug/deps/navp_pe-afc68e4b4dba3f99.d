@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_pe-afc68e4b4dba3f99.d: src/bin/navp-pe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_pe-afc68e4b4dba3f99.rmeta: src/bin/navp-pe.rs Cargo.toml
+
+src/bin/navp-pe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

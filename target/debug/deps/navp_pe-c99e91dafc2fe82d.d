@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_pe-c99e91dafc2fe82d.d: src/bin/navp-pe.rs
+
+/root/repo/target/debug/deps/navp_pe-c99e91dafc2fe82d: src/bin/navp-pe.rs
+
+src/bin/navp-pe.rs:

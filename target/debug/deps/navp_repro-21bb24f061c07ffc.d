@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/navp_repro-21bb24f061c07ffc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnavp_repro-21bb24f061c07ffc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnavp_repro-21bb24f061c07ffc.rmeta: src/lib.rs
+
+src/lib.rs:

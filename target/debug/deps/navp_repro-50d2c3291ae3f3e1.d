@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/navp_repro-50d2c3291ae3f3e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/navp_repro-50d2c3291ae3f3e1: src/lib.rs
+
+src/lib.rs:

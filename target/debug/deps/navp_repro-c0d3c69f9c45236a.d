@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/navp_repro-c0d3c69f9c45236a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnavp_repro-c0d3c69f9c45236a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/net-46fbdce40d551e07.d: tests/net.rs
+
+/root/repo/target/debug/deps/net-46fbdce40d551e07: tests/net.rs
+
+tests/net.rs:
+
+# env-dep:CARGO_BIN_EXE_navp-pe=/root/repo/target/debug/navp-pe

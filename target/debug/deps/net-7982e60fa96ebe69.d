@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/net-7982e60fa96ebe69.d: tests/net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnet-7982e60fa96ebe69.rmeta: tests/net.rs Cargo.toml
+
+tests/net.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_navp-pe=placeholder:navp-pe
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

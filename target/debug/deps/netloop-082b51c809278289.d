@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netloop-082b51c809278289.d: crates/bench/src/bin/netloop.rs
+
+/root/repo/target/debug/deps/netloop-082b51c809278289: crates/bench/src/bin/netloop.rs
+
+crates/bench/src/bin/netloop.rs:

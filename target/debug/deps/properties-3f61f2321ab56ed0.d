@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3f61f2321ab56ed0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3f61f2321ab56ed0: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-68b16e9404cb6e2e.d: tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-68b16e9404cb6e2e.rmeta: tests/recovery.rs Cargo.toml
+
+tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-9d895b2b3b71714a.d: tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-9d895b2b3b71714a: tests/recovery.rs
+
+tests/recovery.rs:

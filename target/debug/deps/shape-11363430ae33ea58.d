@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape-11363430ae33ea58.d: tests/shape.rs
+
+/root/repo/target/debug/deps/shape-11363430ae33ea58: tests/shape.rs
+
+tests/shape.rs:

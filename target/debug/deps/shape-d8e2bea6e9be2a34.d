@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape-d8e2bea6e9be2a34.d: tests/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape-d8e2bea6e9be2a34.rmeta: tests/shape.rs Cargo.toml
+
+tests/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-2b9f97e963232dba.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-2b9f97e963232dba: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_journey-4931094c1766cf0b.d: examples/incremental_journey.rs
+
+/root/repo/target/debug/examples/incremental_journey-4931094c1766cf0b: examples/incremental_journey.rs
+
+examples/incremental_journey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_journey-eeeec13a0eff71bb.d: examples/incremental_journey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_journey-eeeec13a0eff71bb.rmeta: examples/incremental_journey.rs Cargo.toml
+
+examples/incremental_journey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

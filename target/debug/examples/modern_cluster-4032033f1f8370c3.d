@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/modern_cluster-4032033f1f8370c3.d: examples/modern_cluster.rs
+
+/root/repo/target/debug/examples/modern_cluster-4032033f1f8370c3: examples/modern_cluster.rs
+
+examples/modern_cluster.rs:

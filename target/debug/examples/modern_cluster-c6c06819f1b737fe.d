@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/modern_cluster-c6c06819f1b737fe.d: examples/modern_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodern_cluster-c6c06819f1b737fe.rmeta: examples/modern_cluster.rs Cargo.toml
+
+examples/modern_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

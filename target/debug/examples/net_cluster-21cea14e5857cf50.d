@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/net_cluster-21cea14e5857cf50.d: examples/net_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnet_cluster-21cea14e5857cf50.rmeta: examples/net_cluster.rs Cargo.toml
+
+examples/net_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

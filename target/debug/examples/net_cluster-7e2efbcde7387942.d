@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/net_cluster-7e2efbcde7387942.d: examples/net_cluster.rs
+
+/root/repo/target/debug/examples/net_cluster-7e2efbcde7387942: examples/net_cluster.rs
+
+examples/net_cluster.rs:

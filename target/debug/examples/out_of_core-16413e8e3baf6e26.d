@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/out_of_core-16413e8e3baf6e26.d: examples/out_of_core.rs
+
+/root/repo/target/debug/examples/out_of_core-16413e8e3baf6e26: examples/out_of_core.rs
+
+examples/out_of_core.rs:

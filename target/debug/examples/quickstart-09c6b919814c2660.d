@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-09c6b919814c2660.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-09c6b919814c2660: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spacetime-a9d42704d0830a10.d: examples/spacetime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspacetime-a9d42704d0830a10.rmeta: examples/spacetime.rs Cargo.toml
+
+examples/spacetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

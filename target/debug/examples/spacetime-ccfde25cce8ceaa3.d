@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spacetime-ccfde25cce8ceaa3.d: examples/spacetime.rs
+
+/root/repo/target/debug/examples/spacetime-ccfde25cce8ceaa3: examples/spacetime.rs
+
+examples/spacetime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transformations-45b390017ea93bdd.d: examples/transformations.rs
+
+/root/repo/target/debug/examples/transformations-45b390017ea93bdd: examples/transformations.rs
+
+examples/transformations.rs:

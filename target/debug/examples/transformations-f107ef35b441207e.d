@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transformations-f107ef35b441207e.d: examples/transformations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransformations-f107ef35b441207e.rmeta: examples/transformations.rs Cargo.toml
+
+examples/transformations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

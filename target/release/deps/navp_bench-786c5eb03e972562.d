@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/navp_bench-786c5eb03e972562.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libnavp_bench-786c5eb03e972562.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libnavp_bench-786c5eb03e972562.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/layout.rs crates/bench/src/paper.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/layout.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/timing.rs:

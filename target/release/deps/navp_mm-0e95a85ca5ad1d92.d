@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/navp_mm-0e95a85ca5ad1d92.d: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs
+
+/root/repo/target/release/deps/libnavp_mm-0e95a85ca5ad1d92.rlib: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs
+
+/root/repo/target/release/deps/libnavp_mm-0e95a85ca5ad1d92.rmeta: crates/mm/src/lib.rs crates/mm/src/carrier1d.rs crates/mm/src/carrier2d.rs crates/mm/src/config.rs crates/mm/src/doall.rs crates/mm/src/dpc2d.rs crates/mm/src/dsc1d.rs crates/mm/src/dsc2d.rs crates/mm/src/gentleman.rs crates/mm/src/launch.rs crates/mm/src/net.rs crates/mm/src/phase1d.rs crates/mm/src/pipe1d.rs crates/mm/src/pipe2d.rs crates/mm/src/runner.rs crates/mm/src/seq.rs crates/mm/src/summa.rs crates/mm/src/util.rs
+
+crates/mm/src/lib.rs:
+crates/mm/src/carrier1d.rs:
+crates/mm/src/carrier2d.rs:
+crates/mm/src/config.rs:
+crates/mm/src/doall.rs:
+crates/mm/src/dpc2d.rs:
+crates/mm/src/dsc1d.rs:
+crates/mm/src/dsc2d.rs:
+crates/mm/src/gentleman.rs:
+crates/mm/src/launch.rs:
+crates/mm/src/net.rs:
+crates/mm/src/phase1d.rs:
+crates/mm/src/pipe1d.rs:
+crates/mm/src/pipe2d.rs:
+crates/mm/src/runner.rs:
+crates/mm/src/seq.rs:
+crates/mm/src/summa.rs:
+crates/mm/src/util.rs:

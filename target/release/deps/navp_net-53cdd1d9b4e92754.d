@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/navp_net-53cdd1d9b4e92754.d: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+/root/repo/target/release/deps/libnavp_net-53cdd1d9b4e92754.rlib: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+/root/repo/target/release/deps/libnavp_net-53cdd1d9b4e92754.rmeta: crates/net/src/lib.rs crates/net/src/cluster.rs crates/net/src/codec.rs crates/net/src/exec.rs crates/net/src/frame.rs crates/net/src/pe.rs crates/net/src/registry.rs crates/net/src/testing.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cluster.rs:
+crates/net/src/codec.rs:
+crates/net/src/exec.rs:
+crates/net/src/frame.rs:
+crates/net/src/pe.rs:
+crates/net/src/registry.rs:
+crates/net/src/testing.rs:

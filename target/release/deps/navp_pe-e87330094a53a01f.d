@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/navp_pe-e87330094a53a01f.d: src/bin/navp-pe.rs
+
+/root/repo/target/release/deps/navp_pe-e87330094a53a01f: src/bin/navp-pe.rs
+
+src/bin/navp-pe.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/navp_repro-2e83f14f574a0586.d: src/lib.rs
+
+/root/repo/target/release/deps/libnavp_repro-2e83f14f574a0586.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnavp_repro-2e83f14f574a0586.rmeta: src/lib.rs
+
+src/lib.rs:

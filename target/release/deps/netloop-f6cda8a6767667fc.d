@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/netloop-f6cda8a6767667fc.d: crates/bench/src/bin/netloop.rs
+
+/root/repo/target/release/deps/netloop-f6cda8a6767667fc: crates/bench/src/bin/netloop.rs
+
+crates/bench/src/bin/netloop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-0ca9ae8efa980006.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-0ca9ae8efa980006: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_journey-64726dcb47407e3b.d: examples/incremental_journey.rs
+
+/root/repo/target/release/examples/incremental_journey-64726dcb47407e3b: examples/incremental_journey.rs
+
+examples/incremental_journey.rs:

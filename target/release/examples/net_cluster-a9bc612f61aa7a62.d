@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/net_cluster-a9bc612f61aa7a62.d: examples/net_cluster.rs
+
+/root/repo/target/release/examples/net_cluster-a9bc612f61aa7a62: examples/net_cluster.rs
+
+examples/net_cluster.rs:

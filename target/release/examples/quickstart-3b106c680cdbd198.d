@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3b106c680cdbd198.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3b106c680cdbd198: examples/quickstart.rs
+
+examples/quickstart.rs:

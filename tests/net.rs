@@ -1,0 +1,138 @@
+//! Networked-executor parity: a 4-PE loopback cluster of real OS
+//! processes must produce the *bitwise identical* product to the
+//! in-process thread executor.
+//!
+//! Bitwise (not epsilon) equality is the acceptance bar because the
+//! block-kernel summation order is fixed by the algorithm, and the
+//! wire protocol moves every `f64` as its exact bit pattern — any
+//! difference at all means the wire layer corrupted or reordered a
+//! contribution.
+
+use navp_repro::navp::FaultPlan;
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::runner::{
+    run_navp_net, run_navp_net_faulted, run_navp_threads, NavpStage, NetOpts,
+};
+use navp_repro::navp_mm::MmConfig;
+use std::time::Duration;
+
+/// The `navp-pe` daemon this crate ships, resolved by Cargo.
+fn opts() -> NetOpts {
+    NetOpts {
+        pe_bin: Some(env!("CARGO_BIN_EXE_navp-pe").into()),
+        ..NetOpts::default()
+    }
+}
+
+fn cfg(n: usize, ab: usize) -> MmConfig {
+    // Generous watchdog: CI machines can be slow to spawn 4 processes.
+    MmConfig::real(n, ab).with_watchdog(Duration::from_secs(60))
+}
+
+fn grid_for(stage: NavpStage) -> Grid2D {
+    if stage.is_1d() {
+        Grid2D::line(4).expect("grid")
+    } else {
+        Grid2D::new(2, 2).expect("grid")
+    }
+}
+
+/// The ISSUE acceptance triple: one 1-D DSC stage, one 2-D pipelined
+/// stage, one phase-shifted stage, each on 4 PEs with real payloads.
+const STAGES: [NavpStage; 3] = [NavpStage::Dsc1D, NavpStage::Pipe2D, NavpStage::Phase1D];
+
+#[test]
+fn net_product_is_bitwise_identical_to_threads() {
+    let cfg = cfg(16, 2);
+    for stage in STAGES {
+        let grid = grid_for(stage);
+        let want = run_navp_threads(stage, &cfg, grid)
+            .unwrap_or_else(|e| panic!("{} threads: {e}", stage.name()));
+        let got = run_navp_net(stage, &cfg, grid, &opts())
+            .unwrap_or_else(|e| panic!("{} net: {e}", stage.name()));
+        assert_eq!(got.verified, Some(true), "{} net product wrong", stage.name());
+        let (want_c, got_c) = (want.c.expect("threads c"), got.c.expect("net c"));
+        assert_eq!(
+            want_c.max_abs_diff(&got_c),
+            0.0,
+            "{}: net product differs from threads",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn net_parity_survives_a_seeded_hop_delay_plan() {
+    // Delay-only plan: `FaultPlan::seeded` always includes a crash, and
+    // a crash intentionally perturbs timing stats — for *parity* we
+    // want faults that stress the transport without touching the data
+    // path semantics. Deterministic (seed-derived) delays on three PEs.
+    let cfg = cfg(16, 2);
+    for stage in STAGES {
+        let grid = grid_for(stage);
+        let plan = FaultPlan::new()
+            .delay_hop(0, 1, 0.05)
+            .delay_hop(1, 2, 0.08)
+            .delay_hop(2, 1, 0.05)
+            .delay_hop(3, 1, 0.03);
+        let want = run_navp_threads(stage, &cfg, grid)
+            .unwrap_or_else(|e| panic!("{} threads: {e}", stage.name()));
+        let got = run_navp_net_faulted(stage, &cfg, grid, &opts(), plan)
+            .unwrap_or_else(|e| panic!("{} net+delays: {e}", stage.name()));
+        assert_eq!(got.verified, Some(true), "{} under delays", stage.name());
+        let faults = got.faults.expect("fault stats");
+        assert!(
+            faults.hops_delayed > 0,
+            "{}: the delay plan never fired",
+            stage.name()
+        );
+        assert_eq!(
+            want.c.expect("threads c").max_abs_diff(&got.c.expect("net c")),
+            0.0,
+            "{}: delayed net product differs from threads",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn net_recovers_a_crashed_pe_process_with_full_parity() {
+    // crash = the PE *process* exits mid-run and is restarted from the
+    // hop-delivery checkpoint; the product must still match bitwise.
+    let cfg = cfg(16, 2);
+    let grid = Grid2D::line(4).expect("grid");
+    let plan = FaultPlan::new()
+        .crash_pe(2, 1)
+        .with_retry(4, Duration::from_millis(50));
+    let want = run_navp_threads(NavpStage::Dsc1D, &cfg, grid).expect("threads");
+    let got = run_navp_net_faulted(NavpStage::Dsc1D, &cfg, grid, &opts(), plan)
+        .expect("net crash recovery");
+    assert_eq!(got.verified, Some(true));
+    let faults = got.faults.expect("fault stats");
+    assert!(faults.crashes >= 1, "the crash never fired: {faults:?}");
+    assert_eq!(
+        want.c.expect("threads c").max_abs_diff(&got.c.expect("net c")),
+        0.0,
+        "recovered net product differs from threads"
+    );
+}
+
+#[test]
+fn net_reports_consistent_per_pe_stats() {
+    let cfg = cfg(16, 2);
+    let grid = Grid2D::line(4).expect("grid");
+    let out = run_navp_net(NavpStage::Dsc1D, &cfg, grid, &opts()).expect("net");
+    let per_pe = out.per_pe_net.expect("networked runs report per-PE stats");
+    assert_eq!(per_pe.len(), 4);
+    let hops: u64 = per_pe.iter().map(|s| s.hops).sum();
+    assert_eq!(hops, out.transfers, "per-PE hop sum disagrees with total");
+    assert!(
+        per_pe.iter().all(|s| s.steps > 0),
+        "every PE should run at least one messenger step: {per_pe:?}"
+    );
+    assert!(
+        out.bytes >= per_pe.iter().map(|s| s.hop_payload_bytes).sum::<u64>(),
+        "wire bytes include framing and must dominate raw payload bytes"
+    );
+    assert!(out.wall.is_some(), "networked runs are wall-clock timed");
+}
