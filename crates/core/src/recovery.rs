@@ -248,7 +248,7 @@ mod tests {
             Effect::Done
         }
         fn label(&self) -> String {
-            "probe".to_string()
+            format!("probe{}", self.0)
         }
         fn snapshot(&self) -> Option<Box<dyn Messenger>> {
             Some(Box::new(self.clone()))

@@ -38,13 +38,27 @@ use crate::cluster::{Cluster, ClusterParts};
 use crate::error::RunError;
 use crate::fault::{FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
+use crate::sim_exec::HOP_STATE_BYTES;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
+use navp_trace::recorder::DEFAULT_CAPACITY;
+use navp_trace::{merge_pe_traces, PeLog, PeRecorder, Trace, TraceEvent, TraceKind};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Trace context a delivery carries, so the *receiving* daemon can
+/// record the hop transfer or event wait into its own recorder without
+/// any shared trace state. `None` on untraced runs.
+enum DeliveryMeta {
+    /// An inter-PE hop: where from, when it left (shared anchor clock),
+    /// and how many payload bytes moved.
+    Hop { from: NodeId, sent_ns: u64, bytes: u64 },
+    /// A woken event waiter: when it parked (shared anchor clock).
+    Wake { parked_ns: u64 },
+}
 
 enum DaemonMsg {
     Agent {
@@ -54,6 +68,8 @@ enum DaemonMsg {
         /// discarded on receipt (the crash already re-delivered them).
         epoch: u64,
         msgr: Box<dyn Messenger>,
+        /// What to trace about this delivery (`None` when untraced).
+        meta: Option<DeliveryMeta>,
     },
     Shutdown,
 }
@@ -61,7 +77,9 @@ enum DaemonMsg {
 #[derive(Default)]
 struct EventState {
     count: u64,
-    waiters: VecDeque<(u64, Box<dyn Messenger>, NodeId)>,
+    /// Parked messengers: (id, messenger, home PE, park timestamp on
+    /// the shared anchor clock — 0 when untraced).
+    waiters: VecDeque<(u64, Box<dyn Messenger>, NodeId, u64)>,
 }
 
 /// Recovery state shared by all daemons, behind one lock so that
@@ -89,6 +107,10 @@ struct Shared {
     events: Mutex<HashMap<EventKey, EventState>>,
     failure: Mutex<Option<RunError>>,
     recovery: Option<Mutex<Recovery>>,
+    /// Wall tracing on? All daemons anchor their recorders at `anchor`,
+    /// so per-PE timestamps are directly comparable (offsets are zero).
+    trace: bool,
+    anchor: Instant,
 }
 
 impl Shared {
@@ -113,9 +135,21 @@ impl Shared {
     /// send. Hop deliveries (`is_hop`) additionally pass through the
     /// fault plan's delay/drop rules, retrying dropped attempts with
     /// backoff. Returns `false` when the run is failing.
-    fn send_agent(&self, dst: NodeId, id: u64, msgr: Box<dyn Messenger>, is_hop: bool) -> bool {
+    fn send_agent(
+        &self,
+        dst: NodeId,
+        id: u64,
+        msgr: Box<dyn Messenger>,
+        is_hop: bool,
+        meta: Option<DeliveryMeta>,
+    ) -> bool {
         let Some(rec) = &self.recovery else {
-            let _ = self.chans[dst].send(DaemonMsg::Agent { id, epoch: 0, msgr });
+            let _ = self.chans[dst].send(DaemonMsg::Agent {
+                id,
+                epoch: 0,
+                msgr,
+                meta,
+            });
             return true;
         };
         enum Next {
@@ -173,7 +207,12 @@ impl Shared {
                 }
             }
         };
-        let _ = self.chans[dst].send(DaemonMsg::Agent { id, epoch, msgr });
+        let _ = self.chans[dst].send(DaemonMsg::Agent {
+            id,
+            epoch,
+            msgr,
+            meta,
+        });
         true
     }
 
@@ -189,11 +228,12 @@ impl Shared {
                 }
             }
         };
-        if let Some((id, msgr, pe)) = woken {
+        if let Some((id, msgr, pe, parked_ns)) = woken {
             self.progress.fetch_add(1, Ordering::Relaxed);
             // Waking is a delivery point: the messenger re-enters its
             // PE's failure domain.
-            self.send_agent(pe, id, msgr, false);
+            let meta = self.trace.then_some(DeliveryMeta::Wake { parked_ns });
+            self.send_agent(pe, id, msgr, false, meta);
         }
     }
 }
@@ -212,6 +252,10 @@ pub struct WallReport {
     pub faults: FaultStats,
     /// The no-progress watchdog timeout this run was executed under.
     pub watchdog: Duration,
+    /// Merged wall-clock trace (present iff tracing was enabled).
+    pub trace: Option<Trace>,
+    /// Trace events evicted by the per-PE ring buffers.
+    pub trace_dropped: u64,
 }
 
 impl std::fmt::Debug for WallReport {
@@ -231,6 +275,7 @@ impl std::fmt::Debug for WallReport {
 /// channels, wall-clock timing.
 pub struct ThreadExecutor {
     watchdog: Duration,
+    trace: bool,
 }
 
 impl Default for ThreadExecutor {
@@ -244,6 +289,7 @@ impl ThreadExecutor {
     pub fn new() -> ThreadExecutor {
         ThreadExecutor {
             watchdog: Duration::from_secs(10),
+            trace: false,
         }
     }
 
@@ -257,6 +303,14 @@ impl ThreadExecutor {
     /// The configured no-progress watchdog.
     pub fn watchdog(&self) -> Duration {
         self.watchdog
+    }
+
+    /// Record a wall-clock trace of the run (off by default). Every
+    /// daemon keeps a bounded ring of events; the merged [`Trace`] lands
+    /// in [`WallReport::trace`]. Products are unaffected.
+    pub fn with_trace(mut self, trace: bool) -> ThreadExecutor {
+        self.trace = trace;
+        self
     }
 
     /// Run the cluster to completion on real threads.
@@ -281,6 +335,8 @@ impl ThreadExecutor {
                 hops: 0,
                 faults: FaultStats::default(),
                 watchdog: self.watchdog,
+                trace: self.trace.then(Trace::enabled),
+                trace_dropped: 0,
             });
         }
 
@@ -316,6 +372,8 @@ impl ThreadExecutor {
             events: Mutex::new(HashMap::new()),
             failure: Mutex::new(None),
             recovery,
+            trace: self.trace,
+            anchor: Instant::now(),
         };
 
         {
@@ -335,11 +393,13 @@ impl ThreadExecutor {
                 id,
                 epoch: 0,
                 msgr,
+                meta: None,
             });
         }
 
         let start = Instant::now();
-        let mut joined_stores: Vec<Option<NodeStore>> = (0..pes).map(|_| None).collect();
+        type DaemonOut = (NodeStore, Vec<TraceEvent>, u64);
+        let mut joined_stores: Vec<Option<DaemonOut>> = (0..pes).map(|_| None).collect();
         let mut panic_msg: Option<String> = None;
 
         std::thread::scope(|s| {
@@ -414,16 +474,34 @@ impl ThreadExecutor {
             .as_ref()
             .map(|r| r.lock().unwrap().stats)
             .unwrap_or_default();
+        let mut stores = Vec::with_capacity(pes);
+        let mut logs = Vec::with_capacity(pes);
+        for (pe, joined) in joined_stores.into_iter().enumerate() {
+            let (store, events, dropped) = joined.expect("all daemons joined");
+            stores.push(store);
+            logs.push(PeLog {
+                pe,
+                // One shared anchor ⇒ clocks already agree.
+                offset_ns: 0,
+                events,
+                dropped,
+            });
+        }
+        let (trace, trace_dropped) = if self.trace {
+            let (t, d) = merge_pe_traces(logs);
+            (Some(t), d)
+        } else {
+            (None, 0)
+        };
         Ok(WallReport {
             wall,
-            stores: joined_stores
-                .into_iter()
-                .map(|s| s.expect("all daemons joined"))
-                .collect(),
+            stores,
             steps: shared.steps.load(Ordering::Relaxed),
             hops: shared.hops.load(Ordering::Relaxed),
             faults,
             watchdog: self.watchdog,
+            trace,
+            trace_dropped,
         })
     }
 }
@@ -445,6 +523,7 @@ fn survive_run_boundary(
     pe: NodeId,
     store: &mut NodeStore,
     local: &mut VecDeque<(u64, Box<dyn Messenger>)>,
+    recorder: &mut PeRecorder,
 ) -> bool {
     let Some(rec) = &shared.recovery else {
         return true;
@@ -492,8 +571,14 @@ fn survive_run_boundary(
         }
         to_send
     };
+    recorder.instant(u64::MAX, "crash", TraceKind::Fault { pe });
     for (id, epoch, msgr) in redeliver {
-        let _ = shared.chans[pe].send(DaemonMsg::Agent { id, epoch, msgr });
+        let _ = shared.chans[pe].send(DaemonMsg::Agent {
+            id,
+            epoch,
+            msgr,
+            meta: None,
+        });
     }
     shared.progress.fetch_add(1, Ordering::Relaxed);
     false
@@ -507,22 +592,64 @@ fn daemon(
     mut store: NodeStore,
     rx: Receiver<DaemonMsg>,
     shared: &Shared,
-) -> NodeStore {
+) -> (NodeStore, Vec<TraceEvent>, u64) {
     // Locally injected messengers run before we poll the channel again —
     // MESSENGERS' local scheduling queue.
     let mut local: VecDeque<(u64, Box<dyn Messenger>)> = VecDeque::new();
     let mut out = StepOutputs::default();
+    // This daemon's private trace ring: single writer, no locks.
+    let mut recorder = PeRecorder::with_anchor(shared.anchor, shared.trace, DEFAULT_CAPACITY);
     loop {
         let (id, msgr) = if let Some(m) = local.pop_front() {
             m
         } else {
             match rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(DaemonMsg::Agent { id, epoch, msgr }) => {
+                Ok(DaemonMsg::Agent {
+                    id,
+                    epoch,
+                    msgr,
+                    meta,
+                }) => {
                     if let Some(rec) = &shared.recovery {
                         if rec.lock().unwrap().epochs[pe] != epoch {
                             // Sent before a crash of this PE; the crash
                             // re-delivered it from its checkpoint.
                             continue;
+                        }
+                    }
+                    // The receiving side records deliveries: hop
+                    // transfers end here, event waits end here.
+                    if recorder.is_enabled() {
+                        match meta {
+                            Some(DeliveryMeta::Hop {
+                                from,
+                                sent_ns,
+                                bytes,
+                            }) => {
+                                let now = recorder.now_ns();
+                                recorder.record(
+                                    sent_ns,
+                                    now,
+                                    id,
+                                    &msgr.label(),
+                                    TraceKind::Transfer {
+                                        from,
+                                        to: pe,
+                                        bytes,
+                                    },
+                                );
+                            }
+                            Some(DeliveryMeta::Wake { parked_ns }) => {
+                                let now = recorder.now_ns();
+                                recorder.record(
+                                    parked_ns,
+                                    now,
+                                    id,
+                                    &msgr.label(),
+                                    TraceKind::Block { pe },
+                                );
+                            }
+                            None => {}
                         }
                     }
                     (id, msgr)
@@ -532,10 +659,20 @@ fn daemon(
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         };
-        if !survive_run_boundary(shared, pe, &mut store, &mut local) {
+        if !survive_run_boundary(shared, pe, &mut store, &mut local, &mut recorder) {
             continue;
         }
-        run_messenger(pe, pes, id, msgr, &mut store, &mut local, &mut out, shared);
+        run_messenger(
+            pe,
+            pes,
+            id,
+            msgr,
+            &mut store,
+            &mut local,
+            &mut out,
+            shared,
+            &mut recorder,
+        );
         // Run boundary: commit this run's store writes to the journal.
         // Same-thread sequencing makes the commit atomic w.r.t. crashes
         // of this PE (they only fire at run boundaries, above).
@@ -543,7 +680,8 @@ fn daemon(
             rec.lock().unwrap().journals[pe].commit_dirty(&mut store);
         }
     }
-    store
+    let (events, dropped) = recorder.take();
+    (store, events, dropped)
 }
 
 /// Step one messenger until it leaves this PE (hop), parks (wait), or
@@ -558,7 +696,19 @@ fn run_messenger(
     local: &mut VecDeque<(u64, Box<dyn Messenger>)>,
     out: &mut StepOutputs,
     shared: &Shared,
+    recorder: &mut PeRecorder,
 ) {
+    // One Exec span per messenger *run* (delivery → hop/park/done);
+    // local hops and injections extend the same span.
+    let tracing = recorder.is_enabled();
+    let label = if tracing { msgr.label() } else { String::new() };
+    let exec_start = recorder.now_ns();
+    let end_exec = |recorder: &mut PeRecorder| {
+        if tracing {
+            let now = recorder.now_ns();
+            recorder.record(exec_start, now, id, &label, TraceKind::Exec { pe });
+        }
+    };
     loop {
         out.clear();
         let effect = {
@@ -586,6 +736,7 @@ fn run_messenger(
                 }
             }
             shared.signal(key);
+            recorder.instant(id, &label, TraceKind::Signal { pe });
         }
 
         match effect {
@@ -600,7 +751,13 @@ fn run_messenger(
                     return;
                 }
                 shared.hops.fetch_add(1, Ordering::Relaxed);
-                shared.send_agent(dst, id, msgr, true);
+                end_exec(recorder);
+                let meta = tracing.then(|| DeliveryMeta::Hop {
+                    from: pe,
+                    sent_ns: recorder.now_ns(),
+                    bytes: msgr.payload_bytes() + HOP_STATE_BYTES,
+                });
+                shared.send_agent(dst, id, msgr, true, meta);
                 return;
             }
             Effect::WaitEvent(key) => {
@@ -611,7 +768,8 @@ fn run_messenger(
                     drop(ev);
                     continue;
                 }
-                st.waiters.push_back((id, msgr, pe));
+                end_exec(recorder);
+                st.waiters.push_back((id, msgr, pe, recorder.now_ns()));
                 drop(ev);
                 // Parked state lives in the event service, which
                 // survives daemon restarts: drop the checkpoint.
@@ -621,6 +779,7 @@ fn run_messenger(
                 return;
             }
             Effect::Done => {
+                end_exec(recorder);
                 if let Some(rec) = &shared.recovery {
                     rec.lock().unwrap().ckpt.remove(id);
                 }
@@ -913,6 +1072,62 @@ mod tests {
             ThreadExecutor::new().run(c).unwrap_err(),
             RunError::RecoveryFailed { pe: 1, .. }
         ));
+    }
+
+    #[test]
+    fn tracing_records_all_span_kinds_and_is_off_by_default() {
+        let build = || {
+            let mut c = Cluster::new(2).unwrap();
+            c.inject(
+                1,
+                Script::new("consumer")
+                    .then(|_| Effect::WaitEvent(Key::plain("ready")))
+                    .then(|_| Effect::Done),
+            );
+            c.inject(
+                0,
+                Script::new("producer")
+                    .then(|_| Effect::Hop(1))
+                    .then(|ctx| {
+                        ctx.signal(Key::plain("ready"));
+                        Effect::Done
+                    }),
+            );
+            c
+        };
+        let plain = ThreadExecutor::new().run(build()).unwrap();
+        assert!(plain.trace.is_none(), "tracing must be off by default");
+
+        let rep = ThreadExecutor::new().with_trace(true).run(build()).unwrap();
+        let trace = rep.trace.expect("traced run yields a trace");
+        assert_eq!(rep.trace_dropped, 0);
+        let mut exec_pes = std::collections::HashSet::new();
+        let (mut transfers, mut blocks, mut signals) = (0, 0, 0);
+        for e in trace.events() {
+            assert!(e.start <= e.end);
+            match e.kind {
+                TraceKind::Exec { pe } => {
+                    exec_pes.insert(pe);
+                }
+                TraceKind::Transfer { from, to, bytes } => {
+                    transfers += 1;
+                    assert_eq!((from, to), (0, 1));
+                    assert!(bytes >= HOP_STATE_BYTES);
+                }
+                TraceKind::Block { pe } => {
+                    blocks += 1;
+                    assert_eq!(pe, 1, "consumer waited on PE1");
+                }
+                TraceKind::Signal { pe } => {
+                    signals += 1;
+                    assert_eq!(pe, 1, "producer signalled after hopping to PE1");
+                }
+                TraceKind::Fault { .. } => panic!("no faults in this run"),
+            }
+        }
+        assert_eq!(exec_pes.len(), 2, "both PEs executed");
+        assert_eq!((transfers, signals), (1, 1));
+        assert_eq!(blocks, 1, "the consumer's park must surface as a Block");
     }
 
     #[test]

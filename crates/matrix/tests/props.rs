@@ -78,7 +78,7 @@ fn blocked_product_independent_of_block_order() {
         let b = gen::seeded_matrix(n, rng.next_u64());
         let reference = a.multiply(&b).unwrap();
         for ab in 1..=n {
-            if n % ab != 0 {
+            if !n.is_multiple_of(ab) {
                 continue;
             }
             let pa = BlockedMatrix::from_matrix(&a, ab).unwrap();

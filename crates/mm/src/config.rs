@@ -32,6 +32,11 @@ pub struct MmConfig {
     /// the `NAVP_WATCHDOG_MS` environment variable, falling back to the
     /// executor's built-in default.
     pub watchdog: Option<Duration>,
+    /// Record a wall-clock trace on the real executors (threads, net)
+    /// and derive a [`TraceReport`](navp_trace::TraceReport) from it.
+    /// Off by default; does not affect the sim executor, whose tracing
+    /// is requested per-call.
+    pub trace: bool,
 }
 
 impl MmConfig {
@@ -45,6 +50,7 @@ impl MmConfig {
                 seed_b: 0xB0B,
             },
             watchdog: None,
+            trace: false,
         }
     }
 
@@ -55,12 +61,19 @@ impl MmConfig {
             ab,
             payload: Payload::Phantom,
             watchdog: None,
+            trace: false,
         }
     }
 
     /// Builder-style watchdog override for thread-executor runs.
     pub fn with_watchdog(mut self, watchdog: Duration) -> MmConfig {
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Builder-style trace toggle for wall-clock (threads/net) runs.
+    pub fn with_trace(mut self, trace: bool) -> MmConfig {
+        self.trace = trace;
         self
     }
 

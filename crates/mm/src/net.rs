@@ -38,6 +38,7 @@ pub(crate) fn put_cfg(w: &mut WireWriter, cfg: &MmConfig) {
         }
         None => w.put_bool(false),
     }
+    w.put_bool(cfg.trace);
 }
 
 pub(crate) fn get_cfg(r: &mut WireReader<'_>) -> Result<MmConfig, DecodeError> {
@@ -61,6 +62,7 @@ pub(crate) fn get_cfg(r: &mut WireReader<'_>) -> Result<MmConfig, DecodeError> {
         ab,
         payload,
         watchdog,
+        trace: r.get_bool()?,
     })
 }
 

@@ -13,6 +13,7 @@ use navp_matrix::{Grid2D, Matrix};
 use navp_mp::{MpSimExecutor, MpThreadExecutor};
 use navp_net::{NetExecutor, NetPeStats};
 use navp_sim::{CostModel, Trace};
+use navp_trace::TraceReport;
 use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -142,8 +143,13 @@ pub struct RunOutput {
     pub transfers: u64,
     /// Bytes moved between PEs.
     pub bytes: u64,
-    /// Full execution trace when requested.
+    /// Full execution trace when requested — virtual-time from the sim
+    /// executor, wall-clock from the threads/net executors (when
+    /// [`MmConfig::trace`] is set).
     pub trace: Option<Trace>,
+    /// Derived wall-clock metrics (utilization, hop latency, waits)
+    /// for traced threads/net runs.
+    pub trace_report: Option<TraceReport>,
     /// Fault-injection and recovery counters (NavP executors only;
     /// zeroed stats when the run had no fault plan).
     pub faults: Option<FaultStats>,
@@ -221,7 +227,7 @@ fn navp_cluster(
 /// `cfg.watchdog` wins, else the `NAVP_WATCHDOG_MS` environment
 /// variable, else the executor's built-in 10 s default.
 fn thread_executor(cfg: &MmConfig) -> ThreadExecutor {
-    let exec = ThreadExecutor::new();
+    let exec = ThreadExecutor::new().with_trace(cfg.trace);
     if let Some(wd) = cfg.watchdog {
         return exec.with_watchdog(wd);
     }
@@ -250,6 +256,7 @@ pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, Runner
         transfers: rep.hops,
         bytes: rep.hop_bytes,
         trace: None,
+        trace_report: None,
         faults: Some(rep.faults),
         per_pe_net: None,
     })
@@ -306,6 +313,7 @@ fn run_navp_sim_inner(
         transfers: rep.hops,
         bytes: rep.hop_bytes,
         trace: with_trace.then_some(rep.trace),
+        trace_report: None,
         faults: Some(rep.faults),
         per_pe_net: None,
     })
@@ -357,6 +365,10 @@ fn run_navp_threads_inner(
     let mut rep = thread_executor(cfg).run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = if check { verify(cfg, &c)? } else { None };
+    let trace = rep.trace.take();
+    let trace_report = trace
+        .as_ref()
+        .map(|t| TraceReport::from_trace(t, grid.rows * grid.cols, rep.trace_dropped));
     Ok(RunOutput {
         virt_seconds: None,
         wall: Some(rep.wall),
@@ -364,7 +376,8 @@ fn run_navp_threads_inner(
         verified,
         transfers: rep.hops,
         bytes: 0,
-        trace: None,
+        trace,
+        trace_report,
         faults: Some(rep.faults),
         per_pe_net: None,
     })
@@ -380,18 +393,24 @@ pub struct NetOpts {
     /// addresses (one per PE, in PE order) instead of spawning local
     /// children.
     pub join: Vec<String>,
+    /// Teardown grace window (child shutdown wait, exit-status polling
+    /// on disconnect). `None` keeps the executor's 2 s default.
+    pub grace: Option<Duration>,
 }
 
 /// The networked executor a config asks for, with the same watchdog
 /// resolution as [`run_navp_threads`]: explicit `cfg.watchdog`, else
 /// `NAVP_WATCHDOG_MS`, else the executor default.
 fn net_executor(cfg: &MmConfig, opts: &NetOpts) -> NetExecutor {
-    let mut exec = NetExecutor::new();
+    let mut exec = NetExecutor::new().with_trace(cfg.trace);
     if let Some(bin) = &opts.pe_bin {
         exec = exec.with_pe_bin(bin.clone());
     }
     if !opts.join.is_empty() {
         exec = exec.join_addrs(opts.join.clone());
+    }
+    if let Some(grace) = opts.grace {
+        exec = exec.with_grace(grace);
     }
     if let Some(wd) = cfg.watchdog {
         return exec.with_watchdog(wd);
@@ -447,6 +466,10 @@ fn run_navp_net_inner(
     let mut rep = net_executor(cfg, opts).run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = verify(cfg, &c)?;
+    let trace = rep.trace.take();
+    let trace_report = trace
+        .as_ref()
+        .map(|t| TraceReport::from_trace(t, grid.rows * grid.cols, rep.trace_dropped));
     Ok(RunOutput {
         virt_seconds: None,
         wall: Some(rep.wall),
@@ -454,7 +477,8 @@ fn run_navp_net_inner(
         verified,
         transfers: rep.hops,
         bytes: rep.wire_bytes,
-        trace: None,
+        trace,
+        trace_report,
         faults: Some(rep.faults),
         per_pe_net: Some(rep.per_pe),
     })
@@ -487,6 +511,7 @@ pub fn run_mp_sim(
         transfers: rep.messages,
         bytes: rep.message_bytes,
         trace: None,
+        trace_report: None,
         faults: None,
         per_pe_net: None,
     })
@@ -537,6 +562,7 @@ fn run_mp_threads_inner(
         transfers: 0,
         bytes: 0,
         trace: None,
+        trace_report: None,
         faults: None,
         per_pe_net: None,
     })

@@ -14,6 +14,7 @@ use crate::cluster::{event_home, resolve_pe_bin, spawn_pe, spawn_reader, FrameCo
 use crate::frame::{Frame, StoreEntry};
 use crate::registry::{decode_store, encode_messenger, encode_store};
 use navp::{Cluster, FaultStats, NodeStore, RunError, WireSnapshot};
+use navp_trace::{merge_pe_traces, PeLog, Trace};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::Child;
@@ -59,6 +60,11 @@ pub struct NetReport {
     pub faults: FaultStats,
     /// The watchdog window the run was under.
     pub watchdog: Duration,
+    /// Wall-clock trace merged from every PE process (clock-offset
+    /// corrected), when the run was traced.
+    pub trace: Option<Trace>,
+    /// Events the PEs' ring buffers evicted before collection.
+    pub trace_dropped: u64,
 }
 
 impl std::fmt::Debug for NetReport {
@@ -79,6 +85,8 @@ impl std::fmt::Debug for NetReport {
             .field("wire_bytes", &self.wire_bytes)
             .field("per_pe", &self.per_pe)
             .field("faults", &self.faults)
+            .field("trace", &self.trace.as_ref().map(|t| t.events().len()))
+            .field("trace_dropped", &self.trace_dropped)
             .finish()
     }
 }
@@ -89,6 +97,11 @@ pub struct NetExecutor {
     watchdog: Duration,
     pe_bin: Option<PathBuf>,
     join: Vec<String>,
+    trace: bool,
+    /// How long teardown-adjacent waits may take: child shutdown after
+    /// the run, and the exit-status poll when a control connection
+    /// drops.
+    grace: Duration,
 }
 
 impl Default for NetExecutor {
@@ -100,6 +113,17 @@ impl Default for NetExecutor {
 enum DriverMsg {
     FromPe(usize, std::io::Result<Frame>),
 }
+
+/// What [`NetExecutor::drive`] hands back: stores, per-PE stats, fault
+/// counters, totals, and the merged trace (with its dropped count)
+/// when the run was traced.
+type DriveOutcome = (
+    Vec<NodeStore>,
+    Vec<NetPeStats>,
+    FaultStats,
+    NetPeStats,
+    Option<(Trace, u64)>,
+);
 
 struct Links {
     conns: Vec<Arc<FrameConn>>,
@@ -120,12 +144,29 @@ impl NetExecutor {
             watchdog: Duration::from_secs(10),
             pe_bin: None,
             join: Vec::new(),
+            trace: false,
+            grace: Duration::from_secs(2),
         }
     }
 
     /// Override the no-progress watchdog window.
     pub fn with_watchdog(mut self, watchdog: Duration) -> NetExecutor {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Record a wall-clock trace on every PE and merge it into
+    /// [`NetReport::trace`]. Off by default: untraced runs carry zero
+    /// tracing cost beyond a flag test per recording site.
+    pub fn with_trace(mut self, trace: bool) -> NetExecutor {
+        self.trace = trace;
+        self
+    }
+
+    /// Override the teardown grace window (child shutdown wait,
+    /// exit-status polling on disconnect). Defaults to 2 s.
+    pub fn with_grace(mut self, grace: Duration) -> NetExecutor {
+        self.grace = grace;
         self
     }
 
@@ -190,7 +231,7 @@ impl NetExecutor {
             conn.shutdown();
         }
         for child in &mut links.children {
-            let deadline = Instant::now() + Duration::from_secs(2);
+            let deadline = Instant::now() + self.grace;
             loop {
                 match child.try_wait() {
                     Ok(Some(_)) => break,
@@ -205,7 +246,11 @@ impl NetExecutor {
                 }
             }
         }
-        let (stores, per_pe, faults, totals) = run?;
+        let (stores, per_pe, faults, totals, traced) = run?;
+        let (trace, trace_dropped) = match traced {
+            Some((t, d)) => (Some(t), d),
+            None => (None, 0),
+        };
         Ok(NetReport {
             wall: start.elapsed(),
             stores,
@@ -216,6 +261,8 @@ impl NetExecutor {
             per_pe,
             faults,
             watchdog: self.watchdog,
+            trace,
+            trace_dropped,
         })
     }
 
@@ -336,7 +383,12 @@ impl NetExecutor {
 
     /// Describe a lost control connection, folding in the child's exit
     /// status when we have one (e.g. the crash-rule exit).
-    fn disconnect_error(links: &mut Links, pe: usize, io: &std::io::Error) -> RunError {
+    fn disconnect_error(
+        links: &mut Links,
+        pe: usize,
+        io: &std::io::Error,
+        grace: Duration,
+    ) -> RunError {
         let mut detail = io.to_string();
         if !links.children.is_empty() {
             // The socket EOF can outrun process teardown; poll briefly
@@ -344,7 +396,7 @@ impl NetExecutor {
             // died before its Hello mapped it to a child, any child
             // that already exited is the best witness.
             let idx = links.pe_child.get(pe).copied().flatten();
-            let deadline = Instant::now() + Duration::from_secs(2);
+            let deadline = Instant::now() + grace;
             loop {
                 let status = match idx {
                     Some(i) => links
@@ -379,7 +431,7 @@ impl NetExecutor {
         events: Vec<Vec<navp::EventKey>>,
         plan: Option<navp::FaultPlan>,
         initial_live: u64,
-    ) -> Result<(Vec<NodeStore>, Vec<NetPeStats>, FaultStats, NetPeStats), RunError> {
+    ) -> Result<DriveOutcome, RunError> {
         let transport = |detail: String| RunError::Transport { detail };
         let handshake_deadline = Instant::now() + self.handshake_window();
 
@@ -395,7 +447,7 @@ impl NetExecutor {
         let mut listens: Vec<Option<String>> = vec![None; pes];
         let mut got = 0;
         while got < pes {
-            match Self::next_handshake(links, handshake_deadline)? {
+            match Self::next_handshake(links, handshake_deadline, self.grace)? {
                 (pe, Frame::Hello { pe: echoed, pid, listen }) if echoed as usize == pe => {
                     links.pe_child[pe] = links.children.iter().position(|c| c.id() == pid);
                     if listens[pe].replace(listen).is_none() {
@@ -417,7 +469,7 @@ impl NetExecutor {
         let mut ready = vec![false; pes];
         let mut got = 0;
         while got < pes {
-            match Self::next_handshake(links, handshake_deadline)? {
+            match Self::next_handshake(links, handshake_deadline, self.grace)? {
                 (pe, Frame::MeshReady { .. }) => {
                     if !std::mem::replace(&mut ready[pe], true) {
                         got += 1;
@@ -443,6 +495,7 @@ impl NetExecutor {
                     events: std::mem::take(&mut events[pe]),
                     plan: plan.clone(),
                     initial_live,
+                    trace: self.trace,
                 })
                 .map_err(|e| transport(format!("send Start to PE {pe}: {e}")))?;
         }
@@ -544,7 +597,7 @@ impl NetExecutor {
                     }
                 }
                 Ok(DriverMsg::FromPe(pe, Err(e))) => {
-                    return Err(Self::disconnect_error(links, pe, &e))
+                    return Err(Self::disconnect_error(links, pe, &e, self.grace))
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if last_progress.elapsed() >= self.watchdog {
@@ -558,6 +611,88 @@ impl NetExecutor {
                 }
             }
         }
+
+        // Collect traces. One PE at a time: the request/response pair
+        // doubles as a Cristian's-algorithm clock probe, so it must not
+        // share the channel with another PE's dump. The PE's clock
+        // reading `pe_ns` happened (to within half the round trip) at
+        // driver time (t0 + t1) / 2; the difference is the offset that
+        // maps that PE's timestamps onto the driver's timeline.
+        let traced = if self.trace {
+            let anchor = Instant::now();
+            let mut logs: Vec<PeLog> = Vec::with_capacity(pes);
+            for pe in 0..pes {
+                let t0 = anchor.elapsed().as_nanos() as u64;
+                links.conns[pe]
+                    .send(&Frame::TraceCollect)
+                    .map_err(|e| transport(format!("send TraceCollect to PE {pe}: {e}")))?;
+                let deadline = Instant::now() + self.handshake_window();
+                loop {
+                    match links.rx.recv_timeout(tick) {
+                        Ok(DriverMsg::FromPe(
+                            p,
+                            Ok(Frame::TraceDump {
+                                pe_ns,
+                                dropped,
+                                events,
+                            }),
+                        )) if p == pe => {
+                            let t1 = anchor.elapsed().as_nanos() as u64;
+                            let offset_ns = ((t0 + t1) / 2) as i64 - pe_ns as i64;
+                            logs.push(PeLog {
+                                pe,
+                                offset_ns,
+                                events,
+                                dropped,
+                            });
+                            break;
+                        }
+                        // Late deltas can race the dump; absorb them.
+                        Ok(DriverMsg::FromPe(
+                            p,
+                            Ok(Frame::Delta {
+                                steps,
+                                hops,
+                                hop_payload,
+                                wire_bytes,
+                                ..
+                            }),
+                        )) => {
+                            per_pe[p].steps += steps;
+                            per_pe[p].hops += hops;
+                            per_pe[p].hop_payload_bytes += hop_payload;
+                            per_pe[p].wire_bytes += wire_bytes;
+                            totals.steps += steps;
+                            totals.hops += hops;
+                            totals.hop_payload_bytes += hop_payload;
+                            totals.wire_bytes += wire_bytes;
+                        }
+                        Ok(DriverMsg::FromPe(_, Ok(Frame::Fatal { err }))) => return Err(err),
+                        Ok(DriverMsg::FromPe(p, Ok(other))) => {
+                            return Err(transport(format!(
+                                "PE {p}: unexpected frame {other:?} during trace collect"
+                            )))
+                        }
+                        Ok(DriverMsg::FromPe(p, Err(e))) => {
+                            return Err(Self::disconnect_error(links, p, &e, self.grace))
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if Instant::now() >= deadline {
+                                return Err(transport(format!(
+                                    "PE {pe} returned no trace before timeout"
+                                )));
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(transport("all control readers exited".into()))
+                        }
+                    }
+                }
+            }
+            Some(merge_pe_traces(logs))
+        } else {
+            None
+        };
 
         // Collect stores and fault counters.
         for (pe, conn) in links.conns.iter().enumerate() {
@@ -604,7 +739,7 @@ impl NetExecutor {
                     )))
                 }
                 Ok(DriverMsg::FromPe(pe, Err(e))) => {
-                    return Err(Self::disconnect_error(links, pe, &e))
+                    return Err(Self::disconnect_error(links, pe, &e, self.grace))
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if Instant::now() >= collect_deadline {
@@ -619,11 +754,15 @@ impl NetExecutor {
             }
         }
         let stores = stores.into_iter().map(|s| s.expect("all got")).collect();
-        Ok((stores, per_pe, faults, totals))
+        Ok((stores, per_pe, faults, totals, traced))
     }
 
     /// Next handshake-phase frame from any PE, honouring the deadline.
-    fn next_handshake(links: &mut Links, deadline: Instant) -> Result<(usize, Frame), RunError> {
+    fn next_handshake(
+        links: &mut Links,
+        deadline: Instant,
+        grace: Duration,
+    ) -> Result<(usize, Frame), RunError> {
         loop {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
@@ -638,7 +777,7 @@ impl NetExecutor {
                 }
                 Ok(DriverMsg::FromPe(pe, Ok(frame))) => return Ok((pe, frame)),
                 Ok(DriverMsg::FromPe(pe, Err(e))) => {
-                    return Err(Self::disconnect_error(links, pe, &e))
+                    return Err(Self::disconnect_error(links, pe, &e, grace))
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {

@@ -17,6 +17,7 @@
 use crate::codec::{DecodeError, WireReader, WireWriter};
 use navp::fault::{FaultPlan, HopFault};
 use navp::{FaultStats, Key, RunError, WireSnapshot};
+use navp_trace::{TraceEvent, TraceKind, VTime};
 use std::time::Duration;
 
 /// Upper bound on one frame's body. A frame carries at most one
@@ -91,11 +92,18 @@ pub enum Frame {
         plan: Option<FaultPlan>,
         /// Total time-zero injections across the cluster.
         initial_live: u64,
+        /// Record a wall-clock trace during the run.
+        trace: bool,
     },
     /// PE → PE: a messenger hopping here.
     Hop {
         /// The messenger's executor id.
         id: u64,
+        /// When the sender put it on the wire, on the *sender's* trace
+        /// clock (0 on untraced runs). The receiver records the hop's
+        /// Transfer span with this start; the merge step corrects the
+        /// clock domain.
+        sent_ns: u64,
         /// Its serialized agent variables.
         msgr: WireSnapshot,
     },
@@ -109,6 +117,10 @@ pub enum Frame {
         id: u64,
         /// PE the messenger was running on (where it resumes).
         origin: u32,
+        /// When the messenger parked, on the *origin's* trace clock
+        /// (0 untraced). Echoed back in `Deliver` so the origin can
+        /// record the full event-wait span against its own clock.
+        parked_ns: u64,
         /// Its serialized agent variables.
         msgr: WireSnapshot,
     },
@@ -122,6 +134,8 @@ pub enum Frame {
     Deliver {
         /// The messenger's executor id.
         id: u64,
+        /// The park timestamp echoed from `EventWait` (origin clock).
+        parked_ns: u64,
         /// Its serialized agent variables.
         msgr: WireSnapshot,
     },
@@ -181,6 +195,21 @@ pub enum Frame {
         /// The structured error.
         err: RunError,
     },
+    /// Driver → PE: send your trace buffer back. The driver timestamps
+    /// the request/response pair on its own clock and pairs them with
+    /// `pe_ns` (Cristian's algorithm) to place this PE's events on the
+    /// driver's timeline.
+    TraceCollect,
+    /// PE → driver: the PE's trace buffer, drained.
+    TraceDump {
+        /// The PE's trace clock at the moment it processed the
+        /// collect (its `Instant` anchor elapsed, in ns).
+        pe_ns: u64,
+        /// Events evicted from the ring buffer before collection.
+        dropped: u64,
+        /// The surviving events, oldest first, on the PE's clock.
+        events: Vec<TraceEvent>,
+    },
     /// Driver → PE: exit cleanly.
     Shutdown,
 }
@@ -202,6 +231,8 @@ const K_FATAL: u8 = 14;
 const K_SHUTDOWN: u8 = 15;
 const K_PROBE: u8 = 16;
 const K_PROBE_ACK: u8 = 17;
+const K_TRACE_COLLECT: u8 = 18;
+const K_TRACE_DUMP: u8 = 19;
 
 fn put_snapshot(w: &mut WireWriter, s: &WireSnapshot) {
     w.put_str(&s.tag);
@@ -320,6 +351,71 @@ fn get_stats(r: &mut WireReader<'_>) -> Result<FaultStats, DecodeError> {
         hops_delayed: r.get_u64()?,
         hops_dropped: r.get_u64()?,
         signals_lost: r.get_u64()?,
+    })
+}
+
+fn put_trace_event(w: &mut WireWriter, e: &TraceEvent) {
+    w.put_u64(e.start.0);
+    w.put_u64(e.end.0);
+    w.put_u64(e.actor);
+    w.put_str(&e.label);
+    match e.kind {
+        TraceKind::Exec { pe } => {
+            w.put_u8(1);
+            w.put_u32(pe as u32);
+        }
+        TraceKind::Transfer { from, to, bytes } => {
+            w.put_u8(2);
+            w.put_u32(from as u32);
+            w.put_u32(to as u32);
+            w.put_u64(bytes);
+        }
+        TraceKind::Block { pe } => {
+            w.put_u8(3);
+            w.put_u32(pe as u32);
+        }
+        TraceKind::Signal { pe } => {
+            w.put_u8(4);
+            w.put_u32(pe as u32);
+        }
+        TraceKind::Fault { pe } => {
+            w.put_u8(5);
+            w.put_u32(pe as u32);
+        }
+    }
+}
+
+fn get_trace_event(r: &mut WireReader<'_>) -> Result<TraceEvent, DecodeError> {
+    let start = VTime(r.get_u64()?);
+    let end = VTime(r.get_u64()?);
+    let actor = r.get_u64()?;
+    let label = r.get_str()?;
+    let kind = match r.get_u8()? {
+        1 => TraceKind::Exec {
+            pe: r.get_u32()? as usize,
+        },
+        2 => TraceKind::Transfer {
+            from: r.get_u32()? as usize,
+            to: r.get_u32()? as usize,
+            bytes: r.get_u64()?,
+        },
+        3 => TraceKind::Block {
+            pe: r.get_u32()? as usize,
+        },
+        4 => TraceKind::Signal {
+            pe: r.get_u32()? as usize,
+        },
+        5 => TraceKind::Fault {
+            pe: r.get_u32()? as usize,
+        },
+        _ => return Err(DecodeError::BadValue("trace kind")),
+    };
+    Ok(TraceEvent {
+        start,
+        end,
+        actor,
+        label,
+        kind,
     })
 }
 
@@ -462,6 +558,7 @@ impl Frame {
                 events,
                 plan,
                 initial_live,
+                trace,
             } => {
                 w.put_u8(K_START);
                 put_store(&mut w, store);
@@ -482,31 +579,40 @@ impl Frame {
                     None => w.put_bool(false),
                 }
                 w.put_u64(*initial_live);
+                w.put_bool(*trace);
             }
-            Frame::Hop { id, msgr } => {
+            Frame::Hop { id, sent_ns, msgr } => {
                 w.put_u8(K_HOP);
                 w.put_u64(*id);
+                w.put_u64(*sent_ns);
                 put_snapshot(&mut w, msgr);
             }
             Frame::EventWait {
                 key,
                 id,
                 origin,
+                parked_ns,
                 msgr,
             } => {
                 w.put_u8(K_EVENT_WAIT);
                 w.put_key(key);
                 w.put_u64(*id);
                 w.put_u32(*origin);
+                w.put_u64(*parked_ns);
                 put_snapshot(&mut w, msgr);
             }
             Frame::EventSignal { key } => {
                 w.put_u8(K_EVENT_SIGNAL);
                 w.put_key(key);
             }
-            Frame::Deliver { id, msgr } => {
+            Frame::Deliver {
+                id,
+                parked_ns,
+                msgr,
+            } => {
                 w.put_u8(K_DELIVER);
                 w.put_u64(*id);
+                w.put_u64(*parked_ns);
                 put_snapshot(&mut w, msgr);
             }
             Frame::Delta {
@@ -552,6 +658,20 @@ impl Frame {
             Frame::Fatal { err } => {
                 w.put_u8(K_FATAL);
                 put_err(&mut w, err);
+            }
+            Frame::TraceCollect => w.put_u8(K_TRACE_COLLECT),
+            Frame::TraceDump {
+                pe_ns,
+                dropped,
+                events,
+            } => {
+                w.put_u8(K_TRACE_DUMP);
+                w.put_u64(*pe_ns);
+                w.put_u64(*dropped);
+                w.put_u32(events.len() as u32);
+                for e in events {
+                    put_trace_event(&mut w, e);
+                }
             }
             Frame::Shutdown => w.put_u8(K_SHUTDOWN),
         }
@@ -606,21 +726,25 @@ impl Frame {
                     events,
                     plan,
                     initial_live: r.get_u64()?,
+                    trace: r.get_bool()?,
                 }
             }
             K_HOP => Frame::Hop {
                 id: r.get_u64()?,
+                sent_ns: r.get_u64()?,
                 msgr: get_snapshot(&mut r)?,
             },
             K_EVENT_WAIT => Frame::EventWait {
                 key: r.get_key()?,
                 id: r.get_u64()?,
                 origin: r.get_u32()?,
+                parked_ns: r.get_u64()?,
                 msgr: get_snapshot(&mut r)?,
             },
             K_EVENT_SIGNAL => Frame::EventSignal { key: r.get_key()? },
             K_DELIVER => Frame::Deliver {
                 id: r.get_u64()?,
+                parked_ns: r.get_u64()?,
                 msgr: get_snapshot(&mut r)?,
             },
             K_DELTA => Frame::Delta {
@@ -649,6 +773,21 @@ impl Frame {
             K_FATAL => Frame::Fatal {
                 err: get_err(&mut r)?,
             },
+            K_TRACE_COLLECT => Frame::TraceCollect,
+            K_TRACE_DUMP => {
+                let pe_ns = r.get_u64()?;
+                let dropped = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                let mut events = Vec::new();
+                for _ in 0..n {
+                    events.push(get_trace_event(&mut r)?);
+                }
+                Frame::TraceDump {
+                    pe_ns,
+                    dropped,
+                    events,
+                }
+            }
             K_SHUTDOWN => Frame::Shutdown,
             k => return Err(DecodeError::UnknownTag(format!("frame kind {k}"))),
         };
@@ -699,18 +838,24 @@ mod tests {
         let snap = WireSnapshot::new("t.Ping", vec![1, 2, 3]);
         roundtrip(Frame::Hop {
             id: 9,
+            sent_ns: 12_345,
             msgr: snap.clone(),
         });
         roundtrip(Frame::EventWait {
             key: Key::at2("EP", 1, 2),
             id: 5,
             origin: 3,
+            parked_ns: 77,
             msgr: snap.clone(),
         });
         roundtrip(Frame::EventSignal {
             key: Key::at("EC", 7),
         });
-        roundtrip(Frame::Deliver { id: 5, msgr: snap });
+        roundtrip(Frame::Deliver {
+            id: 5,
+            parked_ns: 77,
+            msgr: snap,
+        });
         roundtrip(Frame::Delta {
             spawned: 1,
             finished: 2,
@@ -741,6 +886,7 @@ mod tests {
                     .lose_signal(0, 9),
             ),
             initial_live: 6,
+            trace: true,
         });
         roundtrip(Frame::StoreDump {
             store,
@@ -784,6 +930,77 @@ mod tests {
         for err in errs {
             roundtrip(Frame::Fatal { err });
         }
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        roundtrip(Frame::TraceCollect);
+        roundtrip(Frame::TraceDump {
+            pe_ns: 0,
+            dropped: 0,
+            events: vec![],
+        });
+        roundtrip(Frame::TraceDump {
+            pe_ns: 987_654_321,
+            dropped: 3,
+            events: vec![
+                TraceEvent {
+                    start: VTime(10),
+                    end: VTime(20),
+                    actor: 1,
+                    label: "carrier".into(),
+                    kind: TraceKind::Exec { pe: 0 },
+                },
+                TraceEvent {
+                    start: VTime(20),
+                    end: VTime(25),
+                    actor: 1,
+                    label: "carrier".into(),
+                    kind: TraceKind::Transfer {
+                        from: 0,
+                        to: 3,
+                        bytes: 512,
+                    },
+                },
+                TraceEvent {
+                    start: VTime(30),
+                    end: VTime(40),
+                    actor: 2,
+                    label: "w".into(),
+                    kind: TraceKind::Block { pe: 3 },
+                },
+                TraceEvent {
+                    start: VTime(41),
+                    end: VTime(41),
+                    actor: 2,
+                    label: "w".into(),
+                    kind: TraceKind::Signal { pe: 3 },
+                },
+                TraceEvent {
+                    start: VTime(50),
+                    end: VTime(50),
+                    actor: u64::MAX,
+                    label: "crash".into(),
+                    kind: TraceKind::Fault { pe: 1 },
+                },
+            ],
+        });
+        // Corrupt kind tag is rejected, not panicked on.
+        let mut body = Frame::TraceDump {
+            pe_ns: 1,
+            dropped: 0,
+            events: vec![TraceEvent {
+                start: VTime(0),
+                end: VTime(1),
+                actor: 0,
+                label: String::new(),
+                kind: TraceKind::Exec { pe: 0 },
+            }],
+        }
+        .encode();
+        let kind_at = body.len() - 5; // u8 tag + u32 pe at the tail
+        body[kind_at] = 99;
+        assert!(Frame::decode(&body).is_err());
     }
 
     #[test]

@@ -25,10 +25,12 @@ use crate::frame::Frame;
 use crate::registry::{decode_messenger, decode_store, encode_messenger, encode_store};
 use navp::fault::{FaultTracker, HopFault};
 use navp::recovery::{CheckpointTable, WriteJournal};
+use navp::sim_exec::HOP_STATE_BYTES;
 use navp::{
     Effect, EventKey, FaultStats, Messenger, MsgrCtx, NodeStore, RunError, StepOutputs,
     WireSnapshot,
 };
+use navp_trace::{PeRecorder, TraceKind};
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
@@ -65,7 +67,11 @@ enum PeEvent {
 #[derive(Default)]
 struct EvState {
     count: u64,
-    waiters: VecDeque<(u64, u32, WireSnapshot)>,
+    /// Parked waiters: `(id, origin PE, snapshot, parked_ns)` — the
+    /// park timestamp is on the *origin's* trace clock (0 untraced)
+    /// and is echoed back in `Deliver` so the origin records the
+    /// event-wait span against its own clock.
+    waiters: VecDeque<(u64, u32, WireSnapshot, u64)>,
 }
 
 struct Daemon {
@@ -85,6 +91,10 @@ struct Daemon {
     initial_live: u64,
     peers: Vec<Option<Arc<FrameConn>>>,
     driver: Arc<FrameConn>,
+    /// Wall-clock span recorder, enabled iff `Start.trace`. Anchored
+    /// at session start; the driver measures this clock's offset when
+    /// it collects the buffer (`TraceCollect`/`TraceDump`).
+    recorder: PeRecorder,
     // Un-flushed accounting increments (next `Delta`).
     d_spawned: u64,
     d_finished: u64,
@@ -186,7 +196,18 @@ impl Daemon {
     /// A `Hop` frame arrived: run it through the fault machinery, then
     /// deliver. Delay holds the frame; drop burns a retry (the re-sent
     /// attempt is a fresh arrival, so the counters keep counting).
-    fn accept_hop(&mut self, id: u64, snap: WireSnapshot) -> Result<(), RunError> {
+    ///
+    /// The Transfer span runs from the sender's `sent_ns` (sender
+    /// clock; corrected at merge) to local arrival — so a fault-delay
+    /// hold shows up as transfer time, which it is on the wire's
+    /// timeline.
+    fn accept_hop(
+        &mut self,
+        from: usize,
+        id: u64,
+        sent_ns: u64,
+        snap: WireSnapshot,
+    ) -> Result<(), RunError> {
         let mut attempts: u32 = 0;
         loop {
             let fault = self.tracker.as_mut().and_then(|t| t.on_hop(self.pe));
@@ -221,6 +242,15 @@ impl Daemon {
         let m = decode_messenger(&snap).map_err(|e| RunError::Transport {
             detail: format!("PE {} cannot decode hopped messenger {id}: {e}", self.pe),
         })?;
+        if self.recorder.is_enabled() {
+            let kind = TraceKind::Transfer {
+                from,
+                to: self.pe,
+                bytes: m.payload_bytes() + HOP_STATE_BYTES,
+            };
+            self.recorder
+                .record(sent_ns, self.recorder.now_ns(), id, &m.label(), kind);
+        }
         self.deliver(id, m);
         Ok(())
     }
@@ -243,6 +273,8 @@ impl Daemon {
             std::process::exit(CRASH_EXIT);
         }
         self.stats.crashes += 1;
+        self.recorder
+            .instant(u64::MAX, "crash", TraceKind::Fault { pe: self.pe });
         let mut rebuilt = self
             .initial_store
             .as_ref()
@@ -267,14 +299,26 @@ impl Daemon {
     fn local_signal(&mut self, key: EventKey) -> Result<(), RunError> {
         let st = self.events.entry(key).or_default();
         match st.waiters.pop_front() {
-            Some((id, origin, snap)) => {
+            Some((id, origin, snap, parked_ns)) => {
                 if origin as usize == self.pe {
                     let m = decode_messenger(&snap).map_err(|e| RunError::Transport {
                         detail: format!("PE {} cannot decode parked waiter: {e}", self.pe),
                     })?;
+                    if self.recorder.is_enabled() {
+                        let kind = TraceKind::Block { pe: self.pe };
+                        self.recorder
+                            .record(parked_ns, self.recorder.now_ns(), id, &m.label(), kind);
+                    }
                     self.deliver(id, m);
                 } else {
-                    self.send_peer(origin as usize, &Frame::Deliver { id, msgr: snap })?;
+                    self.send_peer(
+                        origin as usize,
+                        &Frame::Deliver {
+                            id,
+                            parked_ns,
+                            msgr: snap,
+                        },
+                    )?;
                 }
             }
             None => st.count += 1,
@@ -296,6 +340,12 @@ impl Daemon {
         if self.survive_run_boundary()? {
             return Ok(()); // messenger re-queued from its checkpoint
         }
+        // One Exec span per run: delivery to departure. Self-hops and
+        // banked-count waits continue the same span, as in the other
+        // executors.
+        let tracing = self.recorder.is_enabled();
+        let label = if tracing { m.label() } else { String::new() };
+        let exec_start = self.recorder.now_ns();
         let mut out = StepOutputs::default();
         loop {
             out.clear();
@@ -323,6 +373,10 @@ impl Daemon {
                     continue;
                 }
                 self.route_signal(key)?;
+                if tracing {
+                    self.recorder
+                        .instant(id, &label, TraceKind::Signal { pe: self.pe });
+                }
             }
             match effect {
                 Effect::Hop(dst) if dst == self.pe => continue,
@@ -338,7 +392,19 @@ impl Daemon {
                     let snap = encode_messenger(m.as_ref())?;
                     self.d_hops += 1;
                     self.d_hop_payload += m.payload_bytes();
-                    self.send_peer(dst, &Frame::Hop { id, msgr: snap })?;
+                    let sent_ns = self.recorder.now_ns();
+                    if tracing {
+                        let kind = TraceKind::Exec { pe: self.pe };
+                        self.recorder.record(exec_start, sent_ns, id, &label, kind);
+                    }
+                    self.send_peer(
+                        dst,
+                        &Frame::Hop {
+                            id,
+                            sent_ns,
+                            msgr: snap,
+                        },
+                    )?;
                     // In flight, the messenger belongs to the
                     // destination's failure domain — which is another
                     // process entirely.
@@ -355,17 +421,28 @@ impl Daemon {
                         }
                         self.commit_run();
                         let snap = encode_messenger(m.as_ref())?;
+                        let parked_ns = self.recorder.now_ns();
+                        if tracing {
+                            let kind = TraceKind::Exec { pe: self.pe };
+                            self.recorder.record(exec_start, parked_ns, id, &label, kind);
+                        }
                         let st = self.events.entry(key).or_default();
-                        st.waiters.push_back((id, self.pe as u32, snap));
+                        st.waiters.push_back((id, self.pe as u32, snap, parked_ns));
                     } else {
                         self.commit_run();
                         let snap = encode_messenger(m.as_ref())?;
+                        let parked_ns = self.recorder.now_ns();
+                        if tracing {
+                            let kind = TraceKind::Exec { pe: self.pe };
+                            self.recorder.record(exec_start, parked_ns, id, &label, kind);
+                        }
                         self.send_peer(
                             home,
                             &Frame::EventWait {
                                 key,
                                 id,
                                 origin: self.pe as u32,
+                                parked_ns,
                                 msgr: snap,
                             },
                         )?;
@@ -377,6 +454,11 @@ impl Daemon {
                 }
                 Effect::Done => {
                     self.commit_run();
+                    if tracing {
+                        let end = self.recorder.now_ns();
+                        let kind = TraceKind::Exec { pe: self.pe };
+                        self.recorder.record(exec_start, end, id, &label, kind);
+                    }
                     self.d_finished += 1;
                     self.t_finished += 1;
                     self.ckpt.remove(id);
@@ -392,14 +474,22 @@ impl Daemon {
         key: EventKey,
         id: u64,
         origin: u32,
+        parked_ns: u64,
         snap: WireSnapshot,
     ) -> Result<(), RunError> {
         let st = self.events.entry(key).or_default();
         if st.count > 0 {
             st.count -= 1;
-            self.send_peer(origin as usize, &Frame::Deliver { id, msgr: snap })
+            self.send_peer(
+                origin as usize,
+                &Frame::Deliver {
+                    id,
+                    parked_ns,
+                    msgr: snap,
+                },
+            )
         } else {
-            st.waiters.push_back((id, origin, snap));
+            st.waiters.push_back((id, origin, snap, parked_ns));
             Ok(())
         }
     }
@@ -407,18 +497,30 @@ impl Daemon {
     fn handle_peer_frame(&mut self, from: usize, frame: Frame) -> Result<(), RunError> {
         self.t_peer_recv += 1;
         match frame {
-            Frame::Hop { id, msgr } => self.accept_hop(id, msgr),
+            Frame::Hop { id, sent_ns, msgr } => self.accept_hop(from, id, sent_ns, msgr),
             Frame::EventWait {
                 key,
                 id,
                 origin,
+                parked_ns,
                 msgr,
-            } => self.accept_wait(key, id, origin, msgr),
+            } => self.accept_wait(key, id, origin, parked_ns, msgr),
             Frame::EventSignal { key } => self.local_signal(key),
-            Frame::Deliver { id, msgr } => {
+            Frame::Deliver {
+                id,
+                parked_ns,
+                msgr,
+            } => {
                 let m = decode_messenger(&msgr).map_err(|e| RunError::Transport {
                     detail: format!("PE {} cannot decode delivered waiter: {e}", self.pe),
                 })?;
+                // The park timestamp is on *this* PE's clock — the
+                // waiter parked here and the home echoed it back.
+                if self.recorder.is_enabled() {
+                    let kind = TraceKind::Block { pe: self.pe };
+                    self.recorder
+                        .record(parked_ns, self.recorder.now_ns(), id, &m.label(), kind);
+                }
                 self.deliver(id, m);
                 Ok(())
             }
@@ -466,6 +568,20 @@ impl Daemon {
                         })
                         .map_err(|e| RunError::Transport {
                             detail: format!("PE {} cannot return its store: {e}", self.pe),
+                        })?;
+                }
+                Ok(PeEvent::Driver(Ok(Frame::TraceCollect))) => {
+                    self.flush_delta()?;
+                    let pe_ns = self.recorder.now_ns();
+                    let (events, dropped) = self.recorder.take();
+                    self.driver
+                        .send(&Frame::TraceDump {
+                            pe_ns,
+                            dropped,
+                            events,
+                        })
+                        .map_err(|e| RunError::Transport {
+                            detail: format!("PE {} cannot return its trace: {e}", self.pe),
                         })?;
                 }
                 Ok(PeEvent::Driver(Ok(Frame::Shutdown))) => return Ok(()),
@@ -666,17 +782,19 @@ fn pe_session(
         .map_err(|e| transport(format!("send MeshReady: {e}")))?;
 
     // 4. Start payload.
-    let (store_img, injections, events, plan, initial_live) = match read_frame(driver_stream) {
-        Ok(Frame::Start {
-            store,
-            injections,
-            events,
-            plan,
-            initial_live,
-        }) => (store, injections, events, plan, initial_live),
-        Ok(other) => return Err(transport(format!("expected Start, got {other:?}"))),
-        Err(e) => return Err(transport(format!("start read: {e}"))),
-    };
+    let (store_img, injections, events, plan, initial_live, trace) =
+        match read_frame(driver_stream) {
+            Ok(Frame::Start {
+                store,
+                injections,
+                events,
+                plan,
+                initial_live,
+                trace,
+            }) => (store, injections, events, plan, initial_live, trace),
+            Ok(other) => return Err(transport(format!("expected Start, got {other:?}"))),
+            Err(e) => return Err(transport(format!("start read: {e}"))),
+        };
 
     // 5. Wire everything into the daemon and spawn readers.
     let (tx, rx): (Sender<PeEvent>, Receiver<PeEvent>) = std::sync::mpsc::channel();
@@ -722,6 +840,11 @@ fn pe_session(
         initial_live,
         peers,
         driver,
+        recorder: if trace {
+            PeRecorder::enabled()
+        } else {
+            PeRecorder::disabled()
+        },
         d_spawned: 0,
         d_finished: 0,
         d_steps: 0,

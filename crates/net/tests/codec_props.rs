@@ -11,6 +11,7 @@ use navp::fault::{FaultPlan, FaultStats};
 use navp::{Key, RunError, WireSnapshot};
 use navp_net::frame::{Frame, StoreEntry};
 use navp_net::DecodeError;
+use navp_trace::{TraceEvent, TraceKind, VTime};
 
 struct SplitMix64(u64);
 
@@ -116,8 +117,38 @@ fn arb_error(rng: &mut SplitMix64) -> RunError {
     }
 }
 
+fn arb_trace_event(rng: &mut SplitMix64) -> TraceEvent {
+    let start = rng.below(1 << 40);
+    let kind = match rng.below(5) {
+        0 => TraceKind::Exec {
+            pe: rng.below(16) as usize,
+        },
+        1 => TraceKind::Transfer {
+            from: rng.below(16) as usize,
+            to: rng.below(16) as usize,
+            bytes: rng.below(1 << 20),
+        },
+        2 => TraceKind::Block {
+            pe: rng.below(16) as usize,
+        },
+        3 => TraceKind::Signal {
+            pe: rng.below(16) as usize,
+        },
+        _ => TraceKind::Fault {
+            pe: rng.below(16) as usize,
+        },
+    };
+    TraceEvent {
+        start: VTime(start),
+        end: VTime(start + rng.below(1 << 20)),
+        actor: rng.next_u64(),
+        label: NAMES[rng.below(NAMES.len() as u64) as usize].to_string(),
+        kind,
+    }
+}
+
 fn arb_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.below(17) {
+    match rng.below(19) {
         0 => Frame::Assign {
             pe: rng.below(16) as u32,
             pes: rng.below(16) as u32,
@@ -146,20 +177,24 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
             events: (0..rng.below(4)).map(|_| arb_key(rng)).collect(),
             plan: arb_plan(rng),
             initial_live: rng.below(1000),
+            trace: rng.below(2) == 1,
         },
         6 => Frame::Hop {
             id: rng.next_u64(),
+            sent_ns: rng.next_u64() >> 1,
             msgr: arb_snapshot(rng),
         },
         7 => Frame::EventWait {
             key: arb_key(rng),
             id: rng.next_u64(),
             origin: rng.below(16) as u32,
+            parked_ns: rng.next_u64() >> 1,
             msgr: arb_snapshot(rng),
         },
         8 => Frame::EventSignal { key: arb_key(rng) },
         9 => Frame::Deliver {
             id: rng.next_u64(),
+            parked_ns: rng.next_u64() >> 1,
             msgr: arb_snapshot(rng),
         },
         10 => Frame::Delta {
@@ -195,6 +230,12 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
             finished: rng.below(10_000),
             peer_sent: rng.below(10_000),
             peer_recv: rng.below(10_000),
+        },
+        16 => Frame::TraceCollect,
+        17 => Frame::TraceDump {
+            pe_ns: rng.next_u64() >> 1,
+            dropped: rng.below(100),
+            events: (0..rng.below(6)).map(|_| arb_trace_event(rng)).collect(),
         },
         _ => Frame::Shutdown,
     }

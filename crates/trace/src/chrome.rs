@@ -1,0 +1,289 @@
+//! Chrome trace-event (Perfetto) export.
+//!
+//! Emits the JSON Object Format of the Trace Event spec: a top-level
+//! `{"traceEvents": [...]}` whose entries are complete spans
+//! (`"ph":"X"`, with `ts`/`dur` in microseconds), instants
+//! (`"ph":"i"`), and process-name metadata (`"ph":"M"`). PEs map to
+//! Chrome *processes* and messengers to *threads*, so loading the file
+//! in `ui.perfetto.dev` shows one swim-lane per PE with named messenger
+//! tracks — the paper's space-time diagram, zoomable.
+//!
+//! [`validate_chrome_json`] re-parses an export with the in-crate JSON
+//! parser and checks the schema; tests and the CI loopback job use it
+//! as the round-trip oracle since the workspace has no serde.
+
+use crate::json::{escape_into, Json};
+use navp_sim::trace::{Trace, TraceKind};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Extension trait adding Chrome trace-event export to [`Trace`].
+pub trait ChromeTrace {
+    /// Serialize as Chrome trace-event JSON (µs timestamps), openable
+    /// in `ui.perfetto.dev` or `chrome://tracing`.
+    fn to_chrome_json(&self) -> String;
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+impl ChromeTrace for Trace {
+    fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |s: &str, out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(s);
+        };
+        // Metadata: name each PE lane and each (PE, messenger) track.
+        let mut pes = BTreeSet::new();
+        let mut tracks = BTreeSet::new();
+        for e in self.events() {
+            let (pe, _) = home_of(&e.kind);
+            pes.insert(pe);
+            if tracks.insert((pe, e.actor)) {
+                let mut m = String::new();
+                let _ = write!(
+                    m,
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pe},\"tid\":{},\"args\":{{\"name\":\"",
+                    e.actor
+                );
+                escape_into(&mut m, &e.label);
+                m.push_str("\"}}");
+                emit(&m, &mut out);
+            }
+        }
+        for pe in &pes {
+            emit(
+                &format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pe},\"args\":{{\"name\":\"PE {pe}\"}}}}"
+                ),
+                &mut out,
+            );
+        }
+        for e in self.events() {
+            let (pe, cat) = home_of(&e.kind);
+            let mut rec = String::new();
+            let instant = e.start == e.end;
+            let ph = if instant { "i" } else { "X" };
+            let _ = write!(
+                rec,
+                "{{\"ph\":\"{ph}\",\"pid\":{pe},\"tid\":{},\"ts\":{:.3},",
+                e.actor,
+                us(e.start.0)
+            );
+            if !instant {
+                let _ = write!(rec, "\"dur\":{:.3},", us(e.end.0.saturating_sub(e.start.0)));
+            } else {
+                rec.push_str("\"s\":\"p\",");
+            }
+            let _ = write!(rec, "\"cat\":\"{cat}\",\"name\":\"");
+            escape_into(&mut rec, &e.label);
+            rec.push('"');
+            if let TraceKind::Transfer { from, to, bytes } = e.kind {
+                let _ = write!(
+                    rec,
+                    ",\"args\":{{\"from\":{from},\"to\":{to},\"bytes\":{bytes}}}"
+                );
+            }
+            rec.push('}');
+            emit(&rec, &mut out);
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+/// Which PE lane an event is drawn in, and its category string. A
+/// transfer is drawn on the *receiving* PE (where the hop lands).
+fn home_of(kind: &TraceKind) -> (usize, &'static str) {
+    match kind {
+        TraceKind::Exec { pe } => (*pe, "exec"),
+        TraceKind::Transfer { to, .. } => (*to, "transfer"),
+        TraceKind::Block { pe } => (*pe, "block"),
+        TraceKind::Signal { pe } => (*pe, "signal"),
+        TraceKind::Fault { pe } => (*pe, "fault"),
+    }
+}
+
+/// What a validated Chrome export contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Non-metadata events.
+    pub events: usize,
+    /// Distinct `pid`s (PEs) among non-metadata events, ascending.
+    pub pids: Vec<usize>,
+    /// `"cat":"exec"` spans.
+    pub execs: usize,
+    /// `"cat":"transfer"` spans.
+    pub transfers: usize,
+    /// `"cat":"block"` events.
+    pub blocks: usize,
+    /// `"cat":"signal"` instants.
+    pub signals: usize,
+}
+
+/// Parse a Chrome trace-event document and check the schema: a
+/// `traceEvents` array whose spans carry numeric `pid`/`tid`/`ts` (and
+/// `dur` for `"X"`), with non-negative durations. Returns a summary of
+/// what the trace covered, or a description of the first violation.
+pub fn validate_chrome_json(doc: &str) -> Result<ChromeSummary, String> {
+    let root = Json::parse(doc).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut sum = ChromeSummary::default();
+    let mut pids = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let num = |field: &str| {
+            ev.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("event {i} (ph {ph}): missing numeric {field}"))
+        };
+        match ph {
+            "M" => {
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("metadata event {i}: missing name"))?;
+            }
+            "X" | "i" => {
+                let pid = num("pid")?;
+                num("tid")?;
+                let ts = num("ts")?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                if ph == "X" && num("dur")? < 0.0 {
+                    return Err(format!("event {i}: negative dur"));
+                }
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: missing name"))?;
+                sum.events += 1;
+                pids.insert(pid as usize);
+                match ev.get("cat").and_then(Json::as_str).unwrap_or("") {
+                    "exec" => sum.execs += 1,
+                    "transfer" => sum.transfers += 1,
+                    "block" => sum.blocks += 1,
+                    "signal" => sum.signals += 1,
+                    _ => {}
+                }
+            }
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    sum.pids = pids.into_iter().collect();
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_sim::trace::TraceEvent;
+    use navp_sim::VTime;
+
+    fn sample() -> Trace {
+        let mut t = Trace::enabled();
+        t.push(TraceEvent {
+            start: VTime(1_000),
+            end: VTime(5_000),
+            actor: 7,
+            label: "RowCarrier(3)".into(),
+            kind: TraceKind::Exec { pe: 0 },
+        });
+        t.push(TraceEvent {
+            start: VTime(5_000),
+            end: VTime(9_000),
+            actor: 7,
+            label: "RowCarrier(3)".into(),
+            kind: TraceKind::Transfer {
+                from: 0,
+                to: 1,
+                bytes: 640,
+            },
+        });
+        t.push(TraceEvent {
+            start: VTime(9_000),
+            end: VTime(9_000),
+            actor: 7,
+            label: "evil \"label\"\n".into(),
+            kind: TraceKind::Signal { pe: 1 },
+        });
+        t
+    }
+
+    #[test]
+    fn export_roundtrips_through_the_validator() {
+        let doc = sample().to_chrome_json();
+        let sum = validate_chrome_json(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_eq!(sum.events, 3);
+        assert_eq!(sum.pids, vec![0, 1]);
+        assert_eq!((sum.execs, sum.transfers, sum.signals), (1, 1, 1));
+    }
+
+    #[test]
+    fn transfer_spans_carry_from_to_bytes_args() {
+        let doc = sample().to_chrome_json();
+        let root = Json::parse(&doc).unwrap();
+        let evs = root.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let t = evs
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("transfer"))
+            .expect("transfer event");
+        let args = t.get("args").unwrap();
+        assert_eq!(args.get("from").and_then(Json::as_num), Some(0.0));
+        assert_eq!(args.get("to").and_then(Json::as_num), Some(1.0));
+        assert_eq!(args.get("bytes").and_then(Json::as_num), Some(640.0));
+        // Timestamps are µs: 1000ns span start → 1.0µs.
+        let exec = evs
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("exec"))
+            .unwrap();
+        assert_eq!(exec.get("ts").and_then(Json::as_num), Some(1.0));
+        assert_eq!(exec.get("dur").and_then(Json::as_num), Some(4.0));
+    }
+
+    #[test]
+    fn metadata_names_every_pe() {
+        let doc = sample().to_chrome_json();
+        let root = Json::parse(&doc).unwrap();
+        let evs = root.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("name").and_then(Json::as_str) == Some("process_name")
+            })
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, vec!["PE 0", "PE 1"]);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = Trace::enabled().to_chrome_json();
+        let sum = validate_chrome_json(&doc).unwrap();
+        assert_eq!(sum.events, 0);
+        assert!(sum.pids.is_empty());
+    }
+
+    #[test]
+    fn validator_rejects_wrong_shapes() {
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("[1,2]").is_err());
+        assert!(validate_chrome_json(r#"{"traceEvents":[{"pid":0}]}"#).is_err());
+        assert!(validate_chrome_json(
+            r#"{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":1,"name":"a"}]}"#
+        )
+        .is_err(), "X without dur must fail");
+    }
+}

@@ -1,0 +1,224 @@
+//! Merging per-PE wall-clock logs onto one corrected timeline.
+//!
+//! Each PE records events against its own anchor clock. The executor
+//! measures, per PE, a signed offset that maps local nanoseconds into
+//! the coordinator's timeline (Cristian's algorithm over the collect
+//! round-trip for the net executor; all zeros for in-process threads,
+//! whose daemons share one anchor). The merge applies the offsets,
+//! normalizes the earliest instant to t=0, and emits a sorted
+//! [`Trace`] that the sim's renderer and statistics consume unchanged.
+//!
+//! Transfers are the one subtle case: the *receiving* PE records the
+//! span, but its `start` field carries the **sender's** clock (the
+//! send timestamp travels with the hop frame). So a Transfer start is
+//! corrected with the sender's offset and its end with the receiver's;
+//! residual skew that would make a hop look acausal is clamped to a
+//! zero-length span rather than a negative one.
+
+use navp_sim::trace::{Trace, TraceEvent, TraceKind};
+use navp_sim::VTime;
+use std::collections::HashMap;
+
+/// One PE's collected log: its events (local clock), the signed
+/// nanosecond offset mapping that clock into the coordinator timeline,
+/// and how many events its ring buffer evicted.
+#[derive(Debug, Clone, Default)]
+pub struct PeLog {
+    /// PE that recorded these events.
+    pub pe: usize,
+    /// Add this to the PE's local timestamps to get coordinator time.
+    pub offset_ns: i64,
+    /// Events in recording order, stamped with the PE's local clock.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by the PE's ring buffer (trace is incomplete).
+    pub dropped: u64,
+}
+
+/// Merge per-PE logs into one normalized [`Trace`]. Returns the trace
+/// and the total number of events dropped across all PEs.
+pub fn merge_pe_traces(logs: Vec<PeLog>) -> (Trace, u64) {
+    let offsets: HashMap<usize, i64> = logs.iter().map(|l| (l.pe, l.offset_ns)).collect();
+    let mut dropped = 0u64;
+    // Work in i128 so offset application can't wrap; normalize after.
+    let mut staged: Vec<(i128, i128, TraceEvent)> = Vec::new();
+    for log in logs {
+        dropped += log.dropped;
+        let own = log.offset_ns as i128;
+        for ev in log.events {
+            let start_off = match ev.kind {
+                // Transfer starts are stamped by the *sender's* clock.
+                TraceKind::Transfer { from, .. } => {
+                    offsets.get(&from).map(|o| *o as i128).unwrap_or(own)
+                }
+                _ => own,
+            };
+            let s = ev.start.0 as i128 + start_off;
+            let e = (ev.end.0 as i128 + own).max(s);
+            staged.push((s, e, ev));
+        }
+    }
+    if staged.is_empty() {
+        return (Trace::enabled(), dropped);
+    }
+    let t0 = staged.iter().map(|(s, _, _)| *s).min().unwrap_or(0);
+    staged.sort_by(|a, b| {
+        (a.0, a.1, a.2.actor)
+            .cmp(&(b.0, b.1, b.2.actor))
+            .then_with(|| kind_rank(&a.2.kind).cmp(&kind_rank(&b.2.kind)))
+    });
+    let mut trace = Trace::enabled();
+    for (s, e, mut ev) in staged {
+        ev.start = VTime((s - t0).max(0) as u64);
+        ev.end = VTime((e - t0).max(0) as u64);
+        trace.push(ev);
+    }
+    (trace, dropped)
+}
+
+fn kind_rank(k: &TraceKind) -> u8 {
+    match k {
+        TraceKind::Exec { .. } => 0,
+        TraceKind::Transfer { .. } => 1,
+        TraceKind::Block { .. } => 2,
+        TraceKind::Signal { .. } => 3,
+        TraceKind::Fault { .. } => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: u64, e: u64, actor: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            start: VTime(s),
+            end: VTime(e),
+            actor,
+            label: "M".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn offsets_align_two_pe_clocks() {
+        // PE0's clock is 1000ns behind the coordinator, PE1's 500 ahead.
+        let logs = vec![
+            PeLog {
+                pe: 0,
+                offset_ns: 1000,
+                events: vec![ev(0, 100, 1, TraceKind::Exec { pe: 0 })],
+                dropped: 0,
+            },
+            PeLog {
+                pe: 1,
+                offset_ns: -500,
+                events: vec![ev(1600, 1700, 2, TraceKind::Exec { pe: 1 })],
+                dropped: 3,
+            },
+        ];
+        let (trace, dropped) = merge_pe_traces(logs);
+        assert_eq!(dropped, 3);
+        let evs = trace.events();
+        assert_eq!(evs.len(), 2);
+        // PE0: 0+1000=1000 → normalized 0. PE1: 1600-500=1100 → 100.
+        assert_eq!(evs[0].start, VTime(0));
+        assert_eq!(evs[0].end, VTime(100));
+        assert_eq!(evs[1].start, VTime(100));
+        assert_eq!(evs[1].end, VTime(200));
+    }
+
+    #[test]
+    fn transfer_start_uses_sender_offset() {
+        // Receiver PE1 records a hop from PE0; start is on PE0's clock.
+        let hop = ev(
+            100,
+            250,
+            7,
+            TraceKind::Transfer {
+                from: 0,
+                to: 1,
+                bytes: 64,
+            },
+        );
+        let logs = vec![
+            PeLog {
+                pe: 0,
+                offset_ns: 0,
+                events: vec![ev(0, 100, 7, TraceKind::Exec { pe: 0 })],
+                dropped: 0,
+            },
+            PeLog {
+                pe: 1,
+                offset_ns: -50,
+                events: vec![hop],
+                dropped: 0,
+            },
+        ];
+        let (trace, _) = merge_pe_traces(logs);
+        let t = trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Transfer { .. }))
+            .unwrap();
+        // start: 100 + offset[0]=0 → 100; end: 250 + offset[1]=-50 → 200.
+        assert_eq!(t.start, VTime(100));
+        assert_eq!(t.end, VTime(200));
+    }
+
+    #[test]
+    fn acausal_skew_clamps_to_zero_length() {
+        // Offsets so wrong the hop would end before it starts.
+        let hop = ev(
+            100,
+            110,
+            7,
+            TraceKind::Transfer {
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+        );
+        let logs = vec![
+            PeLog {
+                pe: 0,
+                offset_ns: 10_000,
+                events: vec![],
+                dropped: 0,
+            },
+            PeLog {
+                pe: 1,
+                offset_ns: 0,
+                events: vec![hop],
+                dropped: 0,
+            },
+        ];
+        let (trace, _) = merge_pe_traces(logs);
+        let t = &trace.events()[0];
+        assert_eq!(t.start, t.end, "clamped, not negative");
+    }
+
+    #[test]
+    fn empty_merge_is_an_empty_enabled_trace() {
+        let (trace, dropped) = merge_pe_traces(vec![]);
+        assert!(trace.events().is_empty());
+        assert_eq!(dropped, 0);
+        // Must still accept pushes (it is the executors' output type).
+        assert_eq!(trace.makespan(), VTime::ZERO);
+    }
+
+    #[test]
+    fn merge_sorts_by_corrected_start() {
+        let logs = vec![PeLog {
+            pe: 0,
+            offset_ns: 0,
+            events: vec![
+                ev(500, 600, 2, TraceKind::Exec { pe: 0 }),
+                ev(0, 100, 1, TraceKind::Exec { pe: 0 }),
+            ],
+            dropped: 0,
+        }];
+        let (trace, _) = merge_pe_traces(logs);
+        assert!(trace.events()[0].start <= trace.events()[1].start);
+        assert_eq!(trace.events()[0].actor, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-PE wall-clock recorders.
+//!
+//! One recorder per PE daemon, owned and written by exactly one thread:
+//! the hot path is `Instant::elapsed` + a bounded vector write, with no
+//! locks and no allocation after the first lap. A disabled recorder
+//! costs one branch per call site.
+
+use navp_sim::trace::{TraceEvent, TraceKind};
+use navp_sim::VTime;
+use std::time::Instant;
+
+/// Default per-PE event capacity. At ~80 bytes/event this bounds a PE's
+/// trace memory to a few MB even on long runs; overflow evicts the
+/// oldest events and counts them in [`PeRecorder::dropped`].
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A bounded single-writer event log stamped in nanoseconds since a
+/// local anchor [`Instant`].
+///
+/// Timestamps are *local*: comparable within one recorder, and across
+/// recorders only after [`merge_pe_traces`](crate::merge_pe_traces)
+/// applies per-PE clock offsets. The thread executor hands every daemon
+/// the same anchor (offsets all zero); the net executor anchors each PE
+/// process independently and measures offsets at collection time.
+#[derive(Debug)]
+pub struct PeRecorder {
+    anchor: Instant,
+    enabled: bool,
+    cap: usize,
+    /// Ring storage: once `events.len() == cap`, `head` marks the
+    /// logical start and new events overwrite the oldest slot.
+    events: Vec<TraceEvent>,
+    head: usize,
+    dropped: u64,
+}
+
+impl PeRecorder {
+    /// A recorder that drops everything (the default; one branch/event).
+    pub fn disabled() -> PeRecorder {
+        PeRecorder::with_anchor(Instant::now(), false, DEFAULT_CAPACITY)
+    }
+
+    /// An enabled recorder with the default capacity, anchored now.
+    pub fn enabled() -> PeRecorder {
+        PeRecorder::with_anchor(Instant::now(), true, DEFAULT_CAPACITY)
+    }
+
+    /// Full-control constructor: shared anchors make in-process
+    /// recorders directly comparable; a small `cap` is useful in tests.
+    pub fn with_anchor(anchor: Instant, enabled: bool, cap: usize) -> PeRecorder {
+        PeRecorder {
+            anchor,
+            enabled,
+            cap: cap.max(1),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether this recorder keeps events. Call sites should gate any
+    /// non-trivial argument construction (label formatting etc.) on
+    /// this so the disabled path stays free.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since this recorder's anchor — the timestamp domain
+    /// of every event it stores. Returns 0 when disabled so callers can
+    /// stamp unconditionally without branching.
+    pub fn now_ns(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Record a span; no-op when disabled, evicts the oldest event when
+    /// at capacity.
+    pub fn record(&mut self, start_ns: u64, end_ns: u64, actor: u64, label: &str, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            start: VTime(start_ns),
+            end: VTime(end_ns.max(start_ns)),
+            actor,
+            label: label.to_string(),
+            kind,
+        };
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Record an instantaneous event at `now_ns()`.
+    pub fn instant(&mut self, actor: u64, label: &str, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        let t = self.now_ns();
+        self.record(t, t, actor, label, kind);
+    }
+
+    /// Events evicted by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or recording is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drain events in recording order (oldest surviving event first)
+    /// together with the dropped count, resetting the recorder.
+    pub fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        let head = std::mem::take(&mut self.head);
+        let mut evs = std::mem::take(&mut self.events);
+        evs.rotate_left(head);
+        (evs, std::mem::take(&mut self.dropped))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(pe: usize) -> TraceKind {
+        TraceKind::Exec { pe }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut r = PeRecorder::disabled();
+        r.record(0, 10, 1, "A", exec(0));
+        r.instant(1, "A", TraceKind::Signal { pe: 0 });
+        assert!(r.is_empty());
+        assert_eq!(r.now_ns(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn records_in_order_and_clamps_backwards_spans() {
+        let mut r = PeRecorder::enabled();
+        r.record(5, 3, 1, "A", exec(0));
+        let (evs, dropped) = r.take();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs.len(), 1);
+        // A span whose end precedes its start is clamped, not negative.
+        assert_eq!(evs[0].start, VTime(5));
+        assert_eq!(evs[0].end, VTime(5));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = PeRecorder::with_anchor(Instant::now(), true, 3);
+        for i in 0..5u64 {
+            r.record(i, i + 1, i, &i.to_string(), exec(0));
+        }
+        assert_eq!(r.dropped(), 2);
+        let (evs, dropped) = r.take();
+        assert_eq!(dropped, 2);
+        // Oldest two (0, 1) evicted; order preserved for survivors.
+        let actors: Vec<u64> = evs.iter().map(|e| e.actor).collect();
+        assert_eq!(actors, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn take_resets_the_recorder() {
+        let mut r = PeRecorder::with_anchor(Instant::now(), true, 2);
+        r.record(0, 1, 0, "A", exec(0));
+        r.record(1, 2, 1, "B", exec(0));
+        r.record(2, 3, 2, "C", exec(0));
+        let (evs, dropped) = r.take();
+        assert_eq!((evs.len(), dropped), (2, 1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.record(3, 4, 3, "D", exec(0));
+        let (evs, dropped) = r.take();
+        assert_eq!((evs.len(), dropped), (1, 0));
+        assert_eq!(evs[0].actor, 3);
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let r = PeRecorder::enabled();
+        let a = r.now_ns();
+        let b = r.now_ns();
+        assert!(b >= a);
+    }
+}

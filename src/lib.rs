@@ -16,6 +16,9 @@
 //!   Gentleman/Cannon/SUMMA baselines.
 //! * [`navp_mm`] — the case study: six incremental NavP matrix-multiply
 //!   stages plus the baselines.
+//! * [`navp_trace`] — wall-clock tracing for the real executors:
+//!   per-PE ring recorders, clock-offset merge, Chrome/Perfetto export,
+//!   and derived [`TraceReport`](navp_trace::TraceReport) metrics.
 
 pub use navp;
 pub use navp_matrix;
@@ -23,3 +26,4 @@ pub use navp_mm;
 pub use navp_mp;
 pub use navp_net;
 pub use navp_sim;
+pub use navp_trace;
