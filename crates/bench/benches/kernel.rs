@@ -1,21 +1,26 @@
 //! Wall-clock benchmark of the shared block kernel — the common
-//! denominator of every implementation (paper block orders 128/256).
+//! denominator of every implementation (paper block orders 128/256) —
+//! with the retired naive i-k-j loop kept as the reference point the
+//! packed kernel's speedup is measured against.
 
 use navp_bench::timing::Group;
 use navp_matrix::gen::seeded_matrix;
-use navp_matrix::kernel::{gemm_acc, gemm_flops};
+use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, gemm_flops};
 
 fn bench_kernel() {
     for order in [32usize, 64, 128, 256] {
         let a = seeded_matrix(order, 1);
         let b = seeded_matrix(order, 2);
         let mut out = vec![0.0f64; order * order];
-        Group::new("block_gemm")
-            .throughput(gemm_flops(order, order, order))
-            .bench(&order.to_string(), || {
-                gemm_acc(&mut out, a.as_slice(), b.as_slice(), order, order, order);
-                std::hint::black_box(&mut out);
-            });
+        let mut g = Group::new("block_gemm").flops(gemm_flops(order, order, order));
+        g.bench(&format!("packed_{order}"), || {
+            gemm_acc(&mut out, a.as_slice(), b.as_slice(), order, order, order);
+            std::hint::black_box(&mut out);
+        });
+        g.bench(&format!("naive_{order}"), || {
+            gemm_acc_naive(&mut out, a.as_slice(), b.as_slice(), order, order, order);
+            std::hint::black_box(&mut out);
+        });
     }
 }
 
@@ -23,11 +28,13 @@ fn bench_blocked_vs_naive() {
     let n = 256;
     let a = seeded_matrix(n, 3);
     let b = seeded_matrix(n, 4);
-    let group = Group::new("dense_multiply_256").sample_size(10);
+    let mut group = Group::new("dense_multiply_256")
+        .sample_size(10)
+        .flops(gemm_flops(n, n, n));
     group.bench("naive_ijk", || {
         std::hint::black_box(a.multiply_naive(&b).expect("shapes"))
     });
-    group.bench("kernel_ikj", || {
+    group.bench("kernel_packed", || {
         std::hint::black_box(a.multiply(&b).expect("shapes"))
     });
     let ba = navp_matrix::BlockedMatrix::from_matrix(&a, 64).expect("blocked");

@@ -18,7 +18,10 @@ use navp_mm::runner::{
 
 fn bench_navp_stages() {
     let cfg = MmConfig::real(384, 32); // nb = 12: divisible by 2, 3, 4
-    let group = Group::new("wall_navp_stages_n384").sample_size(10);
+    let flops = 2 * (cfg.n as u64).pow(3);
+    let mut group = Group::new("wall_navp_stages_n384")
+        .sample_size(10)
+        .flops(flops);
     for stage in NavpStage::ALL {
         let grid = if stage.is_1d() {
             Grid2D::line(4).expect("grid")
@@ -40,7 +43,10 @@ fn bench_navp_stages() {
 fn bench_mp_baselines() {
     let cfg = MmConfig::real(384, 32);
     let grid = Grid2D::new(2, 2).expect("grid");
-    let group = Group::new("wall_mp_baselines_n384").sample_size(10);
+    let flops = 2 * (cfg.n as u64).pow(3);
+    let mut group = Group::new("wall_mp_baselines_n384")
+        .sample_size(10)
+        .flops(flops);
     for alg in [MpAlg::Gentleman(GentlemanOpts::default()), MpAlg::Summa] {
         let once = run_mp_threads(alg, &cfg, grid).expect("run");
         assert_eq!(once.verified, Some(true), "{}", alg.name());

@@ -1,0 +1,171 @@
+//! Wall-clock perf baseline: packed vs naive GEMM kernel GFLOP/s and
+//! NavP-stage wall times with effective hop bandwidth, written as
+//! machine-readable JSON (`BENCH_kernel.json`, `BENCH_stages.json`) at
+//! the repo root.
+//!
+//! Usage: `cargo run --release -p navp-bench --bin perf [-- --quick]`
+//!
+//! `--quick` trims sample counts and the stage problem size so the CI
+//! perf smoke job finishes in a couple of minutes; the acceptance gate
+//! (packed kernel strictly faster than naive at 256³) is checked in
+//! both modes and failure exits non-zero.
+
+use navp_bench::timing::{write_groups_json, Entry, Group, Metric};
+use navp_matrix::gen::seeded_matrix;
+use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, gemm_flops};
+use navp_matrix::Grid2D;
+use navp_mm::config::MmConfig;
+use navp_mm::runner::{run_navp_threads, run_navp_threads_unverified, NavpStage};
+use std::path::{Path, PathBuf};
+
+/// Repo root, resolved at compile time relative to this crate so the
+/// JSON baselines land in the same place regardless of the cwd the
+/// binary is launched from.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+struct Opts {
+    quick: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("usage: perf [--quick]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: perf [--quick])");
+                std::process::exit(2);
+            }
+        }
+    }
+    Opts { quick }
+}
+
+/// Kernel section: packed vs naive at the paper block orders plus a
+/// 512³ point where the working set is far beyond L2 and the packing
+/// pays off hardest. Returns (groups, gate_ok) where the gate is
+/// "packed strictly faster than naive at 256³".
+fn bench_kernel(opts: &Opts) -> (Vec<Group>, bool) {
+    let orders: &[usize] = if opts.quick {
+        &[256, 512]
+    } else {
+        &[128, 256, 512]
+    };
+    let mut groups = Vec::new();
+    let mut gate_ok = true;
+    for &n in orders {
+        let a = seeded_matrix(n, 1);
+        let b = seeded_matrix(n, 2);
+        let mut out = vec![0.0f64; n * n];
+        // Bigger orders take longer per iteration; scale samples down
+        // so the full run stays under a few minutes.
+        let samples = match (opts.quick, n) {
+            (true, _) => 5,
+            (false, 512) => 7,
+            (false, _) => 15,
+        };
+        let mut g = Group::new(&format!("kernel_{n}"))
+            .sample_size(samples)
+            .warmup(2)
+            .flops(gemm_flops(n, n, n));
+        let naive = g
+            .bench(&format!("naive_{n}"), || {
+                gemm_acc_naive(&mut out, a.as_slice(), b.as_slice(), n, n, n);
+                std::hint::black_box(&mut out);
+            })
+            .clone();
+        let packed = g
+            .bench(&format!("packed_{n}"), || {
+                gemm_acc(&mut out, a.as_slice(), b.as_slice(), n, n, n);
+                std::hint::black_box(&mut out);
+            })
+            .clone();
+        let speedup = naive.median_ns as f64 / packed.median_ns.max(1) as f64;
+        println!("kernel_{n}: packed is {speedup:.2}x naive (median)");
+        if n == 256 && packed.median_ns >= naive.median_ns {
+            gate_ok = false;
+        }
+        groups.push(g);
+    }
+    (groups, gate_ok)
+}
+
+/// Stage section: each NavP pipeline stage timed wall-clock on real
+/// threads. Per stage the first group reports GFLOP/s (2n³ flops per
+/// run); the second derives effective hop bandwidth — payload bytes
+/// moved between PEs divided by the same measured wall times — from
+/// the transfer accounting of a verified probe run, since the byte
+/// traffic of a stage is deterministic.
+fn bench_stages(opts: &Opts) -> Vec<Group> {
+    // nb must be divisible by the grid dims used below (line(4), 2x2).
+    let (n, ab) = if opts.quick { (256, 32) } else { (384, 32) };
+    let samples = if opts.quick { 3 } else { 7 };
+    let cfg = MmConfig::real(n, ab);
+    let flops = 2 * (cfg.n as u64).pow(3);
+    let mut wall = Group::new(&format!("wall_navp_stages_n{n}"))
+        .sample_size(samples)
+        .warmup(1)
+        .flops(flops);
+    let mut hops = Group::new(&format!("hop_bandwidth_n{n}")).sample_size(samples);
+    for stage in NavpStage::ALL {
+        let grid = if stage.is_1d() {
+            Grid2D::line(4).expect("grid")
+        } else {
+            Grid2D::new(2, 2).expect("grid")
+        };
+        // One verified probe: checks the answer against the sequential
+        // reference and records the (deterministic) hop byte traffic.
+        let probe = run_navp_threads(stage, &cfg, grid).expect("run");
+        assert_eq!(probe.verified, Some(true), "{} failed to verify", stage.name());
+        let e = wall
+            .bench(stage.name(), || {
+                run_navp_threads_unverified(stage, &cfg, grid)
+                    .expect("run")
+                    .wall
+            })
+            .clone();
+        // Same measured wall samples, re-expressed as bytes-over-wire
+        // per second. transfers is recorded for the JSON consumer.
+        hops.record(Entry {
+            label: format!("{}_{}transfers", stage.name(), probe.transfers),
+            samples: e.samples,
+            min_ns: e.min_ns,
+            median_ns: e.median_ns,
+            p90_ns: e.p90_ns,
+            metric: Some(Metric::Bytes(probe.bytes)),
+        });
+    }
+    vec![wall, hops]
+}
+
+fn main() {
+    let opts = parse_opts();
+    let root = repo_root();
+    println!(
+        "perf baseline ({} mode); JSON lands in {}",
+        if opts.quick { "quick" } else { "full" },
+        root.display()
+    );
+
+    let (kernel_groups, gate_ok) = bench_kernel(&opts);
+    let kernel_path = root.join("BENCH_kernel.json");
+    write_groups_json(&kernel_path, &kernel_groups).expect("write BENCH_kernel.json");
+    println!("\nwrote {}", kernel_path.display());
+
+    let stage_groups = bench_stages(&opts);
+    let stages_path = root.join("BENCH_stages.json");
+    write_groups_json(&stages_path, &stage_groups).expect("write BENCH_stages.json");
+    println!("\nwrote {}", stages_path.display());
+
+    if !gate_ok {
+        eprintln!("FAIL: packed kernel is not faster than naive at 256^3");
+        std::process::exit(1);
+    }
+    println!("OK: packed kernel faster than naive at 256^3");
+}

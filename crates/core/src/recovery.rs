@@ -19,18 +19,24 @@
 //! bitwise.
 
 use crate::agent::Messenger;
-use navp_sim::store::StoreValue;
+use navp_sim::store::SharedValue;
 use navp_sim::{NodeStore, VarKey};
 use std::collections::HashMap;
 
 /// One journaled store mutation.
+///
+/// `Write` holds a [`SharedValue`]: committing a run's writes and
+/// cloning a journal are reference bumps. The store's copy-on-write
+/// machinery un-shares a live entry only when a later run actually
+/// mutates it, so journaling never deep-copies untouched blocks.
+#[derive(Clone)]
 pub enum JournalOp {
     /// `key` held this value (with these declared bytes) after the run.
     Write {
         /// The mutated node variable.
         key: VarKey,
-        /// Snapshot of its value at commit time.
-        val: Box<dyn StoreValue>,
+        /// Shared snapshot of its value at commit time.
+        val: SharedValue,
         /// Declared resident bytes.
         bytes: u64,
     },
@@ -39,19 +45,6 @@ pub enum JournalOp {
         /// The removed node variable.
         key: VarKey,
     },
-}
-
-impl Clone for JournalOp {
-    fn clone(&self) -> JournalOp {
-        match self {
-            JournalOp::Write { key, val, bytes } => JournalOp::Write {
-                key: *key,
-                val: val.clone_value(),
-                bytes: *bytes,
-            },
-            JournalOp::Remove { key } => JournalOp::Remove { key: *key },
-        }
-    }
 }
 
 /// Ordered log of one PE's node-store mutations, committed at run
@@ -80,7 +73,8 @@ impl WriteJournal {
 
     /// Commit the run that just finished: drain the store's dirty keys
     /// (deterministically sorted) and append each key's post-run state —
-    /// a cloned value, or a removal marker if the key is gone.
+    /// a shared (copy-on-write) snapshot, or a removal marker if the key
+    /// is gone.
     ///
     /// The store must have tracking enabled ([`NodeStore::enable_tracking`]);
     /// with tracking off this is a no-op.
@@ -100,7 +94,7 @@ impl WriteJournal {
         for op in &self.ops {
             match op {
                 JournalOp::Write { key, val, bytes } => {
-                    store.insert_boxed(*key, val.clone_value(), *bytes);
+                    store.insert_shared(*key, val.clone(), *bytes);
                 }
                 JournalOp::Remove { key } => {
                     store.remove_key(*key);

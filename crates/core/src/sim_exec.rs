@@ -147,6 +147,7 @@ impl SimExecutor {
         let mut fm = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
             // Snapshot the pristine stores before write tracking starts:
             // a crashed PE's store is rebuilt from this plus its journal.
+            // Copy-on-write makes this a reference bump per entry.
             let initial = stores.clone();
             for s in &mut stores {
                 s.enable_tracking();

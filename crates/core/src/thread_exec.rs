@@ -103,6 +103,9 @@ struct Shared {
     progress: AtomicU64,
     steps: AtomicU64,
     hops: AtomicU64,
+    /// Payload + fixed state bytes moved over all hops — the numerator
+    /// of the effective hop bandwidth the perf baseline reports.
+    hop_bytes: AtomicU64,
     next_id: AtomicU64,
     events: Mutex<HashMap<EventKey, EventState>>,
     failure: Mutex<Option<RunError>>,
@@ -248,6 +251,10 @@ pub struct WallReport {
     pub steps: u64,
     /// Total inter-PE hops taken.
     pub hops: u64,
+    /// Total bytes carried by those hops (agent payload plus the fixed
+    /// per-hop state overhead) — divide by `wall` for effective hop
+    /// bandwidth.
+    pub hop_bytes: u64,
     /// What the fault machinery did (all zero on a fault-free run).
     pub faults: FaultStats,
     /// The no-progress watchdog timeout this run was executed under.
@@ -264,6 +271,7 @@ impl std::fmt::Debug for WallReport {
             .field("wall", &self.wall)
             .field("steps", &self.steps)
             .field("hops", &self.hops)
+            .field("hop_bytes", &self.hop_bytes)
             .field("pes", &self.stores.len())
             .field("faults", &self.faults)
             .field("watchdog", &self.watchdog)
@@ -333,6 +341,7 @@ impl ThreadExecutor {
                 stores,
                 steps: 0,
                 hops: 0,
+                hop_bytes: 0,
                 faults: FaultStats::default(),
                 watchdog: self.watchdog,
                 trace: self.trace.then(Trace::enabled),
@@ -341,6 +350,10 @@ impl ThreadExecutor {
         }
 
         let recovery = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+            // Pristine pre-run image for crash rebuilds. The store is
+            // copy-on-write, so this is a per-entry reference bump, not a
+            // deep copy — payloads are only duplicated if a run later
+            // mutates them.
             let initial = stores.clone();
             for s in &mut stores {
                 s.enable_tracking();
@@ -368,6 +381,7 @@ impl ThreadExecutor {
             progress: AtomicU64::new(0),
             steps: AtomicU64::new(0),
             hops: AtomicU64::new(0),
+            hop_bytes: AtomicU64::new(0),
             next_id: AtomicU64::new(injections.len() as u64),
             events: Mutex::new(HashMap::new()),
             failure: Mutex::new(None),
@@ -498,6 +512,7 @@ impl ThreadExecutor {
             stores,
             steps: shared.steps.load(Ordering::Relaxed),
             hops: shared.hops.load(Ordering::Relaxed),
+            hop_bytes: shared.hop_bytes.load(Ordering::Relaxed),
             faults,
             watchdog: self.watchdog,
             trace,
@@ -751,11 +766,13 @@ fn run_messenger(
                     return;
                 }
                 shared.hops.fetch_add(1, Ordering::Relaxed);
+                let hop_bytes = msgr.payload_bytes() + HOP_STATE_BYTES;
+                shared.hop_bytes.fetch_add(hop_bytes, Ordering::Relaxed);
                 end_exec(recorder);
                 let meta = tracing.then(|| DeliveryMeta::Hop {
                     from: pe,
                     sent_ns: recorder.now_ns(),
-                    bytes: msgr.payload_bytes() + HOP_STATE_BYTES,
+                    bytes: hop_bytes,
                 });
                 shared.send_agent(dst, id, msgr, true, meta);
                 return;

@@ -14,12 +14,19 @@
 use crate::dense::Matrix;
 use crate::error::MatrixError;
 use crate::kernel;
+use std::sync::Arc;
 
 /// The payload of one algorithmic block.
+///
+/// Real payloads live behind an [`Arc`] so cloning a block — which
+/// happens on every messenger snapshot, checkpoint, and journal commit
+/// — is a reference bump. The payload is only copied when a shared
+/// block is actually accumulated into ([`BlockData::gemm_acc`] un-shares
+/// via [`Arc::make_mut`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum BlockData {
     /// A real block with data; arithmetic actually happens.
-    Real(Matrix),
+    Real(Arc<Matrix>),
     /// A placeholder with the logical shape of a block; arithmetic is
     /// skipped but costs (flops, bytes) are still accounted by callers.
     Phantom {
@@ -31,9 +38,14 @@ pub enum BlockData {
 }
 
 impl BlockData {
+    /// A real block wrapping `m` (single shared owner; no copy).
+    pub fn real(m: Matrix) -> Self {
+        BlockData::Real(Arc::new(m))
+    }
+
     /// A real block of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        BlockData::Real(Matrix::zeros(rows, cols))
+        BlockData::real(Matrix::zeros(rows, cols))
     }
 
     /// A phantom block of the given logical shape.
@@ -87,6 +99,9 @@ impl BlockData {
         }
         match (self, a, b) {
             (BlockData::Real(c), BlockData::Real(a), BlockData::Real(b)) => {
+                // Un-share `c` if a checkpoint still references it; the
+                // accumulation then happens in place on the sole owner.
+                let c = Arc::make_mut(c);
                 kernel::gemm_acc(c.as_mut_slice(), a.as_slice(), b.as_slice(), m, ka, n);
                 Ok(())
             }
@@ -100,7 +115,7 @@ impl BlockData {
     /// Borrow the real payload, or fail for phantom blocks.
     pub fn as_real(&self) -> Result<&Matrix, MatrixError> {
         match self {
-            BlockData::Real(m) => Ok(m),
+            BlockData::Real(m) => Ok(m.as_ref()),
             BlockData::Phantom { .. } => Err(MatrixError::PhantomData("as_real")),
         }
     }
@@ -132,7 +147,7 @@ impl BlockedMatrix {
         for bi in 0..bm.nb {
             for bj in 0..bm.nb {
                 let blk = m.submatrix(bi * ab, bj * ab, ab, ab);
-                bm.blocks[bi * bm.nb + bj] = BlockData::Real(blk);
+                bm.blocks[bi * bm.nb + bj] = BlockData::real(blk);
             }
         }
         Ok(bm)

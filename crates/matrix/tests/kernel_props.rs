@@ -1,0 +1,111 @@
+//! Property tests for the packed, tiled GEMM kernel: the fast path must
+//! agree with the naive reference on every tail-path combination, must
+//! accumulate (not overwrite), and must be bitwise deterministic.
+
+use navp_matrix::gen::seeded_matrix;
+use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, MC, MR, NC, NR};
+use navp_matrix::Matrix;
+
+/// Dimensions drawn to exercise every edge of the blocking scheme:
+/// below/at/above the `MR x NR` micro-tile, primes that leave ragged
+/// tails, and one step past a power-of-two boundary.
+const DIMS: [usize; 10] = [1, 2, 3, 5, 7, 8, 13, 17, 32, 33];
+
+fn test_operand(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let n = rows.max(cols);
+    seeded_matrix(n, seed).submatrix(0, 0, rows, cols)
+}
+
+/// `m, k, n` sweep over `DIMS^3`: the packed kernel must match the
+/// reference kernel on every non-square shape, to rounding.
+#[test]
+fn packed_matches_naive_on_all_tail_shapes() {
+    for (ci, &m) in DIMS.iter().enumerate() {
+        for (cj, &k) in DIMS.iter().enumerate() {
+            for (ck, &n) in DIMS.iter().enumerate() {
+                let seed = (ci * 100 + cj * 10 + ck) as u64 + 1;
+                let a = test_operand(m, k, seed);
+                let b = test_operand(k, n, seed.wrapping_mul(0x9E37_79B9));
+                let mut fast = vec![0.0; m * n];
+                let mut slow = vec![0.0; m * n];
+                gemm_acc(&mut fast, a.as_slice(), b.as_slice(), m, k, n);
+                gemm_acc_naive(&mut slow, a.as_slice(), b.as_slice(), m, k, n);
+                let fast = Matrix::from_vec(m, n, fast).unwrap();
+                let slow = Matrix::from_vec(m, n, slow).unwrap();
+                assert!(
+                    fast.max_abs_diff(&slow) < 1e-10 * (1 + k) as f64,
+                    "kernel mismatch at m={m} k={k} n={n}"
+                );
+            }
+        }
+    }
+}
+
+/// Shapes larger than one packing panel: multiple KC depth panels,
+/// multiple MC row panels, multiple NC column panels.
+#[test]
+fn packed_matches_naive_past_panel_boundaries() {
+    for (m, k, n) in [
+        (MC + MR + 1, 300, NR + 3),
+        (MR, 2 * 256 + 17, NC + NR + 1),
+        (2 * MC, 256 + 1, 2 * NR),
+    ] {
+        let a = test_operand(m, k, 7);
+        let b = test_operand(k, n, 8);
+        let mut fast = vec![0.0; m * n];
+        let mut slow = vec![0.0; m * n];
+        gemm_acc(&mut fast, a.as_slice(), b.as_slice(), m, k, n);
+        gemm_acc_naive(&mut slow, a.as_slice(), b.as_slice(), m, k, n);
+        let fast = Matrix::from_vec(m, n, fast).unwrap();
+        let slow = Matrix::from_vec(m, n, slow).unwrap();
+        assert!(
+            fast.max_abs_diff(&slow) < 1e-9 * k as f64,
+            "kernel mismatch at m={m} k={k} n={n}"
+        );
+    }
+}
+
+/// The kernel is `c += a*b`, never `c = a*b`: pre-filled `c` must keep
+/// its prior contents in the sum, on every tail shape.
+#[test]
+fn packed_kernel_accumulates_into_prefilled_c() {
+    for &(m, k, n) in &[(1, 1, 1), (5, 7, 13), (17, 33, 8), (33, 13, 32)] {
+        let a = test_operand(m, k, 21);
+        let b = test_operand(k, n, 22);
+        let prefill = 0.75_f64;
+        let mut acc = vec![prefill; m * n];
+        gemm_acc(&mut acc, a.as_slice(), b.as_slice(), m, k, n);
+        let mut from_zero = vec![0.0; m * n];
+        gemm_acc(&mut from_zero, a.as_slice(), b.as_slice(), m, k, n);
+        for (i, (got, base)) in acc.iter().zip(&from_zero).enumerate() {
+            // The packed kernel adds one finished partial sum per KC
+            // panel to c; with k < KC that is exactly one add, so the
+            // relation is exact, not approximate.
+            assert_eq!(
+                got.to_bits(),
+                (prefill + base).to_bits(),
+                "m={m} k={k} n={n} index {i}"
+            );
+        }
+    }
+}
+
+/// Two identical calls produce bitwise-identical results — the property
+/// every cross-implementation parity test leans on.
+#[test]
+fn packed_kernel_is_bitwise_deterministic() {
+    for &(m, k, n) in &[(13, 17, 7), (33, 33, 33), (MC + 1, 300, NR + 1)] {
+        let a = test_operand(m, k, 31);
+        let b = test_operand(k, n, 32);
+        let run = || {
+            let mut c = vec![1.0 / 3.0; m * n];
+            gemm_acc(&mut c, a.as_slice(), b.as_slice(), m, k, n);
+            c
+        };
+        let (one, two) = (run(), run());
+        assert!(
+            one.iter().zip(&two).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "nondeterministic at m={m} k={k} n={n}"
+        );
+    }
+}

@@ -115,7 +115,7 @@ pub(crate) fn get_block(r: &mut WireReader<'_>) -> Result<BlockData, DecodeError
             let data = r.get_f64_slice()?;
             let m = Matrix::from_vec(rows, cols, data)
                 .map_err(|_| DecodeError::BadValue("block shape"))?;
-            Ok(BlockData::Real(m))
+            Ok(BlockData::real(m))
         }
         1 => Ok(BlockData::Phantom {
             rows: r.get_usize()?,
@@ -218,7 +218,7 @@ mod tests {
         put_block(&mut w, &BlockData::phantom(4, 4));
         let real = {
             let m = navp_matrix::gen::seeded_matrix(3, 7);
-            BlockData::Real(m)
+            BlockData::real(m)
         };
         put_block(&mut w, &real);
         let buf = w.into_vec();
@@ -237,7 +237,7 @@ mod tests {
     #[test]
     fn block_value_codec_claims_blocks() {
         register_net();
-        let b = BlockData::Real(navp_matrix::gen::seeded_matrix(2, 3));
+        let b = BlockData::real(navp_matrix::gen::seeded_matrix(2, 3));
         let (tag, bytes) = encode_value(&b).unwrap();
         assert_eq!(tag, "mm.Block");
         let back = decode_value(tag, &bytes).unwrap();

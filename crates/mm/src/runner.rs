@@ -375,7 +375,7 @@ fn run_navp_threads_inner(
         c,
         verified,
         transfers: rep.hops,
-        bytes: 0,
+        bytes: rep.hop_bytes,
         trace,
         trace_report,
         faults: Some(rep.faults),

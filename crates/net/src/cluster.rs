@@ -19,7 +19,16 @@ pub const PE_BIN_ENV: &str = "NAVP_PE_BIN";
 /// The write half of a framed connection. Frame writes are atomic
 /// (length prefix + body under one lock), so any thread may send.
 pub struct FrameConn {
-    stream: Mutex<TcpStream>,
+    stream: Mutex<ConnInner>,
+}
+
+struct ConnInner {
+    stream: TcpStream,
+    /// Reusable send buffer (length prefix + encoded body). Lives under
+    /// the same lock as the stream, so the steady state allocates
+    /// nothing per send: the buffer grows to the largest frame this
+    /// connection has carried and stays there.
+    buf: Vec<u8>,
 }
 
 impl FrameConn {
@@ -28,26 +37,32 @@ impl FrameConn {
     pub fn new(stream: TcpStream) -> FrameConn {
         let _ = stream.set_nodelay(true);
         FrameConn {
-            stream: Mutex::new(stream),
+            stream: Mutex::new(ConnInner {
+                stream,
+                buf: Vec::new(),
+            }),
         }
     }
 
     /// Encode and send one frame. Returns the total bytes written
-    /// (prefix + body).
+    /// (prefix + body). One buffer, one `write_all`: the length prefix
+    /// is patched in after the body is encoded behind it.
     pub fn send(&self, frame: &Frame) -> std::io::Result<u64> {
-        let body = frame.encode();
-        let mut buf = Vec::with_capacity(4 + body.len());
-        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&body);
-        let mut s = self.stream.lock().expect("frame conn poisoned");
-        s.write_all(&buf)?;
-        Ok(buf.len() as u64)
+        let mut inner = self.stream.lock().expect("frame conn poisoned");
+        let inner = &mut *inner;
+        inner.buf.clear();
+        inner.buf.extend_from_slice(&[0u8; 4]);
+        frame.encode_into(&mut inner.buf);
+        let body_len = (inner.buf.len() - 4) as u32;
+        inner.buf[..4].copy_from_slice(&body_len.to_le_bytes());
+        inner.stream.write_all(&inner.buf)?;
+        Ok(inner.buf.len() as u64)
     }
 
     /// Shut down both directions, unblocking any reader thread.
     pub fn shutdown(&self) {
         if let Ok(s) = self.stream.lock() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+            let _ = s.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }

@@ -69,6 +69,13 @@ impl WireWriter {
         WireWriter::default()
     }
 
+    /// A writer that appends to `buf`, reusing its allocation — the
+    /// zero-allocation path for per-send frame buffers. Existing
+    /// contents are kept (callers clear if they want a fresh frame).
+    pub fn over(buf: Vec<u8>) -> WireWriter {
+        WireWriter { buf }
+    }
+
     /// Consume the writer, yielding the encoded bytes.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
@@ -131,7 +138,41 @@ impl WireWriter {
     }
 
     /// Write a length-prefixed `f64` slice (bitwise-exact elements).
+    ///
+    /// A block hop's payload is dominated by this call, so it is one
+    /// bulk copy, not N element writes: on little-endian targets the
+    /// slice's in-memory bytes *are* the wire encoding
+    /// (`to_bits().to_le_bytes()` per element), so the payload is a
+    /// single `extend_from_slice` of the raw byte view; big-endian
+    /// targets fall back to chunked conversion. Wire bytes are
+    /// identical either way — [`WireWriter::put_f64_slice_elementwise`]
+    /// is the reference path the parity tests compare against.
     pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u32(v.len() as u32);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `v` is an initialized `&[f64]`; every f64 bit
+            // pattern is a valid byte sequence and `u8` has alignment 1,
+            // so viewing the slice as bytes is sound. Little-endian
+            // in-memory layout equals the wire layout.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v))
+            };
+            self.buf.extend_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            self.buf.reserve(v.len() * 8);
+            for x in v {
+                self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    /// Element-wise twin of [`WireWriter::put_f64_slice`] — the
+    /// original encoding path, kept as the oracle the round-trip
+    /// parity tests check the bulk path against.
+    pub fn put_f64_slice_elementwise(&mut self, v: &[f64]) {
         self.put_u32(v.len() as u32);
         for x in v {
             self.put_f64(*x);
@@ -234,7 +275,48 @@ impl<'a> WireReader<'a> {
     }
 
     /// Read a length-prefixed `f64` slice.
+    ///
+    /// Decodes the whole payload in one bulk conversion (a single copy
+    /// on little-endian targets); see [`WireWriter::put_f64_slice`].
+    /// The length prefix is validated against the bytes actually
+    /// present *before* any allocation.
     pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.get_u32()? as usize;
+        if n.saturating_mul(8) > self.remaining() {
+            return Err(DecodeError::BadLength {
+                declared: (n as u64).saturating_mul(8),
+                available: self.remaining() as u64,
+            });
+        }
+        let bytes = self.take(n * 8)?;
+        #[cfg(target_endian = "little")]
+        {
+            let mut v: Vec<f64> = Vec::with_capacity(n);
+            // SAFETY: `bytes` holds exactly `n * 8` wire bytes, which on
+            // a little-endian target are the in-memory representation of
+            // `n` f64s. The destination is freshly allocated with
+            // capacity `n`; a byte-wise copy has no alignment
+            // requirement on the source, and every bit pattern is a
+            // valid f64, so `set_len(n)` exposes initialized memory.
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), v.as_mut_ptr().cast::<u8>(), n * 8);
+                v.set_len(n);
+            }
+            Ok(v)
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            Ok(bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                .collect())
+        }
+    }
+
+    /// Element-wise twin of [`WireReader::get_f64_slice`] — the
+    /// original decoding path, kept as the oracle the round-trip
+    /// parity tests check the bulk path against.
+    pub fn get_f64_slice_elementwise(&mut self) -> Result<Vec<f64>, DecodeError> {
         let n = self.get_u32()? as usize;
         if n.saturating_mul(8) > self.remaining() {
             return Err(DecodeError::BadLength {

@@ -524,7 +524,16 @@ fn get_err(r: &mut WireReader<'_>) -> Result<RunError, DecodeError> {
 impl Frame {
     /// Encode to a frame body (kind byte + payload, no length prefix).
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the frame body to `buf`, reusing its allocation — the
+    /// steady-state send path writes every frame (length prefix + body)
+    /// into one long-lived buffer instead of allocating per message.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = WireWriter::over(std::mem::take(buf));
         match self {
             Frame::Assign { pe, pes } => {
                 w.put_u8(K_ASSIGN);
@@ -675,7 +684,7 @@ impl Frame {
             }
             Frame::Shutdown => w.put_u8(K_SHUTDOWN),
         }
-        w.into_vec()
+        *buf = w.into_vec();
     }
 
     /// Decode a frame body (as produced by [`Frame::encode`]). Never

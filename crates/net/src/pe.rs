@@ -821,6 +821,8 @@ fn pe_session(
     let recovery = plan.as_ref().is_some_and(|p| p.checkpointing);
     let initial_store = recovery.then(|| {
         store.enable_tracking();
+        // Copy-on-write store: the pristine image is a reference bump
+        // per entry, not a deep copy of every resident block.
         store.clone()
     });
     let tracker = plan.map(|p| FaultTracker::new(p, pes));

@@ -293,6 +293,87 @@ fn single_byte_corruption_never_panics() {
     }
 }
 
+/// An f64 payload of length `n` salted with every special value the
+/// wire must carry bitwise: quiet/negative NaNs, both infinities,
+/// signed zero, and subnormals, interleaved with ordinary values.
+fn f64_payload(rng: &mut SplitMix64, n: usize) -> Vec<f64> {
+    let specials = [
+        f64::NAN,
+        f64::from_bits(0xFFF8_0000_0000_0001), // negative NaN, payload bits set
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        0.0,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        f64::MAX,
+    ];
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                specials[rng.below(specials.len() as u64) as usize]
+            } else {
+                f64::from_bits(rng.next_u64() >> rng.below(12))
+            }
+        })
+        .collect()
+}
+
+/// The bulk `put_f64_slice`/`get_f64_slice` fast path must produce
+/// byte-identical encodings to the element-wise reference path, and
+/// every (bulk, element-wise) encode/decode pairing must round-trip
+/// each element bitwise — across lengths 0..1k and NaN/inf/-0.0
+/// payloads.
+#[test]
+fn bulk_f64_slice_matches_elementwise_bitwise() {
+    use navp_net::codec::{WireReader, WireWriter};
+    let mut rng = SplitMix64(0x5EED);
+    for n in (0..64).chain([65, 127, 128, 255, 511, 512, 777, 1000, 1024]) {
+        let payload = f64_payload(&mut rng, n);
+
+        let mut bulk = WireWriter::new();
+        bulk.put_f64_slice(&payload);
+        let bulk = bulk.into_vec();
+        let mut elem = WireWriter::new();
+        elem.put_f64_slice_elementwise(&payload);
+        let elem = elem.into_vec();
+        assert_eq!(bulk, elem, "wire bytes diverge at n={n}");
+
+        // Both decode paths, crossed over both encode paths.
+        for bytes in [&bulk, &elem] {
+            let fast = WireReader::new(bytes).get_f64_slice().unwrap();
+            let slow = WireReader::new(bytes)
+                .get_f64_slice_elementwise()
+                .unwrap();
+            for (which, got) in [("bulk", &fast), ("elementwise", &slow)] {
+                assert_eq!(got.len(), n);
+                for (i, (g, want)) in got.iter().zip(&payload).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        want.to_bits(),
+                        "{which} decode not bitwise at n={n} index {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Truncated f64-slice payloads fail structurally on the bulk path,
+/// exactly like the element-wise path — never a panic or over-read.
+#[test]
+fn bulk_f64_slice_rejects_truncation_like_elementwise() {
+    use navp_net::codec::{WireReader, WireWriter};
+    let mut w = WireWriter::new();
+    w.put_f64_slice(&[1.0, f64::NAN, -0.0]);
+    let bytes = w.into_vec();
+    for cut in 0..bytes.len() {
+        let fast = WireReader::new(&bytes[..cut]).get_f64_slice();
+        let slow = WireReader::new(&bytes[..cut]).get_f64_slice_elementwise();
+        assert!(fast.is_err(), "bulk decoded a {cut}-byte prefix");
+        assert!(slow.is_err(), "elementwise decoded a {cut}-byte prefix");
+    }
+}
+
 #[test]
 fn random_garbage_never_panics() {
     let mut rng = SplitMix64(0xD1CE);

@@ -10,21 +10,31 @@
 //! occupies — and only for the duration of one step, so no reference can
 //! survive a hop.
 //!
-//! Values are [`StoreValue`]s — any `Clone + Send + 'static` type. The
-//! clone bound is what makes checkpoint/restart possible: a recovering
-//! executor rebuilds a crashed PE's store by replaying cloned snapshots
-//! of its writes (see `navp::recovery`). To feed that write journal the
-//! store can also run in *tracking* mode, recording which keys each run
-//! dirtied.
+//! Values are [`StoreValue`]s — any `Clone + Send + Sync + 'static`
+//! type. The clone bound is what makes checkpoint/restart possible: a
+//! recovering executor rebuilds a crashed PE's store by replaying
+//! snapshots of its writes (see `navp::recovery`). To feed that write
+//! journal the store can also run in *tracking* mode, recording which
+//! keys each run dirtied.
+//!
+//! Entries are held behind [`Arc`]s with **copy-on-write** semantics:
+//! cloning a store (the pristine pre-run image fault-tolerant executors
+//! keep) and snapshotting an entry into the write journal are reference
+//! bumps, never deep copies. A value's payload is only duplicated when
+//! a mutating access ([`NodeStore::get_mut`], [`NodeStore::get2_mut`],
+//! [`NodeStore::take`]) finds the entry shared — so untouched blocks
+//! are never copied, no matter how many checkpoints reference them.
 
 use crate::key::VarKey;
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-/// A value storable in a [`NodeStore`]: `Any` for typed access, `Send`
-/// to cross executor threads, and cloneable behind the trait object so
-/// checkpointing can snapshot entries without knowing their types.
-pub trait StoreValue: Any + Send {
+/// A value storable in a [`NodeStore`]: `Any` for typed access,
+/// `Send + Sync` so shared (copy-on-write) references can cross
+/// executor threads, and cloneable behind the trait object so a shared
+/// entry can be un-shared on first write.
+pub trait StoreValue: Any + Send + Sync {
     /// Clone behind the trait object.
     fn clone_value(&self) -> Box<dyn StoreValue>;
     /// Upcast for `downcast_ref`.
@@ -33,9 +43,12 @@ pub trait StoreValue: Any + Send {
     fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Upcast an owned box for `downcast`.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Upcast a shared handle for `Arc::downcast` (the zero-copy path
+    /// of [`NodeStore::take`]).
+    fn into_any_arc(self: Arc<Self>) -> Arc<dyn Any + Send + Sync>;
 }
 
-impl<T: Any + Send + Clone> StoreValue for T {
+impl<T: Any + Send + Sync + Clone> StoreValue for T {
     fn clone_value(&self) -> Box<dyn StoreValue> {
         Box::new(self.clone())
     }
@@ -48,19 +61,33 @@ impl<T: Any + Send + Clone> StoreValue for T {
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
+    fn into_any_arc(self: Arc<Self>) -> Arc<dyn Any + Send + Sync> {
+        self
+    }
 }
 
+/// A shared, immutable handle to a stored value — what checkpoints and
+/// write journals hold. Cloning it is a reference bump.
+pub type SharedValue = Arc<dyn StoreValue>;
+
+#[derive(Clone)]
 struct Entry {
-    val: Box<dyn StoreValue>,
+    val: SharedValue,
     bytes: u64,
 }
 
-impl Clone for Entry {
-    fn clone(&self) -> Entry {
-        Entry {
-            val: self.val.clone_value(),
-            bytes: self.bytes,
+impl Entry {
+    /// Mutable access to the payload, un-sharing it first if any
+    /// checkpoint/journal/pristine-image still references it (the
+    /// copy-on-write step).
+    fn value_mut(&mut self) -> &mut dyn StoreValue {
+        if Arc::get_mut(&mut self.val).is_none() {
+            // NB: deref to the inner `dyn StoreValue` before calling —
+            // `Arc<dyn StoreValue>` itself satisfies the blanket impl,
+            // and an un-derefed call would wrap the Arc, not the value.
+            self.val = Arc::from((*self.val).clone_value());
         }
+        Arc::get_mut(&mut self.val).expect("just un-shared")
     }
 }
 
@@ -117,17 +144,17 @@ impl NodeStore {
     /// Insert (or replace) variable `key` with `val`, declaring the bytes
     /// it keeps resident on this PE. Returns the previous value's bytes
     /// if one was replaced.
-    pub fn insert<T: Any + Send + Clone>(
+    pub fn insert<T: Any + Send + Sync + Clone>(
         &mut self,
         key: VarKey,
         val: T,
         bytes: u64,
     ) -> Option<u64> {
         self.mark_dirty(key);
-        self.insert_boxed(key, Box::new(val), bytes)
+        self.insert_shared(key, Arc::new(val), bytes)
     }
 
-    /// Insert a pre-boxed value (journal replay; `insert` is the typed
+    /// Insert a pre-boxed value (wire decode; `insert` is the typed
     /// front door).
     pub fn insert_boxed(
         &mut self,
@@ -135,6 +162,12 @@ impl NodeStore {
         val: Box<dyn StoreValue>,
         bytes: u64,
     ) -> Option<u64> {
+        self.insert_shared(key, Arc::from(val), bytes)
+    }
+
+    /// Insert a shared handle without copying the payload (journal
+    /// replay re-installs checkpointed values this way).
+    pub fn insert_shared(&mut self, key: VarKey, val: SharedValue, bytes: u64) -> Option<u64> {
         self.mark_dirty(key);
         let old = self.map.insert(key, Entry { val, bytes });
         let old_bytes = old.map(|e| e.bytes);
@@ -142,9 +175,11 @@ impl NodeStore {
         old_bytes
     }
 
-    /// Clone the raw entry under `key` (checkpoint/journal machinery).
-    pub fn clone_entry(&self, key: VarKey) -> Option<(Box<dyn StoreValue>, u64)> {
-        self.map.get(&key).map(|e| (e.val.clone_value(), e.bytes))
+    /// Share the entry under `key` (checkpoint/journal machinery). A
+    /// reference bump, not a copy: the payload is only duplicated later
+    /// if someone mutates the live entry while this handle is held.
+    pub fn clone_entry(&self, key: VarKey) -> Option<(SharedValue, u64)> {
+        self.map.get(&key).map(|e| (Arc::clone(&e.val), e.bytes))
     }
 
     /// Remove variable `key` regardless of type (journal replay of a
@@ -162,41 +197,51 @@ impl NodeStore {
 
     /// Borrow variable `key` as `T`. `None` when absent or of another type.
     pub fn get<T: Any + Send>(&self, key: VarKey) -> Option<&T> {
-        self.map.get(&key).and_then(|e| e.val.as_any().downcast_ref())
+        // `(*e.val)` derefs the Arc so `as_any` sees the payload, not
+        // the handle (the blanket impl also covers `Arc<dyn StoreValue>`).
+        self.map
+            .get(&key)
+            .and_then(|e| (*e.val).as_any().downcast_ref())
     }
 
-    /// Mutably borrow variable `key` as `T`.
+    /// Mutably borrow variable `key` as `T`, un-sharing the entry first
+    /// if a checkpoint still references it.
     pub fn get_mut<T: Any + Send>(&mut self, key: VarKey) -> Option<&mut T> {
         if self.dirty.is_some() && self.map.contains_key(&key) {
             self.mark_dirty(key);
         }
-        self.map
-            .get_mut(&key)
-            .and_then(|e| e.val.as_any_mut().downcast_mut())
+        let e = self.map.get_mut(&key)?;
+        // Type-check through the shared handle first so a mismatched
+        // access never pays for an un-share.
+        if !(*e.val).as_any().is::<T>() {
+            return None;
+        }
+        e.value_mut().as_any_mut().downcast_mut()
     }
 
     /// Remove variable `key` and take ownership of its value.
     ///
     /// Removal only happens when the type matches; on a type mismatch the
-    /// variable is left in place and `None` is returned.
-    pub fn take<T: Any + Send>(&mut self, key: VarKey) -> Option<T> {
+    /// variable is left in place and `None` is returned. When no
+    /// checkpoint shares the entry this is a move; otherwise the payload
+    /// is cloned out (the `Clone` bound every stored value already has).
+    pub fn take<T: Any + Send + Sync + Clone>(&mut self, key: VarKey) -> Option<T> {
         if !self
             .map
             .get(&key)
-            .is_some_and(|e| e.val.as_any().is::<T>())
+            .is_some_and(|e| (*e.val).as_any().is::<T>())
         {
             return None;
         }
         self.mark_dirty(key);
         let entry = self.map.remove(&key).expect("checked above");
         self.bytes -= entry.bytes;
-        Some(
-            *entry
-                .val
-                .into_any()
-                .downcast::<T>()
-                .expect("checked above"),
-        )
+        let arc = entry
+            .val
+            .into_any_arc()
+            .downcast::<T>()
+            .expect("checked above");
+        Some(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Mutably borrow two *distinct* variables at once — the shape needed
@@ -223,10 +268,15 @@ impl NodeStore {
         }
         let [ea, eb] = self.map.get_disjoint_mut([&ka, &kb]);
         match (ea, eb) {
-            (Some(a), Some(b)) => Some((
-                a.val.as_any_mut().downcast_mut()?,
-                b.val.as_any_mut().downcast_mut()?,
-            )),
+            (Some(a), Some(b)) => {
+                if !(*a.val).as_any().is::<A>() || !(*b.val).as_any().is::<B>() {
+                    return None;
+                }
+                Some((
+                    a.value_mut().as_any_mut().downcast_mut().expect("checked"),
+                    b.value_mut().as_any_mut().downcast_mut().expect("checked"),
+                ))
+            }
             _ => None,
         }
     }
@@ -339,6 +389,47 @@ mod tests {
         assert_eq!(s.get::<Vec<f64>>(Key::plain("v")).unwrap()[0], 1.0);
         assert_eq!(t.get::<Vec<f64>>(Key::plain("v")).unwrap()[0], 9.0);
         assert_eq!(t.total_bytes(), s.total_bytes());
+    }
+
+    #[test]
+    fn clone_shares_payloads_until_first_write() {
+        let k = Key::plain("v");
+        let mut s = NodeStore::new();
+        s.insert(k, vec![1.0f64], 8);
+        let t = s.clone();
+        // Cloning the store is a reference bump per entry.
+        assert!(Arc::ptr_eq(&s.map[&k].val, &t.map[&k].val));
+        // A mismatched mutable access must not un-share.
+        assert!(s.get_mut::<String>(k).is_none());
+        assert!(Arc::ptr_eq(&s.map[&k].val, &t.map[&k].val));
+        // The first real write un-shares; the clone keeps the old payload.
+        s.get_mut::<Vec<f64>>(k).unwrap()[0] = 5.0;
+        assert!(!Arc::ptr_eq(&s.map[&k].val, &t.map[&k].val));
+        assert_eq!(t.get::<Vec<f64>>(k).unwrap()[0], 1.0);
+        // Once exclusive again, further writes stay in place.
+        let before = Arc::as_ptr(&s.map[&k].val);
+        s.get_mut::<Vec<f64>>(k).unwrap()[0] = 6.0;
+        assert!(std::ptr::eq(before, Arc::as_ptr(&s.map[&k].val)));
+    }
+
+    #[test]
+    fn take_clones_only_when_shared() {
+        let k = Key::plain("v");
+        let mut s = NodeStore::new();
+        s.insert(k, vec![2.0f64; 4], 32);
+        let (shared, bytes) = s.clone_entry(k).unwrap();
+        assert_eq!(bytes, 32);
+        // Shared with the checkpoint handle: take clones the payload out.
+        let got: Vec<f64> = s.take(k).unwrap();
+        assert_eq!(got, vec![2.0; 4]);
+        assert_eq!(
+            (*shared).as_any().downcast_ref::<Vec<f64>>().unwrap(),
+            &vec![2.0; 4]
+        );
+        // Unshared: take is a move of the sole handle.
+        s.insert(k, vec![3.0f64], 8);
+        let got: Vec<f64> = s.take(k).unwrap();
+        assert_eq!(got, vec![3.0]);
     }
 
     #[test]
