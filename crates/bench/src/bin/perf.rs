@@ -3,13 +3,21 @@
 //! machine-readable JSON (`BENCH_kernel.json`, `BENCH_stages.json`) at
 //! the repo root.
 //!
-//! Usage: `cargo run --release -p navp-bench --bin perf [-- --quick]`
+//! Usage: `cargo run --release -p navp-bench --bin perf [-- --quick] [-- --check]`
 //!
 //! `--quick` trims sample counts and the stage problem size so the CI
 //! perf smoke job finishes in a couple of minutes; the acceptance gate
 //! (packed kernel strictly faster than naive at 256³) is checked in
 //! both modes and failure exits non-zero.
+//!
+//! `--check` flips the binary from baseline *writer* to regression
+//! *gate*: the committed `BENCH_*.json` files are loaded, the benches
+//! re-run (nothing is overwritten), and the run fails with a
+//! per-metric delta table when a throughput entry drops or a wall
+//! entry grows by more than 15%. `--check --quick` gates the subset of
+//! entries the quick run shares with the full committed baseline.
 
+use navp_bench::check::{compare, parse_baseline, render_table, BenchEntry};
 use navp_bench::timing::{write_groups_json, Entry, Group, Metric};
 use navp_matrix::gen::seeded_matrix;
 use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, gemm_flops};
@@ -27,24 +35,27 @@ fn repo_root() -> PathBuf {
 
 struct Opts {
     quick: bool,
+    check: bool,
 }
 
 fn parse_opts() -> Opts {
     let mut quick = false;
+    let mut check = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--check" => check = true,
             "--help" | "-h" => {
-                println!("usage: perf [--quick]");
+                println!("usage: perf [--quick] [--check]");
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown argument: {other} (usage: perf [--quick])");
+                eprintln!("unknown argument: {other} (usage: perf [--quick] [--check])");
                 std::process::exit(2);
             }
         }
     }
-    Opts { quick }
+    Opts { quick, check }
 }
 
 /// Kernel section: packed vs naive at the paper block orders plus a
@@ -144,24 +155,103 @@ fn bench_stages(opts: &Opts) -> Vec<Group> {
     vec![wall, hops]
 }
 
+/// Flatten fresh groups into the flat entry shape the gate compares.
+fn current_entries(groups: &[Group]) -> Vec<BenchEntry> {
+    groups
+        .iter()
+        .flat_map(|g| {
+            g.entries().iter().map(|e| BenchEntry {
+                group: g.name().to_string(),
+                label: e.label.clone(),
+                median_ns: e.median_ns as f64,
+                rate: e.rate().map(|(v, _)| v),
+                rate_unit: e.rate().map(|(_, u)| u.to_string()),
+            })
+        })
+        .collect()
+}
+
+/// Load one committed baseline, exiting with a usage hint if absent.
+fn load_baseline(path: &Path) -> Vec<BenchEntry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read baseline {}: {e}\nrun `perf` without --check first to write it",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+    parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+/// The regression tolerance: fail on >15% throughput loss or wall-time
+/// growth against the committed baseline.
+const TOLERANCE: f64 = 0.15;
+
 fn main() {
     let opts = parse_opts();
     let root = repo_root();
     println!(
-        "perf baseline ({} mode); JSON lands in {}",
+        "perf {} ({} mode); baselines at {}",
+        if opts.check { "regression check" } else { "baseline" },
         if opts.quick { "quick" } else { "full" },
         root.display()
     );
+    let kernel_path = root.join("BENCH_kernel.json");
+    let stages_path = root.join("BENCH_stages.json");
+    // In check mode, load the committed baselines *before* spending
+    // minutes re-measuring, so a missing file fails fast.
+    let baseline = opts.check.then(|| {
+        let mut b = load_baseline(&kernel_path);
+        b.extend(load_baseline(&stages_path));
+        b
+    });
 
     let (kernel_groups, gate_ok) = bench_kernel(&opts);
-    let kernel_path = root.join("BENCH_kernel.json");
+    let stage_groups = bench_stages(&opts);
+
+    if let Some(baseline) = baseline {
+        let mut fresh = current_entries(&kernel_groups);
+        fresh.extend(current_entries(&stage_groups));
+        let deltas = compare(&baseline, &fresh, TOLERANCE);
+        if deltas.is_empty() {
+            eprintln!(
+                "FAIL: no (group, label) pairs shared with the committed baseline — \
+                 re-write it with `perf`{}",
+                if opts.quick { " (full mode)" } else { "" }
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nregression gate: {} shared entries, tolerance {:.0}%\n",
+            deltas.len(),
+            TOLERANCE * 100.0
+        );
+        print!("{}", render_table(&deltas));
+        let failed: Vec<_> = deltas.iter().filter(|d| d.fail).collect();
+        if !gate_ok {
+            eprintln!("FAIL: packed kernel is not faster than naive at 256^3");
+            std::process::exit(1);
+        }
+        if !failed.is_empty() {
+            eprintln!(
+                "\nFAIL: {} of {} entries regressed past {:.0}%",
+                failed.len(),
+                deltas.len(),
+                TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("\nOK: no entry regressed past {:.0}%", TOLERANCE * 100.0);
+        return;
+    }
+
     write_groups_json(&kernel_path, &kernel_groups).expect("write BENCH_kernel.json");
     println!("\nwrote {}", kernel_path.display());
-
-    let stage_groups = bench_stages(&opts);
-    let stages_path = root.join("BENCH_stages.json");
     write_groups_json(&stages_path, &stage_groups).expect("write BENCH_stages.json");
-    println!("\nwrote {}", stages_path.display());
+    println!("wrote {}", stages_path.display());
 
     if !gate_ok {
         eprintln!("FAIL: packed kernel is not faster than naive at 256^3");

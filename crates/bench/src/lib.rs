@@ -8,12 +8,15 @@
 //!   sizes (phantom payloads: identical costs, no wasted arithmetic);
 //! * [`layout`] — renders the data-placement diagrams of Figures 4–14
 //!   from the *actual* cluster builders (not hand-drawn);
+//! * [`check`] — the perf-regression gate joining a committed
+//!   `BENCH_*.json` baseline against a fresh re-run (`perf --check`);
 //! * binaries `table1`–`table4`, `figures`, `ablation`, `all` — run
 //!   `cargo run --release -p navp-bench --bin all` to regenerate the
 //!   entire evaluation.
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod harness;
 pub mod layout;
 pub mod paper;

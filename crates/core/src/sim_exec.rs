@@ -23,6 +23,7 @@ use crate::cluster::{Cluster, ClusterParts};
 use crate::error::RunError;
 use crate::fault::{FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
+use navp_metrics::RunMetrics;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_sim::memory::MemoryModel;
@@ -30,6 +31,7 @@ use navp_sim::trace::{Trace, TraceEvent, TraceKind};
 use navp_sim::{CostModel, EventQueue, PeResources, VTime};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Fixed per-hop state overhead in bytes (thread control block, program
 /// counter, daemon bookkeeping) — the paper's "small amount of state data".
@@ -61,7 +63,9 @@ struct FaultMachinery {
 #[derive(Default)]
 struct EventState {
     count: u64,
-    waiters: VecDeque<usize>,
+    /// Parked agents with the virtual time they parked at (feeds the
+    /// park-time metrics; in this executor park durations are virtual).
+    waiters: VecDeque<(usize, VTime)>,
 }
 
 /// Result of a virtual-time run.
@@ -99,6 +103,7 @@ impl std::fmt::Debug for SimReport {
 pub struct SimExecutor {
     cost: CostModel,
     tracing: bool,
+    metrics: Option<Arc<RunMetrics>>,
 }
 
 impl SimExecutor {
@@ -107,6 +112,7 @@ impl SimExecutor {
         SimExecutor {
             cost,
             tracing: false,
+            metrics: None,
         }
     }
 
@@ -114,6 +120,15 @@ impl SimExecutor {
     /// proportional to the number of steps).
     pub fn with_trace(mut self) -> SimExecutor {
         self.tracing = true;
+        self
+    }
+
+    /// Export live metrics into `metrics` during the run (off by
+    /// default). Counters mirror the real executors'; durations (park
+    /// time) are *virtual* nanoseconds, because that is the clock this
+    /// executor runs on.
+    pub fn with_metrics(mut self, metrics: Arc<RunMetrics>) -> SimExecutor {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -165,11 +180,22 @@ impl SimExecutor {
             events.entry(key).or_default().count += 1;
         }
 
+        let metrics = self.metrics.as_deref();
+        let note_ckpt = |m: &dyn Messenger| {
+            if let Some(mx) = metrics {
+                mx.checkpoints.inc();
+                mx.checkpoint_bytes.add(m.payload_bytes());
+            }
+        };
         let mut live = 0usize;
         for (pe, msgr) in injections {
             let label = msgr.label();
             if let Some(fm) = &mut fm {
                 fm.ckpt.register(agents.len() as u64, pe, msgr.as_ref());
+                note_ckpt(msgr.as_ref());
+            }
+            if let Some(p) = metrics.and_then(|m| m.pe(pe)) {
+                p.injections.inc();
             }
             agents.push(AgentSlot {
                 msgr: Some(msgr),
@@ -200,6 +226,9 @@ impl SimExecutor {
                         return Err(RunError::PeCrashed { pe, run });
                     }
                     fm.stats.crashes += 1;
+                    if let Some(mx) = metrics {
+                        mx.faults.inc();
+                    }
                     // Rebuild the store: pristine copy + journal replay.
                     let mut rebuilt = fm.initial[pe].clone();
                     fm.stats.replayed_writes += fm.journals[pe].replay_into(&mut rebuilt);
@@ -220,6 +249,7 @@ impl SimExecutor {
                             });
                         };
                         fm.ckpt.register(id, pe, snap.as_ref());
+                        note_ckpt(snap.as_ref());
                         let id = id as usize;
                         agents[id].gen += 1;
                         agents[id].msgr = Some(snap);
@@ -252,6 +282,9 @@ impl SimExecutor {
                 msgr.step(&mut ctx)
             };
             steps += 1;
+            if let Some(p) = metrics.and_then(|m| m.pe(pe)) {
+                p.steps.inc();
+            }
 
             // Duration: modeled compute + daemon overhead + paging.
             let mut dur = self
@@ -289,6 +322,10 @@ impl SimExecutor {
                 let label = inj.label();
                 if let Some(fm) = &mut fm {
                     fm.ckpt.register(agents.len() as u64, pe, inj.as_ref());
+                    note_ckpt(inj.as_ref());
+                }
+                if let Some(p) = metrics.and_then(|m| m.pe(pe)) {
+                    p.injections.inc();
                 }
                 agents.push(AgentSlot {
                     msgr: Some(inj),
@@ -305,8 +342,14 @@ impl SimExecutor {
                 if let Some(fm) = &mut fm {
                     if fm.tracker.on_signal(pe) {
                         fm.stats.signals_lost += 1;
+                        if let Some(mx) = metrics {
+                            mx.faults.inc();
+                        }
                         continue;
                     }
+                }
+                if let Some(p) = metrics.and_then(|m| m.pe(pe)) {
+                    p.signals.inc();
                 }
                 trace.push(TraceEvent {
                     start: end,
@@ -316,13 +359,27 @@ impl SimExecutor {
                     kind: TraceKind::Signal { pe },
                 });
                 let st = events.entry(key).or_default();
-                if let Some(waiter) = st.waiters.pop_front() {
+                if let Some((waiter, parked_at)) = st.waiters.pop_front() {
                     // Waking a parked messenger is a delivery point: it
                     // re-enters its PE's failure domain, so checkpoint it.
                     if let Some(fm) = &mut fm {
                         if let Some(m) = agents[waiter].msgr.as_ref() {
                             fm.ckpt.register(waiter as u64, agents[waiter].pe, m.as_ref());
+                            let bytes = m.payload_bytes();
+                            if let Some(mx) = metrics {
+                                mx.checkpoints.inc();
+                                mx.checkpoint_bytes.add(bytes);
+                            }
                         }
+                    }
+                    if let Some(mx) = metrics {
+                        let parked_ns = ((end.as_secs_f64() - parked_at.as_secs_f64())
+                            .max(0.0)
+                            * 1e9) as u64;
+                        if let Some(p) = mx.pe(agents[waiter].pe) {
+                            p.park_ns.add(parked_ns);
+                        }
+                        mx.park_wait_ns.observe(parked_ns);
                     }
                     queue.schedule(end, (waiter, agents[waiter].gen));
                 } else {
@@ -356,10 +413,16 @@ impl SimExecutor {
                                     Some(HopFault::Delay { seconds }) => {
                                         arrival += VTime::from_secs_f64(seconds);
                                         fm.stats.hops_delayed += 1;
+                                        if let Some(mx) = metrics {
+                                            mx.faults.inc();
+                                        }
                                         break;
                                     }
                                     Some(HopFault::Drop) => {
                                         fm.stats.hops_dropped += 1;
+                                        if let Some(mx) = metrics {
+                                            mx.faults.inc();
+                                        }
                                         attempts += 1;
                                         if attempts > fm.tracker.plan().max_send_retries {
                                             return Err(RunError::RecoveryFailed {
@@ -380,6 +443,7 @@ impl SimExecutor {
                             // post-run state into the destination's
                             // failure domain.
                             fm.ckpt.register(aid as u64, dst, msgr.as_ref());
+                            note_ckpt(msgr.as_ref());
                         }
                         trace.push(TraceEvent {
                             start: end,
@@ -394,6 +458,13 @@ impl SimExecutor {
                         });
                         hops += 1;
                         hop_bytes += bytes;
+                        if let Some(mx) = metrics {
+                            if let Some(p) = mx.pe(pe) {
+                                p.hops.inc();
+                                p.hop_bytes.add(bytes);
+                            }
+                            mx.hop_payload_bytes.observe(bytes - HOP_STATE_BYTES);
+                        }
                         agents[aid].pe = dst;
                         agents[aid].msgr = Some(msgr);
                         makespan = makespan.max(arrival);
@@ -415,8 +486,11 @@ impl SimExecutor {
                             label: agents[aid].label.clone(),
                             kind: TraceKind::Block { pe },
                         });
-                        st.waiters.push_back(aid);
+                        st.waiters.push_back((aid, end));
                         agents[aid].msgr = Some(msgr);
+                        if let Some(p) = metrics.and_then(|m| m.pe(pe)) {
+                            p.waits.inc();
+                        }
                         // Parked state is held by the event service,
                         // which survives PE crashes: drop the checkpoint.
                         if let Some(fm) = &mut fm {
@@ -441,13 +515,16 @@ impl SimExecutor {
             // delivery points).
             if let Some(fm) = &mut fm {
                 fm.journals[pe].commit_dirty(&mut stores[pe]);
+                if let Some(mx) = metrics {
+                    mx.journal_commits.inc();
+                }
             }
         }
 
         if live > 0 {
             let mut blocked = Vec::new();
             for (key, st) in &events {
-                for &aid in &st.waiters {
+                for &(aid, _) in &st.waiters {
                     if agents[aid].msgr.is_some() {
                         blocked.push((agents[aid].label.clone(), key.to_string()));
                     }
@@ -890,6 +967,21 @@ mod tests {
         assert_eq!(r1.trace.fingerprint(), r2.trace.fingerprint());
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.faults, r2.faults);
+    }
+
+    #[test]
+    fn metrics_reconcile_with_sim_report() {
+        let m = RunMetrics::new(2);
+        let rep = SimExecutor::new(cost())
+            .with_metrics(Arc::clone(&m))
+            .run(pingpong_cluster())
+            .unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.total("navp_hops_total") as u64, rep.hops);
+        assert_eq!(snap.total("navp_hop_bytes_total") as u64, rep.hop_bytes);
+        assert_eq!(snap.total("navp_steps_total") as u64, rep.steps);
+        assert_eq!(snap.total("navp_injections_total") as u64, 1);
+        navp_metrics::validate_prometheus(&m.registry.render()).expect("valid");
     }
 
     #[test]

@@ -39,12 +39,13 @@ use crate::error::RunError;
 use crate::fault::{FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
 use crate::sim_exec::HOP_STATE_BYTES;
+use navp_metrics::RunMetrics;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_trace::recorder::DEFAULT_CAPACITY;
 use navp_trace::{merge_pe_traces, PeLog, PeRecorder, Trace, TraceEvent, TraceKind};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -78,7 +79,7 @@ enum DaemonMsg {
 struct EventState {
     count: u64,
     /// Parked messengers: (id, messenger, home PE, park timestamp on
-    /// the shared anchor clock — 0 when untraced).
+    /// the shared anchor clock — 0 when neither traced nor metered).
     waiters: VecDeque<(u64, Box<dyn Messenger>, NodeId, u64)>,
 }
 
@@ -114,6 +115,10 @@ struct Shared {
     /// so per-PE timestamps are directly comparable (offsets are zero).
     trace: bool,
     anchor: Instant,
+    /// Live metric set, `None` unless requested — the `Option` test is
+    /// the single branch metrics-off hot paths pay (same discipline as
+    /// `PeRecorder::is_enabled`).
+    metrics: Option<Arc<RunMetrics>>,
 }
 
 impl Shared {
@@ -171,14 +176,21 @@ impl Shared {
                 match fault {
                     None => {
                         r.ckpt.register(id, dst, msgr.as_ref());
+                        self.note_checkpoint(msgr.as_ref());
                         Next::Deliver(r.epochs[dst])
                     }
                     Some(HopFault::Delay { seconds }) => {
                         r.stats.hops_delayed += 1;
+                        if let Some(m) = &self.metrics {
+                            m.faults.inc();
+                        }
                         Next::Sleep(Duration::from_secs_f64(seconds), true)
                     }
                     Some(HopFault::Drop) => {
                         r.stats.hops_dropped += 1;
+                        if let Some(m) = &self.metrics {
+                            m.faults.inc();
+                        }
                         attempts += 1;
                         if attempts > r.tracker.plan().max_send_retries {
                             Next::Fail(RunError::RecoveryFailed {
@@ -233,10 +245,29 @@ impl Shared {
         };
         if let Some((id, msgr, pe, parked_ns)) = woken {
             self.progress.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                // parked_ns is stamped whenever trace or metrics are
+                // on, so a zero here only means "no park clock".
+                if parked_ns > 0 {
+                    let dur = (self.anchor.elapsed().as_nanos() as u64).saturating_sub(parked_ns);
+                    if let Some(p) = m.pe(pe) {
+                        p.park_ns.add(dur);
+                    }
+                    m.park_wait_ns.observe(dur);
+                }
+            }
             // Waking is a delivery point: the messenger re-enters its
             // PE's failure domain.
             let meta = self.trace.then_some(DeliveryMeta::Wake { parked_ns });
             self.send_agent(pe, id, msgr, false, meta);
+        }
+    }
+
+    /// Count one checkpoint registration into the metric set.
+    fn note_checkpoint(&self, msgr: &dyn Messenger) {
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+            m.checkpoint_bytes.add(msgr.payload_bytes());
         }
     }
 }
@@ -284,6 +315,7 @@ impl std::fmt::Debug for WallReport {
 pub struct ThreadExecutor {
     watchdog: Duration,
     trace: bool,
+    metrics: Option<Arc<RunMetrics>>,
 }
 
 impl Default for ThreadExecutor {
@@ -298,6 +330,7 @@ impl ThreadExecutor {
         ThreadExecutor {
             watchdog: Duration::from_secs(10),
             trace: false,
+            metrics: None,
         }
     }
 
@@ -318,6 +351,16 @@ impl ThreadExecutor {
     /// in [`WallReport::trace`]. Products are unaffected.
     pub fn with_trace(mut self, trace: bool) -> ThreadExecutor {
         self.trace = trace;
+        self
+    }
+
+    /// Export live metrics into `metrics` during the run (off by
+    /// default). The executor updates the shared
+    /// [`RunMetrics`](navp_metrics::RunMetrics) instruments as it goes;
+    /// the caller keeps its own handle to scrape or snapshot them —
+    /// also mid-run, which is the whole point. Products are unaffected.
+    pub fn with_metrics(mut self, metrics: Arc<RunMetrics>) -> ThreadExecutor {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -388,6 +431,7 @@ impl ThreadExecutor {
             recovery,
             trace: self.trace,
             anchor: Instant::now(),
+            metrics: self.metrics.clone(),
         };
 
         {
@@ -402,6 +446,10 @@ impl ThreadExecutor {
             let id = i as u64;
             if let Some(rec) = &shared.recovery {
                 rec.lock().unwrap().ckpt.register(id, pe, msgr.as_ref());
+                shared.note_checkpoint(msgr.as_ref());
+            }
+            if let Some(p) = shared.metrics.as_ref().and_then(|m| m.pe(pe)) {
+                p.injections.inc();
             }
             let _ = shared.chans[pe].send(DaemonMsg::Agent {
                 id,
@@ -507,6 +555,9 @@ impl ThreadExecutor {
         } else {
             (None, 0)
         };
+        if let Some(m) = &self.metrics {
+            m.trace_dropped.add(trace_dropped);
+        }
         Ok(WallReport {
             wall,
             stores,
@@ -554,6 +605,9 @@ fn survive_run_boundary(
             return false;
         }
         r.stats.crashes += 1;
+        if let Some(m) = &shared.metrics {
+            m.faults.inc();
+        }
         // Daemon restart: new epoch (stale in-flight deliveries will be
         // discarded), fresh store from the journal, empty local queue.
         r.epochs[pe] += 1;
@@ -614,7 +668,13 @@ fn daemon(
     let mut out = StepOutputs::default();
     // This daemon's private trace ring: single writer, no locks.
     let mut recorder = PeRecorder::with_anchor(shared.anchor, shared.trace, DEFAULT_CAPACITY);
+    // This daemon's slice of the metric set, hoisted so the hot loop
+    // pays one pointer test, not a registry lookup.
+    let pm = shared.metrics.as_ref().and_then(|m| m.pe(pe));
     loop {
+        if let Some(p) = pm {
+            p.queue_depth.set(local.len() as i64);
+        }
         let (id, msgr) = if let Some(m) = local.pop_front() {
             m
         } else {
@@ -693,6 +753,9 @@ fn daemon(
         // of this PE (they only fire at run boundaries, above).
         if let Some(rec) = &shared.recovery {
             rec.lock().unwrap().journals[pe].commit_dirty(&mut store);
+            if let Some(m) = &shared.metrics {
+                m.journal_commits.inc();
+            }
         }
     }
     let (events, dropped) = recorder.take();
@@ -718,6 +781,7 @@ fn run_messenger(
     let tracing = recorder.is_enabled();
     let label = if tracing { msgr.label() } else { String::new() };
     let exec_start = recorder.now_ns();
+    let pm = shared.metrics.as_ref().and_then(|m| m.pe(pe));
     let end_exec = |recorder: &mut PeRecorder| {
         if tracing {
             let now = recorder.now_ns();
@@ -732,12 +796,19 @@ fn run_messenger(
         };
         shared.steps.fetch_add(1, Ordering::Relaxed);
         shared.progress.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = pm {
+            p.steps.inc();
+        }
 
         for inj in out.injections.drain(..) {
             let inj_id = shared.next_id.fetch_add(1, Ordering::Relaxed);
             // Local injection is a delivery point on this PE.
             if let Some(rec) = &shared.recovery {
                 rec.lock().unwrap().ckpt.register(inj_id, pe, inj.as_ref());
+                shared.note_checkpoint(inj.as_ref());
+            }
+            if let Some(p) = pm {
+                p.injections.inc();
             }
             shared.live.fetch_add(1, Ordering::SeqCst);
             local.push_back((inj_id, inj));
@@ -747,10 +818,17 @@ fn run_messenger(
                 let mut r = rec.lock().unwrap();
                 if r.tracker.on_signal(pe) {
                     r.stats.signals_lost += 1;
+                    drop(r);
+                    if let Some(m) = &shared.metrics {
+                        m.faults.inc();
+                    }
                     continue;
                 }
             }
             shared.signal(key);
+            if let Some(p) = pm {
+                p.signals.inc();
+            }
             recorder.instant(id, &label, TraceKind::Signal { pe });
         }
 
@@ -766,8 +844,16 @@ fn run_messenger(
                     return;
                 }
                 shared.hops.fetch_add(1, Ordering::Relaxed);
-                let hop_bytes = msgr.payload_bytes() + HOP_STATE_BYTES;
+                let payload = msgr.payload_bytes();
+                let hop_bytes = payload + HOP_STATE_BYTES;
                 shared.hop_bytes.fetch_add(hop_bytes, Ordering::Relaxed);
+                if let Some(p) = pm {
+                    p.hops.inc();
+                    p.hop_bytes.add(hop_bytes);
+                }
+                if let Some(m) = &shared.metrics {
+                    m.hop_payload_bytes.observe(payload);
+                }
                 end_exec(recorder);
                 let meta = tracing.then(|| DeliveryMeta::Hop {
                     from: pe,
@@ -786,7 +872,20 @@ fn run_messenger(
                     continue;
                 }
                 end_exec(recorder);
-                st.waiters.push_back((id, msgr, pe, recorder.now_ns()));
+                // Stamp the park time whenever anyone will consume it:
+                // the tracer's Block span or the park-time metrics.
+                // Both read the same shared anchor clock.
+                let parked_ns = if tracing {
+                    recorder.now_ns()
+                } else if shared.metrics.is_some() {
+                    shared.anchor.elapsed().as_nanos() as u64
+                } else {
+                    0
+                };
+                if let Some(p) = pm {
+                    p.waits.inc();
+                }
+                st.waiters.push_back((id, msgr, pe, parked_ns));
                 drop(ev);
                 // Parked state lives in the event service, which
                 // survives daemon restarts: drop the checkpoint.
@@ -1145,6 +1244,67 @@ mod tests {
         assert_eq!(exec_pes.len(), 2, "both PEs executed");
         assert_eq!((transfers, signals), (1, 1));
         assert_eq!(blocks, 1, "the consumer's park must surface as a Block");
+    }
+
+    #[test]
+    fn metrics_reconcile_with_report_counters() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(
+            1,
+            Script::new("consumer")
+                .then(|_| Effect::WaitEvent(Key::plain("ready")))
+                .then(|_| Effect::Done),
+        );
+        c.inject(
+            0,
+            Script::new("producer")
+                .then(|_| Effect::Hop(1))
+                .then(|ctx| {
+                    ctx.signal(Key::plain("ready"));
+                    Effect::Done
+                }),
+        );
+        let m = RunMetrics::new(2);
+        let rep = ThreadExecutor::new()
+            .with_metrics(Arc::clone(&m))
+            .run(c)
+            .unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.total("navp_hops_total") as u64, rep.hops);
+        assert_eq!(snap.total("navp_hop_bytes_total") as u64, rep.hop_bytes);
+        assert_eq!(snap.total("navp_steps_total") as u64, rep.steps);
+        assert_eq!(snap.total("navp_injections_total") as u64, 2);
+        assert_eq!(snap.total("navp_events_waited_total") as u64, 1);
+        assert_eq!(snap.total("navp_events_signaled_total") as u64, 1);
+        assert!(snap.total("navp_park_wait_ns_count") >= 1.0);
+        assert!(m.park_wait_ns.sum() > 0, "the consumer parked for real time");
+        navp_metrics::validate_prometheus(&m.registry.render()).expect("valid exposition");
+    }
+
+    #[test]
+    fn metered_faulted_run_counts_injected_faults() {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, PingPong { hops_left: 6 });
+        c.set_fault_plan(
+            FaultPlan::new()
+                .crash_pe(1, 2)
+                .delay_hop(0, 2, 0.005)
+                .with_retry(3, Duration::from_millis(1)),
+        );
+        let m = RunMetrics::new(2);
+        let rep = ThreadExecutor::new()
+            .with_metrics(Arc::clone(&m))
+            .run(c)
+            .unwrap();
+        assert_eq!(rep.faults.crashes, 1);
+        assert_eq!(rep.faults.hops_delayed, 1);
+        assert_eq!(
+            m.faults.get(),
+            rep.faults.crashes + rep.faults.hops_delayed,
+            "navp_fault_injections_total reconciles with FaultStats"
+        );
+        assert!(m.checkpoints.get() >= 1, "delivery points checkpointed");
+        assert!(m.journal_commits.get() >= 1);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Line-format validator for the Prometheus text exposition format.
+//!
+//! The repo policy is "hand-rolled writers get hand-rolled parsers"
+//! (cf. the Chrome-trace JSON round-trip in `navp-trace`): anything we
+//! serialize must be re-readable by our own code so tests can prove
+//! the output well-formed without external crates. This validator
+//! checks the subset of the 0.0.4 text format the registry emits:
+//! comment/`HELP`/`TYPE` lines, sample lines with optional labels,
+//! metric-name and label charsets, `TYPE` before samples, and
+//! histogram invariants (`+Inf` bucket present, cumulative bucket
+//! counts monotone, `_count` equal to the `+Inf` bucket).
+
+use std::collections::HashMap;
+
+/// What a successful validation saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines parsed.
+    pub samples: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Owned label pairs parsed off a sample line.
+type Labels = Vec<(String, String)>;
+
+/// Parse one `{k="v",...}` label block; returns the labels and the
+/// rest of the line after the closing `}`.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut rest = s.strip_prefix('{').ok_or("expected '{'")?;
+    let mut labels = Vec::new();
+    loop {
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let eq = rest.find('=').ok_or_else(|| format!("missing '=' in labels near {rest:?}"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {name} value not quoted"))?;
+        // Scan the escaped value to its closing quote.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let end = loop {
+            let (i, c) = chars.next().ok_or_else(|| format!("unterminated value for {name}"))?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {name}")),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((name.to_string(), value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+}
+
+/// Family a sample name belongs to once histogram suffixes are peeled.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validate Prometheus text exposition produced by this crate (or any
+/// conforming writer). Returns a [`PromSummary`] on success and a
+/// message naming the first offending line otherwise.
+pub fn validate_prometheus(text: &str) -> Result<PromSummary, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    // name -> ordered (le, count) pairs seen for histogram checks.
+    let mut buckets: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+    let mut counts: HashMap<String, f64> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().ok_or(format!("line {n}: TYPE without kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad metric name in HELP {name:?}"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or(format!("line {n}: sample without value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad sample name {name:?}"));
+        }
+        let fam = family_of(name);
+        match types.get(fam) {
+            Some(_) => {}
+            None if types.contains_key(name) => {}
+            None => return Err(format!("line {n}: sample {name} before any TYPE for {fam}")),
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_str = rest.trim_start_matches(' ');
+        if value_str.is_empty() || value_str.contains(' ') {
+            // A single trailing timestamp would be legal Prometheus but
+            // this writer never emits one; reject to keep tests strict.
+            return Err(format!("line {n}: expected exactly one value, got {value_str:?}"));
+        }
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: bad value {v:?} for {name}"))?,
+        };
+        samples += 1;
+
+        let histo = types.get(fam).map(|k| k == "histogram").unwrap_or(false);
+        if histo && name.ends_with("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or(format!("line {n}: {name} without le label"))?;
+            let key = series_key(fam, &labels);
+            buckets.entry(key).or_default().push((le, value));
+        }
+        if histo && name.ends_with("_count") {
+            counts.insert(series_key(fam, &labels), value);
+        }
+    }
+
+    for (key, series) in &buckets {
+        let inf = series.iter().find(|(le, _)| le == "+Inf");
+        let inf_count = match inf {
+            Some((_, c)) => *c,
+            None => return Err(format!("histogram {key}: no +Inf bucket")),
+        };
+        let mut prev = 0.0f64;
+        for (le, c) in series {
+            if *c + 1e-9 < prev {
+                return Err(format!(
+                    "histogram {key}: bucket le={le} count {c} below previous {prev} (not cumulative)"
+                ));
+            }
+            prev = *c;
+        }
+        if let Some(total) = counts.get(key) {
+            if (*total - inf_count).abs() > 1e-9 {
+                return Err(format!(
+                    "histogram {key}: _count {total} != +Inf bucket {inf_count}"
+                ));
+            }
+        }
+    }
+
+    Ok(PromSummary {
+        families: types.len(),
+        samples,
+    })
+}
+
+/// Identify one histogram series: family name plus its non-`le`
+/// labels.
+fn series_key(fam: &str, labels: &[(String, String)]) -> String {
+    let mut key = fam.to_string();
+    for (k, v) in labels {
+        if k != "le" {
+            key.push_str(&format!("|{k}={v}"));
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# HELP navp_hops_total hops\n\
+# TYPE navp_hops_total counter\n\
+navp_hops_total{pe=\"0\"} 12\n\
+navp_hops_total{pe=\"1\"} 9\n\
+# TYPE navp_park_wait_ns histogram\n\
+navp_park_wait_ns_bucket{le=\"1\"} 0\n\
+navp_park_wait_ns_bucket{le=\"4\"} 2\n\
+navp_park_wait_ns_bucket{le=\"+Inf\"} 3\n\
+navp_park_wait_ns_sum 42\n\
+navp_park_wait_ns_count 3\n";
+        let s = validate_prometheus(text).expect("valid");
+        assert_eq!(s.families, 2);
+        assert_eq!(s.samples, 7);
+    }
+
+    #[test]
+    fn rejects_samples_before_type() {
+        let err = validate_prometheus("navp_x_total 1\n").unwrap_err();
+        assert!(err.contains("before any TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_names_and_values() {
+        assert!(validate_prometheus("# TYPE 9bad counter\n").is_err());
+        let err =
+            validate_prometheus("# TYPE navp_x_total counter\nnavp_x_total one\n").unwrap_err();
+        assert!(err.contains("bad value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_buckets() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_bucket{le=\"4\"} 3\n\
+h_bucket{le=\"+Inf\"} 5\n\
+h_count 5\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"1\"} 5\n\
+h_count 5\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_mismatching_inf() {
+        let text = "\
+# TYPE h histogram\n\
+h_bucket{le=\"+Inf\"} 5\n\
+h_count 4\n";
+        let err = validate_prometheus(text).unwrap_err();
+        assert!(err.contains("_count"), "{err}");
+    }
+
+    #[test]
+    fn parses_escaped_label_values() {
+        let text = "# TYPE x counter\nx{l=\"a\\\"b\\\\c\\nd\"} 1\n";
+        validate_prometheus(text).expect("escapes are legal");
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal HTTP/1.1 responder for `/metrics` and `/healthz`.
+//!
+//! Deliberately tiny: blocking std TCP, one thread per connection,
+//! `Connection: close` on every response. That is the right shape for
+//! a scrape endpoint — Prometheus polls at second granularity, and a
+//! `navp-pe` daemon should spend its threads moving messengers, not
+//! keeping HTTP keep-alives warm.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::MetricsRegistry;
+
+/// Longest request head we will buffer before giving up on a client.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// Serve `GET /metrics` (Prometheus text exposition of `registry`) and
+/// `GET /healthz` (whatever JSON `health` returns) on `addr`.
+///
+/// Binds synchronously — so a bad address fails fast and `addr` may
+/// use port 0 to let the OS pick — then spawns a detached accept loop
+/// and returns the bound address. The loop runs until the process
+/// exits; there is deliberately no shutdown handle, matching the
+/// lifetime of the `navp-pe` daemon that owns it.
+pub fn serve_http(
+    addr: &str,
+    registry: Arc<MetricsRegistry>,
+    health: Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("navp-metrics-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let registry = Arc::clone(&registry);
+                let health = Arc::clone(&health);
+                // One short-lived thread per scrape; a slow client can
+                // stall its own thread but not the accept loop.
+                let _ = std::thread::Builder::new()
+                    .name("navp-metrics-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle(stream, &registry, health.as_ref());
+                    });
+            }
+        })?;
+    Ok(bound)
+}
+
+fn handle(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    health: &(dyn Fn() -> String + Send + Sync),
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head. Bodies are ignored: both
+    // endpoints are GETs.
+    while !head_complete(&buf) {
+        if buf.len() > MAX_REQUEST {
+            return respond(&mut stream, 431, "text/plain", "request head too large\n");
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = registry.render();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => {
+            let body = health();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "try /metrics or /healthz\n"),
+    }
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, ctype: &str, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Blocking one-shot GET against a local address; returns
+    /// (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        let status: u16 = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        let body = out
+            .split("\r\n\r\n")
+            .nth(1)
+            .unwrap_or("")
+            .to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("navp_http_test_total", "t", &[]).add(7);
+        let health: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "{\"ok\":true}".to_string());
+        let addr = serve_http("127.0.0.1:0", Arc::clone(&registry), health).expect("bind");
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("navp_http_test_total 7"), "{body}");
+        crate::validate_prometheus(&body).expect("served exposition validates");
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+    }
+}

@@ -37,6 +37,11 @@ pub struct MmConfig {
     /// Off by default; does not affect the sim executor, whose tracing
     /// is requested per-call.
     pub trace: bool,
+    /// Meter the run with the shared `navp_*` metric set
+    /// ([`navp_metrics::RunMetrics`]) and surface the flattened
+    /// snapshot as `RunOutput::metrics`. Off by default; unmetered runs
+    /// pay one branch per recording site.
+    pub metrics: bool,
 }
 
 impl MmConfig {
@@ -51,6 +56,7 @@ impl MmConfig {
             },
             watchdog: None,
             trace: false,
+            metrics: false,
         }
     }
 
@@ -62,6 +68,7 @@ impl MmConfig {
             payload: Payload::Phantom,
             watchdog: None,
             trace: false,
+            metrics: false,
         }
     }
 
@@ -74,6 +81,12 @@ impl MmConfig {
     /// Builder-style trace toggle for wall-clock (threads/net) runs.
     pub fn with_trace(mut self, trace: bool) -> MmConfig {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style metrics toggle (sim, threads and net runs).
+    pub fn with_metrics(mut self, metrics: bool) -> MmConfig {
+        self.metrics = metrics;
         self
     }
 

@@ -60,6 +60,6 @@ pub mod util;
 pub use config::{MmConfig, Payload};
 pub use net::register_net;
 pub use runner::{
-    run_mp_sim, run_mp_threads, run_navp_net, run_navp_sim, run_navp_threads, run_seq_sim, MpAlg,
-    NavpStage, NetOpts, RunOutput, RunnerError,
+    run_mp_sim, run_mp_threads, run_navp_net, run_navp_sim, run_navp_threads,
+    run_navp_threads_metered, run_seq_sim, MpAlg, NavpStage, NetOpts, RunOutput, RunnerError,
 };

@@ -39,6 +39,7 @@ pub(crate) fn put_cfg(w: &mut WireWriter, cfg: &MmConfig) {
         None => w.put_bool(false),
     }
     w.put_bool(cfg.trace);
+    w.put_bool(cfg.metrics);
 }
 
 pub(crate) fn get_cfg(r: &mut WireReader<'_>) -> Result<MmConfig, DecodeError> {
@@ -63,6 +64,7 @@ pub(crate) fn get_cfg(r: &mut WireReader<'_>) -> Result<MmConfig, DecodeError> {
         payload,
         watchdog,
         trace: r.get_bool()?,
+        metrics: r.get_bool()?,
     })
 }
 

@@ -10,12 +10,14 @@ use crate::util::{collect_c, Topo1D, Topo2D};
 use crate::{dpc2d, dsc1d, dsc2d, gentleman, phase1d, pipe1d, pipe2d, seq, summa};
 use navp::{Cluster, FaultPlan, FaultStats, SimExecutor, ThreadExecutor};
 use navp_matrix::{Grid2D, Matrix};
+use navp_metrics::{MetricsSnapshot, RunMetrics};
 use navp_mp::{MpSimExecutor, MpThreadExecutor};
 use navp_net::{NetExecutor, NetPeStats};
 use navp_sim::{CostModel, Trace};
 use navp_trace::TraceReport;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The NavP stages in paper order.
@@ -155,6 +157,10 @@ pub struct RunOutput {
     pub faults: Option<FaultStats>,
     /// Per-PE network accounting (networked executor only).
     pub per_pe_net: Option<Vec<NetPeStats>>,
+    /// Aggregated runtime metrics (when [`MmConfig::metrics`] is set;
+    /// NavP executors only). For networked runs this is the merge of
+    /// every PE daemon's registry, collected over the mesh at drain.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl fmt::Debug for RunOutput {
@@ -167,6 +173,10 @@ impl fmt::Debug for RunOutput {
             .field("bytes", &self.bytes)
             .field("faults", &self.faults)
             .field("per_pe_net", &self.per_pe_net)
+            .field(
+                "metrics",
+                &self.metrics.as_ref().map(|m| m.samples.len()),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -259,6 +269,7 @@ pub fn run_seq_sim(cfg: &MmConfig, cost: &CostModel) -> Result<RunOutput, Runner
         trace_report: None,
         faults: Some(rep.faults),
         per_pe_net: None,
+        metrics: None,
     })
 }
 
@@ -302,6 +313,12 @@ fn run_navp_sim_inner(
     if with_trace {
         exec = exec.with_trace();
     }
+    let met = cfg
+        .metrics
+        .then(|| RunMetrics::new(grid.rows * grid.cols));
+    if let Some(m) = &met {
+        exec = exec.with_metrics(Arc::clone(m));
+    }
     let mut rep = exec.run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = verify(cfg, &c)?;
@@ -316,6 +333,7 @@ fn run_navp_sim_inner(
         trace_report: None,
         faults: Some(rep.faults),
         per_pe_net: None,
+        metrics: met.map(|m| m.snapshot()),
     })
 }
 
@@ -351,6 +369,20 @@ pub fn run_navp_threads_faulted(
     run_navp_threads_inner(stage, cfg, grid, true, Some(plan))
 }
 
+/// As [`run_navp_threads`], recording runtime metrics into the
+/// caller-supplied [`RunMetrics`] so a concurrent observer (e.g. the
+/// `metrics_dashboard` example) can poll live counters while the run is
+/// in flight. The handle must span `grid.rows * grid.cols` PEs; its
+/// final state is also snapshotted into [`RunOutput::metrics`].
+pub fn run_navp_threads_metered(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    metrics: Arc<RunMetrics>,
+) -> Result<RunOutput, RunnerError> {
+    run_navp_threads_with(stage, cfg, grid, true, None, Some(metrics))
+}
+
 fn run_navp_threads_inner(
     stage: NavpStage,
     cfg: &MmConfig,
@@ -358,14 +390,33 @@ fn run_navp_threads_inner(
     check: bool,
     plan: Option<FaultPlan>,
 ) -> Result<RunOutput, RunnerError> {
+    let met = cfg
+        .metrics
+        .then(|| RunMetrics::new(grid.rows * grid.cols));
+    run_navp_threads_with(stage, cfg, grid, check, plan, met)
+}
+
+fn run_navp_threads_with(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    check: bool,
+    plan: Option<FaultPlan>,
+    met: Option<Arc<RunMetrics>>,
+) -> Result<RunOutput, RunnerError> {
     let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
     if let Some(plan) = plan {
         cl.set_fault_plan(plan);
     }
-    let mut rep = thread_executor(cfg).run(cl)?;
+    let mut exec = thread_executor(cfg);
+    if let Some(m) = &met {
+        exec = exec.with_metrics(Arc::clone(m));
+    }
+    let mut rep = exec.run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = if check { verify(cfg, &c)? } else { None };
     let trace = rep.trace.take();
+    warn_trace_dropped(rep.trace_dropped);
     let trace_report = trace
         .as_ref()
         .map(|t| TraceReport::from_trace(t, grid.rows * grid.cols, rep.trace_dropped));
@@ -380,7 +431,21 @@ fn run_navp_threads_inner(
         trace_report,
         faults: Some(rep.faults),
         per_pe_net: None,
+        metrics: met.map(|m| m.snapshot()),
     })
+}
+
+/// A trace that dropped events is silently partial unless someone says
+/// so: warn on stderr whenever a wall-clock run overflowed its ring.
+/// (The dropped count also lands in the [`TraceReport`] summary line
+/// and the `navp_trace_dropped_events_total` counter.)
+fn warn_trace_dropped(dropped: u64) {
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace buffer overflowed — {dropped} events dropped; \
+             the trace and its report are partial"
+        );
+    }
 }
 
 /// Options for networked (multi-process) runs.
@@ -402,7 +467,9 @@ pub struct NetOpts {
 /// resolution as [`run_navp_threads`]: explicit `cfg.watchdog`, else
 /// `NAVP_WATCHDOG_MS`, else the executor default.
 fn net_executor(cfg: &MmConfig, opts: &NetOpts) -> NetExecutor {
-    let mut exec = NetExecutor::new().with_trace(cfg.trace);
+    let mut exec = NetExecutor::new()
+        .with_trace(cfg.trace)
+        .with_metrics(cfg.metrics);
     if let Some(bin) = &opts.pe_bin {
         exec = exec.with_pe_bin(bin.clone());
     }
@@ -467,6 +534,7 @@ fn run_navp_net_inner(
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = verify(cfg, &c)?;
     let trace = rep.trace.take();
+    warn_trace_dropped(rep.trace_dropped);
     let trace_report = trace
         .as_ref()
         .map(|t| TraceReport::from_trace(t, grid.rows * grid.cols, rep.trace_dropped));
@@ -481,6 +549,7 @@ fn run_navp_net_inner(
         trace_report,
         faults: Some(rep.faults),
         per_pe_net: Some(rep.per_pe),
+        metrics: rep.metrics.take(),
     })
 }
 
@@ -514,6 +583,7 @@ pub fn run_mp_sim(
         trace_report: None,
         faults: None,
         per_pe_net: None,
+        metrics: None,
     })
 }
 
@@ -565,6 +635,7 @@ fn run_mp_threads_inner(
         trace_report: None,
         faults: None,
         per_pe_net: None,
+        metrics: None,
     })
 }
 

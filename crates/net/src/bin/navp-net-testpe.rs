@@ -6,14 +6,17 @@
 
 fn main() {
     navp_net::testing::register_testing();
-    let mode = match navp_net::parse_pe_args(std::env::args().skip(1)) {
-        Ok(m) => m,
+    let args = match navp_net::parse_pe_args(std::env::args().skip(1)) {
+        Ok(a) => a,
         Err(usage) => {
             eprintln!("navp-net-testpe: {usage}");
             std::process::exit(2);
         }
     };
-    if let Err(e) = navp_net::pe_main(mode) {
+    let opts = navp_net::PeOptions {
+        metrics_addr: args.metrics_addr,
+    };
+    if let Err(e) = navp_net::pe_main(args.mode, opts) {
         eprintln!("navp-net-testpe: {e}");
         std::process::exit(1);
     }

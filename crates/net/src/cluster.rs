@@ -71,6 +71,12 @@ impl FrameConn {
 /// first prefix byte yields `UnexpectedEof`; a declared length beyond
 /// [`MAX_FRAME`] or an undecodable body yields `InvalidData`.
 pub fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
+    read_frame_counted(stream).map(|(frame, _)| frame)
+}
+
+/// Like [`read_frame`] but also reports the wire size of the frame
+/// (length prefix + body) so readers can feed byte counters.
+pub fn read_frame_counted(stream: &mut TcpStream) -> std::io::Result<(Frame, u64)> {
     let mut prefix = [0u8; 4];
     stream.read_exact(&mut prefix)?;
     let len = u32::from_le_bytes(prefix) as usize;
@@ -83,6 +89,7 @@ pub fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     Frame::decode(&body)
+        .map(|frame| (frame, 4 + len as u64))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -90,14 +97,34 @@ pub fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
 /// `Ok(frame)` / terminal `Err` through `wrap` into the receiver's own
 /// message type. The first error (EOF included) is forwarded once and
 /// the thread exits.
-pub fn spawn_reader<T, F>(mut stream: TcpStream, tx: Sender<T>, wrap: F) -> JoinHandle<()>
+pub fn spawn_reader<T, F>(stream: TcpStream, tx: Sender<T>, wrap: F) -> JoinHandle<()>
+where
+    T: Send + 'static,
+    F: Fn(std::io::Result<Frame>) -> T + Send + 'static,
+{
+    spawn_counted_reader(stream, tx, wrap, None)
+}
+
+/// [`spawn_reader`] with an optional byte sink: every successfully
+/// decoded frame adds its wire size (prefix + body) to `decoded_bytes`.
+/// The PE daemon hands each reader the same shared counter, which the
+/// metrics registry exposes as `navp_frame_decode_bytes_total`.
+pub fn spawn_counted_reader<T, F>(
+    mut stream: TcpStream,
+    tx: Sender<T>,
+    wrap: F,
+    decoded_bytes: Option<Arc<navp_metrics::Counter>>,
+) -> JoinHandle<()>
 where
     T: Send + 'static,
     F: Fn(std::io::Result<Frame>) -> T + Send + 'static,
 {
     std::thread::spawn(move || loop {
-        match read_frame(&mut stream) {
-            Ok(frame) => {
+        match read_frame_counted(&mut stream) {
+            Ok((frame, n)) => {
+                if let Some(c) = &decoded_bytes {
+                    c.add(n);
+                }
                 if tx.send(wrap(Ok(frame))).is_err() {
                     return; // receiver gone; nothing left to do
                 }

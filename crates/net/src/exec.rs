@@ -14,6 +14,7 @@ use crate::cluster::{event_home, resolve_pe_bin, spawn_pe, spawn_reader, FrameCo
 use crate::frame::{Frame, StoreEntry};
 use crate::registry::{decode_store, encode_messenger, encode_store};
 use navp::{Cluster, FaultStats, NodeStore, RunError, WireSnapshot};
+use navp_metrics::MetricsSnapshot;
 use navp_trace::{merge_pe_traces, PeLog, Trace};
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -34,6 +35,9 @@ pub struct NetPeStats {
     /// Encoded frame bytes this PE sent to peers (hops, waits,
     /// deliveries, signals — not driver control traffic).
     pub wire_bytes: u64,
+    /// Faults injected on this PE, from its end-of-run `StoreDump`
+    /// (the totals-row mirror of [`NetReport::faults`]).
+    pub faults: FaultStats,
 }
 
 /// What a networked run produced.
@@ -65,6 +69,9 @@ pub struct NetReport {
     pub trace: Option<Trace>,
     /// Events the PEs' ring buffers evicted before collection.
     pub trace_dropped: u64,
+    /// Cluster-wide metric snapshot, merged from every PE's
+    /// `MetricsDump`, when the run was metered.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl std::fmt::Debug for NetReport {
@@ -87,6 +94,10 @@ impl std::fmt::Debug for NetReport {
             .field("faults", &self.faults)
             .field("trace", &self.trace.as_ref().map(|t| t.events().len()))
             .field("trace_dropped", &self.trace_dropped)
+            .field(
+                "metrics",
+                &self.metrics.as_ref().map(|m| m.samples.len()),
+            )
             .finish()
     }
 }
@@ -98,6 +109,7 @@ pub struct NetExecutor {
     pe_bin: Option<PathBuf>,
     join: Vec<String>,
     trace: bool,
+    metrics: bool,
     /// How long teardown-adjacent waits may take: child shutdown after
     /// the run, and the exit-status poll when a control connection
     /// drops.
@@ -115,14 +127,15 @@ enum DriverMsg {
 }
 
 /// What [`NetExecutor::drive`] hands back: stores, per-PE stats, fault
-/// counters, totals, and the merged trace (with its dropped count)
-/// when the run was traced.
+/// counters, totals, the merged trace (with its dropped count) when
+/// the run was traced, and the merged metric snapshot when metered.
 type DriveOutcome = (
     Vec<NodeStore>,
     Vec<NetPeStats>,
     FaultStats,
     NetPeStats,
     Option<(Trace, u64)>,
+    Option<MetricsSnapshot>,
 );
 
 struct Links {
@@ -145,6 +158,7 @@ impl NetExecutor {
             pe_bin: None,
             join: Vec::new(),
             trace: false,
+            metrics: false,
             grace: Duration::from_secs(2),
         }
     }
@@ -160,6 +174,14 @@ impl NetExecutor {
     /// tracing cost beyond a flag test per recording site.
     pub fn with_trace(mut self, trace: bool) -> NetExecutor {
         self.trace = trace;
+        self
+    }
+
+    /// Meter every PE with the shared `navp_*` metric set and merge
+    /// the per-process snapshots into [`NetReport::metrics`]. Off by
+    /// default: unmetered runs pay one branch per recording site.
+    pub fn with_metrics(mut self, metrics: bool) -> NetExecutor {
+        self.metrics = metrics;
         self
     }
 
@@ -246,7 +268,7 @@ impl NetExecutor {
                 }
             }
         }
-        let (stores, per_pe, faults, totals, traced) = run?;
+        let (stores, per_pe, faults, totals, traced, metrics) = run?;
         let (trace, trace_dropped) = match traced {
             Some((t, d)) => (Some(t), d),
             None => (None, 0),
@@ -263,6 +285,7 @@ impl NetExecutor {
             watchdog: self.watchdog,
             trace,
             trace_dropped,
+            metrics,
         })
     }
 
@@ -496,6 +519,7 @@ impl NetExecutor {
                     plan: plan.clone(),
                     initial_live,
                     trace: self.trace,
+                    metrics: self.metrics,
                 })
                 .map_err(|e| transport(format!("send Start to PE {pe}: {e}")))?;
         }
@@ -694,6 +718,71 @@ impl NetExecutor {
             None
         };
 
+        // Collect metrics, one PE at a time like the trace collection
+        // above (no clock probe needed — counters are clock-free — but
+        // the one-at-a-time shape keeps the channel unambiguous).
+        let metrics = if self.metrics {
+            let mut merged = MetricsSnapshot::default();
+            for pe in 0..pes {
+                links.conns[pe]
+                    .send(&Frame::MetricsCollect)
+                    .map_err(|e| transport(format!("send MetricsCollect to PE {pe}: {e}")))?;
+                let deadline = Instant::now() + self.handshake_window();
+                loop {
+                    match links.rx.recv_timeout(tick) {
+                        Ok(DriverMsg::FromPe(p, Ok(Frame::MetricsDump { samples })))
+                            if p == pe =>
+                        {
+                            merged.merge(&MetricsSnapshot { samples });
+                            break;
+                        }
+                        // Late deltas can race the dump; absorb them.
+                        Ok(DriverMsg::FromPe(
+                            p,
+                            Ok(Frame::Delta {
+                                steps,
+                                hops,
+                                hop_payload,
+                                wire_bytes,
+                                ..
+                            }),
+                        )) => {
+                            per_pe[p].steps += steps;
+                            per_pe[p].hops += hops;
+                            per_pe[p].hop_payload_bytes += hop_payload;
+                            per_pe[p].wire_bytes += wire_bytes;
+                            totals.steps += steps;
+                            totals.hops += hops;
+                            totals.hop_payload_bytes += hop_payload;
+                            totals.wire_bytes += wire_bytes;
+                        }
+                        Ok(DriverMsg::FromPe(_, Ok(Frame::Fatal { err }))) => return Err(err),
+                        Ok(DriverMsg::FromPe(p, Ok(other))) => {
+                            return Err(transport(format!(
+                                "PE {p}: unexpected frame {other:?} during metrics collect"
+                            )))
+                        }
+                        Ok(DriverMsg::FromPe(p, Err(e))) => {
+                            return Err(Self::disconnect_error(links, p, &e, self.grace))
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if Instant::now() >= deadline {
+                                return Err(transport(format!(
+                                    "PE {pe} returned no metrics before timeout"
+                                )));
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(transport("all control readers exited".into()))
+                        }
+                    }
+                }
+            }
+            Some(merged)
+        } else {
+            None
+        };
+
         // Collect stores and fault counters.
         for (pe, conn) in links.conns.iter().enumerate() {
             conn.send(&Frame::Collect)
@@ -712,6 +801,7 @@ impl NetExecutor {
                     if stores[pe].replace(decoded).is_none() {
                         got += 1;
                     }
+                    per_pe[pe].faults = stats;
                     faults.absorb(&stats);
                 }
                 // Late deltas can race Collect; they carry no live
@@ -754,7 +844,7 @@ impl NetExecutor {
             }
         }
         let stores = stores.into_iter().map(|s| s.expect("all got")).collect();
-        Ok((stores, per_pe, faults, totals, traced))
+        Ok((stores, per_pe, faults, totals, traced, metrics))
     }
 
     /// Next handshake-phase frame from any PE, honouring the deadline.

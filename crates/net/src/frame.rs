@@ -17,6 +17,7 @@
 use crate::codec::{DecodeError, WireReader, WireWriter};
 use navp::fault::{FaultPlan, HopFault};
 use navp::{FaultStats, Key, RunError, WireSnapshot};
+use navp_metrics::{Sample, SampleKind};
 use navp_trace::{TraceEvent, TraceKind, VTime};
 use std::time::Duration;
 
@@ -94,6 +95,10 @@ pub enum Frame {
         initial_live: u64,
         /// Record a wall-clock trace during the run.
         trace: bool,
+        /// Export live metrics during the run (served on the PE's
+        /// `--metrics-addr` endpoint and collected via
+        /// [`Frame::MetricsCollect`]).
+        metrics: bool,
     },
     /// PE → PE: a messenger hopping here.
     Hop {
@@ -210,6 +215,15 @@ pub enum Frame {
         /// The surviving events, oldest first, on the PE's clock.
         events: Vec<TraceEvent>,
     },
+    /// Driver → PE: send a snapshot of your metric registry back.
+    /// Request/response shape mirrors [`Frame::TraceCollect`].
+    MetricsCollect,
+    /// PE → driver: flattened metric samples at the moment the collect
+    /// was processed. Empty when the PE ran without metrics.
+    MetricsDump {
+        /// Flattened samples (histograms pre-expanded to buckets).
+        samples: Vec<Sample>,
+    },
     /// Driver → PE: exit cleanly.
     Shutdown,
 }
@@ -233,6 +247,8 @@ const K_PROBE: u8 = 16;
 const K_PROBE_ACK: u8 = 17;
 const K_TRACE_COLLECT: u8 = 18;
 const K_TRACE_DUMP: u8 = 19;
+const K_METRICS_COLLECT: u8 = 20;
+const K_METRICS_DUMP: u8 = 21;
 
 fn put_snapshot(w: &mut WireWriter, s: &WireSnapshot) {
     w.put_str(&s.tag);
@@ -351,6 +367,32 @@ fn get_stats(r: &mut WireReader<'_>) -> Result<FaultStats, DecodeError> {
         hops_delayed: r.get_u64()?,
         hops_dropped: r.get_u64()?,
         signals_lost: r.get_u64()?,
+    })
+}
+
+fn put_sample(w: &mut WireWriter, s: &Sample) {
+    w.put_str(&s.name);
+    w.put_u32(s.labels.len() as u32);
+    for (k, v) in &s.labels {
+        w.put_str(k);
+        w.put_str(v);
+    }
+    w.put_u8(s.kind.to_u8());
+    w.put_f64(s.value);
+}
+
+fn get_sample(r: &mut WireReader<'_>) -> Result<Sample, DecodeError> {
+    let name = r.get_str()?;
+    let n = r.get_u32()? as usize;
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        labels.push((r.get_str()?, r.get_str()?));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        kind: SampleKind::from_u8(r.get_u8()?),
+        value: r.get_f64()?,
     })
 }
 
@@ -568,6 +610,7 @@ impl Frame {
                 plan,
                 initial_live,
                 trace,
+                metrics,
             } => {
                 w.put_u8(K_START);
                 put_store(&mut w, store);
@@ -589,6 +632,7 @@ impl Frame {
                 }
                 w.put_u64(*initial_live);
                 w.put_bool(*trace);
+                w.put_bool(*metrics);
             }
             Frame::Hop { id, sent_ns, msgr } => {
                 w.put_u8(K_HOP);
@@ -682,6 +726,14 @@ impl Frame {
                     put_trace_event(&mut w, e);
                 }
             }
+            Frame::MetricsCollect => w.put_u8(K_METRICS_COLLECT),
+            Frame::MetricsDump { samples } => {
+                w.put_u8(K_METRICS_DUMP);
+                w.put_u32(samples.len() as u32);
+                for s in samples {
+                    put_sample(&mut w, s);
+                }
+            }
             Frame::Shutdown => w.put_u8(K_SHUTDOWN),
         }
         *buf = w.into_vec();
@@ -736,6 +788,7 @@ impl Frame {
                     plan,
                     initial_live: r.get_u64()?,
                     trace: r.get_bool()?,
+                    metrics: r.get_bool()?,
                 }
             }
             K_HOP => Frame::Hop {
@@ -796,6 +849,15 @@ impl Frame {
                     dropped,
                     events,
                 }
+            }
+            K_METRICS_COLLECT => Frame::MetricsCollect,
+            K_METRICS_DUMP => {
+                let n = r.get_u32()? as usize;
+                let mut samples = Vec::new();
+                for _ in 0..n {
+                    samples.push(get_sample(&mut r)?);
+                }
+                Frame::MetricsDump { samples }
             }
             K_SHUTDOWN => Frame::Shutdown,
             k => return Err(DecodeError::UnknownTag(format!("frame kind {k}"))),
@@ -896,6 +958,7 @@ mod tests {
             ),
             initial_live: 6,
             trace: true,
+            metrics: true,
         });
         roundtrip(Frame::StoreDump {
             store,
@@ -1010,6 +1073,34 @@ mod tests {
         let kind_at = body.len() - 5; // u8 tag + u32 pe at the tail
         body[kind_at] = 99;
         assert!(Frame::decode(&body).is_err());
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        roundtrip(Frame::MetricsCollect);
+        roundtrip(Frame::MetricsDump { samples: vec![] });
+        roundtrip(Frame::MetricsDump {
+            samples: vec![
+                Sample {
+                    name: "navp_hops_total".into(),
+                    labels: vec![("pe".into(), "2".into())],
+                    kind: SampleKind::Counter,
+                    value: 42.0,
+                },
+                Sample {
+                    name: "navp_queue_depth".into(),
+                    labels: vec![],
+                    kind: SampleKind::Gauge,
+                    value: -3.0,
+                },
+                Sample {
+                    name: "navp_park_wait_ns_bucket".into(),
+                    labels: vec![("pe".into(), "0".into()), ("le".into(), "+Inf".into())],
+                    kind: SampleKind::Counter,
+                    value: 17.0,
+                },
+            ],
+        });
     }
 
     #[test]

@@ -52,21 +52,64 @@ pub use cluster::{event_home, FrameConn, PE_BIN_ENV};
 pub use codec::{DecodeError, WireReader, WireWriter};
 pub use exec::{NetExecutor, NetPeStats, NetReport};
 pub use frame::Frame;
-pub use pe::{pe_main, PeMode, CRASH_EXIT, PE_ENV};
+pub use pe::{pe_main, PeMode, PeOptions, CRASH_EXIT, PE_ENV};
 pub use registry::{
     decode_messenger, decode_store, encode_messenger, encode_store, register_messenger,
     register_value, MsgrDecodeFn, ValueCodec,
 };
 
+/// Parsed PE-binary command line: the driver-reachability mode plus
+/// the optional observability endpoint.
+#[derive(Debug, Clone)]
+pub struct PeArgs {
+    /// How this PE reaches its driver (`--connect` / `--listen`).
+    pub mode: PeMode,
+    /// `--metrics-addr host:port`: serve `GET /metrics` (Prometheus
+    /// text) and `GET /healthz` (JSON) on this address for the life of
+    /// the process. `None` when the flag is absent.
+    pub metrics_addr: Option<String>,
+}
+
 /// Parse the standard PE-binary argument list (`--connect addr` or
-/// `--listen addr`) shared by `navp-pe` and `navp-net-testpe`.
-/// Returns `Err` with a usage string on anything else.
-pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeMode, String> {
+/// `--listen addr`, optionally `--metrics-addr addr`, in any order)
+/// shared by `navp-pe` and `navp-net-testpe`. Returns `Err` with a
+/// usage string on anything else.
+pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, String> {
+    const USAGE: &str = "usage: --connect <driver-host:port> | --listen <bind-host:port> \
+                         [--metrics-addr <bind-host:port>]";
     let argv: Vec<String> = args.into_iter().collect();
-    match argv.as_slice() {
-        [flag, addr] if flag == "--connect" => Ok(PeMode::Connect(addr.clone())),
-        [flag, addr] if flag == "--listen" => Ok(PeMode::Listen(addr.clone())),
-        _ => Err("usage: --connect <driver-host:port> | --listen <bind-host:port>".to_string()),
+    let mut mode: Option<PeMode> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::vec::IntoIter<String>| {
+            it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--connect" => {
+                let addr = value(&mut it)?;
+                if mode.replace(PeMode::Connect(addr)).is_some() {
+                    return Err(format!("more than one --connect/--listen\n{USAGE}"));
+                }
+            }
+            "--listen" => {
+                let addr = value(&mut it)?;
+                if mode.replace(PeMode::Listen(addr)).is_some() {
+                    return Err(format!("more than one --connect/--listen\n{USAGE}"));
+                }
+            }
+            "--metrics-addr" => {
+                let addr = value(&mut it)?;
+                if metrics_addr.replace(addr).is_some() {
+                    return Err(format!("more than one --metrics-addr\n{USAGE}"));
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    match mode {
+        Some(mode) => Ok(PeArgs { mode, metrics_addr }),
+        None => Err(USAGE.to_string()),
     }
 }
 
@@ -74,13 +117,36 @@ pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeMode, 
 mod tests {
     use super::*;
 
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn pe_args_parse() {
-        let m = parse_pe_args(["--connect".to_string(), "127.0.0.1:9000".to_string()]).unwrap();
-        assert!(matches!(m, PeMode::Connect(a) if a == "127.0.0.1:9000"));
-        let m = parse_pe_args(["--listen".to_string(), "0.0.0.0:7000".to_string()]).unwrap();
-        assert!(matches!(m, PeMode::Listen(a) if a == "0.0.0.0:7000"));
+        let a = parse_pe_args(argv(&["--connect", "127.0.0.1:9000"])).unwrap();
+        assert!(matches!(a.mode, PeMode::Connect(ref x) if x == "127.0.0.1:9000"));
+        assert_eq!(a.metrics_addr, None);
+        let a = parse_pe_args(argv(&["--listen", "0.0.0.0:7000"])).unwrap();
+        assert!(matches!(a.mode, PeMode::Listen(ref x) if x == "0.0.0.0:7000"));
         assert!(parse_pe_args(Vec::new()).is_err());
-        assert!(parse_pe_args(["--bogus".to_string(), "x".to_string()]).is_err());
+        assert!(parse_pe_args(argv(&["--bogus", "x"])).is_err());
+    }
+
+    #[test]
+    fn pe_args_parse_metrics_addr_any_order() {
+        let a = parse_pe_args(argv(&[
+            "--metrics-addr",
+            "127.0.0.1:9100",
+            "--listen",
+            "0.0.0.0:7000",
+        ]))
+        .unwrap();
+        assert!(matches!(a.mode, PeMode::Listen(_)));
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        // The flag needs a value, a mode is still mandatory, and
+        // duplicate flags are rejected.
+        assert!(parse_pe_args(argv(&["--connect", "a:1", "--metrics-addr"])).is_err());
+        assert!(parse_pe_args(argv(&["--metrics-addr", "a:1"])).is_err());
+        assert!(parse_pe_args(argv(&["--connect", "a:1", "--listen", "b:2"])).is_err());
     }
 }

@@ -20,7 +20,7 @@
 //!   process *exits* ([`CRASH_EXIT`]) and the driver reports
 //!   [`RunError::PeerDisconnected`].
 
-use crate::cluster::{event_home, read_frame, spawn_reader, FrameConn};
+use crate::cluster::{event_home, read_frame, spawn_counted_reader, FrameConn};
 use crate::frame::Frame;
 use crate::registry::{decode_messenger, decode_store, encode_messenger, encode_store};
 use navp::fault::{FaultTracker, HopFault};
@@ -30,9 +30,11 @@ use navp::{
     Effect, EventKey, FaultStats, Messenger, MsgrCtx, NodeStore, RunError, StepOutputs,
     WireSnapshot,
 };
+use navp_metrics::{serve_http, Counter, MetricsRegistry, RunMetrics};
 use navp_trace::{PeRecorder, TraceKind};
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -57,6 +59,94 @@ pub enum PeMode {
     /// Bind this address and wait for the driver to connect
     /// (`navp-pe --listen host:port`) — the `--join` deployment mode.
     Listen(String),
+}
+
+/// Process-level options beyond the driver-reachability mode.
+#[derive(Debug, Clone, Default)]
+pub struct PeOptions {
+    /// Bind this address and serve `GET /metrics` (Prometheus text)
+    /// and `GET /healthz` (JSON) for the life of the process. Also
+    /// forces run metrics on, even when the driver's `Start` frame
+    /// does not request them.
+    pub metrics_addr: Option<String>,
+}
+
+/// Shared state behind `GET /healthz`: written by the daemon loop,
+/// read by the HTTP responder threads. All relaxed atomics — health is
+/// advisory, never synchronizing.
+struct Health {
+    /// PE id of the current session; [`Health::UNASSIGNED`] (rendered
+    /// as `null`) until a driver's `Assign` arrives.
+    pe: AtomicU64,
+    /// Cluster width of the current session; [`Health::UNASSIGNED`]
+    /// until assigned.
+    pes: AtomicU64,
+    peers_connected: AtomicU64,
+    queue_depth: AtomicU64,
+    /// Nanoseconds since `anchor` when the last frame arrived;
+    /// 0 = nothing received yet.
+    last_frame_ns: AtomicU64,
+    anchor: Instant,
+}
+
+impl Health {
+    /// Sentinel for "no driver session yet".
+    const UNASSIGNED: u64 = u64::MAX;
+
+    fn new() -> Health {
+        Health {
+            pe: AtomicU64::new(Health::UNASSIGNED),
+            pes: AtomicU64::new(Health::UNASSIGNED),
+            peers_connected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            last_frame_ns: AtomicU64::new(0),
+            anchor: Instant::now(),
+        }
+    }
+
+    /// A new driver session assigned this daemon a PE identity; reset
+    /// the session-scoped gauges.
+    fn assign(&self, pe: usize, pes: usize) {
+        self.pe.store(pe as u64, Ordering::Relaxed);
+        self.pes.store(pes as u64, Ordering::Relaxed);
+        self.peers_connected.store(0, Ordering::Relaxed);
+        self.queue_depth.store(0, Ordering::Relaxed);
+    }
+
+    /// Stamp "a frame just arrived".
+    fn touch(&self) {
+        let ns = self.anchor.elapsed().as_nanos() as u64;
+        self.last_frame_ns.store(ns.max(1), Ordering::Relaxed);
+    }
+
+    /// Hand-rolled JSON body for `/healthz` (no serde, like every
+    /// serializer in this workspace).
+    fn render(&self) -> String {
+        let now = self.anchor.elapsed().as_nanos() as u64;
+        let last = self.last_frame_ns.load(Ordering::Relaxed);
+        let age = if last == 0 {
+            "null".to_string()
+        } else {
+            format!("{:.3}", now.saturating_sub(last) as f64 / 1e9)
+        };
+        let id = |v: u64| {
+            if v == Health::UNASSIGNED {
+                "null".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        format!(
+            "{{\"pe\":{},\"pes\":{},\"peers_connected\":{},\"queue_depth\":{},\
+             \"last_frame_age_s\":{},\"uptime_s\":{:.3}}}",
+            id(self.pe.load(Ordering::Relaxed)),
+            id(self.pes.load(Ordering::Relaxed)),
+            self.peers_connected.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            age,
+            now as f64 / 1e9,
+        )
+    }
 }
 
 enum PeEvent {
@@ -95,6 +185,15 @@ struct Daemon {
     /// at session start; the driver measures this clock's offset when
     /// it collects the buffer (`TraceCollect`/`TraceDump`).
     recorder: PeRecorder,
+    /// The shared run metric set, `Some` iff `Start.metrics` or the
+    /// process was given `--metrics-addr`. Only this PE's slot of the
+    /// per-PE vector is ever touched.
+    metrics: Option<Arc<RunMetrics>>,
+    /// Park-time clock for metered-but-untraced runs (the recorder's
+    /// clock reads 0 when tracing is off).
+    anchor: Instant,
+    /// `/healthz` state, `Some` iff `--metrics-addr` was given.
+    health: Option<Arc<Health>>,
     // Un-flushed accounting increments (next `Delta`).
     d_spawned: u64,
     d_finished: u64,
@@ -112,6 +211,32 @@ struct Daemon {
 impl Daemon {
     fn recovery_active(&self) -> bool {
         self.initial_store.is_some()
+    }
+
+    /// Park-time clock: the recorder's when tracing (so trace spans and
+    /// metrics agree), a process anchor when only metered, 0 otherwise.
+    fn clock_ns(&self) -> u64 {
+        if self.recorder.is_enabled() {
+            self.recorder.now_ns()
+        } else if self.metrics.is_some() {
+            self.anchor.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Observe a completed event park (wake time minus `parked_ns`).
+    fn note_unpark(&self, parked_ns: u64) {
+        if parked_ns == 0 {
+            return;
+        }
+        if let Some(met) = &self.metrics {
+            let dur = self.clock_ns().saturating_sub(parked_ns);
+            if let Some(p) = met.pe(self.pe) {
+                p.park_ns.add(dur);
+            }
+            met.park_wait_ns.observe(dur);
+        }
     }
 
     fn peer(&self, dst: usize) -> Result<&Arc<FrameConn>, RunError> {
@@ -133,6 +258,9 @@ impl Daemon {
             })?;
         self.d_wire += n;
         self.t_peer_sent += 1;
+        if let Some(met) = &self.metrics {
+            met.frame_encode_bytes.add(n);
+        }
         Ok(())
     }
 
@@ -182,6 +310,9 @@ impl Daemon {
     fn commit_run(&mut self) {
         if self.recovery_active() {
             self.journal.commit_dirty(&mut self.store);
+            if let Some(met) = &self.metrics {
+                met.journal_commits.inc();
+            }
         }
     }
 
@@ -189,8 +320,15 @@ impl Daemon {
     fn deliver(&mut self, id: u64, m: Box<dyn Messenger>) {
         if self.recovery_active() {
             self.ckpt.register(id, self.pe, m.as_ref());
+            if let Some(met) = &self.metrics {
+                met.checkpoints.inc();
+                met.checkpoint_bytes.add(m.payload_bytes());
+            }
         }
         self.queue.push_back((id, m));
+        if let Some(p) = self.metrics.as_ref().and_then(|met| met.pe(self.pe)) {
+            p.queue_depth.set(self.queue.len() as i64);
+        }
     }
 
     /// A `Hop` frame arrived: run it through the fault machinery, then
@@ -215,12 +353,18 @@ impl Daemon {
                 None => break,
                 Some(HopFault::Delay { seconds }) => {
                     self.stats.hops_delayed += 1;
+                    if let Some(met) = &self.metrics {
+                        met.faults.inc();
+                    }
                     self.heartbeat();
                     std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
                     break; // single-shot rule: delivered after the hold
                 }
                 Some(HopFault::Drop) => {
                     self.stats.hops_dropped += 1;
+                    if let Some(met) = &self.metrics {
+                        met.faults.inc();
+                    }
                     attempts += 1;
                     let plan = self.tracker.as_ref().expect("fault fired").plan();
                     if attempts > plan.max_send_retries {
@@ -273,6 +417,9 @@ impl Daemon {
             std::process::exit(CRASH_EXIT);
         }
         self.stats.crashes += 1;
+        if let Some(met) = &self.metrics {
+            met.faults.inc();
+        }
         self.recorder
             .instant(u64::MAX, "crash", TraceKind::Fault { pe: self.pe });
         let mut rebuilt = self
@@ -309,6 +456,7 @@ impl Daemon {
                         self.recorder
                             .record(parked_ns, self.recorder.now_ns(), id, &m.label(), kind);
                     }
+                    self.note_unpark(parked_ns);
                     self.deliver(id, m);
                 } else {
                     self.send_peer(
@@ -346,6 +494,8 @@ impl Daemon {
         let tracing = self.recorder.is_enabled();
         let label = if tracing { m.label() } else { String::new() };
         let exec_start = self.recorder.now_ns();
+        let met = self.metrics.clone();
+        let pm = met.as_ref().and_then(|met| met.pe(self.pe));
         let mut out = StepOutputs::default();
         loop {
             out.clear();
@@ -354,12 +504,18 @@ impl Daemon {
                 m.step(&mut ctx)
             };
             self.d_steps += 1;
+            if let Some(p) = pm {
+                p.steps.inc();
+            }
             for inj in out.injections.drain(..) {
                 let new_id =
                     self.initial_live + self.pe as u64 + self.pes as u64 * self.next_inject;
                 self.next_inject += 1;
                 self.d_spawned += 1;
                 self.t_spawned += 1;
+                if let Some(p) = pm {
+                    p.injections.inc();
+                }
                 self.deliver(new_id, inj);
             }
             let signals: Vec<EventKey> = out.signals.drain(..).collect();
@@ -370,9 +526,15 @@ impl Daemon {
                     .is_some_and(|t| t.on_signal(self.pe));
                 if lost {
                     self.stats.signals_lost += 1;
+                    if let Some(met) = &met {
+                        met.faults.inc();
+                    }
                     continue;
                 }
                 self.route_signal(key)?;
+                if let Some(p) = pm {
+                    p.signals.inc();
+                }
                 if tracing {
                     self.recorder
                         .instant(id, &label, TraceKind::Signal { pe: self.pe });
@@ -392,6 +554,14 @@ impl Daemon {
                     let snap = encode_messenger(m.as_ref())?;
                     self.d_hops += 1;
                     self.d_hop_payload += m.payload_bytes();
+                    if let Some(met) = &met {
+                        let payload = m.payload_bytes();
+                        if let Some(p) = met.pe(self.pe) {
+                            p.hops.inc();
+                            p.hop_bytes.add(payload + HOP_STATE_BYTES);
+                        }
+                        met.hop_payload_bytes.observe(payload);
+                    }
                     let sent_ns = self.recorder.now_ns();
                     if tracing {
                         let kind = TraceKind::Exec { pe: self.pe };
@@ -421,7 +591,7 @@ impl Daemon {
                         }
                         self.commit_run();
                         let snap = encode_messenger(m.as_ref())?;
-                        let parked_ns = self.recorder.now_ns();
+                        let parked_ns = self.clock_ns();
                         if tracing {
                             let kind = TraceKind::Exec { pe: self.pe };
                             self.recorder.record(exec_start, parked_ns, id, &label, kind);
@@ -431,7 +601,7 @@ impl Daemon {
                     } else {
                         self.commit_run();
                         let snap = encode_messenger(m.as_ref())?;
-                        let parked_ns = self.recorder.now_ns();
+                        let parked_ns = self.clock_ns();
                         if tracing {
                             let kind = TraceKind::Exec { pe: self.pe };
                             self.recorder.record(exec_start, parked_ns, id, &label, kind);
@@ -449,6 +619,9 @@ impl Daemon {
                     }
                     // Parked state is held by the event table (local or
                     // remote), outside this daemon's crash domain.
+                    if let Some(p) = pm {
+                        p.waits.inc();
+                    }
                     self.ckpt.remove(id);
                     return Ok(());
                 }
@@ -521,6 +694,7 @@ impl Daemon {
                     self.recorder
                         .record(parked_ns, self.recorder.now_ns(), id, &m.label(), kind);
                 }
+                self.note_unpark(parked_ns);
                 self.deliver(id, m);
                 Ok(())
             }
@@ -540,8 +714,22 @@ impl Daemon {
             while let Some((id, m)) = self.queue.pop_front() {
                 self.run_messenger(id, m)?;
             }
+            if let Some(p) = self.metrics.as_ref().and_then(|met| met.pe(self.pe)) {
+                p.queue_depth.set(self.queue.len() as i64);
+            }
+            if let Some(h) = &self.health {
+                h.queue_depth
+                    .store(self.queue.len() as u64, Ordering::Relaxed);
+            }
             self.flush_delta()?;
-            match rx.recv_timeout(Duration::from_millis(100)) {
+            let got_event = {
+                let r = rx.recv_timeout(Duration::from_millis(100));
+                if let (Ok(_), Some(h)) = (&r, &self.health) {
+                    h.touch();
+                }
+                r
+            };
+            match got_event {
                 Ok(PeEvent::Driver(Ok(Frame::Probe { round }))) => {
                     // The queue is empty here (drained above), so the
                     // lifetime counters are a consistent local snapshot.
@@ -574,6 +762,9 @@ impl Daemon {
                     self.flush_delta()?;
                     let pe_ns = self.recorder.now_ns();
                     let (events, dropped) = self.recorder.take();
+                    if let Some(met) = &self.metrics {
+                        met.trace_dropped.add(dropped);
+                    }
                     self.driver
                         .send(&Frame::TraceDump {
                             pe_ns,
@@ -582,6 +773,19 @@ impl Daemon {
                         })
                         .map_err(|e| RunError::Transport {
                             detail: format!("PE {} cannot return its trace: {e}", self.pe),
+                        })?;
+                }
+                Ok(PeEvent::Driver(Ok(Frame::MetricsCollect))) => {
+                    self.flush_delta()?;
+                    let samples = self
+                        .metrics
+                        .as_ref()
+                        .map(|met| met.snapshot().samples)
+                        .unwrap_or_default();
+                    self.driver
+                        .send(&Frame::MetricsDump { samples })
+                        .map_err(|e| RunError::Transport {
+                            detail: format!("PE {} cannot return its metrics: {e}", self.pe),
                         })?;
                 }
                 Ok(PeEvent::Driver(Ok(Frame::Shutdown))) => return Ok(()),
@@ -677,29 +881,83 @@ fn accept_peers(
     Ok(got)
 }
 
-/// Run one PE process to completion: handshake, mesh, event loop.
-/// Fatal errors are reported to the driver before returning them.
-pub fn pe_main(mode: PeMode) -> Result<(), RunError> {
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-    let mut driver_stream = match &mode {
-        PeMode::Connect(addr) => connect_with_retries(addr, deadline)?,
+/// Process-lifetime observability state: the metrics registry, the
+/// always-on frame-decode byte counter the reader threads feed, and
+/// the `/healthz` snapshot. Created once in [`pe_main`] so the HTTP
+/// endpoint is live before any driver connects and counters persist
+/// across `--listen` sessions.
+struct Obs {
+    registry: Arc<MetricsRegistry>,
+    decode_bytes: Arc<Counter>,
+    health: Arc<Health>,
+}
+
+impl Obs {
+    fn new(opts: &PeOptions) -> Result<Obs, RunError> {
+        let obs = Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            decode_bytes: Arc::new(Counter::new()),
+            health: Arc::new(Health::new()),
+        };
+        if let Some(addr) = &opts.metrics_addr {
+            let h = Arc::clone(&obs.health);
+            serve_http(addr, Arc::clone(&obs.registry), Arc::new(move || h.render())).map_err(
+                |e| RunError::Transport {
+                    detail: format!("metrics bind {addr}: {e}"),
+                },
+            )?;
+        }
+        Ok(obs)
+    }
+}
+
+/// Run the PE process: handshake, mesh, event loop. In `--connect`
+/// mode (driver-spawned children) the process serves exactly one
+/// driver session and exits. In `--listen` mode it is a daemon: it
+/// serves driver sessions back to back until killed, keeping its
+/// metrics registry — and the `/metrics`/`/healthz` endpoint, when
+/// `--metrics-addr` is given — alive across runs. Fatal errors are
+/// reported to the driver before returning (or, in listen mode,
+/// logged and survived).
+pub fn pe_main(mode: PeMode, opts: PeOptions) -> Result<(), RunError> {
+    let obs = Obs::new(&opts)?;
+    match &mode {
+        PeMode::Connect(addr) => {
+            let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+            let stream = connect_with_retries(addr, deadline)?;
+            driver_session(&opts, &obs, stream, deadline)
+        }
         PeMode::Listen(bind) => {
             let listener = TcpListener::bind(bind).map_err(|e| RunError::Transport {
                 detail: format!("bind {bind}: {e}"),
             })?;
-            let (s, _) = listener.accept().map_err(|e| RunError::Transport {
-                detail: format!("accept driver on {bind}: {e}"),
-            })?;
-            s
+            loop {
+                let (stream, _) = listener.accept().map_err(|e| RunError::Transport {
+                    detail: format!("accept driver on {bind}: {e}"),
+                })?;
+                let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+                if let Err(err) = driver_session(&opts, &obs, stream, deadline) {
+                    eprintln!("navp-pe: driver session failed: {err}");
+                }
+            }
         }
-    };
+    }
+}
+
+/// Serve one driver on an established stream, reporting fatal errors
+/// back before returning them.
+fn driver_session(
+    opts: &PeOptions,
+    obs: &Obs,
+    mut driver_stream: TcpStream,
+    deadline: Instant,
+) -> Result<(), RunError> {
     let driver = Arc::new(FrameConn::new(driver_stream.try_clone().map_err(|e| {
         RunError::Transport {
             detail: format!("clone driver stream: {e}"),
         }
     })?));
-
-    let result = pe_session(&mode, &mut driver_stream, Arc::clone(&driver), deadline);
+    let result = pe_session(opts, obs, &mut driver_stream, Arc::clone(&driver), deadline);
     if let Err(err) = &result {
         let _ = driver.send(&Frame::Fatal { err: err.clone() });
     }
@@ -707,7 +965,8 @@ pub fn pe_main(mode: PeMode) -> Result<(), RunError> {
 }
 
 fn pe_session(
-    _mode: &PeMode,
+    opts: &PeOptions,
+    obs: &Obs,
     driver_stream: &mut TcpStream,
     driver: Arc<FrameConn>,
     deadline: Instant,
@@ -721,6 +980,10 @@ fn pe_session(
         Err(e) => return Err(transport(format!("handshake read: {e}"))),
     };
     std::env::set_var(PE_ENV, pe.to_string());
+    let registry = Arc::clone(&obs.registry);
+    let decode_bytes = Arc::clone(&obs.decode_bytes);
+    let health = Arc::clone(&obs.health);
+    health.assign(pe, pes);
 
     // 2. Peer listener on the same interface the driver reached us on
     //    (loopback for local clusters, the NIC's address for --join).
@@ -777,12 +1040,16 @@ fn pe_session(
         }
         peer_streams[q] = Some(stream);
     }
+    health.peers_connected.store(
+        peer_streams.iter().filter(|s| s.is_some()).count() as u64,
+        Ordering::Relaxed,
+    );
     driver
         .send(&Frame::MeshReady { pe: pe as u32 })
         .map_err(|e| transport(format!("send MeshReady: {e}")))?;
 
     // 4. Start payload.
-    let (store_img, injections, events, plan, initial_live, trace) =
+    let (store_img, injections, events, plan, initial_live, trace, metrics) =
         match read_frame(driver_stream) {
             Ok(Frame::Start {
                 store,
@@ -791,10 +1058,24 @@ fn pe_session(
                 plan,
                 initial_live,
                 trace,
-            }) => (store, injections, events, plan, initial_live, trace),
+                metrics,
+            }) => (store, injections, events, plan, initial_live, trace, metrics),
             Ok(other) => return Err(transport(format!("expected Start, got {other:?}"))),
             Err(e) => return Err(transport(format!("start read: {e}"))),
         };
+    let metered = metrics || opts.metrics_addr.is_some();
+    let run_metrics = metered.then(|| {
+        // Adopt the decode counter before RunMetrics registers the
+        // name: the readers below were counting into it all along.
+        registry.counter_arc(
+            "navp_frame_decode_bytes_total",
+            "Wire bytes consumed by frame decoding",
+            &[],
+            Arc::clone(&decode_bytes),
+        );
+        RunMetrics::on_registry(Arc::clone(&registry), pes)
+    });
+    let reader_bytes = metered.then(|| Arc::clone(&decode_bytes));
 
     // 5. Wire everything into the daemon and spawn readers.
     let (tx, rx): (Sender<PeEvent>, Receiver<PeEvent>) = std::sync::mpsc::channel();
@@ -803,7 +1084,7 @@ fn pe_session(
             .try_clone()
             .map_err(|e| transport(format!("clone driver stream: {e}")))?;
         let tx = tx.clone();
-        spawn_reader(stream, tx, PeEvent::Driver);
+        spawn_counted_reader(stream, tx, PeEvent::Driver, reader_bytes.clone());
     }
     let mut peers: Vec<Option<Arc<FrameConn>>> = (0..pes).map(|_| None).collect();
     for (q, stream) in peer_streams.into_iter().enumerate() {
@@ -813,7 +1094,7 @@ fn pe_session(
             .map_err(|e| transport(format!("clone peer stream: {e}")))?;
         peers[q] = Some(Arc::new(FrameConn::new(write)));
         let tx = tx.clone();
-        spawn_reader(stream, tx, move |r| PeEvent::Peer(q, r));
+        spawn_counted_reader(stream, tx, move |r| PeEvent::Peer(q, r), reader_bytes.clone());
     }
 
     let mut store = decode_store(&store_img)
@@ -847,6 +1128,9 @@ fn pe_session(
         } else {
             PeRecorder::disabled()
         },
+        metrics: run_metrics,
+        anchor: Instant::now(),
+        health: opts.metrics_addr.is_some().then(|| Arc::clone(&health)),
         d_spawned: 0,
         d_finished: 0,
         d_steps: 0,
@@ -864,6 +1148,9 @@ fn pe_session(
     for (id, snap) in injections {
         let m = decode_messenger(&snap)
             .map_err(|e| transport(format!("PE {pe} cannot decode injection {id}: {e}")))?;
+        if let Some(p) = daemon.metrics.as_ref().and_then(|met| met.pe(pe)) {
+            p.injections.inc();
+        }
         daemon.deliver(id, m);
     }
 

@@ -9,6 +9,7 @@
 
 use navp::fault::{FaultPlan, FaultStats};
 use navp::{Key, RunError, WireSnapshot};
+use navp_metrics::{Sample, SampleKind};
 use navp_net::frame::{Frame, StoreEntry};
 use navp_net::DecodeError;
 use navp_trace::{TraceEvent, TraceKind, VTime};
@@ -147,8 +148,23 @@ fn arb_trace_event(rng: &mut SplitMix64) -> TraceEvent {
     }
 }
 
+fn arb_sample(rng: &mut SplitMix64) -> Sample {
+    Sample {
+        name: format!("navp_arb_{}_total", rng.below(6)),
+        labels: (0..rng.below(3))
+            .map(|i| (format!("l{i}"), format!("v{}", rng.below(9))))
+            .collect(),
+        kind: if rng.below(2) == 1 {
+            SampleKind::Gauge
+        } else {
+            SampleKind::Counter
+        },
+        value: rng.below(1_000_000) as f64,
+    }
+}
+
 fn arb_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.below(19) {
+    match rng.below(21) {
         0 => Frame::Assign {
             pe: rng.below(16) as u32,
             pes: rng.below(16) as u32,
@@ -178,6 +194,7 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
             plan: arb_plan(rng),
             initial_live: rng.below(1000),
             trace: rng.below(2) == 1,
+            metrics: rng.below(2) == 1,
         },
         6 => Frame::Hop {
             id: rng.next_u64(),
@@ -236,6 +253,10 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
             pe_ns: rng.next_u64() >> 1,
             dropped: rng.below(100),
             events: (0..rng.below(6)).map(|_| arb_trace_event(rng)).collect(),
+        },
+        18 => Frame::MetricsCollect,
+        19 => Frame::MetricsDump {
+            samples: (0..rng.below(6)).map(|_| arb_sample(rng)).collect(),
         },
         _ => Frame::Shutdown,
     }

@@ -13,7 +13,18 @@
 //! The driver spawns the four PE processes itself and wires the full
 //! TCP mesh. To spread the same cluster over real machines instead,
 //! start `navp-pe --listen host:port` on each and hand the addresses
-//! to `NetOpts::join` — nothing else changes.
+//! to `NetOpts::join` — nothing else changes. This example does that
+//! itself when `NAVP_NET_JOIN` names four comma-separated addresses
+//! (which is how CI points it at daemons started with
+//! `--metrics-addr`, then curls their live `/metrics` endpoints):
+//!
+//! ```text
+//! navp-pe --listen 127.0.0.1:7101 --metrics-addr 127.0.0.1:9101 &
+//! ... (four daemons) ...
+//! NAVP_NET_JOIN=127.0.0.1:7101,... cargo run --release --example net_cluster
+//! curl -s http://127.0.0.1:9101/metrics
+//! curl -s http://127.0.0.1:9101/healthz
+//! ```
 
 use navp_repro::navp::FaultPlan;
 use navp_repro::navp_matrix::Grid2D;
@@ -23,10 +34,23 @@ use navp_repro::navp_mm::runner::{
 };
 
 fn main() {
-    let cfg = MmConfig::real(24, 4); // N = 24, block order 4 → 6 block rows
+    // Metrics on: every PE daemon meters its run and the driver merges
+    // the per-PE registries into one cluster snapshot at drain.
+    let cfg = MmConfig::real(24, 4).with_metrics(true); // N = 24, block order 4
     let grid = Grid2D::new(2, 2).expect("grid"); // 2×2 PE mesh, 4 processes
     let stage = NavpStage::Pipe2D;
-    let opts = NetOpts::default(); // finds navp-pe next to this executable
+    let opts = match std::env::var("NAVP_NET_JOIN") {
+        Ok(v) => {
+            let join: Vec<String> = v.split(',').map(str::to_string).collect();
+            assert_eq!(join.len(), 4, "NAVP_NET_JOIN needs 4 addresses, got {v}");
+            println!("joining externally started daemons: {join:?}");
+            NetOpts {
+                join,
+                ..NetOpts::default()
+            }
+        }
+        Err(_) => NetOpts::default(), // spawn navp-pe next to this executable
+    };
 
     println!("== {} on a 4-process loopback cluster ==\n", stage.name());
 
@@ -44,6 +68,21 @@ fn main() {
     );
     println!("         product bitwise-identical to the thread executor\n");
 
+    // The merged cluster metrics, collected over the mesh at drain.
+    let snap = clean.metrics.as_ref().expect("metered run");
+    println!("cluster metrics (merged over {} PEs):", grid.rows * grid.cols);
+    for name in [
+        "navp_hops_total",
+        "navp_hop_bytes_total",
+        "navp_steps_total",
+        "navp_events_signaled_total",
+        "navp_frame_encode_bytes_total",
+        "navp_frame_decode_bytes_total",
+    ] {
+        println!("  {name:<32} {}", snap.total(name) as u64);
+    }
+    println!();
+
     // Now hold individual frames back at the sockets: a deterministic
     // hop-delay plan (delay-only — the data path is untouched, only
     // arrival times move).
@@ -58,6 +97,23 @@ fn main() {
     let f = delayed.faults.expect("networked runs report fault stats");
     println!("         hops held at the socket: {}", f.hops_delayed);
     assert!(f.hops_delayed > 0);
+    // The same injections, seen three ways: aggregate FaultStats,
+    // per-PE FaultStats, and the navp_fault_injections_total counter.
+    let per_pe_delayed: u64 = delayed
+        .per_pe_net
+        .as_ref()
+        .expect("per-PE stats")
+        .iter()
+        .map(|s| s.faults.hops_delayed)
+        .sum();
+    assert_eq!(per_pe_delayed, f.hops_delayed, "per-PE faults must sum up");
+    let injected = delayed
+        .metrics
+        .as_ref()
+        .expect("metered run")
+        .total("navp_fault_injections_total") as u64;
+    println!("         navp_fault_injections_total: {injected}");
+    assert!(injected >= f.hops_delayed, "counter must cover the delays");
     assert_eq!(delayed.verified, Some(true));
     assert_eq!(
         reference.c, delayed.c,

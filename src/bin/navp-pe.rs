@@ -8,18 +8,29 @@
 //! binary registers every wire codec of the case study before serving,
 //! so all six stage carriers, the launcher, and matrix blocks can
 //! arrive over TCP.
+//!
+//! `--metrics-addr <host:port>` additionally serves `GET /metrics`
+//! (Prometheus text exposition) and `GET /healthz` (JSON: assigned
+//! pe/pes, peers connected, queue depth, last-frame age, uptime) over
+//! plain HTTP/1.1. The endpoint is up from process start — before any
+//! driver connects — and a `--listen` daemon keeps serving driver
+//! sessions in a loop with the metrics registry persisting across
+//! them, so the same long-lived cluster can be health-checked and
+//! scraped before, during, and after each run.
 
 fn main() {
     navp_mm::register_net();
-    let mode = match navp_net::parse_pe_args(std::env::args().skip(1)) {
-        Ok(m) => m,
+    let args = match navp_net::parse_pe_args(std::env::args().skip(1)) {
+        Ok(a) => a,
         Err(usage) => {
             eprintln!("navp-pe: {usage}");
-            eprintln!("usage: navp-pe --connect <driver-host:port> | --listen <bind-host:port>");
             std::process::exit(2);
         }
     };
-    if let Err(e) = navp_net::pe_main(mode) {
+    let opts = navp_net::PeOptions {
+        metrics_addr: args.metrics_addr,
+    };
+    if let Err(e) = navp_net::pe_main(args.mode, opts) {
         eprintln!("navp-pe: {e}");
         std::process::exit(1);
     }

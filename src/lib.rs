@@ -19,9 +19,13 @@
 //! * [`navp_trace`] — wall-clock tracing for the real executors:
 //!   per-PE ring recorders, clock-offset merge, Chrome/Perfetto export,
 //!   and derived [`TraceReport`](navp_trace::TraceReport) metrics.
+//! * [`navp_metrics`] — live metrics: lock-free counters/gauges/
+//!   histograms, Prometheus text exposition, cluster-wide snapshots,
+//!   and the `/metrics` + `/healthz` HTTP responder `navp-pe` serves.
 
 pub use navp;
 pub use navp_matrix;
+pub use navp_metrics;
 pub use navp_mm;
 pub use navp_mp;
 pub use navp_net;
