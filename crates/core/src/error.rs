@@ -63,6 +63,13 @@ pub enum RunError {
         /// Human-readable cause (EOF, socket error, exit status…).
         detail: String,
     },
+    /// A PE process of a distributed executor was asked to stop
+    /// (SIGTERM/SIGINT) and shut down cleanly after flushing its
+    /// durable checkpoint state — deliberate termination, not a crash.
+    PeStopped {
+        /// The PE that stopped.
+        pe: usize,
+    },
     /// A messenger or store value cannot cross a process boundary: it has
     /// no [`wire_snapshot`](crate::Messenger::wire_snapshot) or no
     /// registered value codec.
@@ -113,6 +120,11 @@ impl fmt::Display for RunError {
             RunError::PeerDisconnected { pe, detail } => {
                 write!(f, "PE {pe} disconnected mid-run: {detail}")
             }
+            RunError::PeStopped { pe } => write!(
+                f,
+                "PE {pe} was terminated (SIGTERM/SIGINT) and stopped cleanly; \
+                 restore the run from its durable checkpoint directory"
+            ),
             RunError::NotSerializable { agent } => {
                 write!(
                     f,
@@ -168,6 +180,9 @@ mod tests {
         };
         assert!(e.to_string().contains("PE 2"));
         assert!(e.to_string().contains("unexpected EOF"));
+        let e = RunError::PeStopped { pe: 1 };
+        assert!(e.to_string().contains("PE 1"));
+        assert!(e.to_string().contains("stopped cleanly"));
         let e = RunError::NotSerializable {
             agent: "PingPong".into(),
         };

@@ -55,7 +55,9 @@ pub struct HopFaultRule {
 /// Silently swallow the `nth` event signal (1-based) emitted on PE
 /// `pe`. Fires once. Lost signals are *not* recoverable — they model
 /// the bug class the paper's counting events are designed to surface —
-/// so [`FaultPlan::seeded`] never generates them.
+/// so [`FaultPlan::seeded`] generates them only rarely and the
+/// fault-space explorer classifies the resulting deadlock/stall as the
+/// *expected* outcome rather than a parity violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LostSignalRule {
     /// The PE whose emitted signals are counted.
@@ -168,43 +170,218 @@ impl FaultPlan {
         self
     }
 
-    /// A seeded plan of *recoverable* faults for a `pes`-PE cluster: one
-    /// PE crash plus a couple of hop delays/drops, all placed
-    /// deterministically from `seed`. Never generates lost signals
-    /// (those are unrecoverable by design).
+    /// A seeded plan covering all four fault kinds for a `pes`-PE
+    /// cluster, placed deterministically from `seed`.
+    ///
+    /// Each kind draws from its own [`SplitMix64::split`] stream, so
+    /// extending one kind's sampling never perturbs the others' plans
+    /// for existing seeds. Every plan carries at least one crash and at
+    /// least one hop fault (delays and drops both appear across the
+    /// seed space); about one seed in eight also loses a signal —
+    /// unrecoverable by design, which the fault-space explorer treats
+    /// as an *expected* deadlock/stall rather than a parity violation.
     pub fn seeded(seed: u64, pes: usize) -> FaultPlan {
-        let mut rng = SplitMix64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::new();
         if pes == 0 {
             return plan;
         }
-        let crash_pe = (rng.next_u64() as usize) % pes;
-        let crash_run = 1 + rng.next_u64() % 8;
-        plan = plan.crash_pe(crash_pe, crash_run);
-        for _ in 0..2 {
-            let dst = (rng.next_u64() as usize) % pes;
-            let nth = 1 + rng.next_u64() % 6;
-            if rng.next_u64().is_multiple_of(2) {
-                let seconds = 0.001 + (rng.next_u64() % 1000) as f64 * 1e-5;
+        let mut crash_rng = rng.split();
+        let mut hop_rng = rng.split();
+        let mut signal_rng = rng.split();
+        let crashes = 1 + crash_rng.next_u64() % 2;
+        for _ in 0..crashes {
+            let pe = (crash_rng.next_u64() as usize) % pes;
+            let run = 1 + crash_rng.next_u64() % 8;
+            plan = plan.crash_pe(pe, run);
+        }
+        let hops = 1 + hop_rng.next_u64() % 3;
+        for _ in 0..hops {
+            let dst = (hop_rng.next_u64() as usize) % pes;
+            let nth = 1 + hop_rng.next_u64() % 6;
+            if hop_rng.next_u64().is_multiple_of(2) {
+                let seconds = 0.001 + (hop_rng.next_u64() % 1000) as f64 * 1e-5;
                 plan = plan.delay_hop(dst, nth, seconds);
             } else {
                 plan = plan.drop_hop(dst, nth);
             }
         }
+        if signal_rng.next_u64().is_multiple_of(8) {
+            let pe = (signal_rng.next_u64() as usize) % pes;
+            let nth = 1 + signal_rng.next_u64() % 4;
+            plan = plan.lose_signal(pe, nth);
+        }
         plan
+    }
+
+    /// `true` when every fault in the plan is recoverable under
+    /// checkpointing: no lost signals (those deadlock a waiter by
+    /// design) and checkpointing itself is on.
+    pub fn is_recoverable(&self) -> bool {
+        self.checkpointing && self.lost_signals.is_empty()
+    }
+
+    /// Render the plan as the line-oriented `navpfault` text format
+    /// shared by repro files and `NAVP_FAULT_SPEC` env injection.
+    /// [`FaultPlan::parse_spec`] inverts this exactly (f64 fields use
+    /// Rust's shortest round-trip formatting).
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        for c in &self.crashes {
+            out.push_str(&format!("crash pe={} run={}\n", c.pe, c.at_run));
+        }
+        for h in &self.hop_faults {
+            match h.fault {
+                HopFault::Delay { seconds } => out.push_str(&format!(
+                    "delay pe={} arrival={} seconds={}\n",
+                    h.dst, h.nth, seconds
+                )),
+                HopFault::Drop => {
+                    out.push_str(&format!("drop pe={} arrival={}\n", h.dst, h.nth))
+                }
+            }
+        }
+        for s in &self.lost_signals {
+            out.push_str(&format!("lose-signal pe={} signal={}\n", s.pe, s.nth));
+        }
+        if !self.checkpointing {
+            out.push_str("checkpointing off\n");
+        }
+        let d = FaultPlan::default();
+        if self.max_send_retries != d.max_send_retries || self.retry_backoff != d.retry_backoff {
+            out.push_str(&format!(
+                "retry max={} backoff-ms={}\n",
+                self.max_send_retries,
+                self.retry_backoff.as_millis()
+            ));
+        }
+        if self.recovery_seconds != d.recovery_seconds {
+            out.push_str(&format!("recovery-seconds {}\n", self.recovery_seconds));
+        }
+        out
+    }
+
+    /// Parse the `navpfault` text format produced by
+    /// [`FaultPlan::to_spec`]. Blank lines and `#` comments are
+    /// ignored; any other unrecognized line is a descriptive error.
+    pub fn parse_spec(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            let mut words = line.split_whitespace();
+            let verb = words.next().expect("non-empty line has a first word");
+            let rest: Vec<&str> = words.collect();
+            match verb {
+                "crash" => {
+                    let pe = field_u64(&rest, "pe").ok_or_else(|| err("crash needs pe=N"))?;
+                    let run = field_u64(&rest, "run").ok_or_else(|| err("crash needs run=N"))?;
+                    plan = plan.crash_pe(pe as usize, run);
+                }
+                "delay" => {
+                    let pe = field_u64(&rest, "pe").ok_or_else(|| err("delay needs pe=N"))?;
+                    let nth =
+                        field_u64(&rest, "arrival").ok_or_else(|| err("delay needs arrival=N"))?;
+                    let secs =
+                        field_f64(&rest, "seconds").ok_or_else(|| err("delay needs seconds=F"))?;
+                    plan = plan.delay_hop(pe as usize, nth, secs);
+                }
+                "drop" => {
+                    let pe = field_u64(&rest, "pe").ok_or_else(|| err("drop needs pe=N"))?;
+                    let nth =
+                        field_u64(&rest, "arrival").ok_or_else(|| err("drop needs arrival=N"))?;
+                    plan = plan.drop_hop(pe as usize, nth);
+                }
+                "lose-signal" => {
+                    let pe = field_u64(&rest, "pe").ok_or_else(|| err("lose-signal needs pe=N"))?;
+                    let nth = field_u64(&rest, "signal")
+                        .ok_or_else(|| err("lose-signal needs signal=N"))?;
+                    plan = plan.lose_signal(pe as usize, nth);
+                }
+                "checkpointing" => match rest.as_slice() {
+                    ["off"] => plan = plan.without_checkpointing(),
+                    ["on"] => plan.checkpointing = true,
+                    _ => return Err(err("checkpointing takes `on` or `off`")),
+                },
+                "retry" => {
+                    let max = field_u64(&rest, "max").ok_or_else(|| err("retry needs max=N"))?;
+                    let backoff = field_u64(&rest, "backoff-ms")
+                        .ok_or_else(|| err("retry needs backoff-ms=N"))?;
+                    plan = plan.with_retry(max as u32, Duration::from_millis(backoff));
+                }
+                "recovery-seconds" => {
+                    let secs: f64 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("recovery-seconds takes one float"))?;
+                    plan = plan.with_recovery_seconds(secs);
+                }
+                _ => return Err(err("unknown fault verb")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Read a plan from the `NAVP_FAULT_SPEC` environment variable, if
+    /// set. `Ok(None)` means the variable is unset (no injection); a
+    /// malformed spec is a descriptive `Err`.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(FAULT_SPEC_ENV) {
+            Ok(text) => FaultPlan::parse_spec(&text).map(Some),
+            Err(_) => Ok(None),
+        }
     }
 }
 
-/// SplitMix64 — local deterministic generator for [`FaultPlan::seeded`].
-struct SplitMix64(u64);
+/// Environment variable holding a `navpfault` spec ([`FaultPlan::parse_spec`])
+/// to inject into a run without touching code.
+pub const FAULT_SPEC_ENV: &str = "NAVP_FAULT_SPEC";
+
+fn field_u64(words: &[&str], key: &str) -> Option<u64> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key)?.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+}
+
+fn field_f64(words: &[&str], key: &str) -> Option<f64> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key)?.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+}
+
+/// SplitMix64 — the deterministic generator behind [`FaultPlan::seeded`]
+/// and the fault-space explorer ([`crate::explore`]).
+///
+/// Splittable: [`SplitMix64::split`] derives an independent child
+/// stream, so each fault kind (and each explored schedule) gets its own
+/// stream and sampling one never perturbs the others.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
 
 impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    /// Derive an independent child generator (one draw from this
+    /// stream becomes the child's seed).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64(self.next_u64())
     }
 }
 
@@ -377,17 +554,118 @@ mod tests {
     }
 
     #[test]
-    fn seeded_plans_are_deterministic_and_recoverable() {
+    fn seeded_plans_are_deterministic_and_in_range() {
         let a = FaultPlan::seeded(42, 4);
         let b = FaultPlan::seeded(42, 4);
         assert_eq!(a, b);
         assert!(!a.is_empty());
-        assert!(a.lost_signals.is_empty(), "seeded plans stay recoverable");
         assert!(a.checkpointing);
         assert!(a.crashes.iter().all(|c| c.pe < 4));
+        assert!(a.hop_faults.iter().all(|h| h.dst < 4));
+        assert!(a.lost_signals.iter().all(|s| s.pe < 4));
         let c = FaultPlan::seeded(43, 4);
         assert_ne!(a, c, "different seeds give different plans");
         assert!(FaultPlan::seeded(7, 0).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_cover_all_four_fault_kinds() {
+        let (mut delays, mut drops, mut losses, mut recoverable) = (0, 0, 0, 0);
+        for seed in 0..256u64 {
+            let p = FaultPlan::seeded(seed, 4);
+            assert!(!p.crashes.is_empty(), "every seeded plan crashes something");
+            assert!(!p.hop_faults.is_empty(), "every seeded plan faults a hop");
+            for h in &p.hop_faults {
+                match h.fault {
+                    HopFault::Delay { seconds } => {
+                        assert!(seconds > 0.0);
+                        delays += 1;
+                    }
+                    HopFault::Drop => drops += 1,
+                }
+            }
+            losses += p.lost_signals.len();
+            recoverable += p.is_recoverable() as usize;
+        }
+        assert!(delays > 0, "delayed hops must appear in the seed space");
+        assert!(drops > 0, "dropped hops must appear in the seed space");
+        assert!(losses > 0, "lost signals must appear in the seed space");
+        assert!(
+            recoverable > 128,
+            "most seeded plans stay recoverable ({recoverable}/256)"
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_every_rule_kind() {
+        let plan = FaultPlan::new()
+            .crash_pe(1, 3)
+            .delay_hop(2, 5, 0.00125)
+            .drop_hop(0, 1)
+            .lose_signal(3, 2)
+            .with_retry(7, Duration::from_millis(25))
+            .with_recovery_seconds(1.5)
+            .without_checkpointing();
+        let spec = plan.to_spec();
+        let back = FaultPlan::parse_spec(&spec).expect("own spec parses");
+        assert_eq!(back, plan, "spec:\n{spec}");
+    }
+
+    #[test]
+    fn spec_round_trips_seeded_plans_bitwise() {
+        // Property: for any seeded plan, to_spec ∘ parse_spec is the
+        // identity — including exact f64 delay values (Rust's shortest
+        // round-trip float formatting).
+        for seed in 0..512u64 {
+            for pes in 1..5usize {
+                let plan = FaultPlan::seeded(seed, pes);
+                let back = FaultPlan::parse_spec(&plan.to_spec())
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                assert_eq!(back, plan, "seed {seed} pes {pes}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_ignores_comments_and_rejects_junk() {
+        let plan = FaultPlan::parse_spec(
+            "# repro header\n\n  crash pe=0 run=1  \n# trailing note\n",
+        )
+        .expect("comments and blanks are fine");
+        assert_eq!(plan.crashes, vec![CrashRule { pe: 0, at_run: 1 }]);
+
+        for bad in [
+            "crash pe=0",                  // missing run
+            "delay pe=0 arrival=1",        // missing seconds
+            "warp pe=0 run=1",             // unknown verb
+            "checkpointing maybe",         // bad flag
+            "retry max=x backoff-ms=1",    // unparsable number
+            "recovery-seconds",            // missing value
+        ] {
+            let err = FaultPlan::parse_spec(bad).expect_err(bad);
+            assert!(err.starts_with("line 1:"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn default_plan_spec_is_empty_and_parses_back() {
+        let spec = FaultPlan::new().to_spec();
+        assert!(spec.is_empty(), "defaults are elided: {spec:?}");
+        assert_eq!(FaultPlan::parse_spec(&spec).unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn splitmix_streams_are_independent() {
+        let mut a = SplitMix64::new(9);
+        let mut b = a.split();
+        let mut c = a.split();
+        assert_ne!(b.next_u64(), c.next_u64(), "children diverge");
+        let mut a2 = SplitMix64::new(9);
+        let mut b2 = a2.split();
+        assert_eq!(b2.next_u64(), {
+            let mut b3 = SplitMix64::new(9).split();
+            b3.next_u64()
+        });
     }
 
     #[test]

@@ -56,7 +56,9 @@
 
 pub mod agent;
 pub mod cluster;
+pub mod durable;
 pub mod error;
+pub mod explore;
 pub mod fault;
 pub mod recovery;
 pub mod script;
@@ -67,7 +69,7 @@ pub mod transform;
 pub use agent::{Effect, Messenger, MsgrCtx, StepOutputs, WireSnapshot};
 pub use cluster::Cluster;
 pub use error::RunError;
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultPlan, FaultStats, SplitMix64, FAULT_SPEC_ENV};
 pub use navp_sim::key::{EventKey, Key, NodeId, VarKey};
 pub use sim_exec::{SimExecutor, SimReport};
 pub use navp_sim::store::NodeStore;

@@ -174,6 +174,21 @@ impl CheckpointTable {
         }
     }
 
+    /// Visit every live checkpoint in ascending id order (deterministic
+    /// spill order for the durable on-disk format): `(id, pe, label,
+    /// snapshot)`. The snapshot is `None` for messenger types without
+    /// snapshot support — the durable layer must reject those.
+    pub fn iter_ordered(
+        &self,
+    ) -> impl Iterator<Item = (u64, usize, &str, Option<&dyn Messenger>)> + '_ {
+        let mut ids: Vec<u64> = self.map.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(move |id| {
+            let c = &self.map[&id];
+            (id, c.pe, c.label.as_str(), c.snap.as_deref())
+        })
+    }
+
     /// Remove and return every checkpoint owned by crashed PE `pe`, in
     /// ascending id order (deterministic re-delivery).
     pub fn drain_pe(&mut self, pe: usize) -> Vec<RestoredCheckpoint> {

@@ -20,8 +20,9 @@
 
 use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
 use crate::cluster::{Cluster, ClusterParts};
+use crate::durable::{self, DurableCodec, DurableError, Manifest, ParkedWaiter};
 use crate::error::RunError;
-use crate::fault::{FaultStats, FaultTracker, HopFault};
+use crate::fault::{FaultPlan, FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
 use navp_metrics::RunMetrics;
 use navp_sim::key::{EventKey, NodeId};
@@ -31,6 +32,7 @@ use navp_sim::trace::{Trace, TraceEvent, TraceKind};
 use navp_sim::{CostModel, EventQueue, PeResources, VTime};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Fixed per-hop state overhead in bytes (thread control block, program
@@ -99,11 +101,94 @@ impl std::fmt::Debug for SimReport {
     }
 }
 
+/// Durable-spill state: target directory, codec, session nonce and the
+/// monotone boundary counter stamped into each cut.
+struct DurableSpill {
+    dir: PathBuf,
+    codec: Arc<dyn DurableCodec>,
+    nonce: u64,
+    boundary: u64,
+}
+
+fn durable_run_err(e: DurableError) -> RunError {
+    RunError::Transport {
+        detail: e.to_string(),
+    }
+}
+
+/// Spill the whole cluster's consistent cut (committed stores, live
+/// checkpoints, event service) to the durable directory. Called only at
+/// run boundaries, where the recovery invariants guarantee consistency.
+fn spill_all(
+    ds: &mut DurableSpill,
+    fm: &FaultMachinery,
+    num_nodes: usize,
+    events: &HashMap<EventKey, EventState>,
+    agents: &[AgentSlot],
+    metrics: Option<&RunMetrics>,
+) -> Result<(), RunError> {
+    ds.boundary += 1;
+    // Event counts and parked waiters all go into PE 0's cut: restore
+    // replays every cut's event section regardless of which PE it rode
+    // in, and each waiter records its own origin PE.
+    let mut waiters = Vec::new();
+    let mut counts = Vec::new();
+    let mut keys: Vec<&EventKey> = events.keys().collect();
+    keys.sort();
+    for key in keys {
+        let st = &events[key];
+        if st.count > 0 {
+            counts.push((*key, st.count));
+        }
+        for &(aid, _) in &st.waiters {
+            let m = agents[aid].msgr.as_ref().ok_or_else(|| RunError::Transport {
+                detail: format!("parked agent {} has no messenger", agents[aid].label),
+            })?;
+            let snap = m.wire_snapshot().ok_or_else(|| RunError::NotSerializable {
+                agent: agents[aid].label.clone(),
+            })?;
+            waiters.push(ParkedWaiter {
+                id: aid as u64,
+                origin: agents[aid].pe as u32,
+                key: *key,
+                snap,
+            });
+        }
+    }
+    for pe in 0..num_nodes {
+        let store = durable::committed_store(&fm.initial[pe], &fm.journals[pe]);
+        let (w, c) = if pe == 0 {
+            (std::mem::take(&mut waiters), std::mem::take(&mut counts))
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let cut = durable::build_cut(
+            pe,
+            num_nodes,
+            ds.nonce,
+            ds.boundary,
+            &store,
+            &fm.ckpt,
+            w,
+            c,
+            ds.codec.as_ref(),
+        )
+        .map_err(durable_run_err)?;
+        let bytes = durable::write_cut(&ds.dir, &cut).map_err(durable_run_err)?;
+        if let Some(mx) = metrics {
+            mx.durable_flushes.inc();
+            mx.durable_bytes.add(bytes);
+        }
+    }
+    Ok(())
+}
+
 /// Deterministic discrete-event executor for NavP programs.
 pub struct SimExecutor {
     cost: CostModel,
     tracing: bool,
     metrics: Option<Arc<RunMetrics>>,
+    durable: Option<(PathBuf, Arc<dyn DurableCodec>)>,
 }
 
 impl SimExecutor {
@@ -113,7 +198,26 @@ impl SimExecutor {
             cost,
             tracing: false,
             metrics: None,
+            durable: None,
         }
+    }
+
+    /// Spill a durable checkpoint of the whole cluster to `dir` at every
+    /// run boundary (and once before the first run), so the process can
+    /// be killed at any point and the computation restored bitwise with
+    /// [`crate::durable::read_all_cuts`] + [`crate::durable::restore_cluster`].
+    ///
+    /// Requires every messenger to be wire-serializable
+    /// ([`Messenger::wire_snapshot`]); otherwise the run fails with
+    /// [`RunError::NotSerializable`]. Without this builder the executor
+    /// performs **zero** filesystem syscalls.
+    pub fn with_durable(
+        mut self,
+        dir: impl Into<PathBuf>,
+        codec: Arc<dyn DurableCodec>,
+    ) -> SimExecutor {
+        self.durable = Some((dir.into(), codec));
+        self
     }
 
     /// Enable full tracing (needed for space-time diagrams; costs memory
@@ -159,7 +263,20 @@ impl SimExecutor {
             Trace::disabled()
         };
 
-        let mut fm = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+        // A cluster without an explicit plan accepts one from the
+        // `NAVP_FAULT_SPEC` environment (repro files paste in verbatim);
+        // a malformed spec is a loud error, not a silently clean run.
+        let fault_plan = match fault_plan {
+            Some(p) => Some(p),
+            None => FaultPlan::from_env().map_err(|detail| RunError::Transport { detail })?,
+        };
+        // Durable mode needs the journal/checkpoint machinery even
+        // under an empty fault plan: the cut it spills *is* that state.
+        let fault_plan = match fault_plan.filter(|p| !p.is_empty()) {
+            None if self.durable.is_some() => Some(FaultPlan::new()),
+            other => other,
+        };
+        let mut fm = fault_plan.map(|plan| {
             // Snapshot the pristine stores before write tracking starts:
             // a crashed PE's store is rebuilt from this plus its journal.
             // Copy-on-write makes this a reference bump per entry.
@@ -206,6 +323,29 @@ impl SimExecutor {
             queue.schedule(VTime::ZERO, (agents.len() - 1, 0));
             live += 1;
         }
+
+        let mut ds = match &self.durable {
+            Some((dir, codec)) => {
+                let nonce = durable::fresh_nonce();
+                durable::write_manifest(dir, &Manifest {
+                    pes: num_nodes,
+                    nonce,
+                })
+                .map_err(durable_run_err)?;
+                let mut ds = DurableSpill {
+                    dir: dir.clone(),
+                    codec: Arc::clone(codec),
+                    nonce,
+                    boundary: 0,
+                };
+                // Boundary 0: the injected-but-unrun cluster, so even a
+                // kill before the first run restores cleanly.
+                let fm = fm.as_ref().expect("durable mode forces fault machinery");
+                spill_all(&mut ds, fm, num_nodes, &events, &agents, metrics)?;
+                Some(ds)
+            }
+            None => None,
+        };
 
         let mut out = StepOutputs::default();
         let mut makespan = VTime::ZERO;
@@ -517,6 +657,9 @@ impl SimExecutor {
                 fm.journals[pe].commit_dirty(&mut stores[pe]);
                 if let Some(mx) = metrics {
                     mx.journal_commits.inc();
+                }
+                if let Some(ds) = &mut ds {
+                    spill_all(ds, fm, num_nodes, &events, &agents, metrics)?;
                 }
             }
         }
@@ -982,6 +1125,144 @@ mod tests {
         assert_eq!(snap.total("navp_steps_total") as u64, rep.steps);
         assert_eq!(snap.total("navp_injections_total") as u64, 1);
         navp_metrics::validate_prometheus(&m.registry.render()).expect("valid");
+    }
+
+    /// Wire-serializable ping-pong for the durable tests (the plain
+    /// [`PingPong`] has snapshots but no wire form).
+    #[derive(Clone)]
+    struct WirePingPong {
+        hops_left: usize,
+    }
+    impl Messenger for WirePingPong {
+        fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+            let k = Key::plain("count");
+            let cur = ctx.store_ref().get::<u64>(k).copied().unwrap_or(0);
+            ctx.store().insert(k, cur + 1, 8);
+            if self.hops_left == 0 {
+                return Effect::Done;
+            }
+            self.hops_left -= 1;
+            Effect::Hop((ctx.here() + 1) % ctx.num_nodes())
+        }
+        fn label(&self) -> String {
+            "wirepingpong".to_string()
+        }
+        fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+            Some(Box::new(self.clone()))
+        }
+        fn wire_snapshot(&self) -> Option<crate::agent::WireSnapshot> {
+            let mut w = navp_sim::codec::WireWriter::new();
+            w.put_usize(self.hops_left);
+            Some(crate::agent::WireSnapshot::new("test.wpp", w.into_vec()))
+        }
+    }
+
+    /// Minimal durable codec for stores whose values are all `u64`.
+    struct ToyCodec;
+    impl DurableCodec for ToyCodec {
+        fn encode_store(&self, store: &NodeStore) -> Result<Vec<u8>, String> {
+            let mut keys: Vec<Key> = store.keys().copied().collect();
+            keys.sort();
+            let mut w = navp_sim::codec::WireWriter::new();
+            for k in keys {
+                let v = store
+                    .get::<u64>(k)
+                    .ok_or_else(|| format!("{k} is not a u64"))?;
+                w.put_key(&k);
+                w.put_u64(*v);
+            }
+            Ok(w.into_vec())
+        }
+        fn decode_store(&self, bytes: &[u8]) -> Result<NodeStore, String> {
+            let mut r = navp_sim::codec::WireReader::new(bytes);
+            let mut s = NodeStore::new();
+            while r.remaining() > 0 {
+                let k = r.get_key().map_err(|e| e.to_string())?;
+                let v = r.get_u64().map_err(|e| e.to_string())?;
+                s.insert(k, v, 8);
+            }
+            Ok(s)
+        }
+        fn decode_messenger(
+            &self,
+            snap: &crate::agent::WireSnapshot,
+        ) -> Result<Box<dyn Messenger>, String> {
+            match snap.tag.as_str() {
+                "test.wpp" => {
+                    let mut r = navp_sim::codec::WireReader::new(&snap.bytes);
+                    Ok(Box::new(WirePingPong {
+                        hops_left: r.get_usize().map_err(|e| e.to_string())?,
+                    }))
+                }
+                other => Err(format!("unknown messenger tag {other:?}")),
+            }
+        }
+    }
+
+    fn wire_cluster() -> Cluster {
+        let mut c = Cluster::new(2).unwrap();
+        c.inject(0, WirePingPong { hops_left: 6 });
+        c
+    }
+
+    #[test]
+    fn durable_spill_restores_finished_run() {
+        let dir = std::env::temp_dir().join(format!("navp-sim-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let clean = SimExecutor::new(cost()).run(wire_cluster()).unwrap();
+        let rep = SimExecutor::new(cost())
+            .with_durable(&dir, Arc::new(ToyCodec))
+            .run(wire_cluster())
+            .unwrap();
+        assert_eq!(counts(&rep), counts(&clean), "durable mode must not change results");
+
+        let (_, cuts) = crate::durable::read_all_cuts(&dir).unwrap();
+        let restored = crate::durable::restore_cluster(&cuts, &ToyCodec).unwrap();
+        let rep2 = SimExecutor::new(cost()).run(restored).unwrap();
+        assert_eq!(counts(&rep2), counts(&clean), "restored final cut is the final state");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_restore_completes_a_killed_run_bitwise() {
+        use crate::fault::FaultPlan;
+        let dir = std::env::temp_dir().join(format!("navp-sim-killed-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let clean = SimExecutor::new(cost()).run(wire_cluster()).unwrap();
+
+        // Checkpointing off: the injected crash aborts the whole run
+        // mid-computation, the closest in-process analogue of kill -9.
+        let c = wire_cluster()
+            .with_fault_plan(FaultPlan::new().crash_pe(1, 2).without_checkpointing());
+        let err = SimExecutor::new(cost())
+            .with_durable(&dir, Arc::new(ToyCodec))
+            .run(c)
+            .unwrap_err();
+        assert!(matches!(err, RunError::PeCrashed { pe: 1, .. }), "{err}");
+
+        // The durable directory holds the last committed boundary;
+        // restoring and finishing must reproduce the clean result.
+        let (_, cuts) = crate::durable::read_all_cuts(&dir).unwrap();
+        let restored = crate::durable::restore_cluster(&cuts, &ToyCodec).unwrap();
+        let rep = SimExecutor::new(cost()).run(restored).unwrap();
+        assert_eq!(counts(&rep), counts(&clean), "restore must be exact");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_metrics_count_flushes() {
+        let dir = std::env::temp_dir().join(format!("navp-sim-dmx-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let m = RunMetrics::new(2);
+        SimExecutor::new(cost())
+            .with_durable(&dir, Arc::new(ToyCodec))
+            .with_metrics(Arc::clone(&m))
+            .run(wire_cluster())
+            .unwrap();
+        let snap = m.snapshot();
+        assert!(snap.total("navp_durable_flushes_total") > 0.0);
+        assert!(snap.total("navp_durable_bytes_total") > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

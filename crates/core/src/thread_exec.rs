@@ -35,8 +35,9 @@
 
 use crate::agent::{Effect, Messenger, MsgrCtx, StepOutputs};
 use crate::cluster::{Cluster, ClusterParts};
+use crate::durable::{self, DurableCodec, Manifest, ParkedWaiter};
 use crate::error::RunError;
-use crate::fault::{FaultStats, FaultTracker, HopFault};
+use crate::fault::{FaultPlan, FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
 use crate::sim_exec::HOP_STATE_BYTES;
 use navp_metrics::RunMetrics;
@@ -44,6 +45,7 @@ use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_trace::recorder::DEFAULT_CAPACITY;
 use navp_trace::{merge_pe_traces, PeLog, PeRecorder, Trace, TraceEvent, TraceKind};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -98,6 +100,88 @@ struct Recovery {
     stats: FaultStats,
 }
 
+/// Durable-spill sink shared by all daemons: the directory, codec,
+/// session nonce and monotone boundary counter. Locked *after* the
+/// recovery lock (recovery → durable → events is the global order).
+struct DurableSink {
+    dir: PathBuf,
+    codec: Arc<dyn DurableCodec>,
+    nonce: u64,
+    boundary: u64,
+}
+
+/// Spill the whole cluster's consistent cut under the recovery lock.
+/// Every PE's committed store is `initial + journal`, every live
+/// messenger sits in the checkpoint table, and the event service holds
+/// the parked waiters — the same invariants in-memory crash recovery
+/// relies on, so the cut is consistent even while other daemons are
+/// mid-run (their uncommitted writes simply aren't in it yet).
+fn spill_threads(
+    sink: &mut DurableSink,
+    r: &Recovery,
+    pes: usize,
+    events: &Mutex<HashMap<EventKey, EventState>>,
+    metrics: Option<&RunMetrics>,
+) -> Result<(), RunError> {
+    sink.boundary += 1;
+    let mut waiters = Vec::new();
+    let mut counts = Vec::new();
+    {
+        let ev = events.lock().unwrap();
+        let mut keys: Vec<&EventKey> = ev.keys().collect();
+        keys.sort();
+        for key in keys {
+            let st = &ev[key];
+            if st.count > 0 {
+                counts.push((*key, st.count));
+            }
+            for (id, msgr, origin, _) in &st.waiters {
+                let snap = msgr
+                    .wire_snapshot()
+                    .ok_or_else(|| RunError::NotSerializable {
+                        agent: msgr.label(),
+                    })?;
+                waiters.push(ParkedWaiter {
+                    id: *id,
+                    origin: *origin as u32,
+                    key: *key,
+                    snap,
+                });
+            }
+        }
+    }
+    for pe in 0..pes {
+        let store = durable::committed_store(&r.initial[pe], &r.journals[pe]);
+        let (w, c) = if pe == 0 {
+            (std::mem::take(&mut waiters), std::mem::take(&mut counts))
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let cut = durable::build_cut(
+            pe,
+            pes,
+            sink.nonce,
+            sink.boundary,
+            &store,
+            &r.ckpt,
+            w,
+            c,
+            sink.codec.as_ref(),
+        )
+        .map_err(|e| RunError::Transport {
+            detail: e.to_string(),
+        })?;
+        let bytes = durable::write_cut(&sink.dir, &cut).map_err(|e| RunError::Transport {
+            detail: e.to_string(),
+        })?;
+        if let Some(m) = metrics {
+            m.durable_flushes.inc();
+            m.durable_bytes.add(bytes);
+        }
+    }
+    Ok(())
+}
+
 struct Shared {
     chans: Vec<Sender<DaemonMsg>>,
     live: AtomicUsize,
@@ -111,6 +195,9 @@ struct Shared {
     events: Mutex<HashMap<EventKey, EventState>>,
     failure: Mutex<Option<RunError>>,
     recovery: Option<Mutex<Recovery>>,
+    /// Durable checkpoint sink, `None` unless requested — durable-off
+    /// runs perform zero filesystem syscalls.
+    durable: Option<Mutex<DurableSink>>,
     /// Wall tracing on? All daemons anchor their recorders at `anchor`,
     /// so per-PE timestamps are directly comparable (offsets are zero).
     trace: bool,
@@ -316,6 +403,7 @@ pub struct ThreadExecutor {
     watchdog: Duration,
     trace: bool,
     metrics: Option<Arc<RunMetrics>>,
+    durable: Option<(PathBuf, Arc<dyn DurableCodec>)>,
 }
 
 impl Default for ThreadExecutor {
@@ -331,7 +419,24 @@ impl ThreadExecutor {
             watchdog: Duration::from_secs(10),
             trace: false,
             metrics: None,
+            durable: None,
         }
+    }
+
+    /// Spill a durable checkpoint of the whole cluster to `dir` at every
+    /// run boundary (and once before the daemons start), so the process
+    /// can be killed at any point and the computation restored bitwise
+    /// with [`crate::durable::read_all_cuts`] +
+    /// [`crate::durable::restore_cluster`]. Requires every messenger to
+    /// be wire-serializable. Without this builder the executor performs
+    /// **zero** filesystem syscalls.
+    pub fn with_durable(
+        mut self,
+        dir: impl Into<PathBuf>,
+        codec: Arc<dyn DurableCodec>,
+    ) -> ThreadExecutor {
+        self.durable = Some((dir.into(), codec));
+        self
     }
 
     /// Override the no-progress watchdog (tests of deadlocking programs
@@ -392,7 +497,20 @@ impl ThreadExecutor {
             });
         }
 
-        let recovery = fault_plan.filter(|p| !p.is_empty()).map(|plan| {
+        // A cluster without an explicit plan accepts one from the
+        // `NAVP_FAULT_SPEC` environment (repro files paste in verbatim);
+        // a malformed spec is a loud error, not a silently clean run.
+        let fault_plan = match fault_plan {
+            Some(p) => Some(p),
+            None => FaultPlan::from_env().map_err(|detail| RunError::Transport { detail })?,
+        };
+        // Durable mode needs the journal/checkpoint machinery even
+        // under an empty fault plan: the cut it spills *is* that state.
+        let fault_plan = match fault_plan.filter(|p| !p.is_empty()) {
+            None if self.durable.is_some() => Some(FaultPlan::new()),
+            other => other,
+        };
+        let recovery = fault_plan.map(|plan| {
             // Pristine pre-run image for crash rebuilds. The store is
             // copy-on-write, so this is a per-entry reference bump, not a
             // deep copy — payloads are only duplicated if a run later
@@ -429,6 +547,23 @@ impl ThreadExecutor {
             events: Mutex::new(HashMap::new()),
             failure: Mutex::new(None),
             recovery,
+            durable: match &self.durable {
+                Some((dir, codec)) => {
+                    let nonce = durable::fresh_nonce();
+                    durable::write_manifest(dir, &Manifest { pes, nonce }).map_err(|e| {
+                        RunError::Transport {
+                            detail: e.to_string(),
+                        }
+                    })?;
+                    Some(Mutex::new(DurableSink {
+                        dir: dir.clone(),
+                        codec: Arc::clone(codec),
+                        nonce,
+                        boundary: 0,
+                    }))
+                }
+                None => None,
+            },
             trace: self.trace,
             anchor: Instant::now(),
             metrics: self.metrics.clone(),
@@ -457,6 +592,14 @@ impl ThreadExecutor {
                 msgr,
                 meta: None,
             });
+        }
+
+        // Boundary 0: the injected-but-unrun cluster, so even a kill
+        // before the first run restores cleanly.
+        if let (Some(rec), Some(ds)) = (&shared.recovery, &shared.durable) {
+            let r = rec.lock().unwrap();
+            let mut sink = ds.lock().unwrap();
+            spill_threads(&mut sink, &r, pes, &shared.events, shared.metrics.as_deref())?;
         }
 
         let start = Instant::now();
@@ -752,9 +895,26 @@ fn daemon(
         // Same-thread sequencing makes the commit atomic w.r.t. crashes
         // of this PE (they only fire at run boundaries, above).
         if let Some(rec) = &shared.recovery {
-            rec.lock().unwrap().journals[pe].commit_dirty(&mut store);
+            let mut r = rec.lock().unwrap();
+            r.journals[pe].commit_dirty(&mut store);
             if let Some(m) = &shared.metrics {
                 m.journal_commits.inc();
+            }
+            if let Some(ds) = &shared.durable {
+                let mut sink = ds.lock().unwrap();
+                let spilled = spill_threads(
+                    &mut sink,
+                    &r,
+                    r.journals.len(),
+                    &shared.events,
+                    shared.metrics.as_deref(),
+                );
+                drop(sink);
+                drop(r);
+                if let Err(err) = spilled {
+                    shared.fail(err);
+                    break;
+                }
             }
         }
     }
@@ -1305,6 +1465,105 @@ mod tests {
         );
         assert!(m.checkpoints.get() >= 1, "delivery points checkpointed");
         assert!(m.journal_commits.get() >= 1);
+    }
+
+    /// Wire-serializable ping-pong for the durable test.
+    #[derive(Clone)]
+    struct WirePingPong {
+        hops_left: usize,
+    }
+    impl Messenger for WirePingPong {
+        fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+            let k = Key::plain("count");
+            let cur = ctx.store_ref().get::<u64>(k).copied().unwrap_or(0);
+            ctx.store().insert(k, cur + 1, 8);
+            if self.hops_left == 0 {
+                return Effect::Done;
+            }
+            self.hops_left -= 1;
+            Effect::Hop((ctx.here() + 1) % ctx.num_nodes())
+        }
+        fn label(&self) -> String {
+            "wirepingpong".to_string()
+        }
+        fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+            Some(Box::new(self.clone()))
+        }
+        fn wire_snapshot(&self) -> Option<crate::agent::WireSnapshot> {
+            let mut w = navp_sim::codec::WireWriter::new();
+            w.put_usize(self.hops_left);
+            Some(crate::agent::WireSnapshot::new("test.wpp", w.into_vec()))
+        }
+    }
+
+    struct ToyCodec;
+    impl DurableCodec for ToyCodec {
+        fn encode_store(&self, store: &NodeStore) -> Result<Vec<u8>, String> {
+            let mut keys: Vec<Key> = store.keys().copied().collect();
+            keys.sort();
+            let mut w = navp_sim::codec::WireWriter::new();
+            for k in keys {
+                let v = store
+                    .get::<u64>(k)
+                    .ok_or_else(|| format!("{k} is not a u64"))?;
+                w.put_key(&k);
+                w.put_u64(*v);
+            }
+            Ok(w.into_vec())
+        }
+        fn decode_store(&self, bytes: &[u8]) -> Result<NodeStore, String> {
+            let mut r = navp_sim::codec::WireReader::new(bytes);
+            let mut s = NodeStore::new();
+            while r.remaining() > 0 {
+                let k = r.get_key().map_err(|e| e.to_string())?;
+                let v = r.get_u64().map_err(|e| e.to_string())?;
+                s.insert(k, v, 8);
+            }
+            Ok(s)
+        }
+        fn decode_messenger(
+            &self,
+            snap: &crate::agent::WireSnapshot,
+        ) -> Result<Box<dyn Messenger>, String> {
+            match snap.tag.as_str() {
+                "test.wpp" => {
+                    let mut r = navp_sim::codec::WireReader::new(&snap.bytes);
+                    Ok(Box::new(WirePingPong {
+                        hops_left: r.get_usize().map_err(|e| e.to_string())?,
+                    }))
+                }
+                other => Err(format!("unknown messenger tag {other:?}")),
+            }
+        }
+    }
+
+    #[test]
+    fn durable_restore_completes_an_aborted_run_bitwise() {
+        let dir = std::env::temp_dir().join(format!("navp-thr-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let build = || {
+            let mut c = Cluster::new(2).unwrap();
+            c.inject(0, WirePingPong { hops_left: 6 });
+            c
+        };
+        let clean = ThreadExecutor::new().run(build()).unwrap();
+
+        // Abort the durable run mid-computation (checkpointing off, so
+        // the injected crash kills the whole run — the in-process
+        // analogue of kill -9), then restore from disk and finish.
+        let c = build()
+            .with_fault_plan(FaultPlan::new().crash_pe(1, 2).without_checkpointing());
+        let err = ThreadExecutor::new()
+            .with_durable(&dir, Arc::new(ToyCodec))
+            .run(c)
+            .unwrap_err();
+        assert!(matches!(err, RunError::PeCrashed { pe: 1, .. }), "{err}");
+
+        let (_, cuts) = durable::read_all_cuts(&dir).unwrap();
+        let restored = durable::restore_cluster(&cuts, &ToyCodec).unwrap();
+        let rep = ThreadExecutor::new().run(restored).unwrap();
+        assert_eq!(counts(&rep), counts(&clean), "restore must be exact");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

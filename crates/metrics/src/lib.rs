@@ -535,6 +535,12 @@ pub struct RunMetrics {
     pub checkpoint_bytes: Arc<Counter>,
     /// Write-journal commit batches (`navp_journal_commits_total`).
     pub journal_commits: Arc<Counter>,
+    /// Durable checkpoint flushes — atomic cut files committed to disk
+    /// (`navp_durable_flushes_total`).
+    pub durable_flushes: Arc<Counter>,
+    /// Bytes written by durable checkpoint flushes, container overhead
+    /// included (`navp_durable_bytes_total`).
+    pub durable_bytes: Arc<Counter>,
     /// Faults actually injected by a `FaultPlan` — crashes, delays,
     /// drops, lost signals (`navp_fault_injections_total`).
     pub faults: Arc<Counter>,
@@ -622,6 +628,16 @@ impl RunMetrics {
             journal_commits: registry.counter(
                 "navp_journal_commits_total",
                 "Write-journal commit batches",
+                &[],
+            ),
+            durable_flushes: registry.counter(
+                "navp_durable_flushes_total",
+                "Durable checkpoint cut files committed to disk",
+                &[],
+            ),
+            durable_bytes: registry.counter(
+                "navp_durable_bytes_total",
+                "Bytes written by durable checkpoint flushes",
                 &[],
             ),
             faults: registry.counter(

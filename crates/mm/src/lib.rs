@@ -46,6 +46,7 @@ pub mod doall;
 pub mod dpc2d;
 pub mod dsc1d;
 pub mod dsc2d;
+pub mod fuzz;
 pub mod gentleman;
 pub mod launch;
 pub mod net;
@@ -58,8 +59,11 @@ pub mod summa;
 pub mod util;
 
 pub use config::{MmConfig, Payload};
+pub use fuzz::{fuzz_stage, replay_repro, FuzzExecutor, FuzzOpts};
 pub use net::register_net;
 pub use runner::{
-    run_mp_sim, run_mp_threads, run_navp_net, run_navp_sim, run_navp_threads,
-    run_navp_threads_metered, run_seq_sim, MpAlg, NavpStage, NetOpts, RunOutput, RunnerError,
+    run_mp_sim, run_mp_threads, run_navp_net, run_navp_sim, run_navp_sim_durable,
+    run_navp_threads, run_navp_threads_durable, run_navp_threads_metered, run_restored_net,
+    run_restored_sim, run_restored_threads, run_seq_sim, MpAlg, NavpStage, NetOpts, RunOutput,
+    RunnerError,
 };

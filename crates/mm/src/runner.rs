@@ -12,11 +12,11 @@ use navp::{Cluster, FaultPlan, FaultStats, SimExecutor, ThreadExecutor};
 use navp_matrix::{Grid2D, Matrix};
 use navp_metrics::{MetricsSnapshot, RunMetrics};
 use navp_mp::{MpSimExecutor, MpThreadExecutor};
-use navp_net::{NetExecutor, NetPeStats};
+use navp_net::{restore_from_dir, NetExecutor, NetPeStats, RegistryCodec};
 use navp_sim::{CostModel, Trace};
 use navp_trace::TraceReport;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -194,6 +194,36 @@ fn verify(cfg: &MmConfig, c: &Option<Matrix>) -> Result<Option<bool>, RunnerErro
 
 /// Owner map: C-block coordinates to the PE holding the block after a run.
 type OwnerFn = Box<dyn Fn(usize, usize) -> usize>;
+
+/// The C-ownership map of a stage, computable without (re)building the
+/// cluster — restores need it to collect the product out of a cluster
+/// that was reassembled from disk rather than constructed here.
+fn navp_owner(stage: NavpStage, cfg: &MmConfig, grid: Grid2D) -> Result<OwnerFn, RunnerError> {
+    if stage.is_1d() {
+        if grid.rows != 1 {
+            return Err(RunnerError::Topology(format!(
+                "{} needs a 1-D line, got {}x{}",
+                stage.name(),
+                grid.rows,
+                grid.cols
+            )));
+        }
+        let topo = Topo1D::new(cfg.nb(), grid.cols)?;
+        Ok(Box::new(move |_bi, bj| topo.pe_of_col(bj)))
+    } else {
+        let topo = Topo2D::new(cfg.nb(), grid)?;
+        Ok(Box::new(move |bi, bj| topo.node_of_block(bi, bj)))
+    }
+}
+
+/// The registry-backed durable codec for in-process (sim/threads)
+/// durable runs of the case study. Registers every wire codec first so
+/// matrix blocks and carriers encode into the checkpoint exactly as
+/// they would onto the wire.
+fn durable_codec() -> Arc<dyn navp::durable::DurableCodec> {
+    crate::net::register_net();
+    Arc::new(RegistryCodec::new())
+}
 
 /// Build the NavP cluster plus its C-ownership map for a stage.
 fn navp_cluster(
@@ -461,6 +491,20 @@ pub struct NetOpts {
     /// Teardown grace window (child shutdown wait, exit-status polling
     /// on disconnect). `None` keeps the executor's 2 s default.
     pub grace: Option<Duration>,
+    /// Durable checkpoint directory: every PE daemon spills its
+    /// recovery cut there at each run boundary, so the whole cluster
+    /// survives `kill -9` and restores with [`run_restored_net`].
+    /// Joined (`--listen`) daemons must have been started with the same
+    /// `--durable-dir`. `None` (default) performs zero extra syscalls.
+    pub durable_dir: Option<PathBuf>,
+}
+
+impl NetOpts {
+    /// Builder-style [`NetOpts::durable_dir`].
+    pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> NetOpts {
+        self.durable_dir = Some(dir.into());
+        self
+    }
 }
 
 /// The networked executor a config asks for, with the same watchdog
@@ -478,6 +522,9 @@ fn net_executor(cfg: &MmConfig, opts: &NetOpts) -> NetExecutor {
     }
     if let Some(grace) = opts.grace {
         exec = exec.with_grace(grace);
+    }
+    if let Some(dir) = &opts.durable_dir {
+        exec = exec.with_durable_dir(dir.clone());
     }
     if let Some(wd) = cfg.watchdog {
         return exec.with_watchdog(wd);
@@ -530,6 +577,176 @@ fn run_navp_net_inner(
     if let Some(plan) = plan {
         cl.set_fault_plan(plan);
     }
+    let mut rep = net_executor(cfg, opts).run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    let trace = rep.trace.take();
+    warn_trace_dropped(rep.trace_dropped);
+    let trace_report = trace
+        .as_ref()
+        .map(|t| TraceReport::from_trace(t, grid.rows * grid.cols, rep.trace_dropped));
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.wire_bytes,
+        trace,
+        trace_report,
+        faults: Some(rep.faults),
+        per_pe_net: Some(rep.per_pe),
+        metrics: rep.metrics.take(),
+    })
+}
+
+/// As [`run_navp_sim`], spilling a durable checkpoint of the whole
+/// cluster to `dir` at every run boundary (atomic rename-commit,
+/// checksummed; see `navp::durable`). An optional fault plan rides
+/// along so tests can crash the run mid-way — the cuts already on disk
+/// then restore with [`run_restored_sim`] and finish bitwise-identical.
+pub fn run_navp_sim_durable(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+    dir: impl Into<PathBuf>,
+    plan: Option<FaultPlan>,
+) -> Result<RunOutput, RunnerError> {
+    let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
+    if let Some(plan) = plan {
+        cl.set_fault_plan(plan);
+    }
+    let mut rep = SimExecutor::new(*cost)
+        .with_durable(dir, durable_codec())
+        .run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: Some(rep.makespan.as_secs_f64()),
+        wall: None,
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: None,
+        trace_report: None,
+        faults: Some(rep.faults),
+        per_pe_net: None,
+        metrics: None,
+    })
+}
+
+/// As [`run_navp_threads`], with durable checkpoints (see
+/// [`run_navp_sim_durable`]); restore with [`run_restored_threads`].
+pub fn run_navp_threads_durable(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    dir: impl Into<PathBuf>,
+    plan: Option<FaultPlan>,
+) -> Result<RunOutput, RunnerError> {
+    let (mut cl, own) = navp_cluster(stage, cfg, grid)?;
+    if let Some(plan) = plan {
+        cl.set_fault_plan(plan);
+    }
+    let mut rep = thread_executor(cfg)
+        .with_durable(dir, durable_codec())
+        .run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: None,
+        trace_report: None,
+        faults: Some(rep.faults),
+        per_pe_net: None,
+        metrics: None,
+    })
+}
+
+/// Restore an interrupted durable run of `stage` from its checkpoint
+/// directory and finish it on the virtual-time executor.
+///
+/// The cuts may come from *any* executor — a `kill -9`'d networked
+/// cluster restores here just as well — and the completed product is
+/// bitwise-identical to the uninterrupted run, which `verified`
+/// re-checks against the sequential reference.
+pub fn run_restored_sim(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    cost: &CostModel,
+    dir: &Path,
+) -> Result<RunOutput, RunnerError> {
+    crate::net::register_net();
+    let own = navp_owner(stage, cfg, grid)?;
+    let cl = restore_from_dir(dir)?;
+    let mut rep = SimExecutor::new(*cost).run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: Some(rep.makespan.as_secs_f64()),
+        wall: None,
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: None,
+        trace_report: None,
+        faults: Some(rep.faults),
+        per_pe_net: None,
+        metrics: None,
+    })
+}
+
+/// As [`run_restored_sim`], finishing on real threads.
+pub fn run_restored_threads(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    dir: &Path,
+) -> Result<RunOutput, RunnerError> {
+    crate::net::register_net();
+    let own = navp_owner(stage, cfg, grid)?;
+    let cl = restore_from_dir(dir)?;
+    let mut rep = thread_executor(cfg).run(cl)?;
+    let c = collect_c(&mut rep.stores, cfg, own)?;
+    let verified = verify(cfg, &c)?;
+    Ok(RunOutput {
+        virt_seconds: None,
+        wall: Some(rep.wall),
+        c,
+        verified,
+        transfers: rep.hops,
+        bytes: rep.hop_bytes,
+        trace: None,
+        trace_report: None,
+        faults: Some(rep.faults),
+        per_pe_net: None,
+        metrics: None,
+    })
+}
+
+/// As [`run_restored_sim`], finishing across real OS processes. Set
+/// [`NetOpts::durable_dir`] (usually to the same directory) to keep the
+/// resumed run itself crash-safe — the executor stamps a fresh session
+/// manifest, so restore *before* re-running, never the other way round.
+pub fn run_restored_net(
+    stage: NavpStage,
+    cfg: &MmConfig,
+    grid: Grid2D,
+    opts: &NetOpts,
+    dir: &Path,
+) -> Result<RunOutput, RunnerError> {
+    crate::net::register_net();
+    let own = navp_owner(stage, cfg, grid)?;
+    let cl = restore_from_dir(dir)?;
     let mut rep = net_executor(cfg, opts).run(cl)?;
     let c = collect_c(&mut rep.stores, cfg, own)?;
     let verified = verify(cfg, &c)?;

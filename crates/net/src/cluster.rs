@@ -199,15 +199,19 @@ pub fn resolve_pe_bin(explicit: Option<&Path>) -> Result<PathBuf, RunError> {
 
 /// Spawn one local PE process that connects back to `driver_addr`.
 /// Stdio is inherited so a PE's panic message reaches the terminal.
-pub fn spawn_pe(bin: &Path, driver_addr: &str) -> Result<Child, RunError> {
-    Command::new(bin)
-        .arg("--connect")
-        .arg(driver_addr)
-        .stdin(Stdio::null())
-        .spawn()
-        .map_err(|e| RunError::Transport {
-            detail: format!("failed to spawn {}: {e}", bin.display()),
-        })
+pub fn spawn_pe(
+    bin: &Path,
+    driver_addr: &str,
+    durable_dir: Option<&Path>,
+) -> Result<Child, RunError> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--connect").arg(driver_addr).stdin(Stdio::null());
+    if let Some(dir) = durable_dir {
+        cmd.arg("--durable-dir").arg(dir);
+    }
+    cmd.spawn().map_err(|e| RunError::Transport {
+        detail: format!("failed to spawn {}: {e}", bin.display()),
+    })
 }
 
 /// A shared handle to a peer's write half (cloneable across the daemon
@@ -300,7 +304,7 @@ mod tests {
         // spawn reports that later, with the path in the message).
         let p = resolve_pe_bin(Some(Path::new("/tmp/custom-pe"))).unwrap();
         assert_eq!(p, PathBuf::from("/tmp/custom-pe"));
-        let e = spawn_pe(Path::new("/nonexistent/navp-pe"), "127.0.0.1:1").unwrap_err();
+        let e = spawn_pe(Path::new("/nonexistent/navp-pe"), "127.0.0.1:1", None).unwrap_err();
         assert!(matches!(e, RunError::Transport { .. }));
     }
 }

@@ -1,0 +1,296 @@
+//! Durable restore for the networked executor: bridge the type-tag
+//! [`registry`](crate::registry) to the core durable-checkpoint layer
+//! ([`navp::durable`]) and reassemble a runnable [`Cluster`] from a
+//! checkpoint directory written by crashed `navp-pe` processes.
+//!
+//! ## Outbox reconciliation
+//!
+//! Each networked PE spills its cut *before* transmitting the frames
+//! of an atomic unit (a messenger run, or the handling of one arriving
+//! frame): the frames ride in the cut's write-ahead outbox, stamped
+//! with per-channel sequence numbers. After `kill -9`, a frame in PE
+//! *p*'s outbox either
+//!
+//! * reached its destination *q* **and** made *q*'s next spill — then
+//!   `q.recv_from[p]` covers its sequence number and the frame's
+//!   effect is already inside *q*'s cut, so it is dropped here; or
+//! * never landed durably — then it is re-applied offline: a `Hop` or
+//!   `Deliver` becomes a resident messenger at its destination, an
+//!   `EventWait` becomes a parked waiter at the event's home, an
+//!   `EventSignal` becomes a banked count.
+//!
+//! The reconciled cuts then satisfy [`navp::durable::restore_cluster`]'s
+//! consistency check and restore exactly like the in-process
+//! executors' cuts — on *any* executor.
+
+use crate::frame::{Frame, StoreEntry};
+use crate::registry::{self, register_messenger};
+use navp::durable::{
+    read_all_cuts, restore_cluster, DurableCodec, DurableCut, ParkedWaiter, ResidentMsgr,
+    ResumeWait,
+};
+use navp::{Cluster, Messenger, NodeStore, RunError, WireSnapshot};
+use navp_sim::codec::{WireReader, WireWriter};
+use std::path::Path;
+
+/// Register the wire codecs the durable layer itself needs — currently
+/// the [`ResumeWait`] wrapper that re-parks restored event-waiters.
+/// Idempotent; called by [`RegistryCodec::new`] and
+/// [`restore_from_dir`], and by `navp-pe` at startup so restored
+/// injections decode on arrival.
+pub fn register_durable() {
+    register_messenger(ResumeWait::TAG, |r| {
+        let issued = r.get_bool()?;
+        let key = r.get_key()?;
+        let tag = r.get_str()?;
+        let bytes = r.get_bytes()?;
+        // Recursive: the inner messenger decodes through the same
+        // registry (the lock is not held across decode calls).
+        let inner = registry::decode_messenger(&WireSnapshot::new(tag, bytes))?;
+        Ok(Box::new(ResumeWait::from_parts(key, issued, inner)))
+    });
+}
+
+/// [`DurableCodec`] backed by the global type-tag registry: stores are
+/// flattened to `Vec<StoreEntry>` and messengers decode exactly as they
+/// would off the wire. Any type registered for the net executor is
+/// thereby durable for free.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegistryCodec;
+
+impl RegistryCodec {
+    /// A codec handle; also registers the durable wrapper types.
+    pub fn new() -> RegistryCodec {
+        register_durable();
+        RegistryCodec
+    }
+}
+
+impl DurableCodec for RegistryCodec {
+    fn encode_store(&self, store: &NodeStore) -> Result<Vec<u8>, String> {
+        let entries = registry::encode_store(store).map_err(|e| e.to_string())?;
+        let mut w = WireWriter::new();
+        w.put_u32(entries.len() as u32);
+        for e in &entries {
+            w.put_key(&e.key);
+            w.put_str(&e.tag);
+            w.put_u64(e.bytes);
+            w.put_bytes(&e.val);
+        }
+        Ok(w.into_vec())
+    }
+
+    fn decode_store(&self, bytes: &[u8]) -> Result<NodeStore, String> {
+        let mut r = WireReader::new(bytes);
+        let mut entries = Vec::new();
+        (|| {
+            for _ in 0..r.get_u32()? {
+                entries.push(StoreEntry {
+                    key: r.get_key()?,
+                    tag: r.get_str()?,
+                    bytes: r.get_u64()?,
+                    val: r.get_bytes()?,
+                });
+            }
+            Ok(())
+        })()
+        .map_err(|e: crate::codec::DecodeError| format!("store image: {e}"))?;
+        if r.remaining() != 0 {
+            return Err(format!("store image has {} trailing bytes", r.remaining()));
+        }
+        registry::decode_store(&entries).map_err(|e| e.to_string())
+    }
+
+    fn decode_messenger(&self, snap: &WireSnapshot) -> Result<Box<dyn Messenger>, String> {
+        registry::decode_messenger(snap).map_err(|e| e.to_string())
+    }
+}
+
+fn durable_err(e: navp::durable::DurableError) -> RunError {
+    RunError::Transport {
+        detail: e.to_string(),
+    }
+}
+
+/// Fold every unconfirmed outbox frame back into the cuts (see the
+/// module docs), leaving the outboxes empty.
+fn reconcile_outboxes(cuts: &mut [DurableCut]) -> Result<(), RunError> {
+    let pes = cuts.len();
+    // (src, frame) pairs, in (src asc, seq asc) order — deterministic.
+    let mut pending = Vec::new();
+    for (src, cut) in cuts.iter_mut().enumerate() {
+        for f in std::mem::take(&mut cut.outbox) {
+            pending.push((src, f));
+        }
+    }
+    for (src, f) in pending {
+        let dst = f.dst as usize;
+        if dst >= pes {
+            return Err(RunError::Transport {
+                detail: format!("outbox frame {src}→{dst} names a PE outside the cluster"),
+            });
+        }
+        let seen = cuts[dst].recv_from.get(src).copied().unwrap_or(0);
+        if f.seq <= seen {
+            continue; // the receiver's cut already contains its effect
+        }
+        let frame = Frame::decode(&f.bytes).map_err(|e| RunError::Transport {
+            detail: format!("outbox frame {src}→{dst} seq {}: {e}", f.seq),
+        })?;
+        match frame {
+            Frame::Hop { id, msgr, .. } => cuts[dst].residents.push(ResidentMsgr {
+                id,
+                label: msgr.tag.clone(),
+                snap: msgr,
+            }),
+            Frame::Deliver { id, msgr, .. } => cuts[dst].residents.push(ResidentMsgr {
+                id,
+                label: msgr.tag.clone(),
+                snap: msgr,
+            }),
+            Frame::EventWait {
+                key,
+                id,
+                origin,
+                msgr,
+                ..
+            } => cuts[dst].waiters.push(ParkedWaiter {
+                id,
+                origin,
+                key,
+                snap: msgr,
+            }),
+            Frame::EventSignal { key } => {
+                match cuts[dst].events.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, count)) => *count += 1,
+                    None => cuts[dst].events.push((key, 1)),
+                }
+            }
+            other => {
+                return Err(RunError::Transport {
+                    detail: format!(
+                        "outbox frame {src}→{dst} seq {} is not a payload frame: {other:?}",
+                        f.seq
+                    ),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild a runnable [`Cluster`] from the checkpoint directory of a
+/// networked run whose processes were killed (`kill -9` included).
+///
+/// Verifies every container checksum and the session nonce, reconciles
+/// the write-ahead outboxes, and hands back a cluster that any
+/// executor completes bitwise-identically to the uninterrupted run.
+pub fn restore_from_dir(dir: &Path) -> Result<Cluster, RunError> {
+    let codec = RegistryCodec::new();
+    let (_manifest, mut cuts) = read_all_cuts(dir).map_err(durable_err)?;
+    reconcile_outboxes(&mut cuts)?;
+    restore_cluster(&cuts, &codec).map_err(durable_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::register_testing;
+    use navp::durable::OutFrame;
+    use navp::durable::{cut_path, write_cut, write_manifest, Manifest};
+    use navp::Key;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("navp-net-durable-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn registry_codec_roundtrips_a_store() {
+        register_testing();
+        let codec = RegistryCodec::new();
+        let mut store = NodeStore::new();
+        store.insert(Key::at("x", 0), 41u64, 8);
+        store.insert(Key::at("y", 1), 2.5f64, 8);
+        let bytes = codec.encode_store(&store).unwrap();
+        let back = match codec.decode_store(&bytes) {
+            Ok(s) => s,
+            Err(e) => panic!("store failed to decode: {e}"),
+        };
+        assert_eq!(back.get::<u64>(Key::at("x", 0)), Some(&41));
+        assert_eq!(back.get::<f64>(Key::at("y", 1)), Some(&2.5));
+        // Trailing garbage is rejected, not ignored.
+        let mut noisy = bytes.clone();
+        noisy.push(7);
+        let err = match codec.decode_store(&noisy) {
+            Err(e) => e,
+            Ok(_) => panic!("trailing bytes accepted"),
+        };
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn reconciliation_drops_confirmed_and_replays_lost_frames() {
+        let mut a = DurableCut::new(0, 2, 1);
+        let mut b = DurableCut::new(1, 2, 1);
+        a.sent_to = vec![0, 2];
+        b.recv_from = vec![1, 0]; // PE 1 durably saw only seq 1 from PE 0
+        let confirmed = Frame::EventSignal {
+            key: Key::at("done", 0),
+        };
+        let lost = Frame::EventSignal {
+            key: Key::at("done", 1),
+        };
+        a.outbox = vec![
+            OutFrame {
+                dst: 1,
+                seq: 1,
+                bytes: confirmed.encode(),
+            },
+            OutFrame {
+                dst: 1,
+                seq: 2,
+                bytes: lost.encode(),
+            },
+        ];
+        let mut cuts = vec![a, b];
+        reconcile_outboxes(&mut cuts).unwrap();
+        assert!(cuts[0].outbox.is_empty());
+        // Only the unconfirmed signal was re-banked, at its home.
+        assert_eq!(cuts[1].events, vec![(Key::at("done", 1), 1)]);
+        assert!(cuts[0].events.is_empty());
+    }
+
+    #[test]
+    fn restore_from_dir_rejects_corruption() {
+        register_testing();
+        let dir = tmp("corrupt");
+        write_manifest(&dir, &Manifest { pes: 1, nonce: 5 }).unwrap();
+        let mut cut = DurableCut::new(0, 1, 5);
+        cut.store = RegistryCodec::new().encode_store(&NodeStore::new()).unwrap();
+        write_cut(&dir, &cut).unwrap();
+        assert!(restore_from_dir(&dir).is_ok());
+
+        // Flip a byte inside the cut: the checksum must catch it.
+        let path = cut_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match restore_from_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt cut accepted"),
+        };
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncate the file: torn writes are named as such.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        let err = match restore_from_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated cut accepted"),
+        };
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -114,6 +114,8 @@ pub struct NetExecutor {
     /// the run, and the exit-status poll when a control connection
     /// drops.
     grace: Duration,
+    /// Checkpoint directory for durable runs; `None` = durability off.
+    durable_dir: Option<PathBuf>,
 }
 
 impl Default for NetExecutor {
@@ -160,7 +162,22 @@ impl NetExecutor {
             trace: false,
             metrics: false,
             grace: Duration::from_secs(2),
+            durable_dir: None,
         }
+    }
+
+    /// Make the run durable: write the session manifest to `dir`,
+    /// spawn every PE with `--durable-dir dir` so it spills its cut
+    /// there write-ahead of every transmission, and keep the recovery
+    /// machinery on even without a fault plan. After `kill -9` of any
+    /// or all PE processes (or a graceful SIGTERM), the run resumes
+    /// from [`crate::durable::restore_from_dir`]. In `--join` mode the
+    /// daemons must have been started with the same `--durable-dir`
+    /// (the directory is shared state — loopback clusters or a shared
+    /// filesystem).
+    pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> NetExecutor {
+        self.durable_dir = Some(dir.into());
+        self
     }
 
     /// Override the no-progress watchdog window.
@@ -234,6 +251,35 @@ impl NetExecutor {
             events[event_home(key, pes)].push(*key);
         }
 
+        // A cluster without an explicit plan accepts one from the
+        // `NAVP_FAULT_SPEC` environment (repro files paste in verbatim);
+        // a malformed spec is a loud error, not a silently clean run.
+        let fault_plan = match parts.fault_plan {
+            Some(p) => Some(p),
+            None => {
+                navp::FaultPlan::from_env().map_err(|detail| RunError::Transport { detail })?
+            }
+        };
+        // Durable runs need the recovery machinery on every PE even
+        // without faults, and a fresh session manifest on disk before
+        // any process can spill against it.
+        let fault_plan = match fault_plan {
+            None if self.durable_dir.is_some() => Some(navp::FaultPlan::new()),
+            other => other,
+        };
+        if let Some(dir) = &self.durable_dir {
+            navp::durable::write_manifest(
+                dir,
+                &navp::durable::Manifest {
+                    pes,
+                    nonce: navp::durable::fresh_nonce(),
+                },
+            )
+            .map_err(|e| RunError::Transport {
+                detail: format!("durable manifest: {e}"),
+            })?;
+        }
+
         let start = Instant::now();
         let mut links = self.establish(pes)?;
         let run = self.drive(
@@ -242,7 +288,7 @@ impl NetExecutor {
             store_imgs,
             injections,
             events,
-            parts.fault_plan,
+            fault_plan,
             initial_live,
         );
         // Whatever happened, no child outlives the run.
@@ -308,7 +354,7 @@ impl NetExecutor {
                 .to_string();
             let bin = resolve_pe_bin(self.pe_bin.as_deref())?;
             for _ in 0..pes {
-                children.push(spawn_pe(&bin, &addr)?);
+                children.push(spawn_pe(&bin, &addr, self.durable_dir.as_deref())?);
             }
             listener
                 .set_nonblocking(true)
@@ -432,6 +478,14 @@ impl NetExecutor {
                         .find_map(|c| c.try_wait().ok().flatten()),
                 };
                 if let Some(status) = status {
+                    if status.code() == Some(crate::pe::GRACEFUL_EXIT) {
+                        // Clean SIGTERM/SIGINT stop, not a failure: the
+                        // PE flushed its durable cut before exiting.
+                        // (The PE also sends a Fatal{PeStopped} frame;
+                        // this path covers the race where the socket
+                        // EOF wins.)
+                        return RunError::PeStopped { pe };
+                    }
                     detail = format!("{detail} (process {status})");
                     break;
                 }

@@ -514,6 +514,10 @@ fn put_err(w: &mut WireWriter, e: &RunError) {
             w.put_u8(10);
             w.put_str(detail);
         }
+        RunError::PeStopped { pe } => {
+            w.put_u8(11);
+            w.put_usize(*pe);
+        }
     }
 }
 
@@ -559,6 +563,7 @@ fn get_err(r: &mut WireReader<'_>) -> Result<RunError, DecodeError> {
         10 => RunError::Transport {
             detail: r.get_str()?,
         },
+        11 => RunError::PeStopped { pe: r.get_usize()? },
         _ => return Err(DecodeError::BadValue("error kind")),
     })
 }
@@ -998,6 +1003,7 @@ mod tests {
             RunError::Transport {
                 detail: "refused".into(),
             },
+            RunError::PeStopped { pe: 2 },
         ];
         for err in errs {
             roundtrip(Frame::Fatal { err });

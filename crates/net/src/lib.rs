@@ -13,6 +13,8 @@
 //! * [`codec`] — the hand-rolled little-endian wire primitives
 //!   ([`codec::WireWriter`] / [`codec::WireReader`]); every read is
 //!   bounds-checked and returns [`codec::DecodeError`], never panics.
+//!   (Re-exported from `navp_sim::codec`, where the durable checkpoint
+//!   format in `navp::durable` shares it.)
 //! * [`frame`] — the protocol: [`frame::Frame`] covers bootstrap,
 //!   mesh wiring, hops, event traffic, progress deltas, store
 //!   collection and shutdown.
@@ -41,18 +43,21 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
-pub mod codec;
+pub mod durable;
 pub mod exec;
 pub mod frame;
 pub mod pe;
 pub mod registry;
 pub mod testing;
 
+pub use navp_sim::codec;
+
 pub use cluster::{event_home, FrameConn, PE_BIN_ENV};
 pub use codec::{DecodeError, WireReader, WireWriter};
+pub use durable::{restore_from_dir, RegistryCodec};
 pub use exec::{NetExecutor, NetPeStats, NetReport};
 pub use frame::Frame;
-pub use pe::{pe_main, PeMode, PeOptions, CRASH_EXIT, PE_ENV};
+pub use pe::{pe_main, PeMode, PeOptions, CRASH_EXIT, GRACEFUL_EXIT, PE_ENV};
 pub use registry::{
     decode_messenger, decode_store, encode_messenger, encode_store, register_messenger,
     register_value, MsgrDecodeFn, ValueCodec,
@@ -68,18 +73,24 @@ pub struct PeArgs {
     /// text) and `GET /healthz` (JSON) on this address for the life of
     /// the process. `None` when the flag is absent.
     pub metrics_addr: Option<String>,
+    /// `--durable-dir path`: spill checkpoint state to this directory
+    /// at every run boundary so the process survives `kill -9`.
+    /// `None` when the flag is absent (durability off, zero syscalls).
+    pub durable_dir: Option<std::path::PathBuf>,
 }
 
 /// Parse the standard PE-binary argument list (`--connect addr` or
-/// `--listen addr`, optionally `--metrics-addr addr`, in any order)
-/// shared by `navp-pe` and `navp-net-testpe`. Returns `Err` with a
-/// usage string on anything else.
+/// `--listen addr`, optionally `--metrics-addr addr` and
+/// `--durable-dir path`, in any order) shared by `navp-pe` and
+/// `navp-net-testpe`. Returns `Err` with a usage string on anything
+/// else.
 pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, String> {
     const USAGE: &str = "usage: --connect <driver-host:port> | --listen <bind-host:port> \
-                         [--metrics-addr <bind-host:port>]";
+                         [--metrics-addr <bind-host:port>] [--durable-dir <path>]";
     let argv: Vec<String> = args.into_iter().collect();
     let mut mode: Option<PeMode> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut durable_dir: Option<std::path::PathBuf> = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let value = |it: &mut std::vec::IntoIter<String>| {
@@ -104,11 +115,21 @@ pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, 
                     return Err(format!("more than one --metrics-addr\n{USAGE}"));
                 }
             }
+            "--durable-dir" => {
+                let dir = value(&mut it)?;
+                if durable_dir.replace(dir.into()).is_some() {
+                    return Err(format!("more than one --durable-dir\n{USAGE}"));
+                }
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
     match mode {
-        Some(mode) => Ok(PeArgs { mode, metrics_addr }),
+        Some(mode) => Ok(PeArgs {
+            mode,
+            metrics_addr,
+            durable_dir,
+        }),
         None => Err(USAGE.to_string()),
     }
 }
@@ -143,6 +164,19 @@ mod tests {
         .unwrap();
         assert!(matches!(a.mode, PeMode::Listen(_)));
         assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        let a = parse_pe_args(argv(&[
+            "--durable-dir",
+            "/tmp/ckpt",
+            "--connect",
+            "127.0.0.1:9000",
+        ]))
+        .unwrap();
+        assert_eq!(a.durable_dir.as_deref(), Some(std::path::Path::new("/tmp/ckpt")));
+        assert!(parse_pe_args(argv(&["--connect", "a:1", "--durable-dir"])).is_err());
+        assert!(parse_pe_args(argv(&[
+            "--connect", "a:1", "--durable-dir", "x", "--durable-dir", "y"
+        ]))
+        .is_err());
         // The flag needs a value, a mode is still mandatory, and
         // duplicate flags are rejected.
         assert!(parse_pe_args(argv(&["--connect", "a:1", "--metrics-addr"])).is_err());

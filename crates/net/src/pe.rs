@@ -21,8 +21,10 @@
 //!   [`RunError::PeerDisconnected`].
 
 use crate::cluster::{event_home, read_frame, spawn_counted_reader, FrameConn};
+use crate::durable::{register_durable, RegistryCodec};
 use crate::frame::Frame;
 use crate::registry::{decode_messenger, decode_store, encode_messenger, encode_store};
+use navp::durable::{self as core_durable, OutFrame, ParkedWaiter};
 use navp::fault::{FaultTracker, HopFault};
 use navp::recovery::{CheckpointTable, WriteJournal};
 use navp::sim_exec::HOP_STATE_BYTES;
@@ -34,7 +36,8 @@ use navp_metrics::{serve_http, Counter, MetricsRegistry, RunMetrics};
 use navp_trace::{PeRecorder, TraceKind};
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +45,47 @@ use std::time::{Duration, Instant};
 /// Exit code of a PE process whose fault plan crashed it with
 /// checkpointing disabled ("crash = process exit").
 pub const CRASH_EXIT: i32 = 113;
+
+/// Exit code of a PE process that stopped cleanly on SIGTERM/SIGINT:
+/// durable state flushed, [`RunError::PeStopped`] reported to the
+/// driver. Distinct from [`CRASH_EXIT`] and from abrupt deaths so the
+/// driver (and operators) can tell a rolling restart from a failure.
+pub const GRACEFUL_EXIT: i32 = 114;
+
+/// Set by the SIGTERM/SIGINT handler; polled by the daemon's event
+/// loop between atomic units (runs / frame handlings).
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    // A relaxed atomic store is async-signal-safe; everything else
+    // (flushing, frames, exit) happens on the daemon loop.
+    STOP_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Install SIGTERM/SIGINT handlers that request a graceful stop: the
+/// daemon finishes its current atomic unit, flushes its durable cut
+/// (when `--durable-dir` is active), reports [`RunError::PeStopped`]
+/// to the driver, and exits with [`GRACEFUL_EXIT`]. Raw `signal(2)`
+/// through a one-line FFI declaration — no libc crate dependency.
+#[allow(clippy::fn_to_numeric_cast_any)]
+pub fn install_stop_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_stop_signal as extern "C" fn(i32) as usize;
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Has a stop signal arrived since process start?
+pub fn stop_requested() -> bool {
+    STOP_REQUESTED.load(Ordering::Relaxed)
+}
 
 /// Environment variable set to the PE index inside every PE process
 /// (lets test messengers distinguish a PE process from the driver).
@@ -69,6 +113,14 @@ pub struct PeOptions {
     /// forces run metrics on, even when the driver's `Start` frame
     /// does not request them.
     pub metrics_addr: Option<String>,
+    /// Spill a durable checkpoint cut to this directory before every
+    /// frame transmission and at every run boundary, so the process —
+    /// and with it the whole cluster — survives `kill -9`. The driver
+    /// must have written the directory's manifest
+    /// ([`navp::durable::write_manifest`]) before the session starts.
+    /// `None` = durability off: the hot path performs zero filesystem
+    /// syscalls.
+    pub durable_dir: Option<PathBuf>,
 }
 
 /// Shared state behind `GET /healthz`: written by the daemon loop,
@@ -154,6 +206,36 @@ enum PeEvent {
     Peer(usize, std::io::Result<Frame>),
 }
 
+/// Per-session durable-spill state: the write-ahead outbox plus the
+/// per-channel sequence counters the restore path reconciles against.
+///
+/// The daemon is an alternation of *atomic units* — one messenger run,
+/// or the handling of one arriving frame. Frames produced inside a
+/// unit are buffered in `pending`; committing a unit assigns them
+/// channel sequence numbers, appends them to the outbox, spills the
+/// whole cut (store, checkpoints, event table, counters, outbox) to
+/// disk, and only then transmits. A `kill -9` at any instant therefore
+/// leaves on disk either the state before the unit or the state after
+/// it with every unsent frame recoverable from the outbox.
+struct NetDurable {
+    dir: PathBuf,
+    /// Session nonce from the directory's manifest.
+    nonce: u64,
+    /// Monotone spill counter.
+    boundary: u64,
+    /// Frames sent on each `(self, dst)` channel, 1-based.
+    sent_to: Vec<u64>,
+    /// Frames received on each `(src, self)` channel.
+    recv_from: Vec<u64>,
+    /// Write-ahead log of sent frames (never pruned within a session:
+    /// a sender cannot observe the receiver's durable progress, and
+    /// runs are short; restore drops entries the receivers' cuts
+    /// already cover).
+    outbox: Vec<OutFrame>,
+    /// Frames produced by the current atomic unit, not yet spilled.
+    pending: Vec<(usize, Frame)>,
+}
+
 #[derive(Default)]
 struct EvState {
     count: u64,
@@ -169,8 +251,15 @@ struct Daemon {
     pes: usize,
     store: NodeStore,
     /// Clone of the store as received in `Start` (crash rebuild base);
-    /// `Some` iff recovery is active.
+    /// `Some` iff recovery is active — checkpointing fault plan *or*
+    /// durable mode (the spilled cut is exactly this machinery).
     initial_store: Option<NodeStore>,
+    /// Does a crash fault restart the daemon in place (plan has
+    /// checkpointing) rather than exit the process? Durable mode keeps
+    /// the recovery machinery alive without changing crash semantics.
+    crash_restarts: bool,
+    /// Durable-spill state, `Some` iff `--durable-dir` was given.
+    durable: Option<NetDurable>,
     journal: WriteJournal,
     ckpt: CheckpointTable,
     events: HashMap<EventKey, EvState>,
@@ -262,6 +351,119 @@ impl Daemon {
             met.frame_encode_bytes.add(n);
         }
         Ok(())
+    }
+
+    /// Send a payload frame to a peer — immediately when durability is
+    /// off, or buffered into the current atomic unit's pending list so
+    /// [`Daemon::durable_commit`] can spill it write-ahead first.
+    fn queue_send(&mut self, dst: usize, frame: Frame) -> Result<(), RunError> {
+        match &mut self.durable {
+            Some(ds) => {
+                ds.pending.push((dst, frame));
+                Ok(())
+            }
+            None => self.send_peer(dst, &frame),
+        }
+    }
+
+    /// Commit the current atomic unit durably: sequence and log the
+    /// pending frames into the outbox, spill the full cut (committed
+    /// store + checkpoints + event table + channel counters + outbox)
+    /// atomically to `pe-<k>.ckpt`, then transmit. No-op when
+    /// durability is off.
+    fn durable_commit(&mut self) -> Result<(), RunError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let durable_err = |pe: usize, e: core_durable::DurableError| RunError::Transport {
+            detail: format!("PE {pe} durable spill: {e}"),
+        };
+        let pending = {
+            let ds = self.durable.as_mut().expect("durable checked above");
+            let pending = std::mem::take(&mut ds.pending);
+            for (dst, frame) in &pending {
+                ds.sent_to[*dst] += 1;
+                ds.outbox.push(OutFrame {
+                    dst: *dst as u32,
+                    seq: ds.sent_to[*dst],
+                    bytes: frame.encode(),
+                });
+            }
+            ds.boundary += 1;
+            pending
+        };
+        let initial = self.initial_store.as_ref().ok_or_else(|| RunError::Transport {
+            detail: format!(
+                "PE {} has --durable-dir but no recovery machinery \
+                 (driver sent no checkpointing fault plan)",
+                self.pe
+            ),
+        })?;
+        let committed = core_durable::committed_store(initial, &self.journal);
+        // Event table in deterministic (sorted-key) order; waiters keep
+        // their FIFO park order within a key.
+        let mut keys: Vec<EventKey> = self.events.keys().copied().collect();
+        keys.sort();
+        let mut waiters = Vec::new();
+        let mut counts = Vec::new();
+        for key in keys {
+            let st = &self.events[&key];
+            if st.count > 0 {
+                counts.push((key, st.count));
+            }
+            for (id, origin, snap, _) in &st.waiters {
+                waiters.push(ParkedWaiter {
+                    id: *id,
+                    origin: *origin,
+                    key,
+                    snap: snap.clone(),
+                });
+            }
+        }
+        let ds = self.durable.as_ref().expect("durable checked above");
+        let mut cut = core_durable::build_cut(
+            self.pe,
+            self.pes,
+            ds.nonce,
+            ds.boundary,
+            &committed,
+            &self.ckpt,
+            waiters,
+            counts,
+            &RegistryCodec,
+        )
+        .map_err(|e| durable_err(self.pe, e))?;
+        cut.sent_to = ds.sent_to.clone();
+        cut.recv_from = ds.recv_from.clone();
+        cut.outbox = ds.outbox.clone();
+        let bytes =
+            core_durable::write_cut(&ds.dir, &cut).map_err(|e| durable_err(self.pe, e))?;
+        if let Some(met) = &self.metrics {
+            met.durable_flushes.inc();
+            met.durable_bytes.add(bytes);
+        }
+        // The cut is committed; transmission can now happen (and fail)
+        // safely — an unsent frame is recoverable from the outbox.
+        for (dst, frame) in pending {
+            self.send_peer(dst, &frame)?;
+        }
+        Ok(())
+    }
+
+    /// A stop signal arrived: flush accounting and the durable cut,
+    /// tell the driver this PE stopped *cleanly*, and exit with the
+    /// graceful status.
+    fn graceful_stop(&mut self) -> ! {
+        let _ = self.flush_delta();
+        if self.durable.is_some() {
+            if let Err(e) = self.durable_commit() {
+                eprintln!("navp-pe: final durable flush failed: {e}");
+            }
+        }
+        let _ = self.driver.send(&Frame::Fatal {
+            err: RunError::PeStopped { pe: self.pe },
+        });
+        std::process::exit(GRACEFUL_EXIT);
     }
 
     fn heartbeat(&self) {
@@ -411,9 +613,12 @@ impl Daemon {
         if !crashed {
             return Ok(false);
         }
-        if !self.recovery_active() {
+        if !self.crash_restarts {
             // Crash = process exit: the abrupt death the driver must
-            // surface as PeerDisconnected within its watchdog.
+            // surface as PeerDisconnected within its watchdog. (Durable
+            // mode keeps the recovery machinery alive for its spills
+            // but does not change these semantics — the spilled cut is
+            // what a later restore resumes from.)
             std::process::exit(CRASH_EXIT);
         }
         self.stats.crashes += 1;
@@ -459,9 +664,9 @@ impl Daemon {
                     self.note_unpark(parked_ns);
                     self.deliver(id, m);
                 } else {
-                    self.send_peer(
+                    self.queue_send(
                         origin as usize,
-                        &Frame::Deliver {
+                        Frame::Deliver {
                             id,
                             parked_ns,
                             msgr: snap,
@@ -479,7 +684,7 @@ impl Daemon {
         if home == self.pe {
             self.local_signal(key)
         } else {
-            self.send_peer(home, &Frame::EventSignal { key })
+            self.queue_send(home, Frame::EventSignal { key })
         }
     }
 
@@ -567,9 +772,9 @@ impl Daemon {
                         let kind = TraceKind::Exec { pe: self.pe };
                         self.recorder.record(exec_start, sent_ns, id, &label, kind);
                     }
-                    self.send_peer(
+                    self.queue_send(
                         dst,
-                        &Frame::Hop {
+                        Frame::Hop {
                             id,
                             sent_ns,
                             msgr: snap,
@@ -606,9 +811,9 @@ impl Daemon {
                             let kind = TraceKind::Exec { pe: self.pe };
                             self.recorder.record(exec_start, parked_ns, id, &label, kind);
                         }
-                        self.send_peer(
+                        self.queue_send(
                             home,
-                            &Frame::EventWait {
+                            Frame::EventWait {
                                 key,
                                 id,
                                 origin: self.pe as u32,
@@ -653,9 +858,9 @@ impl Daemon {
         let st = self.events.entry(key).or_default();
         if st.count > 0 {
             st.count -= 1;
-            self.send_peer(
+            self.queue_send(
                 origin as usize,
-                &Frame::Deliver {
+                Frame::Deliver {
                     id,
                     parked_ns,
                     msgr: snap,
@@ -669,6 +874,13 @@ impl Daemon {
 
     fn handle_peer_frame(&mut self, from: usize, frame: Frame) -> Result<(), RunError> {
         self.t_peer_recv += 1;
+        if let Some(ds) = &mut self.durable {
+            // Advance the channel counter now; it reaches disk with the
+            // next spill, together with this frame's effects (the
+            // daemon is single-threaded, so any later cut includes
+            // both or neither).
+            ds.recv_from[from] += 1;
+        }
         match frame {
             Frame::Hop { id, sent_ns, msgr } => self.accept_hop(from, id, sent_ns, msgr),
             Frame::EventWait {
@@ -711,8 +923,17 @@ impl Daemon {
     /// next frame. Returns when the driver says `Shutdown`.
     fn event_loop(&mut self, rx: &Receiver<PeEvent>) -> Result<(), RunError> {
         loop {
+            if stop_requested() {
+                self.graceful_stop();
+            }
             while let Some((id, m)) = self.queue.pop_front() {
                 self.run_messenger(id, m)?;
+                // A run is an atomic unit: commit it (and its frames)
+                // durably before the next one begins.
+                self.durable_commit()?;
+                if stop_requested() {
+                    self.graceful_stop();
+                }
             }
             if let Some(p) = self.metrics.as_ref().and_then(|met| met.pe(self.pe)) {
                 p.queue_depth.set(self.queue.len() as i64);
@@ -797,7 +1018,17 @@ impl Daemon {
                 // Driver gone: the run is over one way or the other;
                 // exit quietly rather than lingering.
                 Ok(PeEvent::Driver(Err(_))) => return Ok(()),
-                Ok(PeEvent::Peer(q, Ok(frame))) => self.handle_peer_frame(q, frame)?,
+                Ok(PeEvent::Peer(q, Ok(frame))) => {
+                    self.handle_peer_frame(q, frame)?;
+                    // Frame handling that produced sends (a Deliver for
+                    // a woken waiter) is its own atomic unit. Handling
+                    // that only mutated local state needs no spill: the
+                    // in-memory advance rides in the next cut, and until
+                    // then the sender's outbox replays the frame.
+                    if self.durable.as_ref().is_some_and(|d| !d.pending.is_empty()) {
+                        self.durable_commit()?;
+                    }
+                }
                 // A dead peer only matters if we later need to send to
                 // it — which fails with a structured error there. The
                 // driver independently notices the death.
@@ -920,6 +1151,11 @@ impl Obs {
 /// reported to the driver before returning (or, in listen mode,
 /// logged and survived).
 pub fn pe_main(mode: PeMode, opts: PeOptions) -> Result<(), RunError> {
+    // Durable wrapper types must decode wherever restored injections
+    // can arrive, and every PE honours SIGTERM/SIGINT with a clean
+    // flush + [`GRACEFUL_EXIT`].
+    register_durable();
+    install_stop_handlers();
     let obs = Obs::new(&opts)?;
     match &mode {
         PeMode::Connect(addr) => {
@@ -1099,7 +1335,12 @@ fn pe_session(
 
     let mut store = decode_store(&store_img)
         .map_err(|e| transport(format!("PE {pe} cannot decode its store: {e}")))?;
-    let recovery = plan.as_ref().is_some_and(|p| p.checkpointing);
+    // Recovery machinery (journal + checkpoint table) runs for a
+    // checkpointing fault plan *or* durable mode — the durable cut is
+    // that machinery serialized. Crash-restart semantics follow the
+    // plan alone.
+    let crash_restarts = plan.as_ref().is_some_and(|p| p.checkpointing);
+    let recovery = crash_restarts || opts.durable_dir.is_some();
     let initial_store = recovery.then(|| {
         store.enable_tracking();
         // Copy-on-write store: the pristine image is a reference bump
@@ -1107,12 +1348,37 @@ fn pe_session(
         store.clone()
     });
     let tracker = plan.map(|p| FaultTracker::new(p, pes));
+    let durable = match &opts.durable_dir {
+        Some(dir) => {
+            register_durable();
+            let m = core_durable::read_manifest(dir)
+                .map_err(|e| transport(format!("PE {pe} durable manifest: {e}")))?;
+            if m.pes != pes {
+                return Err(transport(format!(
+                    "PE {pe}: durable manifest declares {} PEs, cluster has {pes}",
+                    m.pes
+                )));
+            }
+            Some(NetDurable {
+                dir: dir.clone(),
+                nonce: m.nonce,
+                boundary: 0,
+                sent_to: vec![0; pes],
+                recv_from: vec![0; pes],
+                outbox: Vec::new(),
+                pending: Vec::new(),
+            })
+        }
+        None => None,
+    };
 
     let mut daemon = Daemon {
         pe,
         pes,
         store,
         initial_store,
+        crash_restarts,
+        durable,
         journal: WriteJournal::new(),
         ckpt: CheckpointTable::new(),
         events: HashMap::new(),
@@ -1153,6 +1419,9 @@ fn pe_session(
         }
         daemon.deliver(id, m);
     }
+    // Boundary 0: spill the delivered-but-unrun state, so even a kill
+    // before the first run restores cleanly.
+    daemon.durable_commit()?;
 
     // 6. Run. A panic inside a messenger becomes a structured
     //    WorkerPanic at the driver, not a silent EOF.

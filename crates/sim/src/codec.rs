@@ -12,7 +12,7 @@
 //! actually present before any allocation, so a corrupt frame cannot
 //! trigger an out-of-memory abort.
 
-use navp::Key;
+use crate::key::Key;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};

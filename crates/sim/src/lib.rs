@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod cost;
 pub mod key;
 pub mod memory;

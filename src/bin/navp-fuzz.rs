@@ -1,0 +1,195 @@
+//! Deterministic fault-space fuzzer for the case-study stages.
+//!
+//! Explore mode (default) sweeps seeded fault schedules over a stage,
+//! checking every run for bitwise product parity against the
+//! fault-free baseline; violations are delta-minimized and written as
+//! replayable `repro-<seed>.navpfault` files. Replay mode
+//! (`--replay <file>`) re-executes one repro (or any fault-spec file)
+//! and reports whether it still violates.
+//!
+//! ```text
+//! navp-fuzz [--stage dsc1d|pipe1d|phase1d|dsc2d|pipe2d|dpc2d]
+//!           [--grid RxC] [--n N] [--ab AB]
+//!           [--seeds COUNT] [--root-seed SEED] [--budget-secs S]
+//!           [--out DIR] [--threads] [--replay FILE]
+//! ```
+//!
+//! Exit status: 0 = clean (or replay no longer violates), 1 = parity
+//! violations found (repros written), 2 = usage error.
+
+use navp_matrix::Grid2D;
+use navp_mm::{fuzz_stage, replay_repro, FuzzExecutor, FuzzOpts, MmConfig, NavpStage};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    stage: NavpStage,
+    grid: Option<Grid2D>,
+    n: usize,
+    ab: usize,
+    seeds: usize,
+    root_seed: u64,
+    budget: Option<Duration>,
+    out: Option<PathBuf>,
+    executor: FuzzExecutor,
+    replay: Option<PathBuf>,
+}
+
+fn parse_stage(s: &str) -> Result<NavpStage, String> {
+    Ok(match s {
+        "dsc1d" => NavpStage::Dsc1D,
+        "pipe1d" => NavpStage::Pipe1D,
+        "phase1d" => NavpStage::Phase1D,
+        "dsc2d" => NavpStage::Dsc2D,
+        "pipe2d" => NavpStage::Pipe2D,
+        "dpc2d" => NavpStage::Dpc2D,
+        other => return Err(format!("unknown stage `{other}`")),
+    })
+}
+
+fn parse_grid(s: &str) -> Result<Grid2D, String> {
+    let (r, c) = s
+        .split_once('x')
+        .ok_or_else(|| format!("grid must be RxC, got `{s}`"))?;
+    let rows: usize = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+    let cols: usize = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+    Grid2D::new(rows, cols).map_err(|e| format!("bad grid: {e}"))
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        stage: NavpStage::Dsc1D,
+        grid: None,
+        n: 12,
+        ab: 2,
+        seeds: 1000,
+        root_seed: 0xFA_57_F0_0D,
+        budget: None,
+        out: None,
+        executor: FuzzExecutor::Sim,
+        replay: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--stage" => args.stage = parse_stage(&value()?)?,
+            "--grid" => args.grid = Some(parse_grid(&value()?)?),
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--ab" => args.ab = value()?.parse().map_err(|e| format!("--ab: {e}"))?,
+            "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--root-seed" => {
+                let v = value()?;
+                let v = v.trim();
+                args.root_seed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                }
+                .map_err(|e| format!("--root-seed: {e}"))?;
+            }
+            "--budget-secs" => {
+                args.budget = Some(Duration::from_secs(
+                    value()?.parse().map_err(|e| format!("--budget-secs: {e}"))?,
+                ))
+            }
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--threads" => args.executor = FuzzExecutor::Threads,
+            "--replay" => args.replay = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !args.n.is_multiple_of(args.ab) {
+        return Err(format!("--ab {} must divide --n {}", args.ab, args.n));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("navp-fuzz: {e}");
+            eprintln!(
+                "usage: navp-fuzz [--stage NAME] [--grid RxC] [--n N] [--ab AB] \
+                 [--seeds COUNT] [--root-seed SEED] [--budget-secs S] [--out DIR] \
+                 [--threads] [--replay FILE]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let grid = args.grid.unwrap_or_else(|| {
+        if args.stage.is_1d() {
+            Grid2D::line(3).expect("line(3)")
+        } else {
+            Grid2D::new(2, 2).expect("2x2")
+        }
+    });
+    let cfg = MmConfig::real(args.n, args.ab);
+
+    if let Some(path) = &args.replay {
+        match replay_repro(path, args.stage, &cfg, grid, args.executor) {
+            Ok(outcome) => {
+                println!("{}: {outcome:?}", path.display());
+                let still_violates =
+                    matches!(outcome, navp::explore::Outcome::Violation(_));
+                std::process::exit(if still_violates { 1 } else { 0 });
+            }
+            Err(e) => {
+                eprintln!("navp-fuzz: replay failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("navp-fuzz: creating {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let opts = FuzzOpts {
+        root_seed: args.root_seed,
+        schedules: args.seeds,
+        budget: args.budget,
+        out_dir: args.out.clone(),
+        executor: args.executor,
+    };
+    let start = std::time::Instant::now();
+    let report = match fuzz_stage(args.stage, &cfg, grid, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("navp-fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "fuzzed {} ({}x{} PEs, N={}, AB={}): {} schedules in {:.1}s — \
+         {} matched, {} expected failures, {} violations",
+        args.stage.name(),
+        grid.rows,
+        grid.cols,
+        args.n,
+        args.ab,
+        report.explored,
+        start.elapsed().as_secs_f64(),
+        report.matches,
+        report.expected_failures,
+        report.violations.len(),
+    );
+    for v in &report.violations {
+        match &v.path {
+            Some(p) => println!(
+                "  seed {:#018x}: {} ({} -> {} rules) -> {}",
+                v.seed,
+                v.detail,
+                v.original_rules,
+                v.plan.crashes.len() + v.plan.hop_faults.len() + v.plan.lost_signals.len(),
+                p.display()
+            ),
+            None => println!("  seed {:#018x}: {}", v.seed, v.detail),
+        }
+    }
+    std::process::exit(if report.violations.is_empty() { 0 } else { 1 });
+}

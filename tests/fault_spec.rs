@@ -1,0 +1,64 @@
+//! `NAVP_FAULT_SPEC` environment injection, end to end: a spec string
+//! in the environment faults a run whose cluster carries no explicit
+//! plan — the mechanism repro files ride in on.
+//!
+//! One `#[test]` only: the test mutates process-global environment
+//! state, so it gets a binary of its own (Rust runs tests of one
+//! binary concurrently; siblings here would race the variable).
+
+use navp_repro::navp::{FaultPlan, RunError, FAULT_SPEC_ENV};
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::runner::{run_navp_sim, NavpStage};
+use navp_repro::navp_mm::MmConfig;
+use navp_sim::CostModel;
+
+#[test]
+fn env_spec_faults_a_planless_run() {
+    let cfg = MmConfig::real(12, 2);
+    let grid = Grid2D::line(3).expect("grid");
+    let cost = CostModel::paper_cluster();
+
+    // Unset: the run is clean.
+    std::env::remove_var(FAULT_SPEC_ENV);
+    let clean = run_navp_sim(NavpStage::Dsc1D, &cfg, grid, &cost, false).expect("clean run");
+    assert_eq!(clean.verified, Some(true));
+    assert_eq!(clean.faults.expect("stats").crashes, 0);
+
+    // A recoverable crash spec: injected, recovered, product intact.
+    let plan = FaultPlan::new().crash_pe(1, 2);
+    std::env::set_var(FAULT_SPEC_ENV, plan.to_spec());
+    let faulted = run_navp_sim(NavpStage::Dsc1D, &cfg, grid, &cost, false).expect("faulted run");
+    assert_eq!(faulted.verified, Some(true), "recoverable crash keeps the product");
+    assert_eq!(faulted.faults.expect("stats").crashes, 1, "the env plan was injected");
+
+    // Spec round-trip sanity while we hold the variable: what the env
+    // carried parses back to the plan we serialized.
+    let parsed = FaultPlan::parse_spec(&std::env::var(FAULT_SPEC_ENV).unwrap()).unwrap();
+    assert_eq!(parsed, plan);
+
+    // An unrecoverable spec surfaces its structured error.
+    std::env::set_var(
+        FAULT_SPEC_ENV,
+        FaultPlan::new().crash_pe(1, 2).without_checkpointing().to_spec(),
+    );
+    match run_navp_sim(NavpStage::Dsc1D, &cfg, grid, &cost, false) {
+        Err(e) => assert!(
+            matches!(
+                e,
+                navp_repro::navp_mm::RunnerError::Navp(RunError::PeCrashed { pe: 1, .. })
+            ),
+            "expected PeCrashed, got {e}"
+        ),
+        Ok(_) => panic!("checkpointing-off crash must abort the run"),
+    }
+
+    // A malformed spec is a loud, descriptive error — never silently a
+    // clean run.
+    std::env::set_var(FAULT_SPEC_ENV, "explode pe=0");
+    match run_navp_sim(NavpStage::Dsc1D, &cfg, grid, &cost, false) {
+        Err(e) => assert!(e.to_string().contains("unknown fault verb"), "{e}"),
+        Ok(_) => panic!("malformed spec accepted"),
+    }
+
+    std::env::remove_var(FAULT_SPEC_ENV);
+}
