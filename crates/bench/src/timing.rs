@@ -24,6 +24,9 @@ pub enum Metric {
     Flops(u64),
     /// Payload bytes per iteration → reported as MiB/s.
     Bytes(u64),
+    /// Whole jobs/runs per iteration → reported as runs/s (service
+    /// throughput: submit-to-result round trips, not element counts).
+    Runs(u64),
 }
 
 impl Metric {
@@ -34,6 +37,7 @@ impl Metric {
             Metric::Elems(n) => (*n as f64 / secs / 1e6, "Melem/s"),
             Metric::Flops(n) => (*n as f64 / secs / 1e9, "GFLOP/s"),
             Metric::Bytes(n) => (*n as f64 / secs / (1024.0 * 1024.0), "MiB/s"),
+            Metric::Runs(n) => (*n as f64 / secs, "runs/s"),
         }
     }
 }
@@ -85,6 +89,7 @@ impl Entry {
             Some(Metric::Elems(n)) => write!(w, ",\"elems\":{n}")?,
             Some(Metric::Flops(n)) => write!(w, ",\"flops\":{n}")?,
             Some(Metric::Bytes(n)) => write!(w, ",\"bytes\":{n}")?,
+            Some(Metric::Runs(n)) => write!(w, ",\"runs\":{n}")?,
             None => {}
         }
         if let Some((value, unit)) = self.rate() {
@@ -326,5 +331,6 @@ mod tests {
         assert_eq!(Metric::Elems(3_000_000).rate(d), (3.0, "Melem/s"));
         let (v, u) = Metric::Bytes(1024 * 1024).rate(d);
         assert_eq!((v, u), (1.0, "MiB/s"));
+        assert_eq!(Metric::Runs(12).rate(d), (12.0, "runs/s"));
     }
 }

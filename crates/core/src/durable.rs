@@ -560,6 +560,67 @@ pub fn read_all_cuts(dir: &Path) -> Result<(Manifest, Vec<DurableCut>), DurableE
     Ok((manifest, cuts))
 }
 
+/// Directory holding run `run`'s checkpoints under `base`. Run `0` is
+/// the anonymous single-run namespace and maps to `base` itself — the
+/// layout every pre-service driver wrote — while any other id gets its
+/// own `run-<id>` subdirectory, so concurrent runs multiplexed onto
+/// the same daemons can never collide on manifests, cuts, or outboxes.
+pub fn run_dir(base: &Path, run: u64) -> PathBuf {
+    if run == 0 {
+        base.to_path_buf()
+    } else {
+        base.join(format!("run-{run}"))
+    }
+}
+
+/// Run ids that have a `run-<id>` checkpoint subdirectory under
+/// `base`, ascending. The anonymous namespace (`base` itself) is not a
+/// run and is never listed.
+pub fn list_run_dirs(base: &Path) -> Vec<u64> {
+    let mut runs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(base) else {
+        return runs;
+    };
+    for entry in entries.flatten() {
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("run-"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        runs.push(id);
+    }
+    runs.sort_unstable();
+    runs
+}
+
+/// Retention for long-lived daemons: prune per-run checkpoint
+/// subdirectories oldest-first (service run ids are monotonic, so the
+/// lowest id is the oldest run) until at most `keep` completed runs
+/// remain. A run for which `is_live` returns true is in flight — its
+/// restorable cut is never deleted, regardless of `keep`. The
+/// anonymous namespace (`base` itself) is never touched. Returns the
+/// run ids whose directories were removed.
+pub fn prune_run_dirs(base: &Path, keep: usize, is_live: &dyn Fn(u64) -> bool) -> Vec<u64> {
+    let completed: Vec<u64> = list_run_dirs(base)
+        .into_iter()
+        .filter(|&run| !is_live(run))
+        .collect();
+    let excess = completed.len().saturating_sub(keep);
+    let mut removed = Vec::new();
+    for &run in completed.iter().take(excess) {
+        if std::fs::remove_dir_all(run_dir(base, run)).is_ok() {
+            removed.push(run);
+        }
+    }
+    removed
+}
+
 /// Wrapper messenger that restores a parked event-waiter: its first
 /// step re-issues the `WaitEvent`, then it delegates every later step
 /// to the wrapped messenger. Injecting one at the waiter's origin PE
@@ -822,6 +883,44 @@ mod tests {
             DurableError::Missing { .. }
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_dir_namespacing() {
+        let base = Path::new("/tmp/ckpt");
+        assert_eq!(run_dir(base, 0), base, "run 0 is the legacy layout");
+        assert_eq!(run_dir(base, 42), base.join("run-42"));
+    }
+
+    #[test]
+    fn prune_keeps_live_and_newest_runs() {
+        let base = std::env::temp_dir().join(format!("navp-prune-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        // Five completed-looking runs plus cuts in the anonymous
+        // namespace; run 3 is still in flight.
+        for run in 1..=5u64 {
+            let dir = run_dir(&base, run);
+            write_manifest(&dir, &Manifest { pes: 2, nonce: run }).unwrap();
+        }
+        write_manifest(&base, &Manifest { pes: 2, nonce: 9 }).unwrap();
+        assert_eq!(list_run_dirs(&base), vec![1, 2, 3, 4, 5]);
+
+        let removed = prune_run_dirs(&base, 2, &|run| run == 3);
+        // Oldest-first: of the completed runs {1,2,4,5}, keep the
+        // newest two (4, 5); the live run 3 survives regardless.
+        assert_eq!(removed, vec![1, 2]);
+        assert_eq!(list_run_dirs(&base), vec![3, 4, 5]);
+        assert!(
+            read_manifest(&run_dir(&base, 3)).is_ok(),
+            "in-flight run's restorable state untouched"
+        );
+        assert!(read_manifest(&base).is_ok(), "anonymous namespace untouched");
+
+        // Once run 3 completes, keep=0 clears everything.
+        let removed = prune_run_dirs(&base, 0, &|_| false);
+        assert_eq!(removed, vec![3, 4, 5]);
+        assert!(list_run_dirs(&base).is_empty());
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -83,6 +83,14 @@ pub enum RunError {
         /// Human-readable cause.
         detail: String,
     },
+    /// The run was cancelled because it exceeded its wall-clock
+    /// deadline (per-job timeouts in a multi-tenant service). Unlike
+    /// [`RunError::Stalled`] the run may still have been making
+    /// progress — it was just slower than the caller allowed.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -132,6 +140,9 @@ impl fmt::Display for RunError {
                 )
             }
             RunError::Transport { detail } => write!(f, "transport failure: {detail}"),
+            RunError::DeadlineExceeded { limit_ms } => {
+                write!(f, "run exceeded its {limit_ms} ms deadline and was cancelled")
+            }
         }
     }
 }
@@ -191,5 +202,7 @@ mod tests {
             detail: "connection refused".into(),
         };
         assert!(e.to_string().contains("connection refused"));
+        let e = RunError::DeadlineExceeded { limit_ms: 1500 };
+        assert!(e.to_string().contains("1500 ms"));
     }
 }

@@ -185,6 +185,34 @@ impl Histogram {
         }
         (counts, acc + self.overflow.load(Ordering::Relaxed))
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket that crosses the target rank — the standard
+    /// Prometheus `histogram_quantile` estimate, bounded by the
+    /// power-of-4 bucket resolution. Returns `None` on an empty
+    /// histogram; observations past the last finite bucket clamp to
+    /// its bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let (counts, total) = self.cumulative();
+        if total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        for (i, &cum) in counts.iter().enumerate() {
+            if (cum as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { bucket_bound(i - 1) as f64 };
+                let hi = bucket_bound(i) as f64;
+                let below = if i == 0 { 0 } else { counts[i - 1] };
+                let in_bucket = cum - below;
+                if in_bucket == 0 {
+                    return Some(hi);
+                }
+                let frac = (rank - below as f64) / in_bucket as f64;
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(bucket_bound(BUCKETS - 1) as f64)
+    }
 }
 
 /// What a registered metric family is, for `# TYPE` lines.
@@ -734,6 +762,28 @@ mod tests {
         assert_eq!(cum[3], 8, "17 and 64 <= 4^3");
         assert_eq!(cum[15], 9, "2^30 <= 4^15; 2^30+1 overflows to +Inf");
         assert_eq!(h.sum(), 1 + 2 + 4 + 5 + 16 + 17 + 64 + (1u64 << 30) + (1 << 30) + 1);
+    }
+
+    #[test]
+    fn histogram_quantile_estimates() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 100 observations spread inside the (16, 64] bucket.
+        for i in 0..100u64 {
+            h.observe(17 + (i % 48));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (16.0..=64.0).contains(&p50),
+            "median must land inside its bucket, got {p50}"
+        );
+        // All observations in one bucket → p99 also inside it.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 64.0 && p99 >= p50, "p99 {p99} vs p50 {p50}");
+        // Overflow observations clamp to the last finite bound.
+        let big = Histogram::new();
+        big.observe(u64::MAX / 2);
+        assert_eq!(big.quantile(0.5), Some(bucket_bound(BUCKETS - 1) as f64));
     }
 
     #[test]

@@ -497,12 +497,34 @@ pub struct NetOpts {
     /// Joined (`--listen`) daemons must have been started with the same
     /// `--durable-dir`. `None` (default) performs zero extra syscalls.
     pub durable_dir: Option<PathBuf>,
+    /// Run namespace for multi-tenant clusters: rides in the net
+    /// handshake frames and scopes durable checkpoints to a per-run
+    /// subdirectory, so concurrent runs multiplexed onto the same
+    /// `--listen` daemons cannot collide. `0` (default) is the
+    /// anonymous single-run namespace.
+    pub run_id: u64,
+    /// Wall-clock budget for the whole run; exceeded →
+    /// [`RunError`](navp::RunError)`::DeadlineExceeded`. `None`
+    /// (default) = unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl NetOpts {
     /// Builder-style [`NetOpts::durable_dir`].
     pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> NetOpts {
         self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style [`NetOpts::run_id`].
+    pub fn with_run_id(mut self, run_id: u64) -> NetOpts {
+        self.run_id = run_id;
+        self
+    }
+
+    /// Builder-style [`NetOpts::deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> NetOpts {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -525,6 +547,12 @@ fn net_executor(cfg: &MmConfig, opts: &NetOpts) -> NetExecutor {
     }
     if let Some(dir) = &opts.durable_dir {
         exec = exec.with_durable_dir(dir.clone());
+    }
+    if opts.run_id != 0 {
+        exec = exec.with_run_id(opts.run_id);
+    }
+    if let Some(deadline) = opts.deadline {
+        exec = exec.with_deadline(deadline);
     }
     if let Some(wd) = cfg.watchdog {
         return exec.with_watchdog(wd);

@@ -235,7 +235,7 @@ mod tests {
             (f1, f2)
         });
         let conn = FrameConn::new(TcpStream::connect(addr).unwrap());
-        let sent = Frame::Assign { pe: 1, pes: 4 };
+        let sent = Frame::Assign { pe: 1, pes: 4, run: 7 };
         let n = conn.send(&sent).unwrap();
         assert_eq!(n as usize, 4 + sent.encode().len());
         conn.send(&Frame::Shutdown).unwrap();

@@ -116,6 +116,15 @@ pub struct NetExecutor {
     grace: Duration,
     /// Checkpoint directory for durable runs; `None` = durability off.
     durable_dir: Option<PathBuf>,
+    /// Run namespace carried in `Assign`. `0` = the anonymous
+    /// single-run namespace (durable state lives in `durable_dir`
+    /// itself); nonzero ids scope durable state to a per-run
+    /// subdirectory so concurrent runs on shared daemons can't
+    /// collide.
+    run_id: u64,
+    /// Wall-clock budget for the whole run (mesh handshake included);
+    /// exceeded → [`RunError::DeadlineExceeded`]. `None` = unbounded.
+    deadline: Option<Duration>,
 }
 
 impl Default for NetExecutor {
@@ -163,7 +172,29 @@ impl NetExecutor {
             metrics: false,
             grace: Duration::from_secs(2),
             durable_dir: None,
+            run_id: 0,
+            deadline: None,
         }
+    }
+
+    /// Namespace this run. The id rides in `Assign` and `PeerHello`,
+    /// scopes the PEs' durable checkpoints to
+    /// [`run_dir(durable_dir, id)`](navp::durable::run_dir), and keeps
+    /// concurrent runs multiplexed onto the same `--listen` daemons
+    /// from cross-wiring their meshes. `0` (the default) is the
+    /// anonymous single-run namespace every pre-service driver used.
+    pub fn with_run_id(mut self, run_id: u64) -> NetExecutor {
+        self.run_id = run_id;
+        self
+    }
+
+    /// Give the run a wall-clock budget. Unlike the watchdog (which
+    /// fires only on *silence*), the deadline cancels a run that is
+    /// still making progress but slower than the caller allows — the
+    /// enforcement half of a per-job timeout.
+    pub fn with_deadline(mut self, deadline: Duration) -> NetExecutor {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Make the run durable: write the session manifest to `dir`,
@@ -269,7 +300,7 @@ impl NetExecutor {
         };
         if let Some(dir) = &self.durable_dir {
             navp::durable::write_manifest(
-                dir,
+                &navp::durable::run_dir(dir, self.run_id),
                 &navp::durable::Manifest {
                     pes,
                     nonce: navp::durable::fresh_nonce(),
@@ -511,6 +542,7 @@ impl NetExecutor {
     ) -> Result<DriveOutcome, RunError> {
         let transport = |detail: String| RunError::Transport { detail };
         let handshake_deadline = Instant::now() + self.handshake_window();
+        let run_deadline = self.deadline.map(|d| Instant::now() + d);
 
         // Assign identities, gather listen addresses, broadcast the
         // address map, wait for the mesh barrier.
@@ -518,6 +550,7 @@ impl NetExecutor {
             conn.send(&Frame::Assign {
                 pe: pe as u32,
                 pes: pes as u32,
+                run: self.run_id,
             })
             .map_err(|e| transport(format!("send Assign to PE {pe}: {e}")))?;
         }
@@ -596,6 +629,13 @@ impl NetExecutor {
         let mut acks_got = 0;
         let mut prev_round: Option<Vec<(u64, u64, u64, u64)>> = None;
         loop {
+            if let Some(at) = run_deadline {
+                if Instant::now() >= at {
+                    return Err(RunError::DeadlineExceeded {
+                        limit_ms: self.deadline.unwrap_or_default().as_millis() as u64,
+                    });
+                }
+            }
             if live <= 0 && !probing {
                 probe_round += 1;
                 probing = true;

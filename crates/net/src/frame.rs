@@ -49,6 +49,11 @@ pub enum Frame {
         pe: u32,
         /// Cluster size.
         pes: u32,
+        /// Run namespace. `0` is the anonymous single-run namespace
+        /// (legacy drivers); a nonzero id scopes this session's
+        /// durable checkpoints to a per-run subdirectory so
+        /// concurrent runs on one daemon cannot collide.
+        run: u64,
     },
     /// PE → driver: the address my peer listener is bound to.
     Hello {
@@ -71,6 +76,11 @@ pub enum Frame {
     PeerHello {
         /// The connecting PE's index.
         pe: u32,
+        /// The run namespace the connecting PE was assigned. A
+        /// session accepts a mesh edge only from its own run, so two
+        /// concurrent runs multiplexed onto the same daemons can
+        /// never cross-wire their meshes.
+        run: u64,
     },
     /// PE → driver: my mesh edges are all up (barrier arrival).
     MeshReady {
@@ -518,6 +528,10 @@ fn put_err(w: &mut WireWriter, e: &RunError) {
             w.put_u8(11);
             w.put_usize(*pe);
         }
+        RunError::DeadlineExceeded { limit_ms } => {
+            w.put_u8(12);
+            w.put_u64(*limit_ms);
+        }
     }
 }
 
@@ -564,6 +578,9 @@ fn get_err(r: &mut WireReader<'_>) -> Result<RunError, DecodeError> {
             detail: r.get_str()?,
         },
         11 => RunError::PeStopped { pe: r.get_usize()? },
+        12 => RunError::DeadlineExceeded {
+            limit_ms: r.get_u64()?,
+        },
         _ => return Err(DecodeError::BadValue("error kind")),
     })
 }
@@ -582,10 +599,11 @@ impl Frame {
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         let mut w = WireWriter::over(std::mem::take(buf));
         match self {
-            Frame::Assign { pe, pes } => {
+            Frame::Assign { pe, pes, run } => {
                 w.put_u8(K_ASSIGN);
                 w.put_u32(*pe);
                 w.put_u32(*pes);
+                w.put_u64(*run);
             }
             Frame::Hello { pe, pid, listen } => {
                 w.put_u8(K_HELLO);
@@ -600,9 +618,10 @@ impl Frame {
                     w.put_str(p);
                 }
             }
-            Frame::PeerHello { pe } => {
+            Frame::PeerHello { pe, run } => {
                 w.put_u8(K_PEER_HELLO);
                 w.put_u32(*pe);
+                w.put_u64(*run);
             }
             Frame::MeshReady { pe } => {
                 w.put_u8(K_MESH_READY);
@@ -752,6 +771,7 @@ impl Frame {
             K_ASSIGN => Frame::Assign {
                 pe: r.get_u32()?,
                 pes: r.get_u32()?,
+                run: r.get_u64()?,
             },
             K_HELLO => Frame::Hello {
                 pe: r.get_u32()?,
@@ -766,7 +786,10 @@ impl Frame {
                 }
                 Frame::Bootstrap { peers }
             }
-            K_PEER_HELLO => Frame::PeerHello { pe: r.get_u32()? },
+            K_PEER_HELLO => Frame::PeerHello {
+                pe: r.get_u32()?,
+                run: r.get_u64()?,
+            },
             K_MESH_READY => Frame::MeshReady { pe: r.get_u32()? },
             K_START => {
                 let store = get_store(&mut r)?;
@@ -886,7 +909,16 @@ mod tests {
 
     #[test]
     fn control_frames_roundtrip() {
-        roundtrip(Frame::Assign { pe: 3, pes: 4 });
+        roundtrip(Frame::Assign {
+            pe: 3,
+            pes: 4,
+            run: 0,
+        });
+        roundtrip(Frame::Assign {
+            pe: 3,
+            pes: 4,
+            run: 0x00C0_FFEE_u64 << 16,
+        });
         roundtrip(Frame::Hello {
             pe: 1,
             pid: 4321,
@@ -895,7 +927,7 @@ mod tests {
         roundtrip(Frame::Bootstrap {
             peers: vec!["a:1".into(), "b:2".into()],
         });
-        roundtrip(Frame::PeerHello { pe: 2 });
+        roundtrip(Frame::PeerHello { pe: 2, run: 77 });
         roundtrip(Frame::MeshReady { pe: 0 });
         roundtrip(Frame::Probe { round: 2 });
         roundtrip(Frame::ProbeAck {
@@ -1004,6 +1036,7 @@ mod tests {
                 detail: "refused".into(),
             },
             RunError::PeStopped { pe: 2 },
+            RunError::DeadlineExceeded { limit_ms: 2500 },
         ];
         for err in errs {
             roundtrip(Frame::Fatal { err });

@@ -57,7 +57,10 @@ pub use codec::{DecodeError, WireReader, WireWriter};
 pub use durable::{restore_from_dir, RegistryCodec};
 pub use exec::{NetExecutor, NetPeStats, NetReport};
 pub use frame::Frame;
-pub use pe::{pe_main, PeMode, PeOptions, CRASH_EXIT, GRACEFUL_EXIT, PE_ENV};
+pub use pe::{
+    install_stop_handlers, pe_main, stop_requested, PeMode, PeOptions, CRASH_EXIT, GRACEFUL_EXIT,
+    PE_ENV,
+};
 pub use registry::{
     decode_messenger, decode_store, encode_messenger, encode_store, register_messenger,
     register_value, MsgrDecodeFn, ValueCodec,
@@ -77,6 +80,11 @@ pub struct PeArgs {
     /// at every run boundary so the process survives `kill -9`.
     /// `None` when the flag is absent (durability off, zero syscalls).
     pub durable_dir: Option<std::path::PathBuf>,
+    /// `--durable-keep n`: after each `--listen` session, prune
+    /// completed runs' checkpoint subdirectories oldest-first until at
+    /// most `n` remain (in-flight runs are never pruned). `None` when
+    /// the flag is absent (keep everything).
+    pub durable_keep: Option<usize>,
 }
 
 /// Parse the standard PE-binary argument list (`--connect addr` or
@@ -86,11 +94,13 @@ pub struct PeArgs {
 /// else.
 pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, String> {
     const USAGE: &str = "usage: --connect <driver-host:port> | --listen <bind-host:port> \
-                         [--metrics-addr <bind-host:port>] [--durable-dir <path>]";
+                         [--metrics-addr <bind-host:port>] [--durable-dir <path>] \
+                         [--durable-keep <n>]";
     let argv: Vec<String> = args.into_iter().collect();
     let mut mode: Option<PeMode> = None;
     let mut metrics_addr: Option<String> = None;
     let mut durable_dir: Option<std::path::PathBuf> = None;
+    let mut durable_keep: Option<usize> = None;
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let value = |it: &mut std::vec::IntoIter<String>| {
@@ -121,6 +131,15 @@ pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, 
                     return Err(format!("more than one --durable-dir\n{USAGE}"));
                 }
             }
+            "--durable-keep" => {
+                let n = value(&mut it)?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--durable-keep wants a count, got {n:?}\n{USAGE}"))?;
+                if durable_keep.replace(n).is_some() {
+                    return Err(format!("more than one --durable-keep\n{USAGE}"));
+                }
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -129,6 +148,7 @@ pub fn parse_pe_args<I: IntoIterator<Item = String>>(args: I) -> Result<PeArgs, 
             mode,
             metrics_addr,
             durable_dir,
+            durable_keep,
         }),
         None => Err(USAGE.to_string()),
     }
@@ -172,6 +192,23 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(a.durable_dir.as_deref(), Some(std::path::Path::new("/tmp/ckpt")));
+        assert_eq!(a.durable_keep, None);
+        let a = parse_pe_args(argv(&[
+            "--listen",
+            "0.0.0.0:7000",
+            "--durable-dir",
+            "/tmp/ckpt",
+            "--durable-keep",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(a.durable_keep, Some(8));
+        assert!(parse_pe_args(argv(&["--listen", "a:1", "--durable-keep"])).is_err());
+        assert!(parse_pe_args(argv(&["--listen", "a:1", "--durable-keep", "many"])).is_err());
+        assert!(parse_pe_args(argv(&[
+            "--listen", "a:1", "--durable-keep", "1", "--durable-keep", "2"
+        ]))
+        .is_err());
         assert!(parse_pe_args(argv(&["--connect", "a:1", "--durable-dir"])).is_err());
         assert!(parse_pe_args(argv(&[
             "--connect", "a:1", "--durable-dir", "x", "--durable-dir", "y"

@@ -34,12 +34,12 @@ use navp::{
 };
 use navp_metrics::{serve_http, Counter, MetricsRegistry, RunMetrics};
 use navp_trace::{PeRecorder, TraceKind};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Exit code of a PE process whose fault plan crashed it with
@@ -121,6 +121,12 @@ pub struct PeOptions {
     /// `None` = durability off: the hot path performs zero filesystem
     /// syscalls.
     pub durable_dir: Option<PathBuf>,
+    /// Checkpoint retention for long-lived `--listen` daemons: after
+    /// each driver session, prune completed runs' per-run checkpoint
+    /// subdirectories oldest-first until at most this many remain. A
+    /// run with a session still in flight is never pruned, nor is the
+    /// anonymous (run 0) namespace. `None` = keep everything.
+    pub durable_keep: Option<usize>,
 }
 
 /// Shared state behind `GET /healthz`: written by the daemon loop,
@@ -1056,10 +1062,15 @@ fn connect_with_retries(addr: &str, deadline: Instant) -> Result<TcpStream, RunE
     }
 }
 
-/// Accept `need` peer connections, each introduced by a `PeerHello`.
+/// Accept `need` peer connections, each introduced by a `PeerHello`
+/// carrying this session's run namespace. A hello from another run is
+/// a hard error: with several runs multiplexed onto the same daemons,
+/// a cross-run mesh edge would deliver messengers into the wrong
+/// store.
 fn accept_peers(
     listener: TcpListener,
     need: usize,
+    run: u64,
     deadline: Instant,
 ) -> Result<Vec<(usize, TcpStream)>, RunError> {
     listener
@@ -1078,7 +1089,16 @@ fn accept_peers(
                     })?;
                 let mut stream = stream;
                 match read_frame(&mut stream) {
-                    Ok(Frame::PeerHello { pe }) => got.push((pe as usize, stream)),
+                    Ok(Frame::PeerHello { pe, run: r }) if r == run => {
+                        got.push((pe as usize, stream))
+                    }
+                    Ok(Frame::PeerHello { pe, run: r }) => {
+                        return Err(RunError::Transport {
+                            detail: format!(
+                                "PeerHello from PE {pe} of run {r}, this session is run {run}"
+                            ),
+                        })
+                    }
                     Ok(other) => {
                         return Err(RunError::Transport {
                             detail: format!("expected PeerHello, got {other:?}"),
@@ -1121,6 +1141,10 @@ struct Obs {
     registry: Arc<MetricsRegistry>,
     decode_bytes: Arc<Counter>,
     health: Arc<Health>,
+    /// Run ids with a driver session currently in flight on this
+    /// daemon — the live set checkpoint GC must never prune. Run 0
+    /// (the anonymous namespace) is never tracked.
+    active_runs: Mutex<HashSet<u64>>,
 }
 
 impl Obs {
@@ -1129,6 +1153,7 @@ impl Obs {
             registry: Arc::new(MetricsRegistry::new()),
             decode_bytes: Arc::new(Counter::new()),
             health: Arc::new(Health::new()),
+            active_runs: Mutex::new(HashSet::new()),
         };
         if let Some(addr) = &opts.metrics_addr {
             let h = Arc::clone(&obs.health);
@@ -1145,18 +1170,22 @@ impl Obs {
 /// Run the PE process: handshake, mesh, event loop. In `--connect`
 /// mode (driver-spawned children) the process serves exactly one
 /// driver session and exits. In `--listen` mode it is a daemon: it
-/// serves driver sessions back to back until killed, keeping its
-/// metrics registry — and the `/metrics`/`/healthz` endpoint, when
-/// `--metrics-addr` is given — alive across runs. Fatal errors are
-/// reported to the driver before returning (or, in listen mode,
-/// logged and survived).
+/// serves driver sessions *concurrently* — each accepted driver
+/// connection gets its own session thread with its own store slice,
+/// event table, peer mesh, and (run-scoped) durable state, so a
+/// multi-tenant service can multiplex overlapping runs onto one
+/// process — keeping its metrics registry (and the
+/// `/metrics`/`/healthz` endpoint, when `--metrics-addr` is given)
+/// alive across and shared between runs. Fatal errors are reported to
+/// the driver before returning (or, in listen mode, logged and
+/// survived).
 pub fn pe_main(mode: PeMode, opts: PeOptions) -> Result<(), RunError> {
     // Durable wrapper types must decode wherever restored injections
     // can arrive, and every PE honours SIGTERM/SIGINT with a clean
     // flush + [`GRACEFUL_EXIT`].
     register_durable();
     install_stop_handlers();
-    let obs = Obs::new(&opts)?;
+    let obs = Arc::new(Obs::new(&opts)?);
     match &mode {
         PeMode::Connect(addr) => {
             let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
@@ -1171,12 +1200,72 @@ pub fn pe_main(mode: PeMode, opts: PeOptions) -> Result<(), RunError> {
                 let (stream, _) = listener.accept().map_err(|e| RunError::Transport {
                     detail: format!("accept driver on {bind}: {e}"),
                 })?;
-                let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-                if let Err(err) = driver_session(&opts, &obs, stream, deadline) {
-                    eprintln!("navp-pe: driver session failed: {err}");
-                }
+                let opts = opts.clone();
+                let obs = Arc::clone(&obs);
+                std::thread::spawn(move || {
+                    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+                    if let Err(err) = driver_session(&opts, &obs, stream, deadline) {
+                        eprintln!("navp-pe: driver session failed: {err}");
+                    }
+                    // Retention runs after each session, with the
+                    // daemon's own in-flight runs as the live set, so
+                    // a restorable cut is never deleted out from under
+                    // a concurrent session.
+                    if let (Some(base), Some(keep)) = (&opts.durable_dir, opts.durable_keep) {
+                        let live = obs.active_runs.lock().unwrap().clone();
+                        let removed =
+                            core_durable::prune_run_dirs(base, keep, &|r| live.contains(&r));
+                        if !removed.is_empty() {
+                            eprintln!(
+                                "navp-pe: pruned {} completed run checkpoint dir(s)",
+                                removed.len()
+                            );
+                        }
+                    }
+                });
             }
         }
+    }
+}
+
+/// RAII membership in [`Obs::active_runs`]: marks the run in flight on
+/// construction, un-marks on drop — so checkpoint GC sees a consistent
+/// live set no matter how the session ends. Run 0 is the anonymous
+/// namespace and is never tracked (nor ever pruned).
+struct RunGuard<'a> {
+    obs: &'a Obs,
+    run: u64,
+}
+
+impl<'a> RunGuard<'a> {
+    fn mark(obs: &'a Obs, run: u64) -> RunGuard<'a> {
+        if run != 0 {
+            obs.active_runs.lock().unwrap().insert(run);
+        }
+        RunGuard { obs, run }
+    }
+}
+
+impl Drop for RunGuard<'_> {
+    fn drop(&mut self) {
+        if self.run != 0 {
+            self.obs.active_runs.lock().unwrap().remove(&self.run);
+        }
+    }
+}
+
+/// Publish the PE index to [`PE_ENV`]. The environment is
+/// process-global while sessions are per-thread, so writes are
+/// serialized and skipped when the value is already right — every
+/// session of one daemon normally carries the same index (drivers
+/// address daemons in mesh order), making this a no-op after the first
+/// session.
+fn set_pe_env(pe: usize) {
+    static PE_ENV_LOCK: Mutex<()> = Mutex::new(());
+    let _g = PE_ENV_LOCK.lock().unwrap();
+    let val = pe.to_string();
+    if std::env::var(PE_ENV).as_deref() != Ok(val.as_str()) {
+        std::env::set_var(PE_ENV, val);
     }
 }
 
@@ -1210,12 +1299,16 @@ fn pe_session(
     let transport = |detail: String| RunError::Transport { detail };
 
     // 1. Identity.
-    let (pe, pes) = match read_frame(driver_stream) {
-        Ok(Frame::Assign { pe, pes }) => (pe as usize, pes as usize),
+    let (pe, pes, run) = match read_frame(driver_stream) {
+        Ok(Frame::Assign { pe, pes, run }) => (pe as usize, pes as usize, run),
         Ok(other) => return Err(transport(format!("expected Assign, got {other:?}"))),
         Err(e) => return Err(transport(format!("handshake read: {e}"))),
     };
-    std::env::set_var(PE_ENV, pe.to_string());
+    // Mark the run in flight for the duration of this session (RAII so
+    // every exit path — error, panic, clean return — un-marks it);
+    // checkpoint GC treats marked runs as unprunable.
+    let _run_guard = RunGuard::mark(obs, run);
+    set_pe_env(pe);
     let registry = Arc::clone(&obs.registry);
     let decode_bytes = Arc::clone(&obs.decode_bytes);
     let health = Arc::clone(&obs.health);
@@ -1255,7 +1348,7 @@ fn pe_session(
     }
     let acceptor = {
         let need = pes - 1 - pe;
-        std::thread::spawn(move || accept_peers(listener, need, deadline))
+        std::thread::spawn(move || accept_peers(listener, need, run, deadline))
     };
     let mut peer_streams: Vec<Option<TcpStream>> = (0..pes).map(|_| None).collect();
     for (q, addr) in peer_addrs.iter().enumerate().take(pe) {
@@ -1263,7 +1356,7 @@ fn pe_session(
         FrameConn::new(stream.try_clone().map_err(|e| {
             transport(format!("clone peer stream: {e}"))
         })?)
-        .send(&Frame::PeerHello { pe: pe as u32 })
+        .send(&Frame::PeerHello { pe: pe as u32, run })
         .map_err(|e| transport(format!("send PeerHello to {q}: {e}")))?;
         peer_streams[q] = Some(stream);
     }
@@ -1349,9 +1442,14 @@ fn pe_session(
     });
     let tracker = plan.map(|p| FaultTracker::new(p, pes));
     let durable = match &opts.durable_dir {
-        Some(dir) => {
+        Some(base) => {
             register_durable();
-            let m = core_durable::read_manifest(dir)
+            // Durable state is scoped to the session's run namespace:
+            // run 0 spills into the base directory (the pre-service
+            // layout), any other run into its own `run-<id>` subdir
+            // whose manifest the driver wrote before connecting.
+            let dir = core_durable::run_dir(base, run);
+            let m = core_durable::read_manifest(&dir)
                 .map_err(|e| transport(format!("PE {pe} durable manifest: {e}")))?;
             if m.pes != pes {
                 return Err(transport(format!(
@@ -1360,7 +1458,7 @@ fn pe_session(
                 )));
             }
             Some(NetDurable {
-                dir: dir.clone(),
+                dir,
                 nonce: m.nonce,
                 boundary: 0,
                 sent_to: vec![0; pes],

@@ -168,6 +168,7 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
         0 => Frame::Assign {
             pe: rng.below(16) as u32,
             pes: rng.below(16) as u32,
+            run: rng.next_u64(),
         },
         1 => Frame::Hello {
             pe: rng.below(16) as u32,
@@ -181,6 +182,7 @@ fn arb_frame(rng: &mut SplitMix64) -> Frame {
         },
         3 => Frame::PeerHello {
             pe: rng.below(16) as u32,
+            run: rng.next_u64(),
         },
         4 => Frame::MeshReady {
             pe: rng.below(16) as u32,

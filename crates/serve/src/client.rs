@@ -1,0 +1,85 @@
+//! Blocking client helpers: what `navp-submit` and the integration
+//! tests use to talk to a `navp-serve` instance.
+
+use crate::proto::{
+    read_msg, write_msg, JobInfo, JobOutcome, JobSpec, RejectReason, Request, Response,
+};
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A persistent connection issuing request/response pairs in order.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a `navp-serve` listen address.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_msg(&mut self.stream, &req.encode())?;
+        let body = read_msg(&mut self.stream)?;
+        Response::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+/// One-shot request over a fresh connection.
+pub fn rpc(addr: &str, req: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.request(req)
+}
+
+/// Submit a job. The outer `Result` is transport; the inner one is the
+/// server's admission verdict.
+pub fn submit(addr: &str, spec: JobSpec) -> io::Result<Result<u64, RejectReason>> {
+    match rpc(addr, &Request::Submit { spec })? {
+        Response::Submitted { id } => Ok(Ok(id)),
+        Response::Rejected { reason } => Ok(Err(reason)),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Poll `Result` until the job reaches a terminal state, up to
+/// `timeout`; `TimedOut` errors mean the *client* gave up waiting,
+/// not that the job failed.
+pub fn wait_terminal(
+    addr: &str,
+    id: u64,
+    timeout: Duration,
+) -> io::Result<(JobInfo, Option<JobOutcome>)> {
+    let deadline = Instant::now() + timeout;
+    let mut client = Client::connect(addr)?;
+    loop {
+        match client.request(&Request::Result { id })? {
+            Response::Outcome { info, outcome } => {
+                if info.state.is_terminal() {
+                    return Ok((info, outcome));
+                }
+            }
+            Response::Error { detail } => {
+                return Err(io::Error::new(io::ErrorKind::NotFound, detail))
+            }
+            other => return Err(unexpected(other)),
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("job {id} not terminal within {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+fn unexpected(resp: Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}

@@ -1,0 +1,143 @@
+//! The `navp_serve_*` metric set.
+//!
+//! Observability is part of the service contract, not an afterthought:
+//! every scheduler transition lands in these instruments, and
+//! `navp-serve --metrics-addr` serves the owning registry on
+//! `GET /metrics` next to the PE daemons' own endpoints.
+
+use navp_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Handles to the service's instruments, all registered on one
+/// [`MetricsRegistry`] (held here so the HTTP endpoint can render it).
+pub struct ServeMetrics {
+    /// The registry every instrument below lives on.
+    pub registry: Arc<MetricsRegistry>,
+    /// `navp_serve_queue_depth` — jobs admitted but not yet running.
+    pub queue_depth: Arc<Gauge>,
+    /// `navp_serve_jobs_inflight` — runs currently on the mesh.
+    pub inflight: Arc<Gauge>,
+    /// `navp_serve_admission_rejects_total{reason="queue_full"}`.
+    pub rejects_full: Arc<Counter>,
+    /// `navp_serve_admission_rejects_total{reason="draining"}`.
+    pub rejects_draining: Arc<Counter>,
+    /// `navp_serve_jobs_total{state=…}` — one counter per terminal
+    /// state, in [`crate::proto::JobState`] name order
+    /// (done, failed, timeout, cancelled).
+    pub jobs_done: Arc<Counter>,
+    /// Jobs that ended `failed`.
+    pub jobs_failed: Arc<Counter>,
+    /// Jobs that ended `timeout`.
+    pub jobs_timeout: Arc<Counter>,
+    /// Jobs that ended `cancelled`.
+    pub jobs_cancelled: Arc<Counter>,
+    /// `navp_serve_job_latency_ms` — submit-to-terminal latency.
+    pub latency_ms: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Register the service instruments on `registry`.
+    pub fn on_registry(registry: Arc<MetricsRegistry>) -> Arc<ServeMetrics> {
+        let jobs = |state: &'static str| {
+            registry.counter(
+                "navp_serve_jobs_total",
+                "Jobs finished, by terminal state",
+                &[("state", state)],
+            )
+        };
+        let rejects = |reason: &'static str| {
+            registry.counter(
+                "navp_serve_admission_rejects_total",
+                "Submissions turned away at admission, by reason",
+                &[("reason", reason)],
+            )
+        };
+        Arc::new(ServeMetrics {
+            queue_depth: registry.gauge(
+                "navp_serve_queue_depth",
+                "Jobs admitted and waiting for a worker slot",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "navp_serve_jobs_inflight",
+                "Runs currently executing on the PE mesh",
+                &[],
+            ),
+            rejects_full: rejects("queue_full"),
+            rejects_draining: rejects("draining"),
+            jobs_done: jobs("done"),
+            jobs_failed: jobs("failed"),
+            jobs_timeout: jobs("timeout"),
+            jobs_cancelled: jobs("cancelled"),
+            latency_ms: registry.histogram(
+                "navp_serve_job_latency_ms",
+                "Submit-to-terminal job latency, milliseconds",
+                &[],
+            ),
+            registry,
+        })
+    }
+
+    /// Instruments on a fresh registry of their own.
+    pub fn new() -> Arc<ServeMetrics> {
+        ServeMetrics::on_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// One-line health JSON for `GET /healthz`: queue depth, in-flight
+    /// count and the latency histogram's p50/p99 estimates.
+    pub fn health_json(&self) -> String {
+        let q = |p: f64| {
+            self.latency_ms
+                .quantile(p)
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "null".into())
+        };
+        format!(
+            "{{\"role\":\"navp-serve\",\"queue_depth\":{},\"inflight\":{},\
+             \"jobs_done\":{},\"latency_p50_ms\":{},\"latency_p99_ms\":{}}}",
+            self.queue_depth.get(),
+            self.inflight.get(),
+            self.jobs_done.get(),
+            q(0.50),
+            q(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use navp_metrics::validate_prometheus;
+
+    #[test]
+    fn serve_metrics_render_as_valid_prometheus() {
+        let m = ServeMetrics::new();
+        m.queue_depth.set(3);
+        m.inflight.set(2);
+        m.rejects_full.inc();
+        m.jobs_done.add(5);
+        m.latency_ms.observe(120);
+        let text = m.registry.render();
+        validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("navp_serve_queue_depth 3"), "{text}");
+        assert!(text.contains("navp_serve_jobs_inflight 2"), "{text}");
+        assert!(
+            text.contains("navp_serve_admission_rejects_total{reason=\"queue_full\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("navp_serve_job_latency_ms"), "{text}");
+    }
+
+    #[test]
+    fn health_json_reports_quantiles_once_observed() {
+        let m = ServeMetrics::new();
+        let empty = m.health_json();
+        assert!(empty.contains("\"latency_p50_ms\":null"), "{empty}");
+        for v in [10, 20, 40, 80, 1000] {
+            m.latency_ms.observe(v);
+        }
+        let h = m.health_json();
+        assert!(h.contains("\"role\":\"navp-serve\""), "{h}");
+        assert!(!h.contains("null"), "quantiles present after data: {h}");
+    }
+}

@@ -1,0 +1,628 @@
+//! The submit protocol: what `navp-submit` speaks to `navp-serve`.
+//!
+//! Same conventions as the PE mesh protocol (`navp_net::frame`): every
+//! message is a little-endian `u32` length prefix followed by a kind
+//! byte and a hand-rolled body over [`WireWriter`] / [`WireReader`].
+//! Every read is bounds-checked, unknown kinds and trailing bytes are
+//! decode errors, and the length prefix is capped at [`MAX_MSG`] so a
+//! corrupt client cannot make the server allocate gigabytes.
+
+use navp_net::codec::{DecodeError, WireReader, WireWriter};
+use std::io::{Read, Write};
+
+/// Hard cap on one protocol message. Requests and responses carry
+/// specs and summaries, never matrix data, so 1 MiB is generous.
+pub const MAX_MSG: usize = 1 << 20;
+
+/// One job submission: which stage to run, at what size, on which
+/// logical grid, with what inputs and limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Stage name: `dsc1d`, `pipe1d`, `phase1d`, `dsc2d`, `pipe2d`
+    /// or `dpc2d` (see [`crate::gemm::parse_stage`]).
+    pub stage: String,
+    /// Matrix order N.
+    pub n: u32,
+    /// Algorithmic block order (must divide `n`).
+    pub ab: u32,
+    /// PE grid rows (1 for the 1-D stages).
+    pub rows: u32,
+    /// PE grid columns.
+    pub cols: u32,
+    /// Seed for matrix A — distinct seeds give tenants distinct inputs.
+    pub seed_a: u64,
+    /// Seed for matrix B.
+    pub seed_b: u64,
+    /// Scheduling priority; higher runs first among queued jobs.
+    pub priority: u8,
+    /// Per-job wall-clock budget in milliseconds; `0` = unbounded.
+    pub timeout_ms: u64,
+    /// Optional `navpfault` spec ([`navp::FaultPlan::parse_spec`])
+    /// injected into the run; empty = no faults.
+    pub fault_spec: String,
+}
+
+impl JobSpec {
+    /// A runnable default: 1-D DSC at N=48, ab=12 on a 1×4 line.
+    pub fn example() -> JobSpec {
+        JobSpec {
+            stage: "dsc1d".into(),
+            n: 48,
+            ab: 12,
+            rows: 1,
+            cols: 4,
+            seed_a: 0xA11CE,
+            seed_b: 0xB0B,
+            priority: 0,
+            timeout_ms: 0,
+            fault_spec: String::new(),
+        }
+    }
+
+    fn put(&self, w: &mut WireWriter) {
+        w.put_str(&self.stage);
+        w.put_u32(self.n);
+        w.put_u32(self.ab);
+        w.put_u32(self.rows);
+        w.put_u32(self.cols);
+        w.put_u64(self.seed_a);
+        w.put_u64(self.seed_b);
+        w.put_u8(self.priority);
+        w.put_u64(self.timeout_ms);
+        w.put_str(&self.fault_spec);
+    }
+
+    fn get(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
+        Ok(JobSpec {
+            stage: r.get_str()?,
+            n: r.get_u32()?,
+            ab: r.get_u32()?,
+            rows: r.get_u32()?,
+            cols: r.get_u32()?,
+            seed_a: r.get_u64()?,
+            seed_b: r.get_u64()?,
+            priority: r.get_u8()?,
+            timeout_ms: r.get_u64()?,
+            fault_spec: r.get_str()?,
+        })
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker slot.
+    Queued,
+    /// A worker is driving the run on the mesh.
+    Running,
+    /// Finished successfully; an outcome is available.
+    Done,
+    /// The run errored; `detail` says how.
+    Failed,
+    /// The run exceeded its `timeout_ms` budget.
+    TimedOut,
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// `true` once the job can never run again.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// Stable lowercase name (metric label, CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::TimedOut => "timeout",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::TimedOut => 4,
+            JobState::Cancelled => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<JobState, DecodeError> {
+        Ok(match v {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            4 => JobState::TimedOut,
+            5 => JobState::Cancelled,
+            _ => return Err(DecodeError::BadValue("job state")),
+        })
+    }
+}
+
+/// A job's visible status. Timestamps are milliseconds since the
+/// server started (a monotonic anchor, not wall time), `0` meaning
+/// "not yet" for `started_ms`/`finished_ms` — clients compare them to
+/// each other, e.g. to prove two runs overlapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// Job id; doubles as the run namespace on the mesh.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Priority it was submitted with.
+    pub priority: u8,
+    /// When the job was accepted into the queue.
+    pub queued_ms: u64,
+    /// When a worker picked it up (`0` while queued).
+    pub started_ms: u64,
+    /// When it reached a terminal state (`0` before that).
+    pub finished_ms: u64,
+    /// Failure detail (empty unless `Failed`/`TimedOut`).
+    pub detail: String,
+}
+
+impl JobInfo {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.id);
+        w.put_u8(self.state.to_u8());
+        w.put_u8(self.priority);
+        w.put_u64(self.queued_ms);
+        w.put_u64(self.started_ms);
+        w.put_u64(self.finished_ms);
+        w.put_str(&self.detail);
+    }
+
+    fn get(r: &mut WireReader) -> Result<JobInfo, DecodeError> {
+        Ok(JobInfo {
+            id: r.get_u64()?,
+            state: JobState::from_u8(r.get_u8()?)?,
+            priority: r.get_u8()?,
+            queued_ms: r.get_u64()?,
+            started_ms: r.get_u64()?,
+            finished_ms: r.get_u64()?,
+            detail: r.get_str()?,
+        })
+    }
+}
+
+/// What a completed run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// FNV-1a over the product matrix's `f64` bit patterns
+    /// ([`crate::gemm::product_checksum`]) — two runs computed the
+    /// bitwise-identical product iff their checksums match.
+    pub checksum: u64,
+    /// Whether the product matched the sequential reference.
+    pub verified: bool,
+    /// Mesh wall-clock of the run itself (excludes queueing).
+    pub wall_ms: u64,
+}
+
+impl JobOutcome {
+    fn put(&self, w: &mut WireWriter) {
+        w.put_u64(self.checksum);
+        w.put_bool(self.verified);
+        w.put_u64(self.wall_ms);
+    }
+
+    fn get(r: &mut WireReader) -> Result<JobOutcome, DecodeError> {
+        Ok(JobOutcome {
+            checksum: r.get_u64()?,
+            verified: r.get_bool()?,
+            wall_ms: r.get_u64()?,
+        })
+    }
+}
+
+/// Why a submission was turned away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue is at capacity; retry later.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        cap: u64,
+    },
+    /// The server is draining for shutdown and admits nothing new.
+    Draining,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { cap } => {
+                write!(f, "queue full (capacity {cap})")
+            }
+            RejectReason::Draining => write!(f, "server is draining"),
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job; answered by `Submitted` or `Rejected`.
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Fetch a job's [`JobInfo`]; answered by `Job` or `Error`.
+    Status {
+        /// Which job.
+        id: u64,
+    },
+    /// Fetch a job's info plus its outcome when terminal; answered by
+    /// `Outcome` or `Error`.
+    Result {
+        /// Which job.
+        id: u64,
+    },
+    /// Cancel a *queued* job; answered by `Cancelled` (`ok` false when
+    /// the job already ran or is running) or `Error` for unknown ids.
+    Cancel {
+        /// Which job.
+        id: u64,
+    },
+    /// List every job the server knows; answered by `Jobs`.
+    List,
+}
+
+const Q_SUBMIT: u8 = 1;
+const Q_STATUS: u8 = 2;
+const Q_RESULT: u8 = 3;
+const Q_CANCEL: u8 = 4;
+const Q_LIST: u8 = 5;
+
+impl Request {
+    /// Encode to a message body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Submit { spec } => {
+                w.put_u8(Q_SUBMIT);
+                spec.put(&mut w);
+            }
+            Request::Status { id } => {
+                w.put_u8(Q_STATUS);
+                w.put_u64(*id);
+            }
+            Request::Result { id } => {
+                w.put_u8(Q_RESULT);
+                w.put_u64(*id);
+            }
+            Request::Cancel { id } => {
+                w.put_u8(Q_CANCEL);
+                w.put_u64(*id);
+            }
+            Request::List => w.put_u8(Q_LIST),
+        }
+        w.into_vec()
+    }
+
+    /// Decode a message body; trailing bytes are an error.
+    pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = WireReader::new(body);
+        let req = match r.get_u8()? {
+            Q_SUBMIT => Request::Submit {
+                spec: JobSpec::get(&mut r)?,
+            },
+            Q_STATUS => Request::Status { id: r.get_u64()? },
+            Q_RESULT => Request::Result { id: r.get_u64()? },
+            Q_CANCEL => Request::Cancel { id: r.get_u64()? },
+            Q_LIST => Request::List,
+            k => return Err(DecodeError::UnknownTag(format!("request kind {k}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeError::BadValue("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The job was admitted under this id.
+    Submitted {
+        /// Assigned job id (= run namespace).
+        id: u64,
+    },
+    /// The job was turned away; nothing was queued.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Status of one job.
+    Job {
+        /// The job's current info.
+        info: JobInfo,
+    },
+    /// Status plus outcome (present once `Done`).
+    Outcome {
+        /// The job's current info.
+        info: JobInfo,
+        /// Its product summary, when the run completed.
+        outcome: Option<JobOutcome>,
+    },
+    /// Reply to `Cancel`.
+    Cancelled {
+        /// The job id echoed back.
+        id: u64,
+        /// `true` iff the job was still queued and is now cancelled.
+        ok: bool,
+    },
+    /// Every job, oldest first.
+    Jobs {
+        /// One info per job.
+        jobs: Vec<JobInfo>,
+    },
+    /// The request could not be served (unknown id, …).
+    Error {
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+const R_SUBMITTED: u8 = 1;
+const R_REJECTED: u8 = 2;
+const R_JOB: u8 = 3;
+const R_OUTCOME: u8 = 4;
+const R_CANCELLED: u8 = 5;
+const R_JOBS: u8 = 6;
+const R_ERROR: u8 = 7;
+
+impl Response {
+    /// Encode to a message body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Submitted { id } => {
+                w.put_u8(R_SUBMITTED);
+                w.put_u64(*id);
+            }
+            Response::Rejected { reason } => {
+                w.put_u8(R_REJECTED);
+                match reason {
+                    RejectReason::QueueFull { cap } => {
+                        w.put_u8(0);
+                        w.put_u64(*cap);
+                    }
+                    RejectReason::Draining => w.put_u8(1),
+                }
+            }
+            Response::Job { info } => {
+                w.put_u8(R_JOB);
+                info.put(&mut w);
+            }
+            Response::Outcome { info, outcome } => {
+                w.put_u8(R_OUTCOME);
+                info.put(&mut w);
+                match outcome {
+                    Some(o) => {
+                        w.put_bool(true);
+                        o.put(&mut w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            Response::Cancelled { id, ok } => {
+                w.put_u8(R_CANCELLED);
+                w.put_u64(*id);
+                w.put_bool(*ok);
+            }
+            Response::Jobs { jobs } => {
+                w.put_u8(R_JOBS);
+                w.put_u32(jobs.len() as u32);
+                for j in jobs {
+                    j.put(&mut w);
+                }
+            }
+            Response::Error { detail } => {
+                w.put_u8(R_ERROR);
+                w.put_str(detail);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a message body; trailing bytes are an error.
+    pub fn decode(body: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = WireReader::new(body);
+        let resp = match r.get_u8()? {
+            R_SUBMITTED => Response::Submitted { id: r.get_u64()? },
+            R_REJECTED => Response::Rejected {
+                reason: match r.get_u8()? {
+                    0 => RejectReason::QueueFull { cap: r.get_u64()? },
+                    1 => RejectReason::Draining,
+                    _ => return Err(DecodeError::BadValue("reject reason")),
+                },
+            },
+            R_JOB => Response::Job {
+                info: JobInfo::get(&mut r)?,
+            },
+            R_OUTCOME => {
+                let info = JobInfo::get(&mut r)?;
+                let outcome = if r.get_bool()? {
+                    Some(JobOutcome::get(&mut r)?)
+                } else {
+                    None
+                };
+                Response::Outcome { info, outcome }
+            }
+            R_CANCELLED => Response::Cancelled {
+                id: r.get_u64()?,
+                ok: r.get_bool()?,
+            },
+            R_JOBS => {
+                let count = r.get_u32()? as usize;
+                if count > MAX_MSG / 8 {
+                    return Err(DecodeError::BadLength {
+                        declared: count as u64,
+                        available: (MAX_MSG / 8) as u64,
+                    });
+                }
+                let mut jobs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    jobs.push(JobInfo::get(&mut r)?);
+                }
+                Response::Jobs { jobs }
+            }
+            R_ERROR => Response::Error {
+                detail: r.get_str()?,
+            },
+            k => return Err(DecodeError::UnknownTag(format!("response kind {k}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeError::BadValue("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Write one length-prefixed message.
+pub fn write_msg<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
+    assert!(body.len() <= MAX_MSG, "message exceeds MAX_MSG");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed message; lengths past [`MAX_MSG`] are
+/// `InvalidData` so a corrupt prefix cannot drive allocation.
+pub fn read_msg<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_MSG {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("message length {len} exceeds cap {MAX_MSG}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: u64, state: JobState) -> JobInfo {
+        JobInfo {
+            id,
+            state,
+            priority: 3,
+            queued_ms: 10,
+            started_ms: 20,
+            finished_ms: 30,
+            detail: "why".into(),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit {
+                spec: JobSpec::example(),
+            },
+            Request::Status { id: 7 },
+            Request::Result { id: u64::MAX },
+            Request::Cancel { id: 0 },
+            Request::List,
+        ];
+        for req in reqs {
+            let body = req.encode();
+            assert_eq!(Request::decode(&body).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Submitted { id: 42 },
+            Response::Rejected {
+                reason: RejectReason::QueueFull { cap: 64 },
+            },
+            Response::Rejected {
+                reason: RejectReason::Draining,
+            },
+            Response::Job {
+                info: info(1, JobState::Running),
+            },
+            Response::Outcome {
+                info: info(2, JobState::Done),
+                outcome: Some(JobOutcome {
+                    checksum: 0xDEAD_BEEF,
+                    verified: true,
+                    wall_ms: 123,
+                }),
+            },
+            Response::Outcome {
+                info: info(3, JobState::Failed),
+                outcome: None,
+            },
+            Response::Cancelled { id: 5, ok: false },
+            Response::Jobs {
+                jobs: vec![info(1, JobState::Queued), info(2, JobState::Cancelled)],
+            },
+            Response::Error {
+                detail: "no such job".into(),
+            },
+        ];
+        for resp in resps {
+            let body = resp.encode();
+            assert_eq!(Response::decode(&body).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_unknown_kinds_rejected() {
+        let mut body = Request::List.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        assert!(Request::decode(&[200]).is_err());
+        let mut body = Response::Submitted { id: 1 }.encode();
+        body.push(9);
+        assert!(Response::decode(&body).is_err());
+        assert!(Response::decode(&[200]).is_err());
+        assert!(Request::decode(&[]).is_err(), "empty body is truncated");
+    }
+
+    #[test]
+    fn framing_round_trips_and_caps_length() {
+        let body = Request::Status { id: 9 }.encode();
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &body).unwrap();
+        let got = read_msg(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, body);
+        // A corrupt prefix past the cap is refused without allocating.
+        let huge = ((MAX_MSG + 1) as u32).to_le_bytes();
+        let err = read_msg(&mut huge.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn job_state_names_are_stable() {
+        for (state, name) in [
+            (JobState::Queued, "queued"),
+            (JobState::Running, "running"),
+            (JobState::Done, "done"),
+            (JobState::Failed, "failed"),
+            (JobState::TimedOut, "timeout"),
+            (JobState::Cancelled, "cancelled"),
+        ] {
+            assert_eq!(state.name(), name);
+            assert_eq!(state.is_terminal(), !matches!(state, JobState::Queued | JobState::Running));
+            assert_eq!(JobState::from_u8(state.to_u8()).unwrap(), state);
+        }
+        assert!(JobState::from_u8(6).is_err());
+    }
+}

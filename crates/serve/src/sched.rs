@@ -1,0 +1,601 @@
+//! The job scheduler: bounded admission, a priority queue, and a
+//! worker pool that caps how many runs are on the mesh at once.
+//!
+//! Admission control is explicit policy, not backpressure-by-hanging:
+//! a submit against a full queue (or a draining server) is answered
+//! *immediately* with a reason, so clients can retry elsewhere instead
+//! of piling up. Each admitted job gets a monotonically increasing id
+//! which doubles as its run namespace on the mesh (ids start at 1 —
+//! run 0 is the anonymous legacy namespace and must never be handed to
+//! a tenant). Workers pick the highest-priority queued job (FIFO
+//! within a priority), run it through the injected runner, and record
+//! the terminal state; the runner is a plain closure so the unit tests
+//! schedule against a fake mesh.
+
+use crate::metrics::ServeMetrics;
+use crate::proto::{JobInfo, JobOutcome, JobSpec, JobState, RejectReason};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Most jobs admitted-but-not-running; further submits are
+    /// rejected `QueueFull`.
+    pub queue_cap: usize,
+    /// Worker threads = most runs on the mesh at once.
+    pub max_inflight: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            queue_cap: 64,
+            max_inflight: 2,
+        }
+    }
+}
+
+/// How a run failed, as the runner reports it.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// `true` when the run exceeded its `timeout_ms` budget
+    /// (recorded as [`JobState::TimedOut`], not `Failed`).
+    pub timed_out: bool,
+    /// Human-readable detail for `JobInfo::detail`.
+    pub detail: String,
+}
+
+/// The run executor the scheduler drives: given a spec and the job id
+/// (= run namespace), block until the run finishes. Production uses
+/// [`crate::gemm::gemm_runner`]; tests inject fakes.
+pub type RunnerFn = dyn Fn(&JobSpec, u64) -> Result<JobOutcome, JobFailure> + Send + Sync;
+
+/// Called after a job reaches a terminal state, *outside* the
+/// scheduler lock, with the finished id and the set of still-live
+/// (queued or running) ids — the server's checkpoint GC hook, which
+/// must never prune a live run's directory.
+pub type FinishHook = dyn Fn(u64, &HashSet<u64>) + Send + Sync;
+
+struct Job {
+    spec: JobSpec,
+    info: JobInfo,
+    outcome: Option<JobOutcome>,
+}
+
+struct State {
+    next_id: u64,
+    /// Queued job ids; selection order is computed per pick.
+    queue: Vec<u64>,
+    jobs: HashMap<u64, Job>,
+    /// Submission order, for `list`.
+    order: Vec<u64>,
+    draining: bool,
+    stopping: bool,
+    inflight: usize,
+}
+
+struct Inner {
+    cfg: SchedConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    epoch: Instant,
+    metrics: Arc<ServeMetrics>,
+    runner: Arc<RunnerFn>,
+    on_finish: Option<Box<FinishHook>>,
+}
+
+/// The scheduler: owns the queue, the job table and the worker pool.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Start `cfg.max_inflight` workers driving `runner`.
+    pub fn start(
+        cfg: SchedConfig,
+        metrics: Arc<ServeMetrics>,
+        runner: Arc<RunnerFn>,
+        on_finish: Option<Box<FinishHook>>,
+    ) -> Scheduler {
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(State {
+                next_id: 1,
+                queue: Vec::new(),
+                jobs: HashMap::new(),
+                order: Vec::new(),
+                draining: false,
+                stopping: false,
+                inflight: 0,
+            }),
+            cv: Condvar::new(),
+            epoch: Instant::now(),
+            metrics,
+            runner,
+            on_finish,
+        });
+        let workers = (0..cfg.max_inflight.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("navp-serve-worker-{i}"))
+                    .spawn(move || worker(inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Milliseconds since the scheduler started (the timestamp anchor
+    /// of every [`JobInfo`]).
+    pub fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Admit a job, or say immediately why not.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, RejectReason> {
+        let m = &self.inner.metrics;
+        let mut st = self.inner.state.lock().unwrap();
+        if st.draining || st.stopping {
+            m.rejects_draining.inc();
+            return Err(RejectReason::Draining);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_cap {
+            m.rejects_full.inc();
+            return Err(RejectReason::QueueFull {
+                cap: self.inner.cfg.queue_cap as u64,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let info = JobInfo {
+            id,
+            state: JobState::Queued,
+            priority: spec.priority,
+            queued_ms: self.inner.epoch.elapsed().as_millis() as u64,
+            started_ms: 0,
+            finished_ms: 0,
+            detail: String::new(),
+        };
+        st.jobs.insert(
+            id,
+            Job {
+                spec,
+                info,
+                outcome: None,
+            },
+        );
+        st.queue.push(id);
+        st.order.push(id);
+        m.queue_depth.set(st.queue.len() as i64);
+        self.inner.cv.notify_one();
+        Ok(id)
+    }
+
+    /// A job's current info, if the id is known.
+    pub fn status(&self, id: u64) -> Option<JobInfo> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).map(|j| j.info.clone())
+    }
+
+    /// A job's info plus its outcome (present once `Done`).
+    pub fn result(&self, id: u64) -> Option<(JobInfo, Option<JobOutcome>)> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.get(&id).map(|j| (j.info.clone(), j.outcome.clone()))
+    }
+
+    /// Cancel a queued job. `None` for unknown ids, `Some(false)` when
+    /// the job already started (a run on the mesh is not torn down
+    /// mid-flight), `Some(true)` when it was dequeued and cancelled.
+    pub fn cancel(&self, id: u64) -> Option<bool> {
+        let live = {
+            let mut st = self.inner.state.lock().unwrap();
+            let job = st.jobs.get(&id)?;
+            if job.info.state != JobState::Queued {
+                return Some(false);
+            }
+            st.queue.retain(|&q| q != id);
+            let now = self.inner.epoch.elapsed().as_millis() as u64;
+            let m = &self.inner.metrics;
+            m.queue_depth.set(st.queue.len() as i64);
+            m.jobs_cancelled.inc();
+            let job = st.jobs.get_mut(&id).expect("checked above");
+            job.info.state = JobState::Cancelled;
+            job.info.finished_ms = now;
+            m.latency_ms.observe(now.saturating_sub(job.info.queued_ms));
+            self.inner.cv.notify_all();
+            live_set(&st)
+        };
+        if let Some(hook) = &self.inner.on_finish {
+            hook(id, &live);
+        }
+        Some(true)
+    }
+
+    /// Every job, in submission order.
+    pub fn list(&self) -> Vec<JobInfo> {
+        let st = self.inner.state.lock().unwrap();
+        st.order
+            .iter()
+            .filter_map(|id| st.jobs.get(id).map(|j| j.info.clone()))
+            .collect()
+    }
+
+    /// Stop admitting; queued and in-flight jobs still finish.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.draining = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// `true` once [`Scheduler::drain`] (or shutdown) was called.
+    pub fn is_draining(&self) -> bool {
+        let st = self.inner.state.lock().unwrap();
+        st.draining || st.stopping
+    }
+
+    /// `true` when nothing is queued or running.
+    pub fn idle(&self) -> bool {
+        let st = self.inner.state.lock().unwrap();
+        st.queue.is_empty() && st.inflight == 0
+    }
+
+    /// Block until idle, up to `timeout`. Returns whether it got there.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.queue.is_empty() && st.inflight == 0 {
+                return true;
+            }
+            let left = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) if !d.is_zero() => d,
+                _ => return false,
+            };
+            let (guard, _) = self.inner.cv.wait_timeout(st, left).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Ids of every non-terminal (queued or running) job.
+    pub fn live_ids(&self) -> HashSet<u64> {
+        live_set(&self.inner.state.lock().unwrap())
+    }
+
+    /// Stop the workers and join them. In-flight runs finish; queued
+    /// jobs are abandoned (call [`Scheduler::drain`] + `wait_idle`
+    /// first for a graceful stop).
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.stopping = true;
+            self.inner.cv.notify_all();
+        }
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn live_set(st: &State) -> HashSet<u64> {
+    st.jobs
+        .values()
+        .filter(|j| !j.info.state.is_terminal())
+        .map(|j| j.info.id)
+        .collect()
+}
+
+/// The queued job a freed worker should take: highest priority first,
+/// oldest id within a priority.
+fn pick(st: &State) -> Option<usize> {
+    st.queue
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &id)| {
+            let prio = st.jobs.get(&id).map(|j| j.info.priority).unwrap_or(0);
+            (prio, std::cmp::Reverse(id))
+        })
+        .map(|(pos, _)| pos)
+}
+
+fn worker(inner: Arc<Inner>) {
+    loop {
+        // Claim the next job, or park until one exists (or shutdown).
+        let (id, spec) = {
+            let mut st = inner.state.lock().unwrap();
+            let pos = loop {
+                if st.stopping {
+                    return;
+                }
+                if let Some(pos) = pick(&st) {
+                    break pos;
+                }
+                st = inner.cv.wait(st).unwrap();
+            };
+            let id = st.queue.remove(pos);
+            st.inflight += 1;
+            let now = inner.epoch.elapsed().as_millis() as u64;
+            let m = &inner.metrics;
+            m.queue_depth.set(st.queue.len() as i64);
+            m.inflight.set(st.inflight as i64);
+            let job = st.jobs.get_mut(&id).expect("queued id is in the table");
+            job.info.state = JobState::Running;
+            job.info.started_ms = now;
+            (id, job.spec.clone())
+        };
+
+        let res = (inner.runner)(&spec, id);
+
+        // Record the terminal state; hook runs outside the lock.
+        let live = {
+            let mut st = inner.state.lock().unwrap();
+            st.inflight -= 1;
+            let now = inner.epoch.elapsed().as_millis() as u64;
+            let m = &inner.metrics;
+            m.inflight.set(st.inflight as i64);
+            let job = st.jobs.get_mut(&id).expect("running id is in the table");
+            job.info.finished_ms = now;
+            m.latency_ms.observe(now.saturating_sub(job.info.queued_ms));
+            match res {
+                Ok(outcome) => {
+                    job.info.state = JobState::Done;
+                    job.outcome = Some(outcome);
+                    m.jobs_done.inc();
+                }
+                Err(fail) => {
+                    job.info.state = if fail.timed_out {
+                        m.jobs_timeout.inc();
+                        JobState::TimedOut
+                    } else {
+                        m.jobs_failed.inc();
+                        JobState::Failed
+                    };
+                    job.info.detail = fail.detail;
+                }
+            }
+            inner.cv.notify_all();
+            live_set(&st)
+        };
+        if let Some(hook) = &inner.on_finish {
+            hook(id, &live);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    const T: Duration = Duration::from_secs(20);
+
+    fn ok_outcome() -> JobOutcome {
+        JobOutcome {
+            checksum: 1,
+            verified: true,
+            wall_ms: 0,
+        }
+    }
+
+    /// Runner that blocks every job until `gate` flips, then logs the
+    /// id it ran.
+    fn gated_runner(
+        gate: Arc<AtomicBool>,
+        log: Arc<StdMutex<Vec<u64>>>,
+    ) -> Arc<RunnerFn> {
+        Arc::new(move |_spec, id| {
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            log.lock().unwrap().push(id);
+            Ok(ok_outcome())
+        })
+    }
+
+    fn spec(priority: u8) -> JobSpec {
+        JobSpec {
+            priority,
+            ..JobSpec::example()
+        }
+    }
+
+    fn wait_running(s: &Scheduler, id: u64) {
+        let deadline = Instant::now() + T;
+        while s.status(id).map(|i| i.state) != Some(JobState::Running) {
+            assert!(Instant::now() < deadline, "job {id} never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn priority_order_fifo_within_priority() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let s = Scheduler::start(
+            SchedConfig {
+                queue_cap: 16,
+                max_inflight: 1,
+            },
+            ServeMetrics::new(),
+            gated_runner(Arc::clone(&gate), Arc::clone(&log)),
+            None,
+        );
+        let first = s.submit(spec(0)).unwrap();
+        wait_running(&s, first); // pin the single worker
+        let low = s.submit(spec(0)).unwrap();
+        let hi_a = s.submit(spec(5)).unwrap();
+        let hi_b = s.submit(spec(5)).unwrap();
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(T), "never drained");
+        assert_eq!(*log.lock().unwrap(), vec![first, hi_a, hi_b, low]);
+        s.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects_with_cap() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let metrics = ServeMetrics::new();
+        let s = Scheduler::start(
+            SchedConfig {
+                queue_cap: 2,
+                max_inflight: 1,
+            },
+            Arc::clone(&metrics),
+            gated_runner(Arc::clone(&gate), log),
+            None,
+        );
+        let blocker = s.submit(spec(0)).unwrap();
+        wait_running(&s, blocker);
+        s.submit(spec(0)).unwrap();
+        s.submit(spec(0)).unwrap();
+        assert_eq!(
+            s.submit(spec(0)),
+            Err(RejectReason::QueueFull { cap: 2 }),
+            "third queued submit must be rejected"
+        );
+        assert_eq!(metrics.rejects_full.get(), 1);
+        assert_eq!(metrics.queue_depth.get(), 2);
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(T));
+        s.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_new_but_finishes_queued() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let metrics = ServeMetrics::new();
+        let s = Scheduler::start(
+            SchedConfig {
+                queue_cap: 8,
+                max_inflight: 1,
+            },
+            Arc::clone(&metrics),
+            gated_runner(Arc::clone(&gate), Arc::clone(&log)),
+            None,
+        );
+        let blocker = s.submit(spec(0)).unwrap();
+        wait_running(&s, blocker);
+        let queued = s.submit(spec(0)).unwrap();
+        s.drain();
+        assert_eq!(s.submit(spec(0)), Err(RejectReason::Draining));
+        assert_eq!(metrics.rejects_draining.get(), 1);
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(T), "queued work must still finish");
+        assert_eq!(s.status(blocker).unwrap().state, JobState::Done);
+        assert_eq!(s.status(queued).unwrap().state, JobState::Done);
+        assert_eq!(*log.lock().unwrap(), vec![blocker, queued]);
+        s.shutdown();
+    }
+
+    #[test]
+    fn timeout_and_failure_classified_separately() {
+        let metrics = ServeMetrics::new();
+        let runner: Arc<RunnerFn> = Arc::new(|spec, _id| {
+            Err(JobFailure {
+                timed_out: spec.timeout_ms > 0,
+                detail: "boom".into(),
+            })
+        });
+        let s = Scheduler::start(SchedConfig::default(), Arc::clone(&metrics), runner, None);
+        let slow = s
+            .submit(JobSpec {
+                timeout_ms: 5,
+                ..JobSpec::example()
+            })
+            .unwrap();
+        let bad = s.submit(spec(0)).unwrap();
+        assert!(s.wait_idle(T));
+        let (slow_info, slow_out) = s.result(slow).unwrap();
+        assert_eq!(slow_info.state, JobState::TimedOut);
+        assert!(slow_out.is_none());
+        assert_eq!(slow_info.detail, "boom");
+        assert_eq!(s.status(bad).unwrap().state, JobState::Failed);
+        assert_eq!(metrics.jobs_timeout.get(), 1);
+        assert_eq!(metrics.jobs_failed.get(), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn cancel_only_works_while_queued() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let s = Scheduler::start(
+            SchedConfig {
+                queue_cap: 8,
+                max_inflight: 1,
+            },
+            ServeMetrics::new(),
+            gated_runner(Arc::clone(&gate), Arc::clone(&log)),
+            None,
+        );
+        let running = s.submit(spec(0)).unwrap();
+        wait_running(&s, running);
+        let queued = s.submit(spec(0)).unwrap();
+        assert_eq!(s.cancel(queued), Some(true));
+        assert_eq!(s.status(queued).unwrap().state, JobState::Cancelled);
+        assert_eq!(s.cancel(running), Some(false), "running jobs are not torn down");
+        assert_eq!(s.cancel(999), None, "unknown id");
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(T));
+        assert_eq!(*log.lock().unwrap(), vec![running], "cancelled job never ran");
+        s.shutdown();
+    }
+
+    #[test]
+    fn finish_hook_sees_live_set_without_finished_job() {
+        let seen: Arc<StdMutex<Vec<(u64, HashSet<u64>)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let hook_seen = Arc::clone(&seen);
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let s = Scheduler::start(
+            SchedConfig {
+                queue_cap: 8,
+                max_inflight: 1,
+            },
+            ServeMetrics::new(),
+            gated_runner(Arc::clone(&gate), log),
+            Some(Box::new(move |id, live| {
+                hook_seen.lock().unwrap().push((id, live.clone()));
+            })),
+        );
+        let a = s.submit(spec(0)).unwrap();
+        wait_running(&s, a);
+        let b = s.submit(spec(0)).unwrap();
+        assert_eq!(s.live_ids(), HashSet::from([a, b]));
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(T));
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        // When `a` finished, `b` was still live; when `b` finished,
+        // nothing was.
+        assert_eq!(seen[0].0, a);
+        assert!(seen[0].1.contains(&b) && !seen[0].1.contains(&a));
+        assert_eq!(seen[1], (b, HashSet::new()));
+        s.shutdown();
+    }
+
+    #[test]
+    fn ids_start_at_one_and_increase() {
+        let runner: Arc<RunnerFn> = Arc::new(|_, _| Ok(ok_outcome()));
+        let s = Scheduler::start(SchedConfig::default(), ServeMetrics::new(), runner, None);
+        let a = s.submit(spec(0)).unwrap();
+        let b = s.submit(spec(0)).unwrap();
+        assert_eq!(a, 1, "run 0 is the anonymous namespace, never a job");
+        assert_eq!(b, 2);
+        assert!(s.wait_idle(T));
+        let listed: Vec<u64> = s.list().iter().map(|i| i.id).collect();
+        assert_eq!(listed, vec![a, b]);
+        s.shutdown();
+    }
+}

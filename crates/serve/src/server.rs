@@ -1,0 +1,380 @@
+//! The TCP front-end: accepts clients, speaks [`crate::proto`], and
+//! forwards everything to the [`Scheduler`].
+//!
+//! One thread per client connection (clients are few and chatty, not
+//! many and idle), requests answered in order on the same socket until
+//! the client hangs up. Draining keeps the listener *open* so waiting
+//! clients can still poll their jobs and new submits get a clean
+//! `Draining` rejection instead of a connection refusal.
+//!
+//! When durable checkpoints are configured, the server also owns
+//! retention: after every job reaches a terminal state it prunes
+//! completed runs' checkpoint subdirectories oldest-first down to
+//! `durable_keep`, never touching a live (queued or running) run's
+//! directory — the liveness set comes from the scheduler itself.
+
+use crate::metrics::ServeMetrics;
+use crate::proto::{read_msg, write_msg, Request, Response};
+use crate::sched::{RunnerFn, SchedConfig, Scheduler};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration: scheduler sizing plus checkpoint retention.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Scheduler sizing (queue capacity, in-flight cap).
+    pub sched: SchedConfig,
+    /// Base durable checkpoint directory the mesh spills into; used
+    /// here only for retention (the runner threads it into the runs).
+    pub durable_dir: Option<PathBuf>,
+    /// Keep at most this many *completed* runs' checkpoint
+    /// subdirectories; `None` keeps everything.
+    pub durable_keep: Option<usize>,
+}
+
+/// A running service instance.
+pub struct Server {
+    sched: Arc<Scheduler>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` and start serving. Binding is synchronous — when this
+/// returns, [`Server::local_addr`] is connectable — so `addr` may end
+/// in `:0` for tests.
+pub fn serve(
+    addr: &str,
+    cfg: ServerConfig,
+    metrics: Arc<ServeMetrics>,
+    runner: Arc<RunnerFn>,
+) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let on_finish: Option<Box<crate::sched::FinishHook>> =
+        match (cfg.durable_dir.clone(), cfg.durable_keep) {
+            (Some(base), Some(keep)) => Some(Box::new(move |_id, live| {
+                let live = live.clone();
+                let removed =
+                    navp::durable::prune_run_dirs(&base, keep, &|run| live.contains(&run));
+                if !removed.is_empty() {
+                    eprintln!(
+                        "navp-serve: pruned checkpoint dir(s) of completed run(s) {removed:?}"
+                    );
+                }
+            })),
+            _ => None,
+        };
+    let sched = Arc::new(Scheduler::start(cfg.sched, metrics, runner, on_finish));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let sched = Arc::clone(&sched);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("navp-serve-accept".into())
+            .spawn(move || accept_loop(listener, sched, stop))
+            .expect("spawn accept loop")
+    };
+    Ok(Server {
+        sched,
+        addr: local,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sched = Arc::clone(&sched);
+                let _ = std::thread::Builder::new()
+                    .name("navp-serve-client".into())
+                    .spawn(move || {
+                        if let Err(e) = handle_client(stream, &sched) {
+                            // Disconnects are normal; anything else is
+                            // worth a line.
+                            if e.kind() != io::ErrorKind::UnexpectedEof {
+                                eprintln!("navp-serve: client session: {e}");
+                            }
+                        }
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("navp-serve: accept: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Serve one client: length-prefixed requests answered in order until
+/// the peer closes the connection.
+fn handle_client(mut stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let body = match read_msg(&mut stream) {
+            Ok(b) => b,
+            // Clean hangup between requests.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let resp = match Request::decode(&body) {
+            Ok(req) => dispatch(sched, req),
+            Err(e) => Response::Error {
+                detail: format!("bad request: {e}"),
+            },
+        };
+        write_msg(&mut stream, &resp.encode())?;
+    }
+}
+
+fn dispatch(sched: &Scheduler, req: Request) -> Response {
+    match req {
+        Request::Submit { spec } => match sched.submit(spec) {
+            Ok(id) => Response::Submitted { id },
+            Err(reason) => Response::Rejected { reason },
+        },
+        Request::Status { id } => match sched.status(id) {
+            Some(info) => Response::Job { info },
+            None => Response::Error {
+                detail: format!("no such job {id}"),
+            },
+        },
+        Request::Result { id } => match sched.result(id) {
+            Some((info, outcome)) => Response::Outcome { info, outcome },
+            None => Response::Error {
+                detail: format!("no such job {id}"),
+            },
+        },
+        Request::Cancel { id } => match sched.cancel(id) {
+            Some(ok) => Response::Cancelled { id, ok },
+            None => Response::Error {
+                detail: format!("no such job {id}"),
+            },
+        },
+        Request::List => Response::Jobs { jobs: sched.list() },
+    }
+}
+
+impl Server {
+    /// The bound address (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler, for in-process drivers and tests.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Stop admission; connections stay up for status polling.
+    pub fn drain(&self) {
+        self.sched.drain();
+    }
+
+    /// Block until no job is queued or running, up to `timeout`.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        self.sched.wait_idle(timeout)
+    }
+
+    /// Stop the accept loop and the workers (in-flight runs finish
+    /// first — drain + wait for idle beforehand for a graceful stop).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.sched.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::proto::{JobOutcome, JobSpec, JobState, RejectReason};
+    use crate::sched::JobFailure;
+
+    const T: Duration = Duration::from_secs(30);
+
+    fn fast_runner(fail_every: u64) -> Arc<RunnerFn> {
+        Arc::new(move |_spec, id| {
+            std::thread::sleep(Duration::from_millis(20));
+            if fail_every != 0 && id % fail_every == 0 {
+                Err(JobFailure {
+                    timed_out: false,
+                    detail: "synthetic".into(),
+                })
+            } else {
+                Ok(JobOutcome {
+                    checksum: id,
+                    verified: true,
+                    wall_ms: 20,
+                })
+            }
+        })
+    }
+
+    #[test]
+    fn end_to_end_over_tcp_submit_poll_list_cancel() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            ServeMetrics::new(),
+            fast_runner(0),
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let id = client::submit(&addr, JobSpec::example())
+            .expect("io")
+            .expect("admitted");
+        let (info, outcome) = client::wait_terminal(&addr, id, T).expect("terminal");
+        assert_eq!(info.state, JobState::Done);
+        let outcome = outcome.expect("outcome");
+        assert_eq!(outcome.checksum, id);
+        assert!(outcome.verified);
+
+        // Unknown ids are Errors, not hangs.
+        match client::rpc(&addr, &Request::Status { id: 999 }).unwrap() {
+            Response::Error { detail } => assert!(detail.contains("999"), "{detail}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // List knows the finished job.
+        match client::rpc(&addr, &Request::List).unwrap() {
+            Response::Jobs { jobs } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(jobs[0].id, id);
+            }
+            other => panic!("expected Jobs, got {other:?}"),
+        }
+        // Cancelling a finished job is a clean `false`.
+        match client::rpc(&addr, &Request::Cancel { id }).unwrap() {
+            Response::Cancelled { ok, .. } => assert!(!ok),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_rejects_submits_but_serves_polls() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            ServeMetrics::new(),
+            fast_runner(0),
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let id = client::submit(&addr, JobSpec::example())
+            .expect("io")
+            .expect("admitted");
+        server.drain();
+        assert_eq!(
+            client::submit(&addr, JobSpec::example()).expect("io"),
+            Err(RejectReason::Draining),
+            "post-drain submits get a clean rejection"
+        );
+        // The already-admitted job still finishes and stays pollable.
+        let (info, _) = client::wait_terminal(&addr, id, T).expect("terminal");
+        assert_eq!(info.state, JobState::Done);
+        assert!(server.wait_idle(T));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_error_not_disconnect() {
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            ServeMetrics::new(),
+            fast_runner(0),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        crate::proto::write_msg(&mut stream, &[250]).expect("send garbage");
+        let body = crate::proto::read_msg(&mut stream).expect("still answered");
+        match Response::decode(&body).expect("decodable") {
+            Response::Error { detail } => assert!(detail.contains("bad request"), "{detail}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // The same connection still works for a valid request.
+        crate::proto::write_msg(&mut stream, &Request::List.encode()).expect("send");
+        let body = crate::proto::read_msg(&mut stream).expect("answered");
+        assert!(matches!(Response::decode(&body).unwrap(), Response::Jobs { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_gc_prunes_completed_runs_only() {
+        let base = std::env::temp_dir().join(format!(
+            "navp-serve-gc-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&base).unwrap();
+        // Runner that fabricates the run's checkpoint dir, as the mesh
+        // would, then finishes.
+        let dir = base.clone();
+        let runner: Arc<RunnerFn> = Arc::new(move |_spec, id| {
+            let run = navp::durable::run_dir(&dir, id);
+            std::fs::create_dir_all(&run).unwrap();
+            std::fs::write(run.join("pe-0.ckpt"), b"cut").unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(JobOutcome {
+                checksum: id,
+                verified: true,
+                wall_ms: 10,
+            })
+        });
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                sched: SchedConfig {
+                    queue_cap: 8,
+                    max_inflight: 1,
+                },
+                durable_dir: Some(base.clone()),
+                durable_keep: Some(1),
+            },
+            ServeMetrics::new(),
+            runner,
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| {
+                client::submit(&addr, JobSpec::example())
+                    .expect("io")
+                    .expect("admitted")
+            })
+            .collect();
+        for &id in &ids {
+            let (info, _) = client::wait_terminal(&addr, id, T).expect("terminal");
+            assert_eq!(info.state, JobState::Done);
+        }
+        assert!(server.wait_idle(T));
+        // Retention ran after each completion: only the newest
+        // completed run's directory survives.
+        let kept = navp::durable::list_run_dirs(&base);
+        assert_eq!(kept, vec![*ids.last().unwrap()], "keep=1 leaves the newest");
+        server.shutdown();
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -30,6 +30,7 @@ fn main() {
     let opts = navp_net::PeOptions {
         metrics_addr: args.metrics_addr,
         durable_dir: args.durable_dir,
+        durable_keep: args.durable_keep,
     };
     if let Err(e) = navp_net::pe_main(args.mode, opts) {
         eprintln!("navp-pe: {e}");

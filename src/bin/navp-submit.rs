@@ -1,0 +1,354 @@
+//! CLI client for `navp-serve`.
+//!
+//! ```text
+//! navp-submit submit --to <addr> [--stage dsc1d] [--n 48] [--ab 12]
+//!                    [--rows 1] [--cols 4] [--seed-a x] [--seed-b y]
+//!                    [--priority p] [--timeout-ms t] [--fault spec]
+//!                    [--wait]
+//! navp-submit status --to <addr> --id <n>
+//! navp-submit result --to <addr> --id <n>
+//! navp-submit cancel --to <addr> --id <n>
+//! navp-submit list   --to <addr>
+//! navp-submit perf   --to <addr> [--jobs-per-client k] [--out file]
+//!                    [--check] [job flags as for submit]
+//! ```
+//!
+//! `perf` measures service throughput (runs/s) and submit-to-result
+//! latency (p50/p99) at 1, 4 and 16 concurrent clients, writes the
+//! figures as `BENCH_service.json`, and with `--check` gates a fresh
+//! run against the committed baseline at the same >15% tolerance as
+//! `perf --check` (exit 1 on regression).
+
+use navp_bench::check::{compare, parse_baseline, render_table};
+use navp_bench::timing::{write_groups_json, Entry, Group, Metric};
+use navp_serve::proto::{JobSpec, JobState, Request, Response};
+use navp_serve::{client, RejectReason};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: navp-submit <submit|status|result|cancel|list|perf> --to <addr> [...]
+  submit: [--stage s] [--n n] [--ab ab] [--rows r] [--cols c] [--seed-a x] [--seed-b y]
+          [--priority p] [--timeout-ms t] [--fault spec] [--wait]
+  status|result|cancel: --id <n>
+  perf:   [--jobs-per-client k] [--out file] [--check] plus submit's job flags";
+
+fn die(msg: &str) -> ! {
+    eprintln!("navp-submit: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    to: String,
+    id: u64,
+    spec: JobSpec,
+    wait: bool,
+    jobs_per_client: usize,
+    out: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| die("missing subcommand"));
+    let mut args = Args {
+        cmd,
+        to: String::new(),
+        id: 0,
+        spec: JobSpec::example(),
+        wait: false,
+        jobs_per_client: 4,
+        out: None,
+        check: false,
+    };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        let parse_u64 = |flag: &str, v: String| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| die(&format!("{flag} wants a number, got {v:?}")))
+        };
+        match flag.as_str() {
+            "--to" => args.to = value(),
+            "--id" => args.id = parse_u64("--id", value()),
+            "--stage" => args.spec.stage = value(),
+            "--n" => args.spec.n = parse_u64("--n", value()) as u32,
+            "--ab" => args.spec.ab = parse_u64("--ab", value()) as u32,
+            "--rows" => args.spec.rows = parse_u64("--rows", value()) as u32,
+            "--cols" => args.spec.cols = parse_u64("--cols", value()) as u32,
+            "--seed-a" => args.spec.seed_a = parse_u64("--seed-a", value()),
+            "--seed-b" => args.spec.seed_b = parse_u64("--seed-b", value()),
+            "--priority" => args.spec.priority = parse_u64("--priority", value()) as u8,
+            "--timeout-ms" => args.spec.timeout_ms = parse_u64("--timeout-ms", value()),
+            "--fault" => args.spec.fault_spec = value(),
+            "--wait" => args.wait = true,
+            "--jobs-per-client" => {
+                args.jobs_per_client = parse_u64("--jobs-per-client", value()) as usize
+            }
+            "--out" => args.out = Some(value().into()),
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    if args.to.is_empty() {
+        die("--to <addr> is required");
+    }
+    args
+}
+
+fn print_info(info: &navp_serve::JobInfo) {
+    println!(
+        "job {}: {} (priority {}, queued@{}ms started@{}ms finished@{}ms){}{}",
+        info.id,
+        info.state.name(),
+        info.priority,
+        info.queued_ms,
+        info.started_ms,
+        info.finished_ms,
+        if info.detail.is_empty() { "" } else { " — " },
+        info.detail,
+    );
+}
+
+fn expect_io<T>(r: std::io::Result<T>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("navp-submit: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// One submit-and-wait round trip; returns the client-observed
+/// latency. Exits nonzero on rejection or a failed job.
+fn run_one(addr: &str, spec: &JobSpec) -> Duration {
+    let t = Instant::now();
+    let id = match expect_io(client::submit(addr, spec.clone())) {
+        Ok(id) => id,
+        Err(reason) => {
+            eprintln!("navp-submit: rejected: {reason}");
+            std::process::exit(1);
+        }
+    };
+    let (info, outcome) = expect_io(client::wait_terminal(addr, id, Duration::from_secs(600)));
+    if info.state != JobState::Done || !outcome.as_ref().is_some_and(|o| o.verified) {
+        eprintln!(
+            "navp-submit: job {id} ended {}: {}",
+            info.state.name(),
+            info.detail
+        );
+        std::process::exit(1);
+    }
+    t.elapsed()
+}
+
+/// One timed batch at concurrency `c`: `c` clients each running
+/// `jobs_per_client` sequential submit-and-wait round trips. Returns
+/// (batch wall time, every client-observed latency).
+fn perf_batch(args: &Args, c: usize) -> (u64, Vec<u64>) {
+    let t = Instant::now();
+    let lats: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..c)
+            .map(|_| {
+                s.spawn(|| {
+                    (0..args.jobs_per_client)
+                        .map(|_| run_one(&args.to, &args.spec))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = t.elapsed().as_nanos() as u64;
+    let mut sorted: Vec<u64> = lats.iter().map(|d| d.as_nanos() as u64).collect();
+    sorted.sort_unstable();
+    (elapsed, sorted)
+}
+
+/// (min, median, p90) of per-batch values — the shape `Entry` stores,
+/// so the regression gate compares medians over batches, not a single
+/// noisy measurement.
+fn batch_stats(mut vals: Vec<u64>) -> (u64, u64, u64) {
+    vals.sort_unstable();
+    let at = |p: f64| vals[((vals.len() - 1) as f64 * p).round() as usize];
+    (vals[0], at(0.5), at(0.9))
+}
+
+const PERF_BATCHES: usize = 5;
+
+fn cmd_perf(args: &Args) {
+    let concurrencies: &[usize] = &[1, 4, 16];
+    let mut throughput = Group::new("service_throughput").sample_size(PERF_BATCHES);
+    let mut latency = Group::new("service_latency").sample_size(PERF_BATCHES);
+    for &c in concurrencies {
+        let total = c * args.jobs_per_client;
+        // One untimed warm-up batch soaks connection setup, thread
+        // spawn and page-cache effects out of the gated figures.
+        let _ = perf_batch(args, c);
+        let mut elapsed = Vec::new();
+        let mut p50s = Vec::new();
+        let mut p99s = Vec::new();
+        for _ in 0..PERF_BATCHES {
+            let (wall, sorted) = perf_batch(args, c);
+            let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+            elapsed.push(wall);
+            p50s.push(q(0.50));
+            p99s.push(q(0.99));
+        }
+        let (min_ns, median_ns, p90_ns) = batch_stats(elapsed);
+        throughput.record(Entry {
+            label: format!("c{c}"),
+            samples: total,
+            min_ns,
+            median_ns,
+            p90_ns,
+            metric: Some(Metric::Runs(total as u64)),
+        });
+        for (name, vals) in [("p50", p50s), ("p99", p99s)] {
+            let (min_ns, median_ns, p90_ns) = batch_stats(vals);
+            latency.record(Entry {
+                label: format!("{name}_c{c}"),
+                samples: total,
+                min_ns,
+                median_ns,
+                p90_ns,
+                metric: None,
+            });
+        }
+    }
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_service.json"));
+    let groups = [throughput, latency];
+    if args.check {
+        let text = std::fs::read_to_string(&out).unwrap_or_else(|e| {
+            eprintln!(
+                "navp-submit: cannot read baseline {}: {e}\n\
+                 run `navp-submit perf` without --check first to write it",
+                out.display()
+            );
+            std::process::exit(2);
+        });
+        let old = parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("navp-submit: {}: {e}", out.display());
+            std::process::exit(2);
+        });
+        let mut buf = Vec::new();
+        use std::io::Write as _;
+        write!(buf, "{{\"groups\":[").unwrap();
+        for (i, g) in groups.iter().enumerate() {
+            if i > 0 {
+                write!(buf, ",").unwrap();
+            }
+            g.write_json(&mut buf).unwrap();
+        }
+        write!(buf, "]}}").unwrap();
+        let new = parse_baseline(&String::from_utf8(buf).unwrap()).expect("own JSON parses");
+        let deltas = compare(&old, &new, 0.15);
+        println!("\n{}", render_table(&deltas));
+        if deltas.iter().any(|d| d.fail) {
+            eprintln!("navp-submit: service perf regression past 15%");
+            std::process::exit(1);
+        }
+        println!("service perf within tolerance of {}", out.display());
+    } else {
+        expect_io(write_groups_json(&out, &groups));
+        println!("wrote {}", out.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "submit" => {
+            match expect_io(client::submit(&args.to, args.spec.clone())) {
+                Ok(id) => {
+                    println!("submitted job {id}");
+                    if args.wait {
+                        let (info, outcome) = expect_io(client::wait_terminal(
+                            &args.to,
+                            id,
+                            Duration::from_secs(600),
+                        ));
+                        print_info(&info);
+                        if let Some(o) = outcome {
+                            println!(
+                                "checksum {:#018x} verified {} wall {} ms",
+                                o.checksum, o.verified, o.wall_ms
+                            );
+                        }
+                        if info.state != JobState::Done {
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                Err(RejectReason::QueueFull { cap }) => {
+                    eprintln!("navp-submit: rejected, queue full (capacity {cap})");
+                    std::process::exit(3);
+                }
+                Err(RejectReason::Draining) => {
+                    eprintln!("navp-submit: rejected, server draining");
+                    std::process::exit(3);
+                }
+            }
+        }
+        "status" => match expect_io(client::rpc(&args.to, &Request::Status { id: args.id })) {
+            Response::Job { info } => print_info(&info),
+            Response::Error { detail } => {
+                eprintln!("navp-submit: {detail}");
+                std::process::exit(1);
+            }
+            other => die(&format!("unexpected response {other:?}")),
+        },
+        "result" => match expect_io(client::rpc(&args.to, &Request::Result { id: args.id })) {
+            Response::Outcome { info, outcome } => {
+                print_info(&info);
+                match outcome {
+                    Some(o) => println!(
+                        "checksum {:#018x} verified {} wall {} ms",
+                        o.checksum, o.verified, o.wall_ms
+                    ),
+                    None => println!("no outcome (job not done)"),
+                }
+            }
+            Response::Error { detail } => {
+                eprintln!("navp-submit: {detail}");
+                std::process::exit(1);
+            }
+            other => die(&format!("unexpected response {other:?}")),
+        },
+        "cancel" => match expect_io(client::rpc(&args.to, &Request::Cancel { id: args.id })) {
+            Response::Cancelled { id, ok } => {
+                println!("cancel {id}: {}", if ok { "cancelled" } else { "too late" });
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
+            Response::Error { detail } => {
+                eprintln!("navp-submit: {detail}");
+                std::process::exit(1);
+            }
+            other => die(&format!("unexpected response {other:?}")),
+        },
+        "list" => match expect_io(client::rpc(&args.to, &Request::List)) {
+            Response::Jobs { jobs } => {
+                println!("{} job(s)", jobs.len());
+                for info in &jobs {
+                    print_info(info);
+                }
+            }
+            other => die(&format!("unexpected response {other:?}")),
+        },
+        "perf" => cmd_perf(&args),
+        other => die(&format!("unknown subcommand {other:?}")),
+    }
+}

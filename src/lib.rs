@@ -22,12 +22,20 @@
 //! * [`navp_metrics`] — live metrics: lock-free counters/gauges/
 //!   histograms, Prometheus text exposition, cluster-wide snapshots,
 //!   and the `/metrics` + `/healthz` HTTP responder `navp-pe` serves.
+//! * [`navp_serve`] — the multi-tenant job service: the `navp-serve`
+//!   daemon multiplexes concurrent client submissions onto one
+//!   persistent PE mesh, each run in its own namespace; `navp-submit`
+//!   is its CLI client.
+//! * [`navp_bench`] — the timing harness and the perf-regression gate
+//!   behind the `BENCH_*.json` baselines.
 
 pub use navp;
+pub use navp_bench;
 pub use navp_matrix;
 pub use navp_metrics;
 pub use navp_mm;
 pub use navp_mp;
 pub use navp_net;
+pub use navp_serve;
 pub use navp_sim;
 pub use navp_trace;
