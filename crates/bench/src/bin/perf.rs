@@ -1,9 +1,11 @@
 //! Wall-clock perf baseline: packed vs naive GEMM kernel GFLOP/s and
 //! NavP-stage wall times with effective hop bandwidth, written as
 //! machine-readable JSON (`BENCH_kernel.json`, `BENCH_stages.json`) at
-//! the repo root.
+//! the repo root. With `--kv` the binary benches the key-value
+//! workload instead — journey steps across 1/2/4 PEs, ops/s and scan
+//! bandwidth — against `BENCH_kv.json`.
 //!
-//! Usage: `cargo run --release -p navp-bench --bin perf [-- --quick] [-- --check]`
+//! Usage: `cargo run --release -p navp-bench --bin perf [-- --kv] [-- --quick] [-- --check]`
 //!
 //! `--quick` trims sample counts and the stage problem size so the CI
 //! perf smoke job finishes in a couple of minutes; the acceptance gate
@@ -19,6 +21,7 @@
 
 use navp_bench::check::{compare, parse_baseline, render_table, BenchEntry};
 use navp_bench::timing::{write_groups_json, Entry, Group, Metric};
+use navp_kv::{run_kv_threads, run_kv_threads_unverified, KvConfig, KvStage};
 use navp_matrix::gen::seeded_matrix;
 use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, gemm_flops};
 use navp_matrix::Grid2D;
@@ -36,26 +39,29 @@ fn repo_root() -> PathBuf {
 struct Opts {
     quick: bool,
     check: bool,
+    kv: bool,
 }
 
 fn parse_opts() -> Opts {
     let mut quick = false;
     let mut check = false;
+    let mut kv = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--kv" => kv = true,
             "--help" | "-h" => {
-                println!("usage: perf [--quick] [--check]");
+                println!("usage: perf [--kv] [--quick] [--check]");
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown argument: {other} (usage: perf [--quick] [--check])");
+                eprintln!("unknown argument: {other} (usage: perf [--kv] [--quick] [--check])");
                 std::process::exit(2);
             }
         }
     }
-    Opts { quick, check }
+    Opts { quick, check, kv }
 }
 
 /// Kernel section: packed vs naive at the paper block orders plus a
@@ -155,6 +161,59 @@ fn bench_stages(opts: &Opts) -> Vec<Group> {
     vec![wall, hops]
 }
 
+/// Key-value section: each journey step timed wall-clock on real
+/// threads across 1-, 2- and 4-PE meshes (the sequential anchor only
+/// on 1 — it collapses to one PE regardless). The first group reports
+/// operation throughput; the second derives scan bandwidth — entries
+/// returned by scans times the value payload, over the same measured
+/// wall times — from a verified probe run, since a config's scan
+/// traffic is deterministic. The workload is small enough that quick
+/// mode only trims samples, so `--check --quick` shares every entry
+/// with the full committed baseline.
+fn bench_kv(opts: &Opts) -> Vec<Group> {
+    let (ops, batches) = (4_000, 16);
+    let samples = if opts.quick { 3 } else { 9 };
+    let cfg = KvConfig::new(ops, batches).with_seed(0x5EED_CAFE);
+    let mut wall = Group::new(&format!("kv_journey_ops{ops}"))
+        .sample_size(samples)
+        .warmup(1)
+        .metric_of(Metric::Elems(ops as u64));
+    let mut scans = Group::new(&format!("kv_scan_bandwidth_ops{ops}")).sample_size(samples);
+    let mut points = vec![(1, KvStage::Seq)];
+    for pes in [2, 4] {
+        for stage in [KvStage::Dsc, KvStage::Pipe, KvStage::Phase] {
+            points.push((pes, stage));
+        }
+    }
+    for (pes, stage) in points {
+        // One verified probe: checks the product against the
+        // sequential reference and records the deterministic scan
+        // volume this (config, step) pair produces.
+        let probe = run_kv_threads(stage, &cfg, pes).expect("run");
+        assert_eq!(
+            probe.verified,
+            Some(true),
+            "{} on {pes} PEs failed to verify",
+            stage.name()
+        );
+        let label = format!("{}_p{pes}", stage.name());
+        let e = wall
+            .bench(&label, || {
+                run_kv_threads_unverified(stage, &cfg, pes).expect("run").wall
+            })
+            .clone();
+        scans.record(Entry {
+            label,
+            samples: e.samples,
+            min_ns: e.min_ns,
+            median_ns: e.median_ns,
+            p90_ns: e.p90_ns,
+            metric: Some(Metric::Bytes(probe.stats.scanned * cfg.value_len as u64)),
+        });
+    }
+    vec![wall, scans]
+}
+
 /// Flatten fresh groups into the flat entry shape the gate compares.
 fn current_entries(groups: &[Group]) -> Vec<BenchEntry> {
     groups
@@ -190,15 +249,60 @@ fn load_baseline(path: &Path) -> Vec<BenchEntry> {
 /// growth against the committed baseline.
 const TOLERANCE: f64 = 0.15;
 
+/// The `--kv` path: bench the key-value workload against its own
+/// baseline file and exit. Mirrors the GEMM flow minus the kernel
+/// gate — the acceptance bar for kv is that every step verifies,
+/// which `bench_kv` asserts on its probe runs.
+fn kv_main(opts: &Opts, root: &Path) -> ! {
+    let kv_path = root.join("BENCH_kv.json");
+    let baseline = opts.check.then(|| load_baseline(&kv_path));
+    let groups = bench_kv(opts);
+    if let Some(baseline) = baseline {
+        let fresh = current_entries(&groups);
+        let deltas = compare(&baseline, &fresh, TOLERANCE);
+        if deltas.is_empty() {
+            eprintln!(
+                "FAIL: no (group, label) pairs shared with the committed baseline — \
+                 re-write it with `perf --kv`"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nregression gate: {} shared entries, tolerance {:.0}%\n",
+            deltas.len(),
+            TOLERANCE * 100.0
+        );
+        print!("{}", render_table(&deltas));
+        let failed = deltas.iter().filter(|d| d.fail).count();
+        if failed > 0 {
+            eprintln!(
+                "\nFAIL: {failed} of {} entries regressed past {:.0}%",
+                deltas.len(),
+                TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("\nOK: no entry regressed past {:.0}%", TOLERANCE * 100.0);
+        std::process::exit(0);
+    }
+    write_groups_json(&kv_path, &groups).expect("write BENCH_kv.json");
+    println!("\nwrote {}", kv_path.display());
+    std::process::exit(0);
+}
+
 fn main() {
     let opts = parse_opts();
     let root = repo_root();
     println!(
-        "perf {} ({} mode); baselines at {}",
+        "perf {}{} ({} mode); baselines at {}",
+        if opts.kv { "kv " } else { "" },
         if opts.check { "regression check" } else { "baseline" },
         if opts.quick { "quick" } else { "full" },
         root.display()
     );
+    if opts.kv {
+        kv_main(&opts, &root);
+    }
     let kernel_path = root.join("BENCH_kernel.json");
     let stages_path = root.join("BENCH_stages.json");
     // In check mode, load the committed baselines *before* spending

@@ -1,0 +1,396 @@
+//! The key-value messengers: batch carriers, the DSC wrapper, and the
+//! roving compactor.
+//!
+//! A [`BatchCarrier`] is the kv analogue of the matrix workload's
+//! `RowCarrier`: it carries one client batch through the mesh, hopping
+//! to whichever PE owns the next operation's key and executing every
+//! consecutive locally-served operation inside a single `step` (the
+//! executor only regains control when the computation locus actually
+//! moves). Scans tour every PE in order and merge their per-shard hits
+//! before recording a result. When the batch is exhausted the carrier
+//! returns to its home PE and deposits a [`BatchResult`].
+//!
+//! [`DscKvCarrier`] is the distributed-sequential-computing step: one
+//! messenger that runs every batch, in order, by delegating to an inner
+//! [`BatchCarrier`] — exactly the shape of the paper's first
+//! transformation, where the sequential program starts migrating but
+//! nothing overlaps yet.
+//!
+//! [`Compactor`] is the background maintenance messenger: it roves
+//! round-robin over the PEs compacting each shard it visits. It is
+//! "low-priority" in the NavP sense — it yields the PE after every
+//! shard by hopping, so serving messengers interleave freely — and it
+//! is safe to overlap with serving because compaction is
+//! observation-neutral (see [`Shard::compact`]).
+
+use navp::durable::fnv1a;
+use navp::{Effect, Messenger, MsgrCtx, NodeId, WireSnapshot};
+use navp_net::codec::WireWriter;
+
+use crate::config::KvConfig;
+use crate::shard::Shard;
+use crate::workload::{
+    batch_ops, owner_of, write_delete_result, write_get_result, write_put_result,
+    write_scan_result, Op,
+};
+
+/// Store key of the PE-local shard. Every PE holds exactly one shard,
+/// so no subscript is needed — each PE's store is its own namespace.
+pub const SHARD_KEY: navp::Key = navp::Key::plain("KVShard");
+
+/// Store key of batch `b`'s deposited result.
+pub fn result_key(b: usize) -> navp::Key {
+    navp::Key::at("KVRes", b)
+}
+
+/// The value a finished batch deposits at its home PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    /// The batch's result buffer: one record per operation, in
+    /// operation order (see [`crate::workload::result_tag`]).
+    pub bytes: Vec<u8>,
+    /// Operations executed.
+    pub ops: u64,
+    /// Total entries returned by this batch's scans.
+    pub scanned: u64,
+}
+
+/// In-flight state of a scan touring the mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScanState {
+    /// Range start (inclusive).
+    pub(crate) start: u64,
+    /// Range end (exclusive) — the batch's region end.
+    pub(crate) end: u64,
+    /// Global result cap.
+    pub(crate) limit: usize,
+    /// Next PE to visit; the tour runs 0..pes.
+    pub(crate) next_pe: usize,
+    /// Hits gathered so far as `(key, value digest)`.
+    pub(crate) acc: Vec<(u64, u64)>,
+}
+
+/// Carries one client batch through the mesh (see module docs).
+#[derive(Debug, Clone)]
+pub struct BatchCarrier {
+    pub(crate) cfg: KvConfig,
+    pub(crate) pes: usize,
+    pub(crate) batch: usize,
+    pub(crate) home: usize,
+    /// Regenerated from `(cfg, batch)`, never serialized.
+    pub(crate) ops: Vec<Op>,
+    pub(crate) pos: usize,
+    pub(crate) results: Vec<u8>,
+    pub(crate) scanned: u64,
+    pub(crate) scan: Option<ScanState>,
+    pub(crate) deposited: bool,
+}
+
+impl BatchCarrier {
+    /// A carrier for batch `batch` on a `pes`-wide mesh, depositing its
+    /// results at `home` when done.
+    pub fn new(cfg: KvConfig, pes: usize, batch: usize, home: usize) -> BatchCarrier {
+        assert!(pes > 0 && home < pes);
+        let ops = batch_ops(&cfg, batch);
+        BatchCarrier {
+            cfg,
+            pes,
+            batch,
+            home,
+            ops,
+            pos: 0,
+            results: Vec::new(),
+            scanned: 0,
+            scan: None,
+            deposited: false,
+        }
+    }
+
+    /// Batch index this carrier serves.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn shard<'a>(ctx: &'a mut MsgrCtx<'_>) -> &'a mut Shard {
+        ctx.store()
+            .get_mut::<Shard>(SHARD_KEY)
+            .expect("every PE is seeded with a shard")
+    }
+}
+
+impl Messenger for BatchCarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        loop {
+            // A scan in flight visits PEs strictly in order, then merges.
+            if let Some(st) = &mut self.scan {
+                if ctx.here() != st.next_pe {
+                    return Effect::Hop(st.next_pe as NodeId);
+                }
+                let (start, end, limit) = (st.start, st.end, st.limit);
+                let mut touched = 0u64;
+                let hits: Vec<(u64, u64)> = Self::shard(ctx)
+                    .scan(start, end, limit)
+                    .into_iter()
+                    .map(|(k, v)| {
+                        touched += 9 + v.len() as u64;
+                        (k, fnv1a(v))
+                    })
+                    .collect();
+                ctx.charge_touched(touched);
+                ctx.charge_flops(32 + 8 * hits.len() as u64);
+                let st = self.scan.as_mut().expect("scan still active");
+                st.acc.extend(hits);
+                st.next_pe += 1;
+                if st.next_pe < self.pes {
+                    return Effect::Hop(st.next_pe as NodeId);
+                }
+                // Toured every shard: ordered merge. Per-shard hits are
+                // already sorted; a global sort + truncate yields the
+                // first `limit` keys of the union.
+                st.acc.sort_unstable_by_key(|&(k, _)| k);
+                st.acc.truncate(st.limit);
+                let mut w = WireWriter::over(std::mem::take(&mut self.results));
+                write_scan_result(&mut w, st.start, &st.acc);
+                self.scanned += st.acc.len() as u64;
+                self.results = w.into_vec();
+                self.scan = None;
+                self.pos += 1;
+                continue;
+            }
+
+            // Batch exhausted: go home and deposit the result buffer.
+            if self.pos == self.ops.len() {
+                if !self.deposited {
+                    if ctx.here() != self.home {
+                        return Effect::Hop(self.home as NodeId);
+                    }
+                    let res = BatchResult {
+                        bytes: std::mem::take(&mut self.results),
+                        ops: self.ops.len() as u64,
+                        scanned: self.scanned,
+                    };
+                    let bytes = res.bytes.len() as u64 + 16;
+                    ctx.store().insert(result_key(self.batch), res, bytes);
+                    self.deposited = true;
+                }
+                return Effect::Done;
+            }
+
+            // Next operation. Scans start a mesh tour; point operations
+            // navigate to the owner and execute locally.
+            match self.ops[self.pos].clone() {
+                Op::Scan { start, end, limit } => {
+                    self.scan = Some(ScanState {
+                        start,
+                        end,
+                        limit,
+                        next_pe: 0,
+                        acc: Vec::new(),
+                    });
+                }
+                op => {
+                    let target = owner_of(op.key(), self.pes);
+                    if ctx.here() != target {
+                        return Effect::Hop(target as NodeId);
+                    }
+                    debug_assert_eq!(ctx.here(), target);
+                    let mut w = WireWriter::over(std::mem::take(&mut self.results));
+                    match op {
+                        Op::Put { key, value } => {
+                            let touched = 9 + value.len() as u64;
+                            let prev = Self::shard(ctx).put(key, value);
+                            write_put_result(&mut w, key, prev);
+                            ctx.charge_touched(touched);
+                        }
+                        Op::Get { key } => {
+                            let value = Self::shard(ctx).get(key).cloned();
+                            ctx.charge_touched(9 + value.as_ref().map_or(0, |v| v.len() as u64));
+                            write_get_result(&mut w, key, value.as_ref());
+                        }
+                        Op::Delete { key } => {
+                            let existed = Self::shard(ctx).delete(key);
+                            write_delete_result(&mut w, key, existed);
+                            ctx.charge_touched(9);
+                        }
+                        Op::Scan { .. } => unreachable!("handled above"),
+                    }
+                    ctx.charge_flops(32);
+                    self.results = w.into_vec();
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        // Agent variables that actually travel: the accumulated result
+        // buffer, in-flight scan hits, and a little fixed state.
+        self.results.len() as u64
+            + self.scan.as_ref().map_or(0, |s| 16 * s.acc.len() as u64)
+            + 64
+    }
+
+    fn label(&self) -> String {
+        format!("KvBatch({})", self.batch)
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        Some(WireSnapshot::new(
+            crate::net::BATCH_TAG,
+            crate::net::encode_batch_carrier(self),
+        ))
+    }
+}
+
+/// The DSC step: one migrating messenger that serves every batch in
+/// order — distributed data, sequential control flow.
+#[derive(Debug, Clone)]
+pub struct DscKvCarrier {
+    pub(crate) cfg: KvConfig,
+    pub(crate) pes: usize,
+    pub(crate) home: usize,
+    pub(crate) next_batch: usize,
+    pub(crate) inner: Option<BatchCarrier>,
+}
+
+impl DscKvCarrier {
+    /// One messenger serving all of `cfg`'s batches over `pes` PEs,
+    /// depositing every result at `home`.
+    pub fn new(cfg: KvConfig, pes: usize, home: usize) -> DscKvCarrier {
+        assert!(pes > 0 && home < pes);
+        DscKvCarrier {
+            cfg,
+            pes,
+            home,
+            next_batch: 0,
+            inner: None,
+        }
+    }
+}
+
+impl Messenger for DscKvCarrier {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        loop {
+            if let Some(c) = &mut self.inner {
+                match c.step(ctx) {
+                    Effect::Done => self.inner = None,
+                    other => return other,
+                }
+            } else if self.next_batch == self.cfg.batches {
+                if ctx.here() != self.home {
+                    return Effect::Hop(self.home as NodeId);
+                }
+                return Effect::Done;
+            } else {
+                self.inner = Some(BatchCarrier::new(
+                    self.cfg,
+                    self.pes,
+                    self.next_batch,
+                    self.home,
+                ));
+                self.next_batch += 1;
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        self.inner.as_ref().map_or(64, |c| c.payload_bytes())
+    }
+
+    fn label(&self) -> String {
+        match &self.inner {
+            Some(c) => format!("KvDsc[{}]", c.batch),
+            None => "KvDsc".to_string(),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        Some(WireSnapshot::new(
+            crate::net::DSC_TAG,
+            crate::net::encode_dsc_carrier(self),
+        ))
+    }
+}
+
+/// Background compaction as a roving messenger: `rounds` round-robin
+/// passes over all PEs, compacting the local shard on each visit and
+/// hopping away immediately after so serving work interleaves.
+#[derive(Debug, Clone)]
+pub struct Compactor {
+    pub(crate) pes: usize,
+    pub(crate) rounds: usize,
+    pub(crate) cursor: usize,
+    pub(crate) reclaimed: u64,
+}
+
+impl Compactor {
+    /// A compactor making `rounds` passes over `pes` PEs, starting at
+    /// PE 0.
+    pub fn new(pes: usize, rounds: usize) -> Compactor {
+        assert!(pes > 0);
+        Compactor {
+            pes,
+            rounds,
+            cursor: 0,
+            reclaimed: 0,
+        }
+    }
+
+    /// Bytes reclaimed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
+    }
+}
+
+impl Messenger for Compactor {
+    fn step(&mut self, ctx: &mut MsgrCtx<'_>) -> Effect {
+        loop {
+            if self.rounds == 0 {
+                return Effect::Done;
+            }
+            if ctx.here() != self.cursor {
+                return Effect::Hop(self.cursor as NodeId);
+            }
+            if let Some(shard) = ctx.store().get_mut::<Shard>(SHARD_KEY) {
+                let live = shard.live_bytes();
+                self.reclaimed += shard.compact();
+                ctx.charge_touched(live);
+            }
+            self.cursor += 1;
+            if self.cursor == self.pes {
+                self.cursor = 0;
+                self.rounds -= 1;
+            }
+            if self.rounds > 0 && self.cursor != ctx.here() {
+                return Effect::Hop(self.cursor as NodeId);
+            }
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        32
+    }
+
+    fn label(&self) -> String {
+        "KvCompactor".to_string()
+    }
+
+    fn snapshot(&self) -> Option<Box<dyn Messenger>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn wire_snapshot(&self) -> Option<WireSnapshot> {
+        Some(WireSnapshot::new(
+            crate::net::COMPACTOR_TAG,
+            crate::net::encode_compactor(self),
+        ))
+    }
+}

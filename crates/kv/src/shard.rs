@@ -1,0 +1,261 @@
+//! The per-PE shard: an append-only log plus an in-memory index.
+//!
+//! Each PE owns exactly one [`Shard`] holding the keys that hash to it.
+//! Writes append a record to the log and repoint the index; deletes
+//! append a tombstone; reads and scans go through the index only. The
+//! log therefore accumulates dead bytes (overwritten records and
+//! tombstones) until [`Shard::compact`] rewrites it from the live index
+//! — which changes the log layout but, by construction, never changes
+//! anything an operation can observe. That observation-neutrality is
+//! what lets the phase-shifted journey step run compaction *concurrently*
+//! with serving and still produce bitwise-identical results.
+
+use std::collections::BTreeMap;
+
+use navp::durable::fnv1a;
+
+/// One log record: a key and either a value (put) or `None` (tombstone).
+pub type LogRecord = (u64, Option<Vec<u8>>);
+
+/// A log-structured key-value shard. Stored in a PE's `NodeStore` under
+/// [`shard_key`](crate::stages::shard_key) and serialized whole for
+/// durable checkpoints and networked store distribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Shard {
+    /// Append-only log; `index` points at the live record per key.
+    log: Vec<LogRecord>,
+    /// Live keys, each mapped to its latest log position.
+    index: BTreeMap<u64, usize>,
+    /// Bytes of live records (reachable from the index).
+    live_bytes: u64,
+    /// Bytes of dead records (overwritten, deleted, and tombstones).
+    dead_bytes: u64,
+    /// How many times this shard has been compacted.
+    compactions: u64,
+}
+
+/// Size accounting for one record: key + presence byte + payload.
+fn record_bytes(value: Option<&Vec<u8>>) -> u64 {
+    9 + value.map_or(0, |v| v.len() as u64)
+}
+
+impl Shard {
+    /// A fresh, empty shard.
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the shard holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total log length including dead records and tombstones.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Bytes of live records.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes of dead records awaiting compaction.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    /// How many times [`Shard::compact`] has run.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Approximate in-memory footprint, used for store accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        self.live_bytes + self.dead_bytes + (self.index.len() as u64) * 16
+    }
+
+    /// Write `value` under `key`. Returns whether the key already
+    /// existed (its old record becomes dead).
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> bool {
+        let existed = self.retire(key);
+        self.live_bytes += record_bytes(Some(&value));
+        self.log.push((key, Some(value)));
+        self.index.insert(key, self.log.len() - 1);
+        existed
+    }
+
+    /// Read the live value under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        let pos = *self.index.get(&key)?;
+        self.log[pos].1.as_ref()
+    }
+
+    /// Delete `key`. If it was live, a tombstone is appended (so the
+    /// log alone reconstructs the shard) and `true` is returned; a
+    /// delete of an absent key leaves the log untouched.
+    pub fn delete(&mut self, key: u64) -> bool {
+        if !self.retire(key) {
+            return false;
+        }
+        self.index.remove(&key);
+        self.dead_bytes += record_bytes(None);
+        self.log.push((key, None));
+        true
+    }
+
+    /// Live entries with `start <= key < end`, ascending, at most
+    /// `limit` of them.
+    pub fn scan(&self, start: u64, end: u64, limit: usize) -> Vec<(u64, &Vec<u8>)> {
+        self.index
+            .range(start..end)
+            .take(limit)
+            .map(|(&k, &pos)| (k, self.log[pos].1.as_ref().expect("index points at value")))
+            .collect()
+    }
+
+    /// Rewrite the log keeping only live records (in key order) and
+    /// drop all dead bytes. Observation-neutral: the index contents —
+    /// and therefore every get/scan result and [`Shard::digest`] — are
+    /// unchanged. Returns the number of bytes reclaimed.
+    pub fn compact(&mut self) -> u64 {
+        let reclaimed = self.dead_bytes;
+        let mut log = Vec::with_capacity(self.index.len());
+        let mut index = BTreeMap::new();
+        for (&key, &pos) in &self.index {
+            log.push((key, self.log[pos].1.clone()));
+            index.insert(key, log.len() - 1);
+        }
+        self.log = log;
+        self.index = index;
+        self.dead_bytes = 0;
+        self.compactions += 1;
+        reclaimed
+    }
+
+    /// Iterate live `(key, value)` pairs in key order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u64, &Vec<u8>)> + '_ {
+        self.index
+            .iter()
+            .map(|(&k, &pos)| (k, self.log[pos].1.as_ref().expect("index points at value")))
+    }
+
+    /// FNV-1a digest of the live contents in key order. Independent of
+    /// log layout, so compaction never changes it.
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        for (k, v) in self.iter_live() {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        fnv1a(&buf)
+    }
+
+    /// Reconstruct a shard by replaying `log` in order (the decode half
+    /// of the wire codec). The index and byte counters are derived, not
+    /// trusted, so a decoded shard is always internally consistent.
+    pub fn replay(log: Vec<LogRecord>, compactions: u64) -> Shard {
+        let mut s = Shard::new();
+        for (key, rec) in log {
+            match rec {
+                Some(v) => {
+                    s.put(key, v);
+                }
+                None => {
+                    s.delete(key);
+                }
+            }
+        }
+        s.compactions = compactions;
+        s
+    }
+
+    /// Raw log records, for the wire codec.
+    pub fn log_records(&self) -> &[LogRecord] {
+        &self.log
+    }
+
+    /// Mark the live record under `key` (if any) dead. Returns whether
+    /// one existed.
+    fn retire(&mut self, key: u64) -> bool {
+        if let Some(&pos) = self.index.get(&key) {
+            let bytes = record_bytes(self.log[pos].1.as_ref());
+            self.live_bytes -= bytes;
+            self.dead_bytes += bytes;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut s = Shard::new();
+        assert!(!s.put(1, vec![10, 11]));
+        assert!(s.put(1, vec![12]));
+        assert_eq!(s.get(1), Some(&vec![12]));
+        assert!(s.delete(1));
+        assert!(!s.delete(1));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.len(), 0);
+        assert!(s.log_len() > 0, "log keeps history until compaction");
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut s = Shard::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            s.put(k, vec![k as u8]);
+        }
+        let hits: Vec<u64> = s.scan(2, 8, 2).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(hits, vec![3, 5]);
+    }
+
+    #[test]
+    fn compaction_preserves_digest_and_reclaims() {
+        let mut s = Shard::new();
+        for k in 0..50u64 {
+            s.put(k, vec![0u8; 16]);
+        }
+        for k in 0..50u64 {
+            if k % 3 == 0 {
+                s.delete(k);
+            } else {
+                s.put(k, vec![1u8; 16]);
+            }
+        }
+        let before = s.digest();
+        let dead = s.dead_bytes();
+        assert!(dead > 0);
+        let reclaimed = s.compact();
+        assert_eq!(reclaimed, dead);
+        assert_eq!(s.dead_bytes(), 0);
+        assert_eq!(s.digest(), before);
+        assert_eq!(s.log_len(), s.len());
+        assert_eq!(s.compactions(), 1);
+    }
+
+    #[test]
+    fn replay_reconstructs_counters() {
+        let mut s = Shard::new();
+        for k in 0..20u64 {
+            s.put(k, vec![k as u8; 8]);
+        }
+        for k in 0..10u64 {
+            s.delete(k * 2);
+        }
+        let replayed = Shard::replay(s.log_records().to_vec(), s.compactions());
+        assert_eq!(replayed, s);
+    }
+}

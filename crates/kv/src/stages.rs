@@ -1,0 +1,215 @@
+//! The four journey steps as cluster builders, plus the result
+//! collector.
+//!
+//! Mirroring the matrix case study, each step is the *same* workload
+//! under a progressively more parallel navigational structure:
+//!
+//! * **seq** — one PE, one shard, one messenger: the original
+//!   sequential program.
+//! * **dsc** — distributed sequential computing: the shards spread over
+//!   the mesh, but still a single migrating messenger serving batches
+//!   in order.
+//! * **pipe** — one carrier per batch, all entering at PE 0 through a
+//!   [`Launcher`] so batches pipeline through the mesh.
+//! * **phase** — carriers enter at phase-shifted home PEs (batch `b` at
+//!   PE `b % pes`) so entry itself is spread, with the roving
+//!   [`Compactor`] overlapping log compaction with serving.
+//!
+//! Because batches commute (disjoint key regions) and compaction is
+//! observation-neutral, all four steps produce the same
+//! [`KvProduct`](crate::workload::KvProduct) — verified bitwise by
+//! `tests/kv.rs` across all three executors.
+
+use navp::{Cluster, Key, NodeStore, RunError};
+use navp_mm::launch::{Launcher, Stop};
+
+use crate::carrier::{result_key, BatchCarrier, BatchResult, Compactor, DscKvCarrier, SHARD_KEY};
+use crate::config::KvConfig;
+use crate::shard::Shard;
+use crate::workload::KvProduct;
+
+/// Rounds the phase step's compactor makes over the mesh.
+pub const COMPACTOR_ROUNDS: usize = 2;
+
+/// Store key of the PE-local shard (re-exported for tests and docs).
+pub fn shard_key() -> Key {
+    SHARD_KEY
+}
+
+/// Seed every PE of `cl` with an empty shard.
+fn seed_shards(cl: &mut Cluster, pes: usize) -> Result<(), RunError> {
+    for pe in 0..pes {
+        let shard = Shard::new();
+        let bytes = shard.approx_bytes();
+        cl.try_store_mut(pe)?.insert(SHARD_KEY, shard, bytes);
+    }
+    Ok(())
+}
+
+/// The sequential step: one PE holds the whole store, one messenger
+/// serves every batch locally. Always a 1-PE cluster regardless of the
+/// requested mesh size.
+pub fn seq_cluster(cfg: &KvConfig) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(1)?;
+    seed_shards(&mut cl, 1)?;
+    cl.try_inject(0, DscKvCarrier::new(*cfg, 1, 0))?;
+    Ok(cl)
+}
+
+/// The DSC step: shards distributed over `pes` PEs, one migrating
+/// messenger serving batches in order, home PE 0.
+pub fn dsc_cluster(cfg: &KvConfig, pes: usize) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(pes)?;
+    seed_shards(&mut cl, pes)?;
+    cl.try_inject(0, DscKvCarrier::new(*cfg, pes, 0))?;
+    Ok(cl)
+}
+
+/// The pipelined step: one carrier per batch, all launched at PE 0, so
+/// batch `b+1` starts serving while batch `b` is still navigating.
+pub fn pipe_cluster(cfg: &KvConfig, pes: usize) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(pes)?;
+    seed_shards(&mut cl, pes)?;
+    let carriers: Vec<Box<dyn navp::Messenger>> = (0..cfg.batches)
+        .map(|b| Box::new(BatchCarrier::new(*cfg, pes, b, 0)) as Box<dyn navp::Messenger>)
+        .collect();
+    let launcher = Launcher::new(
+        "kv-pipe-launcher",
+        vec![Stop {
+            pe: 0,
+            inject: carriers,
+            signal: Vec::new(),
+        }],
+    );
+    let entry = launcher.first_pe();
+    cl.try_inject(entry, launcher)?;
+    Ok(cl)
+}
+
+/// The phase-shifted step: batch `b` enters (and deposits results) at
+/// PE `b % pes`, and a [`Compactor`] roves underneath the serving
+/// traffic.
+pub fn phase_cluster(cfg: &KvConfig, pes: usize) -> Result<Cluster, RunError> {
+    let mut cl = Cluster::new(pes)?;
+    seed_shards(&mut cl, pes)?;
+    let mut stops: Vec<Stop> = (0..cfg.batches)
+        .map(|b| Stop::inject_one(b % pes, BatchCarrier::new(*cfg, pes, b, b % pes)))
+        .collect();
+    stops.push(Stop::inject_one(0, Compactor::new(pes, COMPACTOR_ROUNDS)));
+    let launcher = Launcher::new("kv-phase-launcher", stops);
+    let entry = launcher.first_pe();
+    cl.try_inject(entry, launcher)?;
+    Ok(cl)
+}
+
+/// Aggregate run statistics derived from the final stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvRunStats {
+    /// Operations executed across all batches.
+    pub ops: u64,
+    /// Entries returned by scans across all batches.
+    pub scanned: u64,
+    /// Shard compactions performed.
+    pub compactions: u64,
+    /// Live bytes across all shards at the end of the run.
+    pub live_bytes: u64,
+    /// Dead (un-compacted) bytes across all shards at the end.
+    pub dead_bytes: u64,
+}
+
+/// Assemble the run's [`KvProduct`] and [`KvRunStats`] from the final
+/// per-PE stores: per-batch result buffers concatenated in batch order
+/// (an ordered merge, wherever each batch finished), plus a digest of
+/// the union of live shard contents in global key order.
+pub fn collect(
+    stores: &[NodeStore],
+    cfg: &KvConfig,
+    res_home: impl Fn(usize) -> usize,
+) -> Result<(KvProduct, KvRunStats), String> {
+    let mut stats = KvRunStats::default();
+    let mut results = Vec::new();
+    for b in 0..cfg.batches {
+        let home = res_home(b);
+        let res: &BatchResult = stores
+            .get(home)
+            .and_then(|s| s.get(result_key(b)))
+            .ok_or_else(|| format!("batch {b} result missing at PE {home}"))?;
+        results.extend_from_slice(&res.bytes);
+        stats.ops += res.ops;
+        stats.scanned += res.scanned;
+    }
+    let mut merged: Vec<(u64, &Vec<u8>)> = Vec::new();
+    for (pe, store) in stores.iter().enumerate() {
+        let shard: &Shard = store
+            .get(SHARD_KEY)
+            .ok_or_else(|| format!("shard missing at PE {pe}"))?;
+        stats.compactions += shard.compactions();
+        stats.live_bytes += shard.live_bytes();
+        stats.dead_bytes += shard.dead_bytes();
+        merged.extend(shard.iter_live());
+    }
+    // Keys are globally unique (each live key lives in exactly one
+    // shard), so a sort is a true ordered merge.
+    merged.sort_unstable_by_key(|&(k, _)| k);
+    let mut digest_buf = Vec::new();
+    for (k, v) in merged {
+        digest_buf.extend_from_slice(&k.to_le_bytes());
+        digest_buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        digest_buf.extend_from_slice(v);
+    }
+    Ok((
+        KvProduct {
+            results,
+            store_digest: navp::durable::fnv1a(&digest_buf),
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::expected;
+    use navp::{SimExecutor, ThreadExecutor};
+    use navp_sim::CostModel;
+
+    fn sim_product(cl: Cluster, cfg: &KvConfig, home: impl Fn(usize) -> usize) -> KvProduct {
+        let exec = SimExecutor::new(CostModel::paper_cluster());
+        let rep = exec.run(cl).expect("sim run");
+        collect(&rep.stores, cfg, home).expect("collect").0
+    }
+
+    #[test]
+    fn all_steps_match_the_reference_on_sim() {
+        let cfg = KvConfig::new(240, 6);
+        let want = expected(&cfg);
+        let seq = sim_product(seq_cluster(&cfg).unwrap(), &cfg, |_| 0);
+        assert_eq!(seq, want, "seq diverges from reference");
+        let dsc = sim_product(dsc_cluster(&cfg, 4).unwrap(), &cfg, |_| 0);
+        assert_eq!(dsc, want, "dsc diverges from reference");
+        let pipe = sim_product(pipe_cluster(&cfg, 4).unwrap(), &cfg, |_| 0);
+        assert_eq!(pipe, want, "pipe diverges from reference");
+        let phase = sim_product(phase_cluster(&cfg, 4).unwrap(), &cfg, |b| b % 4);
+        assert_eq!(phase, want, "phase diverges from reference");
+    }
+
+    #[test]
+    fn phase_compacts_while_serving() {
+        let cfg = KvConfig::new(400, 8).with_value_len(64);
+        let exec = SimExecutor::new(CostModel::paper_cluster());
+        let rep = exec.run(phase_cluster(&cfg, 4).unwrap()).expect("sim run");
+        let (product, stats) = collect(&rep.stores, &cfg, |b| b % 4).expect("collect");
+        assert_eq!(product, expected(&cfg));
+        assert_eq!(stats.compactions, (COMPACTOR_ROUNDS * 4) as u64);
+    }
+
+    #[test]
+    fn threads_match_sim_bitwise() {
+        let cfg = KvConfig::new(200, 5);
+        let want = expected(&cfg);
+        let exec = ThreadExecutor::new();
+        let rep = exec.run(pipe_cluster(&cfg, 3).unwrap()).expect("threads");
+        let (product, _) = collect(&rep.stores, &cfg, |_| 0).expect("collect");
+        assert_eq!(product, want);
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic workload generation and the sequential reference model.
+//!
+//! Every operation is a pure function of `(KvConfig, batch index)`, via a
+//! SplitMix64 stream seeded per batch. Two invariants make the whole
+//! journey bitwise-reproducible:
+//!
+//! 1. **Disjoint key regions.** Batch `b` only ever touches keys in
+//!    `[region_base(b), region_base(b) + keys_per_batch)`, and scans are
+//!    clipped to that region. Operations from different batches therefore
+//!    commute, so any interleaving the executors produce — one migrating
+//!    messenger, a pipeline of them, or phase-shifted entry points with a
+//!    compactor roving underneath — yields the same results.
+//! 2. **Ordered merge.** Within a batch, operations execute strictly in
+//!    generation order, and per-batch result buffers are concatenated in
+//!    batch order by the collector.
+
+use std::collections::BTreeMap;
+
+use navp::durable::fnv1a;
+use navp::SplitMix64;
+use navp_net::codec::WireWriter;
+
+use crate::config::KvConfig;
+
+/// Uniform value in `[0, n)` (`n` clamped to at least 1) off the fault
+/// machinery's [`SplitMix64`] — the workload shares the runtime's PRNG
+/// rather than growing a private one.
+fn below(rng: &mut SplitMix64, n: u64) -> u64 {
+    rng.next_u64() % n.max(1)
+}
+
+/// One key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Write `value` under `key`.
+    Put {
+        /// Target key.
+        key: u64,
+        /// Payload.
+        value: Vec<u8>,
+    },
+    /// Read the value under `key`.
+    Get {
+        /// Target key.
+        key: u64,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
+    /// Collect up to `limit` live entries with key in `[start, end)`,
+    /// ascending. `end` is always the op's batch region end.
+    Scan {
+        /// First key of the range (inclusive).
+        start: u64,
+        /// End of the range (exclusive).
+        end: u64,
+        /// Result cap.
+        limit: usize,
+    },
+}
+
+impl Op {
+    /// The key deciding which PE serves this op. Scans start their tour
+    /// at PE 0 regardless, so they report their range start here only
+    /// for labeling.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Put { key, .. } | Op::Get { key } | Op::Delete { key } => *key,
+            Op::Scan { start, .. } => *start,
+        }
+    }
+}
+
+/// First key of batch `b`'s private region. Regions are `2^32` apart so
+/// they can never collide for any practical `keys_per_batch`.
+pub fn region_base(b: usize) -> u64 {
+    ((b as u64) + 1) << 32
+}
+
+/// The PE owning `key`: a SplitMix64-style finalizer over the key,
+/// reduced mod `pes`. Hash (not range) partitioning, so every batch's
+/// region spreads across the whole mesh.
+pub fn owner_of(key: u64, pes: usize) -> usize {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % pes.max(1)
+}
+
+/// Generate batch `b`'s operation stream. Mix: ~50% put, ~20% get,
+/// ~15% delete, ~15% scan, with gets/deletes biased toward keys already
+/// written so hits dominate misses.
+pub fn batch_ops(cfg: &KvConfig, b: usize) -> Vec<Op> {
+    assert!(b < cfg.batches, "batch {b} out of range");
+    let mut rng = SplitMix64::new(
+        cfg.seed ^ (b as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+    );
+    let base = region_base(b);
+    let end = base + cfg.keys_per_batch;
+    let len = cfg.batch_len(b);
+    let mut written: Vec<u64> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = below(&mut rng, 100);
+        let op = if roll < 50 || written.is_empty() {
+            let key = base + below(&mut rng, cfg.keys_per_batch);
+            let mut value = vec![0u8; cfg.value_len];
+            for chunk in value.chunks_mut(8) {
+                let w = rng.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&w[..n]);
+            }
+            written.push(key);
+            Op::Put { key, value }
+        } else if roll < 70 {
+            let key = if below(&mut rng, 10) < 7 {
+                written[below(&mut rng, written.len() as u64) as usize]
+            } else {
+                base + below(&mut rng, cfg.keys_per_batch)
+            };
+            Op::Get { key }
+        } else if roll < 85 {
+            let key = if below(&mut rng, 10) < 7 {
+                written[below(&mut rng, written.len() as u64) as usize]
+            } else {
+                base + below(&mut rng, cfg.keys_per_batch)
+            };
+            Op::Delete { key }
+        } else {
+            let start = base + below(&mut rng, cfg.keys_per_batch);
+            Op::Scan {
+                start,
+                end,
+                limit: cfg.scan_limit,
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Result-record tags in the per-batch result buffer.
+pub mod result_tag {
+    /// A put's record: key + prev-existed flag.
+    pub const PUT: u8 = 1;
+    /// A get's record: key + found flag + value if found.
+    pub const GET: u8 = 2;
+    /// A delete's record: key + existed flag.
+    pub const DELETE: u8 = 3;
+    /// A scan's record: start + count + (key, value-digest) pairs.
+    pub const SCAN: u8 = 4;
+}
+
+/// Append a put result to a batch's result buffer.
+pub fn write_put_result(w: &mut WireWriter, key: u64, prev: bool) {
+    w.put_u8(result_tag::PUT);
+    w.put_u64(key);
+    w.put_bool(prev);
+}
+
+/// Append a get result to a batch's result buffer.
+pub fn write_get_result(w: &mut WireWriter, key: u64, value: Option<&Vec<u8>>) {
+    w.put_u8(result_tag::GET);
+    w.put_u64(key);
+    w.put_bool(value.is_some());
+    if let Some(v) = value {
+        w.put_bytes(v);
+    }
+}
+
+/// Append a delete result to a batch's result buffer.
+pub fn write_delete_result(w: &mut WireWriter, key: u64, existed: bool) {
+    w.put_u8(result_tag::DELETE);
+    w.put_u64(key);
+    w.put_bool(existed);
+}
+
+/// Append a scan result to a batch's result buffer. Entries must
+/// already be in ascending key order; values are recorded as FNV-1a
+/// digests to keep messenger payloads proportional to hits, not data.
+pub fn write_scan_result(w: &mut WireWriter, start: u64, entries: &[(u64, u64)]) {
+    w.put_u8(result_tag::SCAN);
+    w.put_u64(start);
+    w.put_u32(entries.len() as u32);
+    for &(k, digest) in entries {
+        w.put_u64(k);
+        w.put_u64(digest);
+    }
+}
+
+/// What a whole run must produce: the concatenated per-batch result
+/// buffers followed by a digest of the merged live store contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvProduct {
+    /// Per-batch result buffers, concatenated in batch order.
+    pub results: Vec<u8>,
+    /// FNV-1a over all live `(key, value)` pairs across every shard,
+    /// merged in global key order.
+    pub store_digest: u64,
+}
+
+impl KvProduct {
+    /// Canonical byte serialization — the bitwise-parity oracle that
+    /// tests, the fuzzer, and the job service checksum all compare.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.results.clone();
+        out.extend_from_slice(&self.store_digest.to_le_bytes());
+        out
+    }
+
+    /// FNV-1a checksum of [`KvProduct::to_bytes`].
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// Execute the whole workload sequentially against one flat map — the
+/// independent oracle the navigational runs are verified against. This
+/// deliberately shares no code with [`Shard`](crate::shard::Shard): no
+/// log, no tombstones, no compaction, just a `BTreeMap`.
+pub fn expected(cfg: &KvConfig) -> KvProduct {
+    let mut map: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut w = WireWriter::new();
+    for b in 0..cfg.batches {
+        for op in batch_ops(cfg, b) {
+            match op {
+                Op::Put { key, value } => {
+                    let prev = map.insert(key, value).is_some();
+                    write_put_result(&mut w, key, prev);
+                }
+                Op::Get { key } => {
+                    write_get_result(&mut w, key, map.get(&key));
+                }
+                Op::Delete { key } => {
+                    let existed = map.remove(&key).is_some();
+                    write_delete_result(&mut w, key, existed);
+                }
+                Op::Scan { start, end, limit } => {
+                    let entries: Vec<(u64, u64)> = map
+                        .range(start..end)
+                        .take(limit)
+                        .map(|(&k, v)| (k, fnv1a(v)))
+                        .collect();
+                    write_scan_result(&mut w, start, &entries);
+                }
+            }
+        }
+    }
+    let mut digest_buf = Vec::new();
+    for (k, v) in &map {
+        digest_buf.extend_from_slice(&k.to_le_bytes());
+        digest_buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        digest_buf.extend_from_slice(v);
+    }
+    KvProduct {
+        results: w.into_vec(),
+        store_digest: fnv1a(&digest_buf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = KvConfig::new(200, 4);
+        assert_eq!(batch_ops(&cfg, 2), batch_ops(&cfg, 2));
+        assert_ne!(batch_ops(&cfg, 1), batch_ops(&cfg, 2));
+        let other = cfg.with_seed(7);
+        assert_ne!(batch_ops(&cfg, 1), batch_ops(&other, 1));
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_scans_clipped() {
+        let cfg = KvConfig::new(400, 4);
+        for b in 0..cfg.batches {
+            let base = region_base(b);
+            let end = base + cfg.keys_per_batch;
+            for op in batch_ops(&cfg, b) {
+                match op {
+                    Op::Scan { start, end: e, .. } => {
+                        assert!(start >= base && start < end);
+                        assert_eq!(e, end);
+                    }
+                    other => {
+                        let k = other.key();
+                        assert!(k >= base && k < end, "key {k} escapes region");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owner_spreads_keys() {
+        let cfg = KvConfig::new(300, 3);
+        let mut seen = [0usize; 4];
+        for b in 0..cfg.batches {
+            for op in batch_ops(&cfg, b) {
+                if !matches!(op, Op::Scan { .. }) {
+                    seen[owner_of(op.key(), 4)] += 1;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "hash partitioning left a PE empty: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn expected_is_reproducible() {
+        let cfg = KvConfig::new(150, 3);
+        let a = expected(&cfg);
+        let b = expected(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.results.is_empty());
+    }
+}

@@ -35,6 +35,8 @@
 
 pub mod client;
 pub mod gemm;
+pub mod journal;
+pub mod kv;
 pub mod metrics;
 pub mod proto;
 pub mod sched;
@@ -42,7 +44,9 @@ pub mod server;
 
 pub use client::{rpc, submit, wait_terminal, Client};
 pub use gemm::{gemm_runner, parse_stage, product_checksum, MeshOpts};
+pub use journal::{Journal, JournalEntry};
+pub use kv::{job_runner, kv_runner, KvMetrics};
 pub use metrics::ServeMetrics;
-pub use proto::{JobInfo, JobOutcome, JobSpec, JobState, RejectReason, Request, Response};
+pub use proto::{JobInfo, JobKind, JobOutcome, JobSpec, JobState, RejectReason, Request, Response};
 pub use sched::{JobFailure, RunnerFn, SchedConfig, Scheduler};
 pub use server::{serve, Server, ServerConfig};

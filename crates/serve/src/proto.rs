@@ -14,12 +14,69 @@ use std::io::{Read, Write};
 /// specs and summaries, never matrix data, so 1 MiB is generous.
 pub const MAX_MSG: usize = 1 << 20;
 
+/// Which workload family a job runs. The service multiplexes all of
+/// them onto the same PE mesh; the runner dispatches on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobKind {
+    /// The matrix-multiplication case study (`navp-mm`). The default,
+    /// and the only kind older clients can submit.
+    #[default]
+    Gemm,
+    /// The key-value workload (`navp-kv`). Field mapping: `n` = total
+    /// operations, `ab` = batches, `cols` = mesh width (`rows` must be
+    /// 1), `seed_a` = workload seed, `seed_b` = value length in bytes
+    /// (0 = default).
+    Kv,
+}
+
+impl JobKind {
+    /// Stable name used by CLIs and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Gemm => "gemm",
+            JobKind::Kv => "kv",
+        }
+    }
+
+    /// Parse a kind name.
+    pub fn parse(s: &str) -> Option<JobKind> {
+        match s {
+            "gemm" => Some(JobKind::Gemm),
+            "kv" => Some(JobKind::Kv),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn from_wire(b: u8) -> Result<JobKind, DecodeError> {
+        match b {
+            0 => Ok(JobKind::Gemm),
+            1 => Ok(JobKind::Kv),
+            _ => Err(DecodeError::BadValue("job kind")),
+        }
+    }
+
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            JobKind::Gemm => 0,
+            JobKind::Kv => 1,
+        }
+    }
+}
+
 /// One job submission: which stage to run, at what size, on which
 /// logical grid, with what inputs and limits.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
+    /// Workload family; dictates how the numeric fields are read.
+    ///
+    /// Wire compatibility: the kind is encoded as a trailing byte only
+    /// when it is not [`JobKind::Gemm`], and decoded only when present,
+    /// so GEMM specs are byte-identical to the pre-kind format in both
+    /// directions — old clients talk to new servers and vice versa.
+    pub kind: JobKind,
     /// Stage name: `dsc1d`, `pipe1d`, `phase1d`, `dsc2d`, `pipe2d`
-    /// or `dpc2d` (see [`crate::gemm::parse_stage`]).
+    /// or `dpc2d` (see [`crate::gemm::parse_stage`]) for GEMM jobs;
+    /// `kv_seq`, `kv_dsc`, `kv_pipe` or `kv_phase` for kv jobs.
     pub stage: String,
     /// Matrix order N.
     pub n: u32,
@@ -46,6 +103,7 @@ impl JobSpec {
     /// A runnable default: 1-D DSC at N=48, ab=12 on a 1×4 line.
     pub fn example() -> JobSpec {
         JobSpec {
+            kind: JobKind::Gemm,
             stage: "dsc1d".into(),
             n: 48,
             ab: 12,
@@ -59,7 +117,49 @@ impl JobSpec {
         }
     }
 
-    fn put(&self, w: &mut WireWriter) {
+    /// A runnable kv default: the pipelined step, 96 ops in 8 batches
+    /// on 4 PEs.
+    pub fn example_kv() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Kv,
+            stage: "kv_pipe".into(),
+            n: 96,
+            ab: 8,
+            rows: 1,
+            cols: 4,
+            seed_a: 0x5eed_cafe,
+            seed_b: 0,
+            priority: 0,
+            timeout_ms: 0,
+            fault_spec: String::new(),
+        }
+    }
+
+    /// Encode. Only valid as the *final* element of a message: the
+    /// kind byte, when present, is a trailing field (see
+    /// [`JobSpec::kind`]). Embedders that append more fields after the
+    /// spec (e.g. the job journal) must frame the kind explicitly.
+    pub(crate) fn put(&self, w: &mut WireWriter) {
+        self.put_base(w);
+        if self.kind != JobKind::Gemm {
+            w.put_u8(self.kind.to_wire());
+        }
+    }
+
+    /// Decode; the dual of [`JobSpec::put`], so it consumes a trailing
+    /// kind byte iff one remains in the buffer.
+    pub(crate) fn get(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
+        let mut spec = JobSpec::get_base(r)?;
+        if r.remaining() > 0 {
+            spec.kind = JobKind::from_wire(r.get_u8()?)?;
+        }
+        Ok(spec)
+    }
+
+    /// The ten pre-kind fields, for embedders (the job journal) that
+    /// append more fields after the spec and therefore frame the kind
+    /// explicitly instead of as a trailing byte.
+    pub(crate) fn put_base(&self, w: &mut WireWriter) {
         w.put_str(&self.stage);
         w.put_u32(self.n);
         w.put_u32(self.ab);
@@ -72,8 +172,10 @@ impl JobSpec {
         w.put_str(&self.fault_spec);
     }
 
-    fn get(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
+    /// Decode the ten pre-kind fields; `kind` comes back as `Gemm`.
+    pub(crate) fn get_base(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
         Ok(JobSpec {
+            kind: JobKind::Gemm,
             stage: r.get_str()?,
             n: r.get_u32()?,
             ab: r.get_u32()?,
@@ -170,7 +272,7 @@ pub struct JobInfo {
 }
 
 impl JobInfo {
-    fn put(&self, w: &mut WireWriter) {
+    pub(crate) fn put(&self, w: &mut WireWriter) {
         w.put_u64(self.id);
         w.put_u8(self.state.to_u8());
         w.put_u8(self.priority);
@@ -180,7 +282,7 @@ impl JobInfo {
         w.put_str(&self.detail);
     }
 
-    fn get(r: &mut WireReader) -> Result<JobInfo, DecodeError> {
+    pub(crate) fn get(r: &mut WireReader) -> Result<JobInfo, DecodeError> {
         Ok(JobInfo {
             id: r.get_u64()?,
             state: JobState::from_u8(r.get_u8()?)?,
@@ -207,13 +309,13 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    fn put(&self, w: &mut WireWriter) {
+    pub(crate) fn put(&self, w: &mut WireWriter) {
         w.put_u64(self.checksum);
         w.put_bool(self.verified);
         w.put_u64(self.wall_ms);
     }
 
-    fn get(r: &mut WireReader) -> Result<JobOutcome, DecodeError> {
+    pub(crate) fn get(r: &mut WireReader) -> Result<JobOutcome, DecodeError> {
         Ok(JobOutcome {
             checksum: r.get_u64()?,
             verified: r.get_bool()?,
@@ -581,6 +683,78 @@ mod tests {
             let body = resp.encode();
             assert_eq!(Response::decode(&body).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    /// The pre-kind 10-field encoding of a spec, as an old client
+    /// would have produced it.
+    fn old_format(spec: &JobSpec) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_str(&spec.stage);
+        w.put_u32(spec.n);
+        w.put_u32(spec.ab);
+        w.put_u32(spec.rows);
+        w.put_u32(spec.cols);
+        w.put_u64(spec.seed_a);
+        w.put_u64(spec.seed_b);
+        w.put_u8(spec.priority);
+        w.put_u64(spec.timeout_ms);
+        w.put_str(&spec.fault_spec);
+        w.into_vec()
+    }
+
+    #[test]
+    fn kv_specs_round_trip_with_their_kind() {
+        let req = Request::Submit {
+            spec: JobSpec::example_kv(),
+        };
+        let body = req.encode();
+        let Request::Submit { spec } = Request::decode(&body).unwrap() else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(spec.kind, JobKind::Kv);
+        assert_eq!(spec, JobSpec::example_kv());
+    }
+
+    #[test]
+    fn gemm_specs_stay_byte_identical_to_the_old_format() {
+        let spec = JobSpec::example();
+        let mut w = WireWriter::new();
+        spec.put(&mut w);
+        assert_eq!(
+            w.into_vec(),
+            old_format(&spec),
+            "a GEMM spec must encode exactly as the pre-kind format"
+        );
+    }
+
+    #[test]
+    fn old_format_specs_decode_as_gemm() {
+        // An old client's Submit frame: kind tag + 10-field spec.
+        let mut body = vec![Q_SUBMIT];
+        body.extend_from_slice(&old_format(&JobSpec::example()));
+        let Request::Submit { spec } = Request::decode(&body).unwrap() else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(spec.kind, JobKind::Gemm);
+        assert_eq!(spec, JobSpec::example());
+    }
+
+    #[test]
+    fn unknown_kind_bytes_are_rejected() {
+        let mut body = vec![Q_SUBMIT];
+        body.extend_from_slice(&old_format(&JobSpec::example()));
+        body.push(7); // not a JobKind
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn job_kind_names_round_trip() {
+        for kind in [JobKind::Gemm, JobKind::Kv] {
+            assert_eq!(JobKind::parse(kind.name()), Some(kind));
+            assert_eq!(JobKind::from_wire(kind.to_wire()).unwrap(), kind);
+        }
+        assert_eq!(JobKind::parse("summa"), None);
+        assert!(JobKind::from_wire(2).is_err());
     }
 
     #[test]

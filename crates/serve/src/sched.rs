@@ -12,6 +12,7 @@
 //! the terminal state; the runner is a plain closure so the unit tests
 //! schedule against a fake mesh.
 
+use crate::journal::{Journal, JournalEntry};
 use crate::metrics::ServeMetrics;
 use crate::proto::{JobInfo, JobOutcome, JobSpec, JobState, RejectReason};
 use std::collections::{HashMap, HashSet};
@@ -85,6 +86,39 @@ struct Inner {
     metrics: Arc<ServeMetrics>,
     runner: Arc<RunnerFn>,
     on_finish: Option<Box<FinishHook>>,
+    /// When set, every terminal transition is appended here, and the
+    /// journal's restored entries seeded the job table at start.
+    journal: Option<Mutex<Journal>>,
+}
+
+impl Inner {
+    /// Append `id`'s terminal record to the journal (no-op without
+    /// one). Called *outside* the state lock — the journal has its own
+    /// — so a slow fsync never stalls submits or status polls.
+    fn journal_terminal(&self, entry: Option<JournalEntry>) {
+        let (Some(journal), Some(entry)) = (&self.journal, entry) else {
+            return;
+        };
+        if let Err(e) = journal.lock().unwrap().append(&entry) {
+            eprintln!(
+                "navp-serve: job journal append failed for job {}: {e}",
+                entry.info.id
+            );
+        }
+    }
+}
+
+/// The terminal record for `id`, cloned out of the table while the
+/// lock is held; `None` when no journal is configured.
+fn journal_entry(journaling: bool, st: &State, id: u64) -> Option<JournalEntry> {
+    if !journaling {
+        return None;
+    }
+    st.jobs.get(&id).map(|j| JournalEntry {
+        spec: j.spec.clone(),
+        info: j.info.clone(),
+        outcome: j.outcome.clone(),
+    })
 }
 
 /// The scheduler: owns the queue, the job table and the worker pool.
@@ -101,13 +135,58 @@ impl Scheduler {
         runner: Arc<RunnerFn>,
         on_finish: Option<Box<FinishHook>>,
     ) -> Scheduler {
+        Scheduler::start_with_journal(cfg, metrics, runner, on_finish, None)
+    }
+
+    /// As [`Scheduler::start`], with a persistent job journal: the
+    /// restored entries (from [`Journal::open`]) seed the job table —
+    /// so `status`/`result`/`list` answer for jobs a previous process
+    /// finished, and ids continue past the highest restored one — and
+    /// every new terminal transition is appended to the journal.
+    pub fn start_with_journal(
+        cfg: SchedConfig,
+        metrics: Arc<ServeMetrics>,
+        runner: Arc<RunnerFn>,
+        on_finish: Option<Box<FinishHook>>,
+        journal: Option<(Journal, Vec<JournalEntry>)>,
+    ) -> Scheduler {
+        let mut next_id = 1;
+        let mut jobs = HashMap::new();
+        let mut order = Vec::new();
+        let (journal, restored) = match journal {
+            Some((j, restored)) => (Some(Mutex::new(j)), restored),
+            None => (None, Vec::new()),
+        };
+        for entry in restored {
+            // Journals only record terminal jobs, but stay defensive:
+            // a non-terminal record must not leak into the queue.
+            if !entry.info.state.is_terminal() {
+                continue;
+            }
+            let id = entry.info.id;
+            next_id = next_id.max(id + 1);
+            if jobs
+                .insert(
+                    id,
+                    Job {
+                        spec: entry.spec,
+                        info: entry.info,
+                        outcome: entry.outcome,
+                    },
+                )
+                .is_none()
+            {
+                order.push(id);
+            }
+        }
+        order.sort_unstable();
         let inner = Arc::new(Inner {
             cfg,
             state: Mutex::new(State {
-                next_id: 1,
+                next_id,
                 queue: Vec::new(),
-                jobs: HashMap::new(),
-                order: Vec::new(),
+                jobs,
+                order,
                 draining: false,
                 stopping: false,
                 inflight: 0,
@@ -117,6 +196,7 @@ impl Scheduler {
             metrics,
             runner,
             on_finish,
+            journal,
         });
         let workers = (0..cfg.max_inflight.max(1))
             .map(|i| {
@@ -195,7 +275,7 @@ impl Scheduler {
     /// the job already started (a run on the mesh is not torn down
     /// mid-flight), `Some(true)` when it was dequeued and cancelled.
     pub fn cancel(&self, id: u64) -> Option<bool> {
-        let live = {
+        let (live, entry) = {
             let mut st = self.inner.state.lock().unwrap();
             let job = st.jobs.get(&id)?;
             if job.info.state != JobState::Queued {
@@ -211,8 +291,12 @@ impl Scheduler {
             job.info.finished_ms = now;
             m.latency_ms.observe(now.saturating_sub(job.info.queued_ms));
             self.inner.cv.notify_all();
-            live_set(&st)
+            (
+                live_set(&st),
+                journal_entry(self.inner.journal.is_some(), &st, id),
+            )
         };
+        self.inner.journal_terminal(entry);
         if let Some(hook) = &self.inner.on_finish {
             hook(id, &live);
         }
@@ -334,8 +418,9 @@ fn worker(inner: Arc<Inner>) {
 
         let res = (inner.runner)(&spec, id);
 
-        // Record the terminal state; hook runs outside the lock.
-        let live = {
+        // Record the terminal state; journal and hook run outside the
+        // lock.
+        let (live, entry) = {
             let mut st = inner.state.lock().unwrap();
             st.inflight -= 1;
             let now = inner.epoch.elapsed().as_millis() as u64;
@@ -362,8 +447,9 @@ fn worker(inner: Arc<Inner>) {
                 }
             }
             inner.cv.notify_all();
-            live_set(&st)
+            (live_set(&st), journal_entry(inner.journal.is_some(), &st, id))
         };
+        inner.journal_terminal(entry);
         if let Some(hook) = &inner.on_finish {
             hook(id, &live);
         }

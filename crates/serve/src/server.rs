@@ -35,6 +35,11 @@ pub struct ServerConfig {
     /// Keep at most this many *completed* runs' checkpoint
     /// subdirectories; `None` keeps everything.
     pub durable_keep: Option<usize>,
+    /// Persistent job journal path. `None` defaults to
+    /// `jobs.journal` under `durable_dir` when that is set, so a
+    /// durable service remembers finished jobs across restarts with no
+    /// extra flag; with neither, no journal is kept.
+    pub journal: Option<PathBuf>,
 }
 
 /// A running service instance.
@@ -72,7 +77,27 @@ pub fn serve(
             })),
             _ => None,
         };
-    let sched = Arc::new(Scheduler::start(cfg.sched, metrics, runner, on_finish));
+    let journal_path = cfg
+        .journal
+        .clone()
+        .or_else(|| cfg.durable_dir.as_ref().map(|d| d.join("jobs.journal")));
+    let journal = match journal_path {
+        Some(path) => {
+            let (journal, restored) = crate::journal::Journal::open(&path)?;
+            if !restored.is_empty() {
+                eprintln!(
+                    "navp-serve: job journal {} restored {} finished job(s)",
+                    path.display(),
+                    restored.len()
+                );
+            }
+            Some((journal, restored))
+        }
+        None => None,
+    };
+    let sched = Arc::new(Scheduler::start_with_journal(
+        cfg.sched, metrics, runner, on_finish, journal,
+    ));
 
     let stop = Arc::new(AtomicBool::new(false));
     let accept = {
@@ -319,6 +344,72 @@ mod tests {
     }
 
     #[test]
+    fn restarted_server_remembers_finished_jobs() {
+        let dir = std::env::temp_dir().join(format!(
+            "navp-serve-journal-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServerConfig {
+            journal: Some(dir.join("jobs.journal")),
+            ..ServerConfig::default()
+        };
+        // First life: one GEMM and one kv job finish.
+        let (gemm_id, kv_id) = {
+            let server = serve("127.0.0.1:0", cfg.clone(), ServeMetrics::new(), fast_runner(0))
+                .expect("bind");
+            let addr = server.local_addr().to_string();
+            let gemm_id = client::submit(&addr, JobSpec::example())
+                .expect("io")
+                .expect("admitted");
+            let kv_id = client::submit(&addr, JobSpec::example_kv())
+                .expect("io")
+                .expect("admitted");
+            for id in [gemm_id, kv_id] {
+                let (info, _) = client::wait_terminal(&addr, id, T).expect("terminal");
+                assert_eq!(info.state, JobState::Done);
+            }
+            server.shutdown();
+            (gemm_id, kv_id)
+        };
+        // Second life: the journal seeds the job table.
+        let server =
+            serve("127.0.0.1:0", cfg, ServeMetrics::new(), fast_runner(0)).expect("bind");
+        let addr = server.local_addr().to_string();
+        match client::rpc(&addr, &Request::List).unwrap() {
+            Response::Jobs { jobs } => {
+                assert_eq!(
+                    jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+                    vec![gemm_id, kv_id]
+                );
+                assert!(jobs.iter().all(|j| j.state == JobState::Done));
+            }
+            other => panic!("expected Jobs, got {other:?}"),
+        }
+        // Result still serves the restored outcome.
+        match client::rpc(&addr, &Request::Result { id: kv_id }).unwrap() {
+            Response::Outcome { info, outcome } => {
+                assert_eq!(info.state, JobState::Done);
+                assert_eq!(outcome.expect("outcome").checksum, kv_id);
+            }
+            other => panic!("expected Outcome, got {other:?}"),
+        }
+        // Ids keep increasing past the restored ones: the id doubles
+        // as the run namespace, so reuse would collide on the mesh.
+        let next = client::submit(&addr, JobSpec::example())
+            .expect("io")
+            .expect("admitted");
+        assert_eq!(next, kv_id + 1);
+        client::wait_terminal(&addr, next, T).expect("terminal");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn checkpoint_gc_prunes_completed_runs_only() {
         let base = std::env::temp_dir().join(format!(
             "navp-serve-gc-{}-{:x}",
@@ -352,6 +443,7 @@ mod tests {
                 },
                 durable_dir: Some(base.clone()),
                 durable_keep: Some(1),
+                journal: None,
             },
             ServeMetrics::new(),
             runner,

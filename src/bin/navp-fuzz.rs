@@ -8,22 +8,37 @@
 //! and reports whether it still violates.
 //!
 //! ```text
-//! navp-fuzz [--stage dsc1d|pipe1d|phase1d|dsc2d|pipe2d|dpc2d]
+//! navp-fuzz [--workload gemm|kv]
+//!           [--stage dsc1d|pipe1d|phase1d|dsc2d|pipe2d|dpc2d
+//!                  | kv_seq|kv_dsc|kv_pipe|kv_phase]
 //!           [--grid RxC] [--n N] [--ab AB]
 //!           [--seeds COUNT] [--root-seed SEED] [--budget-secs S]
 //!           [--out DIR] [--threads] [--replay FILE]
 //! ```
 //!
+//! `--workload kv` fuzzes the key-value workload instead: `--stage`
+//! names a kv journey step (default `kv_pipe`), `--n` is total
+//! operations, `--ab` is batches, and the grid's columns give the PE
+//! count (kv meshes are 1-D lines).
+//!
 //! Exit status: 0 = clean (or replay no longer violates), 1 = parity
 //! violations found (repros written), 2 = usage error.
 
+use navp_kv::{fuzz_kv_stage, replay_kv_repro, KvConfig, KvStage};
 use navp_matrix::Grid2D;
 use navp_mm::{fuzz_stage, replay_repro, FuzzExecutor, FuzzOpts, MmConfig, NavpStage};
 use std::path::PathBuf;
 use std::time::Duration;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Gemm,
+    Kv,
+}
+
 struct Args {
-    stage: NavpStage,
+    workload: Workload,
+    stage: String,
     grid: Option<Grid2D>,
     n: usize,
     ab: usize,
@@ -35,7 +50,7 @@ struct Args {
     replay: Option<PathBuf>,
 }
 
-fn parse_stage(s: &str) -> Result<NavpStage, String> {
+fn parse_gemm_stage(s: &str) -> Result<NavpStage, String> {
     Ok(match s {
         "dsc1d" => NavpStage::Dsc1D,
         "pipe1d" => NavpStage::Pipe1D,
@@ -43,7 +58,7 @@ fn parse_stage(s: &str) -> Result<NavpStage, String> {
         "dsc2d" => NavpStage::Dsc2D,
         "pipe2d" => NavpStage::Pipe2D,
         "dpc2d" => NavpStage::Dpc2D,
-        other => return Err(format!("unknown stage `{other}`")),
+        other => return Err(format!("unknown GEMM stage `{other}`")),
     })
 }
 
@@ -58,7 +73,8 @@ fn parse_grid(s: &str) -> Result<Grid2D, String> {
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
-        stage: NavpStage::Dsc1D,
+        workload: Workload::Gemm,
+        stage: String::new(),
         grid: None,
         n: 12,
         ab: 2,
@@ -75,7 +91,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
-            "--stage" => args.stage = parse_stage(&value()?)?,
+            "--workload" => {
+                args.workload = match value()?.as_str() {
+                    "gemm" => Workload::Gemm,
+                    "kv" => Workload::Kv,
+                    other => return Err(format!("unknown workload `{other}`")),
+                }
+            }
+            "--stage" => args.stage = value()?,
             "--grid" => args.grid = Some(parse_grid(&value()?)?),
             "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
             "--ab" => args.ab = value()?.parse().map_err(|e| format!("--ab: {e}"))?,
@@ -100,40 +123,46 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if !args.n.is_multiple_of(args.ab) {
-        return Err(format!("--ab {} must divide --n {}", args.ab, args.n));
+    if args.stage.is_empty() {
+        args.stage = match args.workload {
+            Workload::Gemm => "dsc1d".into(),
+            Workload::Kv => "kv_pipe".into(),
+        };
+    }
+    match args.workload {
+        Workload::Gemm => {
+            if !args.n.is_multiple_of(args.ab) {
+                return Err(format!("--ab {} must divide --n {}", args.ab, args.n));
+            }
+        }
+        Workload::Kv => {
+            if args.n == 0 || args.ab == 0 || args.ab > args.n {
+                return Err(format!(
+                    "kv shape needs 0 < --ab <= --n, got --n {} --ab {}",
+                    args.n, args.ab
+                ));
+            }
+        }
     }
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("navp-fuzz: {e}");
-            eprintln!(
-                "usage: navp-fuzz [--stage NAME] [--grid RxC] [--n N] [--ab AB] \
-                 [--seeds COUNT] [--root-seed SEED] [--budget-secs S] [--out DIR] \
-                 [--threads] [--replay FILE]"
-            );
+/// Run the kv side of main: replay or explore, mirroring the GEMM
+/// path but over [`KvStage`] and ops/batches instead of a grid.
+fn kv_main(args: &Args, pes: usize, opts: &FuzzOpts) -> ! {
+    let stage = match KvStage::parse(&args.stage) {
+        Some(s) => s,
+        None => {
+            eprintln!("navp-fuzz: unknown kv stage `{}`", args.stage);
             std::process::exit(2);
         }
     };
-    let grid = args.grid.unwrap_or_else(|| {
-        if args.stage.is_1d() {
-            Grid2D::line(3).expect("line(3)")
-        } else {
-            Grid2D::new(2, 2).expect("2x2")
-        }
-    });
-    let cfg = MmConfig::real(args.n, args.ab);
-
+    let cfg = KvConfig::new(args.n, args.ab);
     if let Some(path) = &args.replay {
-        match replay_repro(path, args.stage, &cfg, grid, args.executor) {
+        match replay_kv_repro(path, stage, &cfg, pes, opts.executor) {
             Ok(outcome) => {
                 println!("{}: {outcome:?}", path.display());
-                let still_violates =
-                    matches!(outcome, navp::explore::Outcome::Violation(_));
+                let still_violates = matches!(outcome, navp::explore::Outcome::Violation(_));
                 std::process::exit(if still_violates { 1 } else { 0 });
             }
             Err(e) => {
@@ -142,7 +171,49 @@ fn main() {
             }
         }
     }
+    let start = std::time::Instant::now();
+    let report = match fuzz_kv_stage(stage, &cfg, pes, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("navp-fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "fuzzed {} ({} PEs, ops={}, batches={}): {} schedules in {:.1}s — \
+         {} matched, {} expected failures, {} violations",
+        stage.name(),
+        stage.effective_pes(pes),
+        args.n,
+        args.ab,
+        report.explored,
+        start.elapsed().as_secs_f64(),
+        report.matches,
+        report.expected_failures,
+        report.violations.len(),
+    );
+    for v in &report.violations {
+        match &v.path {
+            Some(p) => println!("  seed {:#018x}: {} -> {}", v.seed, v.detail, p.display()),
+            None => println!("  seed {:#018x}: {}", v.seed, v.detail),
+        }
+    }
+    std::process::exit(if report.violations.is_empty() { 0 } else { 1 });
+}
 
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("navp-fuzz: {e}");
+            eprintln!(
+                "usage: navp-fuzz [--workload gemm|kv] [--stage NAME] [--grid RxC] \
+                 [--n N] [--ab AB] [--seeds COUNT] [--root-seed SEED] \
+                 [--budget-secs S] [--out DIR] [--threads] [--replay FILE]"
+            );
+            std::process::exit(2);
+        }
+    };
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("navp-fuzz: creating {}: {e}", dir.display());
@@ -156,8 +227,45 @@ fn main() {
         out_dir: args.out.clone(),
         executor: args.executor,
     };
+
+    if args.workload == Workload::Kv {
+        let pes = args.grid.map(|g| g.rows * g.cols).unwrap_or(3);
+        kv_main(&args, pes, &opts);
+    }
+
+    let stage = match parse_gemm_stage(&args.stage) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("navp-fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+    let grid = args.grid.unwrap_or_else(|| {
+        if stage.is_1d() {
+            Grid2D::line(3).expect("line(3)")
+        } else {
+            Grid2D::new(2, 2).expect("2x2")
+        }
+    });
+    let cfg = MmConfig::real(args.n, args.ab);
+
+    if let Some(path) = &args.replay {
+        match replay_repro(path, stage, &cfg, grid, args.executor) {
+            Ok(outcome) => {
+                println!("{}: {outcome:?}", path.display());
+                let still_violates =
+                    matches!(outcome, navp::explore::Outcome::Violation(_));
+                std::process::exit(if still_violates { 1 } else { 0 });
+            }
+            Err(e) => {
+                eprintln!("navp-fuzz: replay failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let start = std::time::Instant::now();
-    let report = match fuzz_stage(args.stage, &cfg, grid, &opts) {
+    let report = match fuzz_stage(stage, &cfg, grid, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("navp-fuzz: {e}");
@@ -167,7 +275,7 @@ fn main() {
     println!(
         "fuzzed {} ({}x{} PEs, N={}, AB={}): {} schedules in {:.1}s — \
          {} matched, {} expected failures, {} violations",
-        args.stage.name(),
+        stage.name(),
         grid.rows,
         grid.cols,
         args.n,

@@ -5,9 +5,9 @@
 //! (`navp-pe --connect <driver-addr>`, the default for local loopback
 //! clusters) or joins daemons started by hand on remote machines
 //! (`navp-pe --listen <bind-addr>` + `NetExecutor::join_addrs`). The
-//! binary registers every wire codec of the case study before serving,
-//! so all six stage carriers, the launcher, and matrix blocks can
-//! arrive over TCP.
+//! binary registers every wire codec of both workloads before serving,
+//! so all six GEMM stage carriers, the launcher, matrix blocks, and
+//! the kv carriers and shards can arrive over TCP.
 //!
 //! `--metrics-addr <host:port>` additionally serves `GET /metrics`
 //! (Prometheus text exposition) and `GET /healthz` (JSON: assigned
@@ -19,7 +19,9 @@
 //! scraped before, during, and after each run.
 
 fn main() {
-    navp_mm::register_net();
+    // Registers the kv codecs *and* (transitively) the GEMM ones, so
+    // one daemon serves both workloads.
+    navp_kv::register_net();
     let args = match navp_net::parse_pe_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(usage) => {

@@ -1,11 +1,12 @@
 //! The job-service daemon: multiplexes concurrent client submissions
-//! onto one persistent PE mesh.
+//! — GEMM and key-value jobs alike — onto one persistent PE mesh.
 //!
 //! ```text
 //! navp-serve --listen <host:port>
 //!            (--join <pe-host:port> ... | --spawn <n>)
 //!            [--pe-bin <path>] [--metrics-addr <host:port>]
 //!            [--durable-dir <path>] [--durable-keep <n>]
+//!            [--journal <path>]
 //!            [--queue-cap <n>] [--max-inflight <n>]
 //! ```
 //!
@@ -18,14 +19,20 @@
 //! or checkpoint directories.
 //!
 //! `--metrics-addr` serves `GET /metrics` (the `navp_serve_*` set:
-//! queue depth, in-flight gauge, admission rejects, job latency) and
-//! `GET /healthz` (JSON with latency p50/p99).
+//! queue depth, in-flight gauge, admission rejects, job latency —
+//! plus the `navp_kv_*` workload counters) and `GET /healthz` (JSON
+//! with latency p50/p99).
+//!
+//! `--journal` (default: `jobs.journal` under `--durable-dir` when
+//! that is set) keeps a checksummed record of every finished job, so
+//! a restarted service still answers `status`/`result`/`list` for
+//! them and never reuses a dead run's id.
 //!
 //! SIGTERM/SIGINT drains gracefully: admission stops (clients get a
 //! clean `Draining` rejection), queued and in-flight jobs finish and
 //! flush, then the process exits 0.
 
-use navp_serve::{gemm_runner, serve, MeshOpts, SchedConfig, ServeMetrics, ServerConfig};
+use navp_serve::{job_runner, serve, KvMetrics, MeshOpts, SchedConfig, ServeMetrics, ServerConfig};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -39,6 +46,7 @@ struct Args {
     metrics_addr: Option<String>,
     durable_dir: Option<PathBuf>,
     durable_keep: Option<usize>,
+    journal: Option<PathBuf>,
     queue_cap: usize,
     max_inflight: usize,
 }
@@ -47,6 +55,7 @@ const USAGE: &str = "usage: navp-serve --listen <host:port> \
                      (--join <pe-host:port> ... | --spawn <n>) \
                      [--pe-bin <path>] [--metrics-addr <host:port>] \
                      [--durable-dir <path>] [--durable-keep <n>] \
+                     [--journal <path>] \
                      [--queue-cap <n>] [--max-inflight <n>]";
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_addr: None,
         durable_dir: None,
         durable_keep: None,
+        journal: None,
         queue_cap: 64,
         max_inflight: 2,
     };
@@ -86,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--durable-keep wants a count, got {n:?}\n{USAGE}"))?,
                 );
             }
+            "--journal" => args.journal = Some(value()?.into()),
             "--queue-cap" => {
                 let n = value()?;
                 args.queue_cap = n
@@ -182,12 +193,16 @@ fn main() {
         }
     }
 
-    let runner = gemm_runner(MeshOpts {
-        join: join.clone(),
-        pe_bin: args.pe_bin.clone(),
-        durable_dir: args.durable_dir.clone(),
-        watchdog: Some(Duration::from_secs(120)),
-    });
+    let kv_metrics = KvMetrics::on_registry(&metrics.registry);
+    let runner = job_runner(
+        MeshOpts {
+            join: join.clone(),
+            pe_bin: args.pe_bin.clone(),
+            durable_dir: args.durable_dir.clone(),
+            watchdog: Some(Duration::from_secs(120)),
+        },
+        Some(kv_metrics),
+    );
     let cfg = ServerConfig {
         sched: SchedConfig {
             queue_cap: args.queue_cap,
@@ -195,6 +210,7 @@ fn main() {
         },
         durable_dir: args.durable_dir.clone(),
         durable_keep: args.durable_keep,
+        journal: args.journal.clone(),
     };
     let server = match serve(&args.listen, cfg, metrics, runner) {
         Ok(s) => s,

@@ -1,7 +1,8 @@
 //! CLI client for `navp-serve`.
 //!
 //! ```text
-//! navp-submit submit --to <addr> [--stage dsc1d] [--n 48] [--ab 12]
+//! navp-submit submit --to <addr> [--kind gemm|kv]
+//!                    [--stage dsc1d] [--n 48] [--ab 12]
 //!                    [--rows 1] [--cols 4] [--seed-a x] [--seed-b y]
 //!                    [--priority p] [--timeout-ms t] [--fault spec]
 //!                    [--wait]
@@ -13,6 +14,13 @@
 //!                    [--check] [job flags as for submit]
 //! ```
 //!
+//! `--kind kv` submits a key-value job (stages `kv_seq`, `kv_dsc`,
+//! `kv_pipe`, `kv_phase`): the other flags are re-read as `--n` =
+//! operations, `--ab` = batches, `--cols` = PEs (`--rows` must stay
+//! 1), `--seed-a` = workload seed and `--seed-b` = value length in
+//! bytes (0 = default). Unset flags default to the kv example spec,
+//! regardless of flag order.
+//!
 //! `perf` measures service throughput (runs/s) and submit-to-result
 //! latency (p50/p99) at 1, 4 and 16 concurrent clients, writes the
 //! figures as `BENCH_service.json`, and with `--check` gates a fresh
@@ -21,14 +29,14 @@
 
 use navp_bench::check::{compare, parse_baseline, render_table};
 use navp_bench::timing::{write_groups_json, Entry, Group, Metric};
-use navp_serve::proto::{JobSpec, JobState, Request, Response};
+use navp_serve::proto::{JobKind, JobSpec, JobState, Request, Response};
 use navp_serve::{client, RejectReason};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: navp-submit <submit|status|result|cancel|list|perf> --to <addr> [...]
-  submit: [--stage s] [--n n] [--ab ab] [--rows r] [--cols c] [--seed-a x] [--seed-b y]
-          [--priority p] [--timeout-ms t] [--fault spec] [--wait]
+  submit: [--kind gemm|kv] [--stage s] [--n n] [--ab ab] [--rows r] [--cols c]
+          [--seed-a x] [--seed-b y] [--priority p] [--timeout-ms t] [--fault spec] [--wait]
   status|result|cancel: --id <n>
   perf:   [--jobs-per-client k] [--out file] [--check] plus submit's job flags";
 
@@ -49,19 +57,37 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut argv = std::env::args().skip(1);
-    let cmd = argv.next().unwrap_or_else(|| die("missing subcommand"));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv
+        .first()
+        .cloned()
+        .unwrap_or_else(|| die("missing subcommand"));
+    // Resolve --kind first so the other flags overlay the right
+    // example spec whatever order they come in.
+    let kind = argv
+        .iter()
+        .position(|a| a == "--kind")
+        .map(|i| {
+            let v = argv
+                .get(i + 1)
+                .unwrap_or_else(|| die("--kind needs a value"));
+            JobKind::parse(v).unwrap_or_else(|| die(&format!("--kind wants gemm|kv, got {v:?}")))
+        })
+        .unwrap_or(JobKind::Gemm);
     let mut args = Args {
         cmd,
         to: String::new(),
         id: 0,
-        spec: JobSpec::example(),
+        spec: match kind {
+            JobKind::Gemm => JobSpec::example(),
+            JobKind::Kv => JobSpec::example_kv(),
+        },
         wait: false,
         jobs_per_client: 4,
         out: None,
         check: false,
     };
-    let mut it = argv;
+    let mut it = argv.into_iter().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -73,6 +99,9 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--to" => args.to = value(),
+            "--kind" => {
+                value(); // consumed in the pre-scan above
+            }
             "--id" => args.id = parse_u64("--id", value()),
             "--stage" => args.spec.stage = value(),
             "--n" => args.spec.n = parse_u64("--n", value()) as u32,

@@ -22,6 +22,9 @@
 //! * [`navp_metrics`] — live metrics: lock-free counters/gauges/
 //!   histograms, Prometheus text exposition, cluster-wide snapshots,
 //!   and the `/metrics` + `/healthz` HTTP responder `navp-pe` serves.
+//! * [`navp_kv`] — the second workload: a log-structured, hash-partitioned
+//!   key-value store driven through the same four-step NavP journey,
+//!   proving the methodology beyond the regular GEMM kernel.
 //! * [`navp_serve`] — the multi-tenant job service: the `navp-serve`
 //!   daemon multiplexes concurrent client submissions onto one
 //!   persistent PE mesh, each run in its own namespace; `navp-submit`
@@ -31,6 +34,7 @@
 
 pub use navp;
 pub use navp_bench;
+pub use navp_kv;
 pub use navp_matrix;
 pub use navp_metrics;
 pub use navp_mm;
