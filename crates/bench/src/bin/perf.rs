@@ -1,5 +1,6 @@
-//! Wall-clock perf baseline: packed vs naive GEMM kernel GFLOP/s and
-//! NavP-stage wall times with effective hop bandwidth, written as
+//! Wall-clock perf baseline: packed vs naive GEMM kernel GFLOP/s,
+//! NavP-stage wall times with effective hop bandwidth, and mesh
+//! scaling rows (phase1d over loopback TCP at 4/16/64 PEs), written as
 //! machine-readable JSON (`BENCH_kernel.json`, `BENCH_stages.json`) at
 //! the repo root. With `--kv` the binary benches the key-value
 //! workload instead — journey steps across 1/2/4 PEs, ops/s and scan
@@ -26,8 +27,11 @@ use navp_matrix::gen::seeded_matrix;
 use navp_matrix::kernel::{gemm_acc, gemm_acc_naive, gemm_flops};
 use navp_matrix::Grid2D;
 use navp_mm::config::MmConfig;
-use navp_mm::runner::{run_navp_threads, run_navp_threads_unverified, NavpStage};
+use navp_mm::runner::{
+    run_navp_net, run_navp_threads, run_navp_threads_unverified, NavpStage, NetOpts,
+};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Repo root, resolved at compile time relative to this crate so the
 /// JSON baselines land in the same place regardless of the cwd the
@@ -151,6 +155,60 @@ fn bench_stages(opts: &Opts) -> Vec<Group> {
         // per second. transfers is recorded for the JSON consumer.
         hops.record(Entry {
             label: format!("{}_{}transfers", stage.name(), probe.transfers),
+            samples: e.samples,
+            min_ns: e.min_ns,
+            median_ns: e.median_ns,
+            p90_ns: e.p90_ns,
+            metric: Some(Metric::Bytes(probe.bytes)),
+        });
+    }
+    vec![wall, hops]
+}
+
+/// Mesh-scaling section: the phase1d stage on the *networked* executor
+/// (real `navp-pe` processes over loopback TCP) at 4, 16 and 64 PEs.
+/// The matrix order is fixed at 256 and the block order shrinks as
+/// `ab = n / (2p)`, so every PE always owns two block rows and the
+/// per-hop payload shrinks as the mesh grows — exactly the
+/// many-small-frames regime the batching event loop exists for. Wall
+/// entries report GFLOP/s; the companion group re-expresses the same
+/// measured walls as effective hop bandwidth from the deterministic
+/// byte traffic of a verified probe run. Quick mode only trims
+/// samples (the problem is already CI-sized), so `--check --quick`
+/// shares every scaling entry with the full committed baseline.
+fn bench_net_scaling(opts: &Opts) -> Vec<Group> {
+    let n = 256usize;
+    let samples = if opts.quick { 3 } else { 5 };
+    let net_opts = NetOpts::default();
+    let mut wall = Group::new(&format!("wall_net_scaling_n{n}"))
+        .sample_size(samples)
+        .warmup(1)
+        .flops(2 * (n as u64).pow(3));
+    let mut hops = Group::new(&format!("hop_bandwidth_net_scaling_n{n}")).sample_size(samples);
+    for pes in [4usize, 16, 64] {
+        let ab = n / (2 * pes);
+        let cfg = MmConfig::real(n, ab).with_watchdog(Duration::from_secs(120));
+        let grid = Grid2D::line(pes).expect("grid");
+        // One probe records the deterministic hop byte traffic; every
+        // timed sample also verifies against the sequential product
+        // (run_navp_net always checks), so a scaling row can never be
+        // fast-but-wrong.
+        let probe = run_navp_net(NavpStage::Phase1D, &cfg, grid, &net_opts).expect("net run");
+        assert_eq!(
+            probe.verified,
+            Some(true),
+            "phase1d on {pes} PEs failed to verify"
+        );
+        let label = format!("phase1d_p{pes}");
+        let e = wall
+            .bench(&label, || {
+                run_navp_net(NavpStage::Phase1D, &cfg, grid, &net_opts)
+                    .expect("net run")
+                    .wall
+            })
+            .clone();
+        hops.record(Entry {
+            label,
             samples: e.samples,
             min_ns: e.min_ns,
             median_ns: e.median_ns,
@@ -314,7 +372,8 @@ fn main() {
     });
 
     let (kernel_groups, gate_ok) = bench_kernel(&opts);
-    let stage_groups = bench_stages(&opts);
+    let mut stage_groups = bench_stages(&opts);
+    stage_groups.extend(bench_net_scaling(&opts));
 
     if let Some(baseline) = baseline {
         let mut fresh = current_entries(&kernel_groups);

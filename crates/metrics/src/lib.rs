@@ -349,6 +349,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Register a *pre-existing* gauge handle under a name — the gauge
+    /// twin of [`MetricsRegistry::counter_arc`]. Used when the
+    /// instrument must exist before the registry does (the net event
+    /// loop tracks pending bytes from process start; a session adopts
+    /// the gauge once metrics are switched on).
+    pub fn gauge_arc(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        g: Arc<Gauge>,
+    ) -> Arc<Gauge> {
+        match self.register(name, help, MetricKind::Gauge, labels, || {
+            Instrument::Gauge(g)
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
     /// Register (or look up) a histogram series.
     pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         match self.register(name, help, MetricKind::Histogram, labels, || {

@@ -31,11 +31,27 @@ struct ConnInner {
     buf: Vec<u8>,
 }
 
+/// The socket-option policy every mesh connection gets (DESIGN.md
+/// §16): `TCP_NODELAY` on (frames are latency-sensitive and the event
+/// loop already batches, so Nagle would only add delay on top), and
+/// explicit [`crate::netloop::SOCKET_BUF_BYTES`] kernel send/receive
+/// buffers — large enough to absorb a burst of coalesced frames
+/// without blocking the loop, small enough not to hide backpressure.
+/// Best-effort: a kernel that clamps the sizes doesn't fail the
+/// connection.
+pub fn tune_socket(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = crate::sys::set_socket_buffers(
+        stream,
+        crate::netloop::SOCKET_BUF_BYTES,
+        crate::netloop::SOCKET_BUF_BYTES,
+    );
+}
+
 impl FrameConn {
-    /// Wrap a connected stream (enables `TCP_NODELAY`: frames are small
-    /// and latency-sensitive).
+    /// Wrap a connected stream (applies [`tune_socket`]).
     pub fn new(stream: TcpStream) -> FrameConn {
-        let _ = stream.set_nodelay(true);
+        tune_socket(&stream);
         FrameConn {
             stream: Mutex::new(ConnInner {
                 stream,

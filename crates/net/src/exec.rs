@@ -10,8 +10,9 @@
 //! both cases every child is killed before returning, so a failed run
 //! never leaks processes.
 
-use crate::cluster::{event_home, resolve_pe_bin, spawn_pe, spawn_reader, FrameConn};
+use crate::cluster::{event_home, resolve_pe_bin, spawn_pe};
 use crate::frame::{Frame, StoreEntry};
+use crate::netloop::{IoHandle, IoLoop};
 use crate::registry::{decode_store, encode_messenger, encode_store};
 use navp::{Cluster, FaultStats, NodeStore, RunError, WireSnapshot};
 use navp_metrics::MetricsSnapshot;
@@ -20,7 +21,6 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::Child;
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-PE accounting extracted from that PE's `Delta` stream.
@@ -150,7 +150,7 @@ type DriveOutcome = (
 );
 
 struct Links {
-    conns: Vec<Arc<FrameConn>>,
+    conns: Vec<IoHandle>,
     rx: Receiver<DriverMsg>,
     children: Vec<Child>,
     /// PE index → index into `children`. PE identity is assigned in
@@ -441,14 +441,23 @@ impl NetExecutor {
                 streams.push(s);
             }
         }
+        // Every control socket joins the process-global event loop:
+        // one registration replaces the old clone + reader thread, and
+        // the driver's sends batch through the loop's writev path.
+        let ioloop = IoLoop::global();
         let mut conns = Vec::with_capacity(pes);
         for (pe, stream) in streams.into_iter().enumerate() {
-            let write = stream.try_clone().map_err(|e| RunError::Transport {
-                detail: format!("clone control stream: {e}"),
-            })?;
-            conns.push(Arc::new(FrameConn::new(write)));
             let tx = tx.clone();
-            spawn_reader(stream, tx, move |r| DriverMsg::FromPe(pe, r));
+            let handle = ioloop
+                .register(
+                    stream,
+                    Box::new(move |r| tx.send(DriverMsg::FromPe(pe, r)).is_ok()),
+                    None,
+                )
+                .map_err(|e| RunError::Transport {
+                    detail: format!("register control stream for PE {pe}: {e}"),
+                })?;
+            conns.push(handle);
         }
         Ok(Links {
             conns,

@@ -897,6 +897,87 @@ impl Frame {
     }
 }
 
+/// Incremental decoder for a byte stream of length-prefixed frames —
+/// the read-side state machine of the nonblocking event loop.
+///
+/// Bytes arrive in whatever chunks the kernel hands back; a chunk may
+/// hold a fraction of one frame or a coalesced batch of many. Feed
+/// every chunk with [`FrameDecoder::extend`], then drain complete
+/// frames with [`FrameDecoder::next_frame`]:
+///
+/// * `Ok(Some((frame, wire_bytes)))` — one complete frame (wire size =
+///   4-byte prefix + body), consumed from the buffer;
+/// * `Ok(None)` — the remaining bytes are a prefix of a frame still in
+///   flight; feed more input;
+/// * `Err(_)` — the stream is corrupt (oversized length prefix or an
+///   undecodable body). The connection is unrecoverable: framing has
+///   no resync point.
+///
+/// The wire format is byte-identical to the blocking
+/// [`read_frame`](crate::cluster::read_frame) path, so a batch of
+/// coalesced frames written in one `writev` is indistinguishable from
+/// the same frames written one syscall each.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily, so steady-state
+    /// decoding moves no bytes).
+    pos: usize,
+}
+
+/// Compact once the dead prefix outgrows this (bytes). Small enough to
+/// bound memory, large enough that back-to-back small frames never
+/// trigger a move.
+const DECODER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > DECODER_COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame mid-flight,
+    /// or zero at a clean frame boundary).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self) -> Result<Option<(Frame, u64)>, DecodeError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes checked"),
+        ) as usize;
+        if len > MAX_FRAME {
+            return Err(DecodeError::BadValue("frame length exceeds cap"));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = &self.buf[self.pos + 4..self.pos + 4 + len];
+        let frame = Frame::decode(body)?;
+        self.pos += 4 + len;
+        Ok(Some((frame, (4 + len) as u64)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,8 +29,13 @@
 //!   store slice, event table, runnable queue, fault injection
 //!   (delay/drop/crash on real sockets) and checkpoint/restart
 //!   recovery reusing [`navp::recovery`].
-//! * [`cluster`] — socket plumbing: framed connections, reader
-//!   threads, deterministic event homing, process spawning.
+//! * [`sys`] + [`netloop`] — the mesh event loop: a hand-rolled
+//!   epoll/poll readiness wrapper and the process-global nonblocking
+//!   I/O threads that own every mesh socket, with coalesced,
+//!   scatter-gather (`writev`) frame batching on the write side and an
+//!   incremental [`frame::FrameDecoder`] on the read side.
+//! * [`cluster`] — socket plumbing: framed connections, deterministic
+//!   event homing, process spawning.
 //! * [`testing`] — wire-serializable messengers for the loopback
 //!   tests and the `navp-net-testpe` helper binary.
 //!
@@ -46,8 +51,10 @@ pub mod cluster;
 pub mod durable;
 pub mod exec;
 pub mod frame;
+pub mod netloop;
 pub mod pe;
 pub mod registry;
+pub mod sys;
 pub mod testing;
 
 pub use navp_sim::codec;
@@ -56,7 +63,8 @@ pub use cluster::{event_home, FrameConn, PE_BIN_ENV};
 pub use codec::{DecodeError, WireReader, WireWriter};
 pub use durable::{restore_from_dir, RegistryCodec};
 pub use exec::{NetExecutor, NetPeStats, NetReport};
-pub use frame::Frame;
+pub use frame::{Frame, FrameDecoder};
+pub use netloop::{IoHandle, IoLoop, IoStats};
 pub use pe::{
     install_stop_handlers, pe_main, stop_requested, PeMode, PeOptions, CRASH_EXIT, GRACEFUL_EXIT,
     PE_ENV,

@@ -1,0 +1,875 @@
+//! The nonblocking mesh event loop: a small, process-global set of
+//! I/O threads multiplexing every mesh socket through one readiness
+//! poller ([`crate::sys::Poller`] — epoll on Linux), replacing the old
+//! thread-per-connection blocking reader/writer pairs.
+//!
+//! Why: at 64 PEs the old design held ~65 parked threads *per PE
+//! process* (one blocking reader per peer plus the driver), ~4,000
+//! threads on a single loopback host — the wall that capped mesh size.
+//! Here every socket is nonblocking and owned by one loop shard; a PE
+//! process runs its daemon thread plus `NAVP_NET_IO_THREADS` (default
+//! 1) I/O threads, regardless of cluster width.
+//!
+//! The write path batches. [`IoHandle::send`] encodes the frame into a
+//! per-connection queue of reusable buffers: small frames destined for
+//! the same peer are appended to the tail buffer (coalescing — many
+//! frames, one buffer, one syscall, one packet on a `TCP_NODELAY`
+//! socket), large frames get their own buffer, and the loop flushes
+//! with scatter-gather [`Write::write_vectored`] (`writev`) across up
+//! to [`MAX_IOV`] buffers per syscall. Flush latency is bounded by one
+//! loop iteration: an enqueue on an idle connection wakes the loop
+//! immediately via a self-pipe, so batching is opportunistic — frames
+//! that arrive while the socket is busy ride the next flush, frames
+//! that arrive on a quiet mesh leave at once, and nothing is ever
+//! held back on a timer.
+//!
+//! The read path is a per-connection state machine:
+//! [`crate::frame::FrameDecoder`] absorbs whatever byte chunks the
+//! kernel returns, partial frames and coalesced batches alike, and the
+//! registered callback receives exactly the stream of `Ok(Frame)` /
+//! terminal `Err` the old blocking reader threads produced — so the
+//! daemon and driver loops above keep their channel-driven shape, and
+//! every delivery/termination-probe/durability invariant is preserved
+//! (see DESIGN.md §16).
+
+use crate::frame::{Frame, FrameDecoder};
+use crate::sys::{self, Poller, Readiness, Waker};
+use navp_metrics::{Counter, Gauge, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Environment variable selecting the number of I/O loop shards
+/// (threads) per process. Default 1; a busy multi-tenant `navp-serve`
+/// host can raise it. Clamped to `1..=16`.
+pub const IO_THREADS_ENV: &str = "NAVP_NET_IO_THREADS";
+
+/// Stop appending to a coalescing buffer once it holds this many
+/// bytes; the next frame starts a fresh buffer (which `writev` still
+/// sends in the same syscall when the socket allows).
+const COALESCE_CAP: usize = 60 * 1024;
+
+/// Maximum buffers per `writev` call.
+pub const MAX_IOV: usize = 64;
+
+/// Per-connection pending-byte soft cap: `send` blocks above this
+/// until the loop drains the queue below half. Deadlock-free because
+/// the I/O threads never call `send` themselves.
+const BACKPRESSURE_CAP: usize = 64 << 20;
+
+/// Send buffers at or under this capacity are recycled through the
+/// per-connection spare list instead of freed.
+const SPARE_BUF_CAP: usize = 256 * 1024;
+
+/// Explicit kernel socket-buffer size applied to every registered
+/// mesh socket (`SO_SNDBUF` / `SO_RCVBUF`); see DESIGN.md §16.
+pub const SOCKET_BUF_BYTES: usize = 256 * 1024;
+
+/// How long [`IoHandle::shutdown`] waits for the queue to drain before
+/// closing the socket anyway.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
+
+/// Frame-delivery callback: invoked on the I/O thread with each
+/// decoded frame, then once with the terminal `Err` (EOF included).
+/// Return `false` to drop the connection (receiver gone). Must be
+/// cheap — the intended body is a channel send.
+pub type OnFrame = Box<dyn FnMut(io::Result<Frame>) -> bool + Send>;
+
+/// Process-wide I/O counters, exported as the `navp_net_io_*` metric
+/// family when a session adopts them into its registry
+/// ([`IoStats::adopt_into`]).
+pub struct IoStats {
+    /// Frames enqueued for transmission.
+    pub frames: Arc<Counter>,
+    /// Frames appended to an existing (coalescing) buffer rather than
+    /// starting their own — each one is a syscall the old
+    /// one-write-per-frame path would have made.
+    pub coalesced_frames: Arc<Counter>,
+    /// `writev` flush calls issued.
+    pub writev_calls: Arc<Counter>,
+    /// Syscalls avoided versus one-write-per-frame: coalesced appends
+    /// plus the extra buffers each multi-buffer `writev` covered.
+    pub syscalls_saved: Arc<Counter>,
+    /// Bytes flushed to sockets.
+    pub flushed_bytes: Arc<Counter>,
+    /// Bytes sitting in send queues right now, across every
+    /// connection of this process.
+    pub pending_bytes: Arc<Gauge>,
+}
+
+impl IoStats {
+    fn new() -> IoStats {
+        IoStats {
+            frames: Arc::new(Counter::new()),
+            coalesced_frames: Arc::new(Counter::new()),
+            writev_calls: Arc::new(Counter::new()),
+            syscalls_saved: Arc::new(Counter::new()),
+            flushed_bytes: Arc::new(Counter::new()),
+            pending_bytes: Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Register the shared counters under their `navp_net_io_*` names
+    /// (idempotent: re-adoption under the same name is a lookup).
+    pub fn adopt_into(&self, registry: &MetricsRegistry) {
+        registry.counter_arc(
+            "navp_net_io_frames_total",
+            "Frames enqueued on the mesh event loop",
+            &[],
+            Arc::clone(&self.frames),
+        );
+        registry.counter_arc(
+            "navp_net_io_coalesced_frames_total",
+            "Frames coalesced into an already-pending send buffer",
+            &[],
+            Arc::clone(&self.coalesced_frames),
+        );
+        registry.counter_arc(
+            "navp_net_io_writev_total",
+            "Scatter-gather flush syscalls issued by the event loop",
+            &[],
+            Arc::clone(&self.writev_calls),
+        );
+        registry.counter_arc(
+            "navp_net_io_syscalls_saved_total",
+            "Write syscalls avoided by coalescing and writev batching",
+            &[],
+            Arc::clone(&self.syscalls_saved),
+        );
+        registry.counter_arc(
+            "navp_net_io_flushed_bytes_total",
+            "Bytes flushed to mesh sockets by the event loop",
+            &[],
+            Arc::clone(&self.flushed_bytes),
+        );
+        registry.gauge_arc(
+            "navp_net_io_pending_bytes",
+            "Bytes currently queued for transmission across all mesh sockets",
+            &[],
+            Arc::clone(&self.pending_bytes),
+        );
+    }
+}
+
+/// The per-connection send queue, shared between [`IoHandle`]s (any
+/// thread) and the owning loop shard.
+struct SendQueue {
+    /// Encoded wire bytes, oldest first. The head buffer may be
+    /// partially flushed (`head_pos`); the tail buffer may still be
+    /// accepting coalesced frames — both at once is fine, the queue
+    /// lock covers every access.
+    bufs: VecDeque<Vec<u8>>,
+    head_pos: usize,
+    pending: usize,
+    /// Retired buffers kept for reuse, so the steady state allocates
+    /// nothing per frame.
+    spare: Vec<Vec<u8>>,
+    /// The loop already knows about this queue (write interest is on,
+    /// or a dirty mark is in flight) — senders skip the wake.
+    armed: bool,
+    /// No more bytes will ever be flushed (write error, EOF, or
+    /// close): sends fail fast, drains return.
+    closed: bool,
+    /// Handle asked the loop to close this connection.
+    close_requested: bool,
+}
+
+struct ConnShared {
+    q: Mutex<SendQueue>,
+    cv: Condvar,
+}
+
+impl ConnShared {
+    fn new() -> ConnShared {
+        ConnShared {
+            q: Mutex::new(SendQueue {
+                bufs: VecDeque::new(),
+                head_pos: 0,
+                pending: 0,
+                spare: Vec::new(),
+                armed: false,
+                closed: false,
+                close_requested: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct Registration {
+    stream: TcpStream,
+    fd: RawFd,
+    on_frame: OnFrame,
+    decoded_bytes: Option<Arc<Counter>>,
+    shared: Arc<ConnShared>,
+}
+
+/// Cross-thread mailbox of one loop shard: new registrations plus
+/// "this fd has work" marks, delivered with a self-pipe wake.
+struct ShardHook {
+    inject: Mutex<Inject>,
+    wake_fd: RawFd,
+}
+
+#[derive(Default)]
+struct Inject {
+    registrations: Vec<Registration>,
+    /// Connections with queued sends or a close request. The
+    /// [`ConnShared`] identity guards against acting on a recycled fd
+    /// number.
+    dirty: Vec<(RawFd, Arc<ConnShared>)>,
+}
+
+/// The process-global event loop: shards are spawned lazily on first
+/// use and live for the life of the process, so `--listen` daemons
+/// multiplex every driver session and peer socket — across all
+/// concurrent runs — onto the same few threads.
+pub struct IoLoop {
+    shards: Vec<Arc<ShardHook>>,
+    next: AtomicUsize,
+    stats: Arc<IoStats>,
+}
+
+static GLOBAL: OnceLock<IoLoop> = OnceLock::new();
+
+impl IoLoop {
+    /// The process-global loop (spawned on first call).
+    pub fn global() -> &'static IoLoop {
+        GLOBAL.get_or_init(IoLoop::start)
+    }
+
+    fn start() -> IoLoop {
+        let shard_count = std::env::var(IO_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .clamp(1, 16);
+        let stats = Arc::new(IoStats::new());
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let waker = Waker::new().expect("io loop: waker pipe");
+            let hook = Arc::new(ShardHook {
+                inject: Mutex::new(Inject::default()),
+                wake_fd: waker.write_fd(),
+            });
+            shards.push(Arc::clone(&hook));
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name(format!("navp-io-{i}"))
+                .spawn(move || run_shard(hook, waker, stats))
+                .expect("io loop: spawn shard");
+        }
+        IoLoop {
+            shards,
+            next: AtomicUsize::new(0),
+            stats,
+        }
+    }
+
+    /// The process-wide I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Hand a connected stream to the loop. The socket becomes
+    /// nonblocking and loop-owned: all reads flow through `on_frame`
+    /// (each decoded frame, then one terminal `Err`), all writes go
+    /// through the returned [`IoHandle`]. `decoded_bytes`, when given,
+    /// accumulates the wire size of every decoded frame (the
+    /// `navp_frame_decode_bytes_total` counter).
+    pub fn register(
+        &self,
+        stream: TcpStream,
+        on_frame: OnFrame,
+        decoded_bytes: Option<Arc<Counter>>,
+    ) -> io::Result<IoHandle> {
+        stream.set_nonblocking(true)?;
+        crate::cluster::tune_socket(&stream);
+        let fd = stream.as_raw_fd();
+        let shared = Arc::new(ConnShared::new());
+        let shard = Arc::clone(
+            &self.shards[self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()],
+        );
+        shard.inject.lock().expect("io loop poisoned").registrations.push(Registration {
+            stream,
+            fd,
+            on_frame,
+            decoded_bytes,
+            shared: Arc::clone(&shared),
+        });
+        sys::wake(shard.wake_fd);
+        Ok(IoHandle {
+            shared,
+            shard,
+            fd,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+}
+
+/// The write half of a loop-owned connection. Clone freely; frame
+/// writes are atomic (encoded under the queue lock), so any thread may
+/// send — the same contract `FrameConn` gave the blocking mesh.
+#[derive(Clone)]
+pub struct IoHandle {
+    shared: Arc<ConnShared>,
+    shard: Arc<ShardHook>,
+    fd: RawFd,
+    stats: Arc<IoStats>,
+}
+
+impl IoHandle {
+    /// Encode and enqueue one frame; the loop flushes it at the next
+    /// opportunity (immediately, when the socket is idle). Returns the
+    /// wire size (prefix + body). Fails fast once the connection is
+    /// closed. Blocks only above the per-connection backpressure cap.
+    pub fn send(&self, frame: &Frame) -> io::Result<u64> {
+        let mut q = self.shared.q.lock().expect("send queue poisoned");
+        while q.pending >= BACKPRESSURE_CAP && !q.closed {
+            q = self
+                .shared
+                .cv
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("send queue poisoned")
+                .0;
+        }
+        if q.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection closed by the event loop",
+            ));
+        }
+        let coalesced = matches!(q.bufs.back(), Some(b) if b.len() < COALESCE_CAP);
+        let wire = if coalesced {
+            let buf = q.bufs.back_mut().expect("matched above");
+            encode_onto(buf, frame)
+        } else {
+            let mut buf = q.spare.pop().unwrap_or_default();
+            let wire = encode_onto(&mut buf, frame);
+            q.bufs.push_back(buf);
+            wire
+        };
+        q.pending += wire;
+        self.stats.frames.inc();
+        if coalesced {
+            self.stats.coalesced_frames.inc();
+            self.stats.syscalls_saved.inc();
+        }
+        self.stats.pending_bytes.add(wire as i64);
+        let arm = !q.armed;
+        if arm {
+            q.armed = true;
+        }
+        drop(q);
+        if arm {
+            self.mark_dirty();
+        }
+        Ok(wire as u64)
+    }
+
+    /// Block until every queued byte reached the socket (or the
+    /// connection died, which is equally final). Returns `false` on
+    /// timeout with bytes still pending.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.q.lock().expect("send queue poisoned");
+        loop {
+            if q.pending == 0 || q.closed {
+                return true;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            q = self
+                .shared
+                .cv
+                .wait_timeout(q, left)
+                .expect("send queue poisoned")
+                .0;
+        }
+    }
+
+    /// Close the connection: drain briefly (bounded by a grace
+    /// window), then have the loop drop the socket — pending input and
+    /// output included. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.drain(SHUTDOWN_DRAIN);
+        {
+            let mut q = self.shared.q.lock().expect("send queue poisoned");
+            if q.closed && !q.close_requested {
+                // Already torn down by the loop (error/EOF).
+                return;
+            }
+            q.close_requested = true;
+        }
+        self.mark_dirty();
+    }
+
+    fn mark_dirty(&self) {
+        self.shard
+            .inject
+            .lock()
+            .expect("io loop poisoned")
+            .dirty
+            .push((self.fd, Arc::clone(&self.shared)));
+        sys::wake(self.shard.wake_fd);
+    }
+}
+
+/// Append `frame` to `buf` as `u32 len LE | body`, returning the wire
+/// size. The length prefix is patched after the body lands, exactly
+/// like the old `FrameConn::send` — the bytes on the wire are
+/// identical, whether or not other frames share the buffer.
+fn encode_onto(buf: &mut Vec<u8>, frame: &Frame) -> usize {
+    let at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    frame.encode_into(buf);
+    let body = buf.len() - at - 4;
+    buf[at..at + 4].copy_from_slice(&(body as u32).to_le_bytes());
+    4 + body
+}
+
+/// Loop-thread-side state of one connection.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    on_frame: OnFrame,
+    decoded_bytes: Option<Arc<Counter>>,
+    shared: Arc<ConnShared>,
+    want_write: bool,
+    /// Read side finished (EOF/error already delivered); the
+    /// connection lingers only to flush its remaining queue.
+    read_dead: bool,
+}
+
+/// Per-readiness-event read budget: after this many socket reads the
+/// shard moves on (level-triggered readiness re-fires), so one
+/// firehose connection cannot starve the rest.
+const READ_BUDGET: usize = 8;
+
+fn run_shard(hook: Arc<ShardHook>, waker: Waker, stats: Arc<IoStats>) {
+    let mut poller = Poller::new().expect("io loop: poller");
+    poller
+        .add(waker.read_fd(), false)
+        .expect("io loop: watch waker");
+    let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+    let mut ready: Vec<Readiness> = Vec::new();
+    let mut scratch = vec![0u8; 256 * 1024];
+    loop {
+        ready.clear();
+        if poller.wait(&mut ready, 500).is_err() {
+            continue;
+        }
+        let mut woke = false;
+        for r in &ready {
+            let r = *r;
+            if r.fd == waker.read_fd() {
+                woke = true;
+                continue;
+            }
+            if r.readable || r.error {
+                handle_read(&mut poller, &mut conns, r.fd, &mut scratch, &stats);
+            }
+            if r.writable {
+                if let Some(conn) = conns.get_mut(&r.fd) {
+                    if !flush_conn(&mut poller, r.fd, conn, &stats) {
+                        close_conn(&mut poller, &mut conns, r.fd, &stats);
+                    }
+                }
+            }
+        }
+        if woke {
+            waker.drain();
+        }
+        // Mailbox: always checked — a wake can race the poll either way.
+        let (regs, dirty) = {
+            let mut inj = hook.inject.lock().expect("io loop poisoned");
+            (
+                std::mem::take(&mut inj.registrations),
+                std::mem::take(&mut inj.dirty),
+            )
+        };
+        for reg in regs {
+            let fd = reg.fd;
+            if poller.add(fd, false).is_err() {
+                // Can't watch it: report and drop.
+                let mut on_frame = reg.on_frame;
+                on_frame(Err(io::Error::last_os_error()));
+                let mut q = reg.shared.q.lock().expect("send queue poisoned");
+                mark_closed(&mut q, &stats);
+                reg.shared.cv.notify_all();
+                continue;
+            }
+            conns.insert(
+                fd,
+                Conn {
+                    stream: reg.stream,
+                    decoder: FrameDecoder::new(),
+                    on_frame: reg.on_frame,
+                    decoded_bytes: reg.decoded_bytes,
+                    shared: reg.shared,
+                    want_write: false,
+                    read_dead: false,
+                },
+            );
+            // Sends may have queued before the registration landed.
+            let conn = conns.get_mut(&fd).expect("just inserted");
+            if !flush_conn(&mut poller, fd, conn, &stats) {
+                close_conn(&mut poller, &mut conns, fd, &stats);
+            }
+        }
+        for (fd, shared) in dirty {
+            let Some(conn) = conns.get_mut(&fd) else {
+                continue;
+            };
+            if !Arc::ptr_eq(&conn.shared, &shared) {
+                continue; // the fd number was recycled by a newer conn
+            }
+            if !flush_conn(&mut poller, fd, conn, &stats) {
+                close_conn(&mut poller, &mut conns, fd, &stats);
+            }
+        }
+    }
+}
+
+/// Read until `WouldBlock` (bounded by [`READ_BUDGET`]), feeding the
+/// frame decoder and dispatching complete frames. EOF and errors are
+/// delivered once; the connection is then torn down unless it still
+/// has bytes to flush.
+fn handle_read(
+    poller: &mut Poller,
+    conns: &mut HashMap<RawFd, Conn>,
+    fd: RawFd,
+    scratch: &mut [u8],
+    stats: &Arc<IoStats>,
+) {
+    let Some(conn) = conns.get_mut(&fd) else {
+        return;
+    };
+    if conn.read_dead {
+        return;
+    }
+    let mut terminal: Option<io::Error> = None;
+    let mut receiver_gone = false;
+    'reading: for _ in 0..READ_BUDGET {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                terminal = Some(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed by peer",
+                ));
+                break;
+            }
+            Ok(n) => {
+                conn.decoder.extend(&scratch[..n]);
+                loop {
+                    match conn.decoder.next_frame() {
+                        Ok(Some((frame, wire))) => {
+                            if let Some(c) = &conn.decoded_bytes {
+                                c.add(wire);
+                            }
+                            if !(conn.on_frame)(Ok(frame)) {
+                                receiver_gone = true;
+                                break 'reading;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            terminal = Some(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                e.to_string(),
+                            ));
+                            break 'reading;
+                        }
+                    }
+                }
+                if n < scratch.len() {
+                    break; // short read: the socket is drained
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                terminal = Some(e);
+                break;
+            }
+        }
+    }
+    if receiver_gone {
+        close_conn(poller, conns, fd, stats);
+        return;
+    }
+    if let Some(err) = terminal {
+        conn.read_dead = true;
+        (conn.on_frame)(Err(err));
+        // Keep the connection only if it still has queued output and a
+        // live write side (a half-closed peer may still be reading).
+        let flushes_left = {
+            let q = conn.shared.q.lock().expect("send queue poisoned");
+            !q.closed && q.pending > 0
+        };
+        if !flushes_left {
+            close_conn(poller, conns, fd, stats);
+        }
+    }
+}
+
+/// Flush the queue until empty or `WouldBlock`, maintaining write
+/// interest. Returns `false` when the connection should be closed.
+fn flush_conn(poller: &mut Poller, fd: RawFd, conn: &mut Conn, stats: &Arc<IoStats>) -> bool {
+    let shared = Arc::clone(&conn.shared);
+    let mut q = shared.q.lock().expect("send queue poisoned");
+    if q.closed {
+        return !q.close_requested && !conn.read_dead;
+    }
+    loop {
+        if q.bufs.is_empty() {
+            q.armed = false;
+            if conn.want_write {
+                conn.want_write = false;
+                let _ = poller.modify(fd, false);
+            }
+            shared.cv.notify_all();
+            if q.close_requested {
+                mark_closed(&mut q, stats);
+                shared.cv.notify_all();
+                return false;
+            }
+            return !conn.read_dead || q.pending > 0;
+        }
+        let wrote = {
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(q.bufs.len().min(MAX_IOV));
+            for (i, b) in q.bufs.iter().enumerate().take(MAX_IOV) {
+                if i == 0 {
+                    iov.push(IoSlice::new(&b[q.head_pos..]));
+                } else {
+                    iov.push(IoSlice::new(b));
+                }
+            }
+            conn.stream.write_vectored(&iov)
+        };
+        match wrote {
+            Ok(0) => {
+                mark_closed(&mut q, stats);
+                shared.cv.notify_all();
+                return false;
+            }
+            Ok(n) => {
+                stats.writev_calls.inc();
+                stats.flushed_bytes.add(n as u64);
+                stats.pending_bytes.add(-(n as i64));
+                let completed = advance(&mut q, n);
+                if completed > 1 {
+                    stats.syscalls_saved.add((completed - 1) as u64);
+                }
+                if q.pending < BACKPRESSURE_CAP / 2 {
+                    shared.cv.notify_all();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                q.armed = true;
+                if !conn.want_write {
+                    conn.want_write = true;
+                    let _ = poller.modify(fd, true);
+                }
+                return true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                mark_closed(&mut q, stats);
+                shared.cv.notify_all();
+                // Keep reading a half-closed peer unless it's gone too.
+                return !conn.read_dead;
+            }
+        }
+    }
+}
+
+/// Consume `n` flushed bytes off the queue head, recycling completed
+/// buffers. Returns how many buffers were fully consumed.
+fn advance(q: &mut SendQueue, mut n: usize) -> usize {
+    q.pending -= n.min(q.pending);
+    let mut completed = 0;
+    while n > 0 {
+        let head_left = q.bufs[0].len() - q.head_pos;
+        if n >= head_left {
+            n -= head_left;
+            let mut buf = q.bufs.pop_front().expect("head exists");
+            q.head_pos = 0;
+            completed += 1;
+            if q.spare.len() < 4 && buf.capacity() <= SPARE_BUF_CAP {
+                buf.clear();
+                q.spare.push(buf);
+            }
+        } else {
+            q.head_pos += n;
+            n = 0;
+        }
+    }
+    completed
+}
+
+/// Mark the queue dead and refund its pending bytes from the gauge.
+fn mark_closed(q: &mut SendQueue, stats: &Arc<IoStats>) {
+    if !q.closed {
+        q.closed = true;
+        if q.pending > 0 {
+            stats.pending_bytes.add(-(q.pending as i64));
+            q.pending = 0;
+        }
+        q.bufs.clear();
+    }
+}
+
+fn close_conn(
+    poller: &mut Poller,
+    conns: &mut HashMap<RawFd, Conn>,
+    fd: RawFd,
+    stats: &Arc<IoStats>,
+) {
+    let Some(conn) = conns.remove(&fd) else {
+        return;
+    };
+    let _ = poller.delete(fd);
+    {
+        let mut q = conn.shared.q.lock().expect("send queue poisoned");
+        mark_closed(&mut q, stats);
+    }
+    conn.shared.cv.notify_all();
+    // Dropping `conn.stream` closes the fd.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn channel_cb() -> (OnFrame, mpsc::Receiver<io::Result<Frame>>) {
+        let (tx, rx) = mpsc::channel();
+        (Box::new(move |r| tx.send(r).is_ok()), rx)
+    }
+
+    #[test]
+    fn frames_cross_the_loop_in_order() {
+        let (a, b) = pair();
+        let (cb_a, _rx_a) = channel_cb();
+        let (cb_b, rx_b) = channel_cb();
+        let ha = IoLoop::global().register(a, cb_a, None).unwrap();
+        let _hb = IoLoop::global().register(b, cb_b, None).unwrap();
+        for round in 0..200u64 {
+            ha.send(&Frame::Probe { round }).unwrap();
+        }
+        for round in 0..200u64 {
+            let got = rx_b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(got, Frame::Probe { round });
+        }
+        assert!(ha.drain(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn coalescing_batches_small_frames() {
+        let stats = IoLoop::global().stats();
+        let before = stats.coalesced_frames.get();
+        let (a, b) = pair();
+        let (cb_a, _rx_a) = channel_cb();
+        let (cb_b, rx_b) = channel_cb();
+        let ha = IoLoop::global().register(a, cb_a, None).unwrap();
+        let _hb = IoLoop::global().register(b, cb_b, None).unwrap();
+        // A burst enqueued back-to-back: most frames land while the
+        // first flush is still in flight and ride a shared buffer.
+        for round in 0..2000u64 {
+            ha.send(&Frame::Probe { round }).unwrap();
+        }
+        for round in 0..2000u64 {
+            let got = rx_b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(got, Frame::Probe { round });
+        }
+        assert!(
+            stats.coalesced_frames.get() > before,
+            "a 2000-frame burst should coalesce at least once"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_then_closes() {
+        let (a, b) = pair();
+        let (cb_a, _rx_a) = channel_cb();
+        let (cb_b, rx_b) = channel_cb();
+        let ha = IoLoop::global().register(a, cb_a, None).unwrap();
+        let _hb = IoLoop::global().register(b, cb_b, None).unwrap();
+        ha.send(&Frame::Shutdown).unwrap();
+        ha.shutdown();
+        assert_eq!(
+            rx_b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            Frame::Shutdown,
+            "queued frame is flushed before the close"
+        );
+        let eof = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(eof.is_err(), "peer sees EOF after shutdown");
+        assert!(
+            ha.send(&Frame::Shutdown).is_err(),
+            "sends fail fast on a closed handle"
+        );
+    }
+
+    #[test]
+    fn peer_eof_is_delivered_once_as_an_error() {
+        let (a, b) = pair();
+        let (cb_a, rx_a) = channel_cb();
+        let ha = IoLoop::global().register(a, cb_a, None).unwrap();
+        drop(b);
+        let err = rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(err.is_err());
+        // The loop tears the conn down; later sends error out.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if ha.send(&Frame::Shutdown).is_err() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "send should start failing");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn large_frames_fly_alongside_small_ones() {
+        let (a, b) = pair();
+        let (cb_a, _rx_a) = channel_cb();
+        let (cb_b, rx_b) = channel_cb();
+        let ha = IoLoop::global().register(a, cb_a, None).unwrap();
+        let _hb = IoLoop::global().register(b, cb_b, None).unwrap();
+        let big = Frame::Bootstrap {
+            peers: (0..4096).map(|i| format!("10.0.0.{}:{}", i % 256, 7000 + i)).collect(),
+        };
+        for round in 0..8u64 {
+            ha.send(&Frame::Probe { round }).unwrap();
+            ha.send(&big).unwrap();
+        }
+        let mut probes = 0;
+        let mut bigs = 0;
+        for _ in 0..16 {
+            match rx_b.recv_timeout(Duration::from_secs(10)).unwrap().unwrap() {
+                Frame::Probe { .. } => probes += 1,
+                f => {
+                    assert_eq!(f, big);
+                    bigs += 1;
+                }
+            }
+        }
+        assert_eq!((probes, bigs), (8, 8));
+    }
+}

@@ -20,25 +20,27 @@
 //!   process *exits* ([`CRASH_EXIT`]) and the driver reports
 //!   [`RunError::PeerDisconnected`].
 
-use crate::cluster::{event_home, read_frame, spawn_counted_reader, FrameConn};
+use crate::cluster::{event_home, read_frame, FrameConn};
 use crate::durable::{register_durable, RegistryCodec};
-use crate::frame::Frame;
+use crate::frame::{Frame, StoreEntry};
+use crate::netloop::{IoHandle, IoLoop};
 use crate::registry::{decode_messenger, decode_store, encode_messenger, encode_store};
 use navp::durable::{self as core_durable, OutFrame, ParkedWaiter};
 use navp::fault::{FaultTracker, HopFault};
 use navp::recovery::{CheckpointTable, WriteJournal};
 use navp::sim_exec::HOP_STATE_BYTES;
 use navp::{
-    Effect, EventKey, FaultStats, Messenger, MsgrCtx, NodeStore, RunError, StepOutputs,
-    WireSnapshot,
+    Effect, EventKey, FaultPlan, FaultStats, Messenger, MsgrCtx, NodeStore, RunError,
+    StepOutputs, WireSnapshot,
 };
 use navp_metrics::{serve_http, Counter, MetricsRegistry, RunMetrics};
+use navp_trace::recorder::DEFAULT_CAPACITY;
 use navp_trace::{PeRecorder, TraceKind};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -209,7 +211,11 @@ impl Health {
 
 enum PeEvent {
     Driver(std::io::Result<Frame>),
-    Peer(usize, std::io::Result<Frame>),
+    /// A peer frame plus its arrival stamp: nanoseconds on the
+    /// session's trace anchor, taken by the I/O loop the moment the
+    /// frame was decoded (0 on untraced runs). Gives Transfer spans an
+    /// end time unskewed by daemon queueing.
+    Peer(usize, std::io::Result<Frame>, u64),
 }
 
 /// Per-session durable-spill state: the write-ahead outbox plus the
@@ -274,8 +280,8 @@ struct Daemon {
     stats: FaultStats,
     next_inject: u64,
     initial_live: u64,
-    peers: Vec<Option<Arc<FrameConn>>>,
-    driver: Arc<FrameConn>,
+    peers: Vec<Option<IoHandle>>,
+    driver: IoHandle,
     /// Wall-clock span recorder, enabled iff `Start.trace`. Anchored
     /// at session start; the driver measures this clock's offset when
     /// it collects the buffer (`TraceCollect`/`TraceDump`).
@@ -334,7 +340,7 @@ impl Daemon {
         }
     }
 
-    fn peer(&self, dst: usize) -> Result<&Arc<FrameConn>, RunError> {
+    fn peer(&self, dst: usize) -> Result<&IoHandle, RunError> {
         self.peers
             .get(dst)
             .and_then(|p| p.as_ref())
@@ -469,6 +475,9 @@ impl Daemon {
         let _ = self.driver.send(&Frame::Fatal {
             err: RunError::PeStopped { pe: self.pe },
         });
+        // The frame is queued on the event loop; give it time to reach
+        // the wire — exiting immediately would race the flush.
+        let _ = self.driver.drain(Duration::from_secs(2));
         std::process::exit(GRACEFUL_EXIT);
     }
 
@@ -544,17 +553,21 @@ impl Daemon {
     /// attempt is a fresh arrival, so the counters keep counting).
     ///
     /// The Transfer span runs from the sender's `sent_ns` (sender
-    /// clock; corrected at merge) to local arrival — so a fault-delay
-    /// hold shows up as transfer time, which it is on the wire's
-    /// timeline.
+    /// clock; corrected at merge) to arrival — `recv_ns`, stamped by
+    /// the I/O loop when the frame was decoded, so daemon queueing
+    /// doesn't inflate it. A fault-delay hold moves the end stamp past
+    /// the hold: the delay shows up as transfer time, which it is on
+    /// the wire's timeline.
     fn accept_hop(
         &mut self,
         from: usize,
         id: u64,
         sent_ns: u64,
+        recv_ns: u64,
         snap: WireSnapshot,
     ) -> Result<(), RunError> {
         let mut attempts: u32 = 0;
+        let mut held = false;
         loop {
             let fault = self.tracker.as_mut().and_then(|t| t.on_hop(self.pe));
             match fault {
@@ -564,6 +577,7 @@ impl Daemon {
                     if let Some(met) = &self.metrics {
                         met.faults.inc();
                     }
+                    held = true;
                     self.heartbeat();
                     std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
                     break; // single-shot rule: delivered after the hold
@@ -573,6 +587,7 @@ impl Daemon {
                     if let Some(met) = &self.metrics {
                         met.faults.inc();
                     }
+                    held = true;
                     attempts += 1;
                     let plan = self.tracker.as_ref().expect("fault fired").plan();
                     if attempts > plan.max_send_retries {
@@ -600,8 +615,12 @@ impl Daemon {
                 to: self.pe,
                 bytes: m.payload_bytes() + HOP_STATE_BYTES,
             };
-            self.recorder
-                .record(sent_ns, self.recorder.now_ns(), id, &m.label(), kind);
+            let end = if held || recv_ns == 0 {
+                self.recorder.now_ns()
+            } else {
+                recv_ns
+            };
+            self.recorder.record(sent_ns, end, id, &m.label(), kind);
         }
         self.deliver(id, m);
         Ok(())
@@ -878,7 +897,12 @@ impl Daemon {
         }
     }
 
-    fn handle_peer_frame(&mut self, from: usize, frame: Frame) -> Result<(), RunError> {
+    fn handle_peer_frame(
+        &mut self,
+        from: usize,
+        frame: Frame,
+        recv_ns: u64,
+    ) -> Result<(), RunError> {
         self.t_peer_recv += 1;
         if let Some(ds) = &mut self.durable {
             // Advance the channel counter now; it reaches disk with the
@@ -888,7 +912,7 @@ impl Daemon {
             ds.recv_from[from] += 1;
         }
         match frame {
-            Frame::Hop { id, sent_ns, msgr } => self.accept_hop(from, id, sent_ns, msgr),
+            Frame::Hop { id, sent_ns, msgr } => self.accept_hop(from, id, sent_ns, recv_ns, msgr),
             Frame::EventWait {
                 key,
                 id,
@@ -1024,8 +1048,8 @@ impl Daemon {
                 // Driver gone: the run is over one way or the other;
                 // exit quietly rather than lingering.
                 Ok(PeEvent::Driver(Err(_))) => return Ok(()),
-                Ok(PeEvent::Peer(q, Ok(frame))) => {
-                    self.handle_peer_frame(q, frame)?;
+                Ok(PeEvent::Peer(q, Ok(frame), recv_ns)) => {
+                    self.handle_peer_frame(q, frame, recv_ns)?;
                     // Frame handling that produced sends (a Deliver for
                     // a woken waiter) is its own atomic unit. Handling
                     // that only mutated local state needs no spill: the
@@ -1038,7 +1062,7 @@ impl Daemon {
                 // A dead peer only matters if we later need to send to
                 // it — which fails with a structured error there. The
                 // driver independently notices the death.
-                Ok(PeEvent::Peer(_, Err(_))) => {}
+                Ok(PeEvent::Peer(_, Err(_), _)) => {}
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Ok(()),
             }
@@ -1271,31 +1295,63 @@ fn set_pe_env(pe: usize) {
 
 /// Serve one driver on an established stream, reporting fatal errors
 /// back before returning them.
+///
+/// The session has two halves with different I/O disciplines. The
+/// *handshake* (assign → mesh → start) is a strict request/response
+/// sequence on otherwise-quiet sockets, so it stays blocking, with a
+/// throwaway [`FrameConn`] for writes. The *run* is where concurrency
+/// lives: [`pe_run`] hands every socket to the process-global
+/// [`IoLoop`] and the daemon goes frame-driven. Fatal errors before
+/// the handoff are reported on the blocking conn; after it, on the
+/// loop (the handoff marks the socket nonblocking, which retires the
+/// blocking conn for good).
 fn driver_session(
     opts: &PeOptions,
     obs: &Obs,
     mut driver_stream: TcpStream,
     deadline: Instant,
 ) -> Result<(), RunError> {
-    let driver = Arc::new(FrameConn::new(driver_stream.try_clone().map_err(|e| {
+    let handshake_conn = FrameConn::new(driver_stream.try_clone().map_err(|e| {
         RunError::Transport {
             detail: format!("clone driver stream: {e}"),
         }
-    })?));
-    let result = pe_session(opts, obs, &mut driver_stream, Arc::clone(&driver), deadline);
-    if let Err(err) = &result {
-        let _ = driver.send(&Frame::Fatal { err: err.clone() });
-    }
-    result
+    })?);
+    let setup = match pe_handshake(opts, obs, &mut driver_stream, &handshake_conn, deadline) {
+        Ok(setup) => setup,
+        Err(err) => {
+            let _ = handshake_conn.send(&Frame::Fatal { err: err.clone() });
+            return Err(err);
+        }
+    };
+    drop(handshake_conn);
+    pe_run(opts, obs, driver_stream, setup)
 }
 
-fn pe_session(
+/// Everything the blocking handshake half of a session produces,
+/// handed to [`pe_run`] at the moment the sockets join the event loop.
+struct SessionSetup<'a> {
+    pe: usize,
+    pes: usize,
+    run: u64,
+    peer_streams: Vec<Option<TcpStream>>,
+    store_img: Vec<StoreEntry>,
+    injections: Vec<(u64, WireSnapshot)>,
+    events: Vec<EventKey>,
+    plan: Option<FaultPlan>,
+    initial_live: u64,
+    trace: bool,
+    metered: bool,
+    run_metrics: Option<Arc<RunMetrics>>,
+    _run_guard: RunGuard<'a>,
+}
+
+fn pe_handshake<'a>(
     opts: &PeOptions,
-    obs: &Obs,
+    obs: &'a Obs,
     driver_stream: &mut TcpStream,
-    driver: Arc<FrameConn>,
+    driver: &FrameConn,
     deadline: Instant,
-) -> Result<(), RunError> {
+) -> Result<SessionSetup<'a>, RunError> {
     let transport = |detail: String| RunError::Transport { detail };
 
     // 1. Identity.
@@ -1307,7 +1363,7 @@ fn pe_session(
     // Mark the run in flight for the duration of this session (RAII so
     // every exit path — error, panic, clean return — un-marks it);
     // checkpoint GC treats marked runs as unprunable.
-    let _run_guard = RunGuard::mark(obs, run);
+    let run_guard = RunGuard::mark(obs, run);
     set_pe_env(pe);
     let registry = Arc::clone(&obs.registry);
     let decode_bytes = Arc::clone(&obs.decode_bytes);
@@ -1395,7 +1451,8 @@ fn pe_session(
     let metered = metrics || opts.metrics_addr.is_some();
     let run_metrics = metered.then(|| {
         // Adopt the decode counter before RunMetrics registers the
-        // name: the readers below were counting into it all along.
+        // name: the event loop counts into it from registration on
+        // (and counted through every earlier session of this process).
         registry.counter_arc(
             "navp_frame_decode_bytes_total",
             "Wire bytes consumed by frame decoding",
@@ -1404,26 +1461,92 @@ fn pe_session(
         );
         RunMetrics::on_registry(Arc::clone(&registry), pes)
     });
-    let reader_bytes = metered.then(|| Arc::clone(&decode_bytes));
 
-    // 5. Wire everything into the daemon and spawn readers.
-    let (tx, rx): (Sender<PeEvent>, Receiver<PeEvent>) = std::sync::mpsc::channel();
-    {
-        let stream = driver_stream
-            .try_clone()
-            .map_err(|e| transport(format!("clone driver stream: {e}")))?;
-        let tx = tx.clone();
-        spawn_counted_reader(stream, tx, PeEvent::Driver, reader_bytes.clone());
+    Ok(SessionSetup {
+        pe,
+        pes,
+        run,
+        peer_streams,
+        store_img,
+        injections,
+        events,
+        plan,
+        initial_live,
+        trace,
+        metered,
+        run_metrics,
+        _run_guard: run_guard,
+    })
+}
+
+/// The frame-driven half of a session: hand every socket to the
+/// process-global event loop, build the daemon, run it, and tear the
+/// handles down so a long-lived `--listen` daemon leaks nothing into
+/// the loop between sessions.
+fn pe_run(
+    opts: &PeOptions,
+    obs: &Obs,
+    driver_stream: TcpStream,
+    setup: SessionSetup<'_>,
+) -> Result<(), RunError> {
+    let transport = |detail: String| RunError::Transport { detail };
+    let SessionSetup {
+        pe,
+        pes,
+        run,
+        peer_streams,
+        store_img,
+        injections,
+        events,
+        plan,
+        initial_live,
+        trace,
+        metered,
+        run_metrics,
+        _run_guard,
+    } = setup;
+    let reader_bytes = metered.then(|| Arc::clone(&obs.decode_bytes));
+    let ioloop = IoLoop::global();
+    if metered {
+        // The navp_net_io_* family is process-global (the loop serves
+        // every session at once); adoption is idempotent.
+        ioloop.stats().adopt_into(&obs.registry);
     }
-    let mut peers: Vec<Option<Arc<FrameConn>>> = (0..pes).map(|_| None).collect();
+
+    // One anchor for the whole session: the recorder stamps on it, and
+    // so do the I/O callbacks below — which run on the loop threads,
+    // where the recorder itself must not be touched (single-writer).
+    let anchor = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let driver = {
+        let tx = tx.clone();
+        ioloop
+            .register(
+                driver_stream,
+                Box::new(move |r| tx.send(PeEvent::Driver(r)).is_ok()),
+                reader_bytes.clone(),
+            )
+            .map_err(|e| transport(format!("register driver stream: {e}")))?
+    };
+    let mut peers: Vec<Option<IoHandle>> = (0..pes).map(|_| None).collect();
     for (q, stream) in peer_streams.into_iter().enumerate() {
         let Some(stream) = stream else { continue };
-        let write = stream
-            .try_clone()
-            .map_err(|e| transport(format!("clone peer stream: {e}")))?;
-        peers[q] = Some(Arc::new(FrameConn::new(write)));
         let tx = tx.clone();
-        spawn_counted_reader(stream, tx, move |r| PeEvent::Peer(q, r), reader_bytes.clone());
+        let handle = ioloop
+            .register(
+                stream,
+                Box::new(move |r| {
+                    let recv_ns = if trace {
+                        anchor.elapsed().as_nanos() as u64
+                    } else {
+                        0
+                    };
+                    tx.send(PeEvent::Peer(q, r, recv_ns)).is_ok()
+                }),
+                reader_bytes.clone(),
+            )
+            .map_err(|e| transport(format!("register peer {q} stream: {e}")))?;
+        peers[q] = Some(handle);
     }
 
     let mut store = decode_store(&store_img)
@@ -1487,14 +1610,13 @@ fn pe_session(
         initial_live,
         peers,
         driver,
-        recorder: if trace {
-            PeRecorder::enabled()
-        } else {
-            PeRecorder::disabled()
-        },
+        // The recorder shares the session anchor with the I/O
+        // callbacks, so loop-stamped arrival times and daemon-stamped
+        // span times live on one clock.
+        recorder: PeRecorder::with_anchor(anchor, trace, DEFAULT_CAPACITY),
         metrics: run_metrics,
-        anchor: Instant::now(),
-        health: opts.metrics_addr.is_some().then(|| Arc::clone(&health)),
+        anchor,
+        health: opts.metrics_addr.is_some().then(|| Arc::clone(&obs.health)),
         d_spawned: 0,
         d_finished: 0,
         d_steps: 0,
@@ -1526,7 +1648,7 @@ fn pe_session(
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         daemon.event_loop(&rx)
     }));
-    match outcome {
+    let result = match outcome {
         Ok(r) => r,
         Err(payload) => {
             let msg = payload
@@ -1536,5 +1658,17 @@ fn pe_session(
                 .unwrap_or_else(|| "unknown panic".to_string());
             Err(RunError::WorkerPanic(format!("PE {pe}: {msg}")))
         }
+    };
+    if let Err(err) = &result {
+        let _ = daemon.driver.send(&Frame::Fatal { err: err.clone() });
     }
+    // Retire this session's handles — shutdown drains queued frames
+    // (the Fatal above included) before the loop drops the sockets. A
+    // --listen daemon serves many sessions per process; anything not
+    // closed here would sit in the loop forever.
+    daemon.driver.shutdown();
+    for handle in daemon.peers.iter().flatten() {
+        handle.shutdown();
+    }
+    result
 }

@@ -409,3 +409,161 @@ fn random_garbage_never_panics() {
         Err(DecodeError::Truncated)
     ));
 }
+
+// ---- batching wire format (event-loop coalescing + FrameDecoder) ----
+
+use navp_net::FrameDecoder;
+
+/// Encode a batch of frames exactly as the event loop coalesces them:
+/// back-to-back `u32 len LE | body` records in one buffer.
+fn coalesce(frames: &[Frame]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for f in frames {
+        let at = buf.len();
+        buf.extend_from_slice(&[0u8; 4]);
+        f.encode_into(&mut buf);
+        let body = (buf.len() - at - 4) as u32;
+        buf[at..at + 4].copy_from_slice(&body.to_le_bytes());
+    }
+    buf
+}
+
+/// Drain every complete frame the decoder currently holds.
+fn drain(dec: &mut FrameDecoder) -> Vec<(Frame, u64)> {
+    let mut out = Vec::new();
+    while let Some(got) = dec.next_frame().expect("valid batch") {
+        out.push(got);
+    }
+    out
+}
+
+/// A coalesced multi-frame buffer — the event loop's batched wire
+/// image — round-trips through the incremental decoder: same frames,
+/// same order, each reporting its exact wire size.
+#[test]
+fn coalesced_batches_roundtrip_through_the_decoder() {
+    let mut rng = SplitMix64(0xBA7C);
+    for case in 0..200 {
+        let frames: Vec<Frame> = (0..1 + rng.below(12)).map(|_| arb_frame(&mut rng)).collect();
+        let buf = coalesce(&frames);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&buf);
+        let got = drain(&mut dec);
+        assert_eq!(got.len(), frames.len(), "case {case}");
+        let mut wire_total = 0u64;
+        for ((got, wire), want) in got.iter().zip(&frames) {
+            assert_eq!(got, want, "case {case}");
+            assert_eq!(*wire, 4 + want.encode().len() as u64, "case {case}");
+            wire_total += wire;
+        }
+        assert_eq!(wire_total as usize, buf.len(), "case {case}");
+        assert_eq!(dec.buffered(), 0, "case {case}: decoder retained bytes");
+    }
+}
+
+/// The decoder is chunking-oblivious: feeding a batch in arbitrary
+/// splits — byte-by-byte, random cuts, cuts straddling length
+/// prefixes — always yields the identical frame sequence.
+#[test]
+fn arbitrary_split_boundaries_do_not_change_the_decode() {
+    let mut rng = SplitMix64(0x5117);
+    for case in 0..100 {
+        let frames: Vec<Frame> = (0..1 + rng.below(8)).map(|_| arb_frame(&mut rng)).collect();
+        let buf = coalesce(&frames);
+        for trial in 0..4 {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut at = 0usize;
+            while at < buf.len() {
+                let step = match trial {
+                    0 => 1, // byte at a time
+                    1 => buf.len(), // all at once
+                    2 => 3, // constant misaligned stride
+                    _ => 1 + rng.below(buf.len() as u64 / 2 + 1) as usize,
+                };
+                let end = (at + step).min(buf.len());
+                dec.extend(&buf[at..end]);
+                got.extend(drain(&mut dec).into_iter().map(|(f, _)| f));
+                at = end;
+            }
+            assert_eq!(got, frames, "case {case} trial {trial}");
+            assert_eq!(dec.buffered(), 0, "case {case} trial {trial}");
+        }
+    }
+}
+
+/// A batch cut anywhere mid-stream decodes every *complete* frame
+/// before the cut and reports the tail as pending (never an error,
+/// never a phantom frame) — that's exactly the partial-read state the
+/// event loop parks between readiness events.
+#[test]
+fn truncated_tails_are_pending_not_frames() {
+    let mut rng = SplitMix64(0x7A11);
+    for _ in 0..60 {
+        let frames: Vec<Frame> = (0..1 + rng.below(4)).map(|_| arb_frame(&mut rng)).collect();
+        let buf = coalesce(&frames);
+        // Frame start offsets, to know how many frames precede a cut.
+        let mut starts = vec![0usize];
+        for f in &frames {
+            starts.push(starts.last().unwrap() + 4 + f.encode().len());
+        }
+        for cut in 0..buf.len() {
+            let complete = starts.iter().filter(|&&s| s > 0 && s <= cut).count();
+            let mut dec = FrameDecoder::new();
+            dec.extend(&buf[..cut]);
+            let got = drain(&mut dec);
+            assert_eq!(got.len(), complete, "cut at {cut}");
+            assert_eq!(dec.buffered(), cut - starts[complete], "cut at {cut}");
+        }
+    }
+}
+
+/// Corrupting a batch's tail frame must never panic the decoder, and
+/// every frame *before* the corruption still decodes. A corrupted
+/// length prefix either shifts framing (yielding pending bytes or a
+/// structured error) or trips the MAX_FRAME cap — never an over-read.
+#[test]
+fn corrupt_tails_fail_structurally_after_clean_prefix_frames() {
+    let mut rng = SplitMix64(0xC0DE);
+    for _ in 0..40 {
+        let clean: Vec<Frame> = (0..1 + rng.below(3)).map(|_| arb_frame(&mut rng)).collect();
+        let tail = arb_frame(&mut rng);
+        let clean_buf = coalesce(&clean);
+        let tail_buf = coalesce(std::slice::from_ref(&tail));
+        for flip in [0x01u8, 0x80, 0xFF] {
+            for pos in 0..tail_buf.len() {
+                let mut buf = clean_buf.clone();
+                let mut corrupt_tail = tail_buf.clone();
+                corrupt_tail[pos] ^= flip;
+                buf.extend_from_slice(&corrupt_tail);
+                let mut dec = FrameDecoder::new();
+                dec.extend(&buf);
+                // The clean prefix always comes out intact.
+                for want in &clean {
+                    match dec.next_frame() {
+                        Ok(Some((got, _))) => assert_eq!(&got, want),
+                        other => panic!("clean prefix frame lost: {other:?}"),
+                    }
+                }
+                // The corrupted tail: any structured outcome is fine —
+                // decoded (payload-bit flip), pending (length shifted),
+                // or DecodeError — but never a panic.
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(_)) => continue,
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An oversized declared length is rejected as soon as the prefix is
+/// visible — the decoder never buffers toward an absurd length.
+#[test]
+fn oversized_length_prefix_rejected_immediately() {
+    let mut dec = FrameDecoder::new();
+    dec.extend(&u32::MAX.to_le_bytes());
+    assert!(dec.next_frame().is_err());
+}

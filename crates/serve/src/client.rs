@@ -17,7 +17,7 @@ impl Client {
     /// Connect to a `navp-serve` listen address.
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        navp_net::cluster::tune_socket(&stream);
         Ok(Client { stream })
     }
 

@@ -147,7 +147,7 @@ fn accept_loop(listener: TcpListener, sched: Arc<Scheduler>, stop: Arc<AtomicBoo
 /// Serve one client: length-prefixed requests answered in order until
 /// the peer closes the connection.
 fn handle_client(mut stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
+    navp_net::cluster::tune_socket(&stream);
     loop {
         let body = match read_msg(&mut stream) {
             Ok(b) => b,

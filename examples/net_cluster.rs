@@ -14,9 +14,12 @@
 //! TCP mesh. To spread the same cluster over real machines instead,
 //! start `navp-pe --listen host:port` on each and hand the addresses
 //! to `NetOpts::join` — nothing else changes. This example does that
-//! itself when `NAVP_NET_JOIN` names four comma-separated addresses
+//! itself when `NAVP_NET_JOIN` names comma-separated addresses
 //! (which is how CI points it at daemons started with
-//! `--metrics-addr`, then curls their live `/metrics` endpoints):
+//! `--metrics-addr`, then curls their live `/metrics` endpoints).
+//! Four addresses reproduce the default 2×2 pipelined demo; any other
+//! count runs the phase-shifted 1-D stage on a line mesh of that many
+//! PEs — the CI high-PE job drives 64 this way:
 //!
 //! ```text
 //! navp-pe --listen 127.0.0.1:7101 --metrics-addr 127.0.0.1:9101 &
@@ -34,15 +37,10 @@ use navp_repro::navp_mm::runner::{
 };
 
 fn main() {
-    // Metrics on: every PE daemon meters its run and the driver merges
-    // the per-PE registries into one cluster snapshot at drain.
-    let cfg = MmConfig::real(24, 4).with_metrics(true); // N = 24, block order 4
-    let grid = Grid2D::new(2, 2).expect("grid"); // 2×2 PE mesh, 4 processes
-    let stage = NavpStage::Pipe2D;
     let opts = match std::env::var("NAVP_NET_JOIN") {
         Ok(v) => {
             let join: Vec<String> = v.split(',').map(str::to_string).collect();
-            assert_eq!(join.len(), 4, "NAVP_NET_JOIN needs 4 addresses, got {v}");
+            assert!(join.len() >= 2, "NAVP_NET_JOIN needs >=2 addresses, got {v}");
             println!("joining externally started daemons: {join:?}");
             NetOpts {
                 join,
@@ -51,8 +49,29 @@ fn main() {
         }
         Err(_) => NetOpts::default(), // spawn navp-pe next to this executable
     };
+    // Metrics on: every PE daemon meters its run and the driver merges
+    // the per-PE registries into one cluster snapshot at drain. Four
+    // PEs (the default spawn count) demo the 2-D pipelined stage on a
+    // 2×2 mesh; any other join count runs phase1d on a line mesh that
+    // wide, with the problem scaled so every PE owns two block rows.
+    let pes = if opts.join.is_empty() { 4 } else { opts.join.len() };
+    let (grid, stage, cfg) = if pes == 4 {
+        (
+            Grid2D::new(2, 2).expect("grid"),
+            NavpStage::Pipe2D,
+            MmConfig::real(24, 4).with_metrics(true),
+        )
+    } else {
+        (
+            Grid2D::line(pes).expect("grid"),
+            NavpStage::Phase1D,
+            MmConfig::real(4 * pes, 2)
+                .with_metrics(true)
+                .with_watchdog(std::time::Duration::from_secs(180)),
+        )
+    };
 
-    println!("== {} on a 4-process loopback cluster ==\n", stage.name());
+    println!("== {} on a {pes}-process loopback cluster ==\n", stage.name());
 
     // Reference product from the in-process thread executor.
     let reference = run_navp_threads(stage, &cfg, grid).expect("thread run");
@@ -68,9 +87,11 @@ fn main() {
     );
     println!("         product bitwise-identical to the thread executor\n");
 
-    // The merged cluster metrics, collected over the mesh at drain.
+    // The merged cluster metrics, collected over the mesh at drain —
+    // including the event loop's own I/O series (frames sent, frames
+    // coalesced into a neighbour's buffer, writev flushes).
     let snap = clean.metrics.as_ref().expect("metered run");
-    println!("cluster metrics (merged over {} PEs):", grid.rows * grid.cols);
+    println!("cluster metrics (merged over {pes} PEs):");
     for name in [
         "navp_hops_total",
         "navp_hop_bytes_total",
@@ -78,19 +99,30 @@ fn main() {
         "navp_events_signaled_total",
         "navp_frame_encode_bytes_total",
         "navp_frame_decode_bytes_total",
+        "navp_net_io_frames_total",
+        "navp_net_io_coalesced_frames_total",
+        "navp_net_io_writev_total",
+        "navp_net_io_flushed_bytes_total",
     ] {
-        println!("  {name:<32} {}", snap.total(name) as u64);
+        println!("  {name:<36} {}", snap.total(name) as u64);
     }
+    assert!(
+        snap.total("navp_net_io_frames_total") > 0.0,
+        "the event loop's I/O counters must land in the merged snapshot"
+    );
     println!();
 
     // Now hold individual frames back at the sockets: a deterministic
     // hop-delay plan (delay-only — the data path is untouched, only
     // arrival times move).
-    let plan = FaultPlan::new()
-        .delay_hop(0, 1, 0.10)
-        .delay_hop(1, 2, 0.15)
-        .delay_hop(2, 1, 0.10)
-        .delay_hop(3, 1, 0.05);
+    let mut plan = FaultPlan::new();
+    for (pe, (nth, secs)) in [(1, 0.10), (2, 0.15), (1, 0.10), (1, 0.05)]
+        .into_iter()
+        .enumerate()
+        .take(pes)
+    {
+        plan = plan.delay_hop(pe, nth, secs);
+    }
     println!("injecting: {plan:?}");
     let delayed = run_navp_net_faulted(stage, &cfg, grid, &opts, plan).expect("delayed run");
     report("delayed", &delayed);

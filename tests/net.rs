@@ -9,6 +9,7 @@
 //! contribution.
 
 use navp_repro::navp::FaultPlan;
+use navp_repro::navp_kv::{run_kv_net, run_kv_threads, KvConfig, KvStage};
 use navp_repro::navp_matrix::Grid2D;
 use navp_repro::navp_mm::runner::{
     run_navp_net, run_navp_net_faulted, run_navp_threads, NavpStage, NetOpts,
@@ -135,4 +136,90 @@ fn net_reports_consistent_per_pe_stats() {
         "wire bytes include framing and must dominate raw payload bytes"
     );
     assert!(out.wall.is_some(), "networked runs are wall-clock timed");
+}
+
+/// The event loop's mid-scale regime: a 16-PE line mesh — four times
+/// the paper's cluster — must keep bitwise parity with the thread
+/// executor. This runs in the regular suite; the 64-PE variant below
+/// is `#[ignore]`d and exercised by the CI high-PE job.
+#[test]
+fn net_parity_holds_on_a_16_pe_line() {
+    // nb = 16 block rows: exactly one per PE, so every hop crosses a
+    // real socket.
+    let cfg = cfg(32, 2);
+    let grid = Grid2D::line(16).expect("grid");
+    let want = run_navp_threads(NavpStage::Phase1D, &cfg, grid).expect("threads");
+    let got = run_navp_net(NavpStage::Phase1D, &cfg, grid, &opts()).expect("net 16 PEs");
+    assert_eq!(got.verified, Some(true));
+    assert_eq!(
+        want.c.expect("threads c").max_abs_diff(&got.c.expect("net c")),
+        0.0,
+        "16-PE net product differs from threads"
+    );
+}
+
+/// High-PE acceptance: 64 real `navp-pe` processes on loopback produce
+/// the bitwise-identical product, and the merged metrics snapshot
+/// carries the event loop's `navp_net_io_*` series with sane
+/// relationships (coalesced ≤ frames, flushed bytes > 0, pending
+/// drained back to zero).
+#[test]
+#[ignore = "spawns 64 OS processes; the CI high-PE job runs it via -- --ignored"]
+fn net_64_pe_mesh_keeps_bitwise_parity_and_reports_io_metrics() {
+    // nb = 64 block rows, one per PE; generous watchdog for the big
+    // spawn + full-mesh handshake.
+    let cfg = MmConfig::real(128, 2)
+        .with_watchdog(Duration::from_secs(180))
+        .with_metrics(true);
+    let grid = Grid2D::line(64).expect("grid");
+    let want = run_navp_threads(NavpStage::Phase1D, &cfg, grid).expect("threads");
+    let got = run_navp_net(NavpStage::Phase1D, &cfg, grid, &opts()).expect("net 64 PEs");
+    assert_eq!(got.verified, Some(true));
+    assert_eq!(
+        want.c.expect("threads c").max_abs_diff(&got.c.expect("net c")),
+        0.0,
+        "64-PE net product differs from threads"
+    );
+    let snap = got.metrics.expect("merged metrics snapshot");
+    let frames = snap.total("navp_net_io_frames_total");
+    let coalesced = snap.total("navp_net_io_coalesced_frames_total");
+    let flushed = snap.total("navp_net_io_flushed_bytes_total");
+    let writev = snap.total("navp_net_io_writev_total");
+    assert!(frames > 0.0, "event loop sent no frames?");
+    assert!(writev > 0.0, "event loop never flushed?");
+    assert!(flushed > 0.0, "event loop flushed no bytes?");
+    assert!(
+        coalesced <= frames,
+        "coalesced frames ({coalesced}) cannot exceed total frames ({frames})"
+    );
+    assert_eq!(
+        snap.total("navp_net_io_pending_bytes"),
+        0.0,
+        "send queues must drain to zero by run end"
+    );
+}
+
+/// The kv journey on a 16-PE mesh of real processes: the distributed
+/// product must verify against the sequential reference, proving the
+/// event loop handles the kv workload's many tiny frames at scale.
+#[test]
+#[ignore = "spawns 16 OS processes; the CI high-PE job runs it via -- --ignored"]
+fn kv_journey_verifies_on_a_16_pe_net_mesh() {
+    let cfg = KvConfig::new(2_000, 8).with_seed(0xFEED_5EED);
+    for stage in [KvStage::Dsc, KvStage::Pipe, KvStage::Phase] {
+        let reference = run_kv_threads(stage, &cfg, 16).expect("threads");
+        assert_eq!(reference.verified, Some(true));
+        let got = run_kv_net(stage, &cfg, 16, &opts()).expect("kv net 16 PEs");
+        assert_eq!(
+            got.verified,
+            Some(true),
+            "{} kv journey failed to verify on 16 net PEs",
+            stage.name()
+        );
+        assert_eq!(
+            got.stats.scanned, reference.stats.scanned,
+            "{}: scan volume diverged between executors",
+            stage.name()
+        );
+    }
 }
