@@ -1,5 +1,6 @@
 //! Wall-clock perf baseline: packed vs naive GEMM kernel GFLOP/s,
-//! NavP-stage wall times with effective hop bandwidth, and mesh
+//! NavP-stage wall times with effective hop bandwidth, the flight
+//! recorder's on-vs-off overhead on phase1d, and mesh
 //! scaling rows (phase1d over loopback TCP at 4/16/64 PEs), written as
 //! machine-readable JSON (`BENCH_kernel.json`, `BENCH_stages.json`) at
 //! the repo root. With `--kv` the binary benches the key-value
@@ -163,6 +164,44 @@ fn bench_stages(opts: &Opts) -> Vec<Group> {
         });
     }
     vec![wall, hops]
+}
+
+/// Flight-recorder overhead section: phase1d on real threads with the
+/// recorder at its default (on) versus forced off. The recorder's
+/// contract is to be an *observer* — `tests/obs.rs` pins the products
+/// bitwise identical — and this group pins the cost side: the
+/// committed `flight_on` / `flight_off` rows let `perf --check` catch
+/// a future event that silently makes recording expensive. The
+/// measured delta (kept well under 2%) is what justifies shipping the
+/// recorder always-on.
+fn bench_recorder_overhead(opts: &Opts) -> Group {
+    let (n, ab) = (256, 32);
+    let samples = if opts.quick { 3 } else { 9 };
+    let cfg = MmConfig::real(n, ab);
+    let grid = Grid2D::line(4).expect("grid");
+    let mut g = Group::new(&format!("recorder_overhead_n{n}"))
+        .sample_size(samples)
+        .warmup(1)
+        .flops(2 * (n as u64).pow(3));
+    let was = navp_obs::flight().enabled();
+    let mut timed = |label: &str, on: bool| {
+        navp_obs::flight().set_enabled(on);
+        g.bench(label, || {
+            run_navp_threads_unverified(NavpStage::Phase1D, &cfg, grid)
+                .expect("run")
+                .wall
+        })
+        .clone()
+    };
+    let on = timed("flight_on", true);
+    let off = timed("flight_off", false);
+    navp_obs::flight().set_enabled(was);
+    let overhead = on.median_ns as f64 / off.median_ns.max(1) as f64 - 1.0;
+    println!(
+        "recorder_overhead_n{n}: flight on is {:+.2}% vs off (median)",
+        overhead * 100.0
+    );
+    g
 }
 
 /// Mesh-scaling section: the phase1d stage on the *networked* executor
@@ -373,6 +412,7 @@ fn main() {
 
     let (kernel_groups, gate_ok) = bench_kernel(&opts);
     let mut stage_groups = bench_stages(&opts);
+    stage_groups.push(bench_recorder_overhead(&opts));
     stage_groups.extend(bench_net_scaling(&opts));
 
     if let Some(baseline) = baseline {

@@ -25,6 +25,7 @@ use crate::error::RunError;
 use crate::fault::{FaultPlan, FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
 use navp_metrics::RunMetrics;
+use navp_obs::EventKind as ObsKind;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_sim::memory::MemoryModel;
@@ -262,6 +263,10 @@ impl SimExecutor {
         } else {
             Trace::disabled()
         };
+        // Flight-recorder lane for the whole simulated mesh. Events
+        // are observational only — nothing reads them back into the
+        // run, so products stay bitwise-identical recorder on or off.
+        let flight_lane = navp_obs::flight().lane("sim");
 
         // A cluster without an explicit plan accepts one from the
         // `NAVP_FAULT_SPEC` environment (repro files paste in verbatim);
@@ -498,6 +503,7 @@ impl SimExecutor {
                     label: agents[aid].label.clone(),
                     kind: TraceKind::Signal { pe },
                 });
+                flight_lane.record(ObsKind::Signal, pe as u32, 0, aid as u64, 0);
                 let st = events.entry(key).or_default();
                 if let Some((waiter, parked_at)) = st.waiters.pop_front() {
                     // Waking a parked messenger is a delivery point: it
@@ -541,6 +547,7 @@ impl SimExecutor {
                         continue;
                     } else {
                         let bytes = msgr.payload_bytes() + HOP_STATE_BYTES;
+                        flight_lane.record(ObsKind::HopSend, pe as u32, 0, dst as u64, bytes);
                         let (_departed, mut arrival) = pes[pe].send(end, bytes, &self.cost);
                         if let Some(fm) = &mut fm {
                             // Each delivery attempt may be faulted; a

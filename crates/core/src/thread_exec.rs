@@ -41,6 +41,7 @@ use crate::fault::{FaultPlan, FaultStats, FaultTracker, HopFault};
 use crate::recovery::{CheckpointTable, WriteJournal};
 use crate::sim_exec::HOP_STATE_BYTES;
 use navp_metrics::RunMetrics;
+use navp_obs::EventKind as ObsKind;
 use navp_sim::key::{EventKey, NodeId};
 use navp_sim::store::NodeStore;
 use navp_trace::recorder::DEFAULT_CAPACITY;
@@ -942,6 +943,9 @@ fn run_messenger(
     let label = if tracing { msgr.label() } else { String::new() };
     let exec_start = recorder.now_ns();
     let pm = shared.metrics.as_ref().and_then(|m| m.pe(pe));
+    // Per-PE flight lane; purely observational (see `navp_obs`), so
+    // products stay bitwise-identical with the recorder on or off.
+    let flight_lane = navp_obs::flight().lane(&format!("pe{pe}"));
     let end_exec = |recorder: &mut PeRecorder| {
         if tracing {
             let now = recorder.now_ns();
@@ -989,6 +993,7 @@ fn run_messenger(
             if let Some(p) = pm {
                 p.signals.inc();
             }
+            flight_lane.record(ObsKind::Signal, pe as u32, 0, id, 0);
             recorder.instant(id, &label, TraceKind::Signal { pe });
         }
 
@@ -1014,6 +1019,7 @@ fn run_messenger(
                 if let Some(m) = &shared.metrics {
                     m.hop_payload_bytes.observe(payload);
                 }
+                flight_lane.record(ObsKind::HopSend, pe as u32, 0, dst as u64, hop_bytes);
                 end_exec(recorder);
                 let meta = tracing.then(|| DeliveryMeta::Hop {
                     from: pe,

@@ -29,8 +29,25 @@ pub fn serve_http(
     registry: Arc<MetricsRegistry>,
     health: Arc<dyn Fn() -> String + Send + Sync>,
 ) -> std::io::Result<SocketAddr> {
+    serve_http_with(addr, registry, health, Vec::new())
+}
+
+/// A dynamically-registered GET route: returns `(content_type, body)`,
+/// rendered fresh per request.
+pub type RouteFn = Arc<dyn Fn() -> (String, String) + Send + Sync>;
+
+/// [`serve_http`] plus extra GET routes (`/debug/flight`,
+/// `/debug/jobs`, …). Routes are matched by exact path after the two
+/// built-ins; everything else stays 404.
+pub fn serve_http_with(
+    addr: &str,
+    registry: Arc<MetricsRegistry>,
+    health: Arc<dyn Fn() -> String + Send + Sync>,
+    routes: Vec<(String, RouteFn)>,
+) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
+    let routes = Arc::new(routes);
     std::thread::Builder::new()
         .name("navp-metrics-http".to_string())
         .spawn(move || {
@@ -38,12 +55,13 @@ pub fn serve_http(
                 let Ok(stream) = conn else { continue };
                 let registry = Arc::clone(&registry);
                 let health = Arc::clone(&health);
+                let routes = Arc::clone(&routes);
                 // One short-lived thread per scrape; a slow client can
                 // stall its own thread but not the accept loop.
                 let _ = std::thread::Builder::new()
                     .name("navp-metrics-conn".to_string())
                     .spawn(move || {
-                        let _ = handle(stream, &registry, health.as_ref());
+                        let _ = handle(stream, &registry, health.as_ref(), &routes);
                     });
             }
         })?;
@@ -54,6 +72,7 @@ fn handle(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
     health: &(dyn Fn() -> String + Send + Sync),
+    routes: &[(String, RouteFn)],
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
@@ -93,7 +112,13 @@ fn handle(
             let body = health();
             respond(&mut stream, 200, "application/json", &body)
         }
-        _ => respond(&mut stream, 404, "text/plain", "try /metrics or /healthz\n"),
+        path => match routes.iter().find(|(p, _)| p == path) {
+            Some((_, route)) => {
+                let (ctype, body) = route();
+                respond(&mut stream, 200, &ctype, &body)
+            }
+            None => respond(&mut stream, 404, "text/plain", "try /metrics or /healthz\n"),
+        },
     }
 }
 
@@ -160,6 +185,32 @@ mod tests {
         assert_eq!(body, "{\"ok\":true}");
 
         let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn extra_routes_are_served_and_everything_else_stays_404() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let health: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "{}".to_string());
+        let route: RouteFn =
+            Arc::new(|| ("application/json".to_string(), "{\"jobs\":[]}".to_string()));
+        let addr = serve_http_with(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            health,
+            vec![("/debug/jobs".to_string(), route)],
+        )
+        .expect("bind");
+
+        let (status, body) = get(addr, "/debug/jobs");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"jobs\":[]}");
+
+        let (status, _) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+
+        let (status, _) = get(addr, "/debug/nope");
         assert_eq!(status, 404);
     }
 }

@@ -34,7 +34,7 @@ mod http;
 mod snapshot;
 
 pub use expo::{validate_prometheus, PromSummary};
-pub use http::serve_http;
+pub use http::{serve_http, serve_http_with, RouteFn};
 pub use snapshot::{MetricsSnapshot, Sample, SampleKind};
 
 /// A monotonically increasing counter on one relaxed atomic.

@@ -35,6 +35,7 @@
 use crate::frame::{Frame, FrameDecoder};
 use crate::sys::{self, Poller, Readiness, Waker};
 use navp_metrics::{Counter, Gauge, MetricsRegistry};
+use navp_obs::EventKind as ObsKind;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::TcpStream;
@@ -72,6 +73,13 @@ pub const SOCKET_BUF_BYTES: usize = 256 * 1024;
 /// How long [`IoHandle::shutdown`] waits for the queue to drain before
 /// closing the socket anyway.
 const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
+
+/// The I/O loop's process-wide flight-recorder lane. One lane for all
+/// shards: flush and backpressure events interleave in record order.
+fn obs_lane() -> &'static Arc<navp_obs::Lane> {
+    static LANE: OnceLock<Arc<navp_obs::Lane>> = OnceLock::new();
+    LANE.get_or_init(|| navp_obs::flight().lane("netloop"))
+}
 
 /// Frame-delivery callback: invoked on the I/O thread with each
 /// decoded frame, then once with the terminal `Err` (EOF included).
@@ -329,6 +337,9 @@ impl IoHandle {
     /// closed. Blocks only above the per-connection backpressure cap.
     pub fn send(&self, frame: &Frame) -> io::Result<u64> {
         let mut q = self.shared.q.lock().expect("send queue poisoned");
+        if q.pending >= BACKPRESSURE_CAP && !q.closed {
+            obs_lane().record(ObsKind::Backpressure, 0, 0, q.pending as u64, 0);
+        }
         while q.pending >= BACKPRESSURE_CAP && !q.closed {
             q = self
                 .shared
@@ -663,6 +674,7 @@ fn flush_conn(poller: &mut Poller, fd: RawFd, conn: &mut Conn, stats: &Arc<IoSta
                 stats.writev_calls.inc();
                 stats.flushed_bytes.add(n as u64);
                 stats.pending_bytes.add(-(n as i64));
+                obs_lane().record(ObsKind::NetFlush, 0, 0, n as u64, q.pending as u64);
                 let completed = advance(&mut q, n);
                 if completed > 1 {
                     stats.syscalls_saved.add((completed - 1) as u64);

@@ -33,7 +33,8 @@ use navp::{
     Effect, EventKey, FaultPlan, FaultStats, Messenger, MsgrCtx, NodeStore, RunError,
     StepOutputs, WireSnapshot,
 };
-use navp_metrics::{serve_http, Counter, MetricsRegistry, RunMetrics};
+use navp_metrics::{serve_http_with, Counter, MetricsRegistry, RunMetrics};
+use navp_obs::{flight, EventKind as ObsKind, Lane as ObsLane};
 use navp_trace::recorder::DEFAULT_CAPACITY;
 use navp_trace::{PeRecorder, TraceKind};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -53,6 +54,12 @@ pub const CRASH_EXIT: i32 = 113;
 /// driver. Distinct from [`CRASH_EXIT`] and from abrupt deaths so the
 /// driver (and operators) can tell a rolling restart from a failure.
 pub const GRACEFUL_EXIT: i32 = 114;
+
+/// Flight-recorder `FaultInjected` site codes (the event's `a`
+/// operand): which fault mechanism fired.
+const FAULT_SITE_DELAY: u64 = 1;
+const FAULT_SITE_DROP: u64 = 2;
+const FAULT_SITE_CRASH: u64 = 3;
 
 /// Set by the SIGTERM/SIGINT handler; polled by the daemon's event
 /// loop between atomic units (runs / frame handlings).
@@ -261,6 +268,12 @@ struct EvState {
 struct Daemon {
     pe: usize,
     pes: usize,
+    /// Run-id namespace of this session (= job id through navp-serve;
+    /// 0 anonymous). Stamped into flight-recorder events.
+    run: u64,
+    /// This PE's always-on flight-recorder lane (`pe<k>`). Unlike the
+    /// span recorder below it is never off unless `NAVP_FLIGHT=0`.
+    flight: Arc<ObsLane>,
     store: NodeStore,
     /// Clone of the store as received in `Start` (crash rebuild base);
     /// `Some` iff recovery is active — checkpointing fault plan *or*
@@ -454,6 +467,13 @@ impl Daemon {
             met.durable_flushes.inc();
             met.durable_bytes.add(bytes);
         }
+        self.flight.record(
+            ObsKind::CheckpointCut,
+            self.pe as u32,
+            self.run,
+            ds.boundary,
+            bytes,
+        );
         // The cut is committed; transmission can now happen (and fail)
         // safely — an unsent frame is recoverable from the outbox.
         for (dst, frame) in pending {
@@ -577,6 +597,13 @@ impl Daemon {
                     if let Some(met) = &self.metrics {
                         met.faults.inc();
                     }
+                    self.flight.record(
+                        ObsKind::FaultInjected,
+                        self.pe as u32,
+                        self.run,
+                        FAULT_SITE_DELAY,
+                        (seconds * 1e3) as u64,
+                    );
                     held = true;
                     self.heartbeat();
                     std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
@@ -587,6 +614,13 @@ impl Daemon {
                     if let Some(met) = &self.metrics {
                         met.faults.inc();
                     }
+                    self.flight.record(
+                        ObsKind::FaultInjected,
+                        self.pe as u32,
+                        self.run,
+                        FAULT_SITE_DROP,
+                        attempts as u64 + 1,
+                    );
                     held = true;
                     attempts += 1;
                     let plan = self.tracker.as_ref().expect("fault fired").plan();
@@ -609,6 +643,13 @@ impl Daemon {
         let m = decode_messenger(&snap).map_err(|e| RunError::Transport {
             detail: format!("PE {} cannot decode hopped messenger {id}: {e}", self.pe),
         })?;
+        self.flight.record(
+            ObsKind::HopRecv,
+            self.pe as u32,
+            self.run,
+            from as u64,
+            m.payload_bytes() + HOP_STATE_BYTES,
+        );
         if self.recorder.is_enabled() {
             let kind = TraceKind::Transfer {
                 from,
@@ -650,6 +691,13 @@ impl Daemon {
         if let Some(met) = &self.metrics {
             met.faults.inc();
         }
+        self.flight.record(
+            ObsKind::FaultInjected,
+            self.pe as u32,
+            self.run,
+            FAULT_SITE_CRASH,
+            self.stats.crashes,
+        );
         self.recorder
             .instant(u64::MAX, "crash", TraceKind::Fault { pe: self.pe });
         let mut rebuilt = self
@@ -706,6 +754,8 @@ impl Daemon {
 
     fn route_signal(&mut self, key: EventKey) -> Result<(), RunError> {
         let home = event_home(&key, self.pes);
+        self.flight
+            .record(ObsKind::Signal, self.pe as u32, self.run, home as u64, 0);
         if home == self.pe {
             self.local_signal(key)
         } else {
@@ -797,6 +847,13 @@ impl Daemon {
                         let kind = TraceKind::Exec { pe: self.pe };
                         self.recorder.record(exec_start, sent_ns, id, &label, kind);
                     }
+                    self.flight.record(
+                        ObsKind::HopSend,
+                        self.pe as u32,
+                        self.run,
+                        dst as u64,
+                        m.payload_bytes() + HOP_STATE_BYTES,
+                    );
                     self.queue_send(
                         dst,
                         Frame::Hop {
@@ -1181,11 +1238,19 @@ impl Obs {
         };
         if let Some(addr) = &opts.metrics_addr {
             let h = Arc::clone(&obs.health);
-            serve_http(addr, Arc::clone(&obs.registry), Arc::new(move || h.render())).map_err(
-                |e| RunError::Transport {
-                    detail: format!("metrics bind {addr}: {e}"),
-                },
-            )?;
+            serve_http_with(
+                addr,
+                Arc::clone(&obs.registry),
+                Arc::new(move || h.render()),
+                vec![(
+                    "/debug/flight".to_string(),
+                    Arc::new(|| ("application/json".to_string(), navp_obs::flight_json(256)))
+                        as navp_metrics::RouteFn,
+                )],
+            )
+            .map_err(|e| RunError::Transport {
+                detail: format!("metrics bind {addr}: {e}"),
+            })?;
         }
         Ok(obs)
     }
@@ -1596,6 +1661,8 @@ fn pe_run(
     let mut daemon = Daemon {
         pe,
         pes,
+        run,
+        flight: flight().lane(&format!("pe{pe}")),
         store,
         initial_store,
         crash_restarts,
@@ -1642,6 +1709,9 @@ fn pe_run(
     // Boundary 0: spill the delivered-but-unrun state, so even a kill
     // before the first run restores cleanly.
     daemon.durable_commit()?;
+    daemon
+        .flight
+        .record(ObsKind::RunStart, pe as u32, run, pes as u64, 0);
 
     // 6. Run. A panic inside a messenger becomes a structured
     //    WorkerPanic at the driver, not a silent EOF.
@@ -1659,8 +1729,30 @@ fn pe_run(
             Err(RunError::WorkerPanic(format!("PE {pe}: {msg}")))
         }
     };
+    daemon.flight.record(
+        ObsKind::RunEnd,
+        pe as u32,
+        run,
+        result.is_err() as u64,
+        0,
+    );
     if let Err(err) = &result {
         let _ = daemon.driver.send(&Frame::Fatal { err: err.clone() });
+        // Leave the black box next to the durable state (or wherever
+        // NAVP_FLIGHT_DIR points). Without either there is no home for
+        // postmortems — ephemeral in-process meshes skip the dump.
+        let dump_dir = opts.durable_dir.clone().or_else(|| {
+            std::env::var("NAVP_FLIGHT_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(PathBuf::from)
+        });
+        if let Some(dir) = dump_dir {
+            match navp_obs::dump_postmortem(&dir, &format!("run_error: {err}")) {
+                Ok(path) => eprintln!("navp-pe: flight recorder dumped to {}", path.display()),
+                Err(e) => eprintln!("navp-pe: flight dump failed: {e}"),
+            }
+        }
     }
     // Retire this session's handles — shutdown drains queued frames
     // (the Fatal above included) before the loop drops the sockets. A

@@ -1,0 +1,439 @@
+//! The flight recorder proper: named, lock-free ring buffers of
+//! compact structured events.
+//!
+//! Every hot-path subsystem (PE executors, the net I/O loop, the serve
+//! scheduler) owns a *lane* — a fixed-capacity ring of [`FlightEvent`]
+//! slots. Recording is wait-free: one `fetch_add` claims a slot index
+//! and six relaxed stores fill it, with a sequence stamp written last
+//! (release) so a concurrent snapshot can detect and skip torn slots.
+//! Nothing on the record path allocates, locks, or touches the wall
+//! clock, which is what makes it cheap enough to leave on by default.
+//!
+//! The recorder is **on by default**; `NAVP_FLIGHT=0` (or `off`/
+//! `false`) disables it, turning [`Lane::record`] into a single
+//! relaxed load and a branch. `NAVP_FLIGHT_CAP` overrides the per-lane
+//! capacity (default 4096 events, rounded up to a power of two).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default events retained per lane. Each slot is 48 bytes, so a lane
+/// is ~192 KiB — small enough that every PE daemon carries one.
+pub const DEFAULT_LANE_CAP: usize = 4096;
+
+/// What happened. Encoded as a single byte on the wire; the numeric
+/// values are part of the postmortem format and must never be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A messenger hop was sent (`a` = destination PE, `b` = payload bytes).
+    HopSend = 1,
+    /// A messenger hop was received (`a` = source PE, `b` = payload bytes).
+    HopRecv = 2,
+    /// A synchronization signal fired (`a` = tag).
+    Signal = 3,
+    /// A durable checkpoint cut committed (`a` = boundary, `b` = bytes).
+    CheckpointCut = 4,
+    /// A fault-plan injection triggered (`a` = site code, `b` = detail).
+    FaultInjected = 5,
+    /// The net I/O loop flushed a connection (`a` = bytes written).
+    NetFlush = 6,
+    /// A sender blocked on the backpressure cap (`a` = queued bytes).
+    Backpressure = 7,
+    /// The scheduler admitted a job (`a` = priority).
+    JobAdmit = 8,
+    /// A worker started driving a job (`a` = queue age in ms).
+    JobStart = 9,
+    /// A job reached a terminal state (`a` = state code, `b` = wall ms).
+    JobFinish = 10,
+    /// A run began on this process (`a` = PE count).
+    RunStart = 11,
+    /// A run ended (`a` = 0 ok / 1 error).
+    RunEnd = 12,
+}
+
+impl EventKind {
+    /// Stable lowercase name (postmortem rendering, `/debug/flight`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::HopSend => "hop_send",
+            EventKind::HopRecv => "hop_recv",
+            EventKind::Signal => "signal",
+            EventKind::CheckpointCut => "checkpoint_cut",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::NetFlush => "net_flush",
+            EventKind::Backpressure => "backpressure",
+            EventKind::JobAdmit => "job_admit",
+            EventKind::JobStart => "job_start",
+            EventKind::JobFinish => "job_finish",
+            EventKind::RunStart => "run_start",
+            EventKind::RunEnd => "run_end",
+        }
+    }
+
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<EventKind> {
+        Some(match b {
+            1 => EventKind::HopSend,
+            2 => EventKind::HopRecv,
+            3 => EventKind::Signal,
+            4 => EventKind::CheckpointCut,
+            5 => EventKind::FaultInjected,
+            6 => EventKind::NetFlush,
+            7 => EventKind::Backpressure,
+            8 => EventKind::JobAdmit,
+            9 => EventKind::JobStart,
+            10 => EventKind::JobFinish,
+            11 => EventKind::RunStart,
+            12 => EventKind::RunEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event. `t_ns` is nanoseconds since this process's
+/// flight anchor (a monotonic `Instant`, never wall time); `run` is
+/// the run-id namespace the event belongs to (0 = anonymous); `a`/`b`
+/// are kind-specific operands documented on [`EventKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the process flight anchor.
+    pub t_ns: u64,
+    /// [`EventKind`] as its wire byte.
+    pub kind: u8,
+    /// PE index the event happened on (or 0 for process-wide lanes).
+    pub pe: u32,
+    /// Run-id namespace (= job id through navp-serve; 0 = anonymous).
+    pub run: u64,
+    /// First kind-specific operand.
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+/// One ring slot. `stamp` is `index + 1` once the slot's payload is
+/// fully written for that index (0 = never written / in progress), so
+/// readers can detect slots torn by a concurrent writer.
+struct Slot {
+    stamp: AtomicU64,
+    t: AtomicU64,
+    kindpe: AtomicU64,
+    run: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            t: AtomicU64::new(0),
+            kindpe: AtomicU64::new(0),
+            run: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A named ring of [`FlightEvent`]s. Writers are wait-free and may be
+/// many; snapshots are lock-free and non-destructive.
+pub struct Lane {
+    name: String,
+    head: AtomicU64,
+    cap: u64,
+    slots: Box<[Slot]>,
+}
+
+/// A consistent-enough copy of one lane: the most recent events in
+/// record order, plus how many were lost (overwritten by wraparound or
+/// torn by a concurrent writer during the snapshot).
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Lane name (e.g. `pe3`, `netloop`, `sched`).
+    pub name: String,
+    /// Surviving events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Events recorded but not present in `events`.
+    pub dropped: u64,
+}
+
+impl Lane {
+    fn new(name: &str, cap: usize) -> Lane {
+        let cap = cap.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        Lane {
+            name: name.to_string(),
+            head: AtomicU64::new(0),
+            cap: cap as u64,
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Lane name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total events ever recorded into this lane.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. Wait-free; a no-op (one relaxed load and a
+    /// branch) when the recorder is disabled.
+    #[inline]
+    pub fn record(&self, kind: EventKind, pe: u32, run: u64, a: u64, b: u64) {
+        let f = flight();
+        if !f.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let t = f.now_ns();
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx & (self.cap - 1)) as usize];
+        // Invalidate first so a racing reader never stitches an old
+        // stamp onto new payload words.
+        slot.stamp.store(0, Ordering::Release);
+        slot.t.store(t, Ordering::Relaxed);
+        slot.kindpe
+            .store(((kind as u64) << 32) | pe as u64, Ordering::Relaxed);
+        slot.run.store(run, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(idx + 1, Ordering::Release);
+    }
+
+    /// Copy out the most recent events without disturbing writers.
+    /// Slots being concurrently rewritten fail the stamp check and
+    /// count as dropped instead of yielding garbage.
+    pub fn snapshot(&self) -> LaneSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head.saturating_sub(self.cap);
+        let mut events = Vec::with_capacity((head - lo) as usize);
+        let mut torn = 0u64;
+        for idx in lo..head {
+            let slot = &self.slots[(idx & (self.cap - 1)) as usize];
+            if slot.stamp.load(Ordering::Acquire) != idx + 1 {
+                torn += 1;
+                continue;
+            }
+            let t = slot.t.load(Ordering::Relaxed);
+            let kindpe = slot.kindpe.load(Ordering::Relaxed);
+            let run = slot.run.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            if slot.stamp.load(Ordering::Acquire) != idx + 1 {
+                torn += 1;
+                continue;
+            }
+            events.push(FlightEvent {
+                t_ns: t,
+                kind: (kindpe >> 32) as u8,
+                pe: kindpe as u32,
+                run,
+                a,
+                b,
+            });
+        }
+        LaneSnapshot {
+            name: self.name.clone(),
+            events,
+            dropped: lo + torn,
+        }
+    }
+}
+
+/// The process-wide flight recorder: a registry of lanes sharing one
+/// monotonic time anchor and one enable flag.
+pub struct Flight {
+    enabled: AtomicBool,
+    anchor: Instant,
+    cap: usize,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+}
+
+impl Flight {
+    fn from_env() -> Flight {
+        let enabled = match std::env::var("NAVP_FLIGHT") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+            Err(_) => true,
+        };
+        let cap = std::env::var("NAVP_FLIGHT_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_LANE_CAP);
+        Flight {
+            enabled: AtomicBool::new(enabled),
+            anchor: Instant::now(),
+            cap,
+            lanes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Is recording live?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording at runtime (tests, overhead measurement).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the process flight anchor.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Get or create the lane with this name. Registration takes a
+    /// mutex, so callers cache the returned `Arc` outside hot paths.
+    pub fn lane(&self, name: &str) -> Arc<Lane> {
+        let mut lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(l) = lanes.iter().find(|l| l.name == name) {
+            return Arc::clone(l);
+        }
+        let lane = Arc::new(Lane::new(name, self.cap));
+        lanes.push(Arc::clone(&lane));
+        lane
+    }
+
+    /// Snapshot every lane, in registration order.
+    pub fn snapshot_all(&self) -> Vec<LaneSnapshot> {
+        let lanes: Vec<Arc<Lane>> = {
+            let guard = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
+            guard.iter().map(Arc::clone).collect()
+        };
+        lanes.iter().map(|l| l.snapshot()).collect()
+    }
+}
+
+static FLIGHT: OnceLock<Flight> = OnceLock::new();
+
+/// The process-wide recorder. First call reads `NAVP_FLIGHT` /
+/// `NAVP_FLIGHT_CAP` and pins the time anchor.
+pub fn flight() -> &'static Flight {
+    FLIGHT.get_or_init(Flight::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests below share the process-global recorder (and its enable
+    /// flag), so anything that toggles state takes this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let lane = Lane::new("t0", 64);
+        // Bypass the global for a hermetic lane test: record directly.
+        for i in 0..10u64 {
+            let idx = lane.head.fetch_add(1, Ordering::Relaxed);
+            let slot = &lane.slots[(idx & (lane.cap - 1)) as usize];
+            slot.t.store(i * 100, Ordering::Relaxed);
+            slot.kindpe
+                .store(((EventKind::HopSend as u64) << 32) | 3, Ordering::Relaxed);
+            slot.run.store(7, Ordering::Relaxed);
+            slot.a.store(i, Ordering::Relaxed);
+            slot.b.store(i * 2, Ordering::Relaxed);
+            slot.stamp.store(idx + 1, Ordering::Release);
+        }
+        let snap = lane.snapshot();
+        assert_eq!(snap.events.len(), 10);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events[4].a, 4);
+        assert_eq!(snap.events[4].pe, 3);
+        assert_eq!(snap.events[4].run, 7);
+        assert_eq!(snap.events[4].kind, EventKind::HopSend as u8);
+    }
+
+    #[test]
+    fn wraparound_counts_overwritten_events_as_dropped() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let lane = flight().lane("wrap-test");
+        let cap = lane.cap;
+        flight().set_enabled(true);
+        for i in 0..(cap + 37) {
+            lane.record(EventKind::Signal, 0, 0, i, 0);
+        }
+        let snap = lane.snapshot();
+        assert_eq!(snap.events.len() as u64, cap);
+        assert_eq!(snap.dropped, 37);
+        // Oldest surviving event is the 38th recorded.
+        assert_eq!(snap.events[0].a, 37);
+        assert_eq!(snap.events.last().unwrap().a, cap + 36);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let lane = flight().lane("off-test");
+        let was = flight().enabled();
+        flight().set_enabled(false);
+        lane.record(EventKind::Signal, 0, 0, 1, 2);
+        flight().set_enabled(was);
+        assert_eq!(lane.snapshot().events.len(), 0);
+    }
+
+    #[test]
+    fn lanes_are_deduplicated_by_name() {
+        let a = flight().lane("dedup-test");
+        let b = flight().lane("dedup-test");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kind_bytes_round_trip() {
+        for k in [
+            EventKind::HopSend,
+            EventKind::HopRecv,
+            EventKind::Signal,
+            EventKind::CheckpointCut,
+            EventKind::FaultInjected,
+            EventKind::NetFlush,
+            EventKind::Backpressure,
+            EventKind::JobAdmit,
+            EventKind::JobStart,
+            EventKind::JobFinish,
+            EventKind::RunStart,
+            EventKind::RunEnd,
+        ] {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(EventKind::from_u8(0), None);
+        assert_eq!(EventKind::from_u8(13), None);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_garbage_kinds() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let lane = flight().lane("race-test");
+        flight().set_enabled(true);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let lane = Arc::clone(&lane);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        lane.record(EventKind::HopSend, t, 9, i, i);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let snap = lane.snapshot();
+            for ev in &snap.events {
+                assert!(EventKind::from_u8(ev.kind).is_some(), "torn slot leaked");
+                assert_eq!(ev.run, 9);
+            }
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = lane.snapshot();
+        assert_eq!(snap.events.len() as u64 + snap.dropped, 4 * 5_000);
+    }
+}

@@ -77,6 +77,20 @@ pub fn wait_terminal(
     }
 }
 
+/// Fetch the retained Chrome trace of a job submitted with the
+/// `trace` flag. Server-side misses (unknown id, no retained trace)
+/// come back as `NotFound` with the server's detail.
+pub fn fetch_trace(addr: &str, id: u64) -> io::Result<String> {
+    match rpc(addr, &Request::Trace { id })? {
+        Response::Trace {
+            id: got,
+            chrome_json,
+        } if got == id => Ok(chrome_json),
+        Response::Error { detail } => Err(io::Error::new(io::ErrorKind::NotFound, detail)),
+        other => Err(unexpected(other)),
+    }
+}
+
 fn unexpected(resp: Response) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,

@@ -9,7 +9,9 @@
 
 use crate::proto::{JobOutcome, JobSpec};
 use crate::sched::{JobFailure, RunnerFn};
+use crate::traces::TraceStore;
 use navp::durable::fnv1a;
+use navp_trace::ChromeTrace;
 use navp_matrix::{Grid2D, Matrix};
 use navp_mm::config::{MmConfig, Payload};
 use navp_mm::runner::{
@@ -32,6 +34,10 @@ pub struct MeshOpts {
     pub durable_dir: Option<PathBuf>,
     /// No-progress watchdog applied to every run.
     pub watchdog: Option<Duration>,
+    /// Where runners park rendered per-job Chrome traces for jobs
+    /// submitted with [`JobSpec::trace`]; `None` disables retention
+    /// (the flag is then accepted but ignored).
+    pub traces: Option<Arc<TraceStore>>,
 }
 
 /// Parse a CLI/wire stage name (`dsc1d`, `pipe1d`, `phase1d`,
@@ -83,7 +89,7 @@ pub fn gemm_runner(mesh: MeshOpts) -> Arc<RunnerFn> {
                 seed_b: spec.seed_b,
             },
             watchdog: None,
-            trace: false,
+            trace: spec.trace && mesh.traces.is_some(),
             metrics: false,
         };
         if let Some(wd) = mesh.watchdog {
@@ -107,11 +113,18 @@ pub fn gemm_runner(mesh: MeshOpts) -> Arc<RunnerFn> {
             run_navp_net_faulted(stage, &cfg, grid, &opts, plan)
         };
         match out {
-            Ok(out) => Ok(JobOutcome {
-                checksum: out.c.as_ref().map(product_checksum).unwrap_or(0),
-                verified: out.verified.unwrap_or(false),
-                wall_ms: out.wall.map(|w| w.as_millis() as u64).unwrap_or(0),
-            }),
+            Ok(out) => {
+                if let (Some(store), Some(trace)) = (&mesh.traces, &out.trace) {
+                    if cfg.trace {
+                        store.put(id, trace.to_chrome_json());
+                    }
+                }
+                Ok(JobOutcome {
+                    checksum: out.c.as_ref().map(product_checksum).unwrap_or(0),
+                    verified: out.verified.unwrap_or(false),
+                    wall_ms: out.wall.map(|w| w.as_millis() as u64).unwrap_or(0),
+                })
+            }
             Err(RunnerError::Navp(navp::RunError::DeadlineExceeded { limit_ms })) => {
                 Err(JobFailure {
                     timed_out: true,

@@ -15,6 +15,7 @@ use crate::sched::{JobFailure, RunnerFn};
 use navp_kv::{run_kv_net, run_kv_net_faulted, KvConfig, KvError, KvStage};
 use navp_metrics::{Counter, MetricsRegistry};
 use navp_mm::runner::NetOpts;
+use navp_trace::ChromeTrace;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,6 +24,9 @@ use std::time::Duration;
 /// as [`crate::ServeMetrics`] so one `/metrics` scrape shows the
 /// scheduler and both workloads side by side.
 pub struct KvMetrics {
+    /// The registry the instruments live on, kept so per-run labeled
+    /// series can be derived at job completion.
+    registry: Arc<MetricsRegistry>,
     /// `navp_kv_jobs_total` — kv jobs that completed successfully.
     pub jobs: Arc<Counter>,
     /// `navp_kv_ops_total` — get/put/scan/delete operations executed.
@@ -37,6 +41,7 @@ impl KvMetrics {
     /// Register the kv instruments on `registry`.
     pub fn on_registry(registry: &Arc<MetricsRegistry>) -> Arc<KvMetrics> {
         Arc::new(KvMetrics {
+            registry: Arc::clone(registry),
             jobs: registry.counter(
                 "navp_kv_jobs_total",
                 "Completed kv jobs",
@@ -58,6 +63,35 @@ impl KvMetrics {
                 &[],
             ),
         })
+    }
+
+    /// Record one completed kv run: bump the service-wide aggregates
+    /// and the per-job `navp_kv_run_*{run="<id>"}` series, so a
+    /// scrape attributes the work to the tenant that caused it.
+    pub fn record_run(&self, run: u64, ops: u64, scanned: u64, compactions: u64) {
+        self.jobs.inc();
+        self.ops.add(ops);
+        self.scanned.add(scanned);
+        self.compactions.add(compactions);
+        let run = run.to_string();
+        let labels: &[(&str, &str)] = &[("run", &run)];
+        self.registry
+            .counter("navp_kv_run_ops_total", "Operations, by run (= job id)", labels)
+            .add(ops);
+        self.registry
+            .counter(
+                "navp_kv_run_scanned_total",
+                "Scan results returned, by run (= job id)",
+                labels,
+            )
+            .add(scanned);
+        self.registry
+            .counter(
+                "navp_kv_run_compactions_total",
+                "Compactions performed, by run (= job id)",
+                labels,
+            )
+            .add(compactions);
     }
 }
 
@@ -99,6 +133,7 @@ fn kv_shape(spec: &JobSpec) -> Result<(KvStage, KvConfig, usize), JobFailure> {
 pub fn kv_runner(mesh: MeshOpts, metrics: Option<Arc<KvMetrics>>) -> Arc<RunnerFn> {
     Arc::new(move |spec: &JobSpec, id: u64| {
         let (stage, mut cfg, pes) = kv_shape(spec)?;
+        cfg = cfg.with_trace(spec.trace && mesh.traces.is_some());
         if let Some(wd) = mesh.watchdog {
             cfg = cfg.with_watchdog(wd);
         }
@@ -122,10 +157,12 @@ pub fn kv_runner(mesh: MeshOpts, metrics: Option<Arc<KvMetrics>>) -> Arc<RunnerF
         match out {
             Ok(out) => {
                 if let Some(m) = &metrics {
-                    m.jobs.inc();
-                    m.ops.add(out.stats.ops);
-                    m.scanned.add(out.stats.scanned);
-                    m.compactions.add(out.stats.compactions);
+                    m.record_run(id, out.stats.ops, out.stats.scanned, out.stats.compactions);
+                }
+                if let (Some(store), Some(trace)) = (&mesh.traces, &out.trace) {
+                    if cfg.trace {
+                        store.put(id, trace.to_chrome_json());
+                    }
                 }
                 Ok(JobOutcome {
                     checksum: out.product.checksum(),
@@ -245,18 +282,24 @@ mod tests {
     fn kv_metrics_register_on_a_shared_registry() {
         let registry = Arc::new(MetricsRegistry::new());
         let m = KvMetrics::on_registry(&registry);
-        m.jobs.inc();
-        m.ops.add(96);
-        m.scanned.add(7);
-        m.compactions.add(2);
+        m.record_run(7, 96, 7, 2);
+        m.record_run(9, 4, 0, 1);
         let text = registry.render();
         for name in [
-            "navp_kv_jobs_total 1",
-            "navp_kv_ops_total 96",
+            // Aggregates accumulate across runs…
+            "navp_kv_jobs_total 2",
+            "navp_kv_ops_total 100",
             "navp_kv_scanned_total 7",
-            "navp_kv_compactions_total 2",
+            "navp_kv_compactions_total 3",
+            // …and each run keeps its own attributed series.
+            "navp_kv_run_ops_total{run=\"7\"} 96",
+            "navp_kv_run_ops_total{run=\"9\"} 4",
+            "navp_kv_run_scanned_total{run=\"7\"} 7",
+            "navp_kv_run_compactions_total{run=\"9\"} 1",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+        navp_metrics::validate_prometheus(&registry.render())
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}"));
     }
 }

@@ -41,8 +41,9 @@ pub mod metrics;
 pub mod proto;
 pub mod sched;
 pub mod server;
+pub mod traces;
 
-pub use client::{rpc, submit, wait_terminal, Client};
+pub use client::{fetch_trace, rpc, submit, wait_terminal, Client};
 pub use gemm::{gemm_runner, parse_stage, product_checksum, MeshOpts};
 pub use journal::{Journal, JournalEntry};
 pub use kv::{job_runner, kv_runner, KvMetrics};
@@ -50,3 +51,4 @@ pub use metrics::ServeMetrics;
 pub use proto::{JobInfo, JobKind, JobOutcome, JobSpec, JobState, RejectReason, Request, Response};
 pub use sched::{JobFailure, RunnerFn, SchedConfig, Scheduler};
 pub use server::{serve, Server, ServerConfig};
+pub use traces::{TraceStore, DEFAULT_TRACE_KEEP};

@@ -5,8 +5,20 @@
 //! `navp-serve --metrics-addr` serves the owning registry on
 //! `GET /metrics` next to the PE daemons' own endpoints.
 
+use crate::proto::{JobKind, JobState};
 use navp_metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::Arc;
+
+/// Terminal states in `navp_serve_jobs_total{state=…}` label order.
+const TERMINAL_STATES: [(JobState, &str); 4] = [
+    (JobState::Done, "done"),
+    (JobState::Failed, "failed"),
+    (JobState::TimedOut, "timeout"),
+    (JobState::Cancelled, "cancelled"),
+];
+
+/// Workload kinds in `navp_serve_jobs_total{kind=…}` label order.
+const KINDS: [(JobKind, &str); 2] = [(JobKind::Gemm, "gemm"), (JobKind::Kv, "kv")];
 
 /// Handles to the service's instruments, all registered on one
 /// [`MetricsRegistry`] (held here so the HTTP endpoint can render it).
@@ -21,29 +33,29 @@ pub struct ServeMetrics {
     pub rejects_full: Arc<Counter>,
     /// `navp_serve_admission_rejects_total{reason="draining"}`.
     pub rejects_draining: Arc<Counter>,
-    /// `navp_serve_jobs_total{state=…}` — one counter per terminal
-    /// state, in [`crate::proto::JobState`] name order
-    /// (done, failed, timeout, cancelled).
-    pub jobs_done: Arc<Counter>,
-    /// Jobs that ended `failed`.
-    pub jobs_failed: Arc<Counter>,
-    /// Jobs that ended `timeout`.
-    pub jobs_timeout: Arc<Counter>,
-    /// Jobs that ended `cancelled`.
-    pub jobs_cancelled: Arc<Counter>,
+    /// `navp_serve_jobs_total{state=…,kind=…}` — one counter per
+    /// terminal state × workload kind, pre-created so the full matrix
+    /// renders from the first scrape (see [`TERMINAL_STATES`] and
+    /// [`KINDS`] for label order).
+    jobs: [[Arc<Counter>; 2]; 4],
     /// `navp_serve_job_latency_ms` — submit-to-terminal latency.
     pub latency_ms: Arc<Histogram>,
+    /// `navp_serve_queue_age_ms` — time spent queued before a worker
+    /// claimed the job (observed at claim, not at terminal).
+    pub queue_age_ms: Arc<Histogram>,
 }
 
 impl ServeMetrics {
     /// Register the service instruments on `registry`.
     pub fn on_registry(registry: Arc<MetricsRegistry>) -> Arc<ServeMetrics> {
-        let jobs = |state: &'static str| {
-            registry.counter(
-                "navp_serve_jobs_total",
-                "Jobs finished, by terminal state",
-                &[("state", state)],
-            )
+        let jobs_row = |state: &'static str| {
+            KINDS.map(|(_, kind)| {
+                registry.counter(
+                    "navp_serve_jobs_total",
+                    "Jobs finished, by terminal state and workload kind",
+                    &[("state", state), ("kind", kind)],
+                )
+            })
         };
         let rejects = |reason: &'static str| {
             registry.counter(
@@ -65,13 +77,15 @@ impl ServeMetrics {
             ),
             rejects_full: rejects("queue_full"),
             rejects_draining: rejects("draining"),
-            jobs_done: jobs("done"),
-            jobs_failed: jobs("failed"),
-            jobs_timeout: jobs("timeout"),
-            jobs_cancelled: jobs("cancelled"),
+            jobs: TERMINAL_STATES.map(|(_, state)| jobs_row(state)),
             latency_ms: registry.histogram(
                 "navp_serve_job_latency_ms",
                 "Submit-to-terminal job latency, milliseconds",
+                &[],
+            ),
+            queue_age_ms: registry.histogram(
+                "navp_serve_queue_age_ms",
+                "Queued-to-claimed job age, milliseconds",
                 &[],
             ),
             registry,
@@ -83,23 +97,60 @@ impl ServeMetrics {
         ServeMetrics::on_registry(Arc::new(MetricsRegistry::new()))
     }
 
+    /// The `navp_serve_jobs_total` counter for one terminal
+    /// `state` × `kind` cell. Panics on non-terminal states — those
+    /// are scheduler bugs, not label values.
+    pub fn jobs_total(&self, state: JobState, kind: JobKind) -> &Counter {
+        let row = TERMINAL_STATES
+            .iter()
+            .position(|(s, _)| *s == state)
+            .unwrap_or_else(|| panic!("non-terminal state {state:?} has no jobs_total cell"));
+        let col = KINDS.iter().position(|(k, _)| *k == kind).unwrap();
+        &self.jobs[row][col]
+    }
+
+    /// Record a finished run's mesh wall-clock as
+    /// `navp_serve_job_wall_ms{run="<id>"}`, attributing time-on-mesh
+    /// to the tenant that used it.
+    pub fn observe_job_wall(&self, run: u64, wall_ms: u64) {
+        let run = run.to_string();
+        self.registry
+            .gauge(
+                "navp_serve_job_wall_ms",
+                "Mesh wall-clock of a finished run, by run (= job id)",
+                &[("run", &run)],
+            )
+            .set(wall_ms as i64);
+    }
+
+    /// Total jobs that ended in `state`, summed across kinds.
+    pub fn jobs_in_state(&self, state: JobState) -> u64 {
+        KINDS
+            .iter()
+            .map(|(k, _)| self.jobs_total(state, *k).get())
+            .sum()
+    }
+
     /// One-line health JSON for `GET /healthz`: queue depth, in-flight
-    /// count and the latency histogram's p50/p99 estimates.
+    /// count, and p50/p99 estimates for both the submit-to-terminal
+    /// latency and the queued-to-claimed age histograms.
     pub fn health_json(&self) -> String {
-        let q = |p: f64| {
-            self.latency_ms
-                .quantile(p)
+        let q = |h: &Histogram, p: f64| {
+            h.quantile(p)
                 .map(|v| format!("{v:.1}"))
                 .unwrap_or_else(|| "null".into())
         };
         format!(
             "{{\"role\":\"navp-serve\",\"queue_depth\":{},\"inflight\":{},\
-             \"jobs_done\":{},\"latency_p50_ms\":{},\"latency_p99_ms\":{}}}",
+             \"jobs_done\":{},\"latency_p50_ms\":{},\"latency_p99_ms\":{},\
+             \"queue_age_p50_ms\":{},\"queue_age_p99_ms\":{}}}",
             self.queue_depth.get(),
             self.inflight.get(),
-            self.jobs_done.get(),
-            q(0.50),
-            q(0.99),
+            self.jobs_in_state(JobState::Done),
+            q(&self.latency_ms, 0.50),
+            q(&self.latency_ms, 0.99),
+            q(&self.queue_age_ms, 0.50),
+            q(&self.queue_age_ms, 0.99),
         )
     }
 }
@@ -115,8 +166,10 @@ mod tests {
         m.queue_depth.set(3);
         m.inflight.set(2);
         m.rejects_full.inc();
-        m.jobs_done.add(5);
+        m.jobs_total(JobState::Done, JobKind::Gemm).add(5);
+        m.jobs_total(JobState::Done, JobKind::Kv).add(2);
         m.latency_ms.observe(120);
+        m.queue_age_ms.observe(15);
         let text = m.registry.render();
         validate_prometheus(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
         assert!(text.contains("navp_serve_queue_depth 3"), "{text}");
@@ -125,7 +178,22 @@ mod tests {
             text.contains("navp_serve_admission_rejects_total{reason=\"queue_full\"} 1"),
             "{text}"
         );
+        assert!(
+            text.contains("navp_serve_jobs_total{state=\"done\",kind=\"gemm\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("navp_serve_jobs_total{state=\"done\",kind=\"kv\"} 2"),
+            "{text}"
+        );
+        // The full state × kind matrix is pre-created: untouched cells
+        // still render as zeros so dashboards never see gaps.
+        assert!(
+            text.contains("navp_serve_jobs_total{state=\"timeout\",kind=\"kv\"} 0"),
+            "{text}"
+        );
         assert!(text.contains("navp_serve_job_latency_ms"), "{text}");
+        assert!(text.contains("navp_serve_queue_age_ms"), "{text}");
     }
 
     #[test]
@@ -133,11 +201,22 @@ mod tests {
         let m = ServeMetrics::new();
         let empty = m.health_json();
         assert!(empty.contains("\"latency_p50_ms\":null"), "{empty}");
+        assert!(empty.contains("\"queue_age_p50_ms\":null"), "{empty}");
         for v in [10, 20, 40, 80, 1000] {
             m.latency_ms.observe(v);
+            m.queue_age_ms.observe(v / 2);
         }
         let h = m.health_json();
         assert!(h.contains("\"role\":\"navp-serve\""), "{h}");
         assert!(!h.contains("null"), "quantiles present after data: {h}");
+    }
+
+    #[test]
+    fn jobs_in_state_sums_across_kinds() {
+        let m = ServeMetrics::new();
+        m.jobs_total(JobState::Failed, JobKind::Gemm).inc();
+        m.jobs_total(JobState::Failed, JobKind::Kv).add(3);
+        assert_eq!(m.jobs_in_state(JobState::Failed), 4);
+        assert_eq!(m.jobs_in_state(JobState::Done), 0);
     }
 }

@@ -11,8 +11,14 @@ use navp_net::codec::{DecodeError, WireReader, WireWriter};
 use std::io::{Read, Write};
 
 /// Hard cap on one protocol message. Requests and responses carry
-/// specs and summaries, never matrix data, so 1 MiB is generous.
-pub const MAX_MSG: usize = 1 << 20;
+/// specs, summaries and (for `Trace`) rendered Chrome trace JSON —
+/// never matrix data — so 8 MiB is generous even for a large mesh's
+/// per-job timeline.
+pub const MAX_MSG: usize = 8 << 20;
+
+/// `JobSpec` trailing-flags bit: record and retain a per-job Chrome
+/// trace the client can fetch with [`Request::Trace`].
+const FLAG_TRACE: u8 = 1;
 
 /// Which workload family a job runs. The service multiplexes all of
 /// them onto the same PE mesh; the runner dispatches on this.
@@ -97,6 +103,15 @@ pub struct JobSpec {
     /// Optional `navpfault` spec ([`navp::FaultPlan::parse_spec`])
     /// injected into the run; empty = no faults.
     pub fault_spec: String,
+    /// Ask the server to record this run's event trace and keep the
+    /// rendered Chrome JSON for a later [`Request::Trace`] fetch.
+    ///
+    /// Wire compatibility: encoded as a trailing flags byte
+    /// ([`FLAG_TRACE`]) only when set — and when set, the kind byte is
+    /// always written first so field positions stay unambiguous. Old
+    /// servers never see the flag from old clients, and specs without
+    /// it are byte-identical to the pre-flag format.
+    pub trace: bool,
 }
 
 impl JobSpec {
@@ -114,6 +129,7 @@ impl JobSpec {
             priority: 0,
             timeout_ms: 0,
             fault_spec: String::new(),
+            trace: false,
         }
     }
 
@@ -132,26 +148,44 @@ impl JobSpec {
             priority: 0,
             timeout_ms: 0,
             fault_spec: String::new(),
+            trace: false,
         }
     }
 
     /// Encode. Only valid as the *final* element of a message: the
-    /// kind byte, when present, is a trailing field (see
-    /// [`JobSpec::kind`]). Embedders that append more fields after the
-    /// spec (e.g. the job journal) must frame the kind explicitly.
+    /// kind and flags bytes, when present, are trailing fields (see
+    /// [`JobSpec::kind`] and [`JobSpec::trace`]). Embedders that
+    /// append more fields after the spec (e.g. the job journal) must
+    /// frame the kind explicitly.
     pub(crate) fn put(&self, w: &mut WireWriter) {
         self.put_base(w);
-        if self.kind != JobKind::Gemm {
+        if self.kind != JobKind::Gemm || self.trace {
             w.put_u8(self.kind.to_wire());
+        }
+        if self.trace {
+            w.put_u8(FLAG_TRACE);
         }
     }
 
     /// Decode; the dual of [`JobSpec::put`], so it consumes a trailing
-    /// kind byte iff one remains in the buffer.
+    /// kind byte and then a flags byte iff they remain in the buffer.
+    /// Redundant trailers a canonical encoder never writes (a bare
+    /// GEMM kind byte with no flags, or an all-zero flags byte) are
+    /// rejected, keeping decode(encode(x)) the *only* byte form of x.
     pub(crate) fn get(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
         let mut spec = JobSpec::get_base(r)?;
         if r.remaining() > 0 {
             spec.kind = JobKind::from_wire(r.get_u8()?)?;
+            if spec.kind == JobKind::Gemm && r.remaining() == 0 {
+                return Err(DecodeError::BadValue("redundant gemm kind byte"));
+            }
+        }
+        if r.remaining() > 0 {
+            let flags = r.get_u8()?;
+            if flags & !FLAG_TRACE != 0 || flags == 0 {
+                return Err(DecodeError::BadValue("job flags"));
+            }
+            spec.trace = flags & FLAG_TRACE != 0;
         }
         Ok(spec)
     }
@@ -172,10 +206,12 @@ impl JobSpec {
         w.put_str(&self.fault_spec);
     }
 
-    /// Decode the ten pre-kind fields; `kind` comes back as `Gemm`.
+    /// Decode the ten pre-kind fields; `kind` comes back as `Gemm`
+    /// and `trace` as `false`.
     pub(crate) fn get_base(r: &mut WireReader) -> Result<JobSpec, DecodeError> {
         Ok(JobSpec {
             kind: JobKind::Gemm,
+            trace: false,
             stage: r.get_str()?,
             n: r.get_u32()?,
             ab: r.get_u32()?,
@@ -225,7 +261,7 @@ impl JobState {
         }
     }
 
-    fn to_u8(self) -> u8 {
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             JobState::Queued => 0,
             JobState::Running => 1,
@@ -374,6 +410,13 @@ pub enum Request {
     },
     /// List every job the server knows; answered by `Jobs`.
     List,
+    /// Fetch the retained Chrome trace of a job submitted with
+    /// `trace`; answered by `Trace` or `Error` (unknown id, job not
+    /// finished yet, or no trace was requested/retained).
+    Trace {
+        /// Which job.
+        id: u64,
+    },
 }
 
 const Q_SUBMIT: u8 = 1;
@@ -381,6 +424,7 @@ const Q_STATUS: u8 = 2;
 const Q_RESULT: u8 = 3;
 const Q_CANCEL: u8 = 4;
 const Q_LIST: u8 = 5;
+const Q_TRACE: u8 = 6;
 
 impl Request {
     /// Encode to a message body (no length prefix).
@@ -404,6 +448,10 @@ impl Request {
                 w.put_u64(*id);
             }
             Request::List => w.put_u8(Q_LIST),
+            Request::Trace { id } => {
+                w.put_u8(Q_TRACE);
+                w.put_u64(*id);
+            }
         }
         w.into_vec()
     }
@@ -419,6 +467,7 @@ impl Request {
             Q_RESULT => Request::Result { id: r.get_u64()? },
             Q_CANCEL => Request::Cancel { id: r.get_u64()? },
             Q_LIST => Request::List,
+            Q_TRACE => Request::Trace { id: r.get_u64()? },
             k => return Err(DecodeError::UnknownTag(format!("request kind {k}"))),
         };
         if r.remaining() != 0 {
@@ -470,6 +519,13 @@ pub enum Response {
         /// Human-readable reason.
         detail: String,
     },
+    /// A retained per-job Chrome trace, ready to open in Perfetto.
+    Trace {
+        /// The job id echoed back.
+        id: u64,
+        /// The rendered Chrome trace JSON for exactly this job's run.
+        chrome_json: String,
+    },
 }
 
 const R_SUBMITTED: u8 = 1;
@@ -479,6 +535,7 @@ const R_OUTCOME: u8 = 4;
 const R_CANCELLED: u8 = 5;
 const R_JOBS: u8 = 6;
 const R_ERROR: u8 = 7;
+const R_TRACE: u8 = 8;
 
 impl Response {
     /// Encode to a message body (no length prefix).
@@ -530,6 +587,11 @@ impl Response {
                 w.put_u8(R_ERROR);
                 w.put_str(detail);
             }
+            Response::Trace { id, chrome_json } => {
+                w.put_u8(R_TRACE);
+                w.put_u64(*id);
+                w.put_str(chrome_json);
+            }
         }
         w.into_vec()
     }
@@ -578,6 +640,10 @@ impl Response {
             }
             R_ERROR => Response::Error {
                 detail: r.get_str()?,
+            },
+            R_TRACE => Response::Trace {
+                id: r.get_u64()?,
+                chrome_json: r.get_str()?,
             },
             k => return Err(DecodeError::UnknownTag(format!("response kind {k}"))),
         };
@@ -639,6 +705,19 @@ mod tests {
             Request::Result { id: u64::MAX },
             Request::Cancel { id: 0 },
             Request::List,
+            Request::Trace { id: 12 },
+            Request::Submit {
+                spec: JobSpec {
+                    trace: true,
+                    ..JobSpec::example()
+                },
+            },
+            Request::Submit {
+                spec: JobSpec {
+                    trace: true,
+                    ..JobSpec::example_kv()
+                },
+            },
         ];
         for req in reqs {
             let body = req.encode();
@@ -677,6 +756,10 @@ mod tests {
             },
             Response::Error {
                 detail: "no such job".into(),
+            },
+            Response::Trace {
+                id: 12,
+                chrome_json: "{\"traceEvents\":[]}".into(),
             },
         ];
         for resp in resps {
@@ -745,6 +828,46 @@ mod tests {
         body.extend_from_slice(&old_format(&JobSpec::example()));
         body.push(7); // not a JobKind
         assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn traced_gemm_specs_write_the_kind_byte_before_the_flags() {
+        // trace=true on a GEMM spec must still emit the kind byte so
+        // the flags byte cannot be mistaken for a kind.
+        let spec = JobSpec {
+            trace: true,
+            ..JobSpec::example()
+        };
+        let mut w = WireWriter::new();
+        spec.put(&mut w);
+        let bytes = w.into_vec();
+        let mut expect = old_format(&spec);
+        expect.push(JobKind::Gemm.to_wire());
+        expect.push(FLAG_TRACE);
+        assert_eq!(bytes, expect);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(JobSpec::get(&mut r).unwrap(), spec);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let mut body = vec![Q_SUBMIT];
+        body.extend_from_slice(&old_format(&JobSpec::example()));
+        body.push(JobKind::Gemm.to_wire());
+        body.push(FLAG_TRACE | 2); // bit 1 is not assigned
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn untraced_specs_never_grow_a_flags_byte() {
+        // The flags byte must stay opt-in: a kv spec without trace is
+        // byte-identical to the pre-flag kv encoding.
+        let spec = JobSpec::example_kv();
+        let mut w = WireWriter::new();
+        spec.put(&mut w);
+        let mut expect = old_format(&spec);
+        expect.push(JobKind::Kv.to_wire());
+        assert_eq!(w.into_vec(), expect);
     }
 
     #[test]

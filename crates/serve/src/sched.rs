@@ -15,6 +15,7 @@
 use crate::journal::{Journal, JournalEntry};
 use crate::metrics::ServeMetrics;
 use crate::proto::{JobInfo, JobOutcome, JobSpec, JobState, RejectReason};
+use navp_obs::{EventKind as ObsKind, Lane as ObsLane};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -89,6 +90,9 @@ struct Inner {
     /// When set, every terminal transition is appended here, and the
     /// journal's restored entries seeded the job table at start.
     journal: Option<Mutex<Journal>>,
+    /// Flight-recorder lane for scheduler decisions (`JobAdmit`,
+    /// `JobStart`, `JobFinish`), keyed by run = job id.
+    flight: Arc<ObsLane>,
 }
 
 impl Inner {
@@ -197,6 +201,7 @@ impl Scheduler {
             runner,
             on_finish,
             journal,
+            flight: navp_obs::flight().lane("sched"),
         });
         let workers = (0..cfg.max_inflight.max(1))
             .map(|i| {
@@ -235,6 +240,7 @@ impl Scheduler {
         }
         let id = st.next_id;
         st.next_id += 1;
+        let (priority, kind) = (spec.priority, spec.kind);
         let info = JobInfo {
             id,
             state: JobState::Queued,
@@ -255,6 +261,9 @@ impl Scheduler {
         st.queue.push(id);
         st.order.push(id);
         m.queue_depth.set(st.queue.len() as i64);
+        self.inner
+            .flight
+            .record(ObsKind::JobAdmit, 0, id, priority as u64, kind.to_wire() as u64);
         self.inner.cv.notify_one();
         Ok(id)
     }
@@ -281,15 +290,19 @@ impl Scheduler {
             if job.info.state != JobState::Queued {
                 return Some(false);
             }
+            let kind = job.spec.kind;
             st.queue.retain(|&q| q != id);
             let now = self.inner.epoch.elapsed().as_millis() as u64;
             let m = &self.inner.metrics;
             m.queue_depth.set(st.queue.len() as i64);
-            m.jobs_cancelled.inc();
+            m.jobs_total(JobState::Cancelled, kind).inc();
             let job = st.jobs.get_mut(&id).expect("checked above");
             job.info.state = JobState::Cancelled;
             job.info.finished_ms = now;
             m.latency_ms.observe(now.saturating_sub(job.info.queued_ms));
+            self.inner
+                .flight
+                .record(ObsKind::JobFinish, 0, id, JobState::Cancelled.to_u8() as u64, 0);
             self.inner.cv.notify_all();
             (
                 live_set(&st),
@@ -413,6 +426,9 @@ fn worker(inner: Arc<Inner>) {
             let job = st.jobs.get_mut(&id).expect("queued id is in the table");
             job.info.state = JobState::Running;
             job.info.started_ms = now;
+            let age = now.saturating_sub(job.info.queued_ms);
+            m.queue_age_ms.observe(age);
+            inner.flight.record(ObsKind::JobStart, 0, id, age, 0);
             (id, job.spec.clone())
         };
 
@@ -432,20 +448,26 @@ fn worker(inner: Arc<Inner>) {
             match res {
                 Ok(outcome) => {
                     job.info.state = JobState::Done;
+                    m.observe_job_wall(id, outcome.wall_ms);
                     job.outcome = Some(outcome);
-                    m.jobs_done.inc();
                 }
                 Err(fail) => {
                     job.info.state = if fail.timed_out {
-                        m.jobs_timeout.inc();
                         JobState::TimedOut
                     } else {
-                        m.jobs_failed.inc();
                         JobState::Failed
                     };
                     job.info.detail = fail.detail;
                 }
             }
+            m.jobs_total(job.info.state, spec.kind).inc();
+            inner.flight.record(
+                ObsKind::JobFinish,
+                0,
+                id,
+                job.info.state.to_u8() as u64,
+                now.saturating_sub(job.info.started_ms),
+            );
             inner.cv.notify_all();
             (live_set(&st), journal_entry(inner.journal.is_some(), &st, id))
         };
@@ -607,8 +629,8 @@ mod tests {
         assert!(slow_out.is_none());
         assert_eq!(slow_info.detail, "boom");
         assert_eq!(s.status(bad).unwrap().state, JobState::Failed);
-        assert_eq!(metrics.jobs_timeout.get(), 1);
-        assert_eq!(metrics.jobs_failed.get(), 1);
+        assert_eq!(metrics.jobs_in_state(JobState::TimedOut), 1);
+        assert_eq!(metrics.jobs_in_state(JobState::Failed), 1);
         s.shutdown();
     }
 

@@ -16,6 +16,7 @@
 use crate::metrics::ServeMetrics;
 use crate::proto::{read_msg, write_msg, Request, Response};
 use crate::sched::{RunnerFn, SchedConfig, Scheduler};
+use crate::traces::TraceStore;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -40,6 +41,11 @@ pub struct ServerConfig {
     /// durable service remembers finished jobs across restarts with no
     /// extra flag; with neither, no journal is kept.
     pub journal: Option<PathBuf>,
+    /// Retained per-job Chrome traces, shared with the runner (thread
+    /// the *same* [`TraceStore`] into [`crate::gemm::MeshOpts`]) so
+    /// `Request::Trace` can serve what the runners recorded. `None`
+    /// answers every trace fetch with an error.
+    pub traces: Option<Arc<TraceStore>>,
 }
 
 /// A running service instance.
@@ -103,9 +109,10 @@ pub fn serve(
     let accept = {
         let sched = Arc::clone(&sched);
         let stop = Arc::clone(&stop);
+        let traces = cfg.traces.clone();
         std::thread::Builder::new()
             .name("navp-serve-accept".into())
-            .spawn(move || accept_loop(listener, sched, stop))
+            .spawn(move || accept_loop(listener, sched, traces, stop))
             .expect("spawn accept loop")
     };
     Ok(Server {
@@ -116,15 +123,21 @@ pub fn serve(
     })
 }
 
-fn accept_loop(listener: TcpListener, sched: Arc<Scheduler>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    sched: Arc<Scheduler>,
+    traces: Option<Arc<TraceStore>>,
+    stop: Arc<AtomicBool>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let sched = Arc::clone(&sched);
+                let traces = traces.clone();
                 let _ = std::thread::Builder::new()
                     .name("navp-serve-client".into())
                     .spawn(move || {
-                        if let Err(e) = handle_client(stream, &sched) {
+                        if let Err(e) = handle_client(stream, &sched, traces.as_deref()) {
                             // Disconnects are normal; anything else is
                             // worth a line.
                             if e.kind() != io::ErrorKind::UnexpectedEof {
@@ -146,7 +159,11 @@ fn accept_loop(listener: TcpListener, sched: Arc<Scheduler>, stop: Arc<AtomicBoo
 
 /// Serve one client: length-prefixed requests answered in order until
 /// the peer closes the connection.
-fn handle_client(mut stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
+fn handle_client(
+    mut stream: TcpStream,
+    sched: &Scheduler,
+    traces: Option<&TraceStore>,
+) -> io::Result<()> {
     navp_net::cluster::tune_socket(&stream);
     loop {
         let body = match read_msg(&mut stream) {
@@ -156,7 +173,7 @@ fn handle_client(mut stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
             Err(e) => return Err(e),
         };
         let resp = match Request::decode(&body) {
-            Ok(req) => dispatch(sched, req),
+            Ok(req) => dispatch(sched, traces, req),
             Err(e) => Response::Error {
                 detail: format!("bad request: {e}"),
             },
@@ -165,7 +182,7 @@ fn handle_client(mut stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
     }
 }
 
-fn dispatch(sched: &Scheduler, req: Request) -> Response {
+fn dispatch(sched: &Scheduler, traces: Option<&TraceStore>, req: Request) -> Response {
     match req {
         Request::Submit { spec } => match sched.submit(spec) {
             Ok(id) => Response::Submitted { id },
@@ -190,6 +207,31 @@ fn dispatch(sched: &Scheduler, req: Request) -> Response {
             },
         },
         Request::List => Response::Jobs { jobs: sched.list() },
+        Request::Trace { id } => {
+            let Some(info) = sched.status(id) else {
+                return Response::Error {
+                    detail: format!("no such job {id}"),
+                };
+            };
+            let Some(traces) = traces else {
+                return Response::Error {
+                    detail: "trace retention is not enabled on this server".into(),
+                };
+            };
+            match traces.get(id) {
+                Some(chrome_json) => Response::Trace { id, chrome_json },
+                None => Response::Error {
+                    detail: if info.state.is_terminal() {
+                        format!(
+                            "job {id} has no retained trace (submit with --trace, \
+                             and fetch before it is evicted)"
+                        )
+                    } else {
+                        format!("job {id} is {}; its trace lands when the run finishes", info.state.name())
+                    },
+                },
+            }
+        }
     }
 }
 
@@ -344,6 +386,59 @@ mod tests {
     }
 
     #[test]
+    fn trace_fetch_serves_exactly_the_requested_jobs_trace() {
+        let traces = Arc::new(TraceStore::default());
+        let store = Arc::clone(&traces);
+        let runner: Arc<RunnerFn> = Arc::new(move |spec, id| {
+            // Stand-in for the mesh runners: park a per-job trace when
+            // (and only when) the spec asked for one.
+            if spec.trace {
+                store.put(id, format!("{{\"traceEvents\":[],\"job\":{id}}}"));
+            }
+            Ok(JobOutcome {
+                checksum: id,
+                verified: true,
+                wall_ms: 1,
+            })
+        });
+        let server = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                traces: Some(traces),
+                ..ServerConfig::default()
+            },
+            ServeMetrics::new(),
+            runner,
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let traced = client::submit(
+            &addr,
+            JobSpec {
+                trace: true,
+                ..JobSpec::example()
+            },
+        )
+        .expect("io")
+        .expect("admitted");
+        let plain = client::submit(&addr, JobSpec::example())
+            .expect("io")
+            .expect("admitted");
+        for id in [traced, plain] {
+            client::wait_terminal(&addr, id, T).expect("terminal");
+        }
+        let json = client::fetch_trace(&addr, traced).expect("trace");
+        assert!(json.contains(&format!("\"job\":{traced}")), "{json}");
+        // Untraced jobs and unknown ids both miss cleanly.
+        let err = client::fetch_trace(&addr, plain).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("no retained trace"), "{err}");
+        let err = client::fetch_trace(&addr, 999).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        server.shutdown();
+    }
+
+    #[test]
     fn restarted_server_remembers_finished_jobs() {
         let dir = std::env::temp_dir().join(format!(
             "navp-serve-journal-{}-{:x}",
@@ -444,6 +539,7 @@ mod tests {
                 durable_dir: Some(base.clone()),
                 durable_keep: Some(1),
                 journal: None,
+                traces: None,
             },
             ServeMetrics::new(),
             runner,

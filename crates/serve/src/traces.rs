@@ -1,0 +1,110 @@
+//! Retained per-job Chrome traces.
+//!
+//! A tenant that submits with the `trace` flag gets its run recorded
+//! on the mesh driver; the runner renders the merged timeline to
+//! Chrome trace JSON and parks it here, keyed by job id, so a later
+//! [`crate::proto::Request::Trace`] can fetch *exactly that job's*
+//! timeline from the live service — no shared files, no mixing of
+//! tenants. Retention is bounded: only the most recent
+//! [`TraceStore::keep`] traces survive, oldest evicted first, so a
+//! chatty tenant cannot grow the server without bound.
+
+use std::sync::Mutex;
+
+/// Default number of per-job traces a server retains.
+pub const DEFAULT_TRACE_KEEP: usize = 16;
+
+/// Bounded, thread-safe store of rendered per-job Chrome traces.
+#[derive(Debug)]
+pub struct TraceStore {
+    keep: usize,
+    /// `(job id, chrome json)`, oldest first.
+    entries: Mutex<Vec<(u64, String)>>,
+}
+
+impl TraceStore {
+    /// A store retaining at most `keep` traces (min 1).
+    pub fn new(keep: usize) -> TraceStore {
+        TraceStore {
+            keep: keep.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// How many traces this store retains.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Park `chrome_json` as job `id`'s trace, replacing any previous
+    /// trace for the same id and evicting the oldest entry past the
+    /// retention cap.
+    pub fn put(&self, id: u64, chrome_json: String) {
+        let mut entries = self.entries.lock().unwrap();
+        entries.retain(|(e, _)| *e != id);
+        entries.push((id, chrome_json));
+        while entries.len() > self.keep {
+            entries.remove(0);
+        }
+    }
+
+    /// Job `id`'s retained trace, if it was recorded and survives.
+    pub fn get(&self, id: u64) -> Option<String> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .find(|(e, _)| *e == id)
+            .map(|(_, json)| json.clone())
+    }
+
+    /// Ids with a retained trace, oldest first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.lock().unwrap().iter().map(|(id, _)| *id).collect()
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> TraceStore {
+        TraceStore::new(DEFAULT_TRACE_KEEP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_eviction_oldest_first() {
+        let store = TraceStore::new(2);
+        store.put(1, "one".into());
+        store.put(2, "two".into());
+        assert_eq!(store.get(1).as_deref(), Some("one"));
+        store.put(3, "three".into());
+        assert_eq!(store.get(1), None, "oldest evicted past keep=2");
+        assert_eq!(store.get(2).as_deref(), Some("two"));
+        assert_eq!(store.get(3).as_deref(), Some("three"));
+        assert_eq!(store.ids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn re_put_replaces_and_refreshes_age() {
+        let store = TraceStore::new(2);
+        store.put(1, "a".into());
+        store.put(2, "b".into());
+        store.put(1, "a2".into()); // 1 is now the newest
+        store.put(3, "c".into()); // evicts 2, the oldest
+        assert_eq!(store.get(1).as_deref(), Some("a2"));
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.get(3).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn keep_is_clamped_to_at_least_one() {
+        let store = TraceStore::new(0);
+        assert_eq!(store.keep(), 1);
+        store.put(1, "x".into());
+        store.put(2, "y".into());
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.get(2).as_deref(), Some("y"));
+    }
+}

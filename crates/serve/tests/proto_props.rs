@@ -62,6 +62,7 @@ fn arb_spec(rng: &mut SplitMix64) -> JobSpec {
         priority: rng.next_u64() as u8,
         timeout_ms: rng.next_u64(),
         fault_spec: if rng.below(3) == 0 { arb_str(rng) } else { String::new() },
+        trace: rng.below(4) == 0,
     }
 }
 
@@ -94,19 +95,20 @@ fn arb_outcome(rng: &mut SplitMix64) -> JobOutcome {
 }
 
 fn arb_request(rng: &mut SplitMix64) -> Request {
-    match rng.below(5) {
+    match rng.below(6) {
         0 => Request::Submit {
             spec: arb_spec(rng),
         },
         1 => Request::Status { id: rng.next_u64() },
         2 => Request::Result { id: rng.next_u64() },
         3 => Request::Cancel { id: rng.next_u64() },
+        4 => Request::Trace { id: rng.next_u64() },
         _ => Request::List,
     }
 }
 
 fn arb_response(rng: &mut SplitMix64) -> Response {
-    match rng.below(7) {
+    match rng.below(8) {
         0 => Response::Submitted { id: rng.next_u64() },
         1 => Response::Rejected {
             reason: if rng.below(2) == 0 {
@@ -134,6 +136,10 @@ fn arb_response(rng: &mut SplitMix64) -> Response {
         },
         5 => Response::Jobs {
             jobs: (0..rng.below(8)).map(|_| arb_info(rng)).collect(),
+        },
+        6 => Response::Trace {
+            id: rng.next_u64(),
+            chrome_json: arb_str(rng),
         },
         _ => Response::Error {
             detail: arb_str(rng),
@@ -202,10 +208,11 @@ fn old_format_submit_frames_decode_as_gemm_with_fields_intact() {
         let bytes = old_format_submit(&spec);
         let back = Request::decode(&bytes)
             .unwrap_or_else(|e| panic!("case {case}: old frame rejected: {e}"));
-        // The old wire had no kind field, so whatever kind the spec
-        // was generated with, the decoded one is GEMM with every other
-        // field untouched.
+        // The old wire had no kind or flags fields, so whatever the
+        // spec was generated with, the decoded one is an untraced GEMM
+        // with every other field untouched.
         spec.kind = JobKind::Gemm;
+        spec.trace = false;
         assert_eq!(back, Request::Submit { spec }, "case {case}");
     }
 }

@@ -23,6 +23,12 @@
 //!
 //! Exit status: 0 = clean (or replay no longer violates), 1 = parity
 //! violations found (repros written), 2 = usage error.
+//!
+//! The flight recorder runs throughout: when violations are found and
+//! `--out` is set, the recorder is dumped as a `postmortem-*.navpobs`
+//! black box next to the `repro-*.navpfault` files (readable with
+//! `navp-submit postmortem`), and a panic or `SIGQUIT` mid-sweep
+//! leaves one behind too.
 
 use navp_kv::{fuzz_kv_stage, replay_kv_repro, KvConfig, KvStage};
 use navp_matrix::Grid2D;
@@ -147,6 +153,22 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Leave a flight-recorder black box next to the repro files: when a
+/// sweep found violations and `--out` is set, the postmortem lands in
+/// the same directory the `repro-*.navpfault` files went to.
+fn dump_black_box(out: &Option<PathBuf>, stage: &str, violations: usize) {
+    if violations == 0 {
+        return;
+    }
+    if let Some(dir) = out {
+        let reason = format!("fuzz {stage}: {violations} parity violation(s)");
+        match navp_obs::dump_postmortem(dir, &reason) {
+            Ok(path) => println!("  flight recorder -> {}", path.display()),
+            Err(e) => eprintln!("navp-fuzz: flight dump failed: {e}"),
+        }
+    }
+}
+
 /// Run the kv side of main: replay or explore, mirroring the GEMM
 /// path but over [`KvStage`] and ops/batches instead of a grid.
 fn kv_main(args: &Args, pes: usize, opts: &FuzzOpts) -> ! {
@@ -198,6 +220,7 @@ fn kv_main(args: &Args, pes: usize, opts: &FuzzOpts) -> ! {
             None => println!("  seed {:#018x}: {}", v.seed, v.detail),
         }
     }
+    dump_black_box(&args.out, stage.name(), report.violations.len());
     std::process::exit(if report.violations.is_empty() { 0 } else { 1 });
 }
 
@@ -214,11 +237,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Black box: panics and SIGQUIT mid-sweep dump the flight
+    // recorder; with --out it lands next to the repro files.
+    navp_obs::install_panic_hook();
+    navp_obs::install_sigquit_dump();
     if let Some(dir) = &args.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("navp-fuzz: creating {}: {e}", dir.display());
             std::process::exit(2);
         }
+        navp_obs::set_dump_dir(dir);
     }
     let opts = FuzzOpts {
         root_seed: args.root_seed,
@@ -299,5 +327,6 @@ fn main() {
             None => println!("  seed {:#018x}: {}", v.seed, v.detail),
         }
     }
+    dump_black_box(&args.out, stage.name(), report.violations.len());
     std::process::exit(if report.violations.is_empty() { 0 } else { 1 });
 }

@@ -17,6 +17,11 @@
 //! sessions in a loop with the metrics registry persisting across
 //! them, so the same long-lived cluster can be health-checked and
 //! scraped before, during, and after each run.
+//!
+//! The flight recorder is always on: `SIGQUIT` (or a panic) dumps a
+//! checksummed `postmortem-*.navpobs` black box — into `--durable-dir`
+//! when set, else `NAVP_FLIGHT_DIR` — readable with
+//! `navp-submit postmortem`.
 
 fn main() {
     // Registers the kv codecs *and* (transitively) the GEMM ones, so
@@ -29,6 +34,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Flight recorder black box: panic or SIGQUIT dumps a checksummed
+    // postmortem next to the checkpoints when a durable dir is set.
+    navp_obs::install_panic_hook();
+    navp_obs::install_sigquit_dump();
+    if let Some(dir) = &args.durable_dir {
+        navp_obs::set_dump_dir(dir);
+    }
     let opts = navp_net::PeOptions {
         metrics_addr: args.metrics_addr,
         durable_dir: args.durable_dir,

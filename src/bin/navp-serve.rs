@@ -19,9 +19,16 @@
 //! or checkpoint directories.
 //!
 //! `--metrics-addr` serves `GET /metrics` (the `navp_serve_*` set:
-//! queue depth, in-flight gauge, admission rejects, job latency —
-//! plus the `navp_kv_*` workload counters) and `GET /healthz` (JSON
-//! with latency p50/p99).
+//! queue depth, in-flight gauge, admission rejects, job latency and
+//! queue age — plus the `navp_kv_*` workload counters, with per-run
+//! attribution), `GET /healthz` (JSON with latency and queue-age
+//! p50/p99), `GET /debug/jobs` (the job table as JSON) and
+//! `GET /debug/flight` (the in-process flight recorder's lanes).
+//!
+//! The flight recorder is always on: a panic, a `SIGQUIT`, or a run
+//! error dumps a checksummed postmortem (`postmortem-*.navpobs`,
+//! readable with `navp-submit postmortem`) into `--durable-dir` when
+//! set, else the `NAVP_FLIGHT_DIR` directory.
 //!
 //! `--journal` (default: `jobs.journal` under `--durable-dir` when
 //! that is set) keeps a checksummed record of every finished job, so
@@ -32,10 +39,15 @@
 //! clean `Draining` rejection), queued and in-flight jobs finish and
 //! flush, then the process exits 0.
 
-use navp_serve::{job_runner, serve, KvMetrics, MeshOpts, SchedConfig, ServeMetrics, ServerConfig};
+use navp_serve::{
+    job_runner, serve, KvMetrics, MeshOpts, SchedConfig, Scheduler, ServeMetrics, ServerConfig,
+    TraceStore,
+};
+use std::fmt::Write as _;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -128,6 +140,31 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// The `/debug/jobs` payload: the scheduler's job table as JSON.
+fn jobs_json(sched: &Scheduler) -> String {
+    let mut out = String::from("{\"jobs\":[");
+    for (i, j) in sched.list().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"state\":\"{}\",\"priority\":{},\"queued_ms\":{},\
+             \"started_ms\":{},\"finished_ms\":{},\"detail\":\"",
+            j.id,
+            j.state.name(),
+            j.priority,
+            j.queued_ms,
+            j.started_ms,
+            j.finished_ms,
+        );
+        navp_obs::json_escape(&j.detail, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Reserve a free localhost port by binding `:0` and releasing it.
 fn free_addr() -> std::io::Result<String> {
     let l = TcpListener::bind("127.0.0.1:0")?;
@@ -166,6 +203,13 @@ fn main() {
         }
     };
     navp_net::install_stop_handlers();
+    // Flight recorder: dump a postmortem on panic or SIGQUIT, into
+    // the durable dir when one is configured.
+    navp_obs::install_panic_hook();
+    navp_obs::install_sigquit_dump();
+    if let Some(dir) = &args.durable_dir {
+        navp_obs::set_dump_dir(dir);
+    }
 
     let (join, mut children) = if args.spawn > 0 {
         match spawn_mesh(&args) {
@@ -180,26 +224,15 @@ fn main() {
     };
 
     let metrics = ServeMetrics::new();
-    if let Some(addr) = &args.metrics_addr {
-        let m = std::sync::Arc::clone(&metrics);
-        let health: std::sync::Arc<dyn Fn() -> String + Send + Sync> =
-            std::sync::Arc::new(move || m.health_json());
-        match navp_metrics::serve_http(addr, std::sync::Arc::clone(&metrics.registry), health) {
-            Ok(bound) => eprintln!("navp-serve: metrics on http://{bound}/metrics"),
-            Err(e) => {
-                eprintln!("navp-serve: cannot bind metrics endpoint {addr}: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
-
     let kv_metrics = KvMetrics::on_registry(&metrics.registry);
+    let traces = Arc::new(TraceStore::default());
     let runner = job_runner(
         MeshOpts {
             join: join.clone(),
             pe_bin: args.pe_bin.clone(),
             durable_dir: args.durable_dir.clone(),
             watchdog: Some(Duration::from_secs(120)),
+            traces: Some(Arc::clone(&traces)),
         },
         Some(kv_metrics),
     );
@@ -211,8 +244,9 @@ fn main() {
         durable_dir: args.durable_dir.clone(),
         durable_keep: args.durable_keep,
         journal: args.journal.clone(),
+        traces: Some(traces),
     };
-    let server = match serve(&args.listen, cfg, metrics, runner) {
+    let server = match serve(&args.listen, cfg, Arc::clone(&metrics), runner) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("navp-serve: cannot bind {}: {e}", args.listen);
@@ -220,6 +254,28 @@ fn main() {
         }
     };
     println!("navp-serve: listening on {}", server.local_addr());
+
+    if let Some(addr) = &args.metrics_addr {
+        let m = Arc::clone(&metrics);
+        let health: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || m.health_json());
+        let sched = Arc::clone(server.scheduler());
+        let jobs_route: navp_metrics::RouteFn =
+            Arc::new(move || ("application/json".to_string(), jobs_json(&sched)));
+        let flight_route: navp_metrics::RouteFn = Arc::new(|| {
+            ("application/json".to_string(), navp_obs::flight_json(256))
+        });
+        let routes = vec![
+            ("/debug/jobs".to_string(), jobs_route),
+            ("/debug/flight".to_string(), flight_route),
+        ];
+        match navp_metrics::serve_http_with(addr, Arc::clone(&metrics.registry), health, routes) {
+            Ok(bound) => eprintln!("navp-serve: metrics on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("navp-serve: cannot bind metrics endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "navp-serve: mesh of {} PE daemon(s): {}",
         join.len(),

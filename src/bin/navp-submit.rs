@@ -5,11 +5,13 @@
 //!                    [--stage dsc1d] [--n 48] [--ab 12]
 //!                    [--rows 1] [--cols 4] [--seed-a x] [--seed-b y]
 //!                    [--priority p] [--timeout-ms t] [--fault spec]
-//!                    [--wait]
-//! navp-submit status --to <addr> --id <n>
+//!                    [--trace] [--wait]
+//! navp-submit status --to <addr> --id <n> [--watch]
 //! navp-submit result --to <addr> --id <n>
 //! navp-submit cancel --to <addr> --id <n>
 //! navp-submit list   --to <addr>
+//! navp-submit trace  --to <addr> --id <n> [--out file]
+//! navp-submit postmortem <file.navpobs>
 //! navp-submit perf   --to <addr> [--jobs-per-client k] [--out file]
 //!                    [--check] [job flags as for submit]
 //! ```
@@ -20,6 +22,16 @@
 //! 1), `--seed-a` = workload seed and `--seed-b` = value length in
 //! bytes (0 = default). Unset flags default to the kv example spec,
 //! regardless of flag order.
+//!
+//! `submit --trace` asks the service to retain the finished run's
+//! per-PE execution trace; `trace --id <n>` then fetches it as Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`), scoped to
+//! exactly that job even on a mesh running many tenants. `status
+//! --watch` polls the job twice a second, redrawing one status line
+//! until the job reaches a terminal state. `postmortem` reads a
+//! flight-recorder black box (`postmortem-*.navpobs`, written by any
+//! navp daemon on panic/SIGQUIT/run error), verifies its checksum,
+//! and renders the merged event timeline.
 //!
 //! `perf` measures service throughput (runs/s) and submit-to-result
 //! latency (p50/p99) at 1, 4 and 16 concurrent clients, writes the
@@ -34,10 +46,15 @@ use navp_serve::{client, RejectReason};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: navp-submit <submit|status|result|cancel|list|perf> --to <addr> [...]
+const USAGE: &str =
+    "usage: navp-submit <submit|status|result|cancel|list|trace|postmortem|perf> --to <addr> [...]
   submit: [--kind gemm|kv] [--stage s] [--n n] [--ab ab] [--rows r] [--cols c]
-          [--seed-a x] [--seed-b y] [--priority p] [--timeout-ms t] [--fault spec] [--wait]
-  status|result|cancel: --id <n>
+          [--seed-a x] [--seed-b y] [--priority p] [--timeout-ms t] [--fault spec]
+          [--trace] [--wait]
+  status: --id <n> [--watch]
+  result|cancel: --id <n>
+  trace:  --id <n> [--out file]   (fetch a retained per-job Perfetto trace)
+  postmortem: <file.navpobs>      (render a flight-recorder black box)
   perf:   [--jobs-per-client k] [--out file] [--check] plus submit's job flags";
 
 fn die(msg: &str) -> ! {
@@ -51,6 +68,8 @@ struct Args {
     id: u64,
     spec: JobSpec,
     wait: bool,
+    watch: bool,
+    file: Option<PathBuf>,
     jobs_per_client: usize,
     out: Option<PathBuf>,
     check: bool,
@@ -83,6 +102,8 @@ fn parse_args() -> Args {
             JobKind::Kv => JobSpec::example_kv(),
         },
         wait: false,
+        watch: false,
+        file: None,
         jobs_per_client: 4,
         out: None,
         check: false,
@@ -113,7 +134,9 @@ fn parse_args() -> Args {
             "--priority" => args.spec.priority = parse_u64("--priority", value()) as u8,
             "--timeout-ms" => args.spec.timeout_ms = parse_u64("--timeout-ms", value()),
             "--fault" => args.spec.fault_spec = value(),
+            "--trace" => args.spec.trace = true,
             "--wait" => args.wait = true,
+            "--watch" => args.watch = true,
             "--jobs-per-client" => {
                 args.jobs_per_client = parse_u64("--jobs-per-client", value()) as usize
             }
@@ -123,10 +146,13 @@ fn parse_args() -> Args {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
+            other if args.cmd == "postmortem" && !other.starts_with('-') && args.file.is_none() => {
+                args.file = Some(PathBuf::from(other))
+            }
             other => die(&format!("unknown flag {other:?}")),
         }
     }
-    if args.to.is_empty() {
+    if args.to.is_empty() && args.cmd != "postmortem" {
         die("--to <addr> is required");
     }
     args
@@ -295,6 +321,114 @@ fn cmd_perf(args: &Args) {
     }
 }
 
+/// Fetch the retained per-job trace, validate it really is a Chrome
+/// trace-event document, and write it to `--out` (or stdout).
+fn cmd_trace(args: &Args) {
+    let json = client::fetch_trace(&args.to, args.id).unwrap_or_else(|e| {
+        eprintln!("navp-submit: trace {}: {e}", args.id);
+        std::process::exit(1);
+    });
+    let sum = navp_trace::validate_chrome_json(&json).unwrap_or_else(|e| {
+        eprintln!("navp-submit: job {} returned an invalid trace: {e}", args.id);
+        std::process::exit(1);
+    });
+    match &args.out {
+        Some(path) => {
+            expect_io(std::fs::write(path, &json));
+            println!(
+                "job {}: trace with {} event(s) over {} PE(s) -> {} (open in Perfetto)",
+                args.id,
+                sum.events,
+                sum.pids.len(),
+                path.display()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Render a flight-recorder black box: per-lane inventory, then the
+/// merged timeline (all lanes interleaved by timestamp).
+fn cmd_postmortem(path: &Path) {
+    use navp_obs::{EventKind, Record};
+    let records = navp_obs::read_postmortem(path).unwrap_or_else(|e| {
+        eprintln!("navp-submit: {}: {e:?}", path.display());
+        std::process::exit(1);
+    });
+    let mut lanes: Vec<(String, u64, usize)> = Vec::new();
+    let mut timeline: Vec<(String, navp_obs::FlightEvent)> = Vec::new();
+    for rec in &records {
+        match rec {
+            Record::Meta { reason, pid } => {
+                println!("{}: pid {pid}, reason: {reason}", path.display());
+            }
+            Record::Lane { name, dropped } => lanes.push((name.clone(), *dropped, 0)),
+            Record::Event(ev) => {
+                let lane = lanes.last_mut().unwrap_or_else(|| {
+                    eprintln!("navp-submit: event before any lane record");
+                    std::process::exit(1);
+                });
+                lane.2 += 1;
+                timeline.push((lane.0.clone(), *ev));
+            }
+        }
+    }
+    for (name, dropped, kept) in &lanes {
+        println!("  lane {name:<10} {kept} event(s), {dropped} dropped to wraparound");
+    }
+    // Stable sort: events within one lane are already oldest-first,
+    // so equal timestamps keep their lane order.
+    timeline.sort_by_key(|(_, ev)| ev.t_ns);
+    println!("  timeline ({} event(s), merged oldest-first):", timeline.len());
+    for (lane, ev) in &timeline {
+        let kind = EventKind::from_u8(ev.kind).map(EventKind::name).unwrap_or("?");
+        println!(
+            "    [{:>12.3}ms] {:<10} pe {:<3} run {:<4} {:<15} a={} b={}",
+            ev.t_ns as f64 / 1e6,
+            lane,
+            ev.pe,
+            ev.run,
+            kind,
+            ev.a,
+            ev.b,
+        );
+    }
+}
+
+/// `status --watch`: redraw one status line twice a second until the
+/// job goes terminal; exit 0 for Done, 1 otherwise.
+fn cmd_status_watch(args: &Args) {
+    use std::io::Write as _;
+    loop {
+        let info = match expect_io(client::rpc(&args.to, &Request::Status { id: args.id })) {
+            Response::Job { info } => info,
+            Response::Error { detail } => {
+                eprintln!("navp-submit: {detail}");
+                std::process::exit(1);
+            }
+            other => die(&format!("unexpected response {other:?}")),
+        };
+        let line = format!(
+            "job {}: {} (priority {}, queued@{}ms started@{}ms finished@{}ms){}{}",
+            info.id,
+            info.state.name(),
+            info.priority,
+            info.queued_ms,
+            info.started_ms,
+            info.finished_ms,
+            if info.detail.is_empty() { "" } else { " — " },
+            info.detail,
+        );
+        if info.state.is_terminal() {
+            println!("\r\x1b[2K{line}");
+            std::process::exit(if info.state == JobState::Done { 0 } else { 1 });
+        }
+        print!("\r\x1b[2K{line}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.cmd.as_str() {
@@ -330,6 +464,7 @@ fn main() {
                 }
             }
         }
+        "status" if args.watch => cmd_status_watch(&args),
         "status" => match expect_io(client::rpc(&args.to, &Request::Status { id: args.id })) {
             Response::Job { info } => print_info(&info),
             Response::Error { detail } => {
@@ -376,6 +511,11 @@ fn main() {
                 }
             }
             other => die(&format!("unexpected response {other:?}")),
+        },
+        "trace" => cmd_trace(&args),
+        "postmortem" => match &args.file {
+            Some(path) => cmd_postmortem(path),
+            None => die("postmortem needs a file argument"),
         },
         "perf" => cmd_perf(&args),
         other => die(&format!("unknown subcommand {other:?}")),

@@ -22,6 +22,9 @@
 //! * [`navp_metrics`] — live metrics: lock-free counters/gauges/
 //!   histograms, Prometheus text exposition, cluster-wide snapshots,
 //!   and the `/metrics` + `/healthz` HTTP responder `navp-pe` serves.
+//! * [`navp_obs`] — the always-on flight recorder: lock-free per-lane
+//!   event rings, the checksummed postmortem container
+//!   (`postmortem-*.navpobs`), and the panic/SIGQUIT dump triggers.
 //! * [`navp_kv`] — the second workload: a log-structured, hash-partitioned
 //!   key-value store driven through the same four-step NavP journey,
 //!   proving the methodology beyond the regular GEMM kernel.
@@ -40,6 +43,7 @@ pub use navp_metrics;
 pub use navp_mm;
 pub use navp_mp;
 pub use navp_net;
+pub use navp_obs;
 pub use navp_serve;
 pub use navp_sim;
 pub use navp_trace;

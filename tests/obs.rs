@@ -1,0 +1,148 @@
+//! The flight recorder must be an *observer*: with recording on
+//! (the default) or forced off, every executor's product is bitwise
+//! identical and the sim executor's virtual clock does not move. This
+//! is the contract that lets the recorder stay always-on in
+//! production — instrumentation that perturbed products or modeled
+//! time would invalidate the paper's reproduced tables.
+
+use navp_repro::navp_matrix::Grid2D;
+use navp_repro::navp_mm::runner::{
+    run_navp_net, run_navp_sim, run_navp_threads, NavpStage, NetOpts,
+};
+use navp_repro::navp_mm::MmConfig;
+use navp_repro::navp_obs;
+use navp_repro::navp_sim::CostModel;
+use std::sync::Mutex;
+
+/// The recorder's enabled flag is process-global; serialize the tests
+/// that flip it so the parallel test harness cannot interleave them.
+static FLIGHT_FLAG: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the recorder forced to `on`, restoring the previous
+/// state afterwards (also on panic, via the returned guard's drop).
+fn with_flight<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            navp_obs::flight().set_enabled(self.0);
+        }
+    }
+    let _restore = Restore(navp_obs::flight().enabled());
+    navp_obs::flight().set_enabled(on);
+    f()
+}
+
+fn grid_for(stage: NavpStage) -> Grid2D {
+    if stage.is_1d() {
+        Grid2D::line(2).expect("grid")
+    } else {
+        Grid2D::new(2, 2).expect("grid")
+    }
+}
+
+const STAGES: [NavpStage; 3] = [NavpStage::Dsc1D, NavpStage::Pipe2D, NavpStage::Phase1D];
+
+#[test]
+fn recorder_is_bitwise_neutral_on_the_sim_executor() {
+    let _serial = FLIGHT_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = MmConfig::real(16, 2);
+    let cost = CostModel::paper_cluster();
+    for stage in STAGES {
+        let grid = grid_for(stage);
+        let on = with_flight(true, || {
+            run_navp_sim(stage, &cfg, grid, &cost, true).expect("sim on")
+        });
+        let off = with_flight(false, || {
+            run_navp_sim(stage, &cfg, grid, &cost, true).expect("sim off")
+        });
+        assert_eq!(
+            on.virt_seconds,
+            off.virt_seconds,
+            "{}: recorder moved the virtual clock",
+            stage.name()
+        );
+        assert_eq!(
+            on.trace.expect("trace").fingerprint(),
+            off.trace.expect("trace").fingerprint(),
+            "{}: recorder changed the execution trace",
+            stage.name()
+        );
+        let (c_on, c_off) = (on.c.expect("c on"), off.c.expect("c off"));
+        assert_eq!(
+            c_on.max_abs_diff(&c_off),
+            0.0,
+            "{}: recorder changed the sim product",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn recorder_is_bitwise_neutral_on_the_thread_executor() {
+    let _serial = FLIGHT_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = MmConfig::real(16, 2);
+    for stage in STAGES {
+        let grid = grid_for(stage);
+        let on = with_flight(true, || run_navp_threads(stage, &cfg, grid).expect("threads on"));
+        let off =
+            with_flight(false, || run_navp_threads(stage, &cfg, grid).expect("threads off"));
+        assert_eq!(on.verified, Some(true), "{}", stage.name());
+        assert_eq!(off.verified, Some(true), "{}", stage.name());
+        let (c_on, c_off) = (on.c.expect("c on"), off.c.expect("c off"));
+        assert_eq!(
+            c_on.max_abs_diff(&c_off),
+            0.0,
+            "{}: recorder changed the thread product",
+            stage.name()
+        );
+    }
+}
+
+#[test]
+fn recorder_is_bitwise_neutral_on_the_net_executor() {
+    let _serial = FLIGHT_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = MmConfig::real(16, 2).with_watchdog(std::time::Duration::from_secs(60));
+    let opts = NetOpts {
+        pe_bin: Some(env!("CARGO_BIN_EXE_navp-pe").into()),
+        ..NetOpts::default()
+    };
+    let stage = NavpStage::Dsc1D;
+    let grid = Grid2D::line(4).expect("grid");
+    let on = with_flight(true, || {
+        run_navp_net(stage, &cfg, grid, &opts).expect("net on")
+    });
+    let off = with_flight(false, || {
+        run_navp_net(stage, &cfg, grid, &opts).expect("net off")
+    });
+    assert_eq!(on.verified, Some(true));
+    assert_eq!(off.verified, Some(true));
+    let (c_on, c_off) = (on.c.expect("c on"), off.c.expect("c off"));
+    assert_eq!(
+        c_on.max_abs_diff(&c_off),
+        0.0,
+        "recorder changed the networked product"
+    );
+}
+
+#[test]
+fn recorder_actually_records_during_an_instrumented_run() {
+    let _serial = FLIGHT_FLAG.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = MmConfig::real(16, 2);
+    let before: u64 = navp_obs::flight()
+        .snapshot_all()
+        .iter()
+        .map(|s| s.events.len() as u64 + s.dropped)
+        .sum();
+    with_flight(true, || {
+        run_navp_threads(NavpStage::Dsc1D, &cfg, Grid2D::line(2).expect("grid")).expect("run")
+    });
+    let after: u64 = navp_obs::flight()
+        .snapshot_all()
+        .iter()
+        .map(|s| s.events.len() as u64 + s.dropped)
+        .sum();
+    assert!(
+        after > before,
+        "an enabled recorder saw no events during a thread run ({before} -> {after})"
+    );
+}
